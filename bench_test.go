@@ -1,0 +1,144 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one per artifact, plus throughput benchmarks for the
+// on-line architecture. Each experiment benchmark measures the full
+// configuration sweep over all eleven workloads; workload generation is
+// cached across iterations and excluded from timing.
+//
+// The shared runner uses shortened workloads so `go test -bench=.`
+// completes in minutes; run cmd/experiments -scale 1.0 for paper-length
+// results (recorded in EXPERIMENTS.md).
+package phasekit_test
+
+import (
+	"sync"
+	"testing"
+
+	"phasekit"
+	"phasekit/internal/harness"
+	"phasekit/internal/workload"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *harness.Runner
+)
+
+// runner returns the shared experiment runner with all workloads
+// pre-generated.
+func runner(b *testing.B) *harness.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRunner = harness.NewRunner(workload.Options{
+			Scale:          0.1,
+			IntervalInstrs: 2_000_000,
+		})
+		if err := benchRunner.Prefetch(workload.Names()); err != nil {
+			panic(err)
+		}
+	})
+	return benchRunner
+}
+
+// benchExperiment measures one experiment end to end (sweep +
+// formatting), excluding workload generation.
+func benchExperiment(b *testing.B, id string) {
+	r := runner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := r.Experiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkTable1Model regenerates Table 1 (the baseline machine
+// description).
+func BenchmarkTable1Model(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig2TableSize sweeps signature-table capacity (Figure 2).
+func BenchmarkFig2TableSize(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3Dimensions sweeps accumulator dimensionality (Figure 3).
+func BenchmarkFig3Dimensions(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4TransitionPhase evaluates the transition phase study
+// (Figure 4).
+func BenchmarkFig4TransitionPhase(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5PhaseLengths measures stable/transition run lengths
+// (Figure 5).
+func BenchmarkFig5PhaseLengths(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6AdaptiveThreshold evaluates dynamic similarity
+// thresholds (Figure 6).
+func BenchmarkFig6AdaptiveThreshold(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7NextPhase evaluates next-phase prediction (Figure 7).
+func BenchmarkFig7NextPhase(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8PhaseChange evaluates phase change prediction (Figure 8).
+func BenchmarkFig8PhaseChange(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9PhaseLength evaluates run-length class prediction
+// (Figure 9).
+func BenchmarkFig9PhaseLength(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Ablation benchmarks for the design decisions called out in DESIGN.md.
+func BenchmarkAblationFirstMatch(b *testing.B)  { benchExperiment(b, "ablation-match") }
+func BenchmarkAblationStaticBits(b *testing.B)  { benchExperiment(b, "ablation-bits") }
+func BenchmarkAblationReplacement(b *testing.B) { benchExperiment(b, "ablation-replace") }
+func BenchmarkAblationFiltering(b *testing.B)   { benchExperiment(b, "ablation-filtering") }
+func BenchmarkAblationHysteresis(b *testing.B)  { benchExperiment(b, "ablation-hyst") }
+
+// BenchmarkTrackerBranch measures the on-line architecture's
+// per-branch cost (Figure 1 steps 1-2 plus amortized interval-end
+// classification and prediction).
+func BenchmarkTrackerBranch(b *testing.B) {
+	cfg := phasekit.DefaultConfig()
+	cfg.IntervalInstrs = 1_000_000
+	tracker := phasekit.NewTracker("bench", cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracker.Branch(0x400000+uint64(i%64)*64, 100)
+	}
+}
+
+// BenchmarkEvaluateWorkload measures replaying one cached profiled run
+// through the full architecture.
+func BenchmarkEvaluateWorkload(b *testing.B) {
+	r := runner(b)
+	run, err := r.Run("gcc/1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := phasekit.DefaultConfig()
+	cfg.IntervalInstrs = 2_000_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phasekit.Evaluate(run, cfg)
+	}
+}
+
+// BenchmarkGenerateWorkload measures synthetic workload generation with
+// the Table 1 timing model (the substrate cost).
+func BenchmarkGenerateWorkload(b *testing.B) {
+	opts := phasekit.WorkloadOptions{Scale: 0.02, IntervalInstrs: 1_000_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := phasekit.GenerateWorkload("bzip2/g", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Comparison and extended-ablation benchmarks.
+func BenchmarkSimPointComparison(b *testing.B) { benchExperiment(b, "simpoint") }
+func BenchmarkBaselineWset(b *testing.B)       { benchExperiment(b, "baseline-wset") }
+func BenchmarkAblationConfidence(b *testing.B) { benchExperiment(b, "ablation-conf") }
+func BenchmarkAblationDepth(b *testing.B)      { benchExperiment(b, "ablation-depth") }
+func BenchmarkMetricPrediction(b *testing.B)   { benchExperiment(b, "metricpred") }
+func BenchmarkGranularity(b *testing.B)        { benchExperiment(b, "granularity") }

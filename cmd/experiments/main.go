@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// Table 1 and Figures 2-9, plus the ablation studies listed in
+// DESIGN.md, printed as aligned text (or CSV) tables.
+//
+// Usage:
+//
+//	experiments                     # run everything at the default scale
+//	experiments -exp fig4,fig7      # selected experiments
+//	experiments -scale 1.0          # full-length workloads (slow)
+//	experiments -csv                # machine-readable output
+//
+// The -scale flag multiplies every workload's script segment lengths;
+// 1.0 reproduces the full executions (tens of billions of simulated
+// instructions), smaller values keep the same phase structure with
+// proportionally shorter runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"phasekit/internal/harness"
+	"phasekit/internal/workload"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		scale    = flag.Float64("scale", 0.5, "workload length scale (1.0 = paper-length runs)")
+		interval = flag.Uint64("interval", 10_000_000, "instructions per interval")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quiet    = flag.Bool("quiet", false, "suppress progress messages")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := harness.ExperimentIDs()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	runner := harness.NewRunner(workload.Options{
+		Scale:          *scale,
+		IntervalInstrs: *interval,
+	})
+
+	progress := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+
+	start := time.Now()
+	progress("generating workloads (scale %.2f)...\n", *scale)
+	if err := runner.Prefetch(workload.Names()); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	progress("workloads ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		t0 := time.Now()
+		tables, err := runner.Experiment(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		progress("%s computed in %v\n", id, time.Since(t0).Round(time.Millisecond))
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command phasesim runs the phase tracking architecture over a
+// workload or a recorded trace and prints a classification and
+// prediction report.
+//
+// Usage:
+//
+//	phasesim -workload mcf                 # generate + classify + predict
+//	phasesim -workload mcf -sim 0.125      # sweep a classifier knob
+//	phasesim -trace mcf.trc                # replay a tracegen branch trace
+//	phasesim -profile mcf.prof             # replay a tracegen profile (has CPI)
+//	phasesim -workload gcc/1 -v            # per-interval phase stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"phasekit/internal/classifier"
+	"phasekit/internal/core"
+	"phasekit/internal/trace"
+	"phasekit/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "", "workload name to generate and analyse")
+		traceFile = flag.String("trace", "", "branch trace file to replay instead of a workload")
+		profFile  = flag.String("profile", "", "interval profile file to replay instead of a workload")
+		scale     = flag.Float64("scale", 0.5, "workload length scale")
+		interval  = flag.Uint64("interval", 10_000_000, "instructions per interval")
+		sim       = flag.Float64("sim", 0.25, "similarity threshold")
+		minCount  = flag.Int("min", 8, "transition phase min counter threshold")
+		entries   = flag.Int("entries", 32, "signature table entries (0 = unbounded)")
+		dims      = flag.Int("dims", 16, "accumulator counters")
+		adaptive  = flag.Bool("adaptive", true, "adaptive similarity thresholds (needs CPI; workload mode only)")
+		dev       = flag.Float64("dev", 0.25, "CPI deviation threshold for adaptive splitting")
+		verbose   = flag.Bool("v", false, "print the per-interval phase stream")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.IntervalInstrs = *interval
+	cfg.Dims = *dims
+	cfg.Classifier = classifier.Config{
+		TableEntries:        *entries,
+		SimilarityThreshold: *sim,
+		MinCountThreshold:   *minCount,
+		BestMatch:           true,
+		Adaptive:            *adaptive,
+		DeviationThreshold:  *dev,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *profFile != "":
+		f, err := os.Open(*profFile)
+		if err != nil {
+			fatal(err)
+		}
+		run, err := trace.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.IntervalInstrs = run.IntervalSize
+		report, results := core.EvaluateDetailed(run, cfg)
+		printReport(report, results, *verbose, true)
+	case *traceFile != "":
+		// Replaying a trace: no cycle counts, so CPI-driven
+		// adaptation is unavailable.
+		cfg.Classifier.Adaptive = false
+		report, results, err := replayTrace(*traceFile, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printReport(report, results, *verbose, false)
+	case *wl != "":
+		spec, err := workload.Get(*wl)
+		if err != nil {
+			fatal(err)
+		}
+		run, err := workload.Generate(spec, workload.Options{
+			Scale:          *scale,
+			IntervalInstrs: *interval,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report, results := core.EvaluateDetailed(run, cfg)
+		printReport(report, results, *verbose, true)
+	default:
+		fmt.Fprintln(os.Stderr, "phasesim: one of -workload, -trace or -profile is required")
+		os.Exit(2)
+	}
+}
+
+// replayTrace feeds a recorded branch stream through the online
+// tracker, exactly as hardware would see it.
+func replayTrace(path string, cfg core.Config) (core.Report, []core.IntervalResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.Report{}, nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return core.Report{}, nil, err
+	}
+	cfg.IntervalInstrs = r.IntervalSize()
+	tracker := core.NewTracker(r.Name(), cfg)
+	var results []core.IntervalResult
+	for {
+		ev, boundary, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return core.Report{}, nil, err
+		}
+		if boundary {
+			// Interval boundaries in the trace align with the
+			// instruction budget; a residue below the budget is
+			// flushed to keep alignment exact.
+			if res, ok := tracker.Flush(); ok {
+				results = append(results, res)
+			}
+			continue
+		}
+		if res, ok := tracker.Branch(ev.PC, ev.Instrs); ok {
+			results = append(results, res)
+		}
+	}
+	return tracker.Report(), results, nil
+}
+
+func printReport(r core.Report, results []core.IntervalResult, verbose, haveCPI bool) {
+	if verbose {
+		fmt.Println("interval  phase  cpi    next(pred)  conf")
+		for _, res := range results {
+			conf := " "
+			if res.NextPhase.Confident {
+				conf = "*"
+			}
+			fmt.Printf("%8d  %5d  %5.2f  %10d  %s\n",
+				res.Index, res.PhaseID, res.CPI, res.NextPhase.Phase, conf)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("workload:             %s\n", r.Name)
+	fmt.Printf("intervals:            %d\n", r.Intervals)
+	fmt.Printf("phase IDs created:    %d\n", r.PhaseIDs)
+	fmt.Printf("transition intervals: %d (%.1f%%)\n", r.TransitionIntervals, 100*r.TransitionFraction())
+	if haveCPI {
+		fmt.Printf("whole-program CoV:    %.1f%%\n", 100*r.WholeCoV)
+		fmt.Printf("per-phase CPI CoV:    %.1f%%\n", 100*r.PhaseCoV)
+	}
+	fmt.Printf("stable runs:          %d (mean %.1f, sd %.1f intervals)\n",
+		r.StableRuns.N(), r.StableRuns.Mean(), r.StableRuns.StdDev())
+	fmt.Printf("transition runs:      %d (mean %.1f, sd %.1f intervals)\n",
+		r.TransitionRuns.N(), r.TransitionRuns.Mean(), r.TransitionRuns.StdDev())
+	ns := r.NextPhase
+	fmt.Printf("next phase:           %.1f%% accuracy, %.1f%% coverage, %.1f%% miss rate\n",
+		100*ns.Accuracy(), 100*ns.Coverage(), 100*ns.MissRate())
+	cs := r.Change
+	fmt.Printf("phase changes:        %d (%.1f%% of boundaries)\n", cs.Changes, 100*r.LastValueMissRate())
+	fmt.Printf("change prediction:    %.1f%% confident-correct, %.1f%% correct, %.1f%% mispredict\n",
+		100*cs.Coverage(), 100*cs.CorrectRate(), 100*cs.MispredictRate())
+	fmt.Printf("length prediction:    %.1f%% mispredict over %d resolved runs\n",
+		100*r.Length.MispredictRate(), r.Length.Predictions)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "phasesim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Command tracegen generates a synthetic workload execution and writes
+// its branch-event stream in the phasekit binary trace format.
+//
+// Usage:
+//
+//	tracegen -workload gcc/1 -o gcc1.trc
+//	tracegen -workload mcf -scale 0.1 -max 500 -o mcf.trc
+//	tracegen -workload mcf -profile mcf.prof     # compact profile with timing
+//
+// Branch-event traces (-o) are consumed by cmd/phasesim -trace. Profile
+// files (-profile) additionally carry per-interval cycle counts from
+// the Table 1 timing model, so CPI-driven features (adaptive
+// thresholds) work when replaying them with phasesim -profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phasekit/internal/trace"
+	"phasekit/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "", "workload name (see -list)")
+		out      = flag.String("o", "", "output trace file")
+		scale    = flag.Float64("scale", 1.0, "script length scale")
+		interval = flag.Uint64("interval", 10_000_000, "instructions per interval")
+		max      = flag.Int("max", 0, "cap on generated intervals (0 = full run)")
+		profile  = flag.String("profile", "", "also/instead write a compact interval profile here")
+		list     = flag.Bool("list", false, "list workload names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *name == "" || (*out == "" && *profile == "") {
+		fmt.Fprintln(os.Stderr, "tracegen: -workload and one of -o/-profile are required (try -list)")
+		os.Exit(2)
+	}
+
+	spec, err := workload.Get(*name)
+	if err != nil {
+		fatal(err)
+	}
+	opts := workload.Options{
+		Scale:          *scale,
+		IntervalInstrs: *interval,
+		MaxIntervals:   *max,
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := trace.NewWriter(f, spec.Name, *interval)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.WriteTrace(spec, opts, w); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		report(*out, spec.Name, *interval)
+	}
+
+	if *profile != "" {
+		run, err := workload.Generate(spec, opts)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteProfile(f, run); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		report(*profile, spec.Name, *interval)
+	}
+}
+
+func report(path, name string, interval uint64) {
+	info, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: workload %s, interval %d instructions, %d bytes\n",
+		path, name, interval, info.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

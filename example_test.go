@@ -1,0 +1,61 @@
+package phasekit_test
+
+import (
+	"fmt"
+
+	"phasekit"
+)
+
+// ExampleNewTracker drives the on-line architecture with a synthetic
+// branch stream that alternates between two code regions, showing how
+// phases are discovered and then recognized on return.
+func ExampleNewTracker() {
+	cfg := phasekit.DefaultConfig()
+	cfg.IntervalInstrs = 10_000          // tiny intervals for the example
+	cfg.Classifier.MinCountThreshold = 0 // no transition phase: direct IDs
+
+	tracker := phasekit.NewTracker("example", cfg)
+	var phases []int
+	emit := func(base uint64, intervals int) {
+		for done := 0; done < intervals; {
+			if res, ok := tracker.Branch(base, 100); ok {
+				phases = append(phases, res.PhaseID)
+				done++
+			}
+		}
+	}
+	emit(0x400000, 3) // phase A
+	emit(0x900000, 3) // phase B
+	emit(0x400000, 3) // back to A: same ID again
+
+	fmt.Println(phases)
+	// Output: [1 1 1 2 2 2 1 1 1]
+}
+
+// ExampleEvaluate classifies a bundled synthetic workload offline and
+// prints the headline §3.1 quality metric.
+func ExampleEvaluate() {
+	run, err := phasekit.GenerateWorkload("ammp", phasekit.WorkloadOptions{
+		Scale:          0.05,
+		IntervalInstrs: 1_000_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg := phasekit.DefaultConfig()
+	cfg.IntervalInstrs = 1_000_000
+	report := phasekit.Evaluate(run, cfg)
+
+	fmt.Println("classification reduced CPI variation:",
+		report.PhaseCoV < report.WholeCoV)
+	// Output: classification reduced CPI variation: true
+}
+
+// ExampleConfig_Validate shows configuration validation for callers
+// that prefer errors over panics.
+func ExampleConfig_Validate() {
+	cfg := phasekit.DefaultConfig()
+	cfg.Dims = 12 // not a power of two
+	fmt.Println(cfg.Validate() != nil)
+	// Output: true
+}

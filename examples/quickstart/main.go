@@ -1,0 +1,90 @@
+// Quickstart: classify a program's execution into phases and predict
+// upcoming behaviour with the phasekit default configuration.
+//
+// It shows the two ways into the library:
+//
+//  1. the on-line Tracker, fed raw (branch PC, instruction count)
+//     events exactly like the paper's hardware, and
+//  2. Evaluate, which replays a profiled run (here: the bundled
+//     synthetic 'gzip/p' workload) and returns aggregate statistics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasekit"
+)
+
+func main() {
+	onlineTracker()
+	workloadReport()
+}
+
+// onlineTracker drives the Tracker with a hand-made branch stream: a
+// loop-heavy "compute" phase followed by a different "scan" phase, each
+// repeated. The tracker discovers the two phases and, by the second
+// visit, predicts them.
+func onlineTracker() {
+	fmt.Println("== on-line tracker ==")
+	cfg := phasekit.DefaultConfig()
+	cfg.IntervalInstrs = 100_000 // small intervals so the demo is short
+	cfg.Classifier.MinCountThreshold = 2
+	tracker := phasekit.NewTracker("demo", cfg)
+
+	emitPhase := func(basePC uint64, intervals int) {
+		var emitted uint64
+		target := uint64(intervals) * cfg.IntervalInstrs
+		for emitted < target {
+			// 20 static branches around basePC, ~100 instructions per
+			// branch region, with a fixed cycle cost.
+			for b := uint64(0); b < 20 && emitted < target; b++ {
+				tracker.Cycles(150)
+				if res, ok := tracker.Branch(basePC+b*64, 100); ok {
+					conf := ""
+					if res.NextPhase.Confident {
+						conf = " (confident)"
+					}
+					fmt.Printf("interval %2d  phase %d  next -> %d%s\n",
+						res.Index, res.PhaseID, res.NextPhase.Phase, conf)
+				}
+				emitted += 100
+			}
+		}
+	}
+
+	for round := 0; round < 2; round++ {
+		emitPhase(0x400000, 6) // compute phase
+		emitPhase(0x900000, 4) // scan phase
+	}
+	r := tracker.Report()
+	fmt.Printf("phases: %d, transition intervals: %d, next-phase accuracy: %.0f%%\n\n",
+		r.PhaseIDs, r.TransitionIntervals, 100*r.NextPhase.Accuracy())
+}
+
+// workloadReport generates a bundled synthetic workload (a scaled-down
+// gzip/p) and reports how well the default architecture classifies and
+// predicts it.
+func workloadReport() {
+	fmt.Println("== workload evaluation ==")
+	run, err := phasekit.GenerateWorkload("gzip/p", phasekit.WorkloadOptions{
+		Scale: 0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := phasekit.DefaultConfig()
+	report := phasekit.Evaluate(run, cfg)
+
+	fmt.Printf("workload:       %s (%d intervals)\n", report.Name, report.Intervals)
+	fmt.Printf("whole-run CPI variation: %.0f%% CoV\n", 100*report.WholeCoV)
+	fmt.Printf("within-phase variation:  %.0f%% CoV across %d phases\n",
+		100*report.PhaseCoV, report.PhaseIDs)
+	fmt.Printf("time in transitions:     %.1f%%\n", 100*report.TransitionFraction())
+	fmt.Printf("next-phase prediction:   %.0f%% accurate (%.0f%% coverage)\n",
+		100*report.NextPhase.Accuracy(), 100*report.NextPhase.Coverage())
+	fmt.Printf("phase length prediction: %.0f%% mispredictions\n",
+		100*report.Length.MispredictRate())
+}

@@ -1,0 +1,117 @@
+// smtpair sketches phase-aware symbiotic co-scheduling on an SMT core
+// (Snavely & Tullsen, referenced by the paper's introduction as a
+// target application of phase prediction at 10M-instruction,
+// context-switch granularity).
+//
+// Two workloads run together. Co-scheduling a memory-bound interval of
+// one with a memory-bound interval of the other congests the shared
+// memory system ("conflict"); pairing memory-bound with compute-bound
+// is symbiotic. The scheduler sees each job's phase tracker and, at
+// every interval, may swap in a compute-bound background job instead of
+// the second workload when BOTH next intervals are predicted
+// memory-bound.
+//
+// Compared policies:
+//
+//   - blind:     always co-schedule the two workloads
+//   - predicted: swap on predicted conflicts (phase trackers' next-
+//     phase predictions + per-phase CPI learned on line)
+//   - oracle:    swap on actual conflicts
+//
+// Run with: go run ./examples/smtpair
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasekit"
+)
+
+// memBoundCPI marks an interval as memory-bound.
+const memBoundCPI = 2.0
+
+// job holds one workload's classified stream and an on-line map from
+// phase ID to its running-average CPI (what a scheduler could learn).
+type job struct {
+	name    string
+	results []phasekit.IntervalResult
+	avgCPI  map[int]float64
+	nCPI    map[int]int
+}
+
+func load(name string) *job {
+	run, err := phasekit.GenerateWorkload(name, phasekit.WorkloadOptions{
+		Scale: 0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := phasekit.DefaultConfig()
+	_, results := phasekit.EvaluateDetailed(run, cfg)
+	return &job{
+		name:    name,
+		results: results,
+		avgCPI:  make(map[int]float64),
+		nCPI:    make(map[int]int),
+	}
+}
+
+// observe folds an interval into the job's per-phase CPI averages.
+func (j *job) observe(res phasekit.IntervalResult) {
+	n := j.nCPI[res.PhaseID]
+	j.avgCPI[res.PhaseID] = (j.avgCPI[res.PhaseID]*float64(n) + res.CPI) / float64(n+1)
+	j.nCPI[res.PhaseID] = n + 1
+}
+
+// predictedMemBound reports whether the job's next interval is
+// predicted memory-bound, from the predicted phase's learned CPI.
+// Unknown phases are assumed compute-bound (optimistic).
+func (j *job) predictedMemBound(i int) bool {
+	pred := j.results[i].NextPhase
+	if n := j.nCPI[pred.Phase]; n > 0 {
+		return j.avgCPI[pred.Phase] >= memBoundCPI
+	}
+	return false
+}
+
+func main() {
+	a := load("mcf")
+	b := load("bzip2/g")
+	n := len(a.results)
+	if len(b.results) < n {
+		n = len(b.results)
+	}
+
+	blind, predicted, oracle := 0, 0, 0
+	swaps := 0
+	for i := 0; i+1 < n; i++ {
+		a.observe(a.results[i])
+		b.observe(b.results[i])
+		conflictNext := a.results[i+1].CPI >= memBoundCPI && b.results[i+1].CPI >= memBoundCPI
+		if conflictNext {
+			blind++
+			oracle++ // the oracle always swaps these away
+		}
+		if a.predictedMemBound(i) && b.predictedMemBound(i) {
+			swaps++
+			if conflictNext {
+				predicted++ // a real conflict avoided
+			}
+		}
+	}
+
+	fmt.Printf("co-scheduling %s with %s over %d intervals\n\n", a.name, b.name, n)
+	fmt.Printf("conflict intervals under blind pairing:  %d\n", blind)
+	fmt.Printf("conflicts avoidable by an oracle:        %d\n", oracle)
+	fmt.Printf("scheduler swaps on predicted conflicts:  %d\n", swaps)
+	fmt.Printf("real conflicts avoided by prediction:    %d (%.0f%% of oracle)\n",
+		predicted, safePct(predicted, oracle))
+}
+
+func safePct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,3 @@
+module phasekit
+
+go 1.22

@@ -1,0 +1,379 @@
+// Package classifier implements the paper's dynamic phase classifier
+// (§4): a signature table with LRU replacement that maps per-interval
+// code signatures to phase IDs, extended with the transition phase
+// (§4.4, Min Counter) and adaptive per-entry similarity thresholds
+// driven by CPI homogeneity feedback (§4.6).
+package classifier
+
+import (
+	"fmt"
+	"math"
+
+	"phasekit/internal/signature"
+)
+
+// TransitionPhase is the reserved phase ID for intervals classified as
+// phase transitions (§4.4: "The transition phase is represented with
+// phase ID zero").
+const TransitionPhase = 0
+
+// Config controls one classifier instance.
+type Config struct {
+	// TableEntries is the signature-table capacity; 0 means unbounded
+	// (the infinite table of [25] used as a reference point in Fig 2).
+	TableEntries int
+	// SimilarityThreshold is the normalized Manhattan distance below
+	// which a signature matches a table entry (0.125 or 0.25 in the
+	// paper). With Adaptive set, it is each entry's starting threshold.
+	SimilarityThreshold float64
+	// MinCountThreshold is the number of times a signature must appear
+	// before it is considered stable and assigned a real phase ID
+	// (§4.4). 0 disables the transition phase entirely (the prior
+	// work's behaviour).
+	MinCountThreshold int
+	// BestMatch selects the most-similar matching entry when several
+	// satisfy the threshold; false reproduces the prior approach of
+	// taking the first match (§4.1 step 3).
+	BestMatch bool
+	// Adaptive enables per-entry threshold tightening from CPI
+	// feedback (§4.6).
+	Adaptive bool
+	// DeviationThreshold is the relative CPI deviation from the
+	// phase's running average that triggers halving the entry's
+	// similarity threshold (0.50, 0.25 or 0.125 in Fig 6).
+	DeviationThreshold float64
+	// MinSimilarityThreshold floors adaptive halving so a threshold
+	// never reaches zero. Defaults to 1/64 when unset.
+	MinSimilarityThreshold float64
+	// FeedbackWarmup is the number of CPI samples an entry must
+	// accumulate before deviation can trigger a split, so one noisy
+	// startup interval does not shatter a healthy phase. Defaults to 3
+	// when unset.
+	FeedbackWarmup int
+	// ReplacementFIFO evicts the oldest-inserted entry instead of the
+	// least-recently-used one, as an ablation of the paper's LRU
+	// signature table.
+	ReplacementFIFO bool
+}
+
+// DefaultConfig returns the paper's preferred configuration (§5): a 32
+// entry table, 25% similarity threshold, min count 8, best-match
+// classification, and adaptive thresholds with a 25% deviation
+// threshold.
+func DefaultConfig() Config {
+	return Config{
+		TableEntries:        32,
+		SimilarityThreshold: 0.25,
+		MinCountThreshold:   8,
+		BestMatch:           true,
+		Adaptive:            true,
+		DeviationThreshold:  0.25,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.TableEntries < 0 {
+		return fmt.Errorf("classifier: TableEntries must be >= 0, got %d", c.TableEntries)
+	}
+	if c.SimilarityThreshold <= 0 || c.SimilarityThreshold > 1 {
+		return fmt.Errorf("classifier: SimilarityThreshold must be in (0,1], got %v", c.SimilarityThreshold)
+	}
+	if c.MinCountThreshold < 0 {
+		return fmt.Errorf("classifier: MinCountThreshold must be >= 0, got %d", c.MinCountThreshold)
+	}
+	if c.Adaptive && (c.DeviationThreshold <= 0 || c.DeviationThreshold > 4) {
+		return fmt.Errorf("classifier: DeviationThreshold must be in (0,4], got %v", c.DeviationThreshold)
+	}
+	if c.MinSimilarityThreshold < 0 {
+		return fmt.Errorf("classifier: MinSimilarityThreshold must be >= 0, got %v", c.MinSimilarityThreshold)
+	}
+	return nil
+}
+
+// entry is one signature-table row.
+type entry struct {
+	sig        signature.Vector
+	phaseID    int // TransitionPhase until promoted
+	minCount   int // §4.4 Min Counter (saturating; capped in code)
+	threshold  float64
+	lastUse    uint64 // LRU clock value
+	insertedAt uint64 // FIFO clock value
+
+	// CPI feedback state (§4.6).
+	cpiCount  int
+	cpiMean   float64
+	devStreak int
+}
+
+// Result reports the outcome of classifying one interval.
+type Result struct {
+	// PhaseID is the phase the interval was classified into;
+	// TransitionPhase for transition intervals.
+	PhaseID int
+	// Matched reports whether an existing table entry satisfied the
+	// similarity threshold.
+	Matched bool
+	// Distance is the normalized distance to the matched entry
+	// (meaningful only when Matched).
+	Distance float64
+	// NewSignature reports that a new table entry was created.
+	NewSignature bool
+	// Evicted reports that creating the entry evicted an LRU victim.
+	Evicted bool
+	// Promoted reports that the matched entry crossed the min-count
+	// threshold on this classification and received its real phase ID.
+	Promoted bool
+	// Split reports that CPI feedback tightened the matched entry's
+	// similarity threshold (§4.6).
+	Split bool
+}
+
+// Stats accumulates classifier behaviour over a run.
+type Stats struct {
+	Classifications      int
+	TransitionIntervals  int
+	NewSignatures        int
+	Evictions            int
+	Promotions           int
+	Splits               int
+	PhaseIDsCreated      int
+	MatchedSameThreshold int // classifications that matched an entry
+}
+
+// Classifier is the dynamic phase classification architecture.
+type Classifier struct {
+	cfg     Config
+	entries []*entry
+	clock   uint64
+	nextID  int
+	stats   Stats
+	minSim  float64
+}
+
+// New returns a classifier for cfg. It panics on an invalid
+// configuration.
+func New(cfg Config) *Classifier {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	minSim := cfg.MinSimilarityThreshold
+	if minSim == 0 {
+		minSim = 1.0 / 64
+	}
+	return &Classifier{cfg: cfg, nextID: TransitionPhase + 1, minSim: minSim}
+}
+
+// Config returns the classifier's configuration.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// PhaseIDs returns the number of real (non-transition) phase IDs
+// created so far. This is the "number of phases detected" metric of
+// Figs 2–4: signatures lost to replacement and later reinserted are
+// counted again, exactly as in the hardware.
+func (c *Classifier) PhaseIDs() int { return c.nextID - 1 }
+
+// TableLen returns the current number of signature-table entries.
+func (c *Classifier) TableLen() int { return len(c.entries) }
+
+// Stats returns cumulative statistics.
+func (c *Classifier) Stats() Stats { return c.stats }
+
+// Classify assigns a phase ID to the interval whose compressed
+// signature is sig and whose measured performance is cpi (used only for
+// adaptive threshold feedback, never for matching — §4.6 keeps
+// classification purely code-based).
+func (c *Classifier) Classify(sig signature.Vector, cpi float64) Result {
+	c.clock++
+	c.stats.Classifications++
+
+	best := -1
+	bestDist := math.Inf(1)
+	for i, e := range c.entries {
+		if len(e.sig) != len(sig) {
+			panic("classifier: signature dimensionality changed mid-run")
+		}
+		d := signature.Distance(sig, e.sig)
+		if d >= e.threshold {
+			continue
+		}
+		if !c.cfg.BestMatch {
+			best, bestDist = i, d
+			break
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+
+	if best < 0 {
+		return c.insert(sig)
+	}
+	return c.match(best, bestDist, sig, cpi)
+}
+
+// match handles classification into an existing entry.
+func (c *Classifier) match(i int, dist float64, sig signature.Vector, cpi float64) Result {
+	e := c.entries[i]
+	c.stats.MatchedSameThreshold++
+	e.lastUse = c.clock
+	// "the matching signature in the table is replaced with the
+	// current signature" (§4.1 step 3).
+	copy(e.sig, sig)
+
+	res := Result{Matched: true, Distance: dist}
+	if e.minCount < 1<<20 { // saturate far above any useful threshold
+		e.minCount++
+	}
+	if e.phaseID == TransitionPhase && e.minCount >= c.cfg.MinCountThreshold {
+		e.phaseID = c.allocID()
+		res.Promoted = true
+		c.stats.Promotions++
+	}
+	res.PhaseID = e.phaseID
+	if res.PhaseID == TransitionPhase {
+		c.stats.TransitionIntervals++
+	}
+
+	if c.cfg.Adaptive {
+		res.Split = c.feedback(e, cpi)
+	}
+	return res
+}
+
+// feedback applies §4.6: track the running-average CPI of intervals
+// classified into the entry; on significant deviation, halve the
+// entry's similarity threshold and clear its statistics. Returns true
+// when a split (tightening) occurred.
+//
+// CPI statistics are kept only for promoted entries ("when a new phase
+// ID is created, we store a running average of the CPI with the phase
+// ID"), and a deviation can only split after FeedbackWarmup samples.
+func (c *Classifier) feedback(e *entry, cpi float64) bool {
+	if e.phaseID == TransitionPhase {
+		return false
+	}
+	warmup := c.cfg.FeedbackWarmup
+	if warmup == 0 {
+		warmup = 3
+	}
+	if e.cpiCount >= warmup && e.cpiMean > 0 {
+		dev := math.Abs(cpi-e.cpiMean) / e.cpiMean
+		if dev > c.cfg.DeviationThreshold {
+			// Require the deviation to persist for two consecutive
+			// intervals before splitting: a single tail-noise sample
+			// in an otherwise homogeneous phase would permanently
+			// tighten the threshold and shatter the phase, while a
+			// genuinely heterogeneous phase deviates persistently and
+			// still splits immediately on its second interval.
+			e.devStreak++
+			if e.devStreak < 2 {
+				return false
+			}
+			e.devStreak = 0
+			if e.threshold/2 >= c.minSim {
+				e.threshold /= 2
+				c.stats.Splits++
+				// "the average CPI and statistics associated with
+				// that phase ID are cleared."
+				e.cpiCount = 0
+				e.cpiMean = 0
+				return true
+			}
+			// Threshold already at the floor: clear stats but do not
+			// count a split.
+			e.cpiCount = 0
+			e.cpiMean = 0
+			return false
+		}
+		e.devStreak = 0
+	}
+	e.cpiCount++
+	e.cpiMean += (cpi - e.cpiMean) / float64(e.cpiCount)
+	return false
+}
+
+// insert creates a new table entry for sig, evicting the LRU entry if
+// the table is full.
+func (c *Classifier) insert(sig signature.Vector) Result {
+	res := Result{NewSignature: true}
+	c.stats.NewSignatures++
+
+	e := &entry{
+		sig:        sig.Clone(),
+		threshold:  c.cfg.SimilarityThreshold,
+		lastUse:    c.clock,
+		insertedAt: c.clock,
+	}
+	if c.cfg.MinCountThreshold == 0 {
+		// No transition phase: new signatures get real IDs
+		// immediately, as in the prior work.
+		e.phaseID = c.allocID()
+	} else {
+		e.phaseID = TransitionPhase
+		c.stats.TransitionIntervals++
+	}
+	res.PhaseID = e.phaseID
+
+	if c.cfg.TableEntries > 0 && len(c.entries) >= c.cfg.TableEntries {
+		victim := 0
+		for i, ent := range c.entries {
+			if c.cfg.ReplacementFIFO {
+				if ent.insertedAt < c.entries[victim].insertedAt {
+					victim = i
+				}
+			} else if ent.lastUse < c.entries[victim].lastUse {
+				victim = i
+			}
+		}
+		c.entries[victim] = e
+		res.Evicted = true
+		c.stats.Evictions++
+	} else {
+		c.entries = append(c.entries, e)
+	}
+	return res
+}
+
+func (c *Classifier) allocID() int {
+	id := c.nextID
+	c.nextID++
+	c.stats.PhaseIDsCreated++
+	return id
+}
+
+// FlushFeedback clears the CPI statistics of every entry. The paper
+// notes that an optimization which changes the machine's CPI should
+// flush the feedback state during reconfiguration so stale averages do
+// not trigger spurious splits (§4.6).
+func (c *Classifier) FlushFeedback() {
+	for _, e := range c.entries {
+		e.cpiCount = 0
+		e.cpiMean = 0
+	}
+}
+
+// Snapshot describes one table entry for diagnostics and tests.
+type Snapshot struct {
+	PhaseID   int
+	MinCount  int
+	Threshold float64
+	AvgCPI    float64
+	CPICount  int
+}
+
+// Table returns a snapshot of the current signature table in unspecified
+// order.
+func (c *Classifier) Table() []Snapshot {
+	out := make([]Snapshot, len(c.entries))
+	for i, e := range c.entries {
+		out[i] = Snapshot{
+			PhaseID:   e.phaseID,
+			MinCount:  e.minCount,
+			Threshold: e.threshold,
+			AvgCPI:    e.cpiMean,
+			CPICount:  e.cpiCount,
+		}
+	}
+	return out
+}

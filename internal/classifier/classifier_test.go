@@ -1,0 +1,489 @@
+package classifier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phasekit/internal/rng"
+	"phasekit/internal/signature"
+)
+
+// sig builds a 8-dim vector concentrated on the given dims.
+func sig(weights ...uint16) signature.Vector {
+	v := make(signature.Vector, 8)
+	copy(v, weights)
+	return v
+}
+
+// noisy returns base with small per-dim noise that keeps the result
+// within a normalized distance well under 0.125 of base.
+func noisy(base signature.Vector, x *rng.Xoshiro256) signature.Vector {
+	v := base.Clone()
+	for i := range v {
+		if v[i] > 4 && x.Float64() < 0.5 {
+			v[i] += uint16(x.Intn(3)) - 1
+		}
+	}
+	return v
+}
+
+func baseCfg() Config {
+	return Config{
+		TableEntries:        32,
+		SimilarityThreshold: 0.25,
+		MinCountThreshold:   0,
+		BestMatch:           true,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{TableEntries: -1, SimilarityThreshold: 0.25},
+		{SimilarityThreshold: 0},
+		{SimilarityThreshold: 1.5},
+		{SimilarityThreshold: 0.25, MinCountThreshold: -1},
+		{SimilarityThreshold: 0.25, Adaptive: true, DeviationThreshold: 0},
+		{SimilarityThreshold: 0.25, MinSimilarityThreshold: -0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestFirstSignatureCreatesPhase(t *testing.T) {
+	c := New(baseCfg())
+	r := c.Classify(sig(32, 32, 32), 1.0)
+	if !r.NewSignature || r.Matched {
+		t.Errorf("result = %+v", r)
+	}
+	if r.PhaseID != 1 {
+		t.Errorf("first phase ID = %d, want 1", r.PhaseID)
+	}
+	if c.PhaseIDs() != 1 || c.TableLen() != 1 {
+		t.Errorf("phases=%d table=%d", c.PhaseIDs(), c.TableLen())
+	}
+}
+
+func TestSimilarSignatureMatches(t *testing.T) {
+	c := New(baseCfg())
+	r1 := c.Classify(sig(32, 32, 32), 1.0)
+	r2 := c.Classify(sig(33, 31, 32), 1.0)
+	if !r2.Matched || r2.NewSignature {
+		t.Fatalf("similar signature did not match: %+v", r2)
+	}
+	if r2.PhaseID != r1.PhaseID {
+		t.Errorf("phase IDs differ: %d vs %d", r1.PhaseID, r2.PhaseID)
+	}
+}
+
+func TestDissimilarSignatureNewPhase(t *testing.T) {
+	c := New(baseCfg())
+	c.Classify(sig(64, 0, 0), 1.0)
+	r := c.Classify(sig(0, 0, 64), 1.0)
+	if r.Matched {
+		t.Fatalf("disjoint signature matched: %+v", r)
+	}
+	if r.PhaseID != 2 {
+		t.Errorf("second phase ID = %d, want 2", r.PhaseID)
+	}
+}
+
+func TestBestMatchPicksMostSimilar(t *testing.T) {
+	cfg := baseCfg()
+	cfg.SimilarityThreshold = 0.6
+	c := New(cfg)
+	a := c.Classify(sig(40, 0, 0, 0), 1.0) // phase 1
+	b := c.Classify(sig(0, 40, 0, 0), 1.0) // phase 2
+	if a.PhaseID == b.PhaseID {
+		t.Fatal("setup: phases collided")
+	}
+	// Probe (20,22): distance 42/82=0.512 to a, 38/82=0.463 to b —
+	// within threshold of both, closer to phase 2.
+	probe := sig(20, 22, 0, 0)
+	r := c.Classify(probe, 1.0)
+	if r.PhaseID != b.PhaseID {
+		t.Errorf("best match chose %d, want %d", r.PhaseID, b.PhaseID)
+	}
+}
+
+func TestFirstMatchAblation(t *testing.T) {
+	cfg := baseCfg()
+	cfg.SimilarityThreshold = 0.6
+	cfg.BestMatch = false
+	c := New(cfg)
+	a := c.Classify(sig(40, 0, 0, 0), 1.0)
+	c.Classify(sig(0, 40, 0, 0), 1.0)
+	// Same probe as above: both entries satisfy the threshold, phase 2
+	// is closer, but phase 1 is first in table order.
+	probe := sig(20, 22, 0, 0)
+	r := c.Classify(probe, 1.0)
+	if r.PhaseID != a.PhaseID {
+		t.Errorf("first match chose %d, want %d", r.PhaseID, a.PhaseID)
+	}
+}
+
+func TestMatchReplacesStoredSignature(t *testing.T) {
+	// After matching, the entry holds the current signature: a slow
+	// drift should keep matching even once far from the original.
+	c := New(baseCfg())
+	v := sig(64, 0, 0, 0)
+	first := c.Classify(v, 1.0)
+	// Drift weight from dim 0 to dim 3 in small steps.
+	steps := []signature.Vector{
+		sig(56, 0, 0, 8), sig(48, 0, 0, 16), sig(40, 0, 0, 24),
+		sig(32, 0, 0, 32), sig(24, 0, 0, 40), sig(16, 0, 0, 48),
+		sig(8, 0, 0, 56), sig(0, 0, 0, 64),
+	}
+	for i, s := range steps {
+		r := c.Classify(s, 1.0)
+		if r.PhaseID != first.PhaseID {
+			t.Fatalf("step %d: drift broke match (got phase %d)", i, r.PhaseID)
+		}
+	}
+	if c.PhaseIDs() != 1 {
+		t.Errorf("drift created %d phases", c.PhaseIDs())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := baseCfg()
+	cfg.TableEntries = 2
+	c := New(cfg)
+	a := sig(64, 0, 0, 0)
+	b := sig(0, 64, 0, 0)
+	d := sig(0, 0, 64, 0)
+	c.Classify(a, 1.0)      // phase 1
+	c.Classify(b, 1.0)      // phase 2
+	c.Classify(a, 1.0)      // touch a; b is now LRU
+	r := c.Classify(d, 1.0) // phase 3, evicts b
+	if !r.Evicted || r.PhaseID != 3 {
+		t.Fatalf("expected eviction into phase 3: %+v", r)
+	}
+	// a survived the eviction.
+	ra := c.Classify(a, 1.0)
+	if !ra.Matched || ra.PhaseID != 1 {
+		t.Fatalf("a after eviction: %+v", ra)
+	}
+	// b was evicted: reclassifying it creates a NEW phase ID (4),
+	// evicting the now-LRU d.
+	rb := c.Classify(b, 1.0)
+	if !rb.NewSignature || rb.PhaseID != 4 || !rb.Evicted {
+		t.Errorf("reinserted b: %+v, want new phase 4 with eviction", rb)
+	}
+	// d in turn was evicted and gets a fresh ID too.
+	rd := c.Classify(d, 1.0)
+	if !rd.NewSignature || rd.PhaseID != 5 {
+		t.Errorf("reinserted d: %+v, want new phase 5", rd)
+	}
+}
+
+func TestUnboundedTableNeverEvicts(t *testing.T) {
+	cfg := baseCfg()
+	cfg.TableEntries = 0
+	c := New(cfg)
+	for i := 0; i < 100; i++ {
+		v := make(signature.Vector, 8)
+		v[i%8] = uint16(63)
+		v[(i/8)%8] += 1 // vary second dim to make distinct
+		// Build genuinely distinct signatures.
+		for j := range v {
+			v[j] += uint16((i * (j + 3)) % 17)
+		}
+		c.Classify(v, 1.0)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Errorf("unbounded table evicted %d times", c.Stats().Evictions)
+	}
+}
+
+func TestTransitionPhaseMinCount(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MinCountThreshold = 4
+	c := New(cfg)
+	v := sig(32, 32, 0, 0)
+	// Appearances 1..4 are transition (insert + 3 matches).
+	for i := 0; i < 4; i++ {
+		r := c.Classify(v, 1.0)
+		if r.PhaseID != TransitionPhase {
+			t.Fatalf("appearance %d: phase %d, want transition", i+1, r.PhaseID)
+		}
+		if r.Promoted {
+			t.Fatalf("appearance %d: premature promotion", i+1)
+		}
+	}
+	// Appearance 5 crosses the threshold.
+	r := c.Classify(v, 1.0)
+	if r.PhaseID == TransitionPhase || !r.Promoted {
+		t.Fatalf("appearance 5: %+v, want promotion", r)
+	}
+	promoted := r.PhaseID
+	// Subsequent appearances keep the real ID without re-promotion.
+	r = c.Classify(v, 1.0)
+	if r.PhaseID != promoted || r.Promoted {
+		t.Errorf("appearance 6: %+v", r)
+	}
+}
+
+func TestTransitionPhaseReducesPhaseIDs(t *testing.T) {
+	// A stream with one dominant phase and many one-off signatures:
+	// with a min-count threshold the one-offs never get IDs.
+	stream := func(minCount int) int {
+		cfg := baseCfg()
+		cfg.MinCountThreshold = minCount
+		c := New(cfg)
+		x := rng.NewXoshiro256(42)
+		base := sig(30, 30, 30, 30)
+		for i := 0; i < 300; i++ {
+			if i%10 == 9 {
+				// A unique transition signature.
+				v := make(signature.Vector, 8)
+				for j := range v {
+					v[j] = uint16(x.Intn(64))
+				}
+				c.Classify(v, 3.0)
+			} else {
+				c.Classify(noisy(base, x), 1.0)
+			}
+		}
+		return c.PhaseIDs()
+	}
+	with := stream(8)
+	without := stream(0)
+	if with >= without {
+		t.Errorf("min count did not reduce phase IDs: %d vs %d", with, without)
+	}
+	if with > 3 {
+		t.Errorf("with transition phase: %d phase IDs, want very few", with)
+	}
+}
+
+func TestMinCountZeroNeverTransition(t *testing.T) {
+	c := New(baseCfg())
+	x := rng.NewXoshiro256(1)
+	for i := 0; i < 100; i++ {
+		v := make(signature.Vector, 8)
+		for j := range v {
+			v[j] = uint16(x.Intn(64))
+		}
+		if r := c.Classify(v, 1.0); r.PhaseID == TransitionPhase {
+			t.Fatal("baseline produced a transition classification")
+		}
+	}
+	if c.Stats().TransitionIntervals != 0 {
+		t.Errorf("transition intervals = %d", c.Stats().TransitionIntervals)
+	}
+}
+
+func TestAdaptiveThresholdSplits(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Adaptive = true
+	cfg.DeviationThreshold = 0.25
+	c := New(cfg)
+	v := sig(32, 32, 32, 32)
+	// Establish the phase with CPI 1.0.
+	for i := 0; i < 5; i++ {
+		c.Classify(v, 1.0)
+	}
+	// Same code signature with CPI 2.0: > 25% deviation. One deviating
+	// interval is treated as noise; the second consecutive one splits.
+	r := c.Classify(v, 2.0)
+	if r.Split {
+		t.Fatalf("split on a single deviating interval: %+v", r)
+	}
+	r = c.Classify(v, 2.0)
+	if !r.Split {
+		t.Fatalf("no split on persistent 100%% CPI deviation: %+v", r)
+	}
+	snaps := c.Table()
+	if len(snaps) != 1 {
+		t.Fatalf("table len = %d", len(snaps))
+	}
+	if snaps[0].Threshold != 0.125 {
+		t.Errorf("threshold = %v, want 0.125", snaps[0].Threshold)
+	}
+	if snaps[0].CPICount != 0 {
+		t.Errorf("CPI stats not cleared: %+v", snaps[0])
+	}
+	// A moderately-different signature that matched at 0.25 no longer
+	// matches at 0.125 and becomes a new entry -> the phase "split".
+	probe := sig(32+7, 32-7, 32+7, 32-7) // distance ~0.109... compute: |7|*4 / (128+128) = 28/256 = 0.109 < 0.125 still matches
+	probe = sig(32+9, 32-9, 32+9, 32-9)  // 36/256 = 0.141 > 0.125, < 0.25
+	r = c.Classify(probe, 2.0)
+	if r.Matched {
+		t.Errorf("probe at distance 0.141 still matched after tightening: %+v", r)
+	}
+}
+
+func TestAdaptiveThresholdFloor(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Adaptive = true
+	cfg.DeviationThreshold = 0.1
+	cfg.MinSimilarityThreshold = 0.05
+	c := New(cfg)
+	v := sig(32, 32, 32, 32)
+	cpi := 1.0
+	for i := 0; i < 100; i++ {
+		c.Classify(v, cpi)
+		cpi *= 1.5 // keep deviating
+	}
+	snaps := c.Table()
+	if snaps[0].Threshold < 0.05 {
+		t.Errorf("threshold %v fell below floor", snaps[0].Threshold)
+	}
+}
+
+func TestAdaptiveDisabledNoSplits(t *testing.T) {
+	c := New(baseCfg())
+	v := sig(32, 32, 32, 32)
+	for i := 0; i < 10; i++ {
+		c.Classify(v, float64(1+i))
+	}
+	if c.Stats().Splits != 0 {
+		t.Errorf("static classifier split %d times", c.Stats().Splits)
+	}
+}
+
+func TestClassifyOnlyUsesCodeSignature(t *testing.T) {
+	// Identical signatures with wildly different CPI must land in the
+	// same phase when adaptation is off: CPI is feedback, not a
+	// classification feature.
+	c := New(baseCfg())
+	v := sig(32, 32, 32, 32)
+	r1 := c.Classify(v, 0.5)
+	r2 := c.Classify(v, 5.0)
+	if r1.PhaseID != r2.PhaseID {
+		t.Errorf("CPI affected classification: %d vs %d", r1.PhaseID, r2.PhaseID)
+	}
+}
+
+func TestFlushFeedback(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Adaptive = true
+	cfg.DeviationThreshold = 0.25
+	c := New(cfg)
+	v := sig(32, 32, 32, 32)
+	for i := 0; i < 5; i++ {
+		c.Classify(v, 1.0)
+	}
+	c.FlushFeedback()
+	// Post-flush, a different CPI must NOT split (no baseline mean).
+	r := c.Classify(v, 3.0)
+	if r.Split {
+		t.Errorf("split immediately after flush: %+v", r)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	cfg := baseCfg()
+	cfg.TableEntries = 1
+	c := New(cfg)
+	c.Classify(sig(64, 0, 0, 0), 1) // new
+	c.Classify(sig(64, 0, 0, 0), 1) // match
+	c.Classify(sig(0, 64, 0, 0), 1) // new + evict
+	s := c.Stats()
+	if s.Classifications != 3 || s.NewSignatures != 2 || s.Evictions != 1 || s.MatchedSameThreshold != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// Classification is a pure function of the input stream.
+	f := func(seed uint64) bool {
+		run := func() []int {
+			c := New(DefaultConfig())
+			x := rng.NewXoshiro256(seed)
+			var ids []int
+			base := sig(30, 30, 30, 30)
+			alt := sig(0, 0, 60, 60)
+			for i := 0; i < 200; i++ {
+				var r Result
+				if x.Float64() < 0.3 {
+					r = c.Classify(noisy(alt, x), 2.0)
+				} else {
+					r = c.Classify(noisy(base, x), 1.0)
+				}
+				ids = append(ids, r.PhaseID)
+			}
+			return ids
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseIDsNeverReused(t *testing.T) {
+	// Phase IDs strictly increase; eviction must not recycle them.
+	cfg := baseCfg()
+	cfg.TableEntries = 2
+	c := New(cfg)
+	x := rng.NewXoshiro256(17)
+	seen := map[int]bool{}
+	maxID := 0
+	for i := 0; i < 200; i++ {
+		v := make(signature.Vector, 8)
+		for j := range v {
+			v[j] = uint16(x.Intn(64))
+		}
+		r := c.Classify(v, 1.0)
+		if r.NewSignature {
+			if r.PhaseID <= maxID {
+				t.Fatalf("new phase ID %d not greater than previous max %d", r.PhaseID, maxID)
+			}
+			maxID = r.PhaseID
+		}
+		seen[r.PhaseID] = true
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	c := New(DefaultConfig())
+	x := rng.NewXoshiro256(3)
+	vecs := make([]signature.Vector, 64)
+	for i := range vecs {
+		v := make(signature.Vector, 16)
+		for j := range v {
+			v[j] = uint16(x.Intn(64))
+		}
+		vecs[i] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(vecs[i%len(vecs)], 1.0)
+	}
+}
+
+func TestFIFOReplacementAblation(t *testing.T) {
+	cfg := baseCfg()
+	cfg.TableEntries = 2
+	cfg.ReplacementFIFO = true
+	c := New(cfg)
+	a := sig(64, 0, 0, 0)
+	b := sig(0, 64, 0, 0)
+	d := sig(0, 0, 64, 0)
+	c.Classify(a, 1.0) // inserted first
+	c.Classify(b, 1.0)
+	c.Classify(a, 1.0) // recently used, but still oldest insertion
+	c.Classify(d, 1.0) // FIFO evicts a despite its recent use
+	ra := c.Classify(a, 1.0)
+	if !ra.NewSignature {
+		t.Errorf("FIFO kept the oldest-inserted entry: %+v", ra)
+	}
+	// Reinserting a evicted b (next-oldest insertion); d must survive.
+	rd := c.Classify(d, 1.0)
+	if !rd.Matched {
+		t.Errorf("FIFO evicted the newest entry: %+v", rd)
+	}
+}

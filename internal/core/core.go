@@ -1,0 +1,367 @@
+// Package core assembles the paper's complete run-time phase tracking
+// architecture (Figure 1 plus the §4–6 extensions): branch events feed
+// an accumulator table; at each interval boundary the accumulator is
+// compressed into a signature and classified into a phase; and the
+// phase stream drives next-phase, phase-change, and phase-length
+// prediction.
+//
+// Two entry points share one engine: Tracker consumes a live branch
+// stream (the hardware's view), while Evaluate replays a profiled
+// trace.Run (the harness's fast path for sweeping configurations over
+// one execution).
+package core
+
+import (
+	"fmt"
+
+	"phasekit/internal/classifier"
+	"phasekit/internal/predictor"
+	"phasekit/internal/signature"
+	"phasekit/internal/stats"
+	"phasekit/internal/trace"
+)
+
+// Config selects every architectural parameter of the tracker.
+type Config struct {
+	// IntervalInstrs is the profiling interval length (10M in the
+	// paper).
+	IntervalInstrs uint64
+	// Dims is the number of accumulator counters (16 for all §5–6
+	// results).
+	Dims int
+	// Compress selects signature bit selection.
+	Compress signature.CompressConfig
+	// Classifier configures the signature table.
+	Classifier classifier.Config
+	// Predictor configures next-phase/phase-change prediction.
+	Predictor predictor.NextPhaseConfig
+	// ChangeOutcome configures the dedicated §6.1 predictor of the
+	// next phase change's outcome (queried and trained only at phase
+	// changes, unlike Predictor's per-interval table).
+	ChangeOutcome predictor.ChangeTableConfig
+	// Length configures phase length prediction.
+	Length predictor.LengthConfig
+}
+
+// DefaultConfig returns the paper's §5 configuration: 16 counters with
+// 6 dynamically selected bits each, a 32 entry signature table with a
+// 25% similarity threshold, min count 8 and 25% deviation threshold,
+// an RLE-2 phase change predictor with confidence, and the RLE-2 length
+// predictor with hysteresis.
+func DefaultConfig() Config {
+	change := predictor.DefaultChangeTableConfig(predictor.RLE, 2)
+	// Top-4 Markov-1 with confidence was the paper's strongest phase
+	// change outcome predictor (50% accuracy, 11% mispredictions).
+	outcome := predictor.DefaultChangeTableConfig(predictor.Markov, 1)
+	outcome.Track = predictor.TrackTopN
+	outcome.TopN = 4
+	return Config{
+		IntervalInstrs: 10_000_000,
+		Dims:           16,
+		Compress:       signature.DefaultCompressConfig(),
+		Classifier:     classifier.DefaultConfig(),
+		Predictor: predictor.NextPhaseConfig{
+			LastValue: predictor.DefaultLastValueConfig(),
+			Change:    &change,
+		},
+		ChangeOutcome: outcome,
+		Length:        predictor.DefaultLengthConfig(),
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.IntervalInstrs == 0 {
+		return fmt.Errorf("core: IntervalInstrs must be positive")
+	}
+	if c.Dims <= 0 || c.Dims&(c.Dims-1) != 0 {
+		return fmt.Errorf("core: Dims must be a positive power of two, got %d", c.Dims)
+	}
+	if err := c.Compress.Validate(); err != nil {
+		return err
+	}
+	if err := c.Classifier.Validate(); err != nil {
+		return err
+	}
+	if err := c.Predictor.Validate(); err != nil {
+		return err
+	}
+	if err := c.ChangeOutcome.Validate(); err != nil {
+		return err
+	}
+	if err := c.Length.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// IntervalResult reports everything the architecture decided at one
+// interval boundary.
+type IntervalResult struct {
+	// Index is the interval number, starting at 0.
+	Index int
+	// PhaseID is the classification of the completed interval.
+	PhaseID int
+	// CPI is the completed interval's measured cycles per instruction
+	// (0 when the caller supplies no cycle counts).
+	CPI float64
+	// Classification carries the signature-table outcome.
+	Classification classifier.Result
+	// NextPhase is the prediction for the following interval.
+	NextPhase predictor.Prediction
+	// NextChange is the dedicated §6.1 prediction of the next phase
+	// change's outcome, whenever that change may occur.
+	NextChange predictor.ChangeLookup
+	// NextLengthClass is the predicted run-length class that would
+	// apply if a phase change happened next (§6.2).
+	NextLengthClass int
+	// RunLengthClass is the class predicted for the run this interval
+	// belongs to, issued when the run began (§6.2: "when we are about
+	// to leave a phase, we predict the length of the next phase").
+	RunLengthClass int
+}
+
+// engine is the shared per-interval pipeline.
+type engine struct {
+	cfg    Config
+	cls    *classifier.Classifier
+	np     *predictor.NextPhasePredictor
+	chg    *predictor.ChangePredictor
+	length *predictor.LengthPredictor
+	index  int
+
+	collect Report
+	samples map[int][]float64
+	ids     []int
+}
+
+func newEngine(cfg Config) *engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &engine{
+		cfg:     cfg,
+		cls:     classifier.New(cfg.Classifier),
+		np:      predictor.NewNextPhase(cfg.Predictor),
+		chg:     predictor.NewChangePredictor(cfg.ChangeOutcome),
+		length:  predictor.NewLengthPredictor(cfg.Length),
+		samples: make(map[int][]float64),
+	}
+}
+
+// step processes one completed interval's signature and CPI.
+func (e *engine) step(sig signature.Vector, cpi float64) IntervalResult {
+	res := e.cls.Classify(sig, cpi)
+	if res.NewSignature {
+		// §5.1: a new signature-table entry resets the associated
+		// last-value confidence counter.
+		e.np.NotifyNewSignature(res.PhaseID)
+	}
+	e.np.Observe(res.PhaseID)
+	e.chg.Observe(res.PhaseID)
+	e.length.Observe(res.PhaseID)
+
+	out := IntervalResult{
+		Index:           e.index,
+		PhaseID:         res.PhaseID,
+		CPI:             cpi,
+		Classification:  res,
+		NextPhase:       e.np.Predict(),
+		NextChange:      e.chg.PredictNextChange(),
+		NextLengthClass: e.length.PredictNext(),
+	}
+	out.RunLengthClass, _ = e.length.PendingPrediction()
+	e.index++
+
+	e.samples[res.PhaseID] = append(e.samples[res.PhaseID], cpi)
+	e.ids = append(e.ids, res.PhaseID)
+	if res.PhaseID == classifier.TransitionPhase {
+		e.collect.TransitionIntervals++
+	}
+	e.collect.Intervals++
+	return out
+}
+
+// Report aggregates a full run's phase tracking behaviour: the §3.1
+// quality metric, phase counts, run-length statistics, and every
+// predictor's accounting.
+type Report struct {
+	Name                string
+	Intervals           int
+	TransitionIntervals int
+	PhaseIDs            int
+	// PhaseCoV is the execution-weighted per-phase CoV of CPI with the
+	// transition phase excluded (§3.1, §4.4).
+	PhaseCoV float64
+	// WholeCoV is the CoV of CPI over all intervals (the "Whole
+	// Program" bars of Fig 3).
+	WholeCoV float64
+	// StableRuns and TransitionRuns summarise run lengths (Fig 5).
+	StableRuns     stats.Running
+	TransitionRuns stats.Running
+	// NextPhase, Change, ChangeOutcome and Length carry predictor
+	// accounting (Figs 7-9). Change is measured at change points by
+	// the per-interval next-phase machinery; ChangeOutcome by the
+	// dedicated §6.1 predictor.
+	NextPhase     predictor.NextPhaseStats
+	Change        predictor.ChangeStats
+	ChangeOutcome predictor.ChangeStats
+	Length        predictor.LengthStats
+	// Classifier carries signature-table statistics.
+	Classifier classifier.Stats
+}
+
+// TransitionFraction returns the fraction of intervals classified into
+// the transition phase.
+func (r Report) TransitionFraction() float64 {
+	if r.Intervals == 0 {
+		return 0
+	}
+	return float64(r.TransitionIntervals) / float64(r.Intervals)
+}
+
+// LastValueMissRate returns the fraction of interval boundaries where
+// the phase ID changed — exactly the misprediction rate of a plain
+// last-value predictor (Fig 4's bottom-right graph).
+func (r Report) LastValueMissRate() float64 {
+	if r.Intervals <= 1 {
+		return 0
+	}
+	return float64(r.Change.Changes) / float64(r.Intervals-1)
+}
+
+// report finalizes aggregate statistics.
+func (e *engine) report(name string) Report {
+	r := e.collect
+	r.Name = name
+	r.PhaseIDs = e.cls.PhaseIDs()
+	r.PhaseCoV = stats.PhaseCoV(e.samples, classifier.TransitionPhase)
+	var whole stats.Running
+	for _, xs := range e.samples {
+		for _, x := range xs {
+			whole.Add(x)
+		}
+	}
+	r.WholeCoV = whole.CoV()
+	runs := stats.RunLengths(e.ids)
+	r.StableRuns = stats.LengthStats(runs, func(v int) bool { return v != classifier.TransitionPhase })
+	r.TransitionRuns = stats.LengthStats(runs, func(v int) bool { return v == classifier.TransitionPhase })
+	r.NextPhase = e.np.NextStats()
+	r.Change = e.np.ChangeStats()
+	r.ChangeOutcome = e.chg.ChangeStats()
+	r.Length = e.length.Stats()
+	r.Classifier = e.cls.Stats()
+	return r
+}
+
+// Tracker is the online architecture: it consumes committed-branch
+// events (and optionally cycle counts) and emits an IntervalResult at
+// every interval boundary.
+type Tracker struct {
+	eng    *engine
+	acc    *signature.Accumulator
+	instrs uint64
+	cycles uint64
+	name   string
+}
+
+// NewTracker returns a tracker for cfg. It panics on invalid
+// configurations.
+func NewTracker(name string, cfg Config) *Tracker {
+	return &Tracker{
+		eng:  newEngine(cfg),
+		acc:  signature.NewAccumulator(cfg.Dims),
+		name: name,
+	}
+}
+
+// Cycles charges cycles to the current interval; the resulting CPI
+// feeds the adaptive classifier (§4.6). Calling it is optional: without
+// cycle counts CPI is reported as 0 and adaptive thresholds should be
+// disabled.
+func (t *Tracker) Cycles(c uint64) { t.cycles += c }
+
+// Branch records one committed branch (Figure 1 step 1-2). When the
+// branch completes an interval, the interval is classified and the
+// result returned with ok=true.
+func (t *Tracker) Branch(pc uint64, instrs uint32) (res IntervalResult, ok bool) {
+	t.acc.Add(pc, instrs)
+	t.instrs += uint64(instrs)
+	if t.instrs < t.eng.cfg.IntervalInstrs {
+		return IntervalResult{}, false
+	}
+	return t.endInterval(), true
+}
+
+// endInterval closes the current interval.
+func (t *Tracker) endInterval() IntervalResult {
+	sig := t.eng.cfg.Compress.Compress(t.acc)
+	cpi := 0.0
+	if t.instrs > 0 {
+		cpi = float64(t.cycles) / float64(t.instrs)
+	}
+	t.acc.Reset()
+	t.instrs = 0
+	t.cycles = 0
+	return t.eng.step(sig, cpi)
+}
+
+// Flush force-closes a trailing partial interval (end of program). It
+// returns ok=false if the interval was empty.
+func (t *Tracker) Flush() (IntervalResult, bool) {
+	if t.instrs == 0 {
+		return IntervalResult{}, false
+	}
+	return t.endInterval(), true
+}
+
+// Report returns aggregate statistics for everything tracked so far.
+func (t *Tracker) Report() Report { return t.eng.report(t.name) }
+
+// PredictNext returns the current prediction for the next interval.
+func (t *Tracker) PredictNext() predictor.Prediction { return t.eng.np.Predict() }
+
+// PredictNextChange returns the dedicated §6.1 prediction of the next
+// phase change's outcome.
+func (t *Tracker) PredictNextChange() predictor.ChangeLookup {
+	return t.eng.chg.PredictNextChange()
+}
+
+// PredictNextLengthClass returns the predicted run-length class of the
+// next phase should a change occur now.
+func (t *Tracker) PredictNextLengthClass() int { return t.eng.length.PredictNext() }
+
+// Evaluate replays a profiled run through the architecture and returns
+// the aggregate report. Each IntervalProfile's code profile rebuilds
+// the accumulator at cfg.Dims, so one generated run can be evaluated
+// under any configuration.
+func Evaluate(run *trace.Run, cfg Config) Report {
+	eng := newEngine(cfg)
+	for i := range run.Intervals {
+		iv := &run.Intervals[i]
+		sig := cfg.Compress.CompressWeights(cfg.Dims, func(yield func(pc, w uint64)) {
+			for _, pw := range iv.Weights {
+				yield(pw.PC, pw.Weight)
+			}
+		})
+		eng.step(sig, iv.CPI())
+	}
+	return eng.report(run.Name)
+}
+
+// EvaluateDetailed is Evaluate plus the per-interval results, for
+// callers that need the classification stream (diagnostics, examples).
+func EvaluateDetailed(run *trace.Run, cfg Config) (Report, []IntervalResult) {
+	eng := newEngine(cfg)
+	results := make([]IntervalResult, 0, len(run.Intervals))
+	for i := range run.Intervals {
+		iv := &run.Intervals[i]
+		sig := cfg.Compress.CompressWeights(cfg.Dims, func(yield func(pc, w uint64)) {
+			for _, pw := range iv.Weights {
+				yield(pw.PC, pw.Weight)
+			}
+		})
+		results = append(results, eng.step(sig, iv.CPI()))
+	}
+	return eng.report(run.Name), results
+}

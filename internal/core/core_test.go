@@ -1,0 +1,318 @@
+package core
+
+import (
+	"testing"
+
+	"phasekit/internal/classifier"
+	"phasekit/internal/predictor"
+	"phasekit/internal/rng"
+	"phasekit/internal/trace"
+	"phasekit/internal/workload"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.IntervalInstrs = 100_000 // small intervals for fast tests
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"interval": func(c *Config) { c.IntervalInstrs = 0 },
+		"dims":     func(c *Config) { c.Dims = 12 },
+		"compress": func(c *Config) { c.Compress.Bits = 0 },
+		"classif":  func(c *Config) { c.Classifier.SimilarityThreshold = 0 },
+		"length":   func(c *Config) { c.Length.Bounds = nil },
+	}
+	for name, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+// phaseStream drives a tracker with synthetic branch activity: phase k
+// executes branches around a distinct PC base.
+func phaseStream(t *Tracker, phase int, intervals int, x *rng.Xoshiro256) []IntervalResult {
+	var out []IntervalResult
+	base := uint64(0x100000 * (phase + 1))
+	for len(out) < intervals {
+		pc := base + uint64(x.Intn(30))*64
+		t.Cycles(uint64(100 + x.Intn(20)))
+		if res, ok := t.Branch(pc, 100); ok {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+func TestTrackerIntervalBoundaries(t *testing.T) {
+	tr := NewTracker("t", testConfig())
+	x := rng.NewXoshiro256(1)
+	results := phaseStream(tr, 0, 5, x)
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		if r.CPI <= 0 {
+			t.Errorf("result %d CPI = %v", i, r.CPI)
+		}
+	}
+}
+
+func TestTrackerStablePhaseClassification(t *testing.T) {
+	cfg := testConfig()
+	cfg.Classifier.MinCountThreshold = 4
+	tr := NewTracker("t", cfg)
+	x := rng.NewXoshiro256(2)
+	results := phaseStream(tr, 0, 30, x)
+	// After promotion, a single stable phase dominates.
+	last := results[len(results)-1]
+	if last.PhaseID == classifier.TransitionPhase {
+		t.Error("stable stream still in transition phase after 30 intervals")
+	}
+	stable := 0
+	for _, r := range results {
+		if r.PhaseID == last.PhaseID {
+			stable++
+		}
+	}
+	if stable < 20 {
+		t.Errorf("only %d/30 intervals in the dominant phase", stable)
+	}
+}
+
+func TestTrackerDistinguishesPhases(t *testing.T) {
+	cfg := testConfig()
+	cfg.Classifier.MinCountThreshold = 0
+	tr := NewTracker("t", cfg)
+	x := rng.NewXoshiro256(3)
+	a := phaseStream(tr, 0, 10, x)
+	b := phaseStream(tr, 7, 10, x)
+	if a[9].PhaseID == b[9].PhaseID {
+		t.Error("different code classified into one phase")
+	}
+	// Returning to the first phase reuses its ID.
+	c := phaseStream(tr, 0, 10, x)
+	if c[9].PhaseID != a[9].PhaseID {
+		t.Errorf("phase not recognized on return: %d vs %d", c[9].PhaseID, a[9].PhaseID)
+	}
+}
+
+func TestTrackerFlush(t *testing.T) {
+	tr := NewTracker("t", testConfig())
+	if _, ok := tr.Flush(); ok {
+		t.Error("flush of empty tracker produced an interval")
+	}
+	tr.Branch(0x400000, 10)
+	res, ok := tr.Flush()
+	if !ok {
+		t.Fatal("flush dropped a partial interval")
+	}
+	if res.Index != 0 {
+		t.Errorf("index = %d", res.Index)
+	}
+	if _, ok := tr.Flush(); ok {
+		t.Error("second flush produced an interval")
+	}
+}
+
+func TestTrackerPredictionsAvailable(t *testing.T) {
+	tr := NewTracker("t", testConfig())
+	x := rng.NewXoshiro256(5)
+	phaseStream(tr, 0, 20, x)
+	pred := tr.PredictNext()
+	if len(pred.Outcomes) == 0 {
+		t.Error("no prediction after 20 intervals")
+	}
+	if cls := tr.PredictNextLengthClass(); cls < 0 || cls >= 4 {
+		t.Errorf("length class = %d", cls)
+	}
+}
+
+func TestTrackerReportConsistency(t *testing.T) {
+	tr := NewTracker("name", testConfig())
+	x := rng.NewXoshiro256(6)
+	for p := 0; p < 4; p++ {
+		phaseStream(tr, p%2, 8, x)
+	}
+	r := tr.Report()
+	if r.Name != "name" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Intervals != 32 {
+		t.Errorf("intervals = %d", r.Intervals)
+	}
+	if r.TransitionIntervals > r.Intervals {
+		t.Error("transition intervals exceed total")
+	}
+	if r.StableRuns.N()+r.TransitionRuns.N() == 0 {
+		t.Error("no runs recorded")
+	}
+	if r.NextPhase.Intervals != r.Intervals-1 {
+		t.Errorf("next-phase accounting %d, want intervals-1 = %d", r.NextPhase.Intervals, r.Intervals-1)
+	}
+	if got := r.LastValueMissRate(); got < 0 || got > 1 {
+		t.Errorf("last-value miss rate = %v", got)
+	}
+}
+
+func TestEvaluateMatchesTracker(t *testing.T) {
+	// Evaluate over profiles must agree with a Tracker fed the same
+	// branch stream (identical signatures, hence identical phases).
+	spec, err := workload.Get("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := workload.Options{Scale: 0.05, IntervalInstrs: 2_000_000, MaxIntervals: 40}
+	run, err := workload.Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.IntervalInstrs = opts.IntervalInstrs
+	// Disable CPI-dependent adaptation: the tracker path below replays
+	// branch events without cycles, so only code-driven state must
+	// matter for the comparison.
+	cfg.Classifier.Adaptive = false
+
+	evalReport, evalResults := EvaluateDetailed(run, cfg)
+
+	tr := NewTracker(run.Name, cfg)
+	var trackerIDs []int
+	for i := range run.Intervals {
+		iv := &run.Intervals[i]
+		for _, pw := range iv.Weights {
+			rem := pw.Weight
+			for rem > 0 {
+				chunk := rem
+				if chunk > 1<<31 {
+					chunk = 1 << 31
+				}
+				// Stay below the boundary so the final Flush closes
+				// the interval exactly at the profile edge.
+				tr.acc.Add(pw.PC, uint32(chunk))
+				tr.instrs += chunk
+				rem -= chunk
+			}
+		}
+		res := tr.endInterval()
+		if res.PhaseID != evalResults[i].PhaseID {
+			t.Fatalf("interval %d: tracker phase %d, evaluate phase %d", i, res.PhaseID, evalResults[i].PhaseID)
+		}
+	}
+	trReport := tr.Report()
+	_ = trackerIDs
+	if trReport.PhaseIDs != evalReport.PhaseIDs {
+		t.Errorf("phase counts differ: %d vs %d", trReport.PhaseIDs, evalReport.PhaseIDs)
+	}
+	if trReport.Change.Changes != evalReport.Change.Changes {
+		t.Errorf("change counts differ: %d vs %d", trReport.Change.Changes, evalReport.Change.Changes)
+	}
+}
+
+func TestEvaluateWorkloadEndToEnd(t *testing.T) {
+	spec, err := workload.Get("gzip/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := workload.Generate(spec, workload.Options{Scale: 0.05, IntervalInstrs: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.IntervalInstrs = 2_000_000
+	r := Evaluate(run, cfg)
+
+	if r.Intervals != len(run.Intervals) {
+		t.Fatalf("intervals = %d, want %d", r.Intervals, len(run.Intervals))
+	}
+	if r.PhaseIDs == 0 {
+		t.Error("no phases detected")
+	}
+	if r.PhaseCoV >= r.WholeCoV {
+		t.Errorf("classification did not reduce CoV: per-phase %v vs whole %v", r.PhaseCoV, r.WholeCoV)
+	}
+	if r.NextPhase.Accuracy() < 0.5 {
+		t.Errorf("next-phase accuracy = %v, implausibly low", r.NextPhase.Accuracy())
+	}
+	sum := r.Change.ConfCorrect + r.Change.UnconfCorrect + r.Change.TagMiss +
+		r.Change.UnconfIncorrect + r.Change.ConfIncorrect
+	if sum != r.Change.Changes {
+		t.Errorf("change buckets sum %d != %d", sum, r.Change.Changes)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	spec, _ := workload.Get("mcf")
+	run, err := workload.Generate(spec, workload.Options{Scale: 0.04, IntervalInstrs: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Evaluate(run, DefaultConfig())
+	b := Evaluate(run, DefaultConfig())
+	if a.PhaseIDs != b.PhaseIDs || a.PhaseCoV != b.PhaseCoV || a.Change != b.Change {
+		t.Error("Evaluate not deterministic")
+	}
+}
+
+func TestEvaluatePureLastValuePredictor(t *testing.T) {
+	run := syntheticRun(200)
+	cfg := DefaultConfig()
+	cfg.IntervalInstrs = 1000
+	cfg.Predictor = predictor.NextPhaseConfig{LastValue: predictor.DefaultLastValueConfig()}
+	r := Evaluate(run, cfg)
+	if r.NextPhase.TableCorrect+r.NextPhase.TableIncorrect != 0 {
+		t.Error("pure last-value config used a table")
+	}
+}
+
+// syntheticRun builds a profile run with two alternating code mixes.
+func syntheticRun(n int) *trace.Run {
+	run := &trace.Run{Name: "synthetic", IntervalSize: 1000}
+	for i := 0; i < n; i++ {
+		phase := (i / 20) % 2
+		var ws []trace.PCWeight
+		for b := 0; b < 10; b++ {
+			ws = append(ws, trace.PCWeight{
+				PC:     uint64(0x1000*(phase+1)) + uint64(b)*64,
+				Weight: 100,
+			})
+		}
+		run.Intervals = append(run.Intervals, trace.IntervalProfile{
+			Index:        i,
+			Weights:      ws,
+			Instructions: 1000,
+			Cycles:       uint64(1000 * (1 + phase)),
+			Segment:      phase,
+		})
+	}
+	return run
+}
+
+func TestEvaluateSyntheticPerfectClassification(t *testing.T) {
+	run := syntheticRun(200)
+	cfg := DefaultConfig()
+	cfg.IntervalInstrs = 1000
+	cfg.Classifier.MinCountThreshold = 0
+	cfg.Classifier.Adaptive = false
+	r := Evaluate(run, cfg)
+	if r.PhaseIDs != 2 {
+		t.Errorf("phases = %d, want 2", r.PhaseIDs)
+	}
+	if r.PhaseCoV > 1e-9 {
+		t.Errorf("per-phase CoV = %v, want 0 (constant CPI per phase)", r.PhaseCoV)
+	}
+	if r.WholeCoV < 0.2 {
+		t.Errorf("whole CoV = %v, want large", r.WholeCoV)
+	}
+}

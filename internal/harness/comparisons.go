@@ -1,0 +1,349 @@
+package harness
+
+import (
+	"fmt"
+
+	"phasekit/internal/core"
+	"phasekit/internal/metricpred"
+	"phasekit/internal/predictor"
+	"phasekit/internal/simpoint"
+	"phasekit/internal/stats"
+	"phasekit/internal/workload"
+	"phasekit/internal/wset"
+)
+
+// SimPoint compares the on-line classifier against the offline
+// SimPoint-style k-means clustering, reproducing the paper's §4.4
+// claim that the on-line CPI CoV and phase counts are "comparable to
+// the results of the offline phase classification algorithm used in
+// SimPoint".
+func (r *Runner) SimPoint() ([]*Table, error) {
+	online, err := r.evaluateAll(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "simpoint",
+		Title: "On-line classifier vs offline SimPoint clustering",
+		Columns: []string{"benchmark", "CoV online (%)", "CoV offline (%)",
+			"phases online", "clusters offline"},
+		Notes: []string{
+			"online: §5 configuration (25% similarity, min count 8, adaptive); transition phase excluded from CoV",
+			"offline: 15-dim random projection, k-means with BIC model selection (max k 10)",
+		},
+	}
+	var co, cf float64
+	names := workload.Names()
+	for _, name := range names {
+		run, err := r.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simpoint.Classify(run, simpoint.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("simpoint %s: %w", name, err)
+		}
+		samples := map[int][]float64{}
+		for i := range run.Intervals {
+			samples[res.Assignments[i]] = append(samples[res.Assignments[i]], run.Intervals[i].CPI())
+		}
+		offCoV := stats.PhaseCoV(samples)
+		t.AddRow(name, pct(online[name].PhaseCoV), pct(offCoV),
+			num(online[name].PhaseIDs), num(res.K))
+		co += online[name].PhaseCoV
+		cf += offCoV
+	}
+	n := float64(len(names))
+	t.AddRow("avg", pct(co/n), pct(cf/n), "", "")
+	return []*Table{t}, nil
+}
+
+// BaselineWset compares the paper's weighted code signatures against a
+// Dhodapkar-Smith-style working set (bit vector) detector at the same
+// table capacity. Working set signatures discard execution weight, so
+// phases that touch the same code with different hot spots (mcf's
+// simplex behaviours, perl/s's regex working sets) collapse into one
+// heterogeneous phase.
+func (r *Runner) BaselineWset() ([]*Table, error) {
+	weighted, err := r.evaluateAll(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := wset.DefaultConfig()
+	t := &Table{
+		ID:    "baseline-wset",
+		Title: "Weighted code signatures (paper) vs working set bit vectors (baseline)",
+		Columns: []string{"benchmark", "CoV weighted (%)", "CoV wset (%)",
+			"phases weighted", "phases wset"},
+		Notes: []string{
+			fmt.Sprintf("wset baseline: %d-bit signatures, %.0f%% relative working set distance, %d entries",
+				cfg.Bits, 100*cfg.Threshold, cfg.TableEntries),
+			"weighted: §5 configuration; transition phase excluded from its CoV",
+		},
+	}
+	var cw, cb float64
+	names := workload.Names()
+	for _, name := range names {
+		run, err := r.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		ids := wset.ClassifyRun(run, cfg)
+		samples := map[int][]float64{}
+		maxID := 0
+		for i, id := range ids {
+			samples[id] = append(samples[id], run.Intervals[i].CPI())
+			if id > maxID {
+				maxID = id
+			}
+		}
+		wCoV := stats.PhaseCoV(samples)
+		t.AddRow(name, pct(weighted[name].PhaseCoV), pct(wCoV),
+			num(weighted[name].PhaseIDs), num(maxID))
+		cw += weighted[name].PhaseCoV
+		cb += wCoV
+	}
+	n := float64(len(names))
+	t.AddRow("avg", pct(cw/n), pct(cb/n), "", "")
+	return []*Table{t}, nil
+}
+
+// AblationConfidence sweeps last-value confidence configurations
+// (counter width x threshold), mapping the accuracy/coverage frontier
+// the paper's §5.1 describes ("we experimented with a variety of
+// confidence counter configurations").
+func (r *Runner) AblationConfidence() ([]*Table, error) {
+	names := workload.Names()
+	if err := r.Prefetch(names); err != nil {
+		return nil, err
+	}
+	type variant struct {
+		label     string
+		bits      int
+		threshold int
+		use       bool
+	}
+	variants := []variant{
+		{"no confidence", 0, 0, false},
+		{"1 bit, thr 1", 1, 1, true},
+		{"2 bit, thr 2", 2, 2, true},
+		{"2 bit, thr 3", 2, 3, true},
+		{"3 bit, thr 4", 3, 4, true},
+		{"3 bit, thr 6 (paper)", 3, 6, true},
+		{"3 bit, thr 7", 3, 7, true},
+		{"4 bit, thr 14", 4, 14, true},
+	}
+	t := &Table{
+		ID:      "ablation-conf",
+		Title:   "Last-value confidence sweep (avg over benchmarks)",
+		Columns: []string{"configuration", "accuracy (%)", "coverage (%)", "miss rate (%)"},
+		Notes: []string{
+			"accuracy over all intervals; coverage = fraction of intervals with a confident prediction",
+			"miss rate = confident-but-wrong over all intervals (the cost §5.1 minimizes)",
+		},
+	}
+	for _, v := range variants {
+		cfg := predictor.NextPhaseConfig{
+			LastValue: predictor.LastValueConfig{UseConfidence: v.use, Bits: v.bits, Threshold: v.threshold},
+		}
+		var acc, cov, miss float64
+		for _, name := range names {
+			ids, newSig, err := r.PhaseStream(name)
+			if err != nil {
+				return nil, err
+			}
+			ns, _ := runNextPhase(cfg, ids, newSig)
+			acc += ns.Accuracy()
+			cov += ns.Coverage()
+			miss += ns.MissRate()
+		}
+		n := float64(len(names))
+		t.AddRow(v.label, pct(acc/n), pct(cov/n), pct(miss/n))
+	}
+	return []*Table{t}, nil
+}
+
+// AblationDepth sweeps Markov and RLE history depth for the dedicated
+// phase change predictor (§6.1 uses depths 1 and 2; this shows where
+// deeper context stops paying).
+func (r *Runner) AblationDepth() ([]*Table, error) {
+	names := workload.Names()
+	if err := r.Prefetch(names); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-depth",
+		Title:   "Phase change predictor history depth (avg over benchmarks)",
+		Columns: []string{"predictor", "correct (%)", "tag miss (%)"},
+		Notes:   []string{"change-only usage (§6.1); 32 entry 4-way tables, Top-4 tracking"},
+	}
+	for _, kind := range []predictor.HistoryKind{predictor.Markov, predictor.RLE} {
+		for depth := 1; depth <= 4; depth++ {
+			cfg := predictor.DefaultChangeTableConfig(kind, depth)
+			cfg.Track = predictor.TrackTopN
+			cfg.TopN = 4
+			var correct, miss float64
+			for _, name := range names {
+				ids, _, err := r.PhaseStream(name)
+				if err != nil {
+					return nil, err
+				}
+				p := predictor.NewChangePredictor(cfg)
+				for _, id := range ids {
+					p.Observe(id)
+				}
+				cs := p.ChangeStats()
+				if cs.Changes > 0 {
+					correct += cs.CorrectRate()
+					miss += float64(cs.TagMiss) / float64(cs.Changes)
+				}
+			}
+			n := float64(len(names))
+			t.AddRow(fmt.Sprintf("Top 4 %s-%d", kind, depth), pct(correct/n), pct(miss/n))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// MetricPrediction compares direct CPI-value predictors (Duesterwald et
+// al., the related-work alternative) against forwarding the predicted
+// phase's running-mean CPI — the "phase IDs predict several metrics at
+// once" argument of the paper's related-work discussion.
+func (r *Runner) MetricPrediction() ([]*Table, error) {
+	names := workload.Names()
+	if err := r.Prefetch(names); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "metricpred",
+		Title:   "Next-interval CPI prediction (avg over benchmarks)",
+		Columns: []string{"predictor", "MAPE (%)", "within 10% (%)", "within 25% (%)"},
+		Notes: []string{
+			"phase-ID mean forwards the running-average CPI of the phase the §5 tracker predicts next",
+			"value predictors (Duesterwald-style) see only the CPI series",
+		},
+	}
+	type scored struct {
+		name    string
+		all     []metricpred.Accuracy
+		changes []metricpred.Accuracy
+	}
+	variants := []string{"last value", "EWMA(0.25)", "EWMA(0.50)", "phase-ID mean"}
+	results := make([]scored, len(variants))
+	for i, v := range variants {
+		results[i] = scored{
+			name:    v,
+			all:     make([]metricpred.Accuracy, len(names)),
+			changes: make([]metricpred.Accuracy, len(names)),
+		}
+	}
+	for ni, name := range names {
+		run, err := r.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		_, ivs := core.EvaluateDetailed(run, paperConfig())
+		lv := metricpred.NewLastValue()
+		e25 := metricpred.NewEWMA(0.25)
+		e50 := metricpred.NewEWMA(0.50)
+		pm := metricpred.NewPhaseMean()
+		for i := 0; i+1 < len(ivs); i++ {
+			cur, next := ivs[i], ivs[i+1]
+			lv.Observe(cur.CPI)
+			e25.Observe(cur.CPI)
+			e50.Observe(cur.CPI)
+			pm.ObservePhased(cur.CPI, cur.PhaseID)
+			pm.SetNextPhase(cur.NextPhase.Phase)
+			preds := []float64{lv.Predict(), e25.Predict(), e50.Predict(), pm.Predict()}
+			for v, pred := range preds {
+				results[v].all[ni].Record(pred, next.CPI)
+				if next.PhaseID != cur.PhaseID {
+					results[v].changes[ni].Record(pred, next.CPI)
+				}
+			}
+		}
+	}
+	addRows := func(accsOf func(scored) []metricpred.Accuracy, suffix string) {
+		for _, res := range results {
+			var mape, w10, w25 float64
+			accs := accsOf(res)
+			for i := range accs {
+				mape += accs[i].MAPE()
+				w10 += accs[i].Within(0.10)
+				w25 += accs[i].Within(0.25)
+			}
+			n := float64(len(names))
+			t.AddRow(res.name+suffix, pct(mape/n), pct(w10/n), pct(w25/n))
+		}
+	}
+	addRows(func(s scored) []metricpred.Accuracy { return s.all }, "")
+	addRows(func(s scored) []metricpred.Accuracy { return s.changes }, " (at changes)")
+	return []*Table{t}, nil
+}
+
+// Granularity re-slices every workload's execution at 1M, 10M, and
+// 100M-instruction intervals, holding total work constant, and
+// evaluates the §5 classifier at each — the paper's §3 note that
+// "similar code-based phase classification techniques work very well
+// at 1M and 100M interval sizes".
+func (r *Runner) Granularity() ([]*Table, error) {
+	base := r.opts.IntervalInstrs
+	if base == 0 {
+		base = 10_000_000
+	}
+	label := func(instrs uint64) string {
+		if instrs >= 1_000_000 {
+			return fmt.Sprintf("%dM", instrs/1_000_000)
+		}
+		return fmt.Sprintf("%dK", instrs/1_000)
+	}
+	type point struct {
+		label    string
+		interval uint64
+		scaleMul float64
+	}
+	// One decade finer and one decade coarser than the configured
+	// granularity (1M / 10M / 100M at paper settings).
+	points := []point{
+		{label(base / 10), base / 10, 10},
+		{label(base), base, 1},
+		{label(base * 10), base * 10, 0.1},
+	}
+	t := &Table{
+		ID:      "granularity",
+		Title:   "Classification quality vs interval granularity (avg over benchmarks)",
+		Columns: []string{"interval", "CPI CoV (%)", "phases", "transition (%)", "lv miss (%)"},
+		Notes: []string{
+			"total simulated work held constant: segment interval counts scale inversely with interval size",
+			"classifier: §5 configuration at every granularity",
+		},
+	}
+	baseScale := r.opts.Scale
+	if baseScale == 0 {
+		baseScale = 1
+	}
+	for _, p := range points {
+		sub := NewRunner(workload.Options{
+			Scale:          baseScale * p.scaleMul,
+			IntervalInstrs: p.interval,
+		})
+		cfg := paperConfig()
+		cfg.IntervalInstrs = p.interval
+		reports, err := sub.evaluateAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var cov, phases, trans, lvmiss float64
+		names := workload.Names()
+		for _, name := range names {
+			rp := reports[name]
+			cov += rp.PhaseCoV
+			phases += float64(rp.PhaseIDs)
+			trans += rp.TransitionFraction()
+			lvmiss += rp.LastValueMissRate()
+		}
+		n := float64(len(names))
+		t.AddRow(p.label, pct(cov/n), f1(phases/n), pct(trans/n), pct(lvmiss/n))
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,739 @@
+package harness
+
+import (
+	"fmt"
+
+	"phasekit/internal/classifier"
+	"phasekit/internal/core"
+	"phasekit/internal/predictor"
+	"phasekit/internal/uarch"
+	"phasekit/internal/workload"
+)
+
+// paperConfig is the §5 configuration used for all prediction results:
+// 16 counters, 6 bits each, 32 signature table entries, 25% similarity
+// threshold, min count 8, 25% performance deviation threshold.
+func paperConfig() core.Config { return core.DefaultConfig() }
+
+// staticConfig builds a non-adaptive classifier configuration.
+func staticConfig(entries int, sim float64, minCount, dims int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Dims = dims
+	cfg.Classifier = classifier.Config{
+		TableEntries:        entries,
+		SimilarityThreshold: sim,
+		MinCountThreshold:   minCount,
+		BestMatch:           true,
+	}
+	return cfg
+}
+
+// Table1 prints the baseline simulation model (Table 1).
+func (r *Runner) Table1() ([]*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Baseline Simulation Model",
+		Columns: []string{"Unit", "Configuration"},
+	}
+	for _, row := range uarch.DefaultConfig().Describe() {
+		t.AddRow(row[0], row[1])
+	}
+	return []*Table{t}, nil
+}
+
+// Fig2 sweeps signature-table capacity (16/32/64/unbounded entries) at
+// a 12.5% similarity threshold with 32 counters: per-phase CPI CoV and
+// the number of phases detected.
+func (r *Runner) Fig2() ([]*Table, error) {
+	entries := []int{16, 32, 64, 0}
+	labels := []string{"16 entry", "32 entry", "64 entry", "inf entry"}
+	reports := make([]map[string]core.Report, len(entries))
+	for i, e := range entries {
+		rep, err := r.evaluateAll(staticConfig(e, 0.125, 0, 32))
+		if err != nil {
+			return nil, err
+		}
+		reports[i] = rep
+	}
+
+	cov := &Table{ID: "fig2-cov", Title: "CPI CoV (%) vs signature table entries",
+		Columns: append([]string{"benchmark"}, labels...)}
+	phases := &Table{ID: "fig2-phases", Title: "Number of phases detected vs signature table entries",
+		Columns: append([]string{"benchmark"}, labels...)}
+	fill2(cov, phases, reports)
+	for _, t := range []*Table{cov, phases} {
+		t.Notes = append(t.Notes, "config: 32 counters, 12.5% similarity threshold, no transition phase (Fig 2)")
+	}
+	return []*Table{cov, phases}, nil
+}
+
+// fill2 populates one CoV table and one phase-count table from a
+// config sweep, adding an average row.
+func fill2(cov, phases *Table, reports []map[string]core.Report) {
+	names := workload.Names()
+	covAvg := make([]float64, len(reports))
+	phAvg := make([]float64, len(reports))
+	for _, name := range names {
+		covRow := []string{name}
+		phRow := []string{name}
+		for i, rep := range reports {
+			rp := rep[name]
+			covRow = append(covRow, pct(rp.PhaseCoV))
+			phRow = append(phRow, num(rp.PhaseIDs))
+			covAvg[i] += rp.PhaseCoV
+			phAvg[i] += float64(rp.PhaseIDs)
+		}
+		cov.AddRow(covRow...)
+		phases.AddRow(phRow...)
+	}
+	covRow := []string{"avg"}
+	phRow := []string{"avg"}
+	for i := range reports {
+		covRow = append(covRow, pct(covAvg[i]/float64(len(names))))
+		phRow = append(phRow, f1(phAvg[i]/float64(len(names))))
+	}
+	cov.AddRow(covRow...)
+	phases.AddRow(phRow...)
+}
+
+// Fig3 sweeps the accumulator dimensionality (8/16/32/64 counters) at a
+// 32 entry table and 12.5% threshold, plus the whole-program CoV.
+func (r *Runner) Fig3() ([]*Table, error) {
+	dims := []int{8, 16, 32, 64}
+	labels := []string{"8 dim", "16 dim", "32 dim", "64 dim"}
+	reports := make([]map[string]core.Report, len(dims))
+	for i, d := range dims {
+		rep, err := r.evaluateAll(staticConfig(32, 0.125, 0, d))
+		if err != nil {
+			return nil, err
+		}
+		reports[i] = rep
+	}
+
+	names := workload.Names()
+	cov := &Table{ID: "fig3-cov", Title: "CPI CoV (%) vs number of signature counters",
+		Columns: append(append([]string{"benchmark"}, labels...), "Whole Program")}
+	phases := &Table{ID: "fig3-phases", Title: "Number of phases detected vs number of signature counters",
+		Columns: append([]string{"benchmark"}, labels...)}
+	covAvg := make([]float64, len(dims)+1)
+	phAvg := make([]float64, len(dims))
+	for _, name := range names {
+		covRow := []string{name}
+		phRow := []string{name}
+		for i, rep := range reports {
+			rp := rep[name]
+			covRow = append(covRow, pct(rp.PhaseCoV))
+			phRow = append(phRow, num(rp.PhaseIDs))
+			covAvg[i] += rp.PhaseCoV
+			phAvg[i] += float64(rp.PhaseIDs)
+		}
+		whole := reports[0][name].WholeCoV
+		covRow = append(covRow, pct(whole))
+		covAvg[len(dims)] += whole
+		cov.AddRow(covRow...)
+		phases.AddRow(phRow...)
+	}
+	covRow := []string{"avg"}
+	for i := range covAvg {
+		covRow = append(covRow, pct(covAvg[i]/float64(len(names))))
+	}
+	cov.AddRow(covRow...)
+	phRow := []string{"avg"}
+	for i := range phAvg {
+		phRow = append(phRow, f1(phAvg[i]/float64(len(names))))
+	}
+	phases.AddRow(phRow...)
+	cov.Notes = append(cov.Notes, "config: 32 entry table, 12.5% similarity threshold (Fig 3)")
+	return []*Table{cov, phases}, nil
+}
+
+// fig4Configs are the transition-phase study points of Figure 4.
+var fig4Configs = []struct {
+	label    string
+	sim      float64
+	minCount int
+}{
+	{"12.5%+0min", 0.125, 0},
+	{"12.5%+4min", 0.125, 4},
+	{"12.5%+8min", 0.125, 8},
+	{"25%+4min", 0.25, 4},
+	{"25%+8min", 0.25, 8},
+}
+
+// Fig4 evaluates the transition phase: CPI CoV, number of phases,
+// transition time, and last-value misprediction rate across similarity
+// and min-count thresholds.
+func (r *Runner) Fig4() ([]*Table, error) {
+	labels := make([]string, len(fig4Configs))
+	reports := make([]map[string]core.Report, len(fig4Configs))
+	for i, c := range fig4Configs {
+		labels[i] = c.label
+		rep, err := r.evaluateAll(staticConfig(32, c.sim, c.minCount, 16))
+		if err != nil {
+			return nil, err
+		}
+		reports[i] = rep
+	}
+
+	names := workload.Names()
+	cols := append([]string{"benchmark"}, labels...)
+	cov := &Table{ID: "fig4-cov", Title: "CPI CoV (%) with transition phase", Columns: cols}
+	phases := &Table{ID: "fig4-phases", Title: "Number of phases detected with transition phase", Columns: cols}
+	trans := &Table{ID: "fig4-transition", Title: "Transition time (% of intervals)", Columns: cols}
+	lvmiss := &Table{ID: "fig4-lvmiss", Title: "Last value misprediction rate (%)", Columns: cols}
+
+	type agg struct{ cov, ph, tr, lv float64 }
+	avgs := make([]agg, len(fig4Configs))
+	for _, name := range names {
+		rows := [4][]string{{name}, {name}, {name}, {name}}
+		for i, rep := range reports {
+			rp := rep[name]
+			rows[0] = append(rows[0], pct(rp.PhaseCoV))
+			rows[1] = append(rows[1], num(rp.PhaseIDs))
+			rows[2] = append(rows[2], pct(rp.TransitionFraction()))
+			rows[3] = append(rows[3], pct(rp.LastValueMissRate()))
+			avgs[i].cov += rp.PhaseCoV
+			avgs[i].ph += float64(rp.PhaseIDs)
+			avgs[i].tr += rp.TransitionFraction()
+			avgs[i].lv += rp.LastValueMissRate()
+		}
+		cov.AddRow(rows[0]...)
+		phases.AddRow(rows[1]...)
+		trans.AddRow(rows[2]...)
+		lvmiss.AddRow(rows[3]...)
+	}
+	n := float64(len(names))
+	rows := [4][]string{{"avg"}, {"avg"}, {"avg"}, {"avg"}}
+	for i := range avgs {
+		rows[0] = append(rows[0], pct(avgs[i].cov/n))
+		rows[1] = append(rows[1], f1(avgs[i].ph/n))
+		rows[2] = append(rows[2], pct(avgs[i].tr/n))
+		rows[3] = append(rows[3], pct(avgs[i].lv/n))
+	}
+	cov.AddRow(rows[0]...)
+	phases.AddRow(rows[1]...)
+	trans.AddRow(rows[2]...)
+	lvmiss.AddRow(rows[3]...)
+	for _, t := range []*Table{cov, phases, trans, lvmiss} {
+		t.Notes = append(t.Notes, "config: 16 counters, 32 entry table; 'N min' = min counter threshold (Fig 4)")
+	}
+	return []*Table{cov, phases, trans, lvmiss}, nil
+}
+
+// Fig5 reports average stable and transition phase run lengths with
+// standard deviations under the 25%+min8 configuration.
+func (r *Runner) Fig5() ([]*Table, error) {
+	reports, err := r.evaluateAll(staticConfig(32, 0.25, 8, 16))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig5",
+		Title: "Average stable and transition phase lengths (intervals of 10M instructions)",
+		Columns: []string{"benchmark", "stable mean", "stable stddev",
+			"transition mean", "transition stddev"},
+	}
+	var sm, ss, tm, ts float64
+	names := workload.Names()
+	for _, name := range names {
+		rp := reports[name]
+		t.AddRow(name,
+			f1(rp.StableRuns.Mean()), f1(rp.StableRuns.StdDev()),
+			f1(rp.TransitionRuns.Mean()), f1(rp.TransitionRuns.StdDev()))
+		sm += rp.StableRuns.Mean()
+		ss += rp.StableRuns.StdDev()
+		tm += rp.TransitionRuns.Mean()
+		ts += rp.TransitionRuns.StdDev()
+	}
+	n := float64(len(names))
+	t.AddRow("average", f1(sm/n), f1(ss/n), f1(tm/n), f1(ts/n))
+	t.Notes = append(t.Notes, "config: 25% similarity, min count 8 (Fig 5)")
+	return []*Table{t}, nil
+}
+
+// fig6Configs are the dynamic-threshold study points of Figure 6.
+var fig6Configs = []struct {
+	label   string
+	sim     float64
+	dynamic bool
+	dev     float64
+}{
+	{"25% static", 0.25, false, 0},
+	{"12.5% static", 0.125, false, 0},
+	{"25% dyn+50% dev", 0.25, true, 0.50},
+	{"25% dyn+25% dev", 0.25, true, 0.25},
+	{"25% dyn+12.5% dev", 0.25, true, 0.125},
+}
+
+// Fig6 evaluates dynamic similarity thresholds: CPI CoV, number of
+// phases, and transition time for static and adaptive configurations.
+func (r *Runner) Fig6() ([]*Table, error) {
+	labels := make([]string, len(fig6Configs))
+	reports := make([]map[string]core.Report, len(fig6Configs))
+	for i, c := range fig6Configs {
+		labels[i] = c.label
+		cfg := staticConfig(32, c.sim, 8, 16)
+		if c.dynamic {
+			cfg.Classifier.Adaptive = true
+			cfg.Classifier.DeviationThreshold = c.dev
+		}
+		rep, err := r.evaluateAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		reports[i] = rep
+	}
+
+	names := workload.Names()
+	cols := append([]string{"benchmark"}, labels...)
+	cov := &Table{ID: "fig6-cov", Title: "CPI CoV (%) with dynamic similarity thresholds", Columns: cols}
+	phases := &Table{ID: "fig6-phases", Title: "Number of phases with dynamic similarity thresholds", Columns: cols}
+	trans := &Table{ID: "fig6-transition", Title: "Transition time (%) with dynamic similarity thresholds", Columns: cols}
+	type agg struct{ cov, ph, tr float64 }
+	avgs := make([]agg, len(fig6Configs))
+	for _, name := range names {
+		rows := [3][]string{{name}, {name}, {name}}
+		for i, rep := range reports {
+			rp := rep[name]
+			rows[0] = append(rows[0], pct(rp.PhaseCoV))
+			rows[1] = append(rows[1], num(rp.PhaseIDs))
+			rows[2] = append(rows[2], pct(rp.TransitionFraction()))
+			avgs[i].cov += rp.PhaseCoV
+			avgs[i].ph += float64(rp.PhaseIDs)
+			avgs[i].tr += rp.TransitionFraction()
+		}
+		cov.AddRow(rows[0]...)
+		phases.AddRow(rows[1]...)
+		trans.AddRow(rows[2]...)
+	}
+	n := float64(len(names))
+	rows := [3][]string{{"avg"}, {"avg"}, {"avg"}}
+	for i := range avgs {
+		rows[0] = append(rows[0], pct(avgs[i].cov/n))
+		rows[1] = append(rows[1], f1(avgs[i].ph/n))
+		rows[2] = append(rows[2], pct(avgs[i].tr/n))
+	}
+	cov.AddRow(rows[0]...)
+	phases.AddRow(rows[1]...)
+	trans.AddRow(rows[2]...)
+	for _, t := range []*Table{cov, phases, trans} {
+		t.Notes = append(t.Notes,
+			"'dyn+D% dev' halves an entry's similarity threshold when an interval's CPI deviates >D% from the phase average (Fig 6)")
+	}
+	return []*Table{cov, phases, trans}, nil
+}
+
+// fig7Predictors are the next-phase predictors of Figure 7.
+func fig7Predictors() []predictor.NextPhaseConfig {
+	mk := func(kind predictor.HistoryKind, depth int, track predictor.TrackKind, conf bool) predictor.NextPhaseConfig {
+		c := predictor.DefaultChangeTableConfig(kind, depth)
+		c.Track = track
+		c.UseConfidence = conf
+		return predictor.NextPhaseConfig{LastValue: predictor.DefaultLastValueConfig(), Change: &c}
+	}
+	return []predictor.NextPhaseConfig{
+		{LastValue: predictor.DefaultLastValueConfig()},
+		mk(predictor.Markov, 1, predictor.TrackSingle, true),
+		mk(predictor.Markov, 2, predictor.TrackSingle, true),
+		mk(predictor.Markov, 1, predictor.TrackLast4, true),
+		mk(predictor.Markov, 2, predictor.TrackLast4, true),
+		mk(predictor.Markov, 2, predictor.TrackSingle, false),
+		mk(predictor.RLE, 1, predictor.TrackSingle, true),
+		mk(predictor.RLE, 2, predictor.TrackSingle, true),
+		mk(predictor.RLE, 1, predictor.TrackLast4, true),
+		mk(predictor.RLE, 2, predictor.TrackLast4, true),
+		mk(predictor.RLE, 2, predictor.TrackSingle, false),
+	}
+}
+
+// runNextPhase drives a predictor configuration over a cached phase
+// stream, propagating new-signature resets.
+func runNextPhase(cfg predictor.NextPhaseConfig, ids []int, newSig []bool) (predictor.NextPhaseStats, predictor.ChangeStats) {
+	p := predictor.NewNextPhase(cfg)
+	for i, id := range ids {
+		if newSig[i] {
+			p.NotifyNewSignature(id)
+		}
+		p.Observe(id)
+	}
+	return p.NextStats(), p.ChangeStats()
+}
+
+// Fig7 evaluates next-phase prediction: the fraction of interval
+// predictions in each correctness/confidence bucket, averaged over the
+// benchmarks.
+func (r *Runner) Fig7() ([]*Table, error) {
+	names := workload.Names()
+	if err := r.Prefetch(names); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig7",
+		Title: "Next Phase Prediction (% of predictions, averaged over benchmarks)",
+		Columns: []string{"predictor", "correct table", "corr lv conf", "correct lv unconf",
+			"incorrect lv unconf", "incorrect lv conf", "incorrect table", "accuracy", "miss rate"},
+	}
+	for _, cfg := range fig7Predictors() {
+		var agg [8]float64
+		for _, name := range names {
+			ids, newSig, err := r.PhaseStream(name)
+			if err != nil {
+				return nil, err
+			}
+			ns, _ := runNextPhase(cfg, ids, newSig)
+			total := float64(ns.Intervals)
+			if total == 0 {
+				continue
+			}
+			agg[0] += float64(ns.TableCorrect) / total
+			agg[1] += float64(ns.LVConfCorrect) / total
+			agg[2] += float64(ns.LVUnconfCorrect) / total
+			agg[3] += float64(ns.LVUnconfIncorrect) / total
+			agg[4] += float64(ns.LVConfIncorrect) / total
+			agg[5] += float64(ns.TableIncorrect) / total
+			agg[6] += ns.Accuracy()
+			agg[7] += ns.MissRate()
+		}
+		n := float64(len(names))
+		row := []string{cfg.Describe()}
+		for _, v := range agg {
+			row = append(row, pct(v/n))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"classifier: 16 counters, 32 entries, 25% similarity, min count 8, 25% deviation threshold (§5)",
+		"'miss rate' = confident-but-wrong predictions over all intervals")
+	return []*Table{t}, nil
+}
+
+// fig8Predictors are the phase change predictors of Figure 8.
+func fig8Predictors() []predictor.NextPhaseConfig {
+	mk := func(kind predictor.HistoryKind, depth, entries int, track predictor.TrackKind, topN int) predictor.NextPhaseConfig {
+		c := predictor.DefaultChangeTableConfig(kind, depth)
+		c.Entries = entries
+		c.Track = track
+		c.TopN = topN
+		return predictor.NextPhaseConfig{LastValue: predictor.DefaultLastValueConfig(), Change: &c}
+	}
+	return []predictor.NextPhaseConfig{
+		mk(predictor.Markov, 2, 32, predictor.TrackSingle, 0),
+		mk(predictor.Markov, 2, 128, predictor.TrackSingle, 0),
+		mk(predictor.Markov, 2, 32, predictor.TrackLast4, 0),
+		mk(predictor.Markov, 1, 32, predictor.TrackLast4, 0),
+		mk(predictor.Markov, 2, 32, predictor.TrackTopN, 1),
+		mk(predictor.Markov, 1, 32, predictor.TrackTopN, 4),
+		mk(predictor.Markov, 2, 32, predictor.TrackTopN, 4),
+		mk(predictor.RLE, 2, 32, predictor.TrackSingle, 0),
+		mk(predictor.RLE, 2, 128, predictor.TrackSingle, 0),
+		mk(predictor.RLE, 2, 32, predictor.TrackLast4, 0),
+		mk(predictor.RLE, 1, 32, predictor.TrackLast4, 0),
+		mk(predictor.RLE, 2, 32, predictor.TrackTopN, 1),
+		mk(predictor.RLE, 2, 32, predictor.TrackTopN, 4),
+	}
+}
+
+// Fig8 evaluates phase change prediction: the outcome of each phase
+// change bucketed by correctness and confidence, averaged over the
+// benchmarks, with perfect Markov upper bounds.
+func (r *Runner) Fig8() ([]*Table, error) {
+	names := workload.Names()
+	if err := r.Prefetch(names); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig8",
+		Title: "Phase Change Prediction (% of phase changes, averaged over benchmarks)",
+		Columns: []string{"predictor", "conf correct", "unconf correct", "tag miss",
+			"unconf incorrect", "conf incorrect"},
+	}
+	addRow := func(label string, collect func(name string) (predictor.ChangeStats, error)) error {
+		var agg [5]float64
+		for _, name := range names {
+			cs, err := collect(name)
+			if err != nil {
+				return err
+			}
+			total := float64(cs.Changes)
+			if total == 0 {
+				continue
+			}
+			agg[0] += float64(cs.ConfCorrect) / total
+			agg[1] += float64(cs.UnconfCorrect) / total
+			agg[2] += float64(cs.TagMiss) / total
+			agg[3] += float64(cs.UnconfIncorrect) / total
+			agg[4] += float64(cs.ConfIncorrect) / total
+		}
+		n := float64(len(names))
+		row := []string{label}
+		for _, v := range agg {
+			row = append(row, pct(v/n))
+		}
+		t.AddRow(row...)
+		return nil
+	}
+
+	for _, cfg := range fig8Predictors() {
+		cfg := cfg
+		err := addRow(cfg.Describe(), func(name string) (predictor.ChangeStats, error) {
+			ids, _, err := r.PhaseStream(name)
+			if err != nil {
+				return predictor.ChangeStats{}, err
+			}
+			// §6.1 usage: the table is consulted and trained only at
+			// phase changes.
+			p := predictor.NewChangePredictor(*cfg.Change)
+			for _, id := range ids {
+				p.Observe(id)
+			}
+			return p.ChangeStats(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, order := range []int{1, 2} {
+		order := order
+		err := addRow(fmt.Sprintf("Perfect Markov %d", order), func(name string) (predictor.ChangeStats, error) {
+			ids, _, err := r.PhaseStream(name)
+			if err != nil {
+				return predictor.ChangeStats{}, err
+			}
+			p := predictor.NewPerfectMarkov(order)
+			for _, id := range ids {
+				p.Observe(id)
+			}
+			return p.ChangeStats(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"perfect Markov counts a change correct if the transition was ever seen before (cold-start bound)",
+		"classifier: §5 configuration; tables 4-way associative")
+	return []*Table{t}, nil
+}
+
+// Fig9 evaluates phase length prediction: the run-length class
+// distribution and the RLE-2 length predictor's misprediction rate.
+func (r *Runner) Fig9() ([]*Table, error) {
+	reports, err := r.evaluateAll(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	lp := predictor.NewLengthPredictor(predictor.DefaultLengthConfig())
+	dist := &Table{
+		ID:    "fig9-classes",
+		Title: "Percentage of run lengths per class",
+		Columns: []string{"benchmark", lp.ClassLabel(0), lp.ClassLabel(1),
+			lp.ClassLabel(2), lp.ClassLabel(3)},
+	}
+	miss := &Table{
+		ID:      "fig9-mispredict",
+		Title:   "Run length class misprediction rate (%)",
+		Columns: []string{"benchmark", "misprediction rate"},
+	}
+	names := workload.Names()
+	var avgMiss float64
+	avgClass := make([]float64, 4)
+	for _, name := range names {
+		rp := reports[name]
+		row := []string{name}
+		for cls := 0; cls < 4; cls++ {
+			frac := rp.Length.ClassFraction(cls)
+			row = append(row, pct(frac))
+			avgClass[cls] += frac
+		}
+		dist.AddRow(row...)
+		miss.AddRow(name, pct(rp.Length.MispredictRate()))
+		avgMiss += rp.Length.MispredictRate()
+	}
+	n := float64(len(names))
+	avgRow := []string{"avg"}
+	for _, v := range avgClass {
+		avgRow = append(avgRow, pct(v/n))
+	}
+	dist.AddRow(avgRow...)
+	miss.AddRow("avg", pct(avgMiss/n))
+	for _, t := range []*Table{dist, miss} {
+		t.Notes = append(t.Notes,
+			"classes correspond to 10-100M, 100M-1B, 1B-10B, >10B instructions at 10M-instruction intervals",
+			"predictor: 32 entry 4-way RLE-2 with hysteresis, no confidence (§6.2.2)")
+	}
+	return []*Table{dist, miss}, nil
+}
+
+// AblationMatch compares best-match classification (§4.1 step 3, this
+// paper) against the prior work's first-match rule.
+func (r *Runner) AblationMatch() ([]*Table, error) {
+	best, err := r.evaluateAll(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfgFirst := paperConfig()
+	cfgFirst.Classifier.BestMatch = false
+	first, err := r.evaluateAll(cfgFirst)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "ablation-match",
+		Title: "Best-match vs first-match classification",
+		Columns: []string{"benchmark", "CoV best (%)", "CoV first (%)",
+			"phases best", "phases first"},
+	}
+	var cb, cf float64
+	names := workload.Names()
+	for _, name := range names {
+		t.AddRow(name, pct(best[name].PhaseCoV), pct(first[name].PhaseCoV),
+			num(best[name].PhaseIDs), num(first[name].PhaseIDs))
+		cb += best[name].PhaseCoV
+		cf += first[name].PhaseCoV
+	}
+	n := float64(len(names))
+	t.AddRow("avg", pct(cb/n), pct(cf/n), "", "")
+	t.Notes = append(t.Notes, "paper (§4.1): choosing the most similar matching signature improves homogeneity")
+	return []*Table{t}, nil
+}
+
+// AblationBits sweeps signature bits per counter and compares dynamic
+// against static bit selection (§4.2).
+func (r *Runner) AblationBits() ([]*Table, error) {
+	type variant struct {
+		label   string
+		bits    int
+		dynamic bool
+	}
+	variants := []variant{
+		{"4 bits dyn", 4, true},
+		{"6 bits dyn", 6, true},
+		{"8 bits dyn", 8, true},
+		{"6 bits static@14", 6, false},
+	}
+	t := &Table{
+		ID:      "ablation-bits",
+		Title:   "Signature bit selection: avg CPI CoV (%) and phases",
+		Columns: []string{"variant", "avg CoV (%)", "avg phases"},
+	}
+	names := workload.Names()
+	for _, v := range variants {
+		cfg := paperConfig()
+		cfg.Compress.Bits = v.bits
+		cfg.Compress.Dynamic = v.dynamic
+		cfg.Compress.StaticShift = 14
+		reports, err := r.evaluateAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var cov, ph float64
+		for _, name := range names {
+			cov += reports[name].PhaseCoV
+			ph += float64(reports[name].PhaseIDs)
+		}
+		n := float64(len(names))
+		t.AddRow(v.label, pct(cov/n), f1(ph/n))
+	}
+	t.Notes = append(t.Notes, "paper (§4.2): fewer than 6 bits per counter produced poor classifications")
+	return []*Table{t}, nil
+}
+
+// AblationReplacement compares LRU against FIFO signature-table
+// replacement under capacity pressure (16 entries).
+func (r *Runner) AblationReplacement() ([]*Table, error) {
+	mk := func(fifo bool) core.Config {
+		cfg := staticConfig(16, 0.25, 8, 16)
+		cfg.Classifier.ReplacementFIFO = fifo
+		return cfg
+	}
+	lru, err := r.evaluateAll(mk(false))
+	if err != nil {
+		return nil, err
+	}
+	fifo, err := r.evaluateAll(mk(true))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-replace",
+		Title:   "Signature table replacement at 16 entries",
+		Columns: []string{"benchmark", "phases LRU", "phases FIFO", "lv miss LRU (%)", "lv miss FIFO (%)"},
+	}
+	for _, name := range workload.Names() {
+		t.AddRow(name, num(lru[name].PhaseIDs), num(fifo[name].PhaseIDs),
+			pct(lru[name].LastValueMissRate()), pct(fifo[name].LastValueMissRate()))
+	}
+	return []*Table{t}, nil
+}
+
+// AblationFiltering compares the §5.2.3 table update filtering against
+// naive every-interval training.
+func (r *Runner) AblationFiltering() ([]*Table, error) {
+	names := workload.Names()
+	if err := r.Prefetch(names); err != nil {
+		return nil, err
+	}
+	mk := func(always bool) predictor.NextPhaseConfig {
+		c := predictor.DefaultChangeTableConfig(predictor.RLE, 2)
+		return predictor.NextPhaseConfig{
+			LastValue:    predictor.DefaultLastValueConfig(),
+			Change:       &c,
+			AlwaysUpdate: always,
+		}
+	}
+	t := &Table{
+		ID:      "ablation-filtering",
+		Title:   "RLE-2 update filtering vs naive training (avg over benchmarks)",
+		Columns: []string{"variant", "next-phase accuracy (%)", "change correct (%)"},
+	}
+	for _, v := range []struct {
+		label  string
+		always bool
+	}{{"filtered (paper)", false}, {"always update", true}} {
+		var acc, chg float64
+		for _, name := range names {
+			ids, newSig, err := r.PhaseStream(name)
+			if err != nil {
+				return nil, err
+			}
+			ns, cs := runNextPhase(mk(v.always), ids, newSig)
+			acc += ns.Accuracy()
+			chg += cs.CorrectRate()
+		}
+		n := float64(len(names))
+		t.AddRow(v.label, pct(acc/n), pct(chg/n))
+	}
+	t.Notes = append(t.Notes, "paper (§5.2.3): insert only on phase change; remove entries that falsely predict a change")
+	return []*Table{t}, nil
+}
+
+// AblationHysteresis compares the length predictor with and without the
+// §6.2.2 hysteresis counter.
+func (r *Runner) AblationHysteresis() ([]*Table, error) {
+	on, err := r.evaluateAll(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := paperConfig()
+	cfg.Length.Hysteresis = false
+	off, err := r.evaluateAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-hyst",
+		Title:   "Length predictor hysteresis",
+		Columns: []string{"benchmark", "mispredict with (%)", "mispredict without (%)"},
+	}
+	var a, b float64
+	names := workload.Names()
+	for _, name := range names {
+		t.AddRow(name, pct(on[name].Length.MispredictRate()), pct(off[name].Length.MispredictRate()))
+		a += on[name].Length.MispredictRate()
+		b += off[name].Length.MispredictRate()
+	}
+	n := float64(len(names))
+	t.AddRow("avg", pct(a/n), pct(b/n))
+	t.Notes = append(t.Notes, "paper (§6.2.2): hysteresis filters noise in the phase lengths of complex programs")
+	return []*Table{t}, nil
+}

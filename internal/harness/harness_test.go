@@ -1,0 +1,448 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"phasekit/internal/workload"
+)
+
+// testRunner uses tiny workloads: structure is preserved, wall time is
+// not.
+func testRunner() *Runner {
+	return NewRunner(workload.Options{Scale: 0.03, IntervalInstrs: 1_000_000})
+}
+
+func TestTableAddRowPanicsOnMismatch(t *testing.T) {
+	tb := &Table{ID: "x", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cell count mismatch")
+		}
+	}()
+	tb.AddRow("only one")
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{ID: "t", Title: "demo", Columns: []string{"name", "v"}}
+	tb.AddRow("alpha", "1.0")
+	tb.AddRow("b", "22.5")
+	tb.Notes = append(tb.Notes, "a note")
+	s := tb.String()
+	for _, want := range []string{"=== t: demo ===", "alpha", "22.5", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Header alignment: every data line has the same width as the
+	// header line.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines[1]) != len(lines[3]) {
+		t.Errorf("misaligned rows:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{ID: "t", Title: "demo", Columns: []string{"name", "v"}}
+	tb.AddRow(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) || !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("CSV quoting broken: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "name,v\n") {
+		t.Errorf("CSV header missing: %q", csv)
+	}
+}
+
+func TestExperimentIDsComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != len(experiments) {
+		t.Fatalf("ExperimentIDs returned %d of %d", len(ids), len(experiments))
+	}
+	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	for _, id := range ids {
+		if _, ok := experiments[id]; !ok {
+			t.Errorf("id %s has no experiment", id)
+		}
+	}
+}
+
+func TestExperimentUnknown(t *testing.T) {
+	if _, err := testRunner().Experiment("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunnerCachesRuns(t *testing.T) {
+	r := testRunner()
+	a, err := r.Run("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Run did not cache")
+	}
+}
+
+func TestRunnerPhaseStreamCached(t *testing.T) {
+	r := testRunner()
+	ids1, sig1, err := r.PhaseStream("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, _, err := r.PhaseStream("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ids1[0] != &ids2[0] {
+		t.Error("PhaseStream did not cache")
+	}
+	if len(ids1) != len(sig1) || len(ids1) == 0 {
+		t.Errorf("stream lengths: %d ids, %d flags", len(ids1), len(sig1))
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	tables, err := testRunner().Experiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("table1 returned %d tables", len(tables))
+	}
+	s := tables[0].String()
+	for _, want := range []string{"I Cache", "L2 Cache", "Branch Pred", "120 cycle latency"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+// parseCell parses a numeric table cell.
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig2Shapes(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("fig2 returned %d tables", len(tables))
+	}
+	phases := tables[1]
+	// 11 benchmarks + avg row; columns: benchmark + 4 configs.
+	if len(phases.Rows) != 12 || len(phases.Columns) != 5 {
+		t.Fatalf("fig2-phases shape: %dx%d", len(phases.Rows), len(phases.Columns))
+	}
+	// Paper shape: phase counts fall (weakly) as table capacity grows.
+	avg := phases.Rows[11]
+	p16 := parseCell(t, avg[1])
+	pInf := parseCell(t, avg[4])
+	if pInf > p16 {
+		t.Errorf("unbounded table produced more phases (%v) than 16 entries (%v)", pInf, p16)
+	}
+}
+
+func TestFig3WholeProgramColumn(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := tables[0]
+	if cov.Columns[len(cov.Columns)-1] != "Whole Program" {
+		t.Fatalf("columns = %v", cov.Columns)
+	}
+	avg := cov.Rows[len(cov.Rows)-1]
+	whole := parseCell(t, avg[len(avg)-1])
+	best := parseCell(t, avg[2]) // 16 dim
+	// Classification must slash CoV relative to the whole program.
+	if best >= whole {
+		t.Errorf("16-dim per-phase CoV %v not below whole-program %v", best, whole)
+	}
+}
+
+func TestFig4TransitionPhaseReducesPhases(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("fig4 returned %d tables", len(tables))
+	}
+	phases, trans := tables[1], tables[2]
+	avg := phases.Rows[len(phases.Rows)-1]
+	base := parseCell(t, avg[1]) // 12.5%+0min
+	min8 := parseCell(t, avg[3]) // 12.5%+8min
+	if min8 >= base {
+		t.Errorf("min count 8 did not reduce phases: %v vs %v", min8, base)
+	}
+	// Baseline has no transition phase at all.
+	tavg := trans.Rows[len(trans.Rows)-1]
+	if v := parseCell(t, tavg[1]); v != 0 {
+		t.Errorf("baseline transition time = %v, want 0", v)
+	}
+	if v := parseCell(t, tavg[3]); v <= 0 {
+		t.Errorf("min count 8 transition time = %v, want > 0", v)
+	}
+}
+
+func TestFig5RunLengths(t *testing.T) {
+	// Run-length structure needs longer scripts than the other shape
+	// tests: at tiny scales stable segments shrink to transition size.
+	r := NewRunner(workload.Options{Scale: 0.15, IntervalInstrs: 1_000_000})
+	tables, err := r.Experiment("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 12 {
+		t.Fatalf("fig5 rows = %d", len(tb.Rows))
+	}
+	avg := tb.Rows[11]
+	stable := parseCell(t, avg[1])
+	transition := parseCell(t, avg[3])
+	if stable <= transition {
+		t.Errorf("stable runs (%v) not longer than transitions (%v)", stable, transition)
+	}
+}
+
+func TestFig6DynamicHelpsHeterogeneousPhases(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := tables[0]
+	// Find mcf's row: dynamic 25%+25% dev must beat static 25%.
+	for _, row := range cov.Rows {
+		if row[0] == "mcf" {
+			static := parseCell(t, row[1])
+			dynamic := parseCell(t, row[4])
+			if dynamic >= static {
+				t.Errorf("mcf: dynamic CoV %v not below static %v", dynamic, static)
+			}
+			return
+		}
+	}
+	t.Fatal("mcf row missing")
+}
+
+func TestFig7PredictorsListed(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 11 {
+		t.Fatalf("fig7 rows = %d, want 11 predictors", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "Last Value" {
+		t.Errorf("first predictor = %s", tb.Rows[0][0])
+	}
+	// Bucket percentages sum to ~100 for every predictor.
+	for _, row := range tb.Rows {
+		sum := 0.0
+		for i := 1; i <= 6; i++ {
+			sum += parseCell(t, row[i])
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("%s: buckets sum to %v", row[0], sum)
+		}
+	}
+}
+
+func TestFig8PerfectBoundsRealPredictors(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	var perfect1, markov2 float64
+	for _, row := range tb.Rows {
+		correct := parseCell(t, row[1]) + parseCell(t, row[2])
+		switch row[0] {
+		case "Perfect Markov 1":
+			perfect1 = correct
+		case "Markov-2":
+			markov2 = correct
+		}
+	}
+	if perfect1 == 0 || markov2 == 0 {
+		t.Fatal("expected rows missing")
+	}
+	if perfect1 <= markov2 {
+		t.Errorf("perfect Markov (%v) not above realizable Markov-2 (%v)", perfect1, markov2)
+	}
+}
+
+func TestFig9ClassFractionsSum(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := tables[0]
+	for _, row := range dist.Rows {
+		sum := 0.0
+		for i := 1; i <= 4; i++ {
+			sum += parseCell(t, row[i])
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("%s: class fractions sum to %v", row[0], sum)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	r := testRunner()
+	for _, id := range []string{"ablation-match", "ablation-bits", "ablation-replace",
+		"ablation-filtering", "ablation-hyst"} {
+		tables, err := r.Experiment(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Errorf("%s: empty result", id)
+		}
+	}
+}
+
+func TestSimPointComparison(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("simpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Both classifiers must produce finite, plausible CoV values.
+	avg := tb.Rows[11]
+	online := parseCell(t, avg[1])
+	offline := parseCell(t, avg[2])
+	if online <= 0 || offline <= 0 {
+		t.Errorf("degenerate CoV values: online %v, offline %v", online, offline)
+	}
+	// "Comparable": within a factor of three of each other on average.
+	if online > 3*offline || offline > 3*online {
+		t.Errorf("online (%v) and offline (%v) CoV not comparable", online, offline)
+	}
+}
+
+func TestBaselineWsetWeightedWins(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("baseline-wset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	avg := tb.Rows[len(tb.Rows)-1]
+	weighted := parseCell(t, avg[1])
+	baseline := parseCell(t, avg[2])
+	if weighted >= baseline {
+		t.Errorf("weighted signatures (%v) not better than working sets (%v)", weighted, baseline)
+	}
+}
+
+func TestAblationConfidenceFrontier(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("ablation-conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	// No-confidence row: full coverage; stricter thresholds only
+	// reduce coverage and miss rate.
+	first := tb.Rows[0]
+	if cov := parseCell(t, first[2]); cov != 100 {
+		t.Errorf("no-confidence coverage = %v", cov)
+	}
+	prevCov, prevMiss := 200.0, 200.0
+	for _, row := range tb.Rows[1:] {
+		cov := parseCell(t, row[2])
+		miss := parseCell(t, row[3])
+		// Tolerate small non-monotonicity from differing counter widths.
+		if cov > prevCov+10 {
+			t.Errorf("%s: coverage %v rose sharply from %v", row[0], cov, prevCov)
+		}
+		if miss > prevMiss+5 {
+			t.Errorf("%s: miss rate %v rose sharply from %v", row[0], miss, prevMiss)
+		}
+		prevCov, prevMiss = cov, miss
+	}
+}
+
+func TestAblationDepthRuns(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("ablation-depth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (2 kinds x 4 depths)", len(tables[0].Rows))
+	}
+}
+
+func TestMetricPrediction(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("metricpred")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d, want 4 predictors x 2 scopes", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		mape := parseCell(t, row[1])
+		if mape < 0 {
+			t.Errorf("%s: negative MAPE", row[0])
+		}
+		w10 := parseCell(t, row[2])
+		w25 := parseCell(t, row[3])
+		if w25 < w10 {
+			t.Errorf("%s: within-25 (%v) below within-10 (%v)", row[0], w25, w10)
+		}
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	r := testRunner()
+	tables, err := r.Experiment("granularity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Classification works (CoV finite and modest) at every granularity.
+	for _, row := range tb.Rows {
+		if cov := parseCell(t, row[1]); cov <= 0 || cov > 60 {
+			t.Errorf("interval %s: CoV = %v implausible", row[0], cov)
+		}
+	}
+}

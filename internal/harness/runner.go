@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"phasekit/internal/core"
+	"phasekit/internal/trace"
+	"phasekit/internal/workload"
+)
+
+// Runner generates workload executions once and evaluates arbitrary
+// configurations against the cached profiles. All methods are safe for
+// concurrent use.
+type Runner struct {
+	opts workload.Options
+
+	mu      sync.Mutex
+	runs    map[string]*trace.Run
+	streams map[string]phaseStream
+}
+
+// phaseStream is a cached classification of a run under the paper's §5
+// configuration: the phase ID sequence plus per-interval new-signature
+// flags, which is all any predictor needs.
+type phaseStream struct {
+	ids    []int
+	newSig []bool
+}
+
+// NewRunner returns a runner generating workloads with opts. A zero
+// opts uses the paper's parameters at full scale.
+func NewRunner(opts workload.Options) *Runner {
+	return &Runner{
+		opts:    opts,
+		runs:    make(map[string]*trace.Run),
+		streams: make(map[string]phaseStream),
+	}
+}
+
+// Run returns the named workload's profiled execution, generating and
+// caching it on first use.
+func (r *Runner) Run(name string) (*trace.Run, error) {
+	r.mu.Lock()
+	run, ok := r.runs[name]
+	r.mu.Unlock()
+	if ok {
+		return run, nil
+	}
+	spec, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	run, err = workload.Generate(spec, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.runs[name] = run
+	r.mu.Unlock()
+	return run, nil
+}
+
+// Prefetch generates all named workloads in parallel, bounded by
+// GOMAXPROCS workers. Experiments call it so the expensive generation
+// phase saturates the machine once instead of serializing lazily.
+func (r *Runner) Prefetch(names []string) error {
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	errs := make(chan error, len(names))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := r.Run(name); err != nil {
+				errs <- fmt.Errorf("%s: %w", name, err)
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// PhaseStream returns the cached §5-configuration phase ID stream for a
+// workload, classifying it on first use.
+func (r *Runner) PhaseStream(name string) ([]int, []bool, error) {
+	r.mu.Lock()
+	s, ok := r.streams[name]
+	r.mu.Unlock()
+	if ok {
+		return s.ids, s.newSig, nil
+	}
+	run, err := r.Run(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := paperConfig()
+	_, results := core.EvaluateDetailed(run, cfg)
+	s = phaseStream{
+		ids:    make([]int, len(results)),
+		newSig: make([]bool, len(results)),
+	}
+	for i, res := range results {
+		s.ids[i] = res.PhaseID
+		s.newSig[i] = res.Classification.NewSignature
+	}
+	r.mu.Lock()
+	r.streams[name] = s
+	r.mu.Unlock()
+	return s.ids, s.newSig, nil
+}
+
+// evaluateAll runs cfg against every paper workload in parallel and
+// returns reports keyed by name.
+func (r *Runner) evaluateAll(cfg core.Config) (map[string]core.Report, error) {
+	names := workload.Names()
+	if err := r.Prefetch(names); err != nil {
+		return nil, err
+	}
+	out := make(map[string]core.Report, len(names))
+	var mu sync.Mutex
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			run, err := r.Run(name)
+			if err != nil {
+				return // Prefetch already succeeded; unreachable
+			}
+			rep := core.Evaluate(run, cfg)
+			mu.Lock()
+			out[name] = rep
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// Experiment dispatches an experiment by ID ("table1", "fig2".."fig9",
+// or an ablation ID). Figures with several graphs return one Table per
+// graph.
+func (r *Runner) Experiment(id string) ([]*Table, error) {
+	f, ok := experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return f(r)
+}
+
+var experiments = map[string]func(*Runner) ([]*Table, error){
+	"table1":             (*Runner).Table1,
+	"fig2":               (*Runner).Fig2,
+	"fig3":               (*Runner).Fig3,
+	"fig4":               (*Runner).Fig4,
+	"fig5":               (*Runner).Fig5,
+	"fig6":               (*Runner).Fig6,
+	"fig7":               (*Runner).Fig7,
+	"fig8":               (*Runner).Fig8,
+	"fig9":               (*Runner).Fig9,
+	"ablation-match":     (*Runner).AblationMatch,
+	"ablation-bits":      (*Runner).AblationBits,
+	"ablation-replace":   (*Runner).AblationReplacement,
+	"ablation-filtering": (*Runner).AblationFiltering,
+	"ablation-hyst":      (*Runner).AblationHysteresis,
+	"ablation-conf":      (*Runner).AblationConfidence,
+	"ablation-depth":     (*Runner).AblationDepth,
+	"simpoint":           (*Runner).SimPoint,
+	"baseline-wset":      (*Runner).BaselineWset,
+	"metricpred":         (*Runner).MetricPrediction,
+	"granularity":        (*Runner).Granularity,
+}
+
+// ExperimentIDs returns all experiment IDs in presentation order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	// Present paper artifacts first, ablations after.
+	order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	rest := ids[:0:0]
+	inOrder := map[string]bool{}
+	for _, id := range order {
+		inOrder[id] = true
+	}
+	for _, id := range ids {
+		if !inOrder[id] {
+			rest = append(rest, id)
+		}
+	}
+	return append(order, rest...)
+}

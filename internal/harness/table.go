@@ -1,0 +1,112 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation: it generates (and caches) the eleven workloads, sweeps
+// classifier and predictor configurations over them, and formats the
+// results as aligned-text or CSV tables whose rows correspond to the
+// paper's graphs. EXPERIMENTS.md records the paper-vs-measured
+// comparison for each.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a titled grid with a header row.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are printed under the table (axis descriptions, config).
+	Notes []string
+}
+
+// AddRow appends a formatted row; it panics if the cell count does not
+// match the header, which would silently misalign the table.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("harness: row has %d cells, table %s has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Left-align the first column (labels), right-align data.
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(t.Columns) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// pct formats a 0..1 fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f", 100*v) }
+
+// num formats an integer cell.
+func num(v int) string { return fmt.Sprintf("%d", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,181 @@
+// Package metricpred implements direct performance-metric value
+// prediction in the style of Duesterwald, Cascaval & Dwarkadas (PACT
+// 2003), the related-work alternative the paper contrasts with phase-ID
+// prediction: "instead of predicting a phase ID for the next interval,
+// the value of a hardware metric value is predicted."
+//
+// Three predictors of the next interval's CPI are provided — last
+// value, exponentially weighted moving average, and a cross-interval
+// table keyed by recent-history deltas — plus a phase-ID-based
+// predictor that forwards the running mean of the predicted phase,
+// which is how a phase tracker predicts any metric "for free". The
+// "metricpred" harness experiment compares them, reproducing the
+// paper's argument that phase IDs subsume per-metric predictors.
+package metricpred
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predictor forecasts the next interval's metric value.
+type Predictor interface {
+	// Predict returns the forecast for the next interval.
+	Predict() float64
+	// Observe records the actual value of the interval just completed.
+	Observe(actual float64)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// LastValue predicts the previous interval's value.
+type LastValue struct {
+	last float64
+}
+
+// NewLastValue returns a last-value metric predictor.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "last value" }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict() float64 { return p.last }
+
+// Observe implements Predictor.
+func (p *LastValue) Observe(actual float64) { p.last = actual }
+
+// EWMA predicts an exponentially weighted moving average, the
+// smoothing predictor Duesterwald et al. evaluate alongside last-value.
+type EWMA struct {
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA predictor with the given smoothing factor in
+// (0, 1]; larger alpha weights recent intervals more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("metricpred: alpha must be in (0,1], got %v", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Name implements Predictor.
+func (p *EWMA) Name() string { return fmt.Sprintf("EWMA(%.2f)", p.alpha) }
+
+// Predict implements Predictor.
+func (p *EWMA) Predict() float64 { return p.value }
+
+// Observe implements Predictor.
+func (p *EWMA) Observe(actual float64) {
+	if !p.seen {
+		p.value = actual
+		p.seen = true
+		return
+	}
+	p.value = p.alpha*actual + (1-p.alpha)*p.value
+}
+
+// PhaseMean predicts the running mean of the metric within the phase
+// the tracker predicts for the next interval — the phase-ID route the
+// paper advocates: once the phase is known, any number of metrics can
+// be forwarded from that phase's history at once.
+type PhaseMean struct {
+	mean  map[int]float64
+	count map[int]int
+	// next is the phase predicted for the upcoming interval, supplied
+	// by the caller from its phase tracker.
+	next     int
+	curPhase int
+	fallback LastValue
+}
+
+// NewPhaseMean returns a phase-based metric predictor.
+func NewPhaseMean() *PhaseMean {
+	return &PhaseMean{mean: make(map[int]float64), count: make(map[int]int)}
+}
+
+// Name implements Predictor.
+func (p *PhaseMean) Name() string { return "phase-ID mean" }
+
+// SetNextPhase installs the tracker's prediction for the next interval.
+func (p *PhaseMean) SetNextPhase(phase int) { p.next = phase }
+
+// Predict implements Predictor: the predicted phase's mean, falling
+// back to last value for never-seen phases.
+func (p *PhaseMean) Predict() float64 {
+	if p.count[p.next] > 0 {
+		return p.mean[p.next]
+	}
+	return p.fallback.Predict()
+}
+
+// ObservePhased records the actual value together with the phase the
+// interval was classified into.
+func (p *PhaseMean) ObservePhased(actual float64, phase int) {
+	n := p.count[phase]
+	p.mean[phase] = (p.mean[phase]*float64(n) + actual) / float64(n+1)
+	p.count[phase] = n + 1
+	p.curPhase = phase
+	p.fallback.Observe(actual)
+}
+
+// Observe implements Predictor by attributing the value to the current
+// phase (callers with phase information should use ObservePhased).
+func (p *PhaseMean) Observe(actual float64) { p.ObservePhased(actual, p.curPhase) }
+
+// Accuracy accumulates prediction-error statistics the way Duesterwald
+// et al. report them: mean absolute percentage error, plus the fraction
+// of predictions within a tolerance band.
+type Accuracy struct {
+	n         int
+	absPctSum float64
+	within10  int
+	within25  int
+}
+
+// Record scores one (predicted, actual) pair. Intervals with a zero
+// actual value are skipped (no defined percentage error).
+func (a *Accuracy) Record(predicted, actual float64) {
+	if actual == 0 {
+		return
+	}
+	pct := math.Abs(predicted-actual) / math.Abs(actual)
+	a.n++
+	a.absPctSum += pct
+	if pct <= 0.10 {
+		a.within10++
+	}
+	if pct <= 0.25 {
+		a.within25++
+	}
+}
+
+// N returns the number of scored predictions.
+func (a *Accuracy) N() int { return a.n }
+
+// MAPE returns the mean absolute percentage error.
+func (a *Accuracy) MAPE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.absPctSum / float64(a.n)
+}
+
+// Within returns the fraction of predictions within the given band
+// (supported bands: 0.10 and 0.25).
+func (a *Accuracy) Within(band float64) float64 {
+	if a.n == 0 {
+		return 0
+	}
+	switch band {
+	case 0.10:
+		return float64(a.within10) / float64(a.n)
+	case 0.25:
+		return float64(a.within25) / float64(a.n)
+	default:
+		panic(fmt.Sprintf("metricpred: unsupported band %v", band))
+	}
+}

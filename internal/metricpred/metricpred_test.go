@@ -1,0 +1,149 @@
+package metricpred
+
+import (
+	"math"
+	"testing"
+
+	"phasekit/internal/rng"
+)
+
+func TestLastValue(t *testing.T) {
+	p := NewLastValue()
+	if p.Predict() != 0 {
+		t.Error("initial prediction nonzero")
+	}
+	p.Observe(2.5)
+	if p.Predict() != 2.5 {
+		t.Errorf("predict = %v", p.Predict())
+	}
+	p.Observe(1.0)
+	if p.Predict() != 1.0 {
+		t.Errorf("predict = %v", p.Predict())
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	p := NewEWMA(0.5)
+	p.Observe(2.0) // first sample initializes
+	if p.Predict() != 2.0 {
+		t.Errorf("after init = %v", p.Predict())
+	}
+	p.Observe(4.0)
+	if p.Predict() != 3.0 {
+		t.Errorf("after smoothing = %v, want 3.0", p.Predict())
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v did not panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestEWMATracksNoisySignalBetterThanLastValue(t *testing.T) {
+	// For a constant signal with zero-mean noise, EWMA's error is
+	// lower than last-value's.
+	x := rng.NewXoshiro256(5)
+	lv := NewLastValue()
+	ew := NewEWMA(0.25)
+	var lvAcc, ewAcc Accuracy
+	for i := 0; i < 5000; i++ {
+		actual := 2.0 + 0.4*(x.Float64()-0.5)
+		lvAcc.Record(lv.Predict(), actual)
+		ewAcc.Record(ew.Predict(), actual)
+		lv.Observe(actual)
+		ew.Observe(actual)
+	}
+	if ewAcc.MAPE() >= lvAcc.MAPE() {
+		t.Errorf("EWMA MAPE %v not below last-value %v on noisy constant", ewAcc.MAPE(), lvAcc.MAPE())
+	}
+}
+
+func TestPhaseMeanBeatsValuePredictorsAcrossChanges(t *testing.T) {
+	// Two phases with very different CPI alternating every 10
+	// intervals. A phase-aware predictor that knows the next phase
+	// forecasts its mean exactly; value predictors blow the error at
+	// every change.
+	pm := NewPhaseMean()
+	lv := NewLastValue()
+	var pmAcc, lvAcc Accuracy
+	cpiOf := map[int]float64{1: 1.0, 2: 4.0}
+	seq := make([]int, 0, 200)
+	for r := 0; r < 10; r++ {
+		for j := 0; j < 10; j++ {
+			seq = append(seq, 1)
+		}
+		for j := 0; j < 10; j++ {
+			seq = append(seq, 2)
+		}
+	}
+	for i := 0; i+1 < len(seq); i++ {
+		actualNext := cpiOf[seq[i+1]]
+		pm.ObservePhased(cpiOf[seq[i]], seq[i])
+		lv.Observe(cpiOf[seq[i]])
+		pm.SetNextPhase(seq[i+1]) // perfect phase prediction for the test
+		pmAcc.Record(pm.Predict(), actualNext)
+		lvAcc.Record(lv.Predict(), actualNext)
+	}
+	if pmAcc.MAPE() >= lvAcc.MAPE() {
+		t.Errorf("phase-mean MAPE %v not below last-value %v", pmAcc.MAPE(), lvAcc.MAPE())
+	}
+	if pmAcc.MAPE() > 0.01 {
+		t.Errorf("phase-mean MAPE %v should be near zero with perfect phase prediction", pmAcc.MAPE())
+	}
+}
+
+func TestPhaseMeanFallsBackForUnknownPhase(t *testing.T) {
+	pm := NewPhaseMean()
+	pm.ObservePhased(2.0, 1)
+	pm.SetNextPhase(99) // never seen
+	if got := pm.Predict(); got != 2.0 {
+		t.Errorf("fallback = %v, want last value 2.0", got)
+	}
+}
+
+func TestAccuracyBands(t *testing.T) {
+	var a Accuracy
+	a.Record(1.05, 1.0) // 5% error
+	a.Record(1.2, 1.0)  // 20%
+	a.Record(2.0, 1.0)  // 100%
+	a.Record(5.0, 0)    // skipped: zero actual
+	if a.N() != 3 {
+		t.Fatalf("n = %d", a.N())
+	}
+	if got := a.Within(0.10); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("within10 = %v", got)
+	}
+	if got := a.Within(0.25); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("within25 = %v", got)
+	}
+	want := (0.05 + 0.2 + 1.0) / 3
+	if math.Abs(a.MAPE()-want) > 1e-12 {
+		t.Errorf("MAPE = %v, want %v", a.MAPE(), want)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	var a Accuracy
+	if a.MAPE() != 0 || a.Within(0.10) != 0 {
+		t.Error("empty accuracy nonzero")
+	}
+}
+
+func TestAccuracyPanicsOnUnknownBand(t *testing.T) {
+	var a Accuracy
+	a.Record(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unsupported band")
+		}
+	}()
+	a.Within(0.5)
+}

@@ -1,0 +1,64 @@
+package predictor
+
+// ChangePredictor is the §6.1 usage of the phase change table: it
+// predicts only the outcome of the next phase change ("we do not
+// predict when the phase change will occur"). Unlike the next-phase
+// predictor, the table is consulted and trained exclusively at phase
+// changes, so the §5.2.3 mid-run removal rule — which exists to serve
+// per-interval prediction — never fires and contexts accumulate
+// normally.
+type ChangePredictor struct {
+	table *ChangeTable
+	hist  *History
+	stats ChangeStats
+}
+
+// NewChangePredictor returns a change-outcome predictor backed by a
+// table with the given configuration.
+func NewChangePredictor(cfg ChangeTableConfig) *ChangePredictor {
+	return &ChangePredictor{
+		table: NewChangeTable(cfg),
+		hist:  NewHistory(cfg.Kind, cfg.Depth),
+	}
+}
+
+// Observe records the actual phase of the next interval. At a phase
+// change it accounts the table's prediction for this change and then
+// trains the table with the actual outcome.
+func (p *ChangePredictor) Observe(actual int) {
+	cur, _, seen := p.hist.Current()
+	if seen && actual != cur {
+		hash := p.hist.Hash()
+		lk := p.table.Lookup(hash)
+		p.stats.Changes++
+		switch {
+		case !lk.Hit:
+			p.stats.TagMiss++
+		case lk.Predicts(actual) && lk.Confident:
+			p.stats.ConfCorrect++
+		case lk.Predicts(actual):
+			p.stats.UnconfCorrect++
+		case lk.Confident:
+			p.stats.ConfIncorrect++
+		default:
+			p.stats.UnconfIncorrect++
+		}
+		p.table.RecordChange(hash, actual)
+	}
+	p.hist.Observe(actual)
+}
+
+// PredictNextChange returns the table's current prediction of the next
+// phase change's outcome. The lookup keys on the in-progress history;
+// for Markov indexing the prediction is stable across a run, while RLE
+// indexing keys on the current run length, so the prediction firms up
+// as the run approaches a previously seen length.
+func (p *ChangePredictor) PredictNextChange() ChangeLookup {
+	return p.table.Lookup(p.hist.Hash())
+}
+
+// ChangeStats returns the Figure 8 accounting.
+func (p *ChangePredictor) ChangeStats() ChangeStats { return p.stats }
+
+// Table exposes the underlying table (tests, diagnostics).
+func (p *ChangePredictor) Table() *ChangeTable { return p.table }

@@ -1,0 +1,156 @@
+package predictor
+
+import (
+	"testing"
+
+	"phasekit/internal/rng"
+)
+
+func TestChangePredictorLearnsTransitions(t *testing.T) {
+	// Cycle 1 -> 2 -> 3 with noisy run lengths: a Markov-1 change
+	// predictor keys only on the current phase, so run-length noise
+	// does not hurt it.
+	p := NewChangePredictor(DefaultChangeTableConfig(Markov, 1))
+	x := rng.NewXoshiro256(1)
+	phases := []int{1, 2, 3}
+	for rep := 0; rep < 60; rep++ {
+		for _, ph := range phases {
+			for j := 0; j < 3+x.Intn(6); j++ {
+				p.Observe(ph)
+			}
+		}
+	}
+	cs := p.ChangeStats()
+	if cs.Changes < 150 {
+		t.Fatalf("changes = %d", cs.Changes)
+	}
+	if rate := cs.CorrectRate(); rate < 0.9 {
+		t.Errorf("correct rate = %v on deterministic transition graph", rate)
+	}
+	// With 1-bit confidence, established transitions are confident.
+	if cs.ConfCorrect < cs.Changes/2 {
+		t.Errorf("conf correct = %d of %d", cs.ConfCorrect, cs.Changes)
+	}
+}
+
+func TestChangePredictorNoMidRunRemoval(t *testing.T) {
+	// The §5.2.3 removal rule must NOT apply in change-only mode: long
+	// runs between changes leave the learned entry intact.
+	p := NewChangePredictor(DefaultChangeTableConfig(Markov, 1))
+	for rep := 0; rep < 5; rep++ {
+		for j := 0; j < 100; j++ { // long stable run
+			p.Observe(1)
+		}
+		p.Observe(2)
+		for j := 0; j < 50; j++ {
+			p.Observe(2)
+		}
+		p.Observe(1)
+	}
+	cs := p.ChangeStats()
+	// 10 changes total; after the first 1->2 and 2->1 are learned, the
+	// remaining 8 must all be correct despite the intervening runs.
+	if cs.Changes != 10 {
+		t.Fatalf("changes = %d", cs.Changes)
+	}
+	if correct := cs.ConfCorrect + cs.UnconfCorrect; correct < 8 {
+		t.Errorf("correct = %d of 10, entries were lost mid-run", correct)
+	}
+}
+
+func TestChangePredictorVsNextPhaseAtChanges(t *testing.T) {
+	// On streams with long stable runs, the dedicated change predictor
+	// must beat the next-phase machinery's change accounting, whose
+	// removal rule purges Markov entries mid-run (the reason §6.1
+	// re-evaluates the same tables in change-only mode).
+	x := rng.NewXoshiro256(9)
+	var stream []int
+	cur := 1
+	for i := 0; i < 400; i++ {
+		cur = 1 + (cur+x.Intn(2))%4
+		for j := 0; j < 10+x.Intn(20); j++ {
+			stream = append(stream, cur)
+		}
+	}
+	dedicated := NewChangePredictor(DefaultChangeTableConfig(Markov, 2))
+	nextCfg := withTable(Markov, 2)
+	next := NewNextPhase(nextCfg)
+	for _, ph := range stream {
+		dedicated.Observe(ph)
+		next.Observe(ph)
+	}
+	if dedicated.ChangeStats().CorrectRate() <= next.ChangeStats().CorrectRate() {
+		t.Errorf("dedicated (%v) not better than next-phase mode (%v)",
+			dedicated.ChangeStats().CorrectRate(), next.ChangeStats().CorrectRate())
+	}
+}
+
+func TestChangePredictorPredictNextChange(t *testing.T) {
+	p := NewChangePredictor(DefaultChangeTableConfig(Markov, 1))
+	for rep := 0; rep < 4; rep++ {
+		p.Observe(1)
+		p.Observe(1)
+		p.Observe(2)
+		p.Observe(2)
+	}
+	p.Observe(1) // currently in phase 1
+	lk := p.PredictNextChange()
+	if !lk.Hit || !lk.Predicts(2) {
+		t.Errorf("prediction from phase 1 = %+v, want outcome 2", lk)
+	}
+}
+
+func TestChangePredictorBucketsSum(t *testing.T) {
+	p := NewChangePredictor(DefaultChangeTableConfig(RLE, 2))
+	x := rng.NewXoshiro256(3)
+	cur := 1
+	for i := 0; i < 3000; i++ {
+		if x.Float64() < 0.25 {
+			cur = 1 + x.Intn(6)
+		}
+		p.Observe(cur)
+	}
+	cs := p.ChangeStats()
+	sum := cs.ConfCorrect + cs.UnconfCorrect + cs.TagMiss + cs.UnconfIncorrect + cs.ConfIncorrect
+	if sum != cs.Changes {
+		t.Errorf("buckets sum %d != changes %d", sum, cs.Changes)
+	}
+}
+
+func TestChangePredictorRLEKeysOnRunLength(t *testing.T) {
+	// With RLE indexing and exactly periodic run lengths, the change
+	// predictor hits; with a perturbed final run it tag-misses — the
+	// structural weakness of RLE change prediction the paper's Fig 8
+	// reflects.
+	exact := NewChangePredictor(DefaultChangeTableConfig(RLE, 1))
+	for rep := 0; rep < 20; rep++ {
+		for j := 0; j < 5; j++ {
+			exact.Observe(1)
+		}
+		for j := 0; j < 3; j++ {
+			exact.Observe(2)
+		}
+	}
+	cs := exact.ChangeStats()
+	if rate := cs.CorrectRate(); rate < 0.9 {
+		t.Errorf("exact periodic RLE correct rate = %v", rate)
+	}
+
+	noisy := NewChangePredictor(DefaultChangeTableConfig(RLE, 1))
+	x := rng.NewXoshiro256(7)
+	for rep := 0; rep < 20; rep++ {
+		for j := 0; j < 4+x.Intn(5); j++ { // run length 4..8, rarely repeats
+			noisy.Observe(1)
+		}
+		for j := 0; j < 2+x.Intn(4); j++ {
+			noisy.Observe(2)
+		}
+	}
+	ns := noisy.ChangeStats()
+	if ns.TagMiss == 0 {
+		t.Error("noisy run lengths produced no tag misses")
+	}
+	if ns.CorrectRate() >= cs.CorrectRate() {
+		t.Errorf("noisy (%v) not worse than exact (%v)", ns.CorrectRate(), cs.CorrectRate())
+	}
+}

@@ -1,0 +1,334 @@
+package predictor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TrackKind selects what outcome state each phase change table entry
+// stores.
+type TrackKind int
+
+const (
+	// TrackSingle stores the most recent outcome of the change (the
+	// standard Markov/RLE predictors).
+	TrackSingle TrackKind = iota
+	// TrackLast4 stores the last 4 unique outcomes; a prediction is
+	// counted correct if the actual outcome matches any of them
+	// (Fig 7/8 "Last 4" predictors).
+	TrackLast4
+	// TrackTopN stores frequency counts per outcome and predicts the
+	// N most frequent (Fig 8 "Top 1"/"Top 4" predictors).
+	TrackTopN
+)
+
+// ChangeTableConfig configures a phase change prediction table (§5.2.2,
+// §5.2.3, §6.1).
+type ChangeTableConfig struct {
+	// Entries is the total table capacity (32 in §5, 128 in the Fig 8
+	// large-table configurations).
+	Entries int
+	// Assoc is the set associativity (4 throughout the paper).
+	Assoc int
+	// Kind selects Markov or RLE indexing.
+	Kind HistoryKind
+	// Depth is N: how many history elements form the index.
+	Depth int
+	// Track selects the per-entry outcome state.
+	Track TrackKind
+	// TopN is the number of most-frequent outcomes predicted when
+	// Track is TrackTopN.
+	TopN int
+	// UseConfidence gates predictions behind each entry's confidence
+	// counter (§5.1: 1-bit counters for the phase change table).
+	UseConfidence bool
+	// ConfBits is the confidence counter width (1 in the paper).
+	ConfBits int
+	// ConfThreshold is the minimum counter value considered confident.
+	// With 1-bit counters the paper uses threshold 1: an entry must
+	// predict correctly once before it is trusted.
+	ConfThreshold int
+}
+
+// DefaultChangeTableConfig returns the §5 configuration: a 32 entry
+// 4-way associative table with 1-bit confidence counters.
+func DefaultChangeTableConfig(kind HistoryKind, depth int) ChangeTableConfig {
+	return ChangeTableConfig{
+		Entries:       32,
+		Assoc:         4,
+		Kind:          kind,
+		Depth:         depth,
+		Track:         TrackSingle,
+		UseConfidence: true,
+		ConfBits:      1,
+		ConfThreshold: 1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ChangeTableConfig) Validate() error {
+	if c.Entries <= 0 || c.Assoc <= 0 || c.Entries%c.Assoc != 0 {
+		return fmt.Errorf("predictor: bad table geometry %d entries / %d ways", c.Entries, c.Assoc)
+	}
+	sets := c.Entries / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("predictor: set count %d not a power of two", sets)
+	}
+	if c.Depth < 1 {
+		return fmt.Errorf("predictor: history depth must be >= 1, got %d", c.Depth)
+	}
+	if c.Track == TrackTopN && c.TopN < 1 {
+		return fmt.Errorf("predictor: TrackTopN requires TopN >= 1, got %d", c.TopN)
+	}
+	if c.UseConfidence {
+		if c.ConfBits < 1 || c.ConfBits > 8 {
+			return fmt.Errorf("predictor: ConfBits must be in [1,8], got %d", c.ConfBits)
+		}
+		if c.ConfThreshold < 1 || c.ConfThreshold > (1<<c.ConfBits)-1 {
+			return fmt.Errorf("predictor: ConfThreshold %d out of range for %d bits", c.ConfThreshold, c.ConfBits)
+		}
+	}
+	return nil
+}
+
+// tableEntry is one way of the phase change table.
+type tableEntry struct {
+	valid bool
+	tag   uint64
+	lru   uint8
+	conf  int
+
+	single int            // TrackSingle: last outcome
+	last4  []int          // TrackLast4: unique outcomes, most recent first
+	counts map[int]uint32 // TrackTopN: outcome -> occurrences
+}
+
+// ChangeLookup is the result of probing the table.
+type ChangeLookup struct {
+	// Hit reports a tag match.
+	Hit bool
+	// Confident reports that the entry's confidence counter is at or
+	// above the threshold (always true for hits when the table does
+	// not use confidence).
+	Confident bool
+	// Outcomes is the predicted set of next phases: one element for
+	// TrackSingle, up to 4 for TrackLast4, up to TopN for TrackTopN,
+	// best prediction first.
+	Outcomes []int
+}
+
+// Predicts reports whether phase is in the predicted outcome set.
+func (l ChangeLookup) Predicts(phase int) bool {
+	for _, o := range l.Outcomes {
+		if o == phase {
+			return true
+		}
+	}
+	return false
+}
+
+// ChangeTable is the paper's phase change prediction table: a small
+// set-associative, LRU-replaced structure keyed by a hash of phase
+// history.
+type ChangeTable struct {
+	cfg     ChangeTableConfig
+	sets    int
+	ways    []tableEntry
+	confMax int
+}
+
+// NewChangeTable returns an empty table. It panics on an invalid
+// configuration.
+func NewChangeTable(cfg ChangeTableConfig) *ChangeTable {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &ChangeTable{
+		cfg:     cfg,
+		sets:    cfg.Entries / cfg.Assoc,
+		ways:    make([]tableEntry, cfg.Entries),
+		confMax: (1 << cfg.ConfBits) - 1,
+	}
+}
+
+// Config returns the table's configuration.
+func (t *ChangeTable) Config() ChangeTableConfig { return t.cfg }
+
+func (t *ChangeTable) set(hash uint64) (base int, tag uint64) {
+	set := int(hash) & (t.sets - 1)
+	return set * t.cfg.Assoc, hash
+}
+
+// find returns the way index of the entry with this hash, or -1.
+func (t *ChangeTable) find(hash uint64) int {
+	base, tag := t.set(hash)
+	for w := 0; w < t.cfg.Assoc; w++ {
+		if t.ways[base+w].valid && t.ways[base+w].tag == tag {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Lookup probes the table for the given history hash without modifying
+// replacement or confidence state.
+func (t *ChangeTable) Lookup(hash uint64) ChangeLookup {
+	i := t.find(hash)
+	if i < 0 {
+		return ChangeLookup{}
+	}
+	e := &t.ways[i]
+	confident := !t.cfg.UseConfidence || e.conf >= t.cfg.ConfThreshold
+	return ChangeLookup{Hit: true, Confident: confident, Outcomes: t.outcomes(e)}
+}
+
+// outcomes assembles an entry's predicted set, best first.
+func (t *ChangeTable) outcomes(e *tableEntry) []int {
+	switch t.cfg.Track {
+	case TrackSingle:
+		return []int{e.single}
+	case TrackLast4:
+		out := make([]int, len(e.last4))
+		copy(out, e.last4)
+		return out
+	case TrackTopN:
+		type oc struct {
+			phase int
+			count uint32
+		}
+		all := make([]oc, 0, len(e.counts))
+		for p, n := range e.counts {
+			all = append(all, oc{p, n})
+		}
+		// Stable order: count desc, then phase asc for determinism.
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].count != all[j].count {
+				return all[i].count > all[j].count
+			}
+			return all[i].phase < all[j].phase
+		})
+		n := t.cfg.TopN
+		if n > len(all) {
+			n = len(all)
+		}
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			out[i] = all[i].phase
+		}
+		return out
+	default:
+		panic("predictor: unknown TrackKind")
+	}
+}
+
+// RecordChange trains the table with an observed phase change: from the
+// history state hashed as hash, execution changed to phase outcome. The
+// entry's confidence counter is incremented if it predicted this
+// outcome (before training) and decremented otherwise. If no entry
+// exists one is allocated, evicting the set's LRU way.
+func (t *ChangeTable) RecordChange(hash uint64, outcome int) {
+	i := t.find(hash)
+	if i < 0 {
+		t.insert(hash, outcome)
+		return
+	}
+	e := &t.ways[i]
+	correct := false
+	for _, o := range t.outcomes(e) {
+		if o == outcome {
+			correct = true
+			break
+		}
+	}
+	if correct {
+		if e.conf < t.confMax {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		}
+	}
+	t.train(e, outcome)
+	t.touch(i)
+}
+
+// train folds an outcome into the entry's tracked state.
+func (t *ChangeTable) train(e *tableEntry, outcome int) {
+	switch t.cfg.Track {
+	case TrackSingle:
+		e.single = outcome
+	case TrackLast4:
+		// Move-to-front of a unique list capped at 4. Build into a
+		// fresh slice: writing through e.last4[:0] would clobber the
+		// old list while it is still being read.
+		out := make([]int, 0, 4)
+		out = append(out, outcome)
+		for _, p := range e.last4 {
+			if p != outcome && len(out) < 4 {
+				out = append(out, p)
+			}
+		}
+		e.last4 = out
+	case TrackTopN:
+		if e.counts == nil {
+			e.counts = make(map[int]uint32, 4)
+		}
+		e.counts[outcome]++
+	}
+}
+
+// insert allocates an entry for hash with the given first outcome.
+func (t *ChangeTable) insert(hash uint64, outcome int) {
+	base, tag := t.set(hash)
+	victim := base
+	for w := 0; w < t.cfg.Assoc; w++ {
+		if !t.ways[base+w].valid {
+			victim = base + w
+			break
+		}
+		if t.ways[base+w].lru >= t.ways[victim].lru {
+			victim = base + w
+		}
+	}
+	// Enter with maximum age so touch ages every other valid way once.
+	t.ways[victim] = tableEntry{valid: true, tag: tag, conf: 0, lru: uint8(t.cfg.Assoc - 1)}
+	t.train(&t.ways[victim], outcome)
+	t.touch(victim)
+}
+
+// Remove deletes the entry for hash if present. The paper removes an
+// entry when it incorrectly predicted a phase change that did not
+// happen, because the last-value predictor would have been correct
+// (§5.2.3).
+func (t *ChangeTable) Remove(hash uint64) bool {
+	i := t.find(hash)
+	if i < 0 {
+		return false
+	}
+	t.ways[i] = tableEntry{}
+	return true
+}
+
+// touch makes way i the MRU of its set.
+func (t *ChangeTable) touch(i int) {
+	base := (i / t.cfg.Assoc) * t.cfg.Assoc
+	cur := t.ways[i].lru
+	for w := 0; w < t.cfg.Assoc; w++ {
+		if t.ways[base+w].valid && t.ways[base+w].lru < cur {
+			t.ways[base+w].lru++
+		}
+	}
+	t.ways[i].lru = 0
+}
+
+// Len returns the number of valid entries.
+func (t *ChangeTable) Len() int {
+	n := 0
+	for i := range t.ways {
+		if t.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,239 @@
+package predictor
+
+import (
+	"testing"
+
+	"phasekit/internal/rng"
+)
+
+func singleCfg() ChangeTableConfig {
+	return DefaultChangeTableConfig(Markov, 1)
+}
+
+func TestChangeTableValidate(t *testing.T) {
+	if err := singleCfg().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []ChangeTableConfig{
+		{Entries: 0, Assoc: 4, Depth: 1},
+		{Entries: 30, Assoc: 4, Depth: 1},                                                     // not divisible
+		{Entries: 24, Assoc: 4, Depth: 1},                                                     // 6 sets
+		{Entries: 32, Assoc: 4, Depth: 0},                                                     // bad depth
+		{Entries: 32, Assoc: 4, Depth: 1, Track: TrackTopN, TopN: 0},                          // TopN unset
+		{Entries: 32, Assoc: 4, Depth: 1, UseConfidence: true, ConfBits: 0},                   // bad bits
+		{Entries: 32, Assoc: 4, Depth: 1, UseConfidence: true, ConfBits: 1, ConfThreshold: 2}, // threshold > max
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestChangeTableMissThenLearn(t *testing.T) {
+	tb := NewChangeTable(singleCfg())
+	if lk := tb.Lookup(42); lk.Hit {
+		t.Fatal("empty table hit")
+	}
+	tb.RecordChange(42, 7)
+	lk := tb.Lookup(42)
+	if !lk.Hit {
+		t.Fatal("trained entry missed")
+	}
+	if !lk.Predicts(7) || lk.Predicts(8) {
+		t.Errorf("outcomes = %v", lk.Outcomes)
+	}
+	// 1-bit confidence with threshold 1: a fresh entry is unconfident.
+	if lk.Confident {
+		t.Error("fresh entry confident")
+	}
+	// A correct outcome raises confidence to the threshold.
+	tb.RecordChange(42, 7)
+	if lk := tb.Lookup(42); !lk.Confident {
+		t.Error("entry not confident after correct prediction")
+	}
+}
+
+func TestChangeTableConfidenceDropsOnWrong(t *testing.T) {
+	tb := NewChangeTable(singleCfg())
+	tb.RecordChange(42, 7)
+	tb.RecordChange(42, 7) // confident now
+	tb.RecordChange(42, 9) // wrong: conf drops, outcome retrained
+	lk := tb.Lookup(42)
+	if lk.Confident {
+		t.Error("confidence survived misprediction")
+	}
+	if !lk.Predicts(9) {
+		t.Errorf("entry not retrained: %v", lk.Outcomes)
+	}
+}
+
+func TestChangeTableNoConfidenceAlwaysConfident(t *testing.T) {
+	cfg := singleCfg()
+	cfg.UseConfidence = false
+	tb := NewChangeTable(cfg)
+	tb.RecordChange(42, 7)
+	if lk := tb.Lookup(42); !lk.Confident {
+		t.Error("no-confidence table reported unconfident hit")
+	}
+}
+
+func TestChangeTableRemove(t *testing.T) {
+	tb := NewChangeTable(singleCfg())
+	tb.RecordChange(42, 7)
+	if !tb.Remove(42) {
+		t.Fatal("remove missed existing entry")
+	}
+	if tb.Remove(42) {
+		t.Error("second remove found entry")
+	}
+	if lk := tb.Lookup(42); lk.Hit {
+		t.Error("removed entry still hits")
+	}
+	if tb.Len() != 0 {
+		t.Errorf("len = %d", tb.Len())
+	}
+}
+
+func TestChangeTableLast4(t *testing.T) {
+	cfg := singleCfg()
+	cfg.Track = TrackLast4
+	tb := NewChangeTable(cfg)
+	for _, outcome := range []int{1, 2, 3, 4, 5} {
+		tb.RecordChange(42, outcome)
+	}
+	lk := tb.Lookup(42)
+	if len(lk.Outcomes) != 4 {
+		t.Fatalf("outcomes = %v, want 4 entries", lk.Outcomes)
+	}
+	// 1 fell off; 5 is most recent.
+	if lk.Predicts(1) {
+		t.Error("oldest outcome not displaced")
+	}
+	for _, o := range []int{2, 3, 4, 5} {
+		if !lk.Predicts(o) {
+			t.Errorf("outcome %d missing from %v", o, lk.Outcomes)
+		}
+	}
+	if lk.Outcomes[0] != 5 {
+		t.Errorf("most recent outcome not first: %v", lk.Outcomes)
+	}
+}
+
+func TestChangeTableLast4Unique(t *testing.T) {
+	cfg := singleCfg()
+	cfg.Track = TrackLast4
+	tb := NewChangeTable(cfg)
+	for _, outcome := range []int{1, 2, 1, 2, 1} {
+		tb.RecordChange(42, outcome)
+	}
+	lk := tb.Lookup(42)
+	if len(lk.Outcomes) != 2 {
+		t.Fatalf("outcomes = %v, want unique {1,2}", lk.Outcomes)
+	}
+}
+
+func TestChangeTableTopN(t *testing.T) {
+	cfg := singleCfg()
+	cfg.Track = TrackTopN
+	cfg.TopN = 1
+	tb := NewChangeTable(cfg)
+	// Outcome 7 occurs 3x, outcome 9 twice, outcome 5 once.
+	for _, o := range []int{7, 9, 7, 5, 9, 7} {
+		tb.RecordChange(42, o)
+	}
+	lk := tb.Lookup(42)
+	if len(lk.Outcomes) != 1 || lk.Outcomes[0] != 7 {
+		t.Errorf("Top-1 = %v, want [7]", lk.Outcomes)
+	}
+
+	cfg.TopN = 4
+	tb4 := NewChangeTable(cfg)
+	for _, o := range []int{7, 9, 7, 5, 9, 7, 3, 1} {
+		tb4.RecordChange(42, o)
+	}
+	lk = tb4.Lookup(42)
+	if len(lk.Outcomes) != 4 {
+		t.Fatalf("Top-4 = %v", lk.Outcomes)
+	}
+	if lk.Outcomes[0] != 7 || lk.Outcomes[1] != 9 {
+		t.Errorf("Top-4 order = %v, want 7 then 9 first", lk.Outcomes)
+	}
+}
+
+func TestChangeTableTopNDeterministicTies(t *testing.T) {
+	cfg := singleCfg()
+	cfg.Track = TrackTopN
+	cfg.TopN = 2
+	tb := NewChangeTable(cfg)
+	tb.RecordChange(42, 9)
+	tb.RecordChange(42, 3) // both count 1: tie broken by phase asc
+	lk := tb.Lookup(42)
+	if lk.Outcomes[0] != 3 || lk.Outcomes[1] != 9 {
+		t.Errorf("tie order = %v, want [3 9]", lk.Outcomes)
+	}
+}
+
+func TestChangeTableLRUWithinSet(t *testing.T) {
+	// 8-entry, 4-way table: 2 sets. Fill one set beyond capacity with
+	// hashes mapping to set 0 and verify LRU eviction.
+	cfg := ChangeTableConfig{Entries: 8, Assoc: 4, Kind: Markov, Depth: 1, Track: TrackSingle}
+	tb := NewChangeTable(cfg)
+	// Hashes 0,2,4,... map to set 0 (hash & 1 == 0).
+	hashes := []uint64{0, 2, 4, 6}
+	for _, h := range hashes {
+		tb.RecordChange(h, int(h))
+	}
+	// Touch 0 so 2 becomes LRU.
+	tb.RecordChange(0, 0)
+	tb.RecordChange(8, 8) // new entry evicts 2
+	if lk := tb.Lookup(2); lk.Hit {
+		t.Error("LRU entry 2 survived")
+	}
+	for _, h := range []uint64{0, 4, 6, 8} {
+		if lk := tb.Lookup(h); !lk.Hit {
+			t.Errorf("entry %d missing", h)
+		}
+	}
+}
+
+func TestChangeTableSetsIsolated(t *testing.T) {
+	cfg := ChangeTableConfig{Entries: 8, Assoc: 4, Kind: Markov, Depth: 1, Track: TrackSingle}
+	tb := NewChangeTable(cfg)
+	// Overfill set 0; set 1 entries must be untouched.
+	tb.RecordChange(1, 100) // set 1
+	for h := uint64(0); h < 12; h += 2 {
+		tb.RecordChange(h, int(h))
+	}
+	if lk := tb.Lookup(1); !lk.Hit || !lk.Predicts(100) {
+		t.Error("set-1 entry disturbed by set-0 fills")
+	}
+}
+
+func TestChangeTableStress(t *testing.T) {
+	// Random workload: table must never exceed capacity and lookups
+	// must stay internally consistent.
+	tb := NewChangeTable(singleCfg())
+	x := rng.NewXoshiro256(12)
+	for i := 0; i < 10000; i++ {
+		h := x.Uint64n(200)
+		switch x.Intn(3) {
+		case 0:
+			tb.RecordChange(h, x.Intn(50))
+		case 1:
+			tb.Lookup(h)
+		case 2:
+			tb.Remove(h)
+		}
+		if tb.Len() > 32 {
+			t.Fatalf("table overflow: %d entries", tb.Len())
+		}
+	}
+}
+
+func BenchmarkChangeTableRecord(b *testing.B) {
+	tb := NewChangeTable(singleCfg())
+	for i := 0; i < b.N; i++ {
+		tb.RecordChange(uint64(i%97), i%13)
+	}
+}

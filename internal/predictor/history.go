@@ -1,0 +1,155 @@
+// Package predictor implements the paper's phase prediction
+// architectures (§5–6): last-value prediction with per-phase confidence
+// counters, Markov-N and RLE-N phase change predictors with Last-4 and
+// Top-N variants backed by a small set-associative table, perfect-
+// Markov upper bounds, and run-length-class phase length prediction
+// with hysteresis.
+package predictor
+
+import (
+	"fmt"
+
+	"phasekit/internal/rng"
+)
+
+// HistoryKind selects how phase change predictor tables are indexed.
+type HistoryKind int
+
+const (
+	// Markov indexes by the last N distinct phase IDs (§5.2.2). The
+	// history is run-length compressed: consecutive identical IDs
+	// count once.
+	Markov HistoryKind = iota
+	// RLE indexes by the last N (phase ID, run length) pairs of the
+	// run-length-encoded phase ID history (§5.2.3).
+	RLE
+)
+
+// String returns the conventional name used in the paper's figures.
+func (k HistoryKind) String() string {
+	switch k {
+	case Markov:
+		return "Markov"
+	case RLE:
+		return "RLE"
+	default:
+		return fmt.Sprintf("HistoryKind(%d)", int(k))
+	}
+}
+
+// runPair is one element of the run-length-encoded phase history.
+type runPair struct {
+	phase int
+	run   int
+}
+
+// History tracks the run-length-encoded phase ID stream and produces
+// table index hashes for Markov-N and RLE-N predictors.
+//
+// The most recent pair is always the in-progress run of the current
+// phase, so a hash taken mid-run keys on "phase P has now run for R
+// intervals", which is what lets an RLE predictor anticipate *when* a
+// change will occur, not just *what* comes next.
+type History struct {
+	kind  HistoryKind
+	depth int
+	pairs []runPair // most recent last; len <= depth
+	valid bool
+}
+
+// NewHistory returns an empty history for the given predictor kind and
+// depth N. Depth must be at least 1.
+func NewHistory(kind HistoryKind, depth int) *History {
+	if depth < 1 {
+		panic(fmt.Sprintf("predictor: history depth must be >= 1, got %d", depth))
+	}
+	return &History{kind: kind, depth: depth}
+}
+
+// Kind returns the history kind.
+func (h *History) Kind() HistoryKind { return h.kind }
+
+// Depth returns N.
+func (h *History) Depth() int { return h.depth }
+
+// Current returns the phase and in-progress run length of the current
+// run, and false if no interval has been observed yet.
+func (h *History) Current() (phase, run int, ok bool) {
+	if !h.valid {
+		return 0, 0, false
+	}
+	last := h.pairs[len(h.pairs)-1]
+	return last.phase, last.run, true
+}
+
+// Observe records the phase ID of the next interval, extending the
+// current run or starting a new one. It returns true when the
+// observation was a phase change.
+func (h *History) Observe(phase int) bool {
+	if !h.valid {
+		h.pairs = append(h.pairs, runPair{phase: phase, run: 1})
+		h.valid = true
+		return false
+	}
+	last := &h.pairs[len(h.pairs)-1]
+	if last.phase == phase {
+		last.run++
+		return false
+	}
+	h.pairs = append(h.pairs, runPair{phase: phase, run: 1})
+	if len(h.pairs) > h.depth {
+		h.pairs = h.pairs[1:]
+	}
+	return true
+}
+
+// Hash returns the table index hash for the current history state. It
+// hashes the last N distinct phases (Markov) or the last N (phase, run)
+// pairs including the in-progress run (RLE). An empty history hashes to
+// a fixed value.
+func (h *History) Hash() uint64 {
+	var acc uint64 = 0x5bd1e995
+	for _, p := range h.pairs {
+		acc = rng.Combine(acc, uint64(p.phase)+1)
+		if h.kind == RLE {
+			acc = rng.Combine(acc, uint64(p.run))
+		}
+	}
+	return acc
+}
+
+// HashEnded returns the hash for the history state at the moment the
+// current run ends: identical to Hash for RLE (the final run length is
+// the current one), and identical for Markov. It exists to make the
+// call sites of phase change insertion self-documenting.
+func (h *History) HashEnded() uint64 { return h.Hash() }
+
+// Key returns an exact (collision-free) encoding of the history state,
+// used by the perfect predictors. The encoding is the concatenation of
+// the pair values; it is only valid to compare against keys from a
+// History with the same kind and depth.
+func (h *History) Key() string {
+	buf := make([]byte, 0, len(h.pairs)*10)
+	for _, p := range h.pairs {
+		buf = appendUvarint(buf, uint64(p.phase)+1)
+		if h.kind == RLE {
+			buf = appendUvarint(buf, uint64(p.run))
+		}
+	}
+	return string(buf)
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// Clone returns an independent copy of the history.
+func (h *History) Clone() *History {
+	out := &History{kind: h.kind, depth: h.depth, valid: h.valid}
+	out.pairs = append([]runPair(nil), h.pairs...)
+	return out
+}

@@ -1,0 +1,147 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistoryEmpty(t *testing.T) {
+	h := NewHistory(Markov, 2)
+	if _, _, ok := h.Current(); ok {
+		t.Error("empty history reported a current run")
+	}
+}
+
+func TestHistoryObserveRuns(t *testing.T) {
+	h := NewHistory(RLE, 2)
+	changes := 0
+	for _, p := range []int{1, 1, 1, 2, 2, 1} {
+		if h.Observe(p) {
+			changes++
+		}
+	}
+	if changes != 2 {
+		t.Errorf("changes = %d, want 2", changes)
+	}
+	phase, run, ok := h.Current()
+	if !ok || phase != 1 || run != 1 {
+		t.Errorf("current = %d,%d,%v", phase, run, ok)
+	}
+}
+
+func TestHistoryFirstObservationNotChange(t *testing.T) {
+	h := NewHistory(Markov, 1)
+	if h.Observe(5) {
+		t.Error("first observation counted as change")
+	}
+}
+
+func TestHistoryDepthBound(t *testing.T) {
+	h := NewHistory(RLE, 2)
+	for _, p := range []int{1, 2, 3, 4, 5} {
+		h.Observe(p)
+	}
+	if len(h.pairs) != 2 {
+		t.Errorf("pairs = %d, want bounded at 2", len(h.pairs))
+	}
+	if h.pairs[0].phase != 4 || h.pairs[1].phase != 5 {
+		t.Errorf("pairs = %+v", h.pairs)
+	}
+}
+
+func TestHistoryMarkovHashIgnoresRunLength(t *testing.T) {
+	a := NewHistory(Markov, 2)
+	b := NewHistory(Markov, 2)
+	for _, p := range []int{1, 2, 2, 2} {
+		a.Observe(p)
+	}
+	for _, p := range []int{1, 2} {
+		b.Observe(p)
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("Markov hash depends on run length")
+	}
+}
+
+func TestHistoryRLEHashUsesRunLength(t *testing.T) {
+	a := NewHistory(RLE, 2)
+	b := NewHistory(RLE, 2)
+	for _, p := range []int{1, 2, 2, 2} {
+		a.Observe(p)
+	}
+	for _, p := range []int{1, 2} {
+		b.Observe(p)
+	}
+	if a.Hash() == b.Hash() {
+		t.Error("RLE hash ignores run length")
+	}
+}
+
+func TestHistoryHashOrderSensitive(t *testing.T) {
+	a := NewHistory(Markov, 2)
+	b := NewHistory(Markov, 2)
+	a.Observe(1)
+	a.Observe(2)
+	b.Observe(2)
+	b.Observe(1)
+	if a.Hash() == b.Hash() {
+		t.Error("hash insensitive to phase order")
+	}
+}
+
+func TestHistoryKeyExactness(t *testing.T) {
+	// Keys for different states must differ; same state same key.
+	f := func(seq []uint8) bool {
+		a := NewHistory(RLE, 2)
+		b := NewHistory(RLE, 2)
+		for _, p := range seq {
+			a.Observe(int(p % 5))
+			b.Observe(int(p % 5))
+		}
+		return a.Key() == b.Key() && a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryKeyDistinguishesRuns(t *testing.T) {
+	a := NewHistory(RLE, 1)
+	b := NewHistory(RLE, 1)
+	a.Observe(1)
+	a.Observe(1)
+	b.Observe(1)
+	if a.Key() == b.Key() {
+		t.Error("RLE key ignores run length")
+	}
+}
+
+func TestHistoryClone(t *testing.T) {
+	h := NewHistory(RLE, 2)
+	h.Observe(1)
+	h.Observe(2)
+	c := h.Clone()
+	h.Observe(3)
+	_, _, ok := c.Current()
+	if !ok {
+		t.Fatal("clone lost state")
+	}
+	if c.Hash() == h.Hash() {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestHistoryDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for depth 0")
+		}
+	}()
+	NewHistory(Markov, 0)
+}
+
+func TestHistoryKindString(t *testing.T) {
+	if Markov.String() != "Markov" || RLE.String() != "RLE" {
+		t.Errorf("strings: %s %s", Markov, RLE)
+	}
+}

@@ -1,0 +1,107 @@
+package predictor
+
+import "fmt"
+
+// LastValueConfig configures the last-value predictor's per-phase
+// confidence counters (§5.1).
+type LastValueConfig struct {
+	// UseConfidence enables the confidence counters; without them
+	// every last-value prediction is treated as confident.
+	UseConfidence bool
+	// Bits is the counter width (3 in the paper).
+	Bits int
+	// Threshold is the minimum counter value considered confident
+	// (6 in the paper: "1 less than fully saturated").
+	Threshold int
+}
+
+// DefaultLastValueConfig returns the §5 configuration: 3-bit counters
+// with a confidence threshold of 6, incrementing and decrementing by 1.
+func DefaultLastValueConfig() LastValueConfig {
+	return LastValueConfig{UseConfidence: true, Bits: 3, Threshold: 6}
+}
+
+// Validate reports whether the configuration is usable.
+func (c LastValueConfig) Validate() error {
+	if !c.UseConfidence {
+		return nil
+	}
+	if c.Bits < 1 || c.Bits > 8 {
+		return fmt.Errorf("predictor: last-value ConfBits must be in [1,8], got %d", c.Bits)
+	}
+	if c.Threshold < 1 || c.Threshold > (1<<c.Bits)-1 {
+		return fmt.Errorf("predictor: last-value threshold %d out of range for %d bits", c.Threshold, c.Bits)
+	}
+	return nil
+}
+
+// LastValue always predicts that the next interval's phase equals the
+// current one, with a per-phase confidence counter: correct last-value
+// predictions in a phase raise its counter, incorrect ones lower it, so
+// stable phases advance to confident status and rapidly changing ones
+// are demoted (§5.1).
+type LastValue struct {
+	cfg  LastValueConfig
+	conf map[int]int
+	max  int
+	cur  int
+	seen bool
+}
+
+// NewLastValue returns a predictor with no observed phase. It panics on
+// an invalid configuration.
+func NewLastValue(cfg LastValueConfig) *LastValue {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &LastValue{cfg: cfg, conf: make(map[int]int), max: (1 << cfg.Bits) - 1}
+}
+
+// Predict returns the predicted next phase and whether the prediction
+// is confident. Before any observation it predicts phase 0 without
+// confidence.
+func (l *LastValue) Predict() (phase int, confident bool) {
+	if !l.seen {
+		return 0, false
+	}
+	if !l.cfg.UseConfidence {
+		return l.cur, true
+	}
+	return l.cur, l.conf[l.cur] >= l.cfg.Threshold
+}
+
+// Observe records the actual phase of the next interval, training the
+// confidence counter of the phase that made the prediction. It returns
+// whether the pre-update prediction was correct (false before any
+// observation).
+func (l *LastValue) Observe(actual int) bool {
+	if !l.seen {
+		l.seen = true
+		l.cur = actual
+		return false
+	}
+	correct := actual == l.cur
+	if l.cfg.UseConfidence {
+		c := l.conf[l.cur]
+		if correct {
+			if c < l.max {
+				l.conf[l.cur] = c + 1
+			}
+		} else if c > 0 {
+			l.conf[l.cur] = c - 1
+		}
+	}
+	l.cur = actual
+	return correct
+}
+
+// ResetPhase clears the confidence counter for a phase. The paper
+// resets a phase's counter whenever a new entry is added to the phase
+// ID signature table (§5.1); core.Tracker calls this on new-signature
+// classifications.
+func (l *LastValue) ResetPhase(phase int) {
+	delete(l.conf, phase)
+}
+
+// Confidence returns the current counter value for a phase.
+func (l *LastValue) Confidence(phase int) int { return l.conf[phase] }

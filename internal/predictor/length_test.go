@@ -1,0 +1,169 @@
+package predictor
+
+import (
+	"testing"
+
+	"phasekit/internal/rng"
+)
+
+func TestLengthConfigValidate(t *testing.T) {
+	if err := DefaultLengthConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []LengthConfig{
+		{Entries: 0, Assoc: 4, Depth: 2, Bounds: []int{15}},
+		{Entries: 32, Assoc: 5, Depth: 2, Bounds: []int{15}},
+		{Entries: 32, Assoc: 4, Depth: 0, Bounds: []int{15}},
+		{Entries: 32, Assoc: 4, Depth: 2, Bounds: nil},
+		{Entries: 32, Assoc: 4, Depth: 2, Bounds: []int{20, 10}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLengthClasses(t *testing.T) {
+	p := NewLengthPredictor(DefaultLengthConfig())
+	cases := map[int]int{1: 0, 15: 0, 16: 1, 127: 1, 128: 2, 1023: 2, 1024: 3, 9999: 3}
+	for run, want := range cases {
+		if got := p.Class(run); got != want {
+			t.Errorf("Class(%d) = %d, want %d", run, got, want)
+		}
+	}
+	if p.Classes() != 4 {
+		t.Errorf("Classes = %d", p.Classes())
+	}
+	if p.ClassLabel(0) != "<=15" || p.ClassLabel(3) != ">=1024" {
+		t.Errorf("labels: %q %q", p.ClassLabel(0), p.ClassLabel(3))
+	}
+}
+
+// drive feeds a phase sequence of (phase, runLength) pairs.
+func drive(p *LengthPredictor, runs [][2]int, times int) {
+	for i := 0; i < times; i++ {
+		for _, r := range runs {
+			for j := 0; j < r[1]; j++ {
+				p.Observe(r[0])
+			}
+		}
+	}
+}
+
+func TestLengthPredictorLearnsPeriodicLengths(t *testing.T) {
+	// Phase 1 always runs 20 intervals (class 1), phase 2 runs 5
+	// (class 0). After warmup, predictions must be nearly perfect.
+	p := NewLengthPredictor(DefaultLengthConfig())
+	drive(p, [][2]int{{1, 20}, {2, 5}}, 40)
+	s := p.Stats()
+	if s.Predictions < 50 {
+		t.Fatalf("predictions = %d", s.Predictions)
+	}
+	if rate := s.MispredictRate(); rate > 0.1 {
+		t.Errorf("mispredict rate = %v on periodic lengths", rate)
+	}
+}
+
+func TestLengthPredictorClassDistribution(t *testing.T) {
+	p := NewLengthPredictor(DefaultLengthConfig())
+	drive(p, [][2]int{{1, 20}, {2, 5}}, 10)
+	s := p.Stats()
+	// Runs alternate class 1 (length 20) and class 0 (length 5).
+	if s.ClassCounts[0] == 0 || s.ClassCounts[1] == 0 {
+		t.Errorf("class counts = %v", s.ClassCounts)
+	}
+	if s.ClassCounts[2] != 0 || s.ClassCounts[3] != 0 {
+		t.Errorf("unexpected long-run classes: %v", s.ClassCounts)
+	}
+	if f := s.ClassFraction(0) + s.ClassFraction(1); f < 0.999 {
+		t.Errorf("fractions sum = %v", f)
+	}
+}
+
+func TestLengthPredictorMissPredictsShort(t *testing.T) {
+	p := NewLengthPredictor(DefaultLengthConfig())
+	if got := p.PredictNext(); got != 0 {
+		t.Errorf("cold predictor predicts class %d, want 0 (short)", got)
+	}
+}
+
+func TestLengthHysteresisFiltersNoise(t *testing.T) {
+	// Run lengths: mostly 20 (class 1) with an occasional 5 (class 0).
+	// With hysteresis, a single anomalous run must not flip the
+	// committed prediction.
+	cfg := DefaultLengthConfig()
+	cfg.Kind = Markov // key on phase only so every run of phase 1 shares an entry
+	cfg.Depth = 1
+	p := NewLengthPredictor(cfg)
+
+	lengths := []int{20, 20, 20, 5, 20, 20, 5, 20, 20, 20}
+	x := 0
+	mis := 0
+	// Alternate phase 1 (variable length) and phase 9 (fixed 3).
+	for rep := 0; rep < 3; rep++ {
+		for _, l := range lengths {
+			for j := 0; j < l; j++ {
+				p.Observe(1)
+			}
+			for j := 0; j < 3; j++ {
+				p.Observe(9)
+			}
+			x++
+		}
+	}
+	s := p.Stats()
+	mis = s.Mispredictions
+	// Without hysteresis every anomalous run flips the entry, causing
+	// a second misprediction on the next normal run.
+	cfgN := cfg
+	cfgN.Hysteresis = false
+	pn := NewLengthPredictor(cfgN)
+	for rep := 0; rep < 3; rep++ {
+		for _, l := range lengths {
+			for j := 0; j < l; j++ {
+				pn.Observe(1)
+			}
+			for j := 0; j < 3; j++ {
+				pn.Observe(9)
+			}
+		}
+	}
+	if pn.Stats().Mispredictions <= mis {
+		t.Errorf("hysteresis (%d misses) not better than none (%d) on noisy lengths",
+			mis, pn.Stats().Mispredictions)
+	}
+}
+
+func TestLengthPredictorStatsConsistency(t *testing.T) {
+	p := NewLengthPredictor(DefaultLengthConfig())
+	x := rng.NewXoshiro256(5)
+	cur := 1
+	for i := 0; i < 5000; i++ {
+		if x.Float64() < 0.1 {
+			cur = 1 + x.Intn(4)
+		}
+		p.Observe(cur)
+	}
+	s := p.Stats()
+	if s.Mispredictions > s.Predictions {
+		t.Error("mispredictions exceed predictions")
+	}
+	totalRuns := 0
+	for _, c := range s.ClassCounts {
+		totalRuns += c
+	}
+	// Every completed run is classified; predictions resolve all runs
+	// after the first change.
+	if s.Predictions > totalRuns {
+		t.Errorf("predictions %d > completed runs %d", s.Predictions, totalRuns)
+	}
+}
+
+func TestLengthPredictorEmptyStats(t *testing.T) {
+	p := NewLengthPredictor(DefaultLengthConfig())
+	s := p.Stats()
+	if s.MispredictRate() != 0 || s.ClassFraction(0) != 0 {
+		t.Error("empty stats nonzero")
+	}
+}

@@ -1,0 +1,50 @@
+package predictor
+
+// PerfectMarkov is the §6.1 upper bound: an unbounded first- or
+// second-order Markov model with exact (collision-free) history keys
+// that counts a phase change as correctly predicted if the same
+// (history -> outcome) transition was ever seen before. Its remaining
+// misses are pure cold-start effects, so its coverage bounds any
+// realizable predictor of the same order.
+type PerfectMarkov struct {
+	hist  *History
+	seen  map[string]map[int]bool
+	stats ChangeStats
+}
+
+// NewPerfectMarkov returns a perfect Markov model of the given order.
+func NewPerfectMarkov(order int) *PerfectMarkov {
+	return &PerfectMarkov{
+		hist: NewHistory(Markov, order),
+		seen: make(map[string]map[int]bool),
+	}
+}
+
+// Observe records the actual phase of the next interval, accounting
+// phase changes against previously seen transitions.
+func (p *PerfectMarkov) Observe(actual int) {
+	cur, _, seen := p.hist.Current()
+	if seen && actual != cur {
+		p.stats.Changes++
+		key := p.hist.Key()
+		outcomes := p.seen[key]
+		if outcomes == nil {
+			p.stats.TagMiss++
+			p.seen[key] = map[int]bool{actual: true}
+		} else if outcomes[actual] {
+			p.stats.ConfCorrect++
+		} else {
+			p.stats.ConfIncorrect++
+			outcomes[actual] = true
+		}
+	}
+	p.hist.Observe(actual)
+}
+
+// ChangeStats returns the accounting: ConfCorrect counts transitions
+// seen before, TagMiss cold-start histories, ConfIncorrect known
+// histories whose outcome was new.
+func (p *PerfectMarkov) ChangeStats() ChangeStats { return p.stats }
+
+// Transitions returns the number of distinct histories recorded.
+func (p *PerfectMarkov) Transitions() int { return len(p.seen) }

@@ -1,0 +1,158 @@
+package program
+
+import (
+	"fmt"
+
+	"phasekit/internal/rng"
+)
+
+// Builder assembles a Program, allocating non-overlapping code and data
+// address ranges so distinct blocks never alias in caches or signatures
+// by accident.
+type Builder struct {
+	prog     Program
+	nextCode uint64
+	nextData uint64
+	rng      *rng.Xoshiro256
+	nextBeh  int
+}
+
+// NewBuilder returns a builder whose random choices (PC placement
+// jitter, default parameter noise) derive from seed.
+func NewBuilder(seed uint64) *Builder {
+	return &Builder{
+		nextCode: 0x0040_0000, // typical text base
+		nextData: 0x1000_0000,
+		rng:      rng.NewXoshiro256(rng.Combine(seed, 0xb111de7)),
+	}
+}
+
+// BlockSpec describes a block to create; zero fields get defaults.
+type BlockSpec struct {
+	// Instrs is the mean instructions per execution (default 1500).
+	Instrs uint32
+	// Jitter is the fractional instruction jitter (default 0.2).
+	Jitter float64
+	// Branches per execution (default Instrs/16, min 1).
+	Branches uint32
+	// TakenBias (default 0.85: loop-dominated code).
+	TakenBias float64
+	// MemOps per 1000 instructions (default 0: compute only).
+	MemOps uint32
+	// Region is the data range; required when MemOps > 0 (allocate
+	// with Data or share another block's region).
+	Region Region
+	// Pattern and Stride select the access pattern.
+	Pattern Pattern
+	Stride  uint32
+	// CodeBytes (default Instrs*4, i.e. straight-line RISC estimate).
+	CodeBytes uint32
+}
+
+// Block appends a block built from spec and returns its index.
+func (b *Builder) Block(spec BlockSpec) int {
+	if spec.Instrs == 0 {
+		spec.Instrs = 1500
+	}
+	if spec.Jitter == 0 {
+		spec.Jitter = 0.2
+	}
+	if spec.Branches == 0 {
+		spec.Branches = spec.Instrs / 16
+		if spec.Branches == 0 {
+			spec.Branches = 1
+		}
+	}
+	if spec.TakenBias == 0 {
+		spec.TakenBias = 0.85
+	}
+	if spec.CodeBytes == 0 {
+		spec.CodeBytes = spec.Instrs * 4
+	}
+	if spec.MemOps > 0 && spec.Region.Size == 0 {
+		panic("program: block with MemOps needs a Region")
+	}
+
+	code := b.nextCode
+	// Leave a gap so code footprints of different blocks are disjoint.
+	b.nextCode += uint64(spec.CodeBytes) + 256
+
+	blk := Block{
+		BranchPC:      code + uint64(spec.CodeBytes) - 4,
+		CodePC:        code,
+		CodeBytes:     spec.CodeBytes,
+		MeanInstrs:    spec.Instrs,
+		InstrJitter:   spec.Jitter,
+		Branches:      spec.Branches,
+		TakenBias:     spec.TakenBias,
+		MemOpsPer1000: spec.MemOps,
+		Region:        spec.Region,
+		Pattern:       spec.Pattern,
+		Stride:        spec.Stride,
+	}
+	b.prog.Blocks = append(b.prog.Blocks, blk)
+	return len(b.prog.Blocks) - 1
+}
+
+// CloneBlock appends a copy of block idx with mod applied and returns
+// the new index. The copy keeps the original's PCs, so the two blocks
+// are indistinguishable to code-signature formation while their data
+// behaviour (and hence CPI) can differ — the mcf-style property of
+// phases that execute the same code over different data (§4.6).
+func (b *Builder) CloneBlock(idx int, mod func(*Block)) int {
+	blk := b.prog.Blocks[idx]
+	if mod != nil {
+		mod(&blk)
+	}
+	b.prog.Blocks = append(b.prog.Blocks, blk)
+	return len(b.prog.Blocks) - 1
+}
+
+// Data allocates a fresh data region of the given size.
+func (b *Builder) Data(size uint64) Region {
+	if size == 0 {
+		panic("program: zero-size data region")
+	}
+	r := Region{Base: b.nextData, Size: size}
+	// Page-align the next region and leave a guard gap.
+	b.nextData += (size + 0xffff) &^ 0xffff
+	return r
+}
+
+// Behavior registers a behaviour over the given weighted blocks and
+// returns its ID.
+func (b *Builder) Behavior(name string, blocks []BlockWeight) int {
+	id := b.nextBeh
+	b.nextBeh++
+	b.prog.Behaviors = append(b.prog.Behaviors, Behavior{ID: id, Name: name, Blocks: blocks})
+	return id
+}
+
+// Uniform builds an equal-weight BlockWeight list.
+func Uniform(blocks ...int) []BlockWeight {
+	out := make([]BlockWeight, len(blocks))
+	for i, blk := range blocks {
+		out[i] = BlockWeight{Block: blk, Weight: 1}
+	}
+	return out
+}
+
+// RNG exposes the builder's generator for spec construction randomness.
+func (b *Builder) RNG() *rng.Xoshiro256 { return b.rng }
+
+// Snapshot returns a copy of the block arena built so far, for
+// construction-time analysis (e.g. placing behaviours at controlled
+// signature distances).
+func (b *Builder) Snapshot() []Block {
+	return append([]Block(nil), b.prog.Blocks...)
+}
+
+// Build validates and returns the finished program. The builder must
+// not be reused afterwards.
+func (b *Builder) Build() *Program {
+	p := b.prog
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("program: builder produced invalid program: %v", err))
+	}
+	return &p
+}

@@ -1,0 +1,280 @@
+// Package program models synthetic programs for trace generation: a
+// flat arena of branch-region blocks with code and data footprints, and
+// behaviours — weighted working sets of blocks — whose execution emits
+// the (branch PC, instruction count) stream the phase tracking
+// architecture consumes and the memory/branch activity the uarch timing
+// model charges.
+//
+// This is the repo's substitute for SPEC2000 binaries under
+// SimpleScalar (see DESIGN.md §2): each paper benchmark is expressed as
+// a set of behaviours plus a phase script over them.
+package program
+
+import (
+	"fmt"
+
+	"phasekit/internal/rng"
+	"phasekit/internal/uarch"
+)
+
+// Pattern selects how a block touches its data region.
+type Pattern int
+
+const (
+	// Sequential walks the region with a per-block cursor, giving high
+	// spatial locality (streaming loads).
+	Sequential Pattern = iota
+	// Strided jumps by a fixed stride, thrashing caches when the
+	// stride exceeds the block size and the region exceeds capacity.
+	Strided
+	// Random touches uniformly random addresses in the region,
+	// modelling pointer chasing over a heap.
+	Random
+)
+
+// Region is a data address range.
+type Region struct {
+	Base uint64
+	Size uint64
+}
+
+// Block is one branch region: a loop body or call region ending in a
+// branch, with aggregate instruction, branch, and memory behaviour.
+type Block struct {
+	// BranchPC is the terminating branch's address (the signature key).
+	BranchPC uint64
+	// CodePC and CodeBytes give the instruction-fetch footprint.
+	CodePC    uint64
+	CodeBytes uint32
+	// MeanInstrs is the average instructions per execution; each
+	// execution jitters around it.
+	MeanInstrs uint32
+	// InstrJitter is the fractional uniform jitter on MeanInstrs.
+	InstrJitter float64
+	// Branches is how many branch executions the region represents.
+	Branches uint32
+	// TakenBias is the probability the representative branch is taken.
+	TakenBias float64
+	// MemOpsPer1000 is memory operations per 1000 instructions.
+	MemOpsPer1000 uint32
+	// Region is the data range touched.
+	Region Region
+	// Pattern selects the access pattern within Region.
+	Pattern Pattern
+	// Stride is the Strided pattern's step in bytes.
+	Stride uint32
+}
+
+// BlockWeight pairs a block index with a selection weight.
+type BlockWeight struct {
+	Block  int
+	Weight float64
+}
+
+// Behavior is a working set: the weighted mix of blocks a phase
+// executes. Two behaviours sharing most blocks with similar weights
+// produce similar code signatures regardless of their data behaviour —
+// exactly the property that makes mcf-style phases hard for code-based
+// classification.
+type Behavior struct {
+	ID     int
+	Name   string
+	Blocks []BlockWeight
+}
+
+// Program is an arena of blocks plus the behaviours defined over them.
+type Program struct {
+	Blocks    []Block
+	Behaviors []Behavior
+}
+
+// Validate reports whether every behaviour references valid blocks with
+// positive weights.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("program: no blocks")
+	}
+	for _, b := range p.Behaviors {
+		if len(b.Blocks) == 0 {
+			return fmt.Errorf("program: behaviour %q has no blocks", b.Name)
+		}
+		for _, bw := range b.Blocks {
+			if bw.Block < 0 || bw.Block >= len(p.Blocks) {
+				return fmt.Errorf("program: behaviour %q references block %d of %d",
+					b.Name, bw.Block, len(p.Blocks))
+			}
+			if bw.Weight <= 0 {
+				return fmt.Errorf("program: behaviour %q has non-positive weight %v",
+					b.Name, bw.Weight)
+			}
+		}
+	}
+	for i, blk := range p.Blocks {
+		if blk.MeanInstrs == 0 {
+			return fmt.Errorf("program: block %d has zero MeanInstrs", i)
+		}
+		if blk.TakenBias < 0 || blk.TakenBias > 1 {
+			return fmt.Errorf("program: block %d TakenBias %v out of range", i, blk.TakenBias)
+		}
+	}
+	return nil
+}
+
+// Behavior returns the behaviour with the given ID, or nil.
+func (p *Program) Behavior(id int) *Behavior {
+	for i := range p.Behaviors {
+		if p.Behaviors[i].ID == id {
+			return &p.Behaviors[i]
+		}
+	}
+	return nil
+}
+
+// Executor runs behaviours over a program, emitting block events. It
+// owns all mutable run state (cursors, RNG), so a Program can be shared
+// between executors.
+type Executor struct {
+	prog    *Program
+	rng     *rng.Xoshiro256
+	cursors []uint64 // per-block sequential cursor
+
+	// active selection state, refreshed by BeginInterval.
+	cum    []float64
+	blocks []BlockWeight
+}
+
+// NewExecutor returns an executor over prog seeded with seed.
+func NewExecutor(prog *Program, seed uint64) *Executor {
+	if err := prog.Validate(); err != nil {
+		panic(err)
+	}
+	return &Executor{
+		prog:    prog,
+		rng:     rng.NewXoshiro256(seed),
+		cursors: make([]uint64, len(prog.Blocks)),
+	}
+}
+
+// Mix is a weighted combination of behaviours used for transition
+// intervals (old phase fading into new plus transition-unique work).
+type Mix []struct {
+	Behavior *Behavior
+	Weight   float64
+}
+
+// BeginInterval installs the working set for the next interval: the
+// union of the mix's blocks with per-interval multiplicative weight
+// jitter, which supplies the intra-phase signature and CPI variation
+// real programs show between intervals of the same phase.
+func (e *Executor) BeginInterval(mix Mix, weightJitter float64) {
+	e.blocks = e.blocks[:0]
+	for _, m := range mix {
+		for _, bw := range m.Behavior.Blocks {
+			w := bw.Weight * m.Weight
+			if weightJitter > 0 {
+				w *= 1 + weightJitter*(2*e.rng.Float64()-1)
+			}
+			if w > 0 {
+				e.blocks = append(e.blocks, BlockWeight{Block: bw.Block, Weight: w})
+			}
+		}
+	}
+	if len(e.blocks) == 0 {
+		panic("program: BeginInterval with empty mix")
+	}
+	e.cum = e.cum[:0]
+	total := 0.0
+	for _, bw := range e.blocks {
+		total += bw.Weight
+		e.cum = append(e.cum, total)
+	}
+}
+
+// Single is a convenience Mix over one behaviour.
+func Single(b *Behavior) Mix {
+	return Mix{{Behavior: b, Weight: 1}}
+}
+
+// Event executes one block chosen from the current working set and
+// returns its block event. BeginInterval must have been called.
+func (e *Executor) Event() uarch.BlockEvent {
+	if len(e.cum) == 0 {
+		panic("program: Event before BeginInterval")
+	}
+	target := e.rng.Float64() * e.cum[len(e.cum)-1]
+	// Binary search the cumulative weights.
+	lo, hi := 0, len(e.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.cum[mid] <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	idx := e.blocks[lo].Block
+	blk := &e.prog.Blocks[idx]
+
+	instrs := float64(blk.MeanInstrs)
+	if blk.InstrJitter > 0 {
+		instrs *= 1 + blk.InstrJitter*(2*e.rng.Float64()-1)
+	}
+	if instrs < 1 {
+		instrs = 1
+	}
+	ev := uarch.BlockEvent{
+		BranchPC:  blk.BranchPC,
+		Instrs:    uint32(instrs),
+		Branches:  blk.Branches,
+		Taken:     e.rng.Float64() < blk.TakenBias,
+		CodePC:    blk.CodePC,
+		CodeBytes: blk.CodeBytes,
+		MemOps:    uint32(instrs) * blk.MemOpsPer1000 / 1000,
+	}
+	if ev.Branches == 0 {
+		ev.Branches = 1
+	}
+	if ev.MemOps > 0 && blk.Region.Size > 0 {
+		ev.Loads = e.addresses(idx, blk)
+	}
+	return ev
+}
+
+// addresses samples four representative data addresses for a block
+// execution according to its pattern.
+func (e *Executor) addresses(idx int, blk *Block) []uint64 {
+	const samples = 4
+	loads := make([]uint64, samples)
+	switch blk.Pattern {
+	case Sequential:
+		cur := e.cursors[idx]
+		for i := range loads {
+			loads[i] = blk.Region.Base + cur%blk.Region.Size
+			cur += 64
+		}
+		e.cursors[idx] = cur % blk.Region.Size
+	case Strided:
+		cur := e.cursors[idx]
+		stride := uint64(blk.Stride)
+		if stride == 0 {
+			stride = 64
+		}
+		for i := range loads {
+			loads[i] = blk.Region.Base + cur%blk.Region.Size
+			cur += stride
+		}
+		e.cursors[idx] = cur % blk.Region.Size
+	case Random:
+		for i := range loads {
+			loads[i] = blk.Region.Base + (e.rng.Uint64n(blk.Region.Size) &^ 7)
+		}
+	default:
+		panic(fmt.Sprintf("program: unknown pattern %d", blk.Pattern))
+	}
+	return loads
+}
+
+// RNG exposes the executor's generator so callers (the workload
+// generator) can derive transition randomness from the same stream,
+// keeping whole runs reproducible from one seed.
+func (e *Executor) RNG() *rng.Xoshiro256 { return e.rng }

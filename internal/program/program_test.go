@@ -1,0 +1,261 @@
+package program
+
+import (
+	"testing"
+
+	"phasekit/internal/uarch"
+)
+
+func twoBlockProgram() (*Program, int, int) {
+	b := NewBuilder(1)
+	region := b.Data(1 << 20)
+	blk1 := b.Block(BlockSpec{Instrs: 1000})
+	blk2 := b.Block(BlockSpec{Instrs: 500, MemOps: 100, Region: region, Pattern: Random})
+	b.Behavior("a", Uniform(blk1))
+	b.Behavior("b", Uniform(blk1, blk2))
+	return b.Build(), blk1, blk2
+}
+
+func TestBuilderAssignsDisjointPCs(t *testing.T) {
+	p, blk1, blk2 := twoBlockProgram()
+	a, b := p.Blocks[blk1], p.Blocks[blk2]
+	if a.BranchPC == b.BranchPC {
+		t.Error("branch PCs collide")
+	}
+	aEnd := a.CodePC + uint64(a.CodeBytes)
+	if b.CodePC < aEnd {
+		t.Errorf("code ranges overlap: [%#x,%#x) and [%#x,...)", a.CodePC, aEnd, b.CodePC)
+	}
+	if a.BranchPC < a.CodePC || a.BranchPC >= aEnd {
+		t.Error("branch PC outside its code range")
+	}
+}
+
+func TestBuilderDataRegionsDisjoint(t *testing.T) {
+	b := NewBuilder(1)
+	r1 := b.Data(100)
+	r2 := b.Data(1 << 20)
+	r3 := b.Data(64)
+	regions := []Region{r1, r2, r3}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.Base < b.Base+b.Size && b.Base < a.Base+a.Size {
+				t.Errorf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestBuilderDefaults(t *testing.T) {
+	b := NewBuilder(1)
+	idx := b.Block(BlockSpec{})
+	b.Behavior("x", Uniform(idx))
+	p := b.Build()
+	blk := p.Blocks[idx]
+	if blk.MeanInstrs != 1500 || blk.Branches == 0 || blk.TakenBias != 0.85 {
+		t.Errorf("defaults not applied: %+v", blk)
+	}
+	if blk.CodeBytes != 1500*4 {
+		t.Errorf("code bytes = %d", blk.CodeBytes)
+	}
+}
+
+func TestBuilderCloneBlockSharesPCs(t *testing.T) {
+	b := NewBuilder(1)
+	r1 := b.Data(1 << 10)
+	r2 := b.Data(1 << 24)
+	orig := b.Block(BlockSpec{Instrs: 1000, MemOps: 50, Region: r1, Pattern: Random})
+	clone := b.CloneBlock(orig, func(blk *Block) { blk.Region = r2 })
+	b.Behavior("x", Uniform(orig, clone))
+	p := b.Build()
+	o, c := p.Blocks[orig], p.Blocks[clone]
+	if o.BranchPC != c.BranchPC || o.CodePC != c.CodePC {
+		t.Error("clone changed PCs")
+	}
+	if o.Region == c.Region {
+		t.Error("clone kept original region")
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := map[string]Program{
+		"no blocks": {},
+		"bad block ref": {
+			Blocks:    []Block{{MeanInstrs: 1, TakenBias: 0.5}},
+			Behaviors: []Behavior{{Name: "x", Blocks: []BlockWeight{{Block: 5, Weight: 1}}}},
+		},
+		"zero weight": {
+			Blocks:    []Block{{MeanInstrs: 1, TakenBias: 0.5}},
+			Behaviors: []Behavior{{Name: "x", Blocks: []BlockWeight{{Block: 0, Weight: 0}}}},
+		},
+		"empty behaviour": {
+			Blocks:    []Block{{MeanInstrs: 1, TakenBias: 0.5}},
+			Behaviors: []Behavior{{Name: "x"}},
+		},
+		"zero instrs": {
+			Blocks:    []Block{{MeanInstrs: 0, TakenBias: 0.5}},
+			Behaviors: []Behavior{{Name: "x", Blocks: []BlockWeight{{Block: 0, Weight: 1}}}},
+		},
+		"bad bias": {
+			Blocks:    []Block{{MeanInstrs: 1, TakenBias: 1.5}},
+			Behaviors: []Behavior{{Name: "x", Blocks: []BlockWeight{{Block: 0, Weight: 1}}}},
+		},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBehaviorLookup(t *testing.T) {
+	p, _, _ := twoBlockProgram()
+	if p.Behavior(0) == nil || p.Behavior(1) == nil {
+		t.Error("registered behaviours not found")
+	}
+	if p.Behavior(99) != nil {
+		t.Error("phantom behaviour found")
+	}
+}
+
+func TestExecutorDeterministic(t *testing.T) {
+	p, _, _ := twoBlockProgram()
+	run := func() []uarch.BlockEvent {
+		e := NewExecutor(p, 7)
+		e.BeginInterval(Single(p.Behavior(1)), 0.1)
+		evs := make([]uarch.BlockEvent, 100)
+		for i := range evs {
+			evs[i] = e.Event()
+		}
+		return evs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].BranchPC != b[i].BranchPC || a[i].Instrs != b[i].Instrs ||
+			a[i].Taken != b[i].Taken {
+			t.Fatalf("event %d differs", i)
+		}
+		for j := range a[i].Loads {
+			if a[i].Loads[j] != b[i].Loads[j] {
+				t.Fatalf("event %d load %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestExecutorRespectsWeights(t *testing.T) {
+	b := NewBuilder(1)
+	hot := b.Block(BlockSpec{Instrs: 100})
+	cold := b.Block(BlockSpec{Instrs: 100})
+	beh := b.Behavior("w", []BlockWeight{{hot, 9}, {cold, 1}})
+	p := b.Build()
+	e := NewExecutor(p, 3)
+	e.BeginInterval(Single(p.Behavior(beh)), 0)
+	counts := map[uint64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[e.Event().BranchPC]++
+	}
+	hotFrac := float64(counts[p.Blocks[hot].BranchPC]) / n
+	if hotFrac < 0.87 || hotFrac > 0.93 {
+		t.Errorf("hot block fraction = %v, want ~0.9", hotFrac)
+	}
+}
+
+func TestExecutorInstrJitter(t *testing.T) {
+	b := NewBuilder(1)
+	idx := b.Block(BlockSpec{Instrs: 1000, Jitter: 0.3})
+	beh := b.Behavior("j", Uniform(idx))
+	p := b.Build()
+	e := NewExecutor(p, 3)
+	e.BeginInterval(Single(p.Behavior(beh)), 0)
+	min, max := uint32(1<<31), uint32(0)
+	for i := 0; i < 1000; i++ {
+		in := e.Event().Instrs
+		if in < min {
+			min = in
+		}
+		if in > max {
+			max = in
+		}
+	}
+	if min < 700 || max > 1300 {
+		t.Errorf("instr range [%d,%d] outside jitter bounds", min, max)
+	}
+	if max-min < 100 {
+		t.Errorf("instr range [%d,%d] shows no jitter", min, max)
+	}
+}
+
+func TestExecutorLoadsInsideRegion(t *testing.T) {
+	p, _, blk2 := twoBlockProgram()
+	region := p.Blocks[blk2].Region
+	e := NewExecutor(p, 5)
+	e.BeginInterval(Single(p.Behavior(1)), 0.1)
+	for i := 0; i < 2000; i++ {
+		ev := e.Event()
+		for _, addr := range ev.Loads {
+			if addr < region.Base || addr >= region.Base+region.Size {
+				t.Fatalf("load %#x outside region [%#x,%#x)", addr, region.Base, region.Base+region.Size)
+			}
+		}
+	}
+}
+
+func TestExecutorSequentialCursorAdvances(t *testing.T) {
+	b := NewBuilder(1)
+	region := b.Data(1 << 16)
+	idx := b.Block(BlockSpec{Instrs: 100, MemOps: 400, Region: region, Pattern: Sequential})
+	beh := b.Behavior("s", Uniform(idx))
+	p := b.Build()
+	e := NewExecutor(p, 3)
+	e.BeginInterval(Single(p.Behavior(beh)), 0)
+	first := e.Event().Loads
+	second := e.Event().Loads
+	if first[0] == second[0] {
+		t.Error("sequential cursor did not advance between events")
+	}
+}
+
+func TestExecutorMixCombinesBehaviors(t *testing.T) {
+	p, blk1, blk2 := twoBlockProgram()
+	e := NewExecutor(p, 9)
+	e.BeginInterval(Mix{
+		{Behavior: p.Behavior(0), Weight: 0.5},
+		{Behavior: p.Behavior(1), Weight: 0.5},
+	}, 0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[e.Event().BranchPC] = true
+	}
+	if !seen[p.Blocks[blk1].BranchPC] || !seen[p.Blocks[blk2].BranchPC] {
+		t.Error("mix did not draw from both behaviours")
+	}
+}
+
+func TestExecutorPanicsWithoutBeginInterval(t *testing.T) {
+	p, _, _ := twoBlockProgram()
+	e := NewExecutor(p, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Event before BeginInterval did not panic")
+		}
+	}()
+	e.Event()
+}
+
+func TestUniform(t *testing.T) {
+	ws := Uniform(3, 5, 7)
+	if len(ws) != 3 {
+		t.Fatalf("len = %d", len(ws))
+	}
+	for i, w := range ws {
+		if w.Weight != 1 {
+			t.Errorf("weight %d = %v", i, w.Weight)
+		}
+	}
+	if ws[0].Block != 3 || ws[2].Block != 7 {
+		t.Errorf("blocks = %v", ws)
+	}
+}

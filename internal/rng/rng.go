@@ -1,0 +1,152 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators for workload synthesis.
+//
+// The generators here are explicitly seeded and carry all state in the
+// value, so two runs with the same seed produce byte-identical traces on
+// every platform. That determinism is load-bearing: the experiment
+// harness regenerates workloads instead of caching multi-gigabyte
+// traces, and tests assert on exact classification outcomes.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 is a tiny 64-bit generator with a single uint64 of state.
+// It is used both directly and to seed Xoshiro256 streams.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements xoshiro256**, a fast general-purpose generator
+// with 256 bits of state and a period of 2^256-1.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state is derived from seed via
+// SplitMix64, per the xoshiro authors' recommendation.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	// A pathological all-zero state is impossible by construction only
+	// if SplitMix64 never yields four zeros in a row; guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+// Uint64 returns the next value in the stream.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := bits.RotateLeft64(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n) using
+// Lemire's multiply-shift rejection method. It panics if n == 0.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return x.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(x.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(x.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, via the polar Box-Muller transform. One value is
+// computed per call (the spare is discarded) to keep the state evolution
+// independent of caller interleaving.
+func (x *Xoshiro256) NormFloat64() float64 {
+	for {
+		u := 2*x.Float64() - 1
+		v := 2*x.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Perm fills dst with a pseudo-random permutation of [0, len(dst)).
+func (x *Xoshiro256) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// Jump produces a decorrelated child stream. It is equivalent to
+// reseeding with a hash of the parent's next output and a salt, which is
+// sufficient decorrelation for workload synthesis.
+func (x *Xoshiro256) Jump(salt uint64) *Xoshiro256 {
+	return NewXoshiro256(x.Uint64() ^ Mix(salt))
+}
+
+// Mix applies a 64-bit finalizer (from MurmurHash3) to v. It is used to
+// derive well-distributed seeds and hash values from structured inputs.
+func Mix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Combine hashes two values into one seed.
+func Combine(a, b uint64) uint64 {
+	return Mix(a ^ bits.RotateLeft64(Mix(b), 31))
+}

@@ -1,0 +1,189 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("stream diverged at %d: %x != %x", i, av, bv)
+		}
+	}
+}
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Snapshot of the stream for seed 1234567; guards against the
+	// constants or mixing steps changing, which would silently alter
+	// every generated workload.
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("value %d: got %#x want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterministicAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, math.MaxUint64} {
+		a := NewXoshiro256(seed)
+		b := NewXoshiro256(seed)
+		for i := 0; i < 100; i++ {
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("seed %d: stream diverged at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a := NewXoshiro256(1)
+	b := NewXoshiro256(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams from different seeds agree on %d/64 outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := NewXoshiro256(7)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewXoshiro256(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwoFastPath(t *testing.T) {
+	x := NewXoshiro256(3)
+	for i := 0; i < 1000; i++ {
+		if v := x.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	x := NewXoshiro256(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[x.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %f", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXoshiro256(9)
+	for i := 0; i < 10000; i++ {
+		v := x.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	x := NewXoshiro256(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := x.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean %v not near 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance %v not near 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := NewXoshiro256(21)
+	dst := make([]int, 50)
+	x.Perm(dst)
+	seen := make([]bool, len(dst))
+	for _, v := range dst {
+		if v < 0 || v >= len(dst) || seen[v] {
+			t.Fatalf("not a permutation: %v", dst)
+		}
+		seen[v] = true
+	}
+}
+
+func TestJumpDecorrelates(t *testing.T) {
+	parent := NewXoshiro256(5)
+	a := parent.Jump(1)
+	b := parent.Jump(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("jumped streams agree on %d/64 outputs", same)
+	}
+}
+
+func TestMixBijectivityProperty(t *testing.T) {
+	// Mix is a bijection on uint64; distinct inputs must map to
+	// distinct outputs.
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return Mix(a) != Mix(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineOrderSensitive(t *testing.T) {
+	if Combine(1, 2) == Combine(2, 1) {
+		t.Error("Combine should not be symmetric")
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,207 @@
+// Package signature implements code-signature formation from branch
+// profiles (§4.1–4.3 of the paper): the accumulator table of saturating
+// counters indexed by hashed branch PCs, compression of the accumulator
+// into a small per-interval signature vector via static or dynamic bit
+// selection, and Manhattan-distance similarity between signatures.
+package signature
+
+import (
+	"fmt"
+	"math/bits"
+
+	"phasekit/internal/rng"
+)
+
+// Accumulator is the array of counters of Figure 1. Each committed
+// branch PC is hashed into one of Dims counters, and the counter is
+// incremented by the number of instructions committed since the last
+// branch, so the accumulator tracks the proportion of code executed.
+//
+// Counters are conceptually 24 bits in the paper (they "never overflow
+// with 10 million instruction intervals"); uint64 storage preserves
+// that guarantee for any interval size this repo uses.
+type Accumulator struct {
+	counters []uint64
+	total    uint64
+	mask     uint64
+}
+
+// NewAccumulator returns an accumulator with dims counters. dims must
+// be a positive power of two (the paper divides by the counter count in
+// hardware, which "can be performed quickly ... if the number of
+// counters is a power of two").
+func NewAccumulator(dims int) *Accumulator {
+	if dims <= 0 || dims&(dims-1) != 0 {
+		panic(fmt.Sprintf("signature: dims must be a positive power of two, got %d", dims))
+	}
+	return &Accumulator{counters: make([]uint64, dims), mask: uint64(dims - 1)}
+}
+
+// Dims returns the number of counters.
+func (a *Accumulator) Dims() int { return len(a.counters) }
+
+// Add hashes pc into a counter and increments it by instrs.
+func (a *Accumulator) Add(pc uint64, instrs uint32) {
+	a.counters[rng.Mix(pc)&a.mask] += uint64(instrs)
+	a.total += uint64(instrs)
+}
+
+// Total returns the total weight accumulated since the last Reset.
+func (a *Accumulator) Total() uint64 { return a.total }
+
+// Counter returns the raw value of counter i.
+func (a *Accumulator) Counter(i int) uint64 { return a.counters[i] }
+
+// Reset clears every counter for the next interval.
+func (a *Accumulator) Reset() {
+	for i := range a.counters {
+		a.counters[i] = 0
+	}
+	a.total = 0
+}
+
+// Vector is a compressed signature: one small unsigned value per
+// accumulator counter, as stored in the signature table.
+type Vector []uint16
+
+// Sum returns the total weight of the vector.
+func (v Vector) Sum() uint64 {
+	var s uint64
+	for _, x := range v {
+		s += uint64(x)
+	}
+	return s
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Manhattan returns the L1 distance between a and b. It panics if the
+// dimensionalities differ; signatures from different accumulator
+// configurations are not comparable.
+func Manhattan(a, b Vector) uint64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("signature: dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var d uint64
+	for i := range a {
+		if a[i] > b[i] {
+			d += uint64(a[i] - b[i])
+		} else {
+			d += uint64(b[i] - a[i])
+		}
+	}
+	return d
+}
+
+// Distance returns the normalized Manhattan distance between a and b:
+// L1(a,b) / (sum(a)+sum(b)), which is 0 for identical signatures and 1
+// for signatures with disjoint support. For equal-weight signatures it
+// equals the total-variation distance between the code-weight
+// distributions, so a similarity threshold of 0.25 admits signatures
+// whose executed-code profiles differ by at most 25% of total weight —
+// matching the paper's "a signature can be no more than 25% different
+// from a past signature".
+func Distance(a, b Vector) float64 {
+	sa, sb := a.Sum(), b.Sum()
+	if sa+sb == 0 {
+		return 0
+	}
+	return float64(Manhattan(a, b)) / float64(sa+sb)
+}
+
+// CompressConfig selects which bits of each accumulator counter are
+// copied into the signature table (§4.2).
+type CompressConfig struct {
+	// Bits is the number of bits kept per counter. The paper finds
+	// fewer than 6 produces poor classifications and more than 8 does
+	// not help; 6 is the default used for all results.
+	Bits int
+	// Dynamic enables the paper's contribution: choose the bit window
+	// from the average counter value each interval, keeping two bits
+	// above the average so values 2–4x the average are representable,
+	// and saturating anything larger to all-ones.
+	Dynamic bool
+	// StaticShift is the least-significant selected bit when Dynamic
+	// is false. Sherwood et al. statically selected bits 14..21 of
+	// each 24-bit counter (shift 14) for 32 counters at 10M
+	// instructions.
+	StaticShift int
+}
+
+// DefaultCompressConfig returns the configuration used for all paper
+// results: 6 bits per counter with dynamic bit selection.
+func DefaultCompressConfig() CompressConfig {
+	return CompressConfig{Bits: 6, Dynamic: true}
+}
+
+// Validate reports whether the configuration is usable.
+func (c CompressConfig) Validate() error {
+	if c.Bits <= 0 || c.Bits > 16 {
+		return fmt.Errorf("signature: Bits must be in [1,16], got %d", c.Bits)
+	}
+	if c.StaticShift < 0 || c.StaticShift > 63 {
+		return fmt.Errorf("signature: StaticShift must be in [0,63], got %d", c.StaticShift)
+	}
+	return nil
+}
+
+// Compress copies the selected bits of each accumulator counter into a
+// signature vector. The accumulator is not modified.
+func (c CompressConfig) Compress(a *Accumulator) Vector {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	out := make(Vector, a.Dims())
+	maxVal := uint64(1)<<c.Bits - 1
+
+	var shift, ceiling uint
+	if c.Dynamic {
+		avg := a.total / uint64(a.Dims())
+		bitsNeeded := uint(bits.Len64(avg)) // bits to represent the average
+		// Keep two bits above the average so 2-4x values fit.
+		ceiling = bitsNeeded + 2
+		if ceiling < uint(c.Bits) {
+			ceiling = uint(c.Bits)
+		}
+		shift = ceiling - uint(c.Bits)
+	} else {
+		shift = uint(c.StaticShift)
+		ceiling = shift + uint(c.Bits)
+	}
+
+	for i, v := range a.counters {
+		// A set bit above the selected window means the value is too
+		// large to represent: store the maximum possible value.
+		if ceiling < 64 && v>>ceiling != 0 {
+			out[i] = uint16(maxVal)
+			continue
+		}
+		out[i] = uint16((v >> shift) & maxVal)
+	}
+	return out
+}
+
+// CompressWeights builds an accumulator of the given dimensionality
+// from a (pc, weight) profile and compresses it. It is the bridge from
+// trace.IntervalProfile code profiles to signatures, letting the
+// experiment harness evaluate any accumulator size against the same
+// execution.
+func (c CompressConfig) CompressWeights(dims int, weights func(yield func(pc uint64, weight uint64))) Vector {
+	acc := NewAccumulator(dims)
+	weights(func(pc uint64, weight uint64) {
+		for weight > 0 {
+			chunk := weight
+			if chunk > 1<<31 {
+				chunk = 1 << 31
+			}
+			acc.Add(pc, uint32(chunk))
+			weight -= chunk
+		}
+	})
+	return c.Compress(acc)
+}

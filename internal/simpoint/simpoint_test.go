@@ -1,0 +1,257 @@
+package simpoint
+
+import (
+	"testing"
+
+	"phasekit/internal/rng"
+	"phasekit/internal/stats"
+	"phasekit/internal/trace"
+	"phasekit/internal/workload"
+)
+
+// syntheticRun builds a run with nPhases well-separated code mixes in a
+// repeating pattern, runLen intervals each.
+func syntheticRun(nPhases, cycles, runLen int, noise float64, seed uint64) *trace.Run {
+	x := rng.NewXoshiro256(seed)
+	run := &trace.Run{Name: "synthetic", IntervalSize: 1000}
+	idx := 0
+	for c := 0; c < cycles; c++ {
+		for p := 0; p < nPhases; p++ {
+			for j := 0; j < runLen; j++ {
+				var ws []trace.PCWeight
+				for b := 0; b < 12; b++ {
+					w := 100.0
+					if noise > 0 {
+						w *= 1 + noise*(2*x.Float64()-1)
+					}
+					ws = append(ws, trace.PCWeight{
+						PC:     uint64(0x10000*(p+1)) + uint64(b)*64,
+						Weight: uint64(w),
+					})
+				}
+				run.Intervals = append(run.Intervals, trace.IntervalProfile{
+					Index:        idx,
+					Weights:      ws,
+					Instructions: 1200,
+					Cycles:       uint64(1200 * (p + 1)),
+					Segment:      p,
+				})
+				idx++
+			}
+		}
+	}
+	return run
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Dims: 0, MaxK: 10, Iterations: 1, Restarts: 1, BICThreshold: 0.9},
+		{Dims: 15, MaxK: 0, Iterations: 1, Restarts: 1, BICThreshold: 0.9},
+		{Dims: 15, MaxK: 10, Iterations: 0, Restarts: 1, BICThreshold: 0.9},
+		{Dims: 15, MaxK: 10, Iterations: 1, Restarts: 0, BICThreshold: 0.9},
+		{Dims: 15, MaxK: 10, Iterations: 1, Restarts: 1, BICThreshold: 0},
+		{Dims: 15, MaxK: 10, Iterations: 1, Restarts: 1, BICThreshold: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestClassifyEmptyRun(t *testing.T) {
+	if _, err := Classify(&trace.Run{}, DefaultConfig()); err == nil {
+		t.Fatal("empty run accepted")
+	}
+}
+
+func TestClassifyRecoversPlantedPhases(t *testing.T) {
+	run := syntheticRun(3, 5, 10, 0.05, 42)
+	res, err := Classify(run, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Errorf("K = %d, want 3 planted phases", res.K)
+	}
+	// Each ground-truth phase maps to exactly one cluster.
+	byPhase := map[int]map[int]int{}
+	for i, a := range res.Assignments {
+		seg := run.Intervals[i].Segment
+		if byPhase[seg] == nil {
+			byPhase[seg] = map[int]int{}
+		}
+		byPhase[seg][a]++
+	}
+	used := map[int]bool{}
+	for seg, clusters := range byPhase {
+		// The dominant cluster must hold nearly all of the phase's
+		// intervals and not be shared with another phase.
+		best, bestN, total := -1, 0, 0
+		for c, n := range clusters {
+			total += n
+			if n > bestN {
+				best, bestN = c, n
+			}
+		}
+		if float64(bestN) < 0.95*float64(total) {
+			t.Errorf("phase %d split across clusters: %v", seg, clusters)
+		}
+		if used[best] {
+			t.Errorf("cluster %d shared between phases", best)
+		}
+		used[best] = true
+	}
+}
+
+func TestClassifySingleBehaviour(t *testing.T) {
+	run := syntheticRun(1, 1, 40, 0.05, 7)
+	res, err := Classify(run, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Errorf("K = %d for homogeneous run, want 1", res.K)
+	}
+}
+
+func TestClassifyDeterministic(t *testing.T) {
+	run := syntheticRun(2, 4, 8, 0.05, 9)
+	a, err := Classify(run, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Classify(run, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K {
+		t.Fatalf("K differs: %d vs %d", a.K, b.K)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}
+
+func TestClassifyAssignmentsWellFormed(t *testing.T) {
+	run := syntheticRun(4, 3, 6, 0.1, 11)
+	res, err := Classify(run, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != len(run.Intervals) {
+		t.Fatalf("assignments = %d, intervals = %d", len(res.Assignments), len(run.Intervals))
+	}
+	for i, a := range res.Assignments {
+		if a < 1 || a > res.K {
+			t.Fatalf("interval %d assigned %d outside [1,%d]", i, a, res.K)
+		}
+	}
+	if len(res.BIC) == 0 {
+		t.Error("no BIC scores recorded")
+	}
+}
+
+func TestClassifyMaxKClamped(t *testing.T) {
+	run := syntheticRun(1, 1, 3, 0, 1) // only 3 intervals
+	cfg := DefaultConfig()
+	cfg.MaxK = 10
+	res, err := Classify(run, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 3 {
+		t.Errorf("K = %d exceeds interval count", res.K)
+	}
+}
+
+func TestOfflineReducesCoVOnWorkload(t *testing.T) {
+	// The end-to-end property behind the paper's SimPoint comparison:
+	// offline clustering of a real workload must slash per-phase CPI
+	// CoV relative to the whole program.
+	spec, err := workload.Get("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := workload.Generate(spec, workload.Options{Scale: 0.08, IntervalInstrs: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Classify(run, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := map[int][]float64{}
+	var whole []float64
+	for i := range run.Intervals {
+		cpi := run.Intervals[i].CPI()
+		samples[res.Assignments[i]] = append(samples[res.Assignments[i]], cpi)
+		whole = append(whole, cpi)
+	}
+	phaseCoV := stats.PhaseCoV(samples)
+	wholeCoV := stats.CoV(whole)
+	if phaseCoV >= wholeCoV/2 {
+		t.Errorf("offline clustering: per-phase CoV %v not well below whole %v", phaseCoV, wholeCoV)
+	}
+}
+
+func TestSelectOnePointPerCluster(t *testing.T) {
+	run := syntheticRun(3, 5, 10, 0.05, 42)
+	points, err := Select(run, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	weightSum := 0.0
+	seen := map[int]bool{}
+	for _, p := range points {
+		if p.Interval < 0 || p.Interval >= len(run.Intervals) {
+			t.Fatalf("interval %d out of range", p.Interval)
+		}
+		if seen[p.Cluster] {
+			t.Fatalf("cluster %d has two points", p.Cluster)
+		}
+		seen[p.Cluster] = true
+		weightSum += p.Weight
+	}
+	if weightSum < 0.999 || weightSum > 1.001 {
+		t.Errorf("weights sum to %v", weightSum)
+	}
+}
+
+func TestEstimateCPIApproximatesWholeProgram(t *testing.T) {
+	// The whole point of simulation points: the weighted estimate from
+	// a handful of intervals tracks true average CPI.
+	spec, err := workload.Get("bzip2/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := workload.Generate(spec, workload.Options{Scale: 0.1, IntervalInstrs: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Select(run, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("only %d simulation points", len(points))
+	}
+	var trueCPI stats.Running
+	for i := range run.Intervals {
+		trueCPI.Add(run.Intervals[i].CPI())
+	}
+	est := EstimateCPI(run, points)
+	relErr := (est - trueCPI.Mean()) / trueCPI.Mean()
+	if relErr < -0.15 || relErr > 0.15 {
+		t.Errorf("simulation-point CPI %v vs true %v: %.1f%% error",
+			est, trueCPI.Mean(), 100*relErr)
+	}
+}

@@ -1,0 +1,301 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.StdDev() != 0 || r.CoV() != 0 {
+		t.Errorf("zero-value Running not all-zero: %+v", r)
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.N() != 1 || r.Mean() != 3.5 || r.StdDev() != 0 {
+		t.Errorf("single sample: n=%d mean=%v sd=%v", r.N(), r.Mean(), r.StdDev())
+	}
+	if r.Min() != 3.5 || r.Max() != 3.5 {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningKnownValues(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if !almostEqual(r.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", r.Mean())
+	}
+	if !almostEqual(r.StdDev(), 2, 1e-12) {
+		t.Errorf("stddev = %v, want 2", r.StdDev())
+	}
+	if !almostEqual(r.CoV(), 0.4, 1e-12) {
+		t.Errorf("cov = %v, want 0.4", r.CoV())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if !almostEqual(r.Sum(), 40, 1e-12) {
+		t.Errorf("sum = %v, want 40", r.Sum())
+	}
+}
+
+func TestRunningReset(t *testing.T) {
+	var r Running
+	r.Add(1)
+	r.Add(2)
+	r.Reset()
+	if r.N() != 0 || r.Mean() != 0 {
+		t.Errorf("reset did not clear: %+v", r)
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var r Running
+		for _, x := range clean {
+			r.Add(x)
+		}
+		return almostEqual(r.Mean(), Mean(clean), 1e-6) &&
+			almostEqual(r.StdDev(), StdDev(clean), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoVZeroForConstant(t *testing.T) {
+	if cov := CoV([]float64{3, 3, 3, 3}); cov != 0 {
+		t.Errorf("constant series CoV = %v", cov)
+	}
+}
+
+func TestCoVScaleInvariance(t *testing.T) {
+	// CoV is invariant under positive scaling: CoV(k*x) == CoV(x).
+	f := func(seedVals []float64, k float64) bool {
+		if k <= 0 || k > 1e3 || math.IsNaN(k) {
+			return true
+		}
+		xs := make([]float64, 0, len(seedVals))
+		for _, v := range seedVals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0.01 && v < 1e4 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		scaled := make([]float64, len(xs))
+		for i, v := range xs {
+			scaled[i] = k * v
+		}
+		return almostEqual(CoV(xs), CoV(scaled), 1e-6*(1+CoV(xs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseCoVPerfectClassification(t *testing.T) {
+	// Every phase internally constant: overall metric must be 0.
+	samples := map[int][]float64{
+		1: {2, 2, 2},
+		2: {5, 5},
+		3: {0.5, 0.5, 0.5, 0.5},
+	}
+	if got := PhaseCoV(samples); got != 0 {
+		t.Errorf("PhaseCoV = %v, want 0", got)
+	}
+}
+
+func TestPhaseCoVWeighting(t *testing.T) {
+	// Phase 1: 9 intervals with CoV c1; phase 2: 1 interval (CoV 0).
+	// Weighted metric = 0.9*c1.
+	xs := []float64{1, 2, 1, 2, 1, 2, 1, 2, 1}
+	c1 := CoV(xs)
+	samples := map[int][]float64{1: xs, 2: {7}}
+	want := 0.9 * c1
+	if got := PhaseCoV(samples); !almostEqual(got, want, 1e-12) {
+		t.Errorf("PhaseCoV = %v, want %v", got, want)
+	}
+}
+
+func TestPhaseCoVExcludesTransition(t *testing.T) {
+	samples := map[int][]float64{
+		0: {1, 100, 1, 100}, // wildly heterogeneous transition phase
+		1: {2, 2, 2, 2},
+	}
+	if got := PhaseCoV(samples, 0); got != 0 {
+		t.Errorf("PhaseCoV excluding 0 = %v, want 0", got)
+	}
+	if got := PhaseCoV(samples); got == 0 {
+		t.Error("PhaseCoV including transition should be nonzero")
+	}
+}
+
+func TestPhaseCoVEmpty(t *testing.T) {
+	if got := PhaseCoV(nil); got != 0 {
+		t.Errorf("PhaseCoV(nil) = %v", got)
+	}
+	if got := PhaseCoV(map[int][]float64{0: {1, 2}}, 0); got != 0 {
+		t.Errorf("PhaseCoV with everything excluded = %v", got)
+	}
+}
+
+func TestRunLengthsBasic(t *testing.T) {
+	runs := RunLengths([]int{1, 1, 1, 2, 2, 0, 1, 1})
+	want := []Run{{1, 3}, {2, 2}, {0, 1}, {1, 2}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Errorf("run %d = %v, want %v", i, runs[i], want[i])
+		}
+	}
+}
+
+func TestRunLengthsEmpty(t *testing.T) {
+	if runs := RunLengths(nil); runs != nil {
+		t.Errorf("RunLengths(nil) = %v", runs)
+	}
+}
+
+func TestRunLengthsProperties(t *testing.T) {
+	// Lengths sum to input length; adjacent runs differ in value;
+	// expansion reproduces the input.
+	f := func(raw []uint8) bool {
+		ids := make([]int, len(raw))
+		for i, v := range raw {
+			ids[i] = int(v % 4)
+		}
+		runs := RunLengths(ids)
+		total := 0
+		var expanded []int
+		for i, r := range runs {
+			if r.Length <= 0 {
+				return false
+			}
+			if i > 0 && runs[i-1].Value == r.Value {
+				return false
+			}
+			total += r.Length
+			for j := 0; j < r.Length; j++ {
+				expanded = append(expanded, r.Value)
+			}
+		}
+		if total != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if expanded[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengthStatsFilter(t *testing.T) {
+	runs := []Run{{0, 2}, {1, 10}, {0, 1}, {2, 20}}
+	stable := LengthStats(runs, func(v int) bool { return v != 0 })
+	if stable.N() != 2 || !almostEqual(stable.Mean(), 15, 1e-12) {
+		t.Errorf("stable stats n=%d mean=%v", stable.N(), stable.Mean())
+	}
+	trans := LengthStats(runs, func(v int) bool { return v == 0 })
+	if trans.N() != 2 || !almostEqual(trans.Mean(), 1.5, 1e-12) {
+		t.Errorf("transition stats n=%d mean=%v", trans.N(), trans.Mean())
+	}
+	all := LengthStats(runs, nil)
+	if all.N() != 4 {
+		t.Errorf("all stats n=%d", all.N())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(15, 127, 1023)
+	cases := map[int]int{
+		1: 0, 15: 0, 16: 1, 127: 1, 128: 2, 1023: 2, 1024: 3, 50000: 3,
+	}
+	for v, want := range cases {
+		if got := h.Bucket(v); got != want {
+			t.Errorf("Bucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestHistogramAddAndFractions(t *testing.T) {
+	h := NewHistogram(15, 127, 1023)
+	for _, v := range []int{1, 2, 3, 20, 200, 2000, 5, 6, 7, 8} {
+		h.Add(v)
+	}
+	if h.Total() != 10 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Count(0) != 7 || h.Count(1) != 1 || h.Count(2) != 1 || h.Count(3) != 1 {
+		t.Errorf("counts = %d %d %d %d", h.Count(0), h.Count(1), h.Count(2), h.Count(3))
+	}
+	if !almostEqual(h.Fraction(0), 0.7, 1e-12) {
+		t.Errorf("fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramLabels(t *testing.T) {
+	h := NewHistogram(15, 127, 1023)
+	want := []string{"<=15", "16-127", "128-1023", ">=1024"}
+	for i, w := range want {
+		if got := h.BucketLabel(i); got != w {
+			t.Errorf("label %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { NewHistogram() },
+		"unsorted": func() { NewHistogram(10, 5) },
+		"dup":      func() { NewHistogram(5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Fraction(0) != 0 {
+		t.Errorf("empty histogram fraction = %v", h.Fraction(0))
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.125); got != "12.5%" {
+		t.Errorf("Percent(0.125) = %q", got)
+	}
+}

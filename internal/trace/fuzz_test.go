@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the branch-trace reader: it must
+// return an error or EOF, never panic or loop, and never fabricate
+// implausible state.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace and near-miss corruptions.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "seed", 1000)
+	w.Branch(BranchEvent{PC: 0x400000, Instrs: 100})
+	w.EndInterval()
+	w.Branch(BranchEvent{PC: 0x400040, Instrs: 50})
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/2] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Bounded by input size: each record consumes at least one
+		// byte, so iterations can never exceed len(data).
+		for i := 0; i <= len(data); i++ {
+			_, _, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+		t.Fatalf("reader produced more records than input bytes (%d)", len(data))
+	})
+}
+
+// FuzzReadProfile feeds arbitrary bytes to the profile reader.
+func FuzzReadProfile(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, sampleRun()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(profileMagic))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)-3] ^= 0x80
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := ReadProfile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful parse must be internally consistent.
+		for i := range run.Intervals {
+			if run.Intervals[i].Index != i {
+				t.Fatalf("interval %d has index %d", i, run.Intervals[i].Index)
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Profile file format
+//
+// A profiled run (per-interval code profiles plus timing) serializes
+// much smaller than its branch-event trace and is sufficient for every
+// classifier/predictor experiment, so tools cache generated workloads
+// in this format:
+//
+//	magic    [8]byte "PHKPRF1\n"
+//	name     uvarint length + bytes
+//	isize    uvarint
+//	count    uvarint            -- number of intervals
+//	for each interval:
+//	  instrs   uvarint
+//	  cycles   uvarint
+//	  segment  zig-zag varint   -- -1 marks transition intervals
+//	  nweights uvarint
+//	  weights: pc as zig-zag delta from previous pc (sorted), weight uvarint
+
+const profileMagic = "PHKPRF1\n"
+
+// WriteProfile serializes a run.
+func WriteProfile(w io.Writer, run *Run) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(profileMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(run.Name)))
+	if _, err := bw.WriteString(run.Name); err != nil {
+		return err
+	}
+	writeUvarint(bw, run.IntervalSize)
+	writeUvarint(bw, uint64(len(run.Intervals)))
+	for i := range run.Intervals {
+		iv := &run.Intervals[i]
+		writeUvarint(bw, iv.Instructions)
+		writeUvarint(bw, iv.Cycles)
+		writeUvarint(bw, zigzag(int64(iv.Segment)))
+		writeUvarint(bw, uint64(len(iv.Weights)))
+		var lastPC uint64
+		for _, pw := range iv.Weights {
+			writeUvarint(bw, zigzag(int64(pw.PC)-int64(lastPC)))
+			writeUvarint(bw, pw.Weight)
+			lastPC = pw.PC
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadProfile deserializes a run written by WriteProfile.
+func ReadProfile(r io.Reader) (*Run, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(profileMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(head) != profileMagic {
+		return nil, fmt.Errorf("%w: bad profile magic %q", ErrBadTrace, head)
+	}
+	readU := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %s: %v", ErrBadTrace, what, err)
+		}
+		return v, nil
+	}
+
+	nameLen, err := readU("name length")
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: unreasonable name length %d", ErrBadTrace, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadTrace, err)
+	}
+	isize, err := readU("interval size")
+	if err != nil {
+		return nil, err
+	}
+	count, err := readU("interval count")
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<28 {
+		return nil, fmt.Errorf("%w: unreasonable interval count %d", ErrBadTrace, count)
+	}
+
+	run := &Run{
+		Name:         string(name),
+		IntervalSize: isize,
+		Intervals:    make([]IntervalProfile, 0, count),
+	}
+	for i := uint64(0); i < count; i++ {
+		instrs, err := readU("instructions")
+		if err != nil {
+			return nil, err
+		}
+		cycles, err := readU("cycles")
+		if err != nil {
+			return nil, err
+		}
+		segRaw, err := readU("segment")
+		if err != nil {
+			return nil, err
+		}
+		nw, err := readU("weight count")
+		if err != nil {
+			return nil, err
+		}
+		if nw > 1<<24 {
+			return nil, fmt.Errorf("%w: unreasonable weight count %d", ErrBadTrace, nw)
+		}
+		iv := IntervalProfile{
+			Index:        int(i),
+			Instructions: instrs,
+			Cycles:       cycles,
+			Segment:      int(unzigzag(segRaw)),
+			Weights:      make([]PCWeight, 0, nw),
+		}
+		var lastPC uint64
+		for j := uint64(0); j < nw; j++ {
+			delta, err := readU("pc delta")
+			if err != nil {
+				return nil, err
+			}
+			weight, err := readU("weight")
+			if err != nil {
+				return nil, err
+			}
+			pc := uint64(int64(lastPC) + unzigzag(delta))
+			lastPC = pc
+			iv.Weights = append(iv.Weights, PCWeight{PC: pc, Weight: weight})
+		}
+		run.Intervals = append(run.Intervals, iv)
+	}
+	return run, nil
+}

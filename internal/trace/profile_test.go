@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRun() *Run {
+	return &Run{
+		Name:         "gcc/1",
+		IntervalSize: 10_000_000,
+		Intervals: []IntervalProfile{
+			{
+				Index: 0, Instructions: 10_000_123, Cycles: 25_000_000, Segment: 3,
+				Weights: []PCWeight{{PC: 0x400100, Weight: 5_000_000}, {PC: 0x400900, Weight: 5_000_123}},
+			},
+			{
+				Index: 1, Instructions: 10_000_456, Cycles: 12_000_000, Segment: -1,
+				Weights: []PCWeight{{PC: 0x900000, Weight: 10_000_456}},
+			},
+			{
+				Index: 2, Instructions: 10_000_000, Cycles: 9_999_999, Segment: 0,
+				Weights: nil, // empty profile survives round trip
+			},
+		},
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	orig := sampleRun()
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.IntervalSize != orig.IntervalSize {
+		t.Errorf("header = %q,%d", got.Name, got.IntervalSize)
+	}
+	if len(got.Intervals) != len(orig.Intervals) {
+		t.Fatalf("intervals = %d", len(got.Intervals))
+	}
+	for i := range orig.Intervals {
+		a, b := &orig.Intervals[i], &got.Intervals[i]
+		if a.Instructions != b.Instructions || a.Cycles != b.Cycles || a.Segment != b.Segment {
+			t.Errorf("interval %d: %+v != %+v", i, a, b)
+		}
+		if len(a.Weights) != len(b.Weights) {
+			t.Fatalf("interval %d weights: %d != %d", i, len(a.Weights), len(b.Weights))
+		}
+		for j := range a.Weights {
+			if a.Weights[j] != b.Weights[j] {
+				t.Errorf("interval %d weight %d: %+v != %+v", i, j, a.Weights[j], b.Weights[j])
+			}
+		}
+		if b.Index != i {
+			t.Errorf("interval %d index = %d", i, b.Index)
+		}
+	}
+}
+
+func TestProfileRoundTripProperty(t *testing.T) {
+	f := func(name string, pcs []uint64, weights []uint32, seg int8) bool {
+		if len(name) > 100 {
+			name = name[:100]
+		}
+		n := len(pcs)
+		if len(weights) < n {
+			n = len(weights)
+		}
+		iv := IntervalProfile{Segment: int(seg)}
+		seen := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			if seen[pcs[i]] {
+				continue
+			}
+			seen[pcs[i]] = true
+			iv.Weights = append(iv.Weights, PCWeight{PC: pcs[i], Weight: uint64(weights[i])})
+			iv.Instructions += uint64(weights[i])
+		}
+		// Weights must be sorted by PC as ProfileBuilder guarantees.
+		for i := 1; i < len(iv.Weights); i++ {
+			if iv.Weights[i-1].PC > iv.Weights[i].PC {
+				iv.Weights[i-1], iv.Weights[i] = iv.Weights[i], iv.Weights[i-1]
+				i = 0 // restart bubble (tiny inputs)
+			}
+		}
+		orig := &Run{Name: name, IntervalSize: 77, Intervals: []IntervalProfile{iv}}
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, orig); err != nil {
+			return false
+		}
+		got, err := ReadProfile(&buf)
+		if err != nil || got.Name != name || len(got.Intervals) != 1 {
+			return false
+		}
+		g := got.Intervals[0]
+		if g.Segment != int(seg) || len(g.Weights) != len(iv.Weights) {
+			return false
+		}
+		for i := range iv.Weights {
+			if g.Weights[i] != iv.Weights[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileRejectsBadMagic(t *testing.T) {
+	_, err := ReadProfile(bytes.NewReader([]byte("WRONGMAGICBYTES")))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("err = %v", err)
+	}
+	// A branch-event trace is not a profile.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "x", 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfile(&buf); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("trace accepted as profile: %v", err)
+	}
+}
+
+func TestProfileRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, sampleRun()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 5, len(full) / 2} {
+		_, err := ReadProfile(bytes.NewReader(full[:len(full)-cut]))
+		if !errors.Is(err, ErrBadTrace) {
+			t.Errorf("cut %d: err = %v", cut, err)
+		}
+	}
+}
+
+func TestProfileCompactness(t *testing.T) {
+	// Delta-encoded profiles must be far smaller than naive 16-byte
+	// pairs.
+	run := &Run{Name: "c", IntervalSize: 1000}
+	iv := IntervalProfile{Instructions: 1, Cycles: 1}
+	for pc := uint64(0); pc < 1000; pc++ {
+		iv.Weights = append(iv.Weights, PCWeight{PC: 0x400000 + pc*64, Weight: 1000 + pc})
+	}
+	run.Intervals = append(run.Intervals, iv)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 1000*6 {
+		t.Errorf("profile too fat: %d bytes for 1000 weights", buf.Len())
+	}
+}

@@ -1,0 +1,335 @@
+// Package trace defines the execution-trace data model shared by the
+// workload generator, the microarchitecture timing model, and the phase
+// tracking architecture.
+//
+// Two granularities are provided:
+//
+//   - BranchEvent: one record per retired branch region, carrying the
+//     branch PC and the number of instructions committed since the
+//     previous branch. This is the stream the paper's hardware consumes
+//     (Figure 1) and what cmd/tracegen serializes.
+//
+//   - IntervalProfile: a compacted per-interval summary (unique branch
+//     PC -> instruction weight, plus timing) sufficient to rebuild the
+//     accumulator signature for any accumulator dimensionality. The
+//     experiment harness sweeps dozens of classifier configurations over
+//     the same execution; profiles make that cheap without re-simulating.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BranchEvent is a single entry in the branch queue of Figure 1: the PC
+// of a committed branch and the number of instructions committed since
+// the previous branch.
+type BranchEvent struct {
+	PC     uint64
+	Instrs uint32
+}
+
+// PCWeight is one dimension of an interval's code profile: a static
+// branch PC and the total instructions attributed to it this interval.
+type PCWeight struct {
+	PC     uint64
+	Weight uint64
+}
+
+// IntervalProfile summarises one fixed-length interval of execution.
+type IntervalProfile struct {
+	// Index is the interval's position in the run, starting at 0.
+	Index int
+	// Weights is the interval's code profile, sorted by PC ascending.
+	Weights []PCWeight
+	// Instructions is the number of instructions committed.
+	Instructions uint64
+	// Cycles is the number of cycles the timing model charged.
+	Cycles uint64
+	// Segment is the generator's ground-truth behaviour label, used
+	// only for diagnostics (the classifier never sees it). -1 marks a
+	// generator-made transition interval.
+	Segment int
+}
+
+// CPI returns cycles per instruction for the interval.
+func (p *IntervalProfile) CPI() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.Cycles) / float64(p.Instructions)
+}
+
+// ProfileBuilder accumulates branch events and timing for the current
+// interval and emits IntervalProfiles at interval boundaries.
+type ProfileBuilder struct {
+	weights map[uint64]uint64
+	instrs  uint64
+	cycles  uint64
+	index   int
+	segment int
+}
+
+// NewProfileBuilder returns an empty builder.
+func NewProfileBuilder() *ProfileBuilder {
+	return &ProfileBuilder{weights: make(map[uint64]uint64), segment: -1}
+}
+
+// AddBranch records a branch event in the current interval.
+func (b *ProfileBuilder) AddBranch(pc uint64, instrs uint32) {
+	b.weights[pc] += uint64(instrs)
+	b.instrs += uint64(instrs)
+}
+
+// AddCycles charges cycles to the current interval.
+func (b *ProfileBuilder) AddCycles(c uint64) { b.cycles += c }
+
+// SetSegment records the ground-truth behaviour label for the current
+// interval.
+func (b *ProfileBuilder) SetSegment(seg int) { b.segment = seg }
+
+// Instructions returns the instructions accumulated so far in the
+// current interval.
+func (b *ProfileBuilder) Instructions() uint64 { return b.instrs }
+
+// Flush emits the current interval's profile and resets the builder for
+// the next interval. Flushing an empty interval returns a profile with
+// no weights.
+func (b *ProfileBuilder) Flush() IntervalProfile {
+	ws := make([]PCWeight, 0, len(b.weights))
+	for pc, w := range b.weights {
+		ws = append(ws, PCWeight{PC: pc, Weight: w})
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].PC < ws[j].PC })
+	p := IntervalProfile{
+		Index:        b.index,
+		Weights:      ws,
+		Instructions: b.instrs,
+		Cycles:       b.cycles,
+		Segment:      b.segment,
+	}
+	b.index++
+	b.instrs = 0
+	b.cycles = 0
+	b.segment = -1
+	clear(b.weights)
+	return p
+}
+
+// Run is a complete profiled execution of one workload.
+type Run struct {
+	// Name identifies the workload (e.g. "gcc/1").
+	Name string
+	// IntervalSize is the nominal instructions per interval.
+	IntervalSize uint64
+	// Intervals holds one profile per interval, in execution order.
+	Intervals []IntervalProfile
+}
+
+// CPIs returns the per-interval CPI series.
+func (r *Run) CPIs() []float64 {
+	out := make([]float64, len(r.Intervals))
+	for i := range r.Intervals {
+		out[i] = r.Intervals[i].CPI()
+	}
+	return out
+}
+
+// Binary trace format
+//
+// Branch-event files use a simple framed little-endian encoding:
+//
+//	magic   [8]byte  "PHKTRC1\n"
+//	name    uvarint length + bytes
+//	isize   uvarint  (interval size in instructions)
+//	records: a stream of
+//	  0x01 pc(uvarint delta, zig-zag from previous pc) instrs(uvarint)
+//	  0x02                      -- interval boundary
+//	  0x00                      -- end of trace
+
+const (
+	magic = "PHKTRC1\n"
+
+	opBranch   = 0x01
+	opInterval = 0x02
+	opEnd      = 0x00
+)
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// Writer serializes branch events to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	err    error
+}
+
+// NewWriter writes a trace header for the named workload and returns a
+// Writer positioned at the first record.
+func NewWriter(w io.Writer, name string, intervalSize uint64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	writeUvarint(bw, uint64(len(name)))
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, err
+	}
+	writeUvarint(bw, intervalSize)
+	return &Writer{w: bw}, nil
+}
+
+// Branch appends a branch event.
+func (w *Writer) Branch(ev BranchEvent) {
+	if w.err != nil {
+		return
+	}
+	w.w.WriteByte(opBranch)
+	writeUvarint(w.w, zigzag(int64(ev.PC)-int64(w.lastPC)))
+	writeUvarint(w.w, uint64(ev.Instrs))
+	w.lastPC = ev.PC
+}
+
+// EndInterval appends an interval boundary marker.
+func (w *Writer) EndInterval() {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(opInterval)
+}
+
+// Close appends the end marker and flushes. The Writer must not be used
+// afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.WriteByte(opEnd); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a trace produced by Writer.
+type Reader struct {
+	r            *bufio.Reader
+	name         string
+	intervalSize uint64
+	lastPC       uint64
+	done         bool
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: name length: %v", ErrBadTrace, err)
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("%w: unreasonable name length %d", ErrBadTrace, n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadTrace, err)
+	}
+	isize, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: interval size: %v", ErrBadTrace, err)
+	}
+	return &Reader{r: br, name: string(name), intervalSize: isize}, nil
+}
+
+// Name returns the workload name from the header.
+func (r *Reader) Name() string { return r.name }
+
+// IntervalSize returns the interval size from the header.
+func (r *Reader) IntervalSize() uint64 { return r.intervalSize }
+
+// Next returns the next record. Exactly one of the following holds:
+// a branch event (ev valid, boundary false), an interval boundary
+// (boundary true), or end of trace (err == io.EOF).
+func (r *Reader) Next() (ev BranchEvent, boundary bool, err error) {
+	if r.done {
+		return BranchEvent{}, false, io.EOF
+	}
+	op, err := r.r.ReadByte()
+	if err != nil {
+		return BranchEvent{}, false, fmt.Errorf("%w: opcode: %v", ErrBadTrace, err)
+	}
+	switch op {
+	case opBranch:
+		delta, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return BranchEvent{}, false, fmt.Errorf("%w: pc delta: %v", ErrBadTrace, err)
+		}
+		instrs, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return BranchEvent{}, false, fmt.Errorf("%w: instrs: %v", ErrBadTrace, err)
+		}
+		if instrs > 1<<32-1 {
+			return BranchEvent{}, false, fmt.Errorf("%w: instr count %d overflows", ErrBadTrace, instrs)
+		}
+		pc := uint64(int64(r.lastPC) + unzigzag(delta))
+		r.lastPC = pc
+		return BranchEvent{PC: pc, Instrs: uint32(instrs)}, false, nil
+	case opInterval:
+		return BranchEvent{}, true, nil
+	case opEnd:
+		r.done = true
+		return BranchEvent{}, false, io.EOF
+	default:
+		return BranchEvent{}, false, fmt.Errorf("%w: unknown opcode %#x", ErrBadTrace, op)
+	}
+}
+
+// ReadAll decodes an entire trace into per-interval branch-event slices.
+// A trailing partial interval (events after the last boundary) is
+// included as a final element.
+func ReadAll(r io.Reader) (name string, intervalSize uint64, intervals [][]BranchEvent, err error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	var cur []BranchEvent
+	for {
+		ev, boundary, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", 0, nil, err
+		}
+		if boundary {
+			intervals = append(intervals, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, ev)
+	}
+	if len(cur) > 0 {
+		intervals = append(intervals, cur)
+	}
+	return tr.Name(), tr.IntervalSize(), intervals, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }

@@ -1,0 +1,309 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileBuilderBasic(t *testing.T) {
+	b := NewProfileBuilder()
+	b.AddBranch(0x400000, 100)
+	b.AddBranch(0x400040, 50)
+	b.AddBranch(0x400000, 100)
+	b.AddCycles(500)
+	b.SetSegment(3)
+	p := b.Flush()
+
+	if p.Index != 0 {
+		t.Errorf("index = %d", p.Index)
+	}
+	if p.Instructions != 250 {
+		t.Errorf("instructions = %d", p.Instructions)
+	}
+	if p.Cycles != 500 {
+		t.Errorf("cycles = %d", p.Cycles)
+	}
+	if p.Segment != 3 {
+		t.Errorf("segment = %d", p.Segment)
+	}
+	if got := p.CPI(); got != 2.0 {
+		t.Errorf("CPI = %v", got)
+	}
+	if len(p.Weights) != 2 {
+		t.Fatalf("weights = %v", p.Weights)
+	}
+	if p.Weights[0] != (PCWeight{0x400000, 200}) || p.Weights[1] != (PCWeight{0x400040, 50}) {
+		t.Errorf("weights = %v", p.Weights)
+	}
+}
+
+func TestProfileBuilderWeightsSorted(t *testing.T) {
+	b := NewProfileBuilder()
+	for _, pc := range []uint64{90, 10, 50, 30, 70, 10} {
+		b.AddBranch(pc, 1)
+	}
+	p := b.Flush()
+	for i := 1; i < len(p.Weights); i++ {
+		if p.Weights[i-1].PC >= p.Weights[i].PC {
+			t.Fatalf("weights not sorted: %v", p.Weights)
+		}
+	}
+}
+
+func TestProfileBuilderResetBetweenIntervals(t *testing.T) {
+	b := NewProfileBuilder()
+	b.AddBranch(1, 10)
+	b.AddCycles(20)
+	first := b.Flush()
+	b.AddBranch(2, 5)
+	second := b.Flush()
+
+	if first.Index != 0 || second.Index != 1 {
+		t.Errorf("indices = %d, %d", first.Index, second.Index)
+	}
+	if second.Instructions != 5 || second.Cycles != 0 {
+		t.Errorf("second interval leaked state: %+v", second)
+	}
+	if second.Segment != -1 {
+		t.Errorf("segment not reset: %d", second.Segment)
+	}
+	if len(second.Weights) != 1 || second.Weights[0].PC != 2 {
+		t.Errorf("second weights = %v", second.Weights)
+	}
+}
+
+func TestCPIZeroInstructions(t *testing.T) {
+	p := IntervalProfile{Cycles: 100}
+	if p.CPI() != 0 {
+		t.Errorf("CPI with 0 instructions = %v", p.CPI())
+	}
+}
+
+func TestRunCPIs(t *testing.T) {
+	r := Run{Intervals: []IntervalProfile{
+		{Instructions: 10, Cycles: 20},
+		{Instructions: 10, Cycles: 5},
+	}}
+	cpis := r.CPIs()
+	if len(cpis) != 2 || cpis[0] != 2 || cpis[1] != 0.5 {
+		t.Errorf("CPIs = %v", cpis)
+	}
+}
+
+func roundTrip(t *testing.T, name string, isize uint64, intervals [][]BranchEvent) (string, uint64, [][]BranchEvent) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, name, isize)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, iv := range intervals {
+		for _, ev := range iv {
+			w.Branch(ev)
+		}
+		w.EndInterval()
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	gotName, gotISize, gotIntervals, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return gotName, gotISize, gotIntervals
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	intervals := [][]BranchEvent{
+		{{PC: 0x400100, Instrs: 12}, {PC: 0x400080, Instrs: 300}, {PC: 0x400100, Instrs: 1}},
+		{{PC: 0xffffffffffff, Instrs: 4_000_000_000}},
+		{}, // empty interval
+	}
+	name, isize, got := roundTrip(t, "gcc/1", 10_000_000, intervals)
+	if name != "gcc/1" || isize != 10_000_000 {
+		t.Errorf("header = %q, %d", name, isize)
+	}
+	if len(got) != len(intervals) {
+		t.Fatalf("interval count = %d, want %d", len(got), len(intervals))
+	}
+	for i := range intervals {
+		if len(got[i]) != len(intervals[i]) {
+			t.Fatalf("interval %d length = %d, want %d", i, len(got[i]), len(intervals[i]))
+		}
+		for j := range intervals[i] {
+			if got[i][j] != intervals[i][j] {
+				t.Errorf("interval %d event %d = %+v, want %+v", i, j, got[i][j], intervals[i][j])
+			}
+		}
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint64, instrs []uint16, boundaries []bool) bool {
+		n := len(pcs)
+		if len(instrs) < n {
+			n = len(instrs)
+		}
+		if len(boundaries) < n {
+			n = len(boundaries)
+		}
+		var want [][]BranchEvent
+		var cur []BranchEvent
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "prop", 1000)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			ev := BranchEvent{PC: pcs[i], Instrs: uint32(instrs[i])}
+			w.Branch(ev)
+			cur = append(cur, ev)
+			if boundaries[i] {
+				w.EndInterval()
+				want = append(want, cur)
+				cur = nil
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		if len(cur) > 0 {
+			want = append(want, cur)
+		}
+		_, _, got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				return false
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "s", 10)
+	w.Branch(BranchEvent{PC: 5, Instrs: 1})
+	w.EndInterval()
+	w.Branch(BranchEvent{PC: 9, Instrs: 2})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, boundary, err := r.Next()
+	if err != nil || boundary || ev.PC != 5 {
+		t.Fatalf("first = %+v, %v, %v", ev, boundary, err)
+	}
+	_, boundary, err = r.Next()
+	if err != nil || !boundary {
+		t.Fatalf("second should be boundary: %v, %v", boundary, err)
+	}
+	ev, boundary, err = r.Next()
+	if err != nil || boundary || ev.PC != 9 || ev.Instrs != 2 {
+		t.Fatalf("third = %+v, %v, %v", ev, boundary, err)
+	}
+	if _, _, err = r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	// Next after EOF keeps returning EOF.
+	if _, _, err = r.Next(); err != io.EOF {
+		t.Fatalf("second EOF call: %v", err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOTATRACE_______")))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestReaderRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "t", 10)
+	w.Branch(BranchEvent{PC: 1, Instrs: 1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop off the end marker and part of the last record.
+	for cut := 1; cut < 4 && cut < len(full); cut++ {
+		_, _, _, err := ReadAll(bytes.NewReader(full[:len(full)-cut]))
+		if !errors.Is(err, ErrBadTrace) {
+			t.Errorf("cut %d: err = %v, want ErrBadTrace", cut, err)
+		}
+	}
+}
+
+func TestReaderRejectsUnknownOpcode(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "u", 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] = 0x7f // replace end marker with junk
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestReaderRejectsHugeName(t *testing.T) {
+	// Header claims a name far larger than the limit.
+	raw := append([]byte(magic), 0xff, 0xff, 0xff, 0x7f)
+	_, err := NewReader(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCDeltaEncodingCompact(t *testing.T) {
+	// Nearby PCs should encode in very few bytes per event.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "c", 10)
+	pc := uint64(0x400000)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		w.Branch(BranchEvent{PC: pc, Instrs: 8})
+		pc += 64
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()) / n
+	if perEvent > 6 {
+		t.Errorf("encoding too fat: %.1f bytes/event", perEvent)
+	}
+}

@@ -1,0 +1,173 @@
+package uarch
+
+// BranchPredConfig describes the Table 1 hybrid branch predictor:
+// an 8-bit-history gshare with 2K 2-bit counters combined with an 8K
+// bimodal predictor by a chooser table.
+type BranchPredConfig struct {
+	// GshareEntries is the number of 2-bit counters in the gshare
+	// component (must be a power of two).
+	GshareEntries int
+	// HistoryBits is the global-history length of the gshare component.
+	HistoryBits int
+	// BimodalEntries is the number of 2-bit counters in the bimodal
+	// component (must be a power of two).
+	BimodalEntries int
+	// ChooserEntries is the number of 2-bit meta counters selecting
+	// between the components (must be a power of two).
+	ChooserEntries int
+}
+
+// DefaultBranchPredConfig mirrors Table 1: "hybrid - 8-bit gshare w/ 2k
+// 2-bit predictors + a 8k bimodal predictor".
+func DefaultBranchPredConfig() BranchPredConfig {
+	return BranchPredConfig{
+		GshareEntries:  2048,
+		HistoryBits:    8,
+		BimodalEntries: 8192,
+		ChooserEntries: 4096,
+	}
+}
+
+// HybridPredictor implements the Table 1 tournament predictor with real
+// 2-bit saturating counter state. The chooser is trained toward the
+// component that was correct when the two disagree.
+type HybridPredictor struct {
+	cfg     BranchPredConfig
+	gshare  []uint8
+	bimodal []uint8
+	chooser []uint8
+	history uint64
+	histMsk uint64
+
+	predictions uint64
+	mispredicts uint64
+}
+
+// NewHybridPredictor returns a predictor with all counters weakly
+// not-taken and an empty history.
+func NewHybridPredictor(cfg BranchPredConfig) *HybridPredictor {
+	for _, n := range []int{cfg.GshareEntries, cfg.BimodalEntries, cfg.ChooserEntries} {
+		if n <= 0 || n&(n-1) != 0 {
+			panic("uarch: branch predictor table sizes must be positive powers of two")
+		}
+	}
+	if cfg.HistoryBits <= 0 || cfg.HistoryBits > 30 {
+		panic("uarch: history bits out of range")
+	}
+	p := &HybridPredictor{
+		cfg:     cfg,
+		gshare:  make([]uint8, cfg.GshareEntries),
+		bimodal: make([]uint8, cfg.BimodalEntries),
+		chooser: make([]uint8, cfg.ChooserEntries),
+		histMsk: (1 << cfg.HistoryBits) - 1,
+	}
+	// Initialize counters to weakly-taken (2): loops dominate the
+	// workloads and a weakly-taken start matches hardware practice.
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 2 // weakly prefer gshare
+	}
+	return p
+}
+
+func (p *HybridPredictor) gshareIndex(pc uint64) int {
+	return int((pc>>2 ^ p.history) & uint64(p.cfg.GshareEntries-1))
+}
+
+func (p *HybridPredictor) bimodalIndex(pc uint64) int {
+	return int((pc >> 2) & uint64(p.cfg.BimodalEntries-1))
+}
+
+func (p *HybridPredictor) chooserIndex(pc uint64) int {
+	return int((pc >> 2) & uint64(p.cfg.ChooserEntries-1))
+}
+
+// Predict returns the predicted direction for the branch at pc without
+// updating any state.
+func (p *HybridPredictor) Predict(pc uint64) bool {
+	g := p.gshare[p.gshareIndex(pc)] >= 2
+	b := p.bimodal[p.bimodalIndex(pc)] >= 2
+	if p.chooser[p.chooserIndex(pc)] >= 2 {
+		return g
+	}
+	return b
+}
+
+// Update records the actual outcome of the branch at pc, training both
+// components, the chooser, and the global history. It returns true when
+// the (pre-update) prediction was correct.
+func (p *HybridPredictor) Update(pc uint64, taken bool) bool {
+	gi, bi, ci := p.gshareIndex(pc), p.bimodalIndex(pc), p.chooserIndex(pc)
+	g := p.gshare[gi] >= 2
+	b := p.bimodal[bi] >= 2
+	useGshare := p.chooser[ci] >= 2
+	pred := b
+	if useGshare {
+		pred = g
+	}
+	correct := pred == taken
+	p.predictions++
+	if !correct {
+		p.mispredicts++
+	}
+
+	// Train the chooser only when the components disagree.
+	if g != b {
+		if g == taken {
+			p.chooser[ci] = satInc(p.chooser[ci])
+		} else {
+			p.chooser[ci] = satDec(p.chooser[ci])
+		}
+	}
+	if taken {
+		p.gshare[gi] = satInc(p.gshare[gi])
+		p.bimodal[bi] = satInc(p.bimodal[bi])
+	} else {
+		p.gshare[gi] = satDec(p.gshare[gi])
+		p.bimodal[bi] = satDec(p.bimodal[bi])
+	}
+	p.history = ((p.history << 1) | boolBit(taken)) & p.histMsk
+	return correct
+}
+
+// Predictions returns the number of Update calls.
+func (p *HybridPredictor) Predictions() uint64 { return p.predictions }
+
+// Mispredicts returns the number of incorrect predictions at Update.
+func (p *HybridPredictor) Mispredicts() uint64 { return p.mispredicts }
+
+// MispredictRate returns mispredicts/predictions, or 0 when untrained.
+func (p *HybridPredictor) MispredictRate() float64 {
+	if p.predictions == 0 {
+		return 0
+	}
+	return float64(p.mispredicts) / float64(p.predictions)
+}
+
+// satInc increments a 2-bit saturating counter.
+func satInc(c uint8) uint8 {
+	if c < 3 {
+		return c + 1
+	}
+	return c
+}
+
+// satDec decrements a 2-bit saturating counter.
+func satDec(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

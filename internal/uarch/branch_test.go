@@ -1,0 +1,152 @@
+package uarch
+
+import (
+	"testing"
+
+	"phasekit/internal/rng"
+)
+
+func TestPredictorLearnsAlwaysTaken(t *testing.T) {
+	p := NewHybridPredictor(DefaultBranchPredConfig())
+	pc := uint64(0x400100)
+	for i := 0; i < 16; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("predictor did not learn always-taken branch")
+	}
+}
+
+func TestPredictorLearnsAlwaysNotTaken(t *testing.T) {
+	p := NewHybridPredictor(DefaultBranchPredConfig())
+	pc := uint64(0x400200)
+	for i := 0; i < 16; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Error("predictor did not learn always-not-taken branch")
+	}
+}
+
+func TestPredictorLearnsAlternatingViaGshare(t *testing.T) {
+	// A strictly alternating branch is perfectly predictable from an
+	// 8-bit global history once the gshare counters train. Require a
+	// high, though not perfect, steady-state accuracy.
+	p := NewHybridPredictor(DefaultBranchPredConfig())
+	pc := uint64(0x400300)
+	taken := false
+	// Warm up.
+	for i := 0; i < 512; i++ {
+		p.Update(pc, taken)
+		taken = !taken
+	}
+	correct := 0
+	const trials = 512
+	for i := 0; i < trials; i++ {
+		if p.Predict(pc) == taken {
+			correct++
+		}
+		p.Update(pc, taken)
+		taken = !taken
+	}
+	if rate := float64(correct) / trials; rate < 0.95 {
+		t.Errorf("alternating-branch accuracy = %.2f, want >= 0.95", rate)
+	}
+}
+
+func TestPredictorBiasedBranchAccuracy(t *testing.T) {
+	// A 90%-taken random branch should be predicted with at least
+	// ~85% accuracy (bimodal saturates toward taken).
+	p := NewHybridPredictor(DefaultBranchPredConfig())
+	x := rng.NewXoshiro256(99)
+	pc := uint64(0x400400)
+	for i := 0; i < 1000; i++ {
+		p.Update(pc, x.Float64() < 0.9)
+	}
+	correct, trials := 0, 4000
+	for i := 0; i < trials; i++ {
+		taken := x.Float64() < 0.9
+		if p.Predict(pc) == taken {
+			correct++
+		}
+		p.Update(pc, taken)
+	}
+	if rate := float64(correct) / float64(trials); rate < 0.85 {
+		t.Errorf("biased-branch accuracy = %.2f, want >= 0.85", rate)
+	}
+}
+
+func TestPredictorStatsConsistent(t *testing.T) {
+	p := NewHybridPredictor(DefaultBranchPredConfig())
+	x := rng.NewXoshiro256(5)
+	for i := 0; i < 1000; i++ {
+		p.Update(uint64(i%13)*4, x.Float64() < 0.5)
+	}
+	if p.Predictions() != 1000 {
+		t.Errorf("predictions = %d", p.Predictions())
+	}
+	if p.Mispredicts() > p.Predictions() {
+		t.Error("mispredicts exceed predictions")
+	}
+	if r := p.MispredictRate(); r < 0 || r > 1 {
+		t.Errorf("mispredict rate = %v", r)
+	}
+}
+
+func TestPredictorUpdateReturnMatchesPredict(t *testing.T) {
+	p := NewHybridPredictor(DefaultBranchPredConfig())
+	x := rng.NewXoshiro256(6)
+	for i := 0; i < 2000; i++ {
+		pc := uint64(x.Intn(64)) * 4
+		taken := x.Float64() < 0.7
+		want := p.Predict(pc) == taken
+		if got := p.Update(pc, taken); got != want {
+			t.Fatalf("iteration %d: Update correctness %v, Predict said %v", i, got, want)
+		}
+	}
+}
+
+func TestPredictorRejectsBadConfig(t *testing.T) {
+	bad := []BranchPredConfig{
+		{GshareEntries: 0, HistoryBits: 8, BimodalEntries: 8192, ChooserEntries: 4096},
+		{GshareEntries: 100, HistoryBits: 8, BimodalEntries: 8192, ChooserEntries: 4096},
+		{GshareEntries: 2048, HistoryBits: 0, BimodalEntries: 8192, ChooserEntries: 4096},
+		{GshareEntries: 2048, HistoryBits: 40, BimodalEntries: 8192, ChooserEntries: 4096},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewHybridPredictor(cfg)
+		}()
+	}
+}
+
+func TestMispredictRateUntrained(t *testing.T) {
+	p := NewHybridPredictor(DefaultBranchPredConfig())
+	if p.MispredictRate() != 0 {
+		t.Error("untrained rate nonzero")
+	}
+}
+
+func TestSaturatingCounters(t *testing.T) {
+	if satInc(3) != 3 {
+		t.Error("satInc(3) overflowed")
+	}
+	if satDec(0) != 0 {
+		t.Error("satDec(0) underflowed")
+	}
+	if satInc(1) != 2 || satDec(2) != 1 {
+		t.Error("mid-range inc/dec wrong")
+	}
+}
+
+func BenchmarkPredictorUpdate(b *testing.B) {
+	p := NewHybridPredictor(DefaultBranchPredConfig())
+	for i := 0; i < b.N; i++ {
+		p.Update(uint64(i%257)*4, i%3 != 0)
+	}
+}

@@ -1,0 +1,185 @@
+// Package uarch implements the baseline microarchitecture timing model
+// of Table 1 in the paper: split 16KB 4-way L1 I/D caches, a 128KB 8-way
+// L2, a hybrid gshare+bimodal branch predictor, a TLB with a fixed
+// 30-cycle miss latency, and a 4-wide out-of-order core approximated by
+// an issue-width/penalty timing equation.
+//
+// The model is block-granular: the workload generator emits one
+// BlockEvent per executed branch region, and the model charges cycles
+// for it by probing real cache and predictor state. Per-interval cycles
+// divided by instructions gives the CPI series that the paper's §3.1
+// CoV metric evaluates.
+package uarch
+
+import "fmt"
+
+// CacheConfig describes one level of a set-associative cache.
+type CacheConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// BlockBytes is the line size.
+	BlockBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// LatencyCycles is the hit latency charged on access by the level
+	// above on a miss there.
+	LatencyCycles int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int {
+	return c.SizeBytes / (c.BlockBytes * c.Assoc)
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.BlockBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("uarch: cache config fields must be positive: %+v", c)
+	}
+	if c.SizeBytes%(c.BlockBytes*c.Assoc) != 0 {
+		return fmt.Errorf("uarch: cache size %d not divisible by block*assoc %d",
+			c.SizeBytes, c.BlockBytes*c.Assoc)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("uarch: cache set count %d not a power of two", sets)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("uarch: block size %d not a power of two", c.BlockBytes)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement. Only tags
+// are modelled; there is no data array. It is also reused to model the
+// TLB (lines = pages).
+type Cache struct {
+	cfg       CacheConfig
+	tags      []uint64 // sets*assoc entries; tag 0 means invalid via valid bits
+	valid     []bool
+	lru       []uint8 // per-way age within the set; 0 = MRU
+	setMask   uint64
+	blockBits uint
+	assoc     int
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewCache returns an empty cache for the given configuration. It
+// panics on an invalid configuration; configurations are programmer
+// input, not runtime data.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		tags:    make([]uint64, sets*cfg.Assoc),
+		valid:   make([]bool, sets*cfg.Assoc),
+		lru:     make([]uint8, sets*cfg.Assoc),
+		setMask: uint64(sets - 1),
+		assoc:   cfg.Assoc,
+	}
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		c.blockBits++
+	}
+	return c
+}
+
+// Access looks up addr, returning true on a hit. On a miss the line is
+// filled, evicting the LRU way. Loads and stores are not distinguished;
+// the timing model charges the same penalty for both (write-allocate).
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	block := addr >> c.blockBits
+	set := int(block & c.setMask)
+	tag := block // full block number as tag: alias-free
+	base := set * c.assoc
+
+	hitWay := -1
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.touch(base, hitWay)
+		return true
+	}
+	c.misses++
+	// Fill: find an invalid way, else the LRU (max age) way.
+	victim := 0
+	oldest := uint8(0)
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+		if c.lru[base+w] >= oldest {
+			oldest = c.lru[base+w]
+			victim = w
+		}
+	}
+	c.tags[base+victim] = tag
+	c.valid[base+victim] = true
+	// A filled way conceptually enters with the maximum age so every
+	// other valid way ages exactly once when it becomes MRU.
+	c.lru[base+victim] = uint8(c.assoc - 1)
+	c.touch(base, victim)
+	return false
+}
+
+// Probe looks up addr without modifying cache state.
+func (c *Cache) Probe(addr uint64) bool {
+	block := addr >> c.blockBits
+	set := int(block & c.setMask)
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// touch makes way the MRU of its set, aging the others.
+func (c *Cache) touch(base, way int) {
+	cur := c.lru[base+way]
+	for w := 0; w < c.assoc; w++ {
+		if c.lru[base+w] < cur {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// Flush invalidates every line and clears statistics.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+		c.tags[i] = 0
+	}
+	c.accesses = 0
+	c.misses = 0
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Accesses returns the number of Access calls since the last Flush.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of missing Access calls since the last Flush.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses/accesses, or 0 when no accesses occurred.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}

@@ -1,0 +1,203 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways x 32B blocks = 256B.
+	return NewCache(CacheConfig{SizeBytes: 256, BlockBytes: 32, Assoc: 2, LatencyCycles: 1})
+}
+
+func TestCacheConfigSets(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 4}
+	if got := cfg.Sets(); got != 128 {
+		t.Errorf("Sets() = %d, want 128", got)
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 4, LatencyCycles: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{SizeBytes: 0, BlockBytes: 32, Assoc: 4},
+		{SizeBytes: 16 << 10, BlockBytes: 0, Assoc: 4},
+		{SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 0},
+		{SizeBytes: 100, BlockBytes: 32, Assoc: 2},     // not divisible
+		{SizeBytes: 96 * 32, BlockBytes: 32, Assoc: 1}, // 96 sets: not power of two
+		{SizeBytes: 4 * 24, BlockBytes: 24, Assoc: 1},  // block not power of two
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := smallCache()
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x101f) {
+		t.Error("same-block access missed")
+	}
+	if c.Access(0x1020) {
+		t.Error("next-block access hit")
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	c := smallCache() // 4 sets, 2 ways; addresses with same set bits conflict
+	// Set index = (addr>>5) & 3. Addresses 0x000, 0x080, 0x100 all map to set 0.
+	c.Access(0x000)
+	c.Access(0x080)
+	// Touch 0x000 to make 0x080 the LRU.
+	c.Access(0x000)
+	// Fill a third line into the set: must evict 0x080.
+	c.Access(0x100)
+	if !c.Probe(0x000) {
+		t.Error("MRU line was evicted")
+	}
+	if c.Probe(0x080) {
+		t.Error("LRU line survived")
+	}
+	if !c.Probe(0x100) {
+		t.Error("newly filled line absent")
+	}
+}
+
+func TestCacheProbeDoesNotModify(t *testing.T) {
+	c := smallCache()
+	if c.Probe(0x40) {
+		t.Error("probe of empty cache hit")
+	}
+	if c.Probe(0x40) {
+		t.Error("probe allocated a line")
+	}
+	if c.Accesses() != 0 {
+		t.Errorf("probe counted as access: %d", c.Accesses())
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := smallCache()
+	c.Access(0)     // miss
+	c.Access(0)     // hit
+	c.Access(0x400) // miss
+	if c.Accesses() != 3 || c.Misses() != 2 {
+		t.Errorf("accesses=%d misses=%d", c.Accesses(), c.Misses())
+	}
+	if got := c.MissRate(); got != 2.0/3.0 {
+		t.Errorf("miss rate = %v", got)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := smallCache()
+	c.Access(0x40)
+	c.Flush()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Error("flush did not reset stats")
+	}
+	if c.Probe(0x40) {
+		t.Error("flush did not invalidate lines")
+	}
+	if c.MissRate() != 0 {
+		t.Error("flushed miss rate nonzero")
+	}
+}
+
+func TestCacheWorkingSetFitsAfterWarmup(t *testing.T) {
+	// A working set smaller than capacity must reach 100% hits after
+	// one warm-up pass, for any access order.
+	c := NewCache(CacheConfig{SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 4, LatencyCycles: 1})
+	addrs := make([]uint64, 0, 256)
+	for i := 0; i < 256; i++ { // 256 * 32B = 8KB working set
+		addrs = append(addrs, uint64(i*32))
+	}
+	for _, a := range addrs {
+		c.Access(a)
+	}
+	for _, a := range addrs {
+		if !c.Access(a) {
+			t.Fatalf("address %#x missed after warmup", a)
+		}
+	}
+}
+
+func TestCacheThrashingWorkingSet(t *testing.T) {
+	// A working set that overcommits every set with an LRU-hostile
+	// cyclic pattern must keep missing.
+	c := smallCache() // 256B total
+	misses := 0
+	const rounds = 10
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 24; i++ { // 768B cyclic footprint
+			if !c.Access(uint64(i * 32)) {
+				misses++
+			}
+		}
+	}
+	if misses != rounds*24 {
+		t.Errorf("cyclic over-capacity pattern: %d misses, want %d", misses, rounds*24)
+	}
+}
+
+func TestCacheLRUInvariantProperty(t *testing.T) {
+	// After any access sequence, each set's LRU ages must be a
+	// permutation of 0..valid-1.
+	f := func(raw []uint16) bool {
+		c := smallCache()
+		for _, r := range raw {
+			c.Access(uint64(r) * 8)
+		}
+		sets := c.cfg.Sets()
+		for s := 0; s < sets; s++ {
+			base := s * c.assoc
+			seen := make(map[uint8]bool)
+			valid := 0
+			for w := 0; w < c.assoc; w++ {
+				if c.valid[base+w] {
+					valid++
+					if seen[c.lru[base+w]] {
+						return false
+					}
+					seen[c.lru[base+w]] = true
+				}
+			}
+			for age := 0; age < valid; age++ {
+				if !seen[uint8(age)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheDistinctBlocksDistinctLines(t *testing.T) {
+	// Two addresses in different blocks never alias to the same line.
+	c := smallCache()
+	c.Access(0x0)
+	c.Access(0x1000)
+	if !c.Probe(0x0) || !c.Probe(0x1000) {
+		t.Error("distinct blocks collided")
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := NewCache(CacheConfig{SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 4, LatencyCycles: 1})
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64) & 0xffff)
+	}
+}

@@ -1,0 +1,273 @@
+package uarch
+
+import "fmt"
+
+// Config is the full Table 1 machine description plus the timing-model
+// knobs the paper leaves implicit (mispredict penalty, memory-level
+// parallelism).
+type Config struct {
+	ICache CacheConfig
+	DCache CacheConfig
+	L2     CacheConfig
+	// MemLatencyCycles is main-memory latency (Table 1: 120 cycles).
+	MemLatencyCycles int
+	// Branch is the hybrid predictor configuration.
+	Branch BranchPredConfig
+	// IssueWidth is the peak commit width (Table 1: 4).
+	IssueWidth int
+	// ROBEntries is recorded for documentation (Table 1: 64); the
+	// block-granular model folds its effect into MemOverlap.
+	ROBEntries int
+	// MispredictPenaltyCycles is charged per mispredicted branch.
+	MispredictPenaltyCycles int
+	// PageBytes is the virtual-memory page size (Table 1: 8KB).
+	PageBytes int
+	// TLBMissCycles is the fixed TLB miss latency (Table 1: 30).
+	TLBMissCycles int
+	// TLBEntries is the number of TLB entries (fully specified here
+	// since Table 1 only gives page size and miss latency).
+	TLBEntries int
+	// TLBAssoc is the TLB associativity.
+	TLBAssoc int
+	// MemOverlap in (0,1] scales data-side miss penalties to model the
+	// out-of-order core overlapping independent misses (ROB + LSQ of
+	// Table 1). 1.0 means fully serialized misses.
+	MemOverlap float64
+}
+
+// DefaultConfig returns the Table 1 baseline model.
+func DefaultConfig() Config {
+	return Config{
+		ICache:                  CacheConfig{SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 4, LatencyCycles: 1},
+		DCache:                  CacheConfig{SizeBytes: 16 << 10, BlockBytes: 32, Assoc: 4, LatencyCycles: 1},
+		L2:                      CacheConfig{SizeBytes: 128 << 10, BlockBytes: 64, Assoc: 8, LatencyCycles: 12},
+		MemLatencyCycles:        120,
+		Branch:                  DefaultBranchPredConfig(),
+		IssueWidth:              4,
+		ROBEntries:              64,
+		MispredictPenaltyCycles: 12,
+		PageBytes:               8 << 10,
+		TLBMissCycles:           30,
+		TLBEntries:              64,
+		TLBAssoc:                4,
+		MemOverlap:              0.55,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	for _, cc := range []struct {
+		name string
+		cfg  CacheConfig
+	}{{"icache", c.ICache}, {"dcache", c.DCache}, {"l2", c.L2}} {
+		if err := cc.cfg.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", cc.name, err)
+		}
+	}
+	if c.IssueWidth <= 0 {
+		return fmt.Errorf("uarch: issue width must be positive")
+	}
+	if c.MemOverlap <= 0 || c.MemOverlap > 1 {
+		return fmt.Errorf("uarch: MemOverlap must be in (0,1], got %v", c.MemOverlap)
+	}
+	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("uarch: page size must be a positive power of two")
+	}
+	if c.TLBEntries <= 0 || c.TLBAssoc <= 0 || c.TLBEntries%c.TLBAssoc != 0 {
+		return fmt.Errorf("uarch: bad TLB geometry %d/%d", c.TLBEntries, c.TLBAssoc)
+	}
+	return nil
+}
+
+// BlockEvent is one executed branch region: the unit of work the
+// workload generator hands to both the timing model and the phase
+// tracking architecture.
+//
+// A region represents Branches underlying branch executions batched
+// into a single record (a documented trace-granularity substitution;
+// see DESIGN.md §2). The accumulator keys on BranchPC and increments by
+// Instrs, exactly as the paper's queue of (branch PC, instruction
+// count) pairs.
+type BlockEvent struct {
+	// BranchPC is the PC of the region's terminating branch.
+	BranchPC uint64
+	// Instrs is the number of instructions committed in the region.
+	Instrs uint32
+	// Branches is the number of branch executions the region
+	// represents (>= 1).
+	Branches uint32
+	// Taken is the sampled direction of the representative branch.
+	Taken bool
+	// CodePC is the first I-fetch address of the region's code.
+	CodePC uint64
+	// CodeBytes is the static code footprint of the region.
+	CodeBytes uint32
+	// Loads holds sampled data addresses touched by the region.
+	Loads []uint64
+	// MemOps is the total memory operations the region represents;
+	// per-sample penalties are scaled by MemOps/len(Loads).
+	MemOps uint32
+}
+
+// Model is the machine: cache hierarchy, TLB, and branch predictor
+// state, with a timing equation that converts block events to cycles.
+type Model struct {
+	cfg  Config
+	ic   *Cache
+	dc   *Cache
+	l2   *Cache
+	dtlb *Cache
+	bp   *HybridPredictor
+
+	instrs uint64
+	cycles uint64
+}
+
+// NewModel builds a machine for cfg. It panics on invalid
+// configurations (programmer input).
+func NewModel(cfg Config) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	pages := cfg.TLBEntries / cfg.TLBAssoc * cfg.TLBAssoc
+	return &Model{
+		cfg: cfg,
+		ic:  NewCache(cfg.ICache),
+		dc:  NewCache(cfg.DCache),
+		l2:  NewCache(cfg.L2),
+		dtlb: NewCache(CacheConfig{
+			SizeBytes:     pages * cfg.PageBytes,
+			BlockBytes:    cfg.PageBytes,
+			Assoc:         cfg.TLBAssoc,
+			LatencyCycles: 0,
+		}),
+		bp: NewHybridPredictor(cfg.Branch),
+	}
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Execute charges cycles for one block event and returns them.
+func (m *Model) Execute(ev BlockEvent) uint64 {
+	cycles := float64(ev.Instrs+uint32(m.cfg.IssueWidth)-1) / float64(m.cfg.IssueWidth)
+
+	// Instruction fetch: probe up to four lines spread across the
+	// region's code footprint and scale the penalty to the full
+	// footprint.
+	lineBytes := uint32(m.cfg.ICache.BlockBytes)
+	lines := (ev.CodeBytes + lineBytes - 1) / lineBytes
+	if lines == 0 {
+		lines = 1
+	}
+	samples := lines
+	if samples > 4 {
+		samples = 4
+	}
+	missPenalty := 0.0
+	for i := uint32(0); i < samples; i++ {
+		addr := ev.CodePC + uint64(i*(lines/samples)*lineBytes)
+		if !m.ic.Access(addr) {
+			if m.l2.Access(addr) {
+				missPenalty += float64(m.cfg.L2.LatencyCycles)
+			} else {
+				missPenalty += float64(m.cfg.MemLatencyCycles)
+			}
+		}
+	}
+	cycles += missPenalty * float64(lines) / float64(samples)
+
+	// Data side: probe TLB, L1D, L2 per sampled address, scaling to
+	// the represented memory-operation count, with MemOverlap
+	// modelling out-of-order miss overlap.
+	if n := len(ev.Loads); n > 0 && ev.MemOps > 0 {
+		scale := float64(ev.MemOps) / float64(n) * m.cfg.MemOverlap
+		penalty := 0.0
+		for _, addr := range ev.Loads {
+			if !m.dtlb.Access(addr) {
+				penalty += float64(m.cfg.TLBMissCycles)
+			}
+			if !m.dc.Access(addr) {
+				if m.l2.Access(addr) {
+					penalty += float64(m.cfg.L2.LatencyCycles)
+				} else {
+					penalty += float64(m.cfg.MemLatencyCycles)
+				}
+			}
+		}
+		cycles += penalty * scale
+	}
+
+	// Branch: simulate the representative branch; on a mispredict,
+	// charge the penalty for every branch the region represents. The
+	// representative's direction is freshly sampled per event, so the
+	// expected charge matches rate x count.
+	if !m.bp.Update(ev.BranchPC, ev.Taken) {
+		branches := ev.Branches
+		if branches == 0 {
+			branches = 1
+		}
+		cycles += float64(m.cfg.MispredictPenaltyCycles * int(branches))
+	}
+
+	c := uint64(cycles + 0.5)
+	m.instrs += uint64(ev.Instrs)
+	m.cycles += c
+	return c
+}
+
+// Stats exposes the model's cumulative counters for diagnostics.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	ICacheMiss   float64
+	DCacheMiss   float64
+	L2Miss       float64
+	TLBMiss      float64
+	BranchMiss   float64
+}
+
+// Stats returns cumulative counters since construction.
+func (m *Model) Stats() Stats {
+	return Stats{
+		Instructions: m.instrs,
+		Cycles:       m.cycles,
+		ICacheMiss:   m.ic.MissRate(),
+		DCacheMiss:   m.dc.MissRate(),
+		L2Miss:       m.l2.MissRate(),
+		TLBMiss:      m.dtlb.MissRate(),
+		BranchMiss:   m.bp.MispredictRate(),
+	}
+}
+
+// CPI returns cumulative cycles per instruction.
+func (m *Model) CPI() float64 {
+	if m.instrs == 0 {
+		return 0
+	}
+	return float64(m.cycles) / float64(m.instrs)
+}
+
+// Describe returns the Table 1 rows for this configuration, used by the
+// table1 experiment and cmd/experiments.
+func (c Config) Describe() [][2]string {
+	cacheDesc := func(cc CacheConfig) string {
+		return fmt.Sprintf("%dk %d-way set-associative, %d byte blocks, %d cycle latency",
+			cc.SizeBytes>>10, cc.Assoc, cc.BlockBytes, cc.LatencyCycles)
+	}
+	return [][2]string{
+		{"I Cache", cacheDesc(c.ICache)},
+		{"D Cache", cacheDesc(c.DCache)},
+		{"L2 Cache", cacheDesc(c.L2)},
+		{"Main Memory", fmt.Sprintf("%d cycle latency", c.MemLatencyCycles)},
+		{"Branch Pred", fmt.Sprintf("hybrid - %d-bit gshare w/ %dk 2-bit predictors + a %dk bimodal predictor",
+			c.Branch.HistoryBits, c.Branch.GshareEntries>>10, c.Branch.BimodalEntries>>10)},
+		{"O-O-O Issue", fmt.Sprintf("out-of-order issue of up to %d operations per cycle, %d entry re-order buffer",
+			c.IssueWidth, c.ROBEntries)},
+		{"Mem Disambig", "load/store queue, loads may execute when all prior store addresses are known"},
+		{"Registers", "32 integer, 32 floating point"},
+		{"Func Units", "2-integer ALU, 2-load/store units, 1-FP adder, 1-integer MULT/DIV, 1-FP MULT/DIV"},
+		{"Virtual Mem", fmt.Sprintf("%dK byte pages, %d cycle fixed TLB miss latency after earlier-issued instructions complete",
+			c.PageBytes>>10, c.TLBMissCycles)},
+	}
+}

@@ -1,0 +1,268 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+
+	"phasekit/internal/rng"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejectsBadFields(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"issue width":  func(c *Config) { c.IssueWidth = 0 },
+		"overlap zero": func(c *Config) { c.MemOverlap = 0 },
+		"overlap big":  func(c *Config) { c.MemOverlap = 1.5 },
+		"page size":    func(c *Config) { c.PageBytes = 3000 },
+		"tlb geometry": func(c *Config) { c.TLBEntries = 7; c.TLBAssoc = 4 },
+		"icache":       func(c *Config) { c.ICache.SizeBytes = -1 },
+	}
+	for name, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+// computeEvent returns an event for a tight compute loop: tiny code and
+// data footprints, perfectly biased branch.
+func computeEvent(i int) BlockEvent {
+	return BlockEvent{
+		BranchPC:  0x400100,
+		Instrs:    400,
+		Branches:  8,
+		Taken:     true,
+		CodePC:    0x400000,
+		CodeBytes: 256,
+		Loads:     []uint64{0x10000000 + uint64(i%8)*32},
+		MemOps:    40,
+	}
+}
+
+// memoryEvent returns an event for a pointer-chasing region with a data
+// footprint far exceeding L2.
+func memoryEvent(x *rng.Xoshiro256) BlockEvent {
+	loads := make([]uint64, 8)
+	for i := range loads {
+		loads[i] = 0x20000000 + x.Uint64n(64<<20)
+	}
+	return BlockEvent{
+		BranchPC:  0x500100,
+		Instrs:    400,
+		Branches:  8,
+		Taken:     x.Float64() < 0.5,
+		CodePC:    0x500000,
+		CodeBytes: 256,
+		Loads:     loads,
+		MemOps:    120,
+	}
+}
+
+func TestModelComputeBoundCPI(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	for i := 0; i < 5000; i++ {
+		m.Execute(computeEvent(i))
+	}
+	cpi := m.CPI()
+	if cpi < 0.2 || cpi > 1.0 {
+		t.Errorf("compute-bound CPI = %v, want in [0.2, 1.0]", cpi)
+	}
+}
+
+func TestModelMemoryBoundCPI(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	x := rng.NewXoshiro256(4)
+	for i := 0; i < 5000; i++ {
+		m.Execute(memoryEvent(x))
+	}
+	cpi := m.CPI()
+	if cpi < 2.0 {
+		t.Errorf("memory-bound CPI = %v, want >= 2.0", cpi)
+	}
+}
+
+func TestModelMemoryBoundSlowerThanCompute(t *testing.T) {
+	mc := NewModel(DefaultConfig())
+	mm := NewModel(DefaultConfig())
+	x := rng.NewXoshiro256(4)
+	for i := 0; i < 3000; i++ {
+		mc.Execute(computeEvent(i))
+		mm.Execute(memoryEvent(x))
+	}
+	if mm.CPI() <= 2*mc.CPI() {
+		t.Errorf("memory CPI %v not clearly above compute CPI %v", mm.CPI(), mc.CPI())
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	run := func() uint64 {
+		m := NewModel(DefaultConfig())
+		x := rng.NewXoshiro256(77)
+		var total uint64
+		for i := 0; i < 2000; i++ {
+			if i%2 == 0 {
+				total += m.Execute(computeEvent(i))
+			} else {
+				total += m.Execute(memoryEvent(x))
+			}
+		}
+		return total
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("model not deterministic: %d != %d", a, b)
+	}
+}
+
+func TestModelStatsPopulated(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	x := rng.NewXoshiro256(8)
+	for i := 0; i < 2000; i++ {
+		m.Execute(memoryEvent(x))
+	}
+	s := m.Stats()
+	if s.Instructions == 0 || s.Cycles == 0 {
+		t.Fatalf("stats empty: %+v", s)
+	}
+	if s.DCacheMiss <= 0 || s.DCacheMiss > 1 {
+		t.Errorf("dcache miss rate = %v", s.DCacheMiss)
+	}
+	if s.L2Miss <= 0 {
+		t.Errorf("L2 miss rate = %v (64MB footprint must miss)", s.L2Miss)
+	}
+	if s.TLBMiss <= 0 {
+		t.Errorf("TLB miss rate = %v (8K pages over 64MB must miss)", s.TLBMiss)
+	}
+}
+
+func TestModelMispredictPenaltyVisible(t *testing.T) {
+	// Identical streams except branch predictability: the random-
+	// direction stream must cost more cycles.
+	ev := func(taken bool) BlockEvent {
+		return BlockEvent{
+			BranchPC: 0x600000, Instrs: 100, Branches: 12, Taken: taken,
+			CodePC: 0x600000, CodeBytes: 64,
+		}
+	}
+	mp := NewModel(DefaultConfig()) // predictable
+	mu := NewModel(DefaultConfig()) // unpredictable
+	x := rng.NewXoshiro256(3)
+	var cp, cu uint64
+	for i := 0; i < 4000; i++ {
+		cp += mp.Execute(ev(true))
+		cu += mu.Execute(ev(x.Float64() < 0.5))
+	}
+	if cu <= cp {
+		t.Errorf("unpredictable branches (%d cycles) not slower than predictable (%d)", cu, cp)
+	}
+}
+
+func TestModelZeroLoadEvent(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	c := m.Execute(BlockEvent{BranchPC: 4, Instrs: 8, Branches: 1, CodePC: 0, CodeBytes: 32})
+	if c == 0 {
+		t.Error("zero cycles charged for nonzero instructions")
+	}
+}
+
+func TestModelCPIEmptyModel(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	if m.CPI() != 0 {
+		t.Errorf("empty model CPI = %v", m.CPI())
+	}
+}
+
+func TestDescribeMatchesTable1(t *testing.T) {
+	rows := DefaultConfig().Describe()
+	if len(rows) != 10 {
+		t.Fatalf("Describe rows = %d, want 10", len(rows))
+	}
+	joined := ""
+	for _, r := range rows {
+		joined += r[0] + ": " + r[1] + "\n"
+	}
+	for _, want := range []string{
+		"16k 4-way set-associative, 32 byte blocks, 1 cycle latency",
+		"128k 8-way set-associative, 64 byte blocks, 12 cycle latency",
+		"120 cycle latency",
+		"8-bit gshare w/ 2k 2-bit predictors + a 8k bimodal predictor",
+		"up to 4 operations per cycle, 64 entry re-order buffer",
+		"8K byte pages, 30 cycle fixed TLB miss latency",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Describe output missing %q", want)
+		}
+	}
+}
+
+func BenchmarkModelExecute(b *testing.B) {
+	m := NewModel(DefaultConfig())
+	x := rng.NewXoshiro256(1)
+	evs := make([]BlockEvent, 64)
+	for i := range evs {
+		evs[i] = memoryEvent(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Execute(evs[i%len(evs)])
+	}
+}
+
+func TestModelLatencyMonotonicity(t *testing.T) {
+	// Charging the same event stream on machines with strictly worse
+	// memory parameters can never cost fewer cycles.
+	stream := func(m *Model) uint64 {
+		x := rng.NewXoshiro256(21)
+		var total uint64
+		for i := 0; i < 3000; i++ {
+			total += m.Execute(memoryEvent(x))
+		}
+		return total
+	}
+	base := DefaultConfig()
+	for name, worsen := range map[string]func(*Config){
+		"memory latency": func(c *Config) { c.MemLatencyCycles *= 3 },
+		"L2 latency":     func(c *Config) { c.L2.LatencyCycles *= 4 },
+		"tlb miss":       func(c *Config) { c.TLBMissCycles *= 4 },
+		"overlap":        func(c *Config) { c.MemOverlap = 1.0 },
+	} {
+		worse := base
+		worsen(&worse)
+		fast := stream(NewModel(base))
+		slow := stream(NewModel(worse))
+		if slow < fast {
+			t.Errorf("%s: worse machine cheaper (%d < %d)", name, slow, fast)
+		}
+	}
+}
+
+func TestModelSmallerCachesMoreMisses(t *testing.T) {
+	// Halving the D-cache cannot reduce miss rate on a fixed stream.
+	run := func(cfg Config) float64 {
+		m := NewModel(cfg)
+		x := rng.NewXoshiro256(33)
+		region := uint64(24 << 10) // footprint between the two sizes
+		for i := 0; i < 5000; i++ {
+			ev := BlockEvent{
+				BranchPC: 0x400000, Instrs: 200, Branches: 2, Taken: true,
+				CodePC: 0x400000, CodeBytes: 64,
+				Loads:  []uint64{0x10000000 + x.Uint64n(region)&^7},
+				MemOps: 20,
+			}
+			m.Execute(ev)
+		}
+		return m.Stats().DCacheMiss
+	}
+	big := DefaultConfig()
+	small := DefaultConfig()
+	small.DCache.SizeBytes /= 2
+	if run(small) < run(big) {
+		t.Error("smaller D-cache produced fewer misses")
+	}
+}

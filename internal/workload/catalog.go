@@ -1,0 +1,663 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"phasekit/internal/program"
+	"phasekit/internal/rng"
+)
+
+// Names returns the workload names in the paper's order (§3).
+func Names() []string {
+	return []string{
+		"ammp", "bzip2/g", "bzip2/p", "galgel", "gcc/1", "gcc/s",
+		"gzip/g", "gzip/p", "mcf", "perl/d", "perl/s",
+	}
+}
+
+// Get builds the named workload's spec. Building is deterministic: the
+// same name always yields the same program and script.
+func Get(name string) (Spec, error) {
+	build, ok := builders[name]
+	if !ok {
+		known := make([]string, 0, len(builders))
+		for k := range builders {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return Spec{}, fmt.Errorf("workload: unknown workload %q (have %v)", name, known)
+	}
+	return build(), nil
+}
+
+// All builds every workload in paper order.
+func All() []Spec {
+	specs := make([]Spec, 0, len(builders))
+	for _, name := range Names() {
+		spec, err := Get(name)
+		if err != nil {
+			panic(err) // Names and builders are maintained together
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+var builders = map[string]func() Spec{
+	"ammp":    buildAmmp,
+	"bzip2/g": func() Spec { return buildBzip2("bzip2/g", 0xb21b, 1.4) },
+	"bzip2/p": func() Spec { return buildBzip2("bzip2/p", 0xb21c, 0.9) },
+	"galgel":  buildGalgel,
+	"gcc/1":   func() Spec { return buildGcc("gcc/1", 0x6cc1, 30, 200, 3, 14, 0) },
+	"gcc/s":   func() Spec { return buildGcc("gcc/s", 0x6cc5, 40, 320, 1, 5, 1) },
+	"gzip/g":  buildGzipG,
+	"gzip/p":  buildGzipP,
+	"mcf":     buildMcf,
+	"perl/d":  buildPerlD,
+	"perl/s":  buildPerlS,
+}
+
+// --- behaviour construction helpers ---
+
+// geoWeights assigns geometrically decaying weights (hot blocks
+// dominate, as in real code profiles).
+func geoWeights(blocks []int, ratio float64) []program.BlockWeight {
+	out := make([]program.BlockWeight, len(blocks))
+	w := 1.0
+	for i, blk := range blocks {
+		out[i] = program.BlockWeight{Block: blk, Weight: w}
+		w *= ratio
+	}
+	return out
+}
+
+// perturb returns a copy of ws with each weight scaled by a random
+// factor in [1-frac, 1+frac]; small frac keeps the resulting behaviour
+// within a controlled signature distance of the original.
+func perturb(ws []program.BlockWeight, frac float64, x *rng.Xoshiro256) []program.BlockWeight {
+	out := make([]program.BlockWeight, len(ws))
+	for i, w := range ws {
+		out[i] = program.BlockWeight{
+			Block:  w.Block,
+			Weight: w.Weight * (1 + frac*(2*x.Float64()-1)),
+		}
+	}
+	return out
+}
+
+// expectedDistance computes the normalized Manhattan distance between
+// the stationary accumulator signatures of two weighted block mixes:
+// each block contributes weight x MeanInstrs to the counter its branch
+// PC hashes into, exactly as the accumulator does at run time. It lets
+// workload builders place behaviours at controlled signature distances.
+func expectedDistance(prog []program.Block, a, b []program.BlockWeight, dims int) float64 {
+	project := func(ws []program.BlockWeight) []float64 {
+		v := make([]float64, dims)
+		total := 0.0
+		for _, w := range ws {
+			blk := prog[w.Block]
+			contrib := w.Weight * float64(blk.MeanInstrs)
+			v[rng.Mix(blk.BranchPC)&uint64(dims-1)] += contrib
+			total += contrib
+		}
+		for i := range v {
+			v[i] /= total
+		}
+		return v
+	}
+	va, vb := project(a), project(b)
+	d := 0.0
+	for i := range va {
+		if va[i] > vb[i] {
+			d += va[i] - vb[i]
+		} else {
+			d += vb[i] - va[i]
+		}
+	}
+	return d / 2 // both vectors normalized to 1: TV distance
+}
+
+// perturbToBand redraws a perturbation of base until its expected
+// signature distance from every reference mix lands inside
+// [lo, hi]. The draw is deterministic given x.
+func perturbToBand(prog []program.Block, base []program.BlockWeight, refs [][]program.BlockWeight,
+	frac, lo, hi float64, x *rng.Xoshiro256) []program.BlockWeight {
+	for attempt := 0; attempt < 200; attempt++ {
+		cand := perturb(base, frac, x)
+		ok := true
+		for _, ref := range refs {
+			d := expectedDistance(prog, cand, ref, 16)
+			if d < lo || d > hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand
+		}
+	}
+	panic("workload: could not place behaviour in requested signature distance band")
+}
+
+// computeBlocks creates n compute-only blocks (no data traffic).
+func computeBlocks(b *program.Builder, n int, instrs uint32) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b.Block(program.BlockSpec{Instrs: instrs})
+	}
+	return out
+}
+
+// cachedBlocks creates n blocks over a small shared hot region:
+// memory-active but cache-resident (low CPI).
+func cachedBlocks(b *program.Builder, n int, kb uint64, memOps uint32) []int {
+	region := b.Data(kb << 10)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b.Block(program.BlockSpec{
+			Instrs: 1600, MemOps: memOps, Region: region,
+			Pattern: program.Sequential,
+		})
+	}
+	return out
+}
+
+// streamBlocks creates n blocks streaming through a large region with a
+// cache-hostile stride (every sampled access a new line).
+func streamBlocks(b *program.Builder, n int, mb uint64, memOps uint32) []int {
+	region := b.Data(mb << 20)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b.Block(program.BlockSpec{
+			Instrs: 1800, MemOps: memOps, Region: region,
+			Pattern: program.Strided, Stride: 64 + uint32(i%3)*64,
+		})
+	}
+	return out
+}
+
+// pointerBlocks creates n blocks chasing pointers over a large region.
+func pointerBlocks(b *program.Builder, n int, mb uint64, memOps uint32) []int {
+	region := b.Data(mb << 20)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = b.Block(program.BlockSpec{
+			Instrs: 1400, MemOps: memOps, Region: region,
+			Pattern: program.Random, TakenBias: 0.7,
+		})
+	}
+	return out
+}
+
+// transitionPool registers n behaviours of miscellaneous glue code used
+// only inside transition intervals.
+func transitionPool(b *program.Builder, n int) []int {
+	pool := make([]int, n)
+	for i := range pool {
+		blocks := computeBlocks(b, 3, 900)
+		blocks = append(blocks, cachedBlocks(b, 2, 16, 120)...)
+		pool[i] = b.Behavior(fmt.Sprintf("transition-%d", i), geoWeights(blocks, 0.7))
+	}
+	return pool
+}
+
+// seg is sugar for a script segment.
+func seg(behavior, intervals int) Segment {
+	return Segment{Behavior: behavior, Intervals: intervals}
+}
+
+// jitterLen varies n by ±frac using x.
+func jitterLen(n int, frac float64, x *rng.Xoshiro256) int {
+	v := int(float64(n) * (1 + frac*(2*x.Float64()-1)))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// --- workload definitions ---
+
+// buildAmmp models ammp: an FP molecular-dynamics code with a few long,
+// clean, highly predictable phases cycling through the simulation
+// timestep loop.
+func buildAmmp() Spec {
+	b := program.NewBuilder(0xa33b)
+	x := b.RNG()
+
+	initB := b.Behavior("init", geoWeights(cachedBlocks(b, 8, 64, 150), 0.8))
+	force := b.Behavior("force", geoWeights(computeBlocks(b, 12, 2000), 0.82))
+	neigh := b.Behavior("neighbor", geoWeights(streamBlocks(b, 6, 6, 45), 0.78))
+	integ := b.Behavior("integrate", geoWeights(
+		append(computeBlocks(b, 8, 1800), cachedBlocks(b, 4, 32, 200)...), 0.8))
+	outB := b.Behavior("output", geoWeights(cachedBlocks(b, 5, 16, 100), 0.75))
+	pool := transitionPool(b, 8)
+
+	// Timestep loops have fixed trip counts, so every cycle's phase
+	// lengths repeat exactly (with one anomalous cycle, the "noise"
+	// the paper's length-predictor hysteresis filters).
+	fLen := jitterLen(13, 0.15, x)
+	nLen := jitterLen(6, 0.15, x)
+	iLen := jitterLen(9, 0.15, x)
+	script := Script{seg(initB, 8)}
+	for step := 0; step < 22; step++ {
+		f := fLen
+		if step%4 == 3 {
+			f = fLen * 2 // recurring long relaxation timestep (class 1)
+		}
+		script = append(script,
+			seg(force, f),
+			seg(neigh, nLen),
+			seg(integ, iLen),
+		)
+	}
+	script = append(script, seg(outB, 6))
+
+	return Spec{
+		Name: "ammp", Seed: 0xa33b, Program: b.Build(), Script: script,
+		Transition:     TransitionStyle{MinIntervals: 0, MaxIntervals: 1, UniqueWeight: 0.35},
+		TransitionPool: pool,
+	}
+}
+
+// buildBzip2 models bzip2's hierarchical compress loop: per input block
+// read -> sort (two regimes) -> huffman -> write, with every tenth
+// outer iteration processing a larger chunk. sizeMul distinguishes the
+// graphic and program inputs.
+func buildBzip2(name string, seed uint64, sizeMul float64) Spec {
+	b := program.NewBuilder(seed)
+	x := b.RNG()
+
+	read := b.Behavior("read", geoWeights(cachedBlocks(b, 6, 32, 180), 0.8))
+	sortA := b.Behavior("sortA", geoWeights(streamBlocks(b, 10, 8, 55), 0.85))
+	sortB := b.Behavior("sortB", geoWeights(pointerBlocks(b, 8, 2, 60), 0.8))
+	huff := b.Behavior("huffman", geoWeights(
+		append(computeBlocks(b, 10, 1700), cachedBlocks(b, 3, 48, 160)...), 0.82))
+	write := b.Behavior("write", geoWeights(cachedBlocks(b, 4, 16, 140), 0.75))
+	pool := transitionPool(b, 10)
+
+	mul := func(n int) int {
+		v := int(float64(n) * sizeMul)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	// Compression blocks are fixed-size, so per-block phase lengths
+	// repeat exactly; every tenth block is a large chunk (hierarchy
+	// level 2) with its own repeating lengths.
+	sortALen := jitterLen(mul(9), 0.15, x)
+	sortBLen := jitterLen(mul(4), 0.15, x)
+	huffLen := jitterLen(mul(6), 0.15, x)
+	var script Script
+	for blk := 0; blk < 38; blk++ {
+		big := 1
+		if blk%10 == 9 {
+			big = 2
+		}
+		script = append(script,
+			seg(read, mul(2*big)),
+			seg(sortA, sortALen*big),
+			seg(sortB, sortBLen*big),
+			seg(huff, huffLen*big),
+			seg(write, mul(1)),
+		)
+	}
+
+	return Spec{
+		Name: name, Seed: seed, Program: b.Build(), Script: script,
+		Transition:     TransitionStyle{MinIntervals: 0, MaxIntervals: 1, UniqueWeight: 0.4},
+		TransitionPool: pool,
+	}
+}
+
+// buildGalgel models galgel, one of the hardest codes for code-based
+// classification: eight solver behaviours share ~70% of their executed
+// code with individually perturbed weights, so their signatures sit
+// near the similarity threshold while their data behaviour (and CPI)
+// differs.
+func buildGalgel() Spec {
+	b := program.NewBuilder(0x6a16)
+	x := b.RNG()
+
+	core := computeBlocks(b, 14, 1900) // shared solver core
+	coreW := geoWeights(core, 0.85)
+
+	behaviors := make([]int, 8)
+	footprints := []uint64{48, 96, 512, 2048, 96, 6144, 48, 3072} // KB
+	memOps := []uint32{120, 150, 90, 60, 220, 45, 70, 55}
+	for i := range behaviors {
+		own := cachedBlocks(b, 3, footprints[i], memOps[i])
+		if footprints[i] > 256 {
+			region := b.Data(footprints[i] << 10)
+			own = append(own, b.Block(program.BlockSpec{
+				Instrs: 1600, MemOps: memOps[i], Region: region,
+				Pattern: program.Strided, Stride: 128,
+			}))
+		}
+		weights := append(perturb(coreW, 0.30, x), geoWeights(own, 0.8)...)
+		// Scale own-code weight to ~30% of the behaviour.
+		for j := len(coreW); j < len(weights); j++ {
+			weights[j].Weight *= 2.2
+		}
+		behaviors[i] = b.Behavior(fmt.Sprintf("solver-%d", i), weights)
+	}
+	pool := transitionPool(b, 8)
+
+	var script Script
+	cur := 0
+	for s := 0; s < 110; s++ {
+		next := x.Intn(len(behaviors))
+		if next == cur {
+			next = (next + 1) % len(behaviors)
+		}
+		cur = next
+		script = append(script, seg(behaviors[cur], 4+x.Intn(10)))
+	}
+
+	return Spec{
+		Name: "galgel", Seed: 0x6a16, Program: b.Build(), Script: script,
+		Transition:     TransitionStyle{MinIntervals: 0, MaxIntervals: 1, UniqueWeight: 0.3},
+		TransitionPool: pool,
+	}
+}
+
+// buildGcc models gcc: a large code base (many behaviours, one per
+// compilation stage/function cluster) visited in short, irregular
+// segments with frequent messy transitions. segMin/segMax control
+// stable segment lengths and transMin the minimum transition length;
+// gcc/s uses shorter segments with mandatory transitions, spending far
+// more time between stable phases.
+func buildGcc(name string, seed uint64, nBehaviors, nSegments, segMin, segMax, transMin int) Spec {
+	b := program.NewBuilder(seed)
+	x := b.RNG()
+
+	// A small set of shared utility code (symbol table, allocator).
+	util := cachedBlocks(b, 6, 128, 170)
+	utilW := geoWeights(util, 0.8)
+
+	behaviors := make([]int, nBehaviors)
+	for i := range behaviors {
+		var own []int
+		switch i % 4 {
+		case 0:
+			own = computeBlocks(b, 6, 1500)
+		case 1:
+			own = cachedBlocks(b, 5, 64+uint64(i)*16, 140)
+		case 2:
+			own = pointerBlocks(b, 4, 1+uint64(i%3), 40)
+		default:
+			own = append(computeBlocks(b, 4, 1700), cachedBlocks(b, 2, 32, 200)...)
+		}
+		weights := append(geoWeights(own, 0.8), perturb(utilW, 0.2, x)...)
+		behaviors[i] = b.Behavior(fmt.Sprintf("pass-%d", i), weights)
+	}
+	pool := transitionPool(b, 16)
+
+	// Zipf-ish behaviour popularity: low-numbered passes run often.
+	pick := func() int {
+		for {
+			i := x.Intn(nBehaviors)
+			if x.Float64() < 1.0/float64(1+i/4) {
+				return i
+			}
+		}
+	}
+	var script Script
+	cur := -1
+	for s := 0; s < nSegments; s++ {
+		next := pick()
+		if next == cur {
+			next = (next + 1) % nBehaviors
+		}
+		cur = next
+		script = append(script, seg(behaviors[cur], segMin+x.Intn(segMax-segMin+1)))
+	}
+
+	return Spec{
+		Name: name, Seed: seed, Program: b.Build(), Script: script,
+		Transition:     TransitionStyle{MinIntervals: transMin, MaxIntervals: 2, UniqueWeight: 0.5},
+		TransitionPool: pool,
+	}
+}
+
+// buildGzipG models gzip/graphic: few phases with exceptionally long
+// stable runs (the paper reports mean run 327 intervals with stddev
+// 776) — one enormous deflate run dominates.
+func buildGzipG() Spec {
+	b := program.NewBuilder(0x671f6)
+	lz := b.Behavior("lz77", geoWeights(
+		append(computeBlocks(b, 8, 2100), cachedBlocks(b, 5, 96, 130)...), 0.82))
+	// Binary data defeats the string matcher's locality: stream blocks
+	// lead the weight order so this phase is clearly memory-bound,
+	// giving gzip/g the wide phase-to-phase CPI spread the paper's
+	// whole-program CoV reflects.
+	lzBin := b.Behavior("lz77-binary", geoWeights(
+		append(streamBlocks(b, 4, 6, 50), computeBlocks(b, 5, 1900)...), 0.8))
+	huff := b.Behavior("huffman", geoWeights(computeBlocks(b, 9, 1800), 0.78))
+	io := b.Behavior("io", geoWeights(cachedBlocks(b, 4, 16, 150), 0.75))
+	pool := transitionPool(b, 6)
+
+	script := Script{
+		seg(io, 4),
+		seg(lz, 350),
+		seg(huff, 18),
+		seg(lzBin, 900),
+		seg(huff, 14),
+		seg(lz, 120),
+		seg(io, 3),
+		seg(lzBin, 200),
+		seg(huff, 12),
+	}
+	return Spec{
+		Name: "gzip/g", Seed: 0x671f6, Program: b.Build(), Script: script,
+		Transition:     TransitionStyle{MinIntervals: 0, MaxIntervals: 1, UniqueWeight: 0.35},
+		TransitionPool: pool,
+	}
+}
+
+// buildGzipP models gzip/program: the same code as gzip/g but over
+// source text, giving more numerous, moderately long phases.
+func buildGzipP() Spec {
+	b := program.NewBuilder(0x671f7)
+	x := b.RNG()
+	lz := b.Behavior("lz77", geoWeights(
+		append(computeBlocks(b, 8, 2100), cachedBlocks(b, 5, 96, 130)...), 0.82))
+	lzText := b.Behavior("lz77-text", geoWeights(
+		append(computeBlocks(b, 7, 2000), cachedBlocks(b, 4, 64, 180)...), 0.8))
+	huff := b.Behavior("huffman", geoWeights(computeBlocks(b, 9, 1800), 0.78))
+	io := b.Behavior("io", geoWeights(cachedBlocks(b, 4, 16, 150), 0.75))
+	// Dictionary/window flush between files: memory-bound, giving the
+	// run its phase-to-phase CPI spread.
+	flush := b.Behavior("window-flush", geoWeights(streamBlocks(b, 5, 8, 55), 0.8))
+	pool := transitionPool(b, 6)
+
+	// Two recurring file sizes: phase lengths alternate between two
+	// exact values rather than varying continuously.
+	lzLens := [2]int{jitterLen(12, 0.2, x), jitterLen(40, 0.2, x)}
+	textLens := [2]int{jitterLen(8, 0.2, x), jitterLen(18, 0.2, x)}
+	var script Script
+	script = append(script, seg(io, 3))
+	for f := 0; f < 26; f++ {
+		k := (f / 2) % 2
+		script = append(script,
+			seg(lz, lzLens[k]),
+			seg(huff, 5),
+			seg(lzText, textLens[k]),
+		)
+		if f%4 == 3 {
+			script = append(script, seg(flush, 7), seg(io, 2))
+		}
+	}
+	return Spec{
+		Name: "gzip/p", Seed: 0x671f7, Program: b.Build(), Script: script,
+		Transition:     TransitionStyle{MinIntervals: 0, MaxIntervals: 1, UniqueWeight: 0.35},
+		TransitionPool: pool,
+	}
+}
+
+// buildMcf models mcf: a pointer-chasing network-simplex code whose
+// phases execute the same code over working sets of very different
+// size. The three simplex behaviours share identical PCs (cloned
+// blocks) with mildly perturbed weights, placing their signatures
+// between the 12.5% and 25% similarity thresholds: a 25% classifier
+// merges them into one heterogeneous phase that only the adaptive
+// threshold (§4.6) splits.
+func buildMcf() Spec {
+	b := program.NewBuilder(0x3cf)
+	x := b.RNG()
+
+	// Simplex code template over a small working set.
+	smallRegion := b.Data(96 << 10)
+	template := make([]int, 12)
+	for i := range template {
+		template[i] = b.Block(program.BlockSpec{
+			Instrs: 1500, MemOps: 70, Region: smallRegion,
+			Pattern: program.Random, TakenBias: 0.72,
+		})
+	}
+	cloneWith := func(mb uint64) []int {
+		region := b.Data(mb << 20)
+		out := make([]int, len(template))
+		for i, idx := range template {
+			out[i] = b.CloneBlock(idx, func(blk *program.Block) {
+				blk.Region = region
+			})
+		}
+		return out
+	}
+	baseW := geoWeights(template, 0.85)
+
+	// Place the three simplex behaviours at pairwise signature
+	// distances inside (0.125, 0.25): merged by the 25% similarity
+	// threshold into one heterogeneous phase, split at 12.5% (and by
+	// the adaptive classifier after one halving) — the paper's mcf
+	// story. Clones share PCs, so distances computed on template
+	// indices hold for the remapped weights.
+	arena := b.Snapshot()
+	smallW := perturb(baseW, 0.55, x)
+	medW := perturbToBand(arena, baseW, [][]program.BlockWeight{smallW}, 0.55, 0.145, 0.19, x)
+	largeW := perturbToBand(arena, baseW, [][]program.BlockWeight{smallW, medW}, 0.55, 0.145, 0.19, x)
+	remap := func(ws []program.BlockWeight, blocks []int) []program.BlockWeight {
+		out := append([]program.BlockWeight(nil), ws...)
+		for i := range out {
+			out[i].Block = blocks[i]
+		}
+		return out
+	}
+	simplexSmall := b.Behavior("simplex-small", smallW)
+	simplexMed := b.Behavior("simplex-medium", remap(medW, cloneWith(4)))
+	simplexLarge := b.Behavior("simplex-large", remap(largeW, cloneWith(48)))
+	refresh := b.Behavior("price-refresh", geoWeights(streamBlocks(b, 6, 12, 50), 0.8))
+	pool := transitionPool(b, 6)
+
+	// Simplex iterations per pricing pass are stable, so the cycle's
+	// phase lengths repeat exactly, with one anomalous round.
+	smallLen := jitterLen(12, 0.2, x)
+	medLen := jitterLen(14, 0.2, x)
+	largeLen := jitterLen(30, 0.2, x)
+	var script Script
+	for round := 0; round < 18; round++ {
+		large := largeLen
+		if round == 9 {
+			large = largeLen * 2 // anomalous long repricing round
+		}
+		script = append(script,
+			seg(simplexSmall, smallLen),
+			seg(simplexMed, medLen),
+			seg(simplexLarge, large),
+			seg(refresh, 4),
+		)
+	}
+	return Spec{
+		Name: "mcf", Seed: 0x3cf, Program: b.Build(), Script: script,
+		Transition:     TransitionStyle{MinIntervals: 0, MaxIntervals: 1, UniqueWeight: 0.3},
+		TransitionPool: pool,
+	}
+}
+
+// buildPerlD models perl/diffmail: a short driver around one enormous
+// stable processing loop — the paper reports exceptionally long mean
+// phase lengths (hundreds of intervals) with huge variance.
+func buildPerlD() Spec {
+	b := program.NewBuilder(0x9e41d)
+	parse := b.Behavior("parse", geoWeights(
+		append(computeBlocks(b, 6, 1600), cachedBlocks(b, 3, 64, 160)...), 0.8))
+	mainLoop := b.Behavior("diff-main", geoWeights(
+		append(computeBlocks(b, 10, 2000), cachedBlocks(b, 6, 96, 140)...), 0.85))
+	gc := b.Behavior("gc", geoWeights(pointerBlocks(b, 5, 3, 50), 0.8))
+	report := b.Behavior("report", geoWeights(cachedBlocks(b, 4, 32, 170), 0.75))
+	pool := transitionPool(b, 5)
+
+	script := Script{
+		seg(parse, 8),
+		seg(mainLoop, 720),
+		seg(gc, 4),
+		seg(mainLoop, 620),
+		seg(report, 6),
+		seg(mainLoop, 380),
+	}
+	return Spec{
+		Name: "perl/d", Seed: 0x9e41d, Program: b.Build(), Script: script,
+		Transition:     TransitionStyle{MinIntervals: 0, MaxIntervals: 1, UniqueWeight: 0.35},
+		TransitionPool: pool,
+	}
+}
+
+// buildPerlS models perl/splitmail: more phases of moderate length,
+// including regex behaviours that run the same code over mailboxes of
+// different sizes (heterogeneous CPI within one code signature — the
+// paper shows perl/s gains the most from dynamic thresholds).
+func buildPerlS() Spec {
+	b := program.NewBuilder(0x9e415)
+	x := b.RNG()
+
+	parse := b.Behavior("parse", geoWeights(
+		append(computeBlocks(b, 6, 1600), cachedBlocks(b, 3, 64, 160)...), 0.8))
+
+	// Regex engine template cloned over small/large working sets.
+	hotRegion := b.Data(64 << 10)
+	template := make([]int, 10)
+	for i := range template {
+		template[i] = b.Block(program.BlockSpec{
+			Instrs: 1700, MemOps: 90, Region: hotRegion,
+			Pattern: program.Random, TakenBias: 0.8,
+		})
+	}
+	bigRegion := b.Data(16 << 20)
+	bigBlocks := make([]int, len(template))
+	for i, idx := range template {
+		bigBlocks[i] = b.CloneBlock(idx, func(blk *program.Block) {
+			blk.Region = bigRegion
+		})
+	}
+	baseW := geoWeights(template, 0.85)
+	arena := b.Snapshot()
+	smallW := perturb(baseW, 0.5, x)
+	bigW := perturbToBand(arena, baseW, [][]program.BlockWeight{smallW}, 0.5, 0.145, 0.19, x)
+	for i := range bigW {
+		bigW[i].Block = bigBlocks[i]
+	}
+	regexSmall := b.Behavior("regex-small", smallW)
+	regexLarge := b.Behavior("regex-large", bigW)
+
+	sortB := b.Behavior("sort", geoWeights(streamBlocks(b, 6, 6, 55), 0.8))
+	io := b.Behavior("io", geoWeights(cachedBlocks(b, 4, 16, 150), 0.75))
+	pool := transitionPool(b, 8)
+
+	// Mailbox batches come in a few recurring sizes: segment lengths
+	// are drawn from a small set so (phase, length) pairs repeat.
+	lengths := []int{6, 10, 14, 22}
+	var script Script
+	script = append(script, seg(parse, 10))
+	order := []int{regexSmall, sortB, regexLarge, io, regexSmall, regexLarge, sortB}
+	for s := 0; s < 90; s++ {
+		beh := order[s%len(order)]
+		script = append(script, seg(beh, lengths[x.Intn(len(lengths))]))
+	}
+	return Spec{
+		Name: "perl/s", Seed: 0x9e415, Program: b.Build(), Script: script,
+		Transition:     TransitionStyle{MinIntervals: 0, MaxIntervals: 1, UniqueWeight: 0.4},
+		TransitionPool: pool,
+	}
+}

@@ -1,0 +1,236 @@
+// Package workload defines the eleven benchmark/input pairs of the
+// paper's methodology (§3) as synthetic programs with phase scripts,
+// and generates their profiled executions by driving the uarch timing
+// model. See DESIGN.md §2 for the substitution rationale: each workload
+// is calibrated to the qualitative phase structure the paper reports
+// for its SPEC2000 namesake.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"phasekit/internal/program"
+	"phasekit/internal/rng"
+	"phasekit/internal/trace"
+	"phasekit/internal/uarch"
+)
+
+// Segment is one stable stretch of a phase script: Intervals intervals
+// executing one behaviour.
+type Segment struct {
+	Behavior  int
+	Intervals int
+}
+
+// Script is the ground-truth phase sequence of a workload.
+type Script []Segment
+
+// TotalIntervals returns the script's stable interval count (transition
+// intervals are added by the generator on top).
+func (s Script) TotalIntervals() int {
+	n := 0
+	for _, seg := range s {
+		n += seg.Intervals
+	}
+	return n
+}
+
+// TransitionStyle controls the transition intervals the generator
+// inserts between script segments. Programs "often spend some time
+// exhibiting unique behavior between stable phases" (§4.4): each
+// transition interval executes a random mix of the outgoing and
+// incoming behaviours plus transition-unique blocks, so its signature
+// rarely repeats.
+type TransitionStyle struct {
+	// MinIntervals and MaxIntervals bound the per-transition length
+	// (drawn uniformly).
+	MinIntervals int
+	MaxIntervals int
+	// UniqueWeight is the share of transition-interval work drawn from
+	// transition-unique behaviours (0..1).
+	UniqueWeight float64
+}
+
+// Spec is one workload: a named program, phase script, and transition
+// style, all built deterministically from the seed.
+type Spec struct {
+	Name       string
+	Seed       uint64
+	Program    *program.Program
+	Script     Script
+	Transition TransitionStyle
+	// TransitionPool are behaviour IDs reserved for transition-unique
+	// work (never appearing in Script).
+	TransitionPool []int
+}
+
+// Options controls generation.
+type Options struct {
+	// IntervalInstrs is the instructions per interval (default 10M,
+	// the paper's granularity).
+	IntervalInstrs uint64
+	// Scale multiplies script segment lengths, letting tests run
+	// shrunken workloads with the same structure (default 1.0).
+	Scale float64
+	// MaxIntervals caps generated intervals; 0 means no cap.
+	MaxIntervals int
+	// Model is the machine configuration (default uarch.DefaultConfig).
+	Model *uarch.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.IntervalInstrs == 0 {
+		o.IntervalInstrs = 10_000_000
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Model == nil {
+		cfg := uarch.DefaultConfig()
+		o.Model = &cfg
+	}
+	return o
+}
+
+// Sink receives the generated execution. EndInterval is called after
+// the events of each interval with the ground-truth segment label
+// (behaviour ID, or -1 for generator-inserted transition intervals).
+type Sink interface {
+	Event(ev uarch.BlockEvent, cycles uint64)
+	EndInterval(segment int)
+}
+
+// Stream generates the workload's full execution into sink, running
+// the timing model over every block event. It returns the number of
+// intervals generated.
+func Stream(spec Spec, opts Options, sink Sink) (int, error) {
+	opts = opts.withDefaults()
+	if err := spec.Program.Validate(); err != nil {
+		return 0, fmt.Errorf("workload %s: %w", spec.Name, err)
+	}
+	model := uarch.NewModel(*opts.Model)
+	exec := program.NewExecutor(spec.Program, rng.Combine(spec.Seed, 0xe0ec))
+	x := exec.RNG()
+
+	intervals := 0
+	capped := func() bool {
+		return opts.MaxIntervals > 0 && intervals >= opts.MaxIntervals
+	}
+
+	runInterval := func(mix program.Mix, segment int) {
+		exec.BeginInterval(mix, 0.10)
+		var instrs uint64
+		for instrs < opts.IntervalInstrs {
+			ev := exec.Event()
+			cycles := model.Execute(ev)
+			sink.Event(ev, cycles)
+			instrs += uint64(ev.Instrs)
+		}
+		sink.EndInterval(segment)
+		intervals++
+	}
+
+	var prev *program.Behavior
+	for _, seg := range spec.Script {
+		beh := spec.Program.Behavior(seg.Behavior)
+		if beh == nil {
+			return intervals, fmt.Errorf("workload %s: unknown behaviour %d", spec.Name, seg.Behavior)
+		}
+
+		// Transition intervals between the previous segment and this
+		// one (none before the first segment).
+		if prev != nil && spec.Transition.MaxIntervals > 0 {
+			span := spec.Transition.MaxIntervals - spec.Transition.MinIntervals + 1
+			n := spec.Transition.MinIntervals + x.Intn(span)
+			for t := 0; t < n && !capped(); t++ {
+				// Fade the outgoing behaviour into the incoming one
+				// with a random balance, plus unique transition work.
+				f := 0.25 + 0.5*x.Float64()
+				u := spec.Transition.UniqueWeight * (0.5 + x.Float64())
+				if u > 0.9 {
+					u = 0.9
+				}
+				mix := program.Mix{
+					{Behavior: prev, Weight: (1 - f) * (1 - u)},
+					{Behavior: beh, Weight: f * (1 - u)},
+				}
+				if len(spec.TransitionPool) > 0 && u > 0 {
+					tb := spec.Program.Behavior(spec.TransitionPool[x.Intn(len(spec.TransitionPool))])
+					mix = append(mix, program.Mix{{Behavior: tb, Weight: u}}...)
+				}
+				runInterval(mix, -1)
+			}
+		}
+
+		n := scaled(seg.Intervals, opts.Scale)
+		for i := 0; i < n && !capped(); i++ {
+			runInterval(program.Single(beh), seg.Behavior)
+		}
+		prev = beh
+		if capped() {
+			break
+		}
+	}
+	return intervals, nil
+}
+
+// scaled applies the interval scale with a floor of one interval.
+func scaled(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// profileSink adapts a trace.ProfileBuilder to the Sink interface.
+type profileSink struct {
+	builder   *trace.ProfileBuilder
+	intervals []trace.IntervalProfile
+}
+
+func (s *profileSink) Event(ev uarch.BlockEvent, cycles uint64) {
+	s.builder.AddBranch(ev.BranchPC, ev.Instrs)
+	s.builder.AddCycles(cycles)
+}
+
+func (s *profileSink) EndInterval(segment int) {
+	s.builder.SetSegment(segment)
+	s.intervals = append(s.intervals, s.builder.Flush())
+}
+
+// Generate runs the workload and returns its profiled execution.
+func Generate(spec Spec, opts Options) (*trace.Run, error) {
+	opts = opts.withDefaults()
+	sink := &profileSink{builder: trace.NewProfileBuilder()}
+	if _, err := Stream(spec, opts, sink); err != nil {
+		return nil, err
+	}
+	return &trace.Run{
+		Name:         spec.Name,
+		IntervalSize: opts.IntervalInstrs,
+		Intervals:    sink.intervals,
+	}, nil
+}
+
+// writerSink adapts a trace.Writer to the Sink interface for
+// cmd/tracegen.
+type writerSink struct {
+	w *trace.Writer
+}
+
+func (s *writerSink) Event(ev uarch.BlockEvent, _ uint64) {
+	s.w.Branch(trace.BranchEvent{PC: ev.BranchPC, Instrs: ev.Instrs})
+}
+
+func (s *writerSink) EndInterval(int) { s.w.EndInterval() }
+
+// WriteTrace generates the workload and serializes its branch-event
+// stream to w in the trace binary format.
+func WriteTrace(spec Spec, opts Options, w *trace.Writer) error {
+	if _, err := Stream(spec, opts, &writerSink{w: w}); err != nil {
+		return err
+	}
+	return w.Close()
+}

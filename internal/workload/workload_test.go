@@ -1,0 +1,406 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"phasekit/internal/signature"
+	"phasekit/internal/stats"
+	"phasekit/internal/trace"
+	"phasekit/internal/uarch"
+)
+
+// testOptions shrinks runs so the suite stays fast while preserving
+// structure.
+func testOptions() Options {
+	return Options{Scale: 0.05, IntervalInstrs: 2_000_000}
+}
+
+func TestNamesMatchBuilders(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("names = %d, want the paper's 11", len(names))
+	}
+	if len(builders) != len(names) {
+		t.Errorf("builders = %d, names = %d", len(builders), len(names))
+	}
+	for _, name := range names {
+		if _, err := Get(name); err != nil {
+			t.Errorf("Get(%q): %v", name, err)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nosuch"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestAllSpecsValid(t *testing.T) {
+	for _, spec := range All() {
+		if err := spec.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if len(spec.Script) == 0 {
+			t.Errorf("%s: empty script", spec.Name)
+		}
+		for _, seg := range spec.Script {
+			if spec.Program.Behavior(seg.Behavior) == nil {
+				t.Errorf("%s: script references unknown behaviour %d", spec.Name, seg.Behavior)
+			}
+			if seg.Intervals < 1 {
+				t.Errorf("%s: segment with %d intervals", spec.Name, seg.Intervals)
+			}
+		}
+		for _, id := range spec.TransitionPool {
+			if spec.Program.Behavior(id) == nil {
+				t.Errorf("%s: transition pool references unknown behaviour %d", spec.Name, id)
+			}
+			for _, seg := range spec.Script {
+				if seg.Behavior == id {
+					t.Errorf("%s: transition behaviour %d appears in script", spec.Name, id)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecBuildDeterministic(t *testing.T) {
+	a, _ := Get("mcf")
+	b, _ := Get("mcf")
+	if len(a.Program.Blocks) != len(b.Program.Blocks) {
+		t.Fatal("block counts differ between builds")
+	}
+	for i := range a.Program.Blocks {
+		if a.Program.Blocks[i] != b.Program.Blocks[i] {
+			t.Fatalf("block %d differs between builds", i)
+		}
+	}
+	if len(a.Script) != len(b.Script) {
+		t.Fatal("script lengths differ")
+	}
+	for i := range a.Script {
+		if a.Script[i] != b.Script[i] {
+			t.Fatalf("script segment %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := Get("ammp")
+	a, err := Generate(spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Intervals) != len(b.Intervals) {
+		t.Fatalf("interval counts differ: %d vs %d", len(a.Intervals), len(b.Intervals))
+	}
+	for i := range a.Intervals {
+		if a.Intervals[i].Cycles != b.Intervals[i].Cycles ||
+			a.Intervals[i].Instructions != b.Intervals[i].Instructions {
+			t.Fatalf("interval %d differs", i)
+		}
+	}
+}
+
+func TestGenerateIntervalInstructions(t *testing.T) {
+	spec, _ := Get("gzip/p")
+	opts := testOptions()
+	run, err := Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, iv := range run.Intervals {
+		if iv.Instructions < opts.IntervalInstrs {
+			t.Fatalf("interval %d has %d instructions, want >= %d", i, iv.Instructions, opts.IntervalInstrs)
+		}
+		// One block event of overshoot at most.
+		if iv.Instructions > opts.IntervalInstrs+10_000 {
+			t.Fatalf("interval %d overshoots: %d", i, iv.Instructions)
+		}
+		if iv.Cycles == 0 {
+			t.Fatalf("interval %d has no cycles", i)
+		}
+		if len(iv.Weights) == 0 {
+			t.Fatalf("interval %d has no code profile", i)
+		}
+	}
+}
+
+func TestGenerateSegmentLabels(t *testing.T) {
+	spec, _ := Get("ammp")
+	run, err := Generate(spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, trans := 0, 0
+	for _, iv := range run.Intervals {
+		if iv.Segment == -1 {
+			trans++
+		} else {
+			if spec.Program.Behavior(iv.Segment) == nil {
+				t.Fatalf("interval labelled with unknown behaviour %d", iv.Segment)
+			}
+			stable++
+		}
+	}
+	if stable == 0 {
+		t.Fatal("no stable intervals")
+	}
+	if trans == 0 {
+		t.Fatal("no transition intervals generated")
+	}
+	if trans > stable/2 {
+		t.Errorf("transitions dominate: %d of %d", trans, stable+trans)
+	}
+}
+
+func TestGenerateMaxIntervalsCap(t *testing.T) {
+	spec, _ := Get("gcc/1")
+	opts := testOptions()
+	opts.MaxIntervals = 25
+	run, err := Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Intervals) != 25 {
+		t.Errorf("intervals = %d, want capped at 25", len(run.Intervals))
+	}
+}
+
+func TestGenerateScaleChangesLength(t *testing.T) {
+	spec, _ := Get("gzip/p")
+	small, err := Generate(spec, Options{Scale: 0.02, IntervalInstrs: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Generate(spec, Options{Scale: 0.06, IntervalInstrs: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Intervals) <= len(small.Intervals) {
+		t.Errorf("scale 0.06 (%d) not longer than 0.02 (%d)", len(big.Intervals), len(small.Intervals))
+	}
+}
+
+func TestSamePhaseSimilarSignatureDifferentPhaseDistant(t *testing.T) {
+	// The core property the whole evaluation rests on: intervals of
+	// the same behaviour have similar signatures; different behaviours
+	// are farther apart.
+	spec, _ := Get("ammp")
+	run, err := Generate(spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := signature.DefaultCompressConfig()
+	bySeg := map[int][]signature.Vector{}
+	for i := range run.Intervals {
+		iv := &run.Intervals[i]
+		if iv.Segment < 0 {
+			continue
+		}
+		v := cc.CompressWeights(16, func(y func(pc, w uint64)) {
+			for _, pw := range iv.Weights {
+				y(pw.PC, pw.Weight)
+			}
+		})
+		bySeg[iv.Segment] = append(bySeg[iv.Segment], v)
+	}
+	var intra, inter stats.Running
+	for seg, vs := range bySeg {
+		for i := 1; i < len(vs); i++ {
+			intra.Add(signature.Distance(vs[0], vs[i]))
+		}
+		for other, ovs := range bySeg {
+			if other != seg {
+				inter.Add(signature.Distance(vs[0], ovs[0]))
+			}
+		}
+	}
+	if intra.Mean() > 0.1 {
+		t.Errorf("intra-phase distance = %v, want < 0.1", intra.Mean())
+	}
+	if inter.Mean() < 3*intra.Mean() {
+		t.Errorf("inter-phase (%v) not clearly above intra-phase (%v)", inter.Mean(), intra.Mean())
+	}
+}
+
+func TestMcfVariantsInCalibratedBand(t *testing.T) {
+	// The mcf simplex behaviours must sit between the 12.5% and 25%
+	// similarity thresholds (merged at 25%, split at 12.5%).
+	spec, _ := Get("mcf")
+	ids := map[string]int{}
+	for _, beh := range spec.Program.Behaviors {
+		ids[beh.Name] = beh.ID
+	}
+	small := spec.Program.Behavior(ids["simplex-small"])
+	med := spec.Program.Behavior(ids["simplex-medium"])
+	large := spec.Program.Behavior(ids["simplex-large"])
+	if small == nil || med == nil || large == nil {
+		t.Fatal("mcf behaviours missing")
+	}
+	d1 := expectedDistance(spec.Program.Blocks, small.Blocks, med.Blocks, 16)
+	d2 := expectedDistance(spec.Program.Blocks, small.Blocks, large.Blocks, 16)
+	d3 := expectedDistance(spec.Program.Blocks, med.Blocks, large.Blocks, 16)
+	for i, d := range []float64{d1, d2, d3} {
+		if d <= 0.125 || d >= 0.25 {
+			t.Errorf("pair %d distance %v outside (0.125, 0.25)", i, d)
+		}
+	}
+}
+
+func TestWholeProgramCPISpread(t *testing.T) {
+	// Phases must differ in CPI: whole-program CoV well above the
+	// within-phase level (the premise of Fig 3).
+	for _, name := range []string{"ammp", "bzip2/g", "mcf"} {
+		spec, _ := Get(name)
+		run, err := Generate(spec, testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov := stats.CoV(run.CPIs()); cov < 0.25 {
+			t.Errorf("%s: whole-program CPI CoV = %v, want >= 0.25", name, cov)
+		}
+	}
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	spec, _ := Get("ammp")
+	opts := testOptions()
+	opts.MaxIntervals = 10
+
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, spec.Name, opts.IntervalInstrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(spec, opts, w); err != nil {
+		t.Fatal(err)
+	}
+	name, isize, intervals, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "ammp" || isize != opts.IntervalInstrs {
+		t.Errorf("header = %q,%d", name, isize)
+	}
+	if len(intervals) != 10 {
+		t.Fatalf("intervals = %d", len(intervals))
+	}
+	// The trace stream must agree with Generate's profiles.
+	run, err := Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range intervals {
+		var instrs uint64
+		for _, ev := range intervals[i] {
+			instrs += uint64(ev.Instrs)
+		}
+		if instrs != run.Intervals[i].Instructions {
+			t.Errorf("interval %d: trace %d instrs, profile %d", i, instrs, run.Intervals[i].Instructions)
+		}
+	}
+}
+
+func TestStreamCustomModel(t *testing.T) {
+	// A slower memory system must increase cycles for the same events.
+	spec, _ := Get("mcf")
+	opts := testOptions()
+	opts.MaxIntervals = 15
+	fast, err := Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowCfg := uarch.DefaultConfig()
+	slowCfg.MemLatencyCycles = 400
+	opts.Model = &slowCfg
+	slow, err := Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc, sc uint64
+	for i := range fast.Intervals {
+		fc += fast.Intervals[i].Cycles
+		sc += slow.Intervals[i].Cycles
+	}
+	if sc <= fc {
+		t.Errorf("400-cycle memory (%d cycles) not slower than 120-cycle (%d)", sc, fc)
+	}
+}
+
+func TestScriptTotalIntervals(t *testing.T) {
+	s := Script{seg(0, 10), seg(1, 5)}
+	if s.TotalIntervals() != 15 {
+		t.Errorf("TotalIntervals = %d", s.TotalIntervals())
+	}
+}
+
+func TestScalePreservesPhaseStructure(t *testing.T) {
+	// Scaling a workload changes segment lengths, not which behaviours
+	// appear or their order: the sequence of distinct stable segment
+	// labels must be identical across scales.
+	spec, _ := Get("bzip2/g")
+	labels := func(scale float64) []int {
+		run, err := Generate(spec, Options{Scale: scale, IntervalInstrs: 1_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for _, iv := range run.Intervals {
+			if iv.Segment < 0 {
+				continue // transition intervals vary in count by design
+			}
+			if len(out) == 0 || out[len(out)-1] != iv.Segment {
+				out = append(out, iv.Segment)
+			}
+		}
+		return out
+	}
+	a := labels(0.03)
+	b := labels(0.06)
+	if len(a) != len(b) {
+		t.Fatalf("segment sequences differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("segment %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestIntervalSizeIndependentOfSignatureShape(t *testing.T) {
+	// Interval size changes how much work lands in one interval, but a
+	// stable phase's normalized signature must be nearly identical at
+	// 1M and 4M instructions per interval.
+	spec, _ := Get("ammp")
+	sigOf := func(isize uint64) signature.Vector {
+		run, err := Generate(spec, Options{Scale: 0.05, IntervalInstrs: isize, MaxIntervals: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := signature.DefaultCompressConfig()
+		// Use a mid-run stable interval.
+		for i := len(run.Intervals) - 1; i >= 0; i-- {
+			iv := &run.Intervals[i]
+			if iv.Segment == 0 { // init behaviour: long enough at both sizes
+				return cc.CompressWeights(16, func(y func(pc, w uint64)) {
+					for _, pw := range iv.Weights {
+						y(pw.PC, pw.Weight)
+					}
+				})
+			}
+		}
+		t.Fatal("no init interval found")
+		return nil
+	}
+	d := signature.Distance(sigOf(1_000_000), sigOf(4_000_000))
+	if d > 0.1 {
+		t.Errorf("signature distance across interval sizes = %v, want < 0.1", d)
+	}
+}

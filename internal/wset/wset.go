@@ -1,0 +1,201 @@
+// Package wset implements a working-set-signature phase detector in
+// the style of Dhodapkar & Smith (ISCA 2002), as a baseline for the
+// paper's weighted code signatures.
+//
+// A working set signature is a lossy bit vector: every code region
+// touched during an interval sets one hashed bit, with no notion of
+// how much it executed. Similarity is the relative working set
+// distance |A xor B| / |A or B|. Because execution weight is
+// discarded, two phases that touch the same code with different hot
+// spots are indistinguishable — precisely the behaviour (mcf-style)
+// that the paper's weighted signatures plus CPI feedback separate.
+// The "baseline-wset" harness experiment quantifies the difference.
+package wset
+
+import (
+	"fmt"
+	"math/bits"
+
+	"phasekit/internal/rng"
+	"phasekit/internal/trace"
+)
+
+// Config controls the working set classifier.
+type Config struct {
+	// Bits is the signature width (Dhodapkar & Smith used 32-1024;
+	// default 128).
+	Bits int
+	// Threshold is the relative working set distance below which two
+	// signatures belong to the same phase (default 0.5, their
+	// published operating point).
+	Threshold float64
+	// TableEntries bounds the signature table (0 = unbounded).
+	TableEntries int
+	// Granularity is the code-region size in bytes whose touch sets
+	// one bit (default 256: cache-line groups, approximating their
+	// instruction working set units).
+	Granularity int
+}
+
+// DefaultConfig returns the baseline operating point.
+func DefaultConfig() Config {
+	return Config{Bits: 128, Threshold: 0.5, TableEntries: 32, Granularity: 256}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Bits <= 0 || c.Bits%64 != 0 {
+		return fmt.Errorf("wset: Bits must be a positive multiple of 64, got %d", c.Bits)
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return fmt.Errorf("wset: Threshold must be in (0,1], got %v", c.Threshold)
+	}
+	if c.TableEntries < 0 {
+		return fmt.Errorf("wset: TableEntries must be >= 0, got %d", c.TableEntries)
+	}
+	if c.Granularity <= 0 {
+		return fmt.Errorf("wset: Granularity must be positive, got %d", c.Granularity)
+	}
+	return nil
+}
+
+// Signature is a working set bit vector.
+type Signature []uint64
+
+// NewSignature returns an empty signature of the given width.
+func NewSignature(bitCount int) Signature {
+	return make(Signature, bitCount/64)
+}
+
+// Touch sets the bit for the code region containing pc.
+func (s Signature) Touch(pc uint64, granularity int) {
+	h := rng.Mix(pc / uint64(granularity))
+	bit := h % uint64(len(s)*64)
+	s[bit/64] |= 1 << (bit % 64)
+}
+
+// Ones returns the population count.
+func (s Signature) Ones() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clear zeroes the signature.
+func (s Signature) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (s Signature) Clone() Signature {
+	out := make(Signature, len(s))
+	copy(out, s)
+	return out
+}
+
+// RelDist returns the relative working set distance
+// |a xor b| / |a or b|, 0 for identical sets and 1 for disjoint ones.
+// Two empty signatures have distance 0.
+func RelDist(a, b Signature) float64 {
+	if len(a) != len(b) {
+		panic("wset: signature width mismatch")
+	}
+	xor, or := 0, 0
+	for i := range a {
+		xor += bits.OnesCount64(a[i] ^ b[i])
+		or += bits.OnesCount64(a[i] | b[i])
+	}
+	if or == 0 {
+		return 0
+	}
+	return float64(xor) / float64(or)
+}
+
+// entry is one signature-table row.
+type entry struct {
+	sig     Signature
+	phaseID int
+	lastUse uint64
+}
+
+// Classifier assigns phase IDs from working set signatures, mirroring
+// the paper's classifier interface so the harness can compare them
+// directly.
+type Classifier struct {
+	cfg     Config
+	entries []*entry
+	clock   uint64
+	nextID  int
+}
+
+// New returns a classifier for cfg; it panics on invalid
+// configurations.
+func New(cfg Config) *Classifier {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Classifier{cfg: cfg, nextID: 1}
+}
+
+// PhaseIDs returns the number of phase IDs created.
+func (c *Classifier) PhaseIDs() int { return c.nextID - 1 }
+
+// Classify assigns a phase ID to the interval with the given working
+// set signature. Matching entries are updated to the current signature
+// (tracking drift, like the weighted classifier).
+func (c *Classifier) Classify(sig Signature) int {
+	c.clock++
+	best := -1
+	bestDist := 2.0
+	for i, e := range c.entries {
+		if d := RelDist(sig, e.sig); d < c.cfg.Threshold && d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best >= 0 {
+		e := c.entries[best]
+		copy(e.sig, sig)
+		e.lastUse = c.clock
+		return e.phaseID
+	}
+	e := &entry{sig: sig.Clone(), phaseID: c.nextID, lastUse: c.clock}
+	c.nextID++
+	if c.cfg.TableEntries > 0 && len(c.entries) >= c.cfg.TableEntries {
+		victim := 0
+		for i, ent := range c.entries {
+			if ent.lastUse < c.entries[victim].lastUse {
+				victim = i
+			}
+		}
+		c.entries[victim] = e
+	} else {
+		c.entries = append(c.entries, e)
+	}
+	return e.phaseID
+}
+
+// FromProfile builds an interval's working set signature from its code
+// profile.
+func FromProfile(iv *trace.IntervalProfile, cfg Config) Signature {
+	sig := NewSignature(cfg.Bits)
+	for _, pw := range iv.Weights {
+		sig.Touch(pw.PC, cfg.Granularity)
+	}
+	return sig
+}
+
+// ClassifyRun classifies every interval of a run and returns the phase
+// ID stream.
+func ClassifyRun(run *trace.Run, cfg Config) []int {
+	c := New(cfg)
+	out := make([]int, len(run.Intervals))
+	for i := range run.Intervals {
+		sig := FromProfile(&run.Intervals[i], cfg)
+		out[i] = c.Classify(sig)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package wset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phasekit/internal/trace"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Bits: 0, Threshold: 0.5, Granularity: 256},
+		{Bits: 100, Threshold: 0.5, Granularity: 256}, // not multiple of 64
+		{Bits: 128, Threshold: 0, Granularity: 256},
+		{Bits: 128, Threshold: 1.5, Granularity: 256},
+		{Bits: 128, Threshold: 0.5, TableEntries: -1, Granularity: 256},
+		{Bits: 128, Threshold: 0.5, Granularity: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSignatureTouchIdempotent(t *testing.T) {
+	s := NewSignature(128)
+	s.Touch(0x400000, 256)
+	ones := s.Ones()
+	if ones != 1 {
+		t.Fatalf("one touch set %d bits", ones)
+	}
+	s.Touch(0x400000, 256)
+	if s.Ones() != ones {
+		t.Error("repeated touch changed the signature")
+	}
+	// Same 256-byte region: same bit.
+	s.Touch(0x4000ff, 256)
+	if s.Ones() != ones {
+		t.Error("same-region touch set a new bit")
+	}
+	// Different region: (almost surely) a new bit.
+	s.Touch(0x900000, 256)
+	if s.Ones() != ones+1 {
+		t.Errorf("different region: ones = %d, want %d", s.Ones(), ones+1)
+	}
+}
+
+func TestRelDistProperties(t *testing.T) {
+	f := func(a, b [2]uint64) bool {
+		sa := Signature{a[0], a[1]}
+		sb := Signature{b[0], b[1]}
+		d := RelDist(sa, sb)
+		if d < 0 || d > 1 {
+			return false
+		}
+		if RelDist(sa, sa) != 0 {
+			return false
+		}
+		return RelDist(sa, sb) == RelDist(sb, sa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelDistDisjointAndEmpty(t *testing.T) {
+	a := Signature{0xff, 0}
+	b := Signature{0, 0xff}
+	if d := RelDist(a, b); d != 1 {
+		t.Errorf("disjoint distance = %v", d)
+	}
+	empty := Signature{0, 0}
+	if d := RelDist(empty, empty); d != 0 {
+		t.Errorf("empty distance = %v", d)
+	}
+}
+
+func TestRelDistPanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on width mismatch")
+		}
+	}()
+	RelDist(Signature{0}, Signature{0, 0})
+}
+
+func TestClear(t *testing.T) {
+	s := NewSignature(128)
+	s.Touch(1, 256)
+	s.Clear()
+	if s.Ones() != 0 {
+		t.Error("clear left bits set")
+	}
+}
+
+// profile builds an interval touching the given PC bases.
+func profile(pcs ...uint64) *trace.IntervalProfile {
+	iv := &trace.IntervalProfile{}
+	for _, pc := range pcs {
+		iv.Weights = append(iv.Weights, trace.PCWeight{PC: pc, Weight: 100})
+	}
+	return iv
+}
+
+func TestClassifierGroupsSameWorkingSet(t *testing.T) {
+	c := New(DefaultConfig())
+	cfg := DefaultConfig()
+	a := c.Classify(FromProfile(profile(0x1000, 0x2000, 0x3000), cfg))
+	b := c.Classify(FromProfile(profile(0x1000, 0x2000, 0x3000), cfg))
+	if a != b {
+		t.Errorf("identical working sets got phases %d and %d", a, b)
+	}
+	d := c.Classify(FromProfile(profile(0x91000, 0x92000, 0x93000), cfg))
+	if d == a {
+		t.Error("disjoint working set matched")
+	}
+}
+
+func TestClassifierIgnoresWeights(t *testing.T) {
+	// The structural weakness: same code touched with wildly different
+	// weight distributions is one phase to a working set detector.
+	cfg := DefaultConfig()
+	c := New(cfg)
+	hot := &trace.IntervalProfile{Weights: []trace.PCWeight{
+		{PC: 0x1000, Weight: 1_000_000}, {PC: 0x2000, Weight: 10},
+	}}
+	cold := &trace.IntervalProfile{Weights: []trace.PCWeight{
+		{PC: 0x1000, Weight: 10}, {PC: 0x2000, Weight: 1_000_000},
+	}}
+	a := c.Classify(FromProfile(hot, cfg))
+	b := c.Classify(FromProfile(cold, cfg))
+	if a != b {
+		t.Errorf("weight-only difference split phases: %d vs %d", a, b)
+	}
+}
+
+func TestClassifierLRUEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TableEntries = 2
+	c := New(cfg)
+	mk := func(base uint64) Signature {
+		return FromProfile(profile(base, base+0x1000, base+0x2000), cfg)
+	}
+	a := c.Classify(mk(0x100000))
+	c.Classify(mk(0x200000))
+	c.Classify(mk(0x100000)) // touch a
+	c.Classify(mk(0x300000)) // evicts the 0x200000 entry
+	if got := c.Classify(mk(0x100000)); got != a {
+		t.Errorf("recently used entry evicted: %d vs %d", got, a)
+	}
+	if c.PhaseIDs() != 3 {
+		t.Errorf("phase IDs = %d, want 3", c.PhaseIDs())
+	}
+}
+
+func TestClassifyRun(t *testing.T) {
+	run := &trace.Run{Intervals: []trace.IntervalProfile{
+		*profile(0x1000, 0x2000),
+		*profile(0x1000, 0x2000),
+		*profile(0x91000, 0x92000),
+		*profile(0x1000, 0x2000),
+	}}
+	ids := ClassifyRun(run, DefaultConfig())
+	if len(ids) != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if ids[0] != ids[1] || ids[0] != ids[3] {
+		t.Errorf("recurring working set not recognized: %v", ids)
+	}
+	if ids[2] == ids[0] {
+		t.Errorf("distinct working set merged: %v", ids)
+	}
+}

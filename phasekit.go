@@ -1,0 +1,152 @@
+// Package phasekit is a library for on-line program phase
+// classification and prediction, reproducing "Transition Phase
+// Classification and Prediction" (Lau, Schoenmackers, Calder,
+// HPCA 2005).
+//
+// The architecture divides execution into fixed-length instruction
+// intervals, summarizes each interval's executed code as a compressed
+// signature vector of hashed branch-PC weights, classifies signatures
+// into phases with a small LRU signature table, and predicts the next
+// interval's phase, the outcome of the next phase change, and the
+// length of the next phase. The paper's contributions — the transition
+// phase, adaptive per-phase similarity thresholds, prediction
+// confidence, and phase change/length predictors — are all implemented
+// and enabled by DefaultConfig.
+//
+// # Quick start
+//
+//	tracker := phasekit.NewTracker("myapp", phasekit.DefaultConfig())
+//	for ev := range branchEvents {          // your instrumentation
+//		tracker.Cycles(ev.Cycles)
+//		if res, ok := tracker.Branch(ev.PC, ev.Instrs); ok {
+//			fmt.Println("interval", res.Index, "phase", res.PhaseID,
+//				"next", res.NextPhase.Phase)
+//		}
+//	}
+//	report := tracker.Report()
+//
+// Synthetic workloads modelled on the paper's SPEC2000 benchmarks are
+// available through Workloads and GenerateWorkload, and the full
+// evaluation harness behind cmd/experiments regenerates every figure
+// and table of the paper.
+package phasekit
+
+import (
+	"phasekit/internal/classifier"
+	"phasekit/internal/core"
+	"phasekit/internal/predictor"
+	"phasekit/internal/signature"
+	"phasekit/internal/trace"
+	"phasekit/internal/uarch"
+	"phasekit/internal/workload"
+)
+
+// Config selects every architectural parameter of a Tracker; build one
+// with DefaultConfig and override fields as needed.
+type Config = core.Config
+
+// ClassifierConfig configures the signature table (similarity
+// threshold, transition-phase min counter, adaptive thresholds).
+type ClassifierConfig = classifier.Config
+
+// CompressConfig selects signature bit selection (§4.2 of the paper).
+type CompressConfig = signature.CompressConfig
+
+// PredictorConfig assembles the next-phase predictor.
+type PredictorConfig = predictor.NextPhaseConfig
+
+// ChangeTableConfig configures a Markov/RLE phase change table.
+type ChangeTableConfig = predictor.ChangeTableConfig
+
+// LengthConfig configures run-length-class phase length prediction.
+type LengthConfig = predictor.LengthConfig
+
+// Tracker is the on-line phase tracking architecture. Feed it
+// committed branches (and optionally cycle counts); it emits an
+// IntervalResult at every interval boundary.
+type Tracker = core.Tracker
+
+// IntervalResult reports one interval's classification and the
+// predictions made at its boundary.
+type IntervalResult = core.IntervalResult
+
+// Prediction is a next-phase prediction with its source and confidence.
+type Prediction = predictor.Prediction
+
+// Report aggregates a run's phase behaviour and prediction accuracy.
+type Report = core.Report
+
+// Run is a profiled execution: per-interval code profiles and timing.
+type Run = trace.Run
+
+// MachineConfig is the microarchitecture model configuration used by
+// the bundled workload generator (Table 1 of the paper by default).
+type MachineConfig = uarch.Config
+
+// WorkloadOptions controls synthetic workload generation.
+type WorkloadOptions = workload.Options
+
+// TransitionPhase is the reserved phase ID for intervals classified as
+// phase transitions.
+const TransitionPhase = classifier.TransitionPhase
+
+// History kinds for phase change tables.
+const (
+	// Markov indexes change tables by the last N distinct phase IDs.
+	Markov = predictor.Markov
+	// RLE indexes by the last N (phase ID, run length) pairs.
+	RLE = predictor.RLE
+)
+
+// Outcome tracking kinds for phase change tables.
+const (
+	// TrackSingle stores the most recent change outcome.
+	TrackSingle = predictor.TrackSingle
+	// TrackLast4 stores the last four unique outcomes.
+	TrackLast4 = predictor.TrackLast4
+	// TrackTopN stores outcome frequencies and predicts the top N.
+	TrackTopN = predictor.TrackTopN
+)
+
+// NewChangeTableConfig returns the paper's 32 entry 4-way associative
+// change table with 1-bit confidence for the given indexing.
+func NewChangeTableConfig(kind predictor.HistoryKind, depth int) ChangeTableConfig {
+	return predictor.DefaultChangeTableConfig(kind, depth)
+}
+
+// DefaultConfig returns the paper's preferred configuration (§5): 16
+// accumulator counters with 6 dynamically selected bits, a 32 entry
+// signature table at a 25% similarity threshold with min count 8 and a
+// 25% CPI deviation threshold, an RLE-2 phase change predictor with
+// confidence, and the hysteresis length predictor.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultMachineConfig returns the paper's Table 1 baseline model.
+func DefaultMachineConfig() MachineConfig { return uarch.DefaultConfig() }
+
+// NewTracker returns an on-line tracker. It panics on an invalid
+// configuration (validate with cfg.Validate for error handling).
+func NewTracker(name string, cfg Config) *Tracker { return core.NewTracker(name, cfg) }
+
+// Evaluate replays a profiled run under cfg and returns its report.
+func Evaluate(run *Run, cfg Config) Report { return core.Evaluate(run, cfg) }
+
+// EvaluateDetailed is Evaluate plus the per-interval result stream.
+func EvaluateDetailed(run *Run, cfg Config) (Report, []IntervalResult) {
+	return core.EvaluateDetailed(run, cfg)
+}
+
+// Workloads lists the bundled synthetic workloads, modelled on the
+// paper's SPEC2000 benchmark/input pairs.
+func Workloads() []string { return workload.Names() }
+
+// GenerateWorkload builds and executes the named synthetic workload on
+// the Table 1 machine model, returning its profiled run. Generation is
+// deterministic for a given name and options.
+func GenerateWorkload(name string, opts WorkloadOptions) (*Run, error) {
+	spec, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(spec, opts)
+}

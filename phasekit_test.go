@@ -1,0 +1,102 @@
+package phasekit_test
+
+import (
+	"testing"
+
+	"phasekit"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := phasekit.DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	names := phasekit.Workloads()
+	if len(names) != 11 {
+		t.Fatalf("workloads = %d, want the paper's 11", len(names))
+	}
+	for _, name := range names {
+		if name == "" {
+			t.Fatal("empty workload name")
+		}
+	}
+}
+
+func TestGenerateUnknownWorkload(t *testing.T) {
+	if _, err := phasekit.GenerateWorkload("nope", phasekit.WorkloadOptions{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestEndToEndEvaluate(t *testing.T) {
+	run, err := phasekit.GenerateWorkload("ammp", phasekit.WorkloadOptions{
+		Scale:          0.05,
+		IntervalInstrs: 2_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := phasekit.DefaultConfig()
+	cfg.IntervalInstrs = 2_000_000
+	report, results := phasekit.EvaluateDetailed(run, cfg)
+	if report.Intervals != len(results) || report.Intervals == 0 {
+		t.Fatalf("intervals = %d, results = %d", report.Intervals, len(results))
+	}
+	if report.PhaseIDs == 0 {
+		t.Error("no phases detected")
+	}
+	if report.PhaseCoV >= report.WholeCoV {
+		t.Errorf("classification did not reduce CoV: %v vs %v", report.PhaseCoV, report.WholeCoV)
+	}
+	for i, res := range results {
+		if res.Index != i {
+			t.Fatalf("result %d has index %d", i, res.Index)
+		}
+		if res.PhaseID < phasekit.TransitionPhase {
+			t.Fatalf("negative phase ID %d", res.PhaseID)
+		}
+	}
+}
+
+func TestTrackerFacade(t *testing.T) {
+	cfg := phasekit.DefaultConfig()
+	cfg.IntervalInstrs = 10_000
+	tracker := phasekit.NewTracker("facade", cfg)
+	intervals := 0
+	for i := 0; i < 5000; i++ {
+		tracker.Cycles(120)
+		if _, ok := tracker.Branch(0x400000+uint64(i%16)*64, 100); ok {
+			intervals++
+		}
+	}
+	if intervals == 0 {
+		t.Fatal("no intervals completed")
+	}
+	report := tracker.Report()
+	if report.Intervals != intervals {
+		t.Errorf("report intervals = %d, want %d", report.Intervals, intervals)
+	}
+	pred := tracker.PredictNext()
+	if len(pred.Outcomes) == 0 {
+		t.Error("no prediction available")
+	}
+	if cls := tracker.PredictNextLengthClass(); cls < 0 {
+		t.Errorf("length class = %d", cls)
+	}
+}
+
+func TestChangeTableConfigFacade(t *testing.T) {
+	cfg := phasekit.NewChangeTableConfig(phasekit.Markov, 2)
+	cfg.Track = phasekit.TrackTopN
+	cfg.TopN = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("facade-built change table config invalid: %v", err)
+	}
+	full := phasekit.DefaultConfig()
+	full.ChangeOutcome = cfg
+	if err := full.Validate(); err != nil {
+		t.Fatalf("config with overridden outcome predictor invalid: %v", err)
+	}
+}
