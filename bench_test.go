@@ -10,6 +10,8 @@
 package phasekit_test
 
 import (
+	"fmt"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -105,6 +107,74 @@ func BenchmarkTrackerBranch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tracker.Branch(0x400000+uint64(i%64)*64, 100)
 	}
+}
+
+// BenchmarkTrackerSerialStreams is the serial baseline for the Fleet
+// benchmarks: one goroutine round-robining branch events over 64 bare
+// Trackers, the way a non-concurrent front-end would serve 64 streams.
+func BenchmarkTrackerSerialStreams(b *testing.B) {
+	const streams = 64
+	cfg := phasekit.DefaultConfig()
+	cfg.IntervalInstrs = 1_000_000
+	trackers := make([]*phasekit.Tracker, streams)
+	for i := range trackers {
+		trackers[i] = phasekit.NewTracker("bench-"+strconv.Itoa(i), cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trackers[i%streams].Branch(0x400000+uint64(i%64)*64, 100)
+	}
+}
+
+// BenchmarkFleet measures aggregate branch-event throughput through the
+// concurrent front-end, sweeping stream count and ingestion batch size.
+// Each op is one branch event, so ns/op is directly comparable with
+// BenchmarkTrackerBranch (the bare single-stream hot path) and
+// BenchmarkTrackerSerialStreams (the serial 64-stream baseline).
+func BenchmarkFleet(b *testing.B) {
+	for _, streams := range []int{1, 8, 64} {
+		for _, batch := range []int{1, 64, 1024} {
+			b.Run(fmt.Sprintf("streams=%d/batch=%d", streams, batch), func(b *testing.B) {
+				benchFleet(b, streams, batch)
+			})
+		}
+	}
+}
+
+func benchFleet(b *testing.B, streams, batchLen int) {
+	cfg := phasekit.DefaultFleetConfig()
+	cfg.Tracker.IntervalInstrs = 1_000_000
+	f := phasekit.NewFleet(cfg)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := (b.N + streams - 1) / streams
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			name := "bench-" + strconv.Itoa(s)
+			for sent := 0; sent < per; {
+				n := batchLen
+				if per-sent < n {
+					n = per - sent
+				}
+				// Fresh slice per batch: ownership transfers on Send.
+				events := make([]phasekit.BranchEvent, n)
+				for i := range events {
+					events[i] = phasekit.BranchEvent{
+						PC:     0x400000 + uint64((sent+i)%64)*64,
+						Instrs: 100,
+					}
+				}
+				f.Send(phasekit.Batch{Stream: name, Events: events})
+				sent += n
+			}
+		}(s)
+	}
+	wg.Wait()
+	f.Flush()
+	b.StopTimer()
+	f.Close()
 }
 
 // BenchmarkEvaluateWorkload measures replaying one cached profiled run

@@ -9,6 +9,13 @@
 //	phasesim -trace mcf.trc                # replay a tracegen branch trace
 //	phasesim -profile mcf.prof             # replay a tracegen profile (has CPI)
 //	phasesim -workload gcc/1 -v            # per-interval phase stream
+//
+// Multi-stream mode multiplexes the workload (or trace) into N
+// interleaved streams and classifies them concurrently through a
+// phasekit Fleet:
+//
+//	phasesim -workload mcf -streams 64 -parallel
+//	phasesim -trace mcf.trc -streams 8 -parallel -shards 4
 package main
 
 import (
@@ -16,10 +23,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"time"
 
 	"phasekit/internal/classifier"
 	"phasekit/internal/core"
+	"phasekit/internal/fleet"
 	"phasekit/internal/trace"
+	"phasekit/internal/uarch"
 	"phasekit/internal/workload"
 )
 
@@ -37,6 +48,9 @@ func main() {
 		adaptive  = flag.Bool("adaptive", true, "adaptive similarity thresholds (needs CPI; workload mode only)")
 		dev       = flag.Float64("dev", 0.25, "CPI deviation threshold for adaptive splitting")
 		verbose   = flag.Bool("v", false, "print the per-interval phase stream")
+		streams   = flag.Int("streams", 1, "multiplex the input into N interleaved streams")
+		parallel  = flag.Bool("parallel", false, "classify streams concurrently through a Fleet")
+		shards    = flag.Int("shards", 0, "Fleet shard count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -53,6 +67,16 @@ func main() {
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
+	}
+
+	if *streams > 1 || *parallel {
+		if *profFile != "" {
+			fatal(fmt.Errorf("-streams/-parallel needs -workload or -trace (profiles carry no event stream)"))
+		}
+		if err := runFleet(*wl, *traceFile, *scale, *streams, *shards, cfg); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	switch {
@@ -171,6 +195,134 @@ func printReport(r core.Report, results []core.IntervalResult, verbose, haveCPI 
 		100*cs.Coverage(), 100*cs.CorrectRate(), 100*cs.MispredictRate())
 	fmt.Printf("length prediction:    %.1f%% mispredict over %d resolved runs\n",
 		100*r.Length.MispredictRate(), r.Length.Predictions)
+}
+
+// fleetSink forwards generated workload intervals to a Fleet,
+// round-robining whole intervals across the streams. Each interval is
+// sent as one batch with EndInterval set, so every stream's interval
+// boundaries align with the generator's regardless of multiplexing.
+type fleetSink struct {
+	f       *fleet.Fleet
+	names   []string
+	next    int
+	events  []trace.BranchEvent
+	cycles  uint64
+	nevents uint64
+}
+
+func (s *fleetSink) Event(ev uarch.BlockEvent, cycles uint64) {
+	s.events = append(s.events, trace.BranchEvent{PC: ev.BranchPC, Instrs: ev.Instrs})
+	s.cycles += cycles
+	s.nevents++
+}
+
+func (s *fleetSink) EndInterval(int) {
+	s.flushInterval()
+}
+
+func (s *fleetSink) flushInterval() {
+	if len(s.events) == 0 {
+		return
+	}
+	// Ownership of the slice transfers to the Fleet; start a fresh one.
+	s.f.Send(fleet.Batch{
+		Stream:      s.names[s.next],
+		Cycles:      s.cycles,
+		Events:      s.events,
+		EndInterval: true,
+	})
+	s.next = (s.next + 1) % len(s.names)
+	s.events = make([]trace.BranchEvent, 0, cap(s.events))
+	s.cycles = 0
+}
+
+// runFleet multiplexes a workload or branch trace into n interleaved
+// streams classified concurrently by a Fleet, then prints a per-stream
+// summary and aggregate throughput.
+func runFleet(wl, traceFile string, scale float64, n, shards int, cfg core.Config) error {
+	if n < 1 {
+		n = 1
+	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 = GOMAXPROCS), got %d", shards)
+	}
+	fcfg := fleet.Config{Shards: shards, Tracker: cfg}
+	if traceFile != "" {
+		// Traces carry no cycle counts, so CPI-driven adaptation is
+		// unavailable.
+		fcfg.Tracker.Classifier.Adaptive = false
+	}
+	f := fleet.New(fcfg)
+	sink := &fleetSink{f: f, names: make([]string, n)}
+	for i := range sink.names {
+		sink.names[i] = fmt.Sprintf("stream-%03d", i)
+	}
+
+	start := time.Now()
+	switch {
+	case wl != "":
+		spec, err := workload.Get(wl)
+		if err != nil {
+			return err
+		}
+		if _, err := workload.Stream(spec, workload.Options{
+			Scale:          scale,
+			IntervalInstrs: cfg.IntervalInstrs,
+		}, sink); err != nil {
+			return err
+		}
+	case traceFile != "":
+		file, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		r, err := trace.NewReader(file)
+		if err != nil {
+			return err
+		}
+		for {
+			ev, boundary, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if boundary {
+				sink.flushInterval()
+				continue
+			}
+			sink.Event(uarch.BlockEvent{BranchPC: ev.PC, Instrs: ev.Instrs}, 0)
+		}
+	default:
+		return fmt.Errorf("-streams/-parallel needs -workload or -trace")
+	}
+	sink.flushInterval()
+	f.Flush()
+	snap := f.Snapshot()
+	elapsed := time.Since(start)
+	f.Close()
+
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("streams:   %d across %d shards\n", len(names), f.Shards())
+	fmt.Println("stream       intervals  phases  transition  next-phase acc")
+	var total, transitions int
+	for _, name := range names {
+		r := snap[name]
+		total += r.Intervals
+		transitions += r.TransitionIntervals
+		fmt.Printf("%-12s %9d  %6d  %9.1f%%  %13.1f%%\n",
+			name, r.Intervals, r.PhaseIDs, 100*r.TransitionFraction(), 100*r.NextPhase.Accuracy())
+	}
+	fmt.Printf("aggregate: %d intervals (%d transition), %d branch events in %v (%.2f Mevents/s)\n",
+		total, transitions, sink.nevents, elapsed.Round(time.Millisecond),
+		float64(sink.nevents)/elapsed.Seconds()/1e6)
+	return nil
 }
 
 func fatal(err error) {

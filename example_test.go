@@ -2,6 +2,7 @@ package phasekit_test
 
 import (
 	"fmt"
+	"sort"
 
 	"phasekit"
 )
@@ -9,6 +10,10 @@ import (
 // ExampleNewTracker drives the on-line architecture with a synthetic
 // branch stream that alternates between two code regions, showing how
 // phases are discovered and then recognized on return.
+//
+// A Tracker follows a single instruction stream and is not safe for
+// concurrent use; to track many streams concurrently, use a Fleet
+// (see ExampleNewFleet).
 func ExampleNewTracker() {
 	cfg := phasekit.DefaultConfig()
 	cfg.IntervalInstrs = 10_000          // tiny intervals for the example
@@ -30,6 +35,43 @@ func ExampleNewTracker() {
 
 	fmt.Println(phases)
 	// Output: [1 1 1 2 2 2 1 1 1]
+}
+
+// ExampleNewFleet tracks two independent instruction streams
+// concurrently through the sharded front-end: each stream keeps its
+// own phase IDs, and batched ingestion leaves per-stream results
+// identical to feeding a bare Tracker.
+func ExampleNewFleet() {
+	cfg := phasekit.DefaultFleetConfig()
+	cfg.Tracker.IntervalInstrs = 10_000
+	cfg.Tracker.Classifier.MinCountThreshold = 0
+
+	f := phasekit.NewFleet(cfg)
+	events := func(base uint64, n int) []phasekit.BranchEvent {
+		evs := make([]phasekit.BranchEvent, n)
+		for i := range evs {
+			evs[i] = phasekit.BranchEvent{PC: base, Instrs: 100}
+		}
+		return evs
+	}
+	// 300 events x 100 instructions = 3 intervals per stream.
+	f.Send(phasekit.Batch{Stream: "web", Events: events(0x400000, 300)})
+	f.Send(phasekit.Batch{Stream: "db", Events: events(0x900000, 300)})
+	f.Flush()
+
+	snapshot := f.Snapshot()
+	f.Close()
+	names := make([]string, 0, len(snapshot))
+	for name := range snapshot {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Println(name, "intervals:", snapshot[name].Intervals)
+	}
+	// Output:
+	// db intervals: 3
+	// web intervals: 3
 }
 
 // ExampleEvaluate classifies a bundled synthetic workload offline and

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"phasekit/internal/classifier"
 	"phasekit/internal/predictor"
@@ -236,9 +237,17 @@ func (e *engine) report(name string) Report {
 	r.Name = name
 	r.PhaseIDs = e.cls.PhaseIDs()
 	r.PhaseCoV = stats.PhaseCoV(e.samples, classifier.TransitionPhase)
+	// Sorted phase order keeps the running-sum floating-point result
+	// independent of map iteration order (Report must be
+	// bit-deterministic for a given input).
+	ids := make([]int, 0, len(e.samples))
+	for id := range e.samples {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var whole stats.Running
-	for _, xs := range e.samples {
-		for _, x := range xs {
+	for _, id := range ids {
+		for _, x := range e.samples[id] {
 			whole.Add(x)
 		}
 	}

@@ -1,0 +1,337 @@
+// Package fleet is the concurrent multi-stream front-end of the phase
+// tracking architecture: a sharded pool of core.Tracker instances that
+// classifies many independent instruction streams at once.
+//
+// The HPCA'05 architecture (internal/core) is strictly per-stream: one
+// Tracker watches one execution, and its hot path is deliberately free
+// of synchronization. Fleet scales that design out instead of locking
+// it down. Stream IDs are hashed onto N shards; each shard is a single
+// goroutine that exclusively owns the trackers of the streams hashed to
+// it and consumes batched BranchEvent slices from a bounded channel.
+// Because every tracker is touched by exactly one goroutine, the
+// per-branch hot path stays exactly as lock-free as a bare Tracker —
+// the only synchronization cost is one channel transfer per batch,
+// amortized over the batch length.
+//
+// Ingestion applies backpressure: each shard's queue is a bounded
+// channel, so producers block (rather than buffer without bound) when
+// classification falls behind. Control operations — Flush, Report,
+// Snapshot, Close — travel through the same per-shard channels as data,
+// so they observe every batch enqueued before them (FIFO per shard),
+// which makes results deterministic for any fixed per-stream input
+// regardless of shard count or producer interleaving.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"phasekit/internal/core"
+	"phasekit/internal/trace"
+)
+
+// Config configures a Fleet.
+type Config struct {
+	// Shards is the number of worker goroutines (and tracker
+	// partitions). 0 means runtime.GOMAXPROCS(0).
+	Shards int
+	// QueueDepth is the per-shard ingestion queue capacity in batches.
+	// 0 means DefaultQueueDepth. Producers block when a shard's queue
+	// is full (backpressure).
+	QueueDepth int
+	// Tracker is the per-stream tracker configuration. The zero value
+	// means core.DefaultConfig().
+	Tracker core.Config
+	// OnInterval, if non-nil, is invoked for every completed interval
+	// of every stream. It is called from shard worker goroutines —
+	// calls for one stream are sequential, but calls for different
+	// streams run concurrently, so the callback must be safe for
+	// concurrent use unless all streams hash to one shard.
+	OnInterval func(stream string, res core.IntervalResult)
+}
+
+// DefaultQueueDepth is the per-shard queue capacity used when
+// Config.QueueDepth is zero.
+const DefaultQueueDepth = 64
+
+// DefaultConfig returns a Fleet configuration with GOMAXPROCS shards,
+// the default queue depth, and the paper's default tracker
+// configuration.
+func DefaultConfig() Config {
+	return Config{
+		Shards:     runtime.GOMAXPROCS(0),
+		QueueDepth: DefaultQueueDepth,
+		Tracker:    core.DefaultConfig(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.Tracker.IntervalInstrs == 0 && c.Tracker.Dims == 0 {
+		c.Tracker = core.DefaultConfig()
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Shards < 1 {
+		return fmt.Errorf("fleet: Shards must be >= 1, got %d", c.Shards)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("fleet: QueueDepth must be >= 1, got %d", c.QueueDepth)
+	}
+	return c.Tracker.Validate()
+}
+
+// Batch is one ingestion unit: a slice of branch events for a single
+// stream, with optional cycle counts for CPI feedback. Ownership of
+// Events transfers to the Fleet on Send; the caller must not reuse or
+// mutate the slice afterwards.
+type Batch struct {
+	// Stream identifies the instruction stream. Streams are created on
+	// first use.
+	Stream string
+	// Cycles is charged to the stream's current interval before Events
+	// are applied (mirroring Tracker.Cycles before Tracker.Branch).
+	Cycles uint64
+	// Events are committed-branch events in stream order.
+	Events []trace.BranchEvent
+	// EndInterval force-closes the stream's interval after Events are
+	// applied (mirroring Tracker.Flush). Trace replayers use it to
+	// keep interval alignment exact at recorded boundaries.
+	EndInterval bool
+}
+
+// message kinds carried on a shard's channel. Data and control share
+// one FIFO so control operations observe all batches sent before them.
+type msgKind uint8
+
+const (
+	msgBatch msgKind = iota
+	msgFlush
+	msgReport
+	msgSnapshot
+	msgClose
+)
+
+type shardMsg struct {
+	kind  msgKind
+	batch Batch // msgBatch
+
+	stream string           // msgReport
+	report chan shardReport // msgReport, msgSnapshot
+
+	done    chan struct{} // msgFlush, msgClose: ack
+	release chan struct{} // msgSnapshot: barrier release
+}
+
+type shardReport struct {
+	reports map[string]core.Report
+	ok      bool
+}
+
+// shard is one worker's exclusive state. Only the worker goroutine
+// touches streams after New returns.
+type shard struct {
+	ch      chan shardMsg
+	streams map[string]*core.Tracker
+}
+
+// Fleet tracks phases for many concurrent instruction streams. All
+// methods are safe for concurrent use, except that Send must not be
+// called concurrently with (or after) Close.
+type Fleet struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// mu serializes Snapshot barriers (two interleaved barriers would
+	// deadlock shards parked on different releases) and Close.
+	mu     sync.Mutex
+	closed bool
+}
+
+// New returns a running Fleet. It panics on an invalid configuration
+// (validate with cfg.Validate for error handling).
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	f := &Fleet{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range f.shards {
+		sh := &shard{
+			ch:      make(chan shardMsg, cfg.QueueDepth),
+			streams: make(map[string]*core.Tracker),
+		}
+		f.shards[i] = sh
+		f.wg.Add(1)
+		go f.run(sh)
+	}
+	return f
+}
+
+// Shards returns the number of shards.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// shardFor hashes a stream ID onto its owning shard (FNV-1a).
+func (f *Fleet) shardFor(stream string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= prime64
+	}
+	return f.shards[h%uint64(len(f.shards))]
+}
+
+// Send enqueues a batch for classification, blocking while the owning
+// shard's queue is full. Batches for the same stream must be sent in
+// stream order (one producer per stream, or externally ordered);
+// batches for different streams may be sent concurrently.
+func (f *Fleet) Send(b Batch) {
+	f.shardFor(b.Stream).ch <- shardMsg{kind: msgBatch, batch: b}
+}
+
+// Track is shorthand for Send of a cycle-less event batch.
+func (f *Fleet) Track(stream string, events []trace.BranchEvent) {
+	f.Send(Batch{Stream: stream, Events: events})
+}
+
+// Flush force-closes the trailing partial interval of every stream
+// (end of program), after processing everything already enqueued. It
+// returns when all shards have flushed.
+func (f *Fleet) Flush() {
+	done := make(chan struct{}, len(f.shards))
+	for _, sh := range f.shards {
+		sh.ch <- shardMsg{kind: msgFlush, done: done}
+	}
+	for range f.shards {
+		<-done
+	}
+}
+
+// Report returns aggregate statistics for one stream, reflecting every
+// batch enqueued for it before the call. ok is false if the stream has
+// never been seen.
+func (f *Fleet) Report(stream string) (core.Report, bool) {
+	reply := make(chan shardReport, 1)
+	f.shardFor(stream).ch <- shardMsg{kind: msgReport, stream: stream, report: reply}
+	r := <-reply
+	if !r.ok {
+		return core.Report{}, false
+	}
+	return r.reports[stream], true
+}
+
+// Snapshot returns a consistent point-in-time report for every stream:
+// all shards are paused at a common barrier while reports are
+// collected, so no stream advances during the snapshot window.
+func (f *Fleet) Snapshot() map[string]core.Report {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reply := make(chan shardReport, len(f.shards))
+	release := make(chan struct{})
+	for _, sh := range f.shards {
+		sh.ch <- shardMsg{kind: msgSnapshot, report: reply, release: release}
+	}
+	out := make(map[string]core.Report)
+	for range f.shards {
+		r := <-reply
+		for name, rep := range r.reports {
+			out[name] = rep
+		}
+	}
+	close(release)
+	return out
+}
+
+// Close drains every queue, stops the shard workers, and waits for
+// them to exit. No method may be called after Close; Send must not be
+// in flight when Close begins.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	done := make(chan struct{}, len(f.shards))
+	for _, sh := range f.shards {
+		sh.ch <- shardMsg{kind: msgClose, done: done}
+	}
+	for range f.shards {
+		<-done
+	}
+	f.wg.Wait()
+}
+
+// run is the shard worker loop: the only goroutine that ever touches
+// this shard's trackers.
+func (f *Fleet) run(sh *shard) {
+	defer f.wg.Done()
+	for msg := range sh.ch {
+		switch msg.kind {
+		case msgBatch:
+			f.apply(sh, msg.batch)
+		case msgFlush:
+			for name, t := range sh.streams {
+				if res, ok := t.Flush(); ok && f.cfg.OnInterval != nil {
+					f.cfg.OnInterval(name, res)
+				}
+			}
+			msg.done <- struct{}{}
+		case msgReport:
+			t, ok := sh.streams[msg.stream]
+			r := shardReport{ok: ok}
+			if ok {
+				r.reports = map[string]core.Report{msg.stream: t.Report()}
+			}
+			msg.report <- r
+		case msgSnapshot:
+			reports := make(map[string]core.Report, len(sh.streams))
+			for name, t := range sh.streams {
+				reports[name] = t.Report()
+			}
+			msg.report <- shardReport{reports: reports, ok: true}
+			// Park at the barrier so every shard stands still through
+			// one common window.
+			<-msg.release
+		case msgClose:
+			msg.done <- struct{}{}
+			return
+		}
+	}
+}
+
+// apply feeds one batch into its stream's tracker (Figure 1 steps 1-2,
+// batched).
+func (f *Fleet) apply(sh *shard, b Batch) {
+	t := sh.streams[b.Stream]
+	if t == nil {
+		t = core.NewTracker(b.Stream, f.cfg.Tracker)
+		sh.streams[b.Stream] = t
+	}
+	t.Cycles(b.Cycles)
+	for _, ev := range b.Events {
+		if res, ok := t.Branch(ev.PC, ev.Instrs); ok && f.cfg.OnInterval != nil {
+			f.cfg.OnInterval(b.Stream, res)
+		}
+	}
+	if b.EndInterval {
+		if res, ok := t.Flush(); ok && f.cfg.OnInterval != nil {
+			f.cfg.OnInterval(b.Stream, res)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"phasekit/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+const goldenFile = "testdata/golden_phases.txt"
+
+// goldenWorkload is the fixed-seed multi-stream workload: 8 streams of
+// 6000 events each, with per-batch cycle charges.
+func goldenWorkload() map[string][]Batch {
+	out := make(map[string][]Batch, 8)
+	for s := 0; s < 8; s++ {
+		name := fmt.Sprintf("stream-%02d", s)
+		events, cycles := synthStream(0x90bda1+uint64(s), 6000)
+		out[name] = batches(name, events, cycles)
+	}
+	return out
+}
+
+// phasesViaTracker runs one stream's batches through a bare Tracker.
+func phasesViaTracker(bs []Batch) []int {
+	tracker := core.NewTracker("golden", testConfig())
+	var ids []int
+	for _, b := range bs {
+		tracker.Cycles(b.Cycles)
+		for _, ev := range b.Events {
+			if res, ok := tracker.Branch(ev.PC, ev.Instrs); ok {
+				ids = append(ids, res.PhaseID)
+			}
+		}
+	}
+	if res, ok := tracker.Flush(); ok {
+		ids = append(ids, res.PhaseID)
+	}
+	return ids
+}
+
+// phasesViaFleet runs every stream through a Fleet with the given shard
+// count, producers sending concurrently (one per stream).
+func phasesViaFleet(work map[string][]Batch, shards int) map[string][]int {
+	var mu sync.Mutex
+	got := make(map[string][]int)
+	f := New(Config{
+		Shards:  shards,
+		Tracker: testConfig(),
+		OnInterval: func(stream string, res core.IntervalResult) {
+			mu.Lock()
+			got[stream] = append(got[stream], res.PhaseID)
+			mu.Unlock()
+		},
+	})
+	var wg sync.WaitGroup
+	for _, bs := range work {
+		wg.Add(1)
+		go func(bs []Batch) {
+			defer wg.Done()
+			for _, b := range bs {
+				f.Send(b)
+			}
+		}(bs)
+	}
+	wg.Wait()
+	f.Flush()
+	f.Close()
+	return got
+}
+
+// formatPhases renders per-stream phase sequences in the golden format:
+// one "name: id id id ..." line per stream, sorted by name.
+func formatPhases(seqs map[string][]int) string {
+	names := make([]string, 0, len(seqs))
+	for name := range seqs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		sb.WriteString(name)
+		sb.WriteString(":")
+		for _, id := range seqs[name] {
+			fmt.Fprintf(&sb, " %d", id)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestGoldenDeterminism proves the concurrency model does not leak into
+// results: a fixed-seed workload produces byte-identical per-stream
+// phase ID sequences through a bare Tracker, a 1-shard Fleet, and an
+// 8-shard Fleet, and those sequences match the committed golden file
+// (catching cross-version drift). Regenerate with `go test
+// ./internal/fleet -run Golden -update`.
+func TestGoldenDeterminism(t *testing.T) {
+	work := goldenWorkload()
+
+	serial := make(map[string][]int, len(work))
+	for name, bs := range work {
+		serial[name] = phasesViaTracker(bs)
+	}
+	want := formatPhases(serial)
+
+	for _, shards := range []int{1, 8} {
+		got := formatPhases(phasesViaFleet(work, shards))
+		if got != want {
+			t.Fatalf("%d-shard Fleet diverged from bare Tracker:\n%s", shards, firstDiff(want, got))
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenFile)
+		return
+	}
+	golden, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if string(golden) != want {
+		t.Fatalf("phase sequences drifted from %s (regenerate with -update if intended):\n%s",
+			goldenFile, firstDiff(string(golden), want))
+	}
+}
+
+// firstDiff returns a compact description of the first differing line.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %.120s\n  got:  %.120s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: want %d lines, got %d", len(wl), len(gl))
+}

@@ -1,0 +1,206 @@
+package predictor
+
+import "testing"
+
+// Table-driven tests for the §5.1–5.2 prediction confidence machinery:
+// the 3-bit/threshold-6 last-value counters and the 1-bit change-table
+// counters, asserted directly on crafted phase sequences instead of
+// indirectly through the experiment harness.
+
+// observeAll drives a sequence of phase IDs through a predictor and
+// returns its accounting.
+func observeAll(cfg NextPhaseConfig, seq []int) NextPhaseStats {
+	p := NewNextPhase(cfg)
+	for _, id := range seq {
+		p.Observe(id)
+	}
+	return p.NextStats()
+}
+
+// repeat appends n copies of id.
+func repeat(seq []int, id, n int) []int {
+	for i := 0; i < n; i++ {
+		seq = append(seq, id)
+	}
+	return seq
+}
+
+// TestLastValueConfidenceCounters pins the paper's 3-bit/threshold-6
+// counter behaviour with exact per-category counts on crafted
+// sequences.
+func TestLastValueConfidenceCounters(t *testing.T) {
+	lv := DefaultLastValueConfig() // 3-bit, threshold 6
+	cases := []struct {
+		name string
+		seq  []int
+		want NextPhaseStats
+	}{
+		{
+			// A stable phase: the counter reaches the threshold after
+			// six correct predictions, so of the nine accounted
+			// boundaries the first six are unconfident-correct and the
+			// last three confident-correct.
+			name: "stable run becomes confident after six correct",
+			seq:  repeat(nil, 1, 10),
+			want: NextPhaseStats{Intervals: 9, LVUnconfCorrect: 6, LVConfCorrect: 3},
+		},
+		{
+			// Perfect alternation: every last-value prediction is
+			// wrong, counters never leave zero, so no prediction is
+			// ever confident — zero coverage, but also zero confident
+			// misses (the trade-off working as designed).
+			name: "alternation never gains confidence",
+			seq:  []int{1, 2, 1, 2, 1, 2, 1, 2, 1, 2},
+			want: NextPhaseStats{Intervals: 9, LVUnconfIncorrect: 9},
+		},
+		{
+			// One mispredict after saturation: the counter saturates at
+			// 7, drops to 6 on the wrong boundary (still >= threshold),
+			// so the phase stays confident when execution returns to it.
+			name: "saturated phase survives one mispredict",
+			seq:  append(repeat(nil, 1, 12), 2, 1, 1, 1),
+			want: NextPhaseStats{
+				Intervals:         15,
+				LVUnconfCorrect:   6,     // warmup of phase 1's counter
+				LVConfCorrect:     5 + 2, // saturated stretch, then still confident on re-entry
+				LVConfIncorrect:   1,     // the 1->2 boundary, predicted while saturated
+				LVUnconfIncorrect: 1,     // the 2->1 boundary, phase 2's counter is 0
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := observeAll(NextPhaseConfig{LastValue: lv}, tc.seq)
+			if got != tc.want {
+				t.Errorf("stats = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLastValueCoverageAccuracyTradeoff demonstrates §5.1's documented
+// trade-off on a noisy phased sequence: gating predictions behind the
+// confidence counter surrenders coverage but raises the accuracy of
+// the predictions actually used, and with confidence disabled coverage
+// is total and the miss rate equals the full error rate.
+func TestLastValueCoverageAccuracyTradeoff(t *testing.T) {
+	// A stable phase interleaved with a jittery region: phase 1's
+	// counter saturates during its long runs (confident, almost always
+	// correct), while phases 2 and 3 alternate every interval and
+	// never earn confidence (unconfident, almost always wrong). The
+	// counters thus route confidence exactly where predictions are
+	// good — the mechanism §5.1 is after.
+	var seq []int
+	for round := 0; round < 4; round++ {
+		seq = repeat(seq, 1, 20)
+		for i := 0; i < 6; i++ {
+			seq = append(seq, 2, 3)
+		}
+	}
+
+	gated := observeAll(NextPhaseConfig{LastValue: DefaultLastValueConfig()}, seq)
+	open := observeAll(NextPhaseConfig{LastValue: LastValueConfig{UseConfidence: false}}, seq)
+
+	if gated.Coverage() >= 1 {
+		t.Fatalf("gated coverage = %v, want < 1", gated.Coverage())
+	}
+	if got := open.Coverage(); got != 1 {
+		t.Fatalf("ungated coverage = %v, want 1", got)
+	}
+	if gated.ConfidentAccuracy() <= gated.Accuracy() {
+		t.Errorf("confident accuracy %v not above overall accuracy %v",
+			gated.ConfidentAccuracy(), gated.Accuracy())
+	}
+	if gated.MissRate() >= open.MissRate() {
+		t.Errorf("gated miss rate %v not below ungated %v", gated.MissRate(), open.MissRate())
+	}
+	// Accuracy ignores gating, so both variants agree on it.
+	if gated.Accuracy() != open.Accuracy() {
+		t.Errorf("accuracy changed with gating: %v vs %v", gated.Accuracy(), open.Accuracy())
+	}
+}
+
+// TestChangeTableOneBitConfidence pins the §5.1 1-bit change-table
+// counter: a fresh entry is untrusted, one correct prediction promotes
+// it, one wrong prediction demotes it.
+func TestChangeTableOneBitConfidence(t *testing.T) {
+	steps := []struct {
+		name          string
+		train         int // outcome recorded for hash 0x1234
+		wantConfident bool
+		wantOutcome   int
+	}{
+		{"fresh entry is untrusted", 7, false, 7},
+		{"first correct prediction promotes", 7, true, 7},
+		{"stays promoted while correct", 7, true, 7},
+		{"wrong outcome demotes and retrains", 9, false, 9},
+		{"correct again re-promotes", 9, true, 9},
+	}
+	tbl := NewChangeTable(DefaultChangeTableConfig(Markov, 1))
+	const hash = 0x1234
+	for _, st := range steps {
+		t.Run(st.name, func(t *testing.T) {
+			tbl.RecordChange(hash, st.train)
+			l := tbl.Lookup(hash)
+			if !l.Hit {
+				t.Fatal("entry missing after RecordChange")
+			}
+			if l.Confident != st.wantConfident {
+				t.Errorf("confident = %v, want %v", l.Confident, st.wantConfident)
+			}
+			if len(l.Outcomes) != 1 || l.Outcomes[0] != st.wantOutcome {
+				t.Errorf("outcomes = %v, want [%d]", l.Outcomes, st.wantOutcome)
+			}
+		})
+	}
+}
+
+// TestChangeTableConfidenceTradeoff shows the 1-bit counters' effect on
+// phase change prediction accounting: on a repeating pattern with
+// occasional irregularities, gating cuts the confident-mispredict rate
+// the paper minimizes, at the cost of covering fewer changes.
+func TestChangeTableConfidenceTradeoff(t *testing.T) {
+	// A period-2 phase pattern with a rare third phase injected, so
+	// the table is usually right but sometimes wrong.
+	var seq []int
+	for round := 0; round < 12; round++ {
+		seq = repeat(seq, 1, 4)
+		seq = repeat(seq, 2, 4)
+		if round%4 == 3 {
+			seq = repeat(seq, 3, 2)
+		}
+	}
+
+	mk := func(useConf bool) ChangeStats {
+		change := DefaultChangeTableConfig(RLE, 2)
+		change.UseConfidence = useConf
+		p := NewNextPhase(NextPhaseConfig{
+			LastValue: DefaultLastValueConfig(),
+			Change:    &change,
+		})
+		for _, id := range seq {
+			p.Observe(id)
+		}
+		return p.ChangeStats()
+	}
+
+	gated, open := mk(true), mk(false)
+	if gated.Changes != open.Changes {
+		t.Fatalf("change counts differ: %d vs %d", gated.Changes, open.Changes)
+	}
+	if gated.Changes == 0 {
+		t.Fatal("crafted sequence produced no phase changes")
+	}
+	if gated.MispredictRate() >= open.MispredictRate() {
+		t.Errorf("gated mispredict rate %v not below ungated %v",
+			gated.MispredictRate(), open.MispredictRate())
+	}
+	if gated.Coverage() > open.Coverage() {
+		t.Errorf("gating cannot raise coverage: %v > %v", gated.Coverage(), open.Coverage())
+	}
+	// The learned pattern must actually be learned: most changes are
+	// predicted correctly once the table warms up.
+	if open.CorrectRate() < 0.5 {
+		t.Errorf("table never learned the period-2 pattern: correct rate %v", open.CorrectRate())
+	}
+}

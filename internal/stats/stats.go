@@ -126,21 +126,26 @@ func PhaseCoV(samples map[int][]float64, exclude ...int) float64 {
 	for _, id := range exclude {
 		skip[id] = true
 	}
+	// Iterate phases in sorted ID order: accumulating in map order
+	// would make the floating-point sum depend on Go's randomized map
+	// iteration, and callers (tests, golden files) rely on Evaluate
+	// being bit-deterministic.
+	ids := make([]int, 0, len(samples))
 	total := 0
 	for id, xs := range samples {
 		if skip[id] {
 			continue
 		}
+		ids = append(ids, id)
 		total += len(xs)
 	}
 	if total == 0 {
 		return 0
 	}
+	sort.Ints(ids)
 	weighted := 0.0
-	for id, xs := range samples {
-		if skip[id] {
-			continue
-		}
+	for _, id := range ids {
+		xs := samples[id]
 		weighted += CoV(xs) * float64(len(xs)) / float64(total)
 	}
 	return weighted

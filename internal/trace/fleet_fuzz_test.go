@@ -1,0 +1,138 @@
+// Fleet ingestion fuzzing lives beside the trace fuzz targets because
+// both guard the same boundary: arbitrary event streams entering the
+// architecture. It is an external test package (trace_test) so it can
+// import internal/fleet without a cycle (fleet -> core -> trace).
+package trace_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"phasekit/internal/classifier"
+	"phasekit/internal/core"
+	"phasekit/internal/fleet"
+	"phasekit/internal/trace"
+)
+
+// FuzzFleetBatches feeds arbitrary (PC, instrs, cycles) event batches
+// through a Fleet: it must never panic, and the per-stream Reports must
+// satisfy the architecture's invariants — interval counts across
+// streams sum to the intervals observed, phase IDs are non-negative,
+// and the transition phase is always ID 0.
+func FuzzFleetBatches(f *testing.F) {
+	// Seeds: empty, one tiny event, an interval-crossing burst, and a
+	// spread of extreme PCs/instruction counts.
+	f.Add([]byte{})
+	f.Add(record(0x400000, 100, 120))
+	var burst []byte
+	for i := 0; i < 64; i++ {
+		burst = append(burst, record(0x400000+uint64(i%8)*64, 700, 900)...)
+	}
+	f.Add(burst)
+	f.Add(append(record(0, 0, 0), record(^uint64(0), ^uint32(0), ^uint64(0))...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nstreams = 3
+		var (
+			mu        sync.Mutex
+			intervals int
+			perStream = make(map[string]int)
+		)
+		fl := fleet.New(fleet.Config{
+			Shards: 2,
+			Tracker: func() core.Config {
+				cfg := core.DefaultConfig()
+				cfg.IntervalInstrs = 1000 // small budget: fuzz inputs cross many boundaries
+				return cfg
+			}(),
+			OnInterval: func(stream string, res core.IntervalResult) {
+				mu.Lock()
+				defer mu.Unlock()
+				intervals++
+				perStream[stream]++
+				if res.PhaseID < 0 {
+					t.Errorf("stream %s: negative phase ID %d", stream, res.PhaseID)
+				}
+				if res.Classification.PhaseID != res.PhaseID {
+					t.Errorf("stream %s: result/classification phase mismatch %d != %d",
+						stream, res.PhaseID, res.Classification.PhaseID)
+				}
+			},
+		})
+
+		// Decode the fuzz input as fixed-width (PC, instrs, cycles)
+		// records, grouped into batches of up to 5 events, round-robin
+		// across streams.
+		var (
+			events []trace.BranchEvent
+			cycles uint64
+			next   int
+		)
+		send := func(end bool) {
+			if len(events) == 0 && cycles == 0 && !end {
+				return
+			}
+			fl.Send(fleet.Batch{
+				Stream:      fmt.Sprintf("s%d", next%nstreams),
+				Cycles:      cycles,
+				Events:      events,
+				EndInterval: end,
+			})
+			next++
+			events = nil
+			cycles = 0
+		}
+		for len(data) >= 20 {
+			pc := binary.LittleEndian.Uint64(data)
+			instrs := binary.LittleEndian.Uint32(data[8:])
+			cyc := binary.LittleEndian.Uint64(data[12:])
+			data = data[20:]
+			events = append(events, trace.BranchEvent{PC: pc, Instrs: instrs})
+			cycles += cyc
+			if len(events) == 5 {
+				// Low bit of the PC decides whether this batch also
+				// forces an interval boundary.
+				send(pc&1 == 1)
+			}
+		}
+		send(false)
+		fl.Flush()
+		snap := fl.Snapshot()
+		fl.Close()
+
+		mu.Lock()
+		defer mu.Unlock()
+		sum := 0
+		for name, rep := range snap {
+			sum += rep.Intervals
+			if rep.Intervals != perStream[name] {
+				t.Errorf("stream %s: report says %d intervals, callback saw %d",
+					name, rep.Intervals, perStream[name])
+			}
+			if rep.TransitionIntervals > rep.Intervals {
+				t.Errorf("stream %s: %d transition intervals > %d intervals",
+					name, rep.TransitionIntervals, rep.Intervals)
+			}
+			if rep.PhaseIDs < 0 {
+				t.Errorf("stream %s: negative phase count %d", name, rep.PhaseIDs)
+			}
+		}
+		if sum != intervals {
+			t.Errorf("per-stream intervals sum to %d, callbacks saw %d", sum, intervals)
+		}
+		if classifier.TransitionPhase != 0 {
+			t.Errorf("transition phase ID is %d, want 0", classifier.TransitionPhase)
+		}
+	})
+}
+
+// record encodes one fuzz input record.
+func record(pc uint64, instrs uint32, cycles uint64) []byte {
+	b := make([]byte, 20)
+	binary.LittleEndian.PutUint64(b, pc)
+	binary.LittleEndian.PutUint32(b[8:], instrs)
+	binary.LittleEndian.PutUint64(b[12:], cycles)
+	return b
+}

@@ -25,6 +25,16 @@
 //	}
 //	report := tracker.Report()
 //
+// A Tracker follows one instruction stream and is not safe for
+// concurrent use. To track many streams at once — the always-on
+// service setting — use Fleet, which shards streams across worker
+// goroutines and ingests batched events with backpressure:
+//
+//	f := phasekit.NewFleet(phasekit.DefaultFleetConfig())
+//	f.Send(phasekit.Batch{Stream: "tenant-1", Events: events})
+//	f.Flush()
+//	report, ok := f.Report("tenant-1")
+//
 // Synthetic workloads modelled on the paper's SPEC2000 benchmarks are
 // available through Workloads and GenerateWorkload, and the full
 // evaluation harness behind cmd/experiments regenerates every figure
@@ -34,6 +44,7 @@ package phasekit
 import (
 	"phasekit/internal/classifier"
 	"phasekit/internal/core"
+	"phasekit/internal/fleet"
 	"phasekit/internal/predictor"
 	"phasekit/internal/signature"
 	"phasekit/internal/trace"
@@ -64,7 +75,30 @@ type LengthConfig = predictor.LengthConfig
 // Tracker is the on-line phase tracking architecture. Feed it
 // committed branches (and optionally cycle counts); it emits an
 // IntervalResult at every interval boundary.
+//
+// A Tracker is NOT safe for concurrent use: it tracks one instruction
+// stream from one goroutine, mirroring the per-core hardware of the
+// paper. To track many concurrent streams, use Fleet.
 type Tracker = core.Tracker
+
+// Fleet tracks phases for many concurrent instruction streams at once:
+// stream IDs are hashed onto shards, each shard's worker goroutine
+// exclusively owns its streams' Trackers, and ingestion is batched
+// through bounded queues with backpressure. All Fleet methods are safe
+// for concurrent use. See internal/fleet for the concurrency model.
+type Fleet = fleet.Fleet
+
+// FleetConfig configures a Fleet (shard count, queue depth, per-stream
+// tracker configuration, interval callback).
+type FleetConfig = fleet.Config
+
+// Batch is one Fleet ingestion unit: a slice of branch events for a
+// single stream with an optional cycle charge.
+type Batch = fleet.Batch
+
+// BranchEvent is a committed-branch record: the branch PC and the
+// instructions committed since the previous branch.
+type BranchEvent = trace.BranchEvent
 
 // IntervalResult reports one interval's classification and the
 // predictions made at its boundary.
@@ -127,6 +161,14 @@ func DefaultMachineConfig() MachineConfig { return uarch.DefaultConfig() }
 // NewTracker returns an on-line tracker. It panics on an invalid
 // configuration (validate with cfg.Validate for error handling).
 func NewTracker(name string, cfg Config) *Tracker { return core.NewTracker(name, cfg) }
+
+// DefaultFleetConfig returns a Fleet configuration with GOMAXPROCS
+// shards and the paper's default tracker configuration.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// NewFleet returns a running Fleet. It panics on an invalid
+// configuration (validate with cfg.Validate for error handling).
+func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
 
 // Evaluate replays a profiled run under cfg and returns its report.
 func Evaluate(run *Run, cfg Config) Report { return core.Evaluate(run, cfg) }
