@@ -147,11 +147,18 @@ func benchFleet(b *testing.B, streams, batchLen int) {
 	f := phasekit.NewFleet(cfg)
 	b.ResetTimer()
 	var wg sync.WaitGroup
-	per := (b.N + streams - 1) / streams
+	// Distribute b.N exactly: the first rem streams send one extra
+	// event, so the total sent equals b.N and ns/op stays honest
+	// (rounding every stream up would send up to streams-1 extras).
+	base, rem := b.N/streams, b.N%streams
 	for s := 0; s < streams; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			per := base
+			if s < rem {
+				per++
+			}
 			name := "bench-" + strconv.Itoa(s)
 			for sent := 0; sent < per; {
 				n := batchLen

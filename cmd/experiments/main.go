@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,14 +30,45 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		scale    = flag.Float64("scale", 0.5, "workload length scale (1.0 = paper-length runs)")
-		interval = flag.Uint64("interval", 10_000_000, "instructions per interval")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		quiet    = flag.Bool("quiet", false, "suppress progress messages")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		scale      = flag.Float64("scale", 0.5, "workload length scale (1.0 = paper-length runs)")
+		interval   = flag.Uint64("interval", 10_000_000, "instructions per interval")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress messages")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {

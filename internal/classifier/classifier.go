@@ -91,11 +91,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// entry is one signature-table row.
+// entry is one signature-table row. The signature vector itself lives
+// in the Classifier's flat sigs slab (row i occupies
+// sigs[i*dims:(i+1)*dims]) so the scan walks contiguous memory instead
+// of chasing a pointer per row.
 type entry struct {
-	sig        signature.Vector
-	phaseID    int // TransitionPhase until promoted
-	minCount   int // §4.4 Min Counter (saturating; capped in code)
+	sigSum     uint64 // cached sum of the row's signature
+	phaseID    int    // TransitionPhase until promoted
+	minCount   int    // §4.4 Min Counter (saturating; capped in code)
 	threshold  float64
 	lastUse    uint64 // LRU clock value
 	insertedAt uint64 // FIFO clock value
@@ -144,11 +147,29 @@ type Stats struct {
 // Classifier is the dynamic phase classification architecture.
 type Classifier struct {
 	cfg     Config
-	entries []*entry
-	clock   uint64
-	nextID  int
-	stats   Stats
-	minSim  float64
+	entries []entry
+	// sigs holds every row's signature back to back (stride dims), so
+	// the match scan streams through one allocation and an eviction
+	// overwrites the victim's row in place without allocating.
+	sigs []uint16
+	// segs caches each row's quarter-segment sums (stride 4): the sum
+	// of absolute segment-sum differences lower-bounds the Manhattan
+	// distance, so most non-matching rows reject on four cached
+	// integers without touching their vectors.
+	segs []uint64
+	// lbBuf is the per-Classify scratch holding each row's segment
+	// lower bound, filled by the seed pre-pass and read by the scan.
+	lbBuf  []uint64
+	dims   int // set by the first Classify; fixed thereafter
+	clock  uint64
+	nextID int
+	stats  Stats
+	minSim float64
+}
+
+// rowSig returns row i's signature within the slab.
+func (c *Classifier) rowSig(i int) signature.Vector {
+	return signature.Vector(c.sigs[i*c.dims : (i+1)*c.dims])
 }
 
 // New returns a classifier for cfg. It panics on an invalid
@@ -187,13 +208,79 @@ func (c *Classifier) Classify(sig signature.Vector, cpi float64) Result {
 	c.clock++
 	c.stats.Classifications++
 
+	// The scan runs in the integer domain: the incoming signature's sum
+	// is computed once, each entry's sum is cached, and an entry is
+	// rejected mid-vector as soon as its running Manhattan distance
+	// provably exceeds threshold*(sa+sb). Only entries that survive the
+	// integer bound pay the float divide, and that exact division
+	// reproduces the naive float comparison bit for bit (the bound is
+	// conservative: every distance the float path would accept is below
+	// it — see the derivation at matchBound).
+	if c.dims == 0 {
+		c.dims = len(sig)
+	} else if len(sig) != c.dims {
+		panic("classifier: signature dimensionality changed mid-run")
+	}
+	segs, sigSum := sig.SegmentSums()
+	// Pre-pass: each row's segment lower bound on its Manhattan
+	// distance to sig, from cached sums alone.
+	if cap(c.lbBuf) < len(c.entries) {
+		c.lbBuf = make([]uint64, len(c.entries)+16)
+	}
+	lbs := c.lbBuf[:len(c.entries)]
+	for i := range c.entries {
+		row := c.segs[i*4 : i*4+4]
+		lbs[i] = absDiffU64(segs[0], row[0]) + absDiffU64(segs[1], row[1]) +
+			absDiffU64(segs[2], row[2]) + absDiffU64(segs[3], row[3])
+	}
 	best := -1
 	bestDist := math.Inf(1)
-	for i, e := range c.entries {
-		if len(e.sig) != len(sig) {
-			panic("classifier: signature dimensionality changed mid-run")
+	// The best match is the lexicographic minimum of (distance, index)
+	// over all entries satisfying their thresholds — independent of scan
+	// order. Seed the scan with the entry of smallest lower bound
+	// (usually the eventual winner): with a tight bestDist in hand from
+	// the start, most other entries reject on cached sums alone.
+	seed := -1
+	if c.cfg.BestMatch && len(c.entries) > 1 {
+		closest := ^uint64(0)
+		for i, lb := range lbs {
+			if lb < closest {
+				seed, closest = i, lb
+			}
 		}
-		d := signature.Distance(sig, e.sig)
+		if d, ok := c.evalEntry(seed, sig, sigSum, closest); ok {
+			best, bestDist = seed, d
+		}
+	}
+	for i := range c.entries {
+		if i == seed {
+			continue
+		}
+		e := &c.entries[i]
+		var d float64
+		if s := sigSum + e.sigSum; s > 0 {
+			// With a best match in hand, an entry only matters if it can
+			// beat bestDist — tighten the abort bound accordingly. An
+			// entry pruned this way may still satisfy its threshold, but
+			// a non-best match never influences the outcome. matchBound
+			// is monotone in t, so taking the min in the float domain
+			// first computes the same bound with one conversion.
+			t := e.threshold
+			if best >= 0 && bestDist < t {
+				t = bestDist
+			}
+			bound := matchBound(t, s)
+			// The segment lower bound from the pre-pass rejects the row
+			// without touching its vector.
+			if lbs[i] > bound {
+				continue
+			}
+			m, within := signature.ManhattanBounded(sig, c.rowSig(i), bound)
+			if !within {
+				continue
+			}
+			d = float64(m) / float64(s)
+		}
 		if d >= e.threshold {
 			continue
 		}
@@ -201,25 +288,73 @@ func (c *Classifier) Classify(sig signature.Vector, cpi float64) Result {
 			best, bestDist = i, d
 			break
 		}
-		if d < bestDist {
+		// Index breaks distance ties: the seed is the only entry ever
+		// evaluated out of ascending order, so an equal-distance entry
+		// at a smaller index must displace it (an entry with d equal to
+		// bestDist survives the integer bound — see matchBound).
+		if d < bestDist || (d == bestDist && i < best) {
 			best, bestDist = i, d
 		}
 	}
 
 	if best < 0 {
-		return c.insert(sig)
+		return c.insert(sig, sigSum, segs)
 	}
-	return c.match(best, bestDist, sig, cpi)
+	return c.match(best, bestDist, sig, sigSum, segs, cpi)
+}
+
+// matchBound returns an integer Manhattan-distance bound B such that
+// every distance m the float comparison float64(m)/float64(s) < t would
+// accept satisfies m <= B. Signature sums fit in well under 2^24
+// (<= 2*64 counters * 65535), so s is exact in float64 and the
+// correctly-rounded product and division stray from the real values by
+// far less than 1; the +1 margin absorbs both roundings. Distances
+// above B therefore reject without ever converting to float.
+func matchBound(t float64, s uint64) uint64 {
+	return uint64(t*float64(s)) + 1
+}
+
+// absDiffU64 returns |a-b|.
+func absDiffU64(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// evalEntry computes row i's exact normalized distance when the row
+// satisfies its threshold; ok=false means it does not match. lb is the
+// row's precomputed segment lower bound. The logic mirrors the Classify
+// scan body with no bestDist tightening.
+func (c *Classifier) evalEntry(i int, sig signature.Vector, sigSum, lb uint64) (d float64, ok bool) {
+	e := &c.entries[i]
+	if s := sigSum + e.sigSum; s > 0 {
+		bound := matchBound(e.threshold, s)
+		if lb > bound {
+			return 0, false
+		}
+		m, within := signature.ManhattanBounded(sig, c.rowSig(i), bound)
+		if !within {
+			return 0, false
+		}
+		d = float64(m) / float64(s)
+	}
+	if d >= e.threshold {
+		return 0, false
+	}
+	return d, true
 }
 
 // match handles classification into an existing entry.
-func (c *Classifier) match(i int, dist float64, sig signature.Vector, cpi float64) Result {
-	e := c.entries[i]
+func (c *Classifier) match(i int, dist float64, sig signature.Vector, sigSum uint64, segs [4]uint64, cpi float64) Result {
+	e := &c.entries[i]
 	c.stats.MatchedSameThreshold++
 	e.lastUse = c.clock
 	// "the matching signature in the table is replaced with the
 	// current signature" (§4.1 step 3).
-	copy(e.sig, sig)
+	copy(c.rowSig(i), sig)
+	copy(c.segs[i*4:i*4+4], segs[:])
+	e.sigSum = sigSum
 
 	res := Result{Matched: true, Distance: dist}
 	if e.minCount < 1<<20 { // saturate far above any useful threshold
@@ -295,12 +430,12 @@ func (c *Classifier) feedback(e *entry, cpi float64) bool {
 
 // insert creates a new table entry for sig, evicting the LRU entry if
 // the table is full.
-func (c *Classifier) insert(sig signature.Vector) Result {
+func (c *Classifier) insert(sig signature.Vector, sigSum uint64, segs [4]uint64) Result {
 	res := Result{NewSignature: true}
 	c.stats.NewSignatures++
 
-	e := &entry{
-		sig:        sig.Clone(),
+	e := entry{
+		sigSum:     sigSum,
 		threshold:  c.cfg.SimilarityThreshold,
 		lastUse:    c.clock,
 		insertedAt: c.clock,
@@ -317,20 +452,26 @@ func (c *Classifier) insert(sig signature.Vector) Result {
 
 	if c.cfg.TableEntries > 0 && len(c.entries) >= c.cfg.TableEntries {
 		victim := 0
-		for i, ent := range c.entries {
+		for i := range c.entries {
 			if c.cfg.ReplacementFIFO {
-				if ent.insertedAt < c.entries[victim].insertedAt {
+				if c.entries[i].insertedAt < c.entries[victim].insertedAt {
 					victim = i
 				}
-			} else if ent.lastUse < c.entries[victim].lastUse {
+			} else if c.entries[i].lastUse < c.entries[victim].lastUse {
 				victim = i
 			}
 		}
+		// Overwrite the victim's row and signature slab in place: a
+		// full table inserts without allocating.
 		c.entries[victim] = e
+		copy(c.rowSig(victim), sig)
+		copy(c.segs[victim*4:victim*4+4], segs[:])
 		res.Evicted = true
 		c.stats.Evictions++
 	} else {
 		c.entries = append(c.entries, e)
+		c.sigs = append(c.sigs, sig...)
+		c.segs = append(c.segs, segs[0], segs[1], segs[2], segs[3])
 	}
 	return res
 }
@@ -347,9 +488,9 @@ func (c *Classifier) allocID() int {
 // flush the feedback state during reconfiguration so stale averages do
 // not trigger spurious splits (§4.6).
 func (c *Classifier) FlushFeedback() {
-	for _, e := range c.entries {
-		e.cpiCount = 0
-		e.cpiMean = 0
+	for i := range c.entries {
+		c.entries[i].cpiCount = 0
+		c.entries[i].cpiMean = 0
 	}
 }
 
@@ -366,7 +507,8 @@ type Snapshot struct {
 // order.
 func (c *Classifier) Table() []Snapshot {
 	out := make([]Snapshot, len(c.entries))
-	for i, e := range c.entries {
+	for i := range c.entries {
+		e := &c.entries[i]
 		out[i] = Snapshot{
 			PhaseID:   e.phaseID,
 			MinCount:  e.minCount,

@@ -13,7 +13,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"phasekit/internal/classifier"
 	"phasekit/internal/predictor"
@@ -132,8 +131,17 @@ type engine struct {
 	index  int
 
 	collect Report
-	samples map[int][]float64
+	// samples is indexed by phase ID (IDs are small and dense: 0 is the
+	// transition phase, real IDs count up from 1), replacing a map
+	// assignment per interval with a slice append.
+	samples [][]float64
 	ids     []int
+
+	// sigBuf is the reusable compression buffer: the classifier copies
+	// or clones any signature it retains, so one buffer serves every
+	// interval and the steady-state pipeline allocates no Vector per
+	// classification.
+	sigBuf signature.Vector
 }
 
 func newEngine(cfg Config) *engine {
@@ -145,13 +153,17 @@ func newEngine(cfg Config) *engine {
 		cls:     classifier.New(cfg.Classifier),
 		np:      predictor.NewNextPhase(cfg.Predictor),
 		chg:     predictor.NewChangePredictor(cfg.ChangeOutcome),
-		length:  predictor.NewLengthPredictor(cfg.Length),
-		samples: make(map[int][]float64),
+		length: predictor.NewLengthPredictor(cfg.Length),
+		sigBuf: make(signature.Vector, cfg.Dims),
 	}
 }
 
-// step processes one completed interval's signature and CPI.
-func (e *engine) step(sig signature.Vector, cpi float64) IntervalResult {
+// observe advances every component with one completed interval's
+// signature and CPI and accumulates report state. It is the Report-only
+// replay path: the pure prediction queries that populate an
+// IntervalResult are skipped, since they read state without modifying
+// it and so cannot affect any later interval or the final Report.
+func (e *engine) observe(sig signature.Vector, cpi float64) classifier.Result {
 	res := e.cls.Classify(sig, cpi)
 	if res.NewSignature {
 		// §5.1: a new signature-table entry resets the associated
@@ -161,9 +173,27 @@ func (e *engine) step(sig signature.Vector, cpi float64) IntervalResult {
 	e.np.Observe(res.PhaseID)
 	e.chg.Observe(res.PhaseID)
 	e.length.Observe(res.PhaseID)
+	e.index++
 
+	for res.PhaseID >= len(e.samples) {
+		e.samples = append(e.samples, nil)
+	}
+	e.samples[res.PhaseID] = append(e.samples[res.PhaseID], cpi)
+	e.ids = append(e.ids, res.PhaseID)
+	if res.PhaseID == classifier.TransitionPhase {
+		e.collect.TransitionIntervals++
+	}
+	e.collect.Intervals++
+	return res
+}
+
+// step is observe plus the full per-interval result, for consumers of
+// the prediction stream (Tracker, EvaluateDetailed).
+func (e *engine) step(sig signature.Vector, cpi float64) IntervalResult {
+	index := e.index
+	res := e.observe(sig, cpi)
 	out := IntervalResult{
-		Index:           e.index,
+		Index:           index,
 		PhaseID:         res.PhaseID,
 		CPI:             cpi,
 		Classification:  res,
@@ -172,14 +202,6 @@ func (e *engine) step(sig signature.Vector, cpi float64) IntervalResult {
 		NextLengthClass: e.length.PredictNext(),
 	}
 	out.RunLengthClass, _ = e.length.PendingPrediction()
-	e.index++
-
-	e.samples[res.PhaseID] = append(e.samples[res.PhaseID], cpi)
-	e.ids = append(e.ids, res.PhaseID)
-	if res.PhaseID == classifier.TransitionPhase {
-		e.collect.TransitionIntervals++
-	}
-	e.collect.Intervals++
 	return out
 }
 
@@ -236,18 +258,22 @@ func (e *engine) report(name string) Report {
 	r := e.collect
 	r.Name = name
 	r.PhaseIDs = e.cls.PhaseIDs()
-	r.PhaseCoV = stats.PhaseCoV(e.samples, classifier.TransitionPhase)
-	// Sorted phase order keeps the running-sum floating-point result
-	// independent of map iteration order (Report must be
-	// bit-deterministic for a given input).
-	ids := make([]int, 0, len(e.samples))
-	for id := range e.samples {
-		ids = append(ids, id)
+	// Rebuild the map form PhaseCoV expects from the dense slice; only
+	// observed phases get a key, matching the map the engine used to
+	// maintain per interval.
+	byPhase := make(map[int][]float64, len(e.samples))
+	for id, xs := range e.samples {
+		if len(xs) > 0 {
+			byPhase[id] = xs
+		}
 	}
-	sort.Ints(ids)
+	r.PhaseCoV = stats.PhaseCoV(byPhase, classifier.TransitionPhase)
+	// Ascending phase order keeps the running-sum floating-point result
+	// deterministic (Report must be bit-deterministic for a given
+	// input); the slice index order is already sorted.
 	var whole stats.Running
-	for _, id := range ids {
-		for _, x := range e.samples[id] {
+	for _, xs := range e.samples {
+		for _, x := range xs {
 			whole.Add(x)
 		}
 	}
@@ -304,7 +330,7 @@ func (t *Tracker) Branch(pc uint64, instrs uint32) (res IntervalResult, ok bool)
 
 // endInterval closes the current interval.
 func (t *Tracker) endInterval() IntervalResult {
-	sig := t.eng.cfg.Compress.Compress(t.acc)
+	sig := t.eng.cfg.Compress.CompressInto(t.eng.sigBuf, t.acc)
 	cpi := 0.0
 	if t.instrs > 0 {
 		cpi = float64(t.cycles) / float64(t.instrs)
@@ -343,17 +369,14 @@ func (t *Tracker) PredictNextLengthClass() int { return t.eng.length.PredictNext
 // Evaluate replays a profiled run through the architecture and returns
 // the aggregate report. Each IntervalProfile's code profile rebuilds
 // the accumulator at cfg.Dims, so one generated run can be evaluated
-// under any configuration.
+// under any configuration. One accumulator and one signature buffer are
+// reused across the whole replay, so steady-state cost per interval is
+// O(profile size) with O(1) allocations.
 func Evaluate(run *trace.Run, cfg Config) Report {
 	eng := newEngine(cfg)
+	acc := signature.NewAccumulator(cfg.Dims)
 	for i := range run.Intervals {
-		iv := &run.Intervals[i]
-		sig := cfg.Compress.CompressWeights(cfg.Dims, func(yield func(pc, w uint64)) {
-			for _, pw := range iv.Weights {
-				yield(pw.PC, pw.Weight)
-			}
-		})
-		eng.step(sig, iv.CPI())
+		eng.observe(replaySignature(eng, acc, &run.Intervals[i]), run.Intervals[i].CPI())
 	}
 	return eng.report(run.Name)
 }
@@ -362,15 +385,80 @@ func Evaluate(run *trace.Run, cfg Config) Report {
 // callers that need the classification stream (diagnostics, examples).
 func EvaluateDetailed(run *trace.Run, cfg Config) (Report, []IntervalResult) {
 	eng := newEngine(cfg)
+	acc := signature.NewAccumulator(cfg.Dims)
 	results := make([]IntervalResult, 0, len(run.Intervals))
 	for i := range run.Intervals {
-		iv := &run.Intervals[i]
-		sig := cfg.Compress.CompressWeights(cfg.Dims, func(yield func(pc, w uint64)) {
-			for _, pw := range iv.Weights {
-				yield(pw.PC, pw.Weight)
-			}
-		})
-		results = append(results, eng.step(sig, iv.CPI()))
+		results = append(results, eng.step(replaySignature(eng, acc, &run.Intervals[i]), run.Intervals[i].CPI()))
 	}
 	return eng.report(run.Name), results
+}
+
+// replaySignature rebuilds one interval's accumulator state in acc and
+// compresses it into the engine's reusable buffer.
+func replaySignature(eng *engine, acc *signature.Accumulator, iv *trace.IntervalProfile) signature.Vector {
+	acc.Reset()
+	for _, pw := range iv.Weights {
+		acc.AddWeight(pw.PC, pw.Weight)
+	}
+	return eng.cfg.Compress.CompressInto(eng.sigBuf, acc)
+}
+
+// BucketTable caches a run's per-interval accumulator counters at one
+// dimensionality. Hashing every PCWeight of every interval is the
+// dominant cost of Evaluate, yet for a fixed (run, Dims) the bucketed
+// counters are identical across every compression and classifier
+// configuration — a sweep pays the hashing once via BuildBuckets and
+// then replays each config with EvaluateBuckets, which only re-runs bit
+// selection and classification.
+type BucketTable struct {
+	dims     int
+	counters []uint64 // len(run.Intervals)*dims, stride dims
+	totals   []uint64 // per-interval accumulated weight
+}
+
+// Dims returns the accumulator dimensionality the table was built at.
+func (bt *BucketTable) Dims() int { return bt.dims }
+
+// Interval returns interval i's bucketed counters and total weight.
+func (bt *BucketTable) Interval(i int) ([]uint64, uint64) {
+	return bt.counters[i*bt.dims : (i+1)*bt.dims], bt.totals[i]
+}
+
+// BuildBuckets hashes every interval profile of run into accumulator
+// buckets at the given dimensionality.
+func BuildBuckets(run *trace.Run, dims int) *BucketTable {
+	bt := &BucketTable{
+		dims:     dims,
+		counters: make([]uint64, len(run.Intervals)*dims),
+		totals:   make([]uint64, len(run.Intervals)),
+	}
+	acc := signature.NewAccumulator(dims)
+	for i := range run.Intervals {
+		acc.Reset()
+		for _, pw := range run.Intervals[i].Weights {
+			acc.AddWeight(pw.PC, pw.Weight)
+		}
+		bt.totals[i] = acc.CopyCounters(bt.counters[i*dims : (i+1)*dims])
+	}
+	return bt
+}
+
+// EvaluateBuckets is Evaluate replaying from a pre-bucketed counter
+// table instead of re-hashing run's interval profiles. bt must have
+// been built from run at cfg.Dims; results are bit-identical to
+// Evaluate(run, cfg).
+func EvaluateBuckets(run *trace.Run, bt *BucketTable, cfg Config) Report {
+	if bt.dims != cfg.Dims {
+		panic(fmt.Sprintf("core: bucket table dims %d != cfg.Dims %d", bt.dims, cfg.Dims))
+	}
+	if len(bt.totals) != len(run.Intervals) {
+		panic(fmt.Sprintf("core: bucket table intervals %d != run intervals %d", len(bt.totals), len(run.Intervals)))
+	}
+	eng := newEngine(cfg)
+	for i := range run.Intervals {
+		counters, total := bt.Interval(i)
+		sig := cfg.Compress.CompressCounters(eng.sigBuf, counters, total)
+		eng.observe(sig, run.Intervals[i].CPI())
+	}
+	return eng.report(run.Name)
 }

@@ -47,13 +47,13 @@ func (r *Runner) Table1() ([]*Table, error) {
 func (r *Runner) Fig2() ([]*Table, error) {
 	entries := []int{16, 32, 64, 0}
 	labels := []string{"16 entry", "32 entry", "64 entry", "inf entry"}
-	reports := make([]map[string]core.Report, len(entries))
+	cfgs := make([]core.Config, len(entries))
 	for i, e := range entries {
-		rep, err := r.evaluateAll(staticConfig(e, 0.125, 0, 32))
-		if err != nil {
-			return nil, err
-		}
-		reports[i] = rep
+		cfgs[i] = staticConfig(e, 0.125, 0, 32)
+	}
+	reports, err := r.evaluateConfigs(cfgs)
+	if err != nil {
+		return nil, err
 	}
 
 	cov := &Table{ID: "fig2-cov", Title: "CPI CoV (%) vs signature table entries",
@@ -101,13 +101,13 @@ func fill2(cov, phases *Table, reports []map[string]core.Report) {
 func (r *Runner) Fig3() ([]*Table, error) {
 	dims := []int{8, 16, 32, 64}
 	labels := []string{"8 dim", "16 dim", "32 dim", "64 dim"}
-	reports := make([]map[string]core.Report, len(dims))
+	cfgs := make([]core.Config, len(dims))
 	for i, d := range dims {
-		rep, err := r.evaluateAll(staticConfig(32, 0.125, 0, d))
-		if err != nil {
-			return nil, err
-		}
-		reports[i] = rep
+		cfgs[i] = staticConfig(32, 0.125, 0, d)
+	}
+	reports, err := r.evaluateConfigs(cfgs)
+	if err != nil {
+		return nil, err
 	}
 
 	names := workload.Names()
@@ -165,14 +165,14 @@ var fig4Configs = []struct {
 // and min-count thresholds.
 func (r *Runner) Fig4() ([]*Table, error) {
 	labels := make([]string, len(fig4Configs))
-	reports := make([]map[string]core.Report, len(fig4Configs))
+	cfgs := make([]core.Config, len(fig4Configs))
 	for i, c := range fig4Configs {
 		labels[i] = c.label
-		rep, err := r.evaluateAll(staticConfig(32, c.sim, c.minCount, 16))
-		if err != nil {
-			return nil, err
-		}
-		reports[i] = rep
+		cfgs[i] = staticConfig(32, c.sim, c.minCount, 16)
+	}
+	reports, err := r.evaluateConfigs(cfgs)
+	if err != nil {
+		return nil, err
 	}
 
 	names := workload.Names()
@@ -269,7 +269,7 @@ var fig6Configs = []struct {
 // phases, and transition time for static and adaptive configurations.
 func (r *Runner) Fig6() ([]*Table, error) {
 	labels := make([]string, len(fig6Configs))
-	reports := make([]map[string]core.Report, len(fig6Configs))
+	cfgs := make([]core.Config, len(fig6Configs))
 	for i, c := range fig6Configs {
 		labels[i] = c.label
 		cfg := staticConfig(32, c.sim, 8, 16)
@@ -277,11 +277,11 @@ func (r *Runner) Fig6() ([]*Table, error) {
 			cfg.Classifier.Adaptive = true
 			cfg.Classifier.DeviationThreshold = c.dev
 		}
-		rep, err := r.evaluateAll(cfg)
-		if err != nil {
-			return nil, err
-		}
-		reports[i] = rep
+		cfgs[i] = cfg
+	}
+	reports, err := r.evaluateConfigs(cfgs)
+	if err != nil {
+		return nil, err
 	}
 
 	names := workload.Names()
@@ -567,16 +567,13 @@ func (r *Runner) Fig9() ([]*Table, error) {
 // AblationMatch compares best-match classification (§4.1 step 3, this
 // paper) against the prior work's first-match rule.
 func (r *Runner) AblationMatch() ([]*Table, error) {
-	best, err := r.evaluateAll(paperConfig())
-	if err != nil {
-		return nil, err
-	}
 	cfgFirst := paperConfig()
 	cfgFirst.Classifier.BestMatch = false
-	first, err := r.evaluateAll(cfgFirst)
+	reports, err := r.evaluateConfigs([]core.Config{paperConfig(), cfgFirst})
 	if err != nil {
 		return nil, err
 	}
+	best, first := reports[0], reports[1]
 	t := &Table{
 		ID:    "ablation-match",
 		Title: "Best-match vs first-match classification",
@@ -617,15 +614,20 @@ func (r *Runner) AblationBits() ([]*Table, error) {
 		Columns: []string{"variant", "avg CoV (%)", "avg phases"},
 	}
 	names := workload.Names()
-	for _, v := range variants {
+	cfgs := make([]core.Config, len(variants))
+	for i, v := range variants {
 		cfg := paperConfig()
 		cfg.Compress.Bits = v.bits
 		cfg.Compress.Dynamic = v.dynamic
 		cfg.Compress.StaticShift = 14
-		reports, err := r.evaluateAll(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	reportSets, err := r.evaluateConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		reports := reportSets[i]
 		var cov, ph float64
 		for _, name := range names {
 			cov += reports[name].PhaseCoV
@@ -646,14 +648,11 @@ func (r *Runner) AblationReplacement() ([]*Table, error) {
 		cfg.Classifier.ReplacementFIFO = fifo
 		return cfg
 	}
-	lru, err := r.evaluateAll(mk(false))
+	reports, err := r.evaluateConfigs([]core.Config{mk(false), mk(true)})
 	if err != nil {
 		return nil, err
 	}
-	fifo, err := r.evaluateAll(mk(true))
-	if err != nil {
-		return nil, err
-	}
+	lru, fifo := reports[0], reports[1]
 	t := &Table{
 		ID:      "ablation-replace",
 		Title:   "Signature table replacement at 16 entries",
@@ -710,16 +709,13 @@ func (r *Runner) AblationFiltering() ([]*Table, error) {
 // AblationHysteresis compares the length predictor with and without the
 // §6.2.2 hysteresis counter.
 func (r *Runner) AblationHysteresis() ([]*Table, error) {
-	on, err := r.evaluateAll(paperConfig())
-	if err != nil {
-		return nil, err
-	}
 	cfg := paperConfig()
 	cfg.Length.Hysteresis = false
-	off, err := r.evaluateAll(cfg)
+	reports, err := r.evaluateConfigs([]core.Config{paperConfig(), cfg})
 	if err != nil {
 		return nil, err
 	}
+	on, off := reports[0], reports[1]
 	t := &Table{
 		ID:      "ablation-hyst",
 		Title:   "Length predictor hysteresis",

@@ -20,6 +20,15 @@ type Runner struct {
 	mu      sync.Mutex
 	runs    map[string]*trace.Run
 	streams map[string]phaseStream
+	buckets map[bucketKey]*core.BucketTable
+}
+
+// bucketKey identifies one memoized per-(run, Dims) bucketed counter
+// table: every configuration sharing a dimensionality replays from the
+// same table instead of re-hashing the run's weight profiles.
+type bucketKey struct {
+	name string
+	dims int
 }
 
 // phaseStream is a cached classification of a run under the paper's §5
@@ -37,6 +46,7 @@ func NewRunner(opts workload.Options) *Runner {
 		opts:    opts,
 		runs:    make(map[string]*trace.Run),
 		streams: make(map[string]phaseStream),
+		buckets: make(map[bucketKey]*core.BucketTable),
 	}
 }
 
@@ -118,32 +128,88 @@ func (r *Runner) PhaseStream(name string) ([]int, []bool, error) {
 	return s.ids, s.newSig, nil
 }
 
+// Buckets returns the memoized bucketed counter table for a workload at
+// one accumulator dimensionality, building it on first use. Concurrent
+// first calls may build the table redundantly; the result is
+// deterministic either way and later calls always hit the cache.
+func (r *Runner) Buckets(name string, dims int) (*core.BucketTable, error) {
+	key := bucketKey{name: name, dims: dims}
+	r.mu.Lock()
+	bt, ok := r.buckets[key]
+	r.mu.Unlock()
+	if ok {
+		return bt, nil
+	}
+	run, err := r.Run(name)
+	if err != nil {
+		return nil, err
+	}
+	bt = core.BuildBuckets(run, dims)
+	r.mu.Lock()
+	r.buckets[key] = bt
+	r.mu.Unlock()
+	return bt, nil
+}
+
 // evaluateAll runs cfg against every paper workload in parallel and
 // returns reports keyed by name.
 func (r *Runner) evaluateAll(cfg core.Config) (map[string]core.Report, error) {
+	reports, err := r.evaluateConfigs([]core.Config{cfg})
+	if err != nil {
+		return nil, err
+	}
+	return reports[0], nil
+}
+
+// evaluateConfigs evaluates every configuration against every paper
+// workload, fanning out over the full (workload x config) cross product
+// so a multi-config sweep saturates the machine instead of serializing
+// one config at a time. Each (workload, config) pair writes its own
+// slot, so assembly is deterministic regardless of completion order,
+// and every pair sharing a dimensionality replays from the memoized
+// bucket table.
+func (r *Runner) evaluateConfigs(cfgs []core.Config) ([]map[string]core.Report, error) {
 	names := workload.Names()
 	if err := r.Prefetch(names); err != nil {
 		return nil, err
 	}
-	out := make(map[string]core.Report, len(names))
+	// Build each required bucket table once, up front, so the parallel
+	// pairs below never race to construct the same table redundantly.
+	for _, cfg := range cfgs {
+		for _, name := range names {
+			if _, err := r.Buckets(name, cfg.Dims); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]map[string]core.Report, len(cfgs))
+	for i := range out {
+		out[i] = make(map[string]core.Report, len(names))
+	}
 	var mu sync.Mutex
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
-	for _, name := range names {
-		wg.Add(1)
-		go func(name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			run, err := r.Run(name)
-			if err != nil {
-				return // Prefetch already succeeded; unreachable
-			}
-			rep := core.Evaluate(run, cfg)
-			mu.Lock()
-			out[name] = rep
-			mu.Unlock()
-		}(name)
+	for ci := range cfgs {
+		for _, name := range names {
+			wg.Add(1)
+			go func(ci int, name string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				run, err := r.Run(name)
+				if err != nil {
+					return // Prefetch already succeeded; unreachable
+				}
+				bt, err := r.Buckets(name, cfgs[ci].Dims)
+				if err != nil {
+					return // built above; unreachable
+				}
+				rep := core.EvaluateBuckets(run, bt, cfgs[ci])
+				mu.Lock()
+				out[ci][name] = rep
+				mu.Unlock()
+			}(ci, name)
+		}
 	}
 	wg.Wait()
 	return out, nil

@@ -101,6 +101,15 @@ type tableEntry struct {
 	single int            // TrackSingle: last outcome
 	last4  []int          // TrackLast4: unique outcomes, most recent first
 	counts map[int]uint32 // TrackTopN: outcome -> occurrences
+
+	// pred is the entry's current predicted outcome set, rebuilt by
+	// train and returned directly by outcomes. Predictions change only
+	// when the entry trains, so the (for TrackTopN, sorted) set is
+	// computed once per phase change instead of once per probe — the
+	// table is probed every interval but trains only at changes. The
+	// slice is copy-on-write: train always installs a fresh slice, so
+	// previously returned lookups stay valid forever.
+	pred []int
 }
 
 // ChangeLookup is the result of probing the table.
@@ -182,15 +191,24 @@ func (t *ChangeTable) Lookup(hash uint64) ChangeLookup {
 	return ChangeLookup{Hit: true, Confident: confident, Outcomes: t.outcomes(e)}
 }
 
-// outcomes assembles an entry's predicted set, best first.
+// outcomes returns an entry's predicted set, best first. The returned
+// slice is the entry's cached copy-on-write prediction and must not be
+// modified by callers.
 func (t *ChangeTable) outcomes(e *tableEntry) []int {
+	return e.pred
+}
+
+// rebuildPred recomputes an entry's cached prediction set from its
+// tracked state. Called only from train, so the sort for TrackTopN runs
+// once per recorded phase change rather than once per table probe.
+func (t *ChangeTable) rebuildPred(e *tableEntry) {
 	switch t.cfg.Track {
 	case TrackSingle:
-		return []int{e.single}
+		e.pred = []int{e.single}
 	case TrackLast4:
 		out := make([]int, len(e.last4))
 		copy(out, e.last4)
-		return out
+		e.pred = out
 	case TrackTopN:
 		type oc struct {
 			phase int
@@ -215,7 +233,7 @@ func (t *ChangeTable) outcomes(e *tableEntry) []int {
 		for i := 0; i < n; i++ {
 			out[i] = all[i].phase
 		}
-		return out
+		e.pred = out
 	default:
 		panic("predictor: unknown TrackKind")
 	}
@@ -253,7 +271,8 @@ func (t *ChangeTable) RecordChange(hash uint64, outcome int) {
 	t.touch(i)
 }
 
-// train folds an outcome into the entry's tracked state.
+// train folds an outcome into the entry's tracked state and refreshes
+// the cached prediction set.
 func (t *ChangeTable) train(e *tableEntry, outcome int) {
 	switch t.cfg.Track {
 	case TrackSingle:
@@ -276,6 +295,7 @@ func (t *ChangeTable) train(e *tableEntry, outcome int) {
 		}
 		e.counts[outcome]++
 	}
+	t.rebuildPred(e)
 }
 
 // insert allocates an entry for hash with the given first outcome.

@@ -55,6 +55,12 @@ type History struct {
 	depth int
 	pairs []runPair // most recent last; len <= depth
 	valid bool
+
+	// hash caches Hash() between observations: the predictors hash the
+	// same state several times per interval (predict, account, train),
+	// and the hash only changes when Observe advances the history.
+	hash      uint64
+	hashValid bool
 }
 
 // NewHistory returns an empty history for the given predictor kind and
@@ -86,6 +92,7 @@ func (h *History) Current() (phase, run int, ok bool) {
 // current run or starting a new one. It returns true when the
 // observation was a phase change.
 func (h *History) Observe(phase int) bool {
+	h.hashValid = false
 	if !h.valid {
 		h.pairs = append(h.pairs, runPair{phase: phase, run: 1})
 		h.valid = true
@@ -96,9 +103,14 @@ func (h *History) Observe(phase int) bool {
 		last.run++
 		return false
 	}
-	h.pairs = append(h.pairs, runPair{phase: phase, run: 1})
-	if len(h.pairs) > h.depth {
-		h.pairs = h.pairs[1:]
+	if len(h.pairs) == h.depth {
+		// Shift in place instead of re-slicing off the front: the
+		// backing array is reused forever, so a full-depth history
+		// records changes without allocating.
+		copy(h.pairs, h.pairs[1:])
+		h.pairs[h.depth-1] = runPair{phase: phase, run: 1}
+	} else {
+		h.pairs = append(h.pairs, runPair{phase: phase, run: 1})
 	}
 	return true
 }
@@ -108,6 +120,9 @@ func (h *History) Observe(phase int) bool {
 // pairs including the in-progress run (RLE). An empty history hashes to
 // a fixed value.
 func (h *History) Hash() uint64 {
+	if h.hashValid {
+		return h.hash
+	}
 	var acc uint64 = 0x5bd1e995
 	for _, p := range h.pairs {
 		acc = rng.Combine(acc, uint64(p.phase)+1)
@@ -115,6 +130,7 @@ func (h *History) Hash() uint64 {
 			acc = rng.Combine(acc, uint64(p.run))
 		}
 	}
+	h.hash, h.hashValid = acc, true
 	return acc
 }
 

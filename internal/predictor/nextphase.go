@@ -225,7 +225,7 @@ func (p *NextPhasePredictor) Observe(actual int) {
 	cur, _, seen := p.hist.Current()
 
 	if seen {
-		p.accountNext(p.Predict(), actual)
+		p.accountCurrent(actual)
 		hash := p.hist.Hash()
 		if actual != cur {
 			p.accountChange(hash, actual)
@@ -251,20 +251,30 @@ func (p *NextPhasePredictor) Observe(actual int) {
 	p.hist.Observe(actual)
 }
 
-// accountNext files the per-interval prediction into Figure 7 buckets.
-func (p *NextPhasePredictor) accountNext(pred Prediction, actual int) {
+// accountCurrent files the pending prediction (what Predict would
+// return right now) into the Figure 7 buckets without materializing a
+// Prediction: the last-value outcome set is always the singleton
+// {lvPhase}, so building a slice per interval just to test membership
+// is avoidable on the per-interval hot path.
+func (p *NextPhasePredictor) accountCurrent(actual int) {
 	p.next.Intervals++
-	correct := pred.Predicts(actual)
-	switch {
-	case pred.Source == SourceTable && correct:
-		p.next.TableCorrect++
-	case pred.Source == SourceTable:
-		p.next.TableIncorrect++
-	case correct && pred.Confident:
+	if p.table != nil {
+		if lk := p.table.Lookup(p.hist.Hash()); lk.Hit && lk.Confident {
+			if lk.Predicts(actual) {
+				p.next.TableCorrect++
+			} else {
+				p.next.TableIncorrect++
+			}
+			return
+		}
+	}
+	lvPhase, lvConf := p.lv.Predict()
+	switch correct := lvPhase == actual; {
+	case correct && lvConf:
 		p.next.LVConfCorrect++
 	case correct:
 		p.next.LVUnconfCorrect++
-	case pred.Confident:
+	case lvConf:
 		p.next.LVConfIncorrect++
 	default:
 		p.next.LVUnconfIncorrect++

@@ -46,17 +46,37 @@ func (a *Accumulator) Add(pc uint64, instrs uint32) {
 	a.total += uint64(instrs)
 }
 
+// AddWeight is Add for a full 64-bit weight: hashing is per-PC, so one
+// uint64 increment lands on the same counter as any sequence of 32-bit
+// chunks summing to weight. It is the replay fast path (Evaluate adds
+// whole per-interval profile weights, which can exceed 32 bits).
+func (a *Accumulator) AddWeight(pc uint64, weight uint64) {
+	a.counters[rng.Mix(pc)&a.mask] += weight
+	a.total += weight
+}
+
 // Total returns the total weight accumulated since the last Reset.
 func (a *Accumulator) Total() uint64 { return a.total }
 
 // Counter returns the raw value of counter i.
 func (a *Accumulator) Counter(i int) uint64 { return a.counters[i] }
 
-// Reset clears every counter for the next interval.
-func (a *Accumulator) Reset() {
-	for i := range a.counters {
-		a.counters[i] = 0
+// CopyCounters copies every raw counter value into dst, which must have
+// length Dims, and returns the accumulated total. Callers that cache
+// bucketed counters across configuration sweeps snapshot the state this
+// way instead of re-hashing the underlying profile.
+func (a *Accumulator) CopyCounters(dst []uint64) uint64 {
+	if len(dst) != len(a.counters) {
+		panic(fmt.Sprintf("signature: CopyCounters dst length %d != dims %d", len(dst), len(a.counters)))
 	}
+	copy(dst, a.counters)
+	return a.total
+}
+
+// Reset clears every counter for the next interval. The clear builtin
+// compiles to a word-level memclr rather than an element loop.
+func (a *Accumulator) Reset() {
+	clear(a.counters)
 	a.total = 0
 }
 
@@ -71,6 +91,25 @@ func (v Vector) Sum() uint64 {
 		s += uint64(x)
 	}
 	return s
+}
+
+// SegmentSums returns the sums of v's four index-order quarters
+// (segment k covers indices [k*len/4, (k+1)*len/4)) and the total.
+// Because the L1 distance between two vectors is at least the sum of
+// the absolute differences of their per-segment sums, cached segment
+// sums give a reject-only lower bound four times tighter than the
+// whole-vector sums alone.
+func (v Vector) SegmentSums() (segs [4]uint64, total uint64) {
+	n := len(v)
+	for k := 0; k < 4; k++ {
+		var s uint64
+		for _, x := range v[k*n/4 : (k+1)*n/4] {
+			s += uint64(x)
+		}
+		segs[k] = s
+		total += s
+	}
+	return segs, total
 }
 
 // Clone returns an independent copy of v.
@@ -96,6 +135,46 @@ func Manhattan(a, b Vector) uint64 {
 		}
 	}
 	return d
+}
+
+// ManhattanBounded returns the L1 distance between a and b, aborting as
+// soon as the running distance exceeds bound: the second return is
+// false and the distance value meaningless. Because the running L1 sum
+// only grows, an abort proves the full distance exceeds bound without
+// touching the remaining dimensions — the classifier's early-exit scan
+// rejects most non-matching table entries after a few dimensions.
+func ManhattanBounded(a, b Vector, bound uint64) (uint64, bool) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("signature: dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var d uint64
+	i := 0
+	// Four dimensions per bound check: the branchless absolute
+	// differences are a few cycles each, so checking after every one
+	// costs more in branches than it saves in adds.
+	for ; i+4 <= len(a); i += 4 {
+		d += absDiff16(a[i], b[i]) + absDiff16(a[i+1], b[i+1]) +
+			absDiff16(a[i+2], b[i+2]) + absDiff16(a[i+3], b[i+3])
+		if d > bound {
+			return 0, false
+		}
+	}
+	for ; i < len(a); i++ {
+		d += absDiff16(a[i], b[i])
+	}
+	if d > bound {
+		return 0, false
+	}
+	return d, true
+}
+
+// absDiff16 returns |x-y| widened to uint64; compiles to a
+// compare/subtract without a branch.
+func absDiff16(x, y uint16) uint64 {
+	if x > y {
+		return uint64(x - y)
+	}
+	return uint64(y - x)
 }
 
 // Distance returns the normalized Manhattan distance between a and b:
@@ -153,15 +232,35 @@ func (c CompressConfig) Validate() error {
 // Compress copies the selected bits of each accumulator counter into a
 // signature vector. The accumulator is not modified.
 func (c CompressConfig) Compress(a *Accumulator) Vector {
+	return c.CompressInto(nil, a)
+}
+
+// CompressInto is Compress writing into dst when dst has the right
+// dimensionality, allocating only otherwise. It returns the vector
+// written. Callers on the per-interval hot path reuse one buffer across
+// intervals instead of allocating a Vector per classification.
+func (c CompressConfig) CompressInto(dst Vector, a *Accumulator) Vector {
+	return c.CompressCounters(dst, a.counters, a.total)
+}
+
+// CompressCounters compresses a raw counter slice with the given total
+// weight, writing into dst when it has matching length. It is the
+// common implementation behind Compress/CompressInto and the bridge for
+// callers that cache pre-bucketed counters (the sweep harness) instead
+// of an Accumulator.
+func (c CompressConfig) CompressCounters(dst Vector, counters []uint64, total uint64) Vector {
 	if err := c.Validate(); err != nil {
 		panic(err)
 	}
-	out := make(Vector, a.Dims())
+	out := dst
+	if len(out) != len(counters) {
+		out = make(Vector, len(counters))
+	}
 	maxVal := uint64(1)<<c.Bits - 1
 
 	var shift, ceiling uint
 	if c.Dynamic {
-		avg := a.total / uint64(a.Dims())
+		avg := total / uint64(len(counters))
 		bitsNeeded := uint(bits.Len64(avg)) // bits to represent the average
 		// Keep two bits above the average so 2-4x values fit.
 		ceiling = bitsNeeded + 2
@@ -174,7 +273,7 @@ func (c CompressConfig) Compress(a *Accumulator) Vector {
 		ceiling = shift + uint(c.Bits)
 	}
 
-	for i, v := range a.counters {
+	for i, v := range counters {
 		// A set bit above the selected window means the value is too
 		// large to represent: store the maximum possible value.
 		if ceiling < 64 && v>>ceiling != 0 {
@@ -193,15 +292,6 @@ func (c CompressConfig) Compress(a *Accumulator) Vector {
 // execution.
 func (c CompressConfig) CompressWeights(dims int, weights func(yield func(pc uint64, weight uint64))) Vector {
 	acc := NewAccumulator(dims)
-	weights(func(pc uint64, weight uint64) {
-		for weight > 0 {
-			chunk := weight
-			if chunk > 1<<31 {
-				chunk = 1 << 31
-			}
-			acc.Add(pc, uint32(chunk))
-			weight -= chunk
-		}
-	})
+	weights(acc.AddWeight)
 	return c.Compress(acc)
 }
