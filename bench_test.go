@@ -184,6 +184,85 @@ func benchFleet(b *testing.B, streams, batchLen int) {
 	f.Close()
 }
 
+// stateBenchTracker builds a tracker with well-exercised state (many
+// intervals, multiple promoted phases, trained predictors) so the
+// snapshot/restore benchmarks measure a realistic payload.
+func stateBenchTracker() (*phasekit.Tracker, phasekit.Config) {
+	cfg := phasekit.DefaultConfig()
+	cfg.IntervalInstrs = 100_000
+	tr := phasekit.NewTracker("bench", cfg)
+	for i := 0; i < 200_000; i++ {
+		region := uint64(1 + (i/20_000)%5)
+		tr.Cycles(120)
+		tr.Branch(region*0x100000+uint64(i%64)*64, 100)
+	}
+	return tr, cfg
+}
+
+// BenchmarkSnapshot measures serializing a tracker's complete state
+// (the per-eviction cost of a Fleet resident limit). The buffer is
+// reused, as Fleet shards do.
+func BenchmarkSnapshot(b *testing.B) {
+	tr, _ := stateBenchTracker()
+	buf := tr.Snapshot()
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tr.AppendSnapshot(buf[:0])
+	}
+}
+
+// BenchmarkRestore measures decoding a snapshot into a live tracker
+// (the per-rehydration cost when an evicted stream's next batch
+// arrives).
+func BenchmarkRestore(b *testing.B) {
+	tr, cfg := stateBenchTracker()
+	snap := tr.Snapshot()
+	target := phasekit.NewTracker("bench", cfg)
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := target.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetEvicting measures branch-event throughput while the
+// Fleet constantly evicts and rehydrates: 64 streams round-robining
+// over 8 resident slots, so nearly every batch pays one snapshot and
+// one restore. Comparable with BenchmarkFleet (unbounded residency).
+func BenchmarkFleetEvicting(b *testing.B) {
+	const (
+		streams  = 64
+		batchLen = 1024
+	)
+	cfg := phasekit.DefaultFleetConfig()
+	cfg.Tracker.IntervalInstrs = 1_000_000
+	cfg.Shards = 4
+	cfg.MaxResident = 8
+	cfg.Store = phasekit.NewMemStore()
+	f := phasekit.NewFleet(cfg)
+	b.ResetTimer()
+	for sent := 0; sent < b.N; {
+		n := batchLen
+		if b.N-sent < n {
+			n = b.N - sent
+		}
+		events := make([]phasekit.BranchEvent, n)
+		for i := range events {
+			events[i] = phasekit.BranchEvent{PC: 0x400000 + uint64((sent+i)%64)*64, Instrs: 100}
+		}
+		f.Send(phasekit.Batch{Stream: "bench-" + strconv.Itoa((sent/batchLen)%streams), Events: events})
+		sent += n
+	}
+	f.Flush()
+	b.StopTimer()
+	f.Close()
+}
+
 // BenchmarkEvaluateWorkload measures replaying one cached profiled run
 // through the full architecture.
 func BenchmarkEvaluateWorkload(b *testing.B) {

@@ -16,6 +16,14 @@
 //
 //	phasesim -workload mcf -streams 64 -parallel
 //	phasesim -trace mcf.trc -streams 8 -parallel -shards 4
+//
+// Tracker state can be checkpointed and resumed (-workload and -trace
+// modes), and Fleet mode can bound live trackers with LRU eviction to a
+// state store:
+//
+//	phasesim -workload mcf -checkpoint mcf.pkst    # save state after the run
+//	phasesim -workload mcf -restore mcf.pkst       # resume from the checkpoint
+//	phasesim -workload mcf -streams 64 -parallel -resident 8 -store /tmp/state
 package main
 
 import (
@@ -51,6 +59,10 @@ func main() {
 		streams   = flag.Int("streams", 1, "multiplex the input into N interleaved streams")
 		parallel  = flag.Bool("parallel", false, "classify streams concurrently through a Fleet")
 		shards    = flag.Int("shards", 0, "Fleet shard count (0 = GOMAXPROCS)")
+		ckpt      = flag.String("checkpoint", "", "write tracker state to this file after the run")
+		restore   = flag.String("restore", "", "restore tracker state from this file before the run")
+		resident  = flag.Int("resident", 0, "Fleet mode: max resident trackers; idle streams are evicted to -store (0 = unlimited)")
+		storeDir  = flag.String("store", "", "Fleet mode: directory for evicted stream state (default: in-memory)")
 	)
 	flag.Parse()
 
@@ -73,14 +85,21 @@ func main() {
 		if *profFile != "" {
 			fatal(fmt.Errorf("-streams/-parallel needs -workload or -trace (profiles carry no event stream)"))
 		}
-		if err := runFleet(*wl, *traceFile, *scale, *streams, *shards, cfg); err != nil {
+		if *ckpt != "" || *restore != "" {
+			fatal(fmt.Errorf("-checkpoint/-restore are single-stream flags; Fleet mode persists state via -resident/-store"))
+		}
+		if err := runFleet(*wl, *traceFile, *scale, *streams, *shards, *resident, *storeDir, cfg); err != nil {
 			fatal(err)
 		}
 		return
 	}
+	online := *ckpt != "" || *restore != ""
 
 	switch {
 	case *profFile != "":
+		if online {
+			fatal(fmt.Errorf("-checkpoint/-restore need -workload or -trace (profiles are replayed offline, with no tracker to checkpoint)"))
+		}
 		f, err := os.Open(*profFile)
 		if err != nil {
 			fatal(err)
@@ -97,7 +116,7 @@ func main() {
 		// Replaying a trace: no cycle counts, so CPI-driven
 		// adaptation is unavailable.
 		cfg.Classifier.Adaptive = false
-		report, results, err := replayTrace(*traceFile, cfg)
+		report, results, err := replayTrace(*traceFile, cfg, *restore, *ckpt)
 		if err != nil {
 			fatal(err)
 		}
@@ -107,10 +126,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		run, err := workload.Generate(spec, workload.Options{
-			Scale:          *scale,
-			IntervalInstrs: *interval,
-		})
+		opts := workload.Options{Scale: *scale, IntervalInstrs: *interval}
+		if online {
+			// Checkpoint/restore needs a live Tracker, so stream the
+			// workload's branch events through the online path instead
+			// of the interval-profile replay.
+			report, results, err := replayWorkloadOnline(spec, opts, cfg, *restore, *ckpt)
+			if err != nil {
+				fatal(err)
+			}
+			printReport(report, results, *verbose, true)
+			return
+		}
+		run, err := workload.Generate(spec, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -122,9 +150,30 @@ func main() {
 	}
 }
 
+// restoreTracker loads a checkpoint file into a freshly built tracker.
+// The tracker's configuration must match the one the checkpoint was
+// taken under; Restore refuses otherwise.
+func restoreTracker(t *core.Tracker, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Restore(data); err != nil {
+		return fmt.Errorf("restoring %s: %w", path, err)
+	}
+	return nil
+}
+
+// checkpointTracker writes the tracker's serialized state to path.
+func checkpointTracker(t *core.Tracker, path string) error {
+	return os.WriteFile(path, t.Snapshot(), 0o644)
+}
+
 // replayTrace feeds a recorded branch stream through the online
-// tracker, exactly as hardware would see it.
-func replayTrace(path string, cfg core.Config) (core.Report, []core.IntervalResult, error) {
+// tracker, exactly as hardware would see it. A non-empty restorePath
+// resumes from a checkpoint before replaying; a non-empty ckptPath
+// saves the tracker's state after the replay.
+func replayTrace(path string, cfg core.Config, restorePath, ckptPath string) (core.Report, []core.IntervalResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return core.Report{}, nil, err
@@ -136,6 +185,11 @@ func replayTrace(path string, cfg core.Config) (core.Report, []core.IntervalResu
 	}
 	cfg.IntervalInstrs = r.IntervalSize()
 	tracker := core.NewTracker(r.Name(), cfg)
+	if restorePath != "" {
+		if err := restoreTracker(tracker, restorePath); err != nil {
+			return core.Report{}, nil, err
+		}
+	}
 	var results []core.IntervalResult
 	for {
 		ev, boundary, err := r.Next()
@@ -158,7 +212,56 @@ func replayTrace(path string, cfg core.Config) (core.Report, []core.IntervalResu
 			results = append(results, res)
 		}
 	}
+	if ckptPath != "" {
+		if err := checkpointTracker(tracker, ckptPath); err != nil {
+			return core.Report{}, nil, err
+		}
+	}
 	return tracker.Report(), results, nil
+}
+
+// trackerSink feeds streamed workload events into one online Tracker.
+type trackerSink struct {
+	t       *core.Tracker
+	results []core.IntervalResult
+}
+
+func (s *trackerSink) Event(ev uarch.BlockEvent, cycles uint64) {
+	s.t.Cycles(cycles)
+	if res, ok := s.t.Branch(ev.BranchPC, ev.Instrs); ok {
+		s.results = append(s.results, res)
+	}
+}
+
+func (s *trackerSink) EndInterval(int) {
+	if res, ok := s.t.Flush(); ok {
+		s.results = append(s.results, res)
+	}
+}
+
+// replayWorkloadOnline streams a workload's branch events through one
+// online Tracker (rather than the offline interval-profile replay) so
+// its state can be restored before and checkpointed after the run.
+func replayWorkloadOnline(spec workload.Spec, opts workload.Options, cfg core.Config, restorePath, ckptPath string) (core.Report, []core.IntervalResult, error) {
+	tracker := core.NewTracker(spec.Name, cfg)
+	if restorePath != "" {
+		if err := restoreTracker(tracker, restorePath); err != nil {
+			return core.Report{}, nil, err
+		}
+	}
+	sink := &trackerSink{t: tracker}
+	if _, err := workload.Stream(spec, opts, sink); err != nil {
+		return core.Report{}, nil, err
+	}
+	if res, ok := tracker.Flush(); ok {
+		sink.results = append(sink.results, res)
+	}
+	if ckptPath != "" {
+		if err := checkpointTracker(tracker, ckptPath); err != nil {
+			return core.Report{}, nil, err
+		}
+	}
+	return tracker.Report(), sink.results, nil
 }
 
 func printReport(r core.Report, results []core.IntervalResult, verbose, haveCPI bool) {
@@ -238,19 +341,36 @@ func (s *fleetSink) flushInterval() {
 
 // runFleet multiplexes a workload or branch trace into n interleaved
 // streams classified concurrently by a Fleet, then prints a per-stream
-// summary and aggregate throughput.
-func runFleet(wl, traceFile string, scale float64, n, shards int, cfg core.Config) error {
+// summary and aggregate throughput. With resident > 0, at most that
+// many trackers stay live at once; idle streams are evicted to storeDir
+// (or an in-memory store when storeDir is empty) and rehydrated on
+// their next batch.
+func runFleet(wl, traceFile string, scale float64, n, shards, resident int, storeDir string, cfg core.Config) error {
 	if n < 1 {
 		n = 1
 	}
 	if shards < 0 {
 		return fmt.Errorf("-shards must be >= 0 (0 = GOMAXPROCS), got %d", shards)
 	}
-	fcfg := fleet.Config{Shards: shards, Tracker: cfg}
+	fcfg := fleet.Config{Shards: shards, Tracker: cfg, MaxResident: resident}
 	if traceFile != "" {
 		// Traces carry no cycle counts, so CPI-driven adaptation is
 		// unavailable.
 		fcfg.Tracker.Classifier.Adaptive = false
+	}
+	if resident > 0 || storeDir != "" {
+		if storeDir == "" {
+			fcfg.Store = fleet.NewMemStore()
+		} else {
+			store, err := fleet.NewFileStore(storeDir)
+			if err != nil {
+				return err
+			}
+			fcfg.Store = store
+		}
+	}
+	if err := fcfg.Validate(); err != nil {
+		return err
 	}
 	f := fleet.New(fcfg)
 	sink := &fleetSink{f: f, names: make([]string, n)}
@@ -309,7 +429,13 @@ func runFleet(wl, traceFile string, scale float64, n, shards int, cfg core.Confi
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	if err := f.Err(); err != nil {
+		return fmt.Errorf("state store: %w", err)
+	}
 	fmt.Printf("streams:   %d across %d shards\n", len(names), f.Shards())
+	if resident > 0 {
+		fmt.Printf("resident:  %d/%d trackers live (rest evicted to store)\n", f.Resident(), resident)
+	}
 	fmt.Println("stream       intervals  phases  transition  next-phase acc")
 	var total, transitions int
 	for _, name := range names {

@@ -197,6 +197,10 @@ func (c *Classifier) PhaseIDs() int { return c.nextID - 1 }
 // TableLen returns the current number of signature-table entries.
 func (c *Classifier) TableLen() int { return len(c.entries) }
 
+// SigDims returns the signature dimensionality the classifier is
+// locked to, or 0 before the first classification (or restore).
+func (c *Classifier) SigDims() int { return c.dims }
+
 // Stats returns cumulative statistics.
 func (c *Classifier) Stats() Stats { return c.stats }
 

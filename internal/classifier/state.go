@@ -1,0 +1,135 @@
+package classifier
+
+import (
+	"fmt"
+
+	"phasekit/internal/signature"
+	"phasekit/internal/state"
+)
+
+// TagClassifier identifies a Classifier section in a state payload.
+const TagClassifier = byte(0xC1)
+
+const classifierVersion = 1
+
+// Snapshot encodes the classifier's complete dynamic state: the
+// signature table (per-entry phase IDs, Min Counters, adaptive
+// thresholds, LRU/FIFO clocks, CPI feedback state, and the signature
+// slab), the replacement clock, the phase ID allocator, and cumulative
+// statistics. Derived caches — per-row signature sums and quarter-
+// segment sums — are reconstructed on Restore rather than serialized.
+func (c *Classifier) Snapshot(enc *state.Encoder) {
+	enc.Section(TagClassifier, classifierVersion)
+	enc.Int(c.dims)
+	enc.U64(c.clock)
+	enc.Int(c.nextID)
+	enc.Int(c.stats.Classifications)
+	enc.Int(c.stats.TransitionIntervals)
+	enc.Int(c.stats.NewSignatures)
+	enc.Int(c.stats.Evictions)
+	enc.Int(c.stats.Promotions)
+	enc.Int(c.stats.Splits)
+	enc.Int(c.stats.PhaseIDsCreated)
+	enc.Int(c.stats.MatchedSameThreshold)
+	enc.U32(uint32(len(c.entries)))
+	for i := range c.entries {
+		e := &c.entries[i]
+		enc.Int(e.phaseID)
+		enc.Int(e.minCount)
+		enc.F64(e.threshold)
+		enc.U64(e.lastUse)
+		enc.U64(e.insertedAt)
+		enc.Int(e.cpiCount)
+		enc.F64(e.cpiMean)
+		enc.Int(e.devStreak)
+	}
+	enc.U16s(c.sigs)
+}
+
+// Restore replaces the classifier's state with a decoded snapshot. The
+// receiver keeps its configuration; the snapshot must be structurally
+// consistent with it (table capacity, signature dimensionality). A
+// restored classifier classifies bit-identically to the snapshotted
+// one.
+func (c *Classifier) Restore(dec *state.Decoder) error {
+	dec.Section(TagClassifier, classifierVersion)
+	dims := dec.Int()
+	clock := dec.U64()
+	nextID := dec.Int()
+	var stats Stats
+	stats.Classifications = dec.Int()
+	stats.TransitionIntervals = dec.Int()
+	stats.NewSignatures = dec.Int()
+	stats.Evictions = dec.Int()
+	stats.Promotions = dec.Int()
+	stats.Splits = dec.Int()
+	stats.PhaseIDsCreated = dec.Int()
+	stats.MatchedSameThreshold = dec.Int()
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	// 64 bytes of fixed entry fields must remain per entry, so a corrupt
+	// count cannot drive an oversized allocation.
+	if n < 0 || n > dec.Len()/64 {
+		return fmt.Errorf("%w: classifier entry count %d", state.ErrCorrupt, n)
+	}
+	entries := make([]entry, n)
+	for i := range entries {
+		e := &entries[i]
+		e.phaseID = dec.Int()
+		e.minCount = dec.Int()
+		e.threshold = dec.F64()
+		e.lastUse = dec.U64()
+		e.insertedAt = dec.U64()
+		e.cpiCount = dec.Int()
+		e.cpiMean = dec.F64()
+		e.devStreak = dec.Int()
+	}
+	sigs := dec.U16s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+
+	if dims < 0 || dims > 1<<20 {
+		return fmt.Errorf("%w: classifier dims %d", state.ErrCorrupt, dims)
+	}
+	if n > 0 && dims == 0 {
+		return fmt.Errorf("%w: classifier has %d entries but no dimensionality", state.ErrCorrupt, n)
+	}
+	if len(sigs) != n*dims {
+		return fmt.Errorf("%w: signature slab has %d values, want %d entries x %d dims", state.ErrCorrupt, len(sigs), n, dims)
+	}
+	if c.cfg.TableEntries > 0 && n > c.cfg.TableEntries {
+		return fmt.Errorf("%w: snapshot has %d entries, table capacity is %d", state.ErrCorrupt, n, c.cfg.TableEntries)
+	}
+	if nextID < TransitionPhase+1 {
+		return fmt.Errorf("%w: classifier next phase ID %d", state.ErrCorrupt, nextID)
+	}
+	for i := range entries {
+		if id := entries[i].phaseID; id < TransitionPhase || id >= nextID {
+			return fmt.Errorf("%w: entry %d phase ID %d outside [%d,%d)", state.ErrCorrupt, i, id, TransitionPhase, nextID)
+		}
+	}
+
+	// Rebuild the derived per-row caches (signature sum and quarter-
+	// segment sums) from the slab: memoized values are never trusted
+	// from the wire.
+	segs := make([]uint64, 0, n*4)
+	for i := range entries {
+		row := signature.Vector(sigs[i*dims : (i+1)*dims])
+		s4, total := row.SegmentSums()
+		segs = append(segs, s4[0], s4[1], s4[2], s4[3])
+		entries[i].sigSum = total
+	}
+
+	c.dims = dims
+	c.clock = clock
+	c.nextID = nextID
+	c.stats = stats
+	c.entries = entries
+	c.sigs = sigs
+	c.segs = segs
+	c.lbBuf = nil
+	return nil
+}

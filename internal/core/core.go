@@ -149,10 +149,10 @@ func newEngine(cfg Config) *engine {
 		panic(err)
 	}
 	return &engine{
-		cfg:     cfg,
-		cls:     classifier.New(cfg.Classifier),
-		np:      predictor.NewNextPhase(cfg.Predictor),
-		chg:     predictor.NewChangePredictor(cfg.ChangeOutcome),
+		cfg:    cfg,
+		cls:    classifier.New(cfg.Classifier),
+		np:     predictor.NewNextPhase(cfg.Predictor),
+		chg:    predictor.NewChangePredictor(cfg.ChangeOutcome),
 		length: predictor.NewLengthPredictor(cfg.Length),
 		sigBuf: make(signature.Vector, cfg.Dims),
 	}
@@ -352,6 +352,11 @@ func (t *Tracker) Flush() (IntervalResult, bool) {
 
 // Report returns aggregate statistics for everything tracked so far.
 func (t *Tracker) Report() Report { return t.eng.report(t.name) }
+
+// Pending returns the number of instructions accumulated in the
+// current, not-yet-classified interval. Fleet eviction uses it to know
+// whether an evicted stream still owes a Flush.
+func (t *Tracker) Pending() uint64 { return t.instrs }
 
 // PredictNext returns the current prediction for the next interval.
 func (t *Tracker) PredictNext() predictor.Prediction { return t.eng.np.Predict() }

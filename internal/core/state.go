@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"phasekit/internal/predictor"
+	"phasekit/internal/signature"
+	"phasekit/internal/state"
+)
+
+// The tracker state format: the 4-byte magic identifies a phasekit
+// state payload, then a versioned tracker section carries the stream
+// name, the full configuration (restores are refused across differing
+// configurations, which could silently change behaviour), the engine's
+// report and predictor state, and the in-progress interval (accumulator
+// counters plus instruction/cycle residue). Every nested component
+// writes its own versioned section through internal/state; see
+// DESIGN.md §9 for the layout and compatibility policy.
+const stateMagic = "PKST"
+
+// Section tags for core components in a state payload.
+const (
+	TagTracker = byte(0xF1)
+	TagConfig  = byte(0xF2)
+	TagEngine  = byte(0xF3)
+)
+
+const (
+	trackerVersion = 1
+	configVersion  = 1
+	engineVersion  = 1
+)
+
+// encodeConfig writes every field of cfg, including nested predictor
+// configurations, so a payload fully names the architecture it was
+// captured from.
+func encodeConfig(enc *state.Encoder, cfg Config) {
+	enc.Section(TagConfig, configVersion)
+	enc.U64(cfg.IntervalInstrs)
+	enc.Int(cfg.Dims)
+	enc.Int(cfg.Compress.Bits)
+	enc.Bool(cfg.Compress.Dynamic)
+	enc.Int(cfg.Compress.StaticShift)
+	enc.Int(cfg.Classifier.TableEntries)
+	enc.F64(cfg.Classifier.SimilarityThreshold)
+	enc.Int(cfg.Classifier.MinCountThreshold)
+	enc.Bool(cfg.Classifier.BestMatch)
+	enc.Bool(cfg.Classifier.Adaptive)
+	enc.F64(cfg.Classifier.DeviationThreshold)
+	enc.F64(cfg.Classifier.MinSimilarityThreshold)
+	enc.Int(cfg.Classifier.FeedbackWarmup)
+	enc.Bool(cfg.Classifier.ReplacementFIFO)
+	enc.Bool(cfg.Predictor.LastValue.UseConfidence)
+	enc.Int(cfg.Predictor.LastValue.Bits)
+	enc.Int(cfg.Predictor.LastValue.Threshold)
+	enc.Bool(cfg.Predictor.Change != nil)
+	if cfg.Predictor.Change != nil {
+		encodeChangeTableConfig(enc, *cfg.Predictor.Change)
+	}
+	enc.Bool(cfg.Predictor.AlwaysUpdate)
+	encodeChangeTableConfig(enc, cfg.ChangeOutcome)
+	enc.Int(cfg.Length.Entries)
+	enc.Int(cfg.Length.Assoc)
+	enc.U8(byte(cfg.Length.Kind))
+	enc.Int(cfg.Length.Depth)
+	enc.Ints(cfg.Length.Bounds)
+	enc.Bool(cfg.Length.Hysteresis)
+}
+
+func encodeChangeTableConfig(enc *state.Encoder, c predictor.ChangeTableConfig) {
+	enc.Int(c.Entries)
+	enc.Int(c.Assoc)
+	enc.U8(byte(c.Kind))
+	enc.Int(c.Depth)
+	enc.U8(byte(c.Track))
+	enc.Int(c.TopN)
+	enc.Bool(c.UseConfidence)
+	enc.Int(c.ConfBits)
+	enc.Int(c.ConfThreshold)
+}
+
+// decodeConfig reads a configuration section. The decoded value is only
+// compared against the restoring tracker's configuration; it is never
+// used to construct components, so no re-validation is needed here.
+func decodeConfig(dec *state.Decoder) Config {
+	var cfg Config
+	dec.Section(TagConfig, configVersion)
+	cfg.IntervalInstrs = dec.U64()
+	cfg.Dims = dec.Int()
+	cfg.Compress.Bits = dec.Int()
+	cfg.Compress.Dynamic = dec.Bool()
+	cfg.Compress.StaticShift = dec.Int()
+	cfg.Classifier.TableEntries = dec.Int()
+	cfg.Classifier.SimilarityThreshold = dec.F64()
+	cfg.Classifier.MinCountThreshold = dec.Int()
+	cfg.Classifier.BestMatch = dec.Bool()
+	cfg.Classifier.Adaptive = dec.Bool()
+	cfg.Classifier.DeviationThreshold = dec.F64()
+	cfg.Classifier.MinSimilarityThreshold = dec.F64()
+	cfg.Classifier.FeedbackWarmup = dec.Int()
+	cfg.Classifier.ReplacementFIFO = dec.Bool()
+	cfg.Predictor.LastValue.UseConfidence = dec.Bool()
+	cfg.Predictor.LastValue.Bits = dec.Int()
+	cfg.Predictor.LastValue.Threshold = dec.Int()
+	if dec.Bool() {
+		change := decodeChangeTableConfig(dec)
+		cfg.Predictor.Change = &change
+	}
+	cfg.Predictor.AlwaysUpdate = dec.Bool()
+	cfg.ChangeOutcome = decodeChangeTableConfig(dec)
+	cfg.Length.Entries = dec.Int()
+	cfg.Length.Assoc = dec.Int()
+	cfg.Length.Kind = predictor.HistoryKind(dec.U8())
+	cfg.Length.Depth = dec.Int()
+	cfg.Length.Bounds = dec.Ints()
+	cfg.Length.Hysteresis = dec.Bool()
+	return cfg
+}
+
+func decodeChangeTableConfig(dec *state.Decoder) predictor.ChangeTableConfig {
+	var c predictor.ChangeTableConfig
+	c.Entries = dec.Int()
+	c.Assoc = dec.Int()
+	c.Kind = predictor.HistoryKind(dec.U8())
+	c.Depth = dec.Int()
+	c.Track = predictor.TrackKind(dec.U8())
+	c.TopN = dec.Int()
+	c.UseConfidence = dec.Bool()
+	c.ConfBits = dec.Int()
+	c.ConfThreshold = dec.Int()
+	return c
+}
+
+// snapshot encodes the engine's complete dynamic state: the interval
+// index, report accumulators (including the per-phase CPI sample lists
+// and the phase ID stream, which the final Report's CoV and run-length
+// statistics are computed from — keeping them verbatim is what makes a
+// restored tracker's Report bit-identical), and every component.
+func (e *engine) snapshot(enc *state.Encoder) {
+	enc.Section(TagEngine, engineVersion)
+	enc.Int(e.index)
+	enc.Int(e.collect.Intervals)
+	enc.Int(e.collect.TransitionIntervals)
+	enc.U32(uint32(len(e.samples)))
+	for _, xs := range e.samples {
+		enc.F64s(xs)
+	}
+	enc.Ints(e.ids)
+	e.cls.Snapshot(enc)
+	e.np.Snapshot(enc)
+	e.chg.Snapshot(enc)
+	e.length.Snapshot(enc)
+}
+
+// restore replaces the engine's state with a decoded snapshot. The
+// engine must be freshly built from the same configuration the
+// snapshot was taken under.
+func (e *engine) restore(dec *state.Decoder) error {
+	dec.Section(TagEngine, engineVersion)
+	index := dec.Int()
+	intervals := dec.Int()
+	transitions := dec.Int()
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	// Each phase's sample list costs at least a 4-byte count.
+	if n < 0 || n > dec.Len()/4 {
+		return fmt.Errorf("%w: engine phase count %d", state.ErrCorrupt, n)
+	}
+	samples := make([][]float64, n)
+	for i := range samples {
+		samples[i] = dec.F64s()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+	}
+	ids := dec.Ints()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := e.cls.Restore(dec); err != nil {
+		return err
+	}
+	if d := e.cls.SigDims(); d != 0 && d != e.cfg.Dims {
+		return fmt.Errorf("%w: classifier dimensionality %d, configuration has %d", state.ErrCorrupt, d, e.cfg.Dims)
+	}
+	if err := e.np.Restore(dec); err != nil {
+		return err
+	}
+	if err := e.chg.Restore(dec); err != nil {
+		return err
+	}
+	if err := e.length.Restore(dec); err != nil {
+		return err
+	}
+	e.index = index
+	e.collect = Report{Intervals: intervals, TransitionIntervals: transitions}
+	e.samples = samples
+	e.ids = ids
+	return nil
+}
+
+// AppendSnapshot appends the tracker's complete serialized state to dst
+// and returns the extended slice. The snapshot captures everything a
+// later Restore needs to continue bit-identically: configuration,
+// stream name, classifier and predictor state, report accumulators, and
+// the in-progress interval.
+func (t *Tracker) AppendSnapshot(dst []byte) []byte {
+	enc := state.AppendTo(append(dst, stateMagic...))
+	enc.Section(TagTracker, trackerVersion)
+	enc.String(t.name)
+	encodeConfig(enc, t.eng.cfg)
+	t.eng.snapshot(enc)
+	t.acc.Snapshot(enc)
+	enc.U64(t.instrs)
+	enc.U64(t.cycles)
+	return enc.Bytes()
+}
+
+// Snapshot returns the tracker's complete serialized state. A Tracker
+// restored from the snapshot produces bit-identical IntervalResults and
+// Report for any subsequent input, as if tracking had never stopped.
+func (t *Tracker) Snapshot() []byte { return t.AppendSnapshot(nil) }
+
+// Restore replaces the tracker's state with a previously captured
+// snapshot. The snapshot's configuration must equal the tracker's —
+// restoring state into a different architecture would silently change
+// behaviour, so it is refused. Corrupt or truncated payloads return an
+// error and leave the tracker untouched: decoding builds a fresh engine
+// and accumulator and swaps them in only after the whole payload has
+// been verified.
+func (t *Tracker) Restore(data []byte) error {
+	if len(data) < len(stateMagic) || string(data[:len(stateMagic)]) != stateMagic {
+		return fmt.Errorf("%w: missing %q magic", state.ErrCorrupt, stateMagic)
+	}
+	dec := state.NewDecoder(data[len(stateMagic):])
+	dec.Section(TagTracker, trackerVersion)
+	name := dec.String()
+	cfg := decodeConfig(dec)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(cfg, t.eng.cfg) {
+		return fmt.Errorf("core: snapshot configuration does not match tracker configuration")
+	}
+	eng := newEngine(t.eng.cfg)
+	acc := signature.NewAccumulator(t.eng.cfg.Dims)
+	if err := eng.restore(dec); err != nil {
+		return err
+	}
+	if err := acc.Restore(dec); err != nil {
+		return err
+	}
+	instrs := dec.U64()
+	cycles := dec.U64()
+	if err := dec.Finish(); err != nil {
+		return err
+	}
+	t.eng = eng
+	t.acc = acc
+	t.instrs = instrs
+	t.cycles = cycles
+	t.name = name
+	return nil
+}

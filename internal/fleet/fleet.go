@@ -20,12 +20,20 @@
 // so they observe every batch enqueued before them (FIFO per shard),
 // which makes results deterministic for any fixed per-stream input
 // regardless of shard count or producer interleaving.
+//
+// With a StateStore and a resident limit configured, a Fleet bounds
+// memory by *active* streams instead of total streams: each shard
+// LRU-evicts idle trackers by serializing them (core.Tracker.Snapshot)
+// into the store and transparently rehydrates on the next batch.
+// Because snapshot/restore is bit-deterministic, eviction never changes
+// any stream's phase sequence, predictions, or Report.
 package fleet
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"phasekit/internal/core"
 	"phasekit/internal/trace"
@@ -49,6 +57,16 @@ type Config struct {
 	// streams run concurrently, so the callback must be safe for
 	// concurrent use unless all streams hash to one shard.
 	OnInterval func(stream string, res core.IntervalResult)
+	// Store persists evicted stream state. Required when MaxResident is
+	// set; without a resident limit it is unused.
+	Store StateStore
+	// MaxResident caps the number of live Trackers across the whole
+	// Fleet. 0 means unlimited (no eviction). When set, it must be at
+	// least Shards: the cap is divided into per-shard quotas (each
+	// shard owns its streams exclusively, so eviction decisions stay
+	// lock-free), and every shard needs room for at least one live
+	// tracker to process a batch.
+	MaxResident int
 }
 
 // DefaultQueueDepth is the per-shard queue capacity used when
@@ -87,6 +105,17 @@ func (c Config) Validate() error {
 	}
 	if c.QueueDepth < 1 {
 		return fmt.Errorf("fleet: QueueDepth must be >= 1, got %d", c.QueueDepth)
+	}
+	if c.MaxResident < 0 {
+		return fmt.Errorf("fleet: MaxResident must be >= 0, got %d", c.MaxResident)
+	}
+	if c.MaxResident > 0 {
+		if c.Store == nil {
+			return fmt.Errorf("fleet: MaxResident requires a Store to evict to")
+		}
+		if c.MaxResident < c.Shards {
+			return fmt.Errorf("fleet: MaxResident %d must be >= Shards %d (every shard needs one resident slot)", c.MaxResident, c.Shards)
+		}
 	}
 	return c.Tracker.Validate()
 }
@@ -138,11 +167,24 @@ type shardReport struct {
 	ok      bool
 }
 
+// streamEntry is one stream's slot in its owning shard. The tracker is
+// nil while the stream is evicted to the store; lastUse orders resident
+// streams for LRU eviction; pending remembers that the stream was
+// evicted with a partial interval open, so Flush knows to rehydrate it.
+type streamEntry struct {
+	tracker *core.Tracker
+	lastUse uint64
+	pending bool
+}
+
 // shard is one worker's exclusive state. Only the worker goroutine
 // touches streams after New returns.
 type shard struct {
 	ch      chan shardMsg
-	streams map[string]*core.Tracker
+	streams map[string]*streamEntry
+	clock   uint64 // LRU clock, bumped per batch
+	quota   int    // max resident trackers; 0 = unlimited
+	snapBuf []byte // reusable eviction snapshot buffer
 }
 
 // Fleet tracks phases for many concurrent instruction streams. All
@@ -157,6 +199,15 @@ type Fleet struct {
 	// deadlock shards parked on different releases) and Close.
 	mu     sync.Mutex
 	closed bool
+
+	// resident counts live trackers across all shards (observability;
+	// the enforcement is per-shard quotas).
+	resident atomic.Int64
+
+	// errMu guards firstErr, the first store save/load/restore failure
+	// observed by any shard.
+	errMu    sync.Mutex
+	firstErr error
 }
 
 // New returns a running Fleet. It panics on an invalid configuration
@@ -170,13 +221,46 @@ func New(cfg Config) *Fleet {
 	for i := range f.shards {
 		sh := &shard{
 			ch:      make(chan shardMsg, cfg.QueueDepth),
-			streams: make(map[string]*core.Tracker),
+			streams: make(map[string]*streamEntry),
+		}
+		if cfg.MaxResident > 0 {
+			// Divide the fleet-wide cap into per-shard quotas; the
+			// first MaxResident%Shards shards absorb the remainder, so
+			// the quotas sum exactly to MaxResident.
+			sh.quota = cfg.MaxResident / cfg.Shards
+			if i < cfg.MaxResident%cfg.Shards {
+				sh.quota++
+			}
 		}
 		f.shards[i] = sh
 		f.wg.Add(1)
 		go f.run(sh)
 	}
 	return f
+}
+
+// Resident returns the current number of live (non-evicted) Trackers
+// across all shards. With MaxResident configured it never exceeds the
+// limit; without, it equals the number of streams seen.
+func (f *Fleet) Resident() int { return int(f.resident.Load()) }
+
+// Err returns the first store save/load or snapshot-restore failure any
+// shard has observed, or nil. A save failure keeps the tracker resident
+// (never losing state); a load or restore failure falls back to a fresh
+// tracker so the pipeline keeps flowing.
+func (f *Fleet) Err() error {
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	return f.firstErr
+}
+
+// recordErr latches the first store failure.
+func (f *Fleet) recordErr(err error) {
+	f.errMu.Lock()
+	if f.firstErr == nil {
+		f.firstErr = err
+	}
+	f.errMu.Unlock()
 }
 
 // Shards returns the number of shards.
@@ -286,23 +370,32 @@ func (f *Fleet) run(sh *shard) {
 		case msgBatch:
 			f.apply(sh, msg.batch)
 		case msgFlush:
-			for name, t := range sh.streams {
-				if res, ok := t.Flush(); ok && f.cfg.OnInterval != nil {
+			for name, e := range sh.streams {
+				if e.tracker == nil {
+					if !e.pending {
+						continue // evicted at an interval boundary: nothing to flush
+					}
+					// Rehydrate to close the partial interval; the
+					// stream stays resident (it is now the MRU) and
+					// later traffic can evict it again.
+					f.residentTracker(sh, name, e)
+				}
+				if res, ok := e.tracker.Flush(); ok && f.cfg.OnInterval != nil {
 					f.cfg.OnInterval(name, res)
 				}
 			}
 			msg.done <- struct{}{}
 		case msgReport:
-			t, ok := sh.streams[msg.stream]
+			e, ok := sh.streams[msg.stream]
 			r := shardReport{ok: ok}
 			if ok {
-				r.reports = map[string]core.Report{msg.stream: t.Report()}
+				r.reports = map[string]core.Report{msg.stream: f.peekReport(msg.stream, e)}
 			}
 			msg.report <- r
 		case msgSnapshot:
 			reports := make(map[string]core.Report, len(sh.streams))
-			for name, t := range sh.streams {
-				reports[name] = t.Report()
+			for name, e := range sh.streams {
+				reports[name] = f.peekReport(name, e)
 			}
 			msg.report <- shardReport{reports: reports, ok: true}
 			// Park at the barrier so every shard stands still through
@@ -315,14 +408,96 @@ func (f *Fleet) run(sh *shard) {
 	}
 }
 
-// apply feeds one batch into its stream's tracker (Figure 1 steps 1-2,
-// batched).
-func (f *Fleet) apply(sh *shard, b Batch) {
-	t := sh.streams[b.Stream]
-	if t == nil {
-		t = core.NewTracker(b.Stream, f.cfg.Tracker)
-		sh.streams[b.Stream] = t
+// peekReport reports a stream without disturbing residency: a live
+// tracker reports directly; an evicted one is decoded into a throwaway
+// tracker (reads leave both the store and the quota untouched).
+func (f *Fleet) peekReport(stream string, e *streamEntry) core.Report {
+	if e.tracker != nil {
+		return e.tracker.Report()
 	}
+	return f.rehydrate(stream).Report()
+}
+
+// rehydrate builds a tracker for a stream from its stored snapshot, or
+// a fresh one if the store has never seen it (a genuinely new stream, or
+// no store configured). Store and restore failures are recorded via Err
+// and fall back to a fresh tracker, keeping the pipeline flowing.
+func (f *Fleet) rehydrate(stream string) *core.Tracker {
+	t := core.NewTracker(stream, f.cfg.Tracker)
+	if f.cfg.Store == nil {
+		return t
+	}
+	snap, ok, err := f.cfg.Store.Load(stream)
+	if err != nil {
+		f.recordErr(fmt.Errorf("fleet: loading stream %q: %w", stream, err))
+		return t
+	}
+	if !ok {
+		return t
+	}
+	if err := t.Restore(snap); err != nil {
+		f.recordErr(fmt.Errorf("fleet: restoring stream %q: %w", stream, err))
+		return core.NewTracker(stream, f.cfg.Tracker)
+	}
+	return t
+}
+
+// residentTracker makes a stream's tracker live, evicting LRU residents
+// first so the shard's quota is never exceeded (even transiently), and
+// marks it most recently used.
+func (f *Fleet) residentTracker(sh *shard, stream string, e *streamEntry) *core.Tracker {
+	if e.tracker == nil {
+		if sh.quota > 0 {
+			f.evictDownTo(sh, sh.quota-1)
+		}
+		e.tracker = f.rehydrate(stream)
+		e.pending = false
+		f.resident.Add(1)
+	}
+	sh.clock++
+	e.lastUse = sh.clock
+	return e.tracker
+}
+
+// evictDownTo serializes LRU resident trackers into the store until at
+// most target remain live on this shard. A failed save keeps the
+// tracker resident so no state is lost.
+func (f *Fleet) evictDownTo(sh *shard, target int) {
+	resident := 0
+	for _, e := range sh.streams {
+		if e.tracker != nil {
+			resident++
+		}
+	}
+	for resident > target {
+		var victim *streamEntry
+		victimName := ""
+		for name, e := range sh.streams {
+			if e.tracker != nil && (victim == nil || e.lastUse < victim.lastUse) {
+				victim, victimName = e, name
+			}
+		}
+		sh.snapBuf = victim.tracker.AppendSnapshot(sh.snapBuf[:0])
+		if err := f.cfg.Store.Save(victimName, sh.snapBuf); err != nil {
+			f.recordErr(err)
+			return // keep the tracker live rather than lose its state
+		}
+		victim.pending = victim.tracker.Pending() > 0
+		victim.tracker = nil
+		f.resident.Add(-1)
+		resident--
+	}
+}
+
+// apply feeds one batch into its stream's tracker (Figure 1 steps 1-2,
+// batched), rehydrating the stream first if it was evicted.
+func (f *Fleet) apply(sh *shard, b Batch) {
+	e := sh.streams[b.Stream]
+	if e == nil {
+		e = &streamEntry{}
+		sh.streams[b.Stream] = e
+	}
+	t := f.residentTracker(sh, b.Stream, e)
 	t.Cycles(b.Cycles)
 	for _, ev := range b.Events {
 		if res, ok := t.Branch(ev.PC, ev.Instrs); ok && f.cfg.OnInterval != nil {

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// StateStore persists evicted stream state. Fleet calls Save when it
+// evicts an idle stream's tracker and Load to rehydrate the stream on
+// its next batch, so a store plus a resident limit bounds memory by
+// *active* stream count instead of total stream count.
+//
+// Implementations must be safe for concurrent use: every shard worker
+// calls the store independently. Save must durably replace any previous
+// snapshot for the stream; Load returns ok=false when the stream has
+// never been saved.
+type StateStore interface {
+	// Save persists a stream's snapshot, replacing any previous one.
+	// The snapshot slice is owned by the caller; implementations must
+	// copy it if they retain it.
+	Save(stream string, snapshot []byte) error
+	// Load returns the most recent snapshot for a stream. The returned
+	// slice is owned by the store; callers must not modify it.
+	Load(stream string) (snapshot []byte, ok bool, err error)
+}
+
+// MemStore is an in-memory StateStore: evicted trackers survive as
+// compact serialized state on the heap instead of live table structures
+// (one contiguous buffer per stream versus dozens of live allocations),
+// and restart durability is not needed.
+type MemStore struct {
+	mu    sync.RWMutex
+	snaps map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{snaps: make(map[string][]byte)}
+}
+
+// Save stores a copy of the snapshot.
+func (s *MemStore) Save(stream string, snapshot []byte) error {
+	cp := make([]byte, len(snapshot))
+	copy(cp, snapshot)
+	s.mu.Lock()
+	s.snaps[stream] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Load returns the stored snapshot for stream.
+func (s *MemStore) Load(stream string) ([]byte, bool, error) {
+	s.mu.RLock()
+	snap, ok := s.snaps[stream]
+	s.mu.RUnlock()
+	return snap, ok, nil
+}
+
+// Len returns the number of streams with a stored snapshot.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.snaps)
+}
+
+// FileStore is a file-backed StateStore: one snapshot file per stream
+// under a directory, written atomically (temp file + rename), so a
+// fleet can checkpoint across process restarts.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore returns a store rooted at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: creating state dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// path maps a stream name to its snapshot file. Names are URL-escaped
+// so arbitrary stream identifiers (slashes, dots, spaces) cannot walk
+// out of the directory or collide.
+func (s *FileStore) path(stream string) string {
+	return filepath.Join(s.dir, url.QueryEscape(stream)+".pkst")
+}
+
+// Save writes the snapshot atomically via a temp file and rename.
+func (s *FileStore) Save(stream string, snapshot []byte) error {
+	dst := s.path(stream)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fleet: saving %q: %w", stream, err)
+	}
+	_, werr := tmp.Write(snapshot)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), dst)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: saving %q: %w", stream, werr)
+	}
+	return nil
+}
+
+// Load reads the snapshot file for stream.
+func (s *FileStore) Load(stream string) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.path(stream))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("fleet: loading %q: %w", stream, err)
+	}
+	return data, true, nil
+}

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemStoreCopiesOnSave(t *testing.T) {
+	s := NewMemStore()
+	buf := []byte{1, 2, 3}
+	if err := s.Save("a", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // caller reuses its buffer (as shard snapBuf does)
+	got, ok, err := s.Load("a")
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("store aliased the caller's buffer: %v", got)
+	}
+	if _, ok, _ := s.Load("missing"); ok {
+		t.Fatal("Load found a never-saved stream")
+	}
+}
+
+func TestFileStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(filepath.Join(dir, "nested", "state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load("never"); ok || err != nil {
+		t.Fatalf("missing stream: ok=%v err=%v", ok, err)
+	}
+	// Hostile stream names must not escape the directory or collide.
+	names := []string{"plain", "a/b", "../escape", "sp ace", "ütf", ""}
+	for i, name := range names {
+		if err := s.Save(name, []byte{byte(i)}); err != nil {
+			t.Fatalf("Save(%q): %v", name, err)
+		}
+	}
+	for i, name := range names {
+		got, ok, err := s.Load(name)
+		if err != nil || !ok {
+			t.Fatalf("Load(%q): ok=%v err=%v", name, ok, err)
+		}
+		if !bytes.Equal(got, []byte{byte(i)}) {
+			t.Fatalf("Load(%q) = %v, want [%d] (name collision?)", name, got, i)
+		}
+	}
+	// Overwrite replaces.
+	if err := s.Save("plain", []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := s.Load("plain"); !bytes.Equal(got, []byte{0xFF}) {
+		t.Fatalf("overwrite not visible: %v", got)
+	}
+	// Nothing escaped the store directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "nested" {
+		t.Fatalf("files escaped the store dir: %v", entries)
+	}
+}

@@ -1,0 +1,432 @@
+package predictor
+
+import (
+	"fmt"
+
+	"phasekit/internal/state"
+)
+
+// Section tags for predictor components in a state payload.
+const (
+	TagLastValue       = byte(0xB1)
+	TagHistory         = byte(0xB2)
+	TagChangeTable     = byte(0xB3)
+	TagNextPhase       = byte(0xB4)
+	TagChangePredictor = byte(0xB5)
+	TagLength          = byte(0xB6)
+)
+
+const predictorVersion = 1
+
+// Snapshot encodes the last-value predictor's state: the current phase
+// and every per-phase confidence counter. Counters are written in
+// ascending phase order so encoding is deterministic (the same state
+// always produces the same bytes).
+func (l *LastValue) Snapshot(enc *state.Encoder) {
+	enc.Section(TagLastValue, predictorVersion)
+	enc.Bool(l.seen)
+	enc.Int(l.cur)
+	encodeIntPairs(enc, l.conf)
+}
+
+// Restore replaces the last-value predictor's state with a decoded
+// snapshot. The receiver keeps its configuration.
+func (l *LastValue) Restore(dec *state.Decoder) error {
+	dec.Section(TagLastValue, predictorVersion)
+	seen := dec.Bool()
+	cur := dec.Int()
+	conf, err := decodeIntPairs(dec, "last-value confidence")
+	if err != nil {
+		return err
+	}
+	l.seen = seen
+	l.cur = cur
+	l.conf = conf
+	return nil
+}
+
+// encodeIntPairs writes an int->int map as ascending-key pairs.
+func encodeIntPairs(enc *state.Encoder, m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	enc.U32(uint32(len(keys)))
+	for _, k := range keys {
+		enc.Int(k)
+		enc.Int(m[k])
+	}
+}
+
+// decodeIntPairs reads an int->int map, requiring strictly ascending
+// keys: the canonical order makes decode(encode(x)) re-encode to the
+// exact source bytes, and duplicate keys cannot silently collapse.
+func decodeIntPairs(dec *state.Decoder, what string) (map[int]int, error) {
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return nil, dec.Err()
+	}
+	if n < 0 || n > dec.Len()/16 {
+		return nil, fmt.Errorf("%w: %s pair count %d", state.ErrCorrupt, what, n)
+	}
+	m := make(map[int]int, n)
+	prev := 0
+	for i := 0; i < n; i++ {
+		k := dec.Int()
+		v := dec.Int()
+		if dec.Err() != nil {
+			return nil, dec.Err()
+		}
+		if i > 0 && k <= prev {
+			return nil, fmt.Errorf("%w: %s keys not strictly ascending", state.ErrCorrupt, what)
+		}
+		prev = k
+		m[k] = v
+	}
+	return m, nil
+}
+
+// sortInts is an insertion sort: key sets here are tiny (phases seen,
+// tracked outcomes), so importing sort for them is not worth it.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Snapshot encodes the history's kind, depth, and run-length-encoded
+// pairs. The cached index hash is derived state and is not serialized.
+func (h *History) Snapshot(enc *state.Encoder) {
+	enc.Section(TagHistory, predictorVersion)
+	enc.U8(byte(h.kind))
+	enc.Int(h.depth)
+	enc.Bool(h.valid)
+	enc.U32(uint32(len(h.pairs)))
+	for _, p := range h.pairs {
+		enc.Int(p.phase)
+		enc.Int(p.run)
+	}
+}
+
+// Restore replaces the history's pairs with a decoded snapshot. The
+// snapshot's kind and depth must match the receiver's.
+func (h *History) Restore(dec *state.Decoder) error {
+	dec.Section(TagHistory, predictorVersion)
+	kind := HistoryKind(dec.U8())
+	depth := dec.Int()
+	valid := dec.Bool()
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if kind != h.kind || depth != h.depth {
+		return fmt.Errorf("%w: history is %v-%d, receiver is %v-%d", state.ErrCorrupt, kind, depth, h.kind, h.depth)
+	}
+	if n < 0 || n > depth || n > dec.Len()/16 {
+		return fmt.Errorf("%w: history pair count %d (depth %d)", state.ErrCorrupt, n, depth)
+	}
+	if valid != (n > 0) {
+		return fmt.Errorf("%w: history validity %v with %d pairs", state.ErrCorrupt, valid, n)
+	}
+	pairs := make([]runPair, n)
+	for i := range pairs {
+		pairs[i] = runPair{phase: dec.Int(), run: dec.Int()}
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	h.pairs = pairs
+	h.valid = valid
+	h.hashValid = false
+	return nil
+}
+
+// Snapshot encodes every valid way of the phase change table: tag, LRU
+// age, confidence, and the tracked outcome state for the table's
+// TrackKind. Cached prediction sets are rebuilt on Restore. TrackTopN
+// outcome counts are written in ascending phase order for deterministic
+// encoding.
+func (t *ChangeTable) Snapshot(enc *state.Encoder) {
+	enc.Section(TagChangeTable, predictorVersion)
+	enc.U32(uint32(len(t.ways)))
+	for i := range t.ways {
+		e := &t.ways[i]
+		enc.Bool(e.valid)
+		if !e.valid {
+			continue
+		}
+		enc.U64(e.tag)
+		enc.U8(e.lru)
+		enc.Int(e.conf)
+		switch t.cfg.Track {
+		case TrackSingle:
+			enc.Int(e.single)
+		case TrackLast4:
+			enc.Ints(e.last4)
+		case TrackTopN:
+			keys := make([]int, 0, len(e.counts))
+			for k := range e.counts {
+				keys = append(keys, k)
+			}
+			sortInts(keys)
+			enc.U32(uint32(len(keys)))
+			for _, k := range keys {
+				enc.Int(k)
+				enc.U32(e.counts[k])
+			}
+		}
+	}
+}
+
+// Restore replaces the table's ways with a decoded snapshot, rebuilding
+// each valid way's cached prediction set. The snapshot's geometry must
+// match the receiver's configuration.
+func (t *ChangeTable) Restore(dec *state.Decoder) error {
+	dec.Section(TagChangeTable, predictorVersion)
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if n != len(t.ways) {
+		return fmt.Errorf("%w: change table has %d ways, receiver has %d", state.ErrCorrupt, n, len(t.ways))
+	}
+	ways := make([]tableEntry, n)
+	for i := range ways {
+		e := &ways[i]
+		e.valid = dec.Bool()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if !e.valid {
+			continue
+		}
+		e.tag = dec.U64()
+		e.lru = dec.U8()
+		e.conf = dec.Int()
+		switch t.cfg.Track {
+		case TrackSingle:
+			e.single = dec.Int()
+		case TrackLast4:
+			e.last4 = dec.Ints()
+			if dec.Err() == nil && len(e.last4) > 4 {
+				return fmt.Errorf("%w: change table way %d tracks %d outcomes, max 4", state.ErrCorrupt, i, len(e.last4))
+			}
+		case TrackTopN:
+			k := int(dec.U32())
+			if dec.Err() != nil {
+				return dec.Err()
+			}
+			if k < 0 || k > dec.Len()/12 {
+				return fmt.Errorf("%w: change table way %d outcome count %d", state.ErrCorrupt, i, k)
+			}
+			counts := make(map[int]uint32, k)
+			prev := 0
+			for j := 0; j < k; j++ {
+				phase := dec.Int()
+				cnt := dec.U32()
+				if dec.Err() != nil {
+					return dec.Err()
+				}
+				if j > 0 && phase <= prev {
+					return fmt.Errorf("%w: change table way %d outcomes not strictly ascending", state.ErrCorrupt, i)
+				}
+				prev = phase
+				counts[phase] = cnt
+			}
+			e.counts = counts
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i := range ways {
+		if ways[i].valid {
+			t.rebuildPred(&ways[i])
+		}
+	}
+	t.ways = ways
+	return nil
+}
+
+// Snapshot encodes the composed next-phase predictor: the last-value
+// component, the phase history, the optional change table, and the
+// Figure 7/8 accounting.
+func (p *NextPhasePredictor) Snapshot(enc *state.Encoder) {
+	enc.Section(TagNextPhase, predictorVersion)
+	p.lv.Snapshot(enc)
+	p.hist.Snapshot(enc)
+	enc.Bool(p.table != nil)
+	if p.table != nil {
+		p.table.Snapshot(enc)
+	}
+	encodeNextPhaseStats(enc, &p.next)
+	encodeChangeStats(enc, &p.change)
+}
+
+// Restore replaces the predictor's state with a decoded snapshot. The
+// receiver keeps its configuration; the snapshot must have been taken
+// from a predictor with the same shape (change table present or not).
+func (p *NextPhasePredictor) Restore(dec *state.Decoder) error {
+	dec.Section(TagNextPhase, predictorVersion)
+	if err := p.lv.Restore(dec); err != nil {
+		return err
+	}
+	if err := p.hist.Restore(dec); err != nil {
+		return err
+	}
+	hasTable := dec.Bool()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if hasTable != (p.table != nil) {
+		return fmt.Errorf("%w: snapshot change table presence %v, receiver %v", state.ErrCorrupt, hasTable, p.table != nil)
+	}
+	if hasTable {
+		if err := p.table.Restore(dec); err != nil {
+			return err
+		}
+	}
+	decodeNextPhaseStats(dec, &p.next)
+	decodeChangeStats(dec, &p.change)
+	return dec.Err()
+}
+
+func encodeNextPhaseStats(enc *state.Encoder, s *NextPhaseStats) {
+	enc.Int(s.Intervals)
+	enc.Int(s.TableCorrect)
+	enc.Int(s.TableIncorrect)
+	enc.Int(s.LVConfCorrect)
+	enc.Int(s.LVUnconfCorrect)
+	enc.Int(s.LVUnconfIncorrect)
+	enc.Int(s.LVConfIncorrect)
+}
+
+func decodeNextPhaseStats(dec *state.Decoder, s *NextPhaseStats) {
+	s.Intervals = dec.Int()
+	s.TableCorrect = dec.Int()
+	s.TableIncorrect = dec.Int()
+	s.LVConfCorrect = dec.Int()
+	s.LVUnconfCorrect = dec.Int()
+	s.LVUnconfIncorrect = dec.Int()
+	s.LVConfIncorrect = dec.Int()
+}
+
+func encodeChangeStats(enc *state.Encoder, s *ChangeStats) {
+	enc.Int(s.Changes)
+	enc.Int(s.ConfCorrect)
+	enc.Int(s.UnconfCorrect)
+	enc.Int(s.TagMiss)
+	enc.Int(s.UnconfIncorrect)
+	enc.Int(s.ConfIncorrect)
+}
+
+func decodeChangeStats(dec *state.Decoder, s *ChangeStats) {
+	s.Changes = dec.Int()
+	s.ConfCorrect = dec.Int()
+	s.UnconfCorrect = dec.Int()
+	s.TagMiss = dec.Int()
+	s.UnconfIncorrect = dec.Int()
+	s.ConfIncorrect = dec.Int()
+}
+
+// Snapshot encodes the dedicated §6.1 change-outcome predictor: its
+// table, history, and accounting.
+func (p *ChangePredictor) Snapshot(enc *state.Encoder) {
+	enc.Section(TagChangePredictor, predictorVersion)
+	p.table.Snapshot(enc)
+	p.hist.Snapshot(enc)
+	encodeChangeStats(enc, &p.stats)
+}
+
+// Restore replaces the predictor's state with a decoded snapshot.
+func (p *ChangePredictor) Restore(dec *state.Decoder) error {
+	dec.Section(TagChangePredictor, predictorVersion)
+	if err := p.table.Restore(dec); err != nil {
+		return err
+	}
+	if err := p.hist.Restore(dec); err != nil {
+		return err
+	}
+	decodeChangeStats(dec, &p.stats)
+	return dec.Err()
+}
+
+// Snapshot encodes the phase length predictor: its history, prediction
+// table (committed class and hysteresis state per way), the unresolved
+// pending prediction, and the Figure 9 accounting.
+func (p *LengthPredictor) Snapshot(enc *state.Encoder) {
+	enc.Section(TagLength, predictorVersion)
+	p.hist.Snapshot(enc)
+	enc.U32(uint32(len(p.ways)))
+	for i := range p.ways {
+		e := &p.ways[i]
+		enc.Bool(e.valid)
+		if !e.valid {
+			continue
+		}
+		enc.U64(e.tag)
+		enc.U8(e.lru)
+		enc.Int(e.class)
+		enc.Int(e.last)
+	}
+	enc.Bool(p.pending.active)
+	enc.U64(p.pending.hash)
+	enc.Int(p.pending.predicted)
+	enc.Int(p.stats.Predictions)
+	enc.Int(p.stats.Mispredictions)
+	enc.Ints(p.stats.ClassCounts)
+}
+
+// Restore replaces the predictor's state with a decoded snapshot. The
+// receiver keeps its configuration; the snapshot's table geometry and
+// class count must match it.
+func (p *LengthPredictor) Restore(dec *state.Decoder) error {
+	dec.Section(TagLength, predictorVersion)
+	if err := p.hist.Restore(dec); err != nil {
+		return err
+	}
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if n != len(p.ways) {
+		return fmt.Errorf("%w: length table has %d ways, receiver has %d", state.ErrCorrupt, n, len(p.ways))
+	}
+	ways := make([]lengthEntry, n)
+	for i := range ways {
+		e := &ways[i]
+		e.valid = dec.Bool()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if !e.valid {
+			continue
+		}
+		e.tag = dec.U64()
+		e.lru = dec.U8()
+		e.class = dec.Int()
+		e.last = dec.Int()
+	}
+	active := dec.Bool()
+	hash := dec.U64()
+	predicted := dec.Int()
+	var stats LengthStats
+	stats.Predictions = dec.Int()
+	stats.Mispredictions = dec.Int()
+	stats.ClassCounts = dec.Ints()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(stats.ClassCounts) != p.histo.Buckets() {
+		return fmt.Errorf("%w: length stats track %d classes, receiver has %d", state.ErrCorrupt, len(stats.ClassCounts), p.histo.Buckets())
+	}
+	p.ways = ways
+	p.pending.active = active
+	p.pending.hash = hash
+	p.pending.predicted = predicted
+	p.stats = stats
+	return nil
+}

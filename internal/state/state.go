@@ -1,0 +1,315 @@
+// Package state is the shared binary codec behind every layer's
+// Snapshot/Restore: a small append-only encoder and a bounds-checked,
+// sticky-error decoder over one flat byte slice.
+//
+// Wire format conventions (versioned per section, little-endian):
+//
+//   - Every component writes a two-byte section header — a tag byte
+//     identifying the component and a version byte starting at 1 — and
+//     then its fields. Decoders reject unknown tags and versions newer
+//     than they understand, so a payload is never misinterpreted as a
+//     different component or a future layout.
+//   - Integers are fixed-width little-endian. Signed values travel as
+//     two's-complement uint64. Floats travel as IEEE-754 bits, so a
+//     decode reproduces the encoded value exactly (bit-determinism).
+//   - Strings, byte slices, and all repeated fields carry a uint32
+//     element-count prefix. The decoder bounds every count against the
+//     bytes actually remaining, so a corrupt length cannot cause an
+//     oversized allocation, and truncated payloads fail cleanly.
+//
+// Decoding never panics: every read is bounds-checked, the first
+// failure latches into the decoder's sticky error, and all subsequent
+// reads return zero values. Callers check Err (or Finish, which also
+// rejects trailing garbage) once at the end of a decode.
+package state
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is wrapped by every decode failure: truncation, a bad
+// section tag, an unsupported version, or an impossible length prefix.
+var ErrCorrupt = errors.New("state: corrupt or truncated payload")
+
+// Encoder appends a payload to a byte buffer. The zero value is ready
+// to use; AppendTo reuses a caller-provided buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// AppendTo returns an encoder that appends to buf (which may be nil).
+func AppendTo(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Section writes a component header: tag and version.
+func (e *Encoder) Section(tag, version byte) { e.buf = append(e.buf, tag, version) }
+
+// U8 writes one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool writes a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U16 writes a little-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 writes a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 writes a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// Int writes an int as two's-complement uint64.
+func (e *Encoder) Int(v int) { e.U64(uint64(int64(v))) }
+
+// F64 writes a float64 as its IEEE-754 bits.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// String writes a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// U16s writes a length-prefixed []uint16.
+func (e *Encoder) U16s(v []uint16) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.U16(x)
+	}
+}
+
+// U64s writes a length-prefixed []uint64.
+func (e *Encoder) U64s(v []uint64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.U64(x)
+	}
+}
+
+// Ints writes a length-prefixed []int.
+func (e *Encoder) Ints(v []int) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.Int(x)
+	}
+}
+
+// F64s writes a length-prefixed []float64.
+func (e *Encoder) F64s(v []float64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+
+// Decoder reads a payload produced by Encoder. The first failure
+// latches into a sticky error; subsequent reads return zero values, so
+// decode code reads straight through and checks Err (or Finish) once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Err returns the sticky decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Len returns the number of undecoded bytes remaining.
+func (d *Decoder) Len() int { return len(d.buf) - d.off }
+
+// Finish returns the sticky error, or an error if undecoded bytes
+// remain (a payload must be consumed exactly).
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Len() != 0 {
+		d.failf("%d trailing bytes", d.Len())
+	}
+	return d.err
+}
+
+// failf latches the first decode failure.
+func (d *Decoder) failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s (offset %d)", ErrCorrupt, fmt.Sprintf(format, args...), d.off)
+	}
+}
+
+// take returns the next n bytes, or nil after latching a truncation
+// error.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Len() < n {
+		d.failf("need %d bytes, have %d", n, d.Len())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Section reads a component header, failing unless the tag matches and
+// the version is in [1, maxVersion]. It returns the version so future
+// readers can branch on layout revisions.
+func (d *Decoder) Section(tag, maxVersion byte) byte {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	if b[0] != tag {
+		d.failf("section tag %#02x, want %#02x", b[0], tag)
+		return 0
+	}
+	if b[1] == 0 || b[1] > maxVersion {
+		d.failf("section %#02x version %d unsupported (max %d)", tag, b[1], maxVersion)
+		return 0
+	}
+	return b[1]
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool, failing on any byte other than 0 or 1 so a
+// re-encode of decoded state is byte-identical to its source.
+func (d *Decoder) Bool() bool {
+	v := d.U8()
+	if d.err == nil && v > 1 {
+		d.failf("bool byte %d", v)
+	}
+	return v == 1
+}
+
+// U16 reads a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int reads a two's-complement int.
+func (d *Decoder) Int() int { return int(int64(d.U64())) }
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// count reads a uint32 element count and bounds it against the bytes
+// remaining at elemSize bytes per element, so corrupt lengths can never
+// drive an oversized allocation.
+func (d *Decoder) count(elemSize int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if n > d.Len()/elemSize {
+		d.failf("count %d exceeds %d remaining bytes / %d", n, d.Len(), elemSize)
+		return 0
+	}
+	return n
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.count(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// U16s reads a length-prefixed []uint16 (nil when empty).
+func (d *Decoder) U16s() []uint16 {
+	n := d.count(2)
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = d.U16()
+	}
+	return out
+}
+
+// U64s reads a length-prefixed []uint64 (nil when empty).
+func (d *Decoder) U64s() []uint64 {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.U64()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int (nil when empty).
+func (d *Decoder) Ints() []int {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Int()
+	}
+	return out
+}
+
+// F64s reads a length-prefixed []float64 (nil when empty).
+func (d *Decoder) F64s() []float64 {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package state
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// encodeSample writes one value of every codec type.
+func encodeSample() []byte {
+	enc := AppendTo(nil)
+	enc.Section(0xAB, 2)
+	enc.U8(7)
+	enc.Bool(true)
+	enc.Bool(false)
+	enc.U16(0xBEEF)
+	enc.U32(0xDEADBEEF)
+	enc.U64(1<<63 | 12345)
+	enc.Int(-42)
+	enc.F64(math.Pi)
+	enc.F64(math.Inf(-1))
+	enc.String("hello, wörld")
+	enc.String("")
+	enc.U16s([]uint16{1, 2, 65535})
+	enc.U64s([]uint64{0, math.MaxUint64})
+	enc.Ints([]int{-1, 0, 1 << 40})
+	enc.F64s([]float64{0, -0.5, math.MaxFloat64})
+	return enc.Bytes()
+}
+
+func decodeSample(t *testing.T, data []byte) {
+	t.Helper()
+	dec := NewDecoder(data)
+	if v := dec.Section(0xAB, 2); v != 2 {
+		t.Errorf("section version = %d, want 2", v)
+	}
+	if got := dec.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !dec.Bool() || dec.Bool() {
+		t.Error("bools did not round-trip")
+	}
+	if got := dec.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := dec.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := dec.U64(); got != 1<<63|12345 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := dec.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := dec.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := dec.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if got := dec.String(); got != "hello, wörld" {
+		t.Errorf("String = %q", got)
+	}
+	if got := dec.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := dec.U16s(); len(got) != 3 || got[2] != 65535 {
+		t.Errorf("U16s = %v", got)
+	}
+	if got := dec.U64s(); len(got) != 2 || got[1] != math.MaxUint64 {
+		t.Errorf("U64s = %v", got)
+	}
+	if got := dec.Ints(); len(got) != 3 || got[0] != -1 || got[2] != 1<<40 {
+		t.Errorf("Ints = %v", got)
+	}
+	if got := dec.F64s(); len(got) != 3 || got[2] != math.MaxFloat64 {
+		t.Errorf("F64s = %v", got)
+	}
+	if err := dec.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	decodeSample(t, encodeSample())
+}
+
+// TestDecoderTruncation verifies every strict prefix of a payload fails
+// with ErrCorrupt instead of succeeding or panicking.
+func TestDecoderTruncation(t *testing.T) {
+	data := encodeSample()
+	for n := 0; n < len(data); n++ {
+		dec := NewDecoder(data[:n])
+		dec.Section(0xAB, 2)
+		dec.U8()
+		dec.Bool()
+		dec.Bool()
+		dec.U16()
+		dec.U32()
+		dec.U64()
+		dec.Int()
+		dec.F64()
+		dec.F64()
+		_ = dec.String()
+		_ = dec.String()
+		dec.U16s()
+		dec.U64s()
+		dec.Ints()
+		dec.F64s()
+		if err := dec.Finish(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrCorrupt", n, len(data), err)
+		}
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	dec := NewDecoder([]byte{0x01})
+	dec.U64() // fails: needs 8 bytes
+	first := dec.Err()
+	if first == nil {
+		t.Fatal("short U64 did not latch an error")
+	}
+	dec.U32()
+	_ = dec.String()
+	if dec.Err() != first {
+		t.Error("later reads replaced the first error")
+	}
+	if got := dec.U64(); got != 0 {
+		t.Errorf("read after error = %d, want 0", got)
+	}
+}
+
+func TestDecoderRejectsTrailingBytes(t *testing.T) {
+	enc := AppendTo(nil)
+	enc.U8(1)
+	dec := NewDecoder(append(enc.Bytes(), 0x00))
+	dec.U8()
+	if err := dec.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecoderSectionMismatch(t *testing.T) {
+	enc := AppendTo(nil)
+	enc.Section(0x10, 1)
+	wrongTag := NewDecoder(enc.Bytes())
+	wrongTag.Section(0x20, 1)
+	if !errors.Is(wrongTag.Err(), ErrCorrupt) {
+		t.Error("wrong tag accepted")
+	}
+	futureVersion := NewDecoder(enc.Bytes())
+	futureVersion.Section(0x10, 0) // decoder only understands... nothing
+	if !errors.Is(futureVersion.Err(), ErrCorrupt) {
+		t.Error("future version accepted")
+	}
+	enc2 := AppendTo(nil)
+	enc2.Section(0x10, 3)
+	tooNew := NewDecoder(enc2.Bytes())
+	tooNew.Section(0x10, 2)
+	if !errors.Is(tooNew.Err(), ErrCorrupt) {
+		t.Error("version 3 accepted by a max-2 reader")
+	}
+}
+
+// TestDecoderBadBool verifies the canonical-encoding rule: a bool byte
+// other than 0/1 is corrupt (it would break byte-identical re-encodes).
+func TestDecoderBadBool(t *testing.T) {
+	dec := NewDecoder([]byte{0x02})
+	dec.Bool()
+	if !errors.Is(dec.Err(), ErrCorrupt) {
+		t.Error("bool byte 2 accepted")
+	}
+}
+
+// TestDecoderHugeCount verifies a corrupt length prefix fails instead
+// of driving an oversized allocation.
+func TestDecoderHugeCount(t *testing.T) {
+	enc := AppendTo(nil)
+	enc.U32(math.MaxUint32) // claims 4 billion elements, provides none
+	for name, read := range map[string]func(*Decoder){
+		"string": func(d *Decoder) { _ = d.String() },
+		"u16s":   func(d *Decoder) { d.U16s() },
+		"u64s":   func(d *Decoder) { d.U64s() },
+		"ints":   func(d *Decoder) { d.Ints() },
+		"f64s":   func(d *Decoder) { d.F64s() },
+	} {
+		dec := NewDecoder(enc.Bytes())
+		read(dec)
+		if !errors.Is(dec.Err(), ErrCorrupt) {
+			t.Errorf("%s: huge count accepted", name)
+		}
+	}
+}
+
+func TestEncoderAppendTo(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	enc := AppendTo(prefix)
+	enc.U16(0x1234)
+	got := enc.Bytes()
+	if len(got) != 4 || got[0] != 0xAA || got[1] != 0xBB {
+		t.Errorf("AppendTo did not preserve prefix: %x", got)
+	}
+}
+
+func TestEmptySlicesDecodeNil(t *testing.T) {
+	enc := AppendTo(nil)
+	enc.U64s(nil)
+	enc.Ints([]int{})
+	dec := NewDecoder(enc.Bytes())
+	if got := dec.U64s(); got != nil {
+		t.Errorf("empty U64s = %v, want nil", got)
+	}
+	if got := dec.Ints(); got != nil {
+		t.Errorf("empty Ints = %v, want nil", got)
+	}
+	if err := dec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

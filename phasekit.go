@@ -96,6 +96,19 @@ type FleetConfig = fleet.Config
 // single stream with an optional cycle charge.
 type Batch = fleet.Batch
 
+// StateStore persists evicted Fleet stream state; see FleetConfig's
+// Store and MaxResident fields. Tracker snapshots themselves are
+// produced by Tracker.Snapshot and consumed by Tracker.Restore.
+type StateStore = fleet.StateStore
+
+// MemStore is an in-memory StateStore: evicted trackers survive as one
+// compact serialized buffer per stream instead of live table structures.
+type MemStore = fleet.MemStore
+
+// FileStore is a file-backed StateStore: one atomically written
+// snapshot file per stream, durable across process restarts.
+type FileStore = fleet.FileStore
+
 // BranchEvent is a committed-branch record: the branch PC and the
 // instructions committed since the previous branch.
 type BranchEvent = trace.BranchEvent
@@ -169,6 +182,13 @@ func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
 // NewFleet returns a running Fleet. It panics on an invalid
 // configuration (validate with cfg.Validate for error handling).
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// NewMemStore returns an empty in-memory state store.
+func NewMemStore() *MemStore { return fleet.NewMemStore() }
+
+// NewFileStore returns a file-backed state store rooted at dir,
+// creating the directory if needed.
+func NewFileStore(dir string) (*FileStore, error) { return fleet.NewFileStore(dir) }
 
 // Evaluate replays a profiled run under cfg and returns its report.
 func Evaluate(run *Run, cfg Config) Report { return core.Evaluate(run, cfg) }
