@@ -24,9 +24,18 @@
 //	phasesim -workload mcf -checkpoint mcf.pkst    # save state after the run
 //	phasesim -workload mcf -restore mcf.pkst       # resume from the checkpoint
 //	phasesim -workload mcf -streams 64 -parallel -resident 8 -store /tmp/state
+//
+// Fleet store operations retry with backoff (-store-retries,
+// -store-backoff), Send can shed load instead of blocking
+// (-overload reject), and -chaos injects deterministic store faults to
+// demonstrate fault tolerance end to end:
+//
+//	phasesim -workload mcf -streams 64 -parallel -resident 8 -overload reject
+//	phasesim -workload mcf -streams 64 -parallel -resident 8 -chaos 42
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +45,7 @@ import (
 
 	"phasekit/internal/classifier"
 	"phasekit/internal/core"
+	"phasekit/internal/faults"
 	"phasekit/internal/fleet"
 	"phasekit/internal/trace"
 	"phasekit/internal/uarch"
@@ -63,6 +73,10 @@ func main() {
 		restore   = flag.String("restore", "", "restore tracker state from this file before the run")
 		resident  = flag.Int("resident", 0, "Fleet mode: max resident trackers; idle streams are evicted to -store (0 = unlimited)")
 		storeDir  = flag.String("store", "", "Fleet mode: directory for evicted stream state (default: in-memory)")
+		retries   = flag.Int("store-retries", 3, "Fleet mode: retries per failed store operation")
+		backoff   = flag.Duration("store-backoff", fleet.DefaultBackoff, "Fleet mode: initial retry backoff (doubles per attempt, jittered)")
+		overload  = flag.String("overload", "block", "Fleet mode: full-queue policy: block (backpressure) or reject (shed load)")
+		chaos     = flag.Uint64("chaos", 0, "Fleet mode: inject deterministic store faults with this seed (0 = off)")
 	)
 	flag.Parse()
 
@@ -88,7 +102,17 @@ func main() {
 		if *ckpt != "" || *restore != "" {
 			fatal(fmt.Errorf("-checkpoint/-restore are single-stream flags; Fleet mode persists state via -resident/-store"))
 		}
-		if err := runFleet(*wl, *traceFile, *scale, *streams, *shards, *resident, *storeDir, cfg); err != nil {
+		opts := fleetOpts{
+			streams:  *streams,
+			shards:   *shards,
+			resident: *resident,
+			storeDir: *storeDir,
+			retries:  *retries,
+			backoff:  *backoff,
+			overload: *overload,
+			chaos:    *chaos,
+		}
+		if err := runFleet(*wl, *traceFile, *scale, opts, cfg); err != nil {
 			fatal(err)
 		}
 		return
@@ -305,12 +329,13 @@ func printReport(r core.Report, results []core.IntervalResult, verbose, haveCPI 
 // sent as one batch with EndInterval set, so every stream's interval
 // boundaries align with the generator's regardless of multiplexing.
 type fleetSink struct {
-	f       *fleet.Fleet
-	names   []string
-	next    int
-	events  []trace.BranchEvent
-	cycles  uint64
-	nevents uint64
+	f        *fleet.Fleet
+	names    []string
+	next     int
+	events   []trace.BranchEvent
+	cycles   uint64
+	nevents  uint64
+	rejected uint64 // batches shed under -overload reject
 }
 
 func (s *fleetSink) Event(ev uarch.BlockEvent, cycles uint64) {
@@ -328,15 +353,30 @@ func (s *fleetSink) flushInterval() {
 		return
 	}
 	// Ownership of the slice transfers to the Fleet; start a fresh one.
-	s.f.Send(fleet.Batch{
+	err := s.f.Send(fleet.Batch{
 		Stream:      s.names[s.next],
 		Cycles:      s.cycles,
 		Events:      s.events,
 		EndInterval: true,
 	})
+	if errors.Is(err, fleet.ErrOverloaded) {
+		s.rejected++
+	}
 	s.next = (s.next + 1) % len(s.names)
 	s.events = make([]trace.BranchEvent, 0, cap(s.events))
 	s.cycles = 0
+}
+
+// fleetOpts bundles the Fleet-mode command line knobs.
+type fleetOpts struct {
+	streams  int
+	shards   int
+	resident int
+	storeDir string
+	retries  int
+	backoff  time.Duration
+	overload string
+	chaos    uint64
 }
 
 // runFleet multiplexes a workload or branch trace into n interleaved
@@ -345,29 +385,66 @@ func (s *fleetSink) flushInterval() {
 // many trackers stay live at once; idle streams are evicted to storeDir
 // (or an in-memory store when storeDir is empty) and rehydrated on
 // their next batch.
-func runFleet(wl, traceFile string, scale float64, n, shards, resident int, storeDir string, cfg core.Config) error {
+func runFleet(wl, traceFile string, scale float64, o fleetOpts, cfg core.Config) error {
+	n := o.streams
 	if n < 1 {
 		n = 1
 	}
-	if shards < 0 {
-		return fmt.Errorf("-shards must be >= 0 (0 = GOMAXPROCS), got %d", shards)
+	if o.shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 = GOMAXPROCS), got %d", o.shards)
 	}
-	fcfg := fleet.Config{Shards: shards, Tracker: cfg, MaxResident: resident}
+	fcfg := fleet.Config{
+		Shards:      o.shards,
+		Tracker:     cfg,
+		MaxResident: o.resident,
+		Retry:       fleet.RetryPolicy{MaxRetries: o.retries, Backoff: o.backoff},
+	}
+	switch o.overload {
+	case "block":
+		fcfg.Overload = fleet.OverloadBlock
+	case "reject":
+		fcfg.Overload = fleet.OverloadReject
+	default:
+		return fmt.Errorf("-overload must be block or reject, got %q", o.overload)
+	}
 	if traceFile != "" {
 		// Traces carry no cycle counts, so CPI-driven adaptation is
 		// unavailable.
 		fcfg.Tracker.Classifier.Adaptive = false
 	}
-	if resident > 0 || storeDir != "" {
-		if storeDir == "" {
-			fcfg.Store = fleet.NewMemStore()
+	var chaosStore *faults.Store
+	if o.resident > 0 || o.storeDir != "" {
+		var store fleet.StateStore
+		if o.storeDir == "" {
+			store = fleet.NewMemStore()
 		} else {
-			store, err := fleet.NewFileStore(storeDir)
+			fs, err := fleet.NewFileStore(o.storeDir)
 			if err != nil {
 				return err
 			}
-			fcfg.Store = store
+			if rec := fs.Recovered(); rec.Orphans > 0 || rec.Corrupt > 0 {
+				fmt.Printf("store recovery: scanned %d snapshots, quarantined %d orphans and %d corrupt\n",
+					rec.Scanned, rec.Orphans, rec.Corrupt)
+			}
+			store = fs
 		}
+		if o.chaos != 0 {
+			// A deterministic fault schedule kept within the retry
+			// budget: every injected fault is masked, and the metrics
+			// printed below prove the machinery absorbed it.
+			chaosStore = faults.Wrap(store, faults.Schedule{
+				Seed:     o.chaos,
+				FailRate: 0.05,
+				Burst:    min(2, o.retries),
+			})
+			store = chaosStore
+		}
+		fcfg.Store = store
+		// A store outage should degrade the fleet, not hammer a down
+		// backend: trip after 8 consecutive failures, probe every 2s.
+		fcfg.Breaker = fleet.BreakerPolicy{Threshold: 8, Cooldown: 2 * time.Second}
+	} else if o.chaos != 0 {
+		return fmt.Errorf("-chaos injects store faults and needs -resident or -store")
 	}
 	if err := fcfg.Validate(); err != nil {
 		return err
@@ -422,6 +499,7 @@ func runFleet(wl, traceFile string, scale float64, n, shards, resident int, stor
 	f.Flush()
 	snap := f.Snapshot()
 	elapsed := time.Since(start)
+	m := f.Metrics()
 	f.Close()
 
 	names := make([]string, 0, len(snap))
@@ -429,12 +507,31 @@ func runFleet(wl, traceFile string, scale float64, n, shards, resident int, stor
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	if err := f.Err(); err != nil {
-		return fmt.Errorf("state store: %w", err)
-	}
 	fmt.Printf("streams:   %d across %d shards\n", len(names), f.Shards())
-	if resident > 0 {
-		fmt.Printf("resident:  %d/%d trackers live (rest evicted to store)\n", f.Resident(), resident)
+	if o.resident > 0 {
+		fmt.Printf("resident:  %d/%d trackers live (rest evicted to store)\n", f.Resident(), o.resident)
+	}
+	if fcfg.Store != nil {
+		fmt.Printf("store:     %d save retries, %d load retries, %d failures, %d breaker trips\n",
+			m.SaveRetries, m.LoadRetries, m.SaveFailures+m.LoadFailures, m.BreakerTrips)
+	}
+	if chaosStore != nil {
+		inj, torn := chaosStore.Injected()
+		saves, loads := chaosStore.Ops()
+		fmt.Printf("chaos:     %d faults injected (%d torn writes) across %d saves + %d loads\n",
+			inj, torn, saves, loads)
+	}
+	if sink.rejected > 0 {
+		fmt.Printf("rejected:  %d batches shed under -overload reject\n", sink.rejected)
+	}
+	if err := f.Err(); err != nil {
+		// Degradation that cost no data is a warning; lost or
+		// quarantined state fails the run.
+		if m.DroppedBatches > 0 || m.QuarantinedStreams > 0 {
+			return fmt.Errorf("state store (%d batches dropped, %d streams quarantined): %w",
+				m.DroppedBatches, m.QuarantinedStreams, err)
+		}
+		fmt.Fprintf(os.Stderr, "phasesim: store degraded (no data lost): %v\n", err)
 	}
 	fmt.Println("stream       intervals  phases  transition  next-phase acc")
 	var total, transitions int

@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerPolicy configures the per-store circuit breaker. The breaker
+// watches final store-operation outcomes (after retries): Threshold
+// consecutive failures trip it open, fast-failing further operations
+// with ErrStoreUnavailable instead of hammering a down store. After
+// Cooldown it admits a single half-open probe; a successful probe
+// closes the breaker, a failed one reopens it for another Cooldown.
+//
+// While the breaker is open the Fleet degrades gracefully rather than
+// losing state: eviction is suspended (residents may exceed
+// MaxResident, tracked by MetricsSnapshot.Overshoot), and rehydration
+// fast-fails with a typed per-stream error.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive failures of one operation
+	// class (save or load) that trips the breaker. The classes are
+	// counted separately so a partial outage — a full disk fails every
+	// save while loads keep succeeding — still trips instead of the
+	// interleaved load successes resetting the streak. 0 disables the
+	// breaker.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe. 0 means DefaultBreakerCooldown.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerCooldown is used when BreakerPolicy.Cooldown is zero.
+const DefaultBreakerCooldown = 5 * time.Second
+
+// breaker states. closed is zero so an atomic load of 0 on the hot
+// path means "healthy, proceed".
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// storeOp tags breaker observations with the operation class, so save
+// and load failure streaks accumulate independently.
+type storeOp uint8
+
+const (
+	opSave storeOp = iota
+	opLoad
+)
+
+// breaker is a closed → open → half-open circuit breaker shared by all
+// shards of a Fleet. The healthy path is a single atomic load; the
+// mutex is only taken while failures are accumulating or the breaker
+// is open.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state     atomic.Int32
+	saveFails atomic.Int32 // consecutive save failures while closed
+	loadFails atomic.Int32 // consecutive load failures while closed
+
+	mu       sync.Mutex
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	trips    *atomic.Uint64
+}
+
+// newBreaker returns a breaker, or nil when the policy disables it.
+func newBreaker(p BreakerPolicy, now func() time.Time, trips *atomic.Uint64) *breaker {
+	if p.Threshold <= 0 {
+		return nil
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: p.Threshold, cooldown: p.Cooldown, now: now, trips: trips}
+}
+
+// open reports whether the breaker is currently not closed.
+func (b *breaker) open() bool {
+	return b != nil && b.state.Load() != breakerClosed
+}
+
+// suspended reports whether store operations should be avoided
+// entirely: the breaker is open and its cooldown has not elapsed. Once
+// the cooldown passes it returns false so callers attempt an operation
+// and allow() can admit the half-open probe — otherwise a fleet whose
+// trackers are all resident (no loads pending) would never discover
+// the store recovered.
+func (b *breaker) suspended() bool {
+	if b == nil || b.state.Load() == breakerClosed {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state.Load() == breakerOpen {
+		return b.now().Sub(b.openedAt) < b.cooldown
+	}
+	return false // half-open: a probe may proceed (allow gates concurrency)
+}
+
+// allow reports whether a store operation may proceed. While open it
+// returns false until Cooldown has elapsed, then admits exactly one
+// half-open probe at a time.
+func (b *breaker) allow() bool {
+	if b == nil || b.state.Load() == breakerClosed {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case breakerClosed: // raced with a concurrent close
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state.Store(breakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// streak returns the consecutive-failure counter for one operation
+// class.
+func (b *breaker) streak(op storeOp) *atomic.Int32 {
+	if op == opSave {
+		return &b.saveFails
+	}
+	return &b.loadFails
+}
+
+// onSuccess records a successful operation: it resets that class's
+// consecutive failure count and closes the breaker if a half-open probe
+// succeeded. The healthy path (closed, no recent failures) is two
+// atomic loads.
+func (b *breaker) onSuccess(op storeOp) {
+	if b == nil {
+		return
+	}
+	if b.state.Load() == breakerClosed {
+		if s := b.streak(op); s.Load() != 0 {
+			s.Store(0)
+		}
+		return
+	}
+	b.mu.Lock()
+	b.saveFails.Store(0)
+	b.loadFails.Store(0)
+	b.probing = false
+	b.state.Store(breakerClosed)
+	b.mu.Unlock()
+}
+
+// onFailure records a failed operation (after retries). It trips the
+// breaker open after Threshold consecutive failures of either operation
+// class while closed, and reopens immediately on a failed half-open
+// probe.
+func (b *breaker) onFailure(op storeOp) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case breakerClosed:
+		if int(b.streak(op).Add(1)) >= b.threshold {
+			b.state.Store(breakerOpen)
+			b.openedAt = b.now()
+			b.trips.Add(1)
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		b.state.Store(breakerOpen)
+		b.openedAt = b.now()
+	default: // already open (racing op that was admitted before the trip)
+		b.openedAt = b.now()
+	}
+}

@@ -1,0 +1,56 @@
+package fleet
+
+// FuzzFaultSchedule drives a Fleet through fuzzer-chosen fault
+// schedules and checks the chaos invariant on every run: a stream
+// reporting StreamErr == nil produced a phase sequence byte-identical
+// to a fault-free serial run, any dropped batch latches a fleet-level
+// error, and no schedule — however hostile — panics or wedges the
+// pipeline.
+
+import (
+	"testing"
+
+	"phasekit/internal/faults"
+)
+
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint8(0), uint8(3), uint8(4), uint8(9))
+	f.Add(uint64(0xc4a05), uint16(100), uint8(3), uint8(8), uint8(0), uint8(0))
+	f.Add(uint64(7), uint16(400), uint8(6), uint8(1), uint8(2), uint8(3))
+	f.Add(uint64(42), uint16(999), uint8(1), uint8(0), uint8(255), uint8(254))
+	f.Fuzz(func(t *testing.T, seed uint64, rate uint16, burst, retries, nthA, nthB uint8) {
+		work := evictionWorkload(4, 800)
+		want := serialReference(work)
+		sched := faults.Schedule{
+			Seed:     seed,
+			FailRate: float64(rate%1000) / 1000 * 0.4,
+			Burst:    int(burst % 8),
+			TornNth:  []int{int(nthA) + 1},
+			FailNth:  []int{int(nthB) + 1},
+		}
+		store := faults.Wrap(NewMemStore(), sched)
+		cfg := chaosConfig(store, int(retries%6))
+		r := runChaos(t, work, cfg)
+
+		for name, w := range want {
+			if _, faulted := r.streamErrs[name]; faulted {
+				continue // excluded from the golden property, loudly
+			}
+			g := r.phases[name]
+			if len(g) != len(w) {
+				t.Fatalf("stream %s reports healthy but produced %d intervals, want %d (schedule %+v)",
+					name, len(g), len(w), sched)
+			}
+			for i := range w {
+				if g[i] != w[i] {
+					t.Fatalf("stream %s reports healthy but diverged at interval %d (schedule %+v)",
+						name, i, sched)
+				}
+			}
+		}
+		if r.metrics.DroppedBatches > 0 && r.err == nil {
+			t.Fatalf("%d batches dropped but Err() is nil (schedule %+v)",
+				r.metrics.DroppedBatches, sched)
+		}
+	})
+}

@@ -15,11 +15,13 @@
 //
 // Ingestion applies backpressure: each shard's queue is a bounded
 // channel, so producers block (rather than buffer without bound) when
-// classification falls behind. Control operations — Flush, Report,
-// Snapshot, Close — travel through the same per-shard channels as data,
-// so they observe every batch enqueued before them (FIFO per shard),
-// which makes results deterministic for any fixed per-stream input
-// regardless of shard count or producer interleaving.
+// classification falls behind — or, under OverloadReject, are refused
+// with ErrOverloaded so they can shed load instead of stalling. Control
+// operations — Flush, Report, Snapshot, Close — travel through the same
+// per-shard channels as data, so they observe every batch enqueued
+// before them (FIFO per shard), which makes results deterministic for
+// any fixed per-stream input regardless of shard count or producer
+// interleaving.
 //
 // With a StateStore and a resident limit configured, a Fleet bounds
 // memory by *active* streams instead of total streams: each shard
@@ -27,6 +29,22 @@
 // into the store and transparently rehydrates on the next batch.
 // Because snapshot/restore is bit-deterministic, eviction never changes
 // any stream's phase sequence, predictions, or Report.
+//
+// # Fault model
+//
+// The state path is fail-operational, not fail-stop. Store operations
+// are retried with capped exponential backoff and jitter (RetryPolicy),
+// and a circuit breaker (BreakerPolicy) stops hammering a down store
+// after consecutive failures. While the breaker is open the Fleet
+// degrades gracefully: eviction is suspended, so trackers stay resident
+// above MaxResident (tracked by MetricsSnapshot.Overshoot) rather than
+// risking state loss; a failed save likewise keeps its tracker live. A
+// stream whose snapshot is corrupt (ErrSnapshotCorrupt) is quarantined
+// — its batches are dropped and counted — because classifying it from a
+// fresh tracker would silently diverge from its true phase sequence.
+// Every failure is observable: per-stream via StreamErr, fleet-wide via
+// Err (first failure, wrapping the stream ID and operation), and in
+// aggregate via Metrics.
 package fleet
 
 import (
@@ -34,8 +52,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"phasekit/internal/core"
+	"phasekit/internal/rng"
 	"phasekit/internal/trace"
 )
 
@@ -46,8 +66,12 @@ type Config struct {
 	Shards int
 	// QueueDepth is the per-shard ingestion queue capacity in batches.
 	// 0 means DefaultQueueDepth. Producers block when a shard's queue
-	// is full (backpressure).
+	// is full (backpressure), unless Overload is OverloadReject.
 	QueueDepth int
+	// Overload selects what Send does when the owning shard's queue is
+	// full: OverloadBlock (default) blocks, OverloadReject returns
+	// ErrOverloaded.
+	Overload OverloadPolicy
 	// Tracker is the per-stream tracker configuration. The zero value
 	// means core.DefaultConfig().
 	Tracker core.Config
@@ -65,8 +89,20 @@ type Config struct {
 	// least Shards: the cap is divided into per-shard quotas (each
 	// shard owns its streams exclusively, so eviction decisions stay
 	// lock-free), and every shard needs room for at least one live
-	// tracker to process a batch.
+	// tracker to process a batch. The cap may be exceeded while the
+	// store is failing (see the package fault model).
 	MaxResident int
+	// Retry configures retries of failed store operations. The zero
+	// value disables retries.
+	Retry RetryPolicy
+	// Breaker configures the store circuit breaker. The zero value
+	// disables it.
+	Breaker BreakerPolicy
+	// Now and Sleep are the clock and sleeper behind the breaker
+	// cooldown and retry backoff. Nil means time.Now and time.Sleep;
+	// tests inject fakes so no real time passes.
+	Now   func() time.Time
+	Sleep func(time.Duration)
 }
 
 // DefaultQueueDepth is the per-shard queue capacity used when
@@ -94,6 +130,12 @@ func (c Config) withDefaults() Config {
 	if c.Tracker.IntervalInstrs == 0 && c.Tracker.Dims == 0 {
 		c.Tracker = core.DefaultConfig()
 	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
 	return c
 }
 
@@ -106,8 +148,17 @@ func (c Config) Validate() error {
 	if c.QueueDepth < 1 {
 		return fmt.Errorf("fleet: QueueDepth must be >= 1, got %d", c.QueueDepth)
 	}
+	if c.Overload > OverloadReject {
+		return fmt.Errorf("fleet: unknown overload policy %d", c.Overload)
+	}
 	if c.MaxResident < 0 {
 		return fmt.Errorf("fleet: MaxResident must be >= 0, got %d", c.MaxResident)
+	}
+	if c.Retry.MaxRetries < 0 {
+		return fmt.Errorf("fleet: Retry.MaxRetries must be >= 0, got %d", c.Retry.MaxRetries)
+	}
+	if c.Breaker.Threshold < 0 {
+		return fmt.Errorf("fleet: Breaker.Threshold must be >= 0, got %d", c.Breaker.Threshold)
 	}
 	if c.MaxResident > 0 {
 		if c.Store == nil {
@@ -148,6 +199,7 @@ const (
 	msgFlush
 	msgReport
 	msgSnapshot
+	msgStreamErr
 	msgClose
 )
 
@@ -155,8 +207,8 @@ type shardMsg struct {
 	kind  msgKind
 	batch Batch // msgBatch
 
-	stream string           // msgReport
-	report chan shardReport // msgReport, msgSnapshot
+	stream string           // msgReport, msgStreamErr
+	report chan shardReport // msgReport, msgSnapshot, msgStreamErr
 
 	done    chan struct{} // msgFlush, msgClose: ack
 	release chan struct{} // msgSnapshot: barrier release
@@ -164,6 +216,7 @@ type shardMsg struct {
 
 type shardReport struct {
 	reports map[string]core.Report
+	err     error // msgStreamErr
 	ok      bool
 }
 
@@ -171,10 +224,21 @@ type shardReport struct {
 // nil while the stream is evicted to the store; lastUse orders resident
 // streams for LRU eviction; pending remembers that the stream was
 // evicted with a partial interval open, so Flush knows to rehydrate it.
+// err is the stream's most recent store failure (cleared by the next
+// successful operation); quarantined latches when the failure is
+// permanent (corrupt snapshot), after which the stream's batches are
+// dropped and counted.
 type streamEntry struct {
-	tracker *core.Tracker
-	lastUse uint64
-	pending bool
+	tracker     *core.Tracker
+	lastUse     uint64
+	pending     bool
+	err         error
+	quarantined bool
+	// dropped latches once any batch for the stream has been discarded:
+	// from then on the stream's phase sequence is missing data, so its
+	// error is never cleared by later successes (StreamErr must keep
+	// reporting that the sequence is incomplete).
+	dropped bool
 }
 
 // shard is one worker's exclusive state. Only the worker goroutine
@@ -182,18 +246,22 @@ type streamEntry struct {
 type shard struct {
 	ch      chan shardMsg
 	streams map[string]*streamEntry
-	clock   uint64 // LRU clock, bumped per batch
-	quota   int    // max resident trackers; 0 = unlimited
-	snapBuf []byte // reusable eviction snapshot buffer
+	clock   uint64          // LRU clock, bumped per batch
+	quota   int             // max resident trackers; 0 = unlimited
+	snapBuf []byte          // reusable eviction snapshot buffer
+	rng     *rng.Xoshiro256 // deterministic retry-backoff jitter
 }
 
 // Fleet tracks phases for many concurrent instruction streams. All
 // methods are safe for concurrent use, except that Send must not be
 // called concurrently with (or after) Close.
 type Fleet struct {
-	cfg    Config
-	shards []*shard
-	wg     sync.WaitGroup
+	cfg     Config
+	shards  []*shard
+	wg      sync.WaitGroup
+	retr    *retrier // nil when no Store is configured
+	breaker *breaker // nil when the breaker is disabled
+	metrics metrics
 
 	// mu serializes Snapshot barriers (two interleaved barriers would
 	// deadlock shards parked on different releases) and Close.
@@ -204,8 +272,8 @@ type Fleet struct {
 	// the enforcement is per-shard quotas).
 	resident atomic.Int64
 
-	// errMu guards firstErr, the first store save/load/restore failure
-	// observed by any shard.
+	// errMu guards firstErr, the first store failure observed by any
+	// shard.
 	errMu    sync.Mutex
 	firstErr error
 }
@@ -218,10 +286,21 @@ func New(cfg Config) *Fleet {
 		panic(err)
 	}
 	f := &Fleet{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	f.breaker = newBreaker(cfg.Breaker, cfg.Now, &f.metrics.breakerTrips)
+	if cfg.Store != nil {
+		f.retr = &retrier{
+			store:   cfg.Store,
+			policy:  cfg.Retry.withDefaults(),
+			breaker: f.breaker,
+			sleep:   cfg.Sleep,
+			metrics: &f.metrics,
+		}
+	}
 	for i := range f.shards {
 		sh := &shard{
 			ch:      make(chan shardMsg, cfg.QueueDepth),
 			streams: make(map[string]*streamEntry),
+			rng:     rng.NewXoshiro256(0xfa017 + uint64(i)),
 		}
 		if cfg.MaxResident > 0 {
 			// Divide the fleet-wide cap into per-shard quotas; the
@@ -240,14 +319,18 @@ func New(cfg Config) *Fleet {
 }
 
 // Resident returns the current number of live (non-evicted) Trackers
-// across all shards. With MaxResident configured it never exceeds the
-// limit; without, it equals the number of streams seen.
+// across all shards. With MaxResident configured it stays within the
+// limit while the store is healthy; during a store outage eviction is
+// suspended and the count may overshoot (see Metrics).
 func (f *Fleet) Resident() int { return int(f.resident.Load()) }
 
-// Err returns the first store save/load or snapshot-restore failure any
-// shard has observed, or nil. A save failure keeps the tracker resident
-// (never losing state); a load or restore failure falls back to a fresh
-// tracker so the pipeline keeps flowing.
+// Err returns the first store failure any shard has observed, or nil.
+// The error wraps the failing stream ID and operation plus the typed
+// failure class, so errors.Is(err, ErrSnapshotCorrupt) and friends
+// work. A save failure keeps the tracker resident (never losing
+// state); a rehydration failure drops the stream's batches until the
+// store recovers (transient) or forever (corrupt snapshot). Per-stream
+// status is available from StreamErr, aggregate counters from Metrics.
 func (f *Fleet) Err() error {
 	f.errMu.Lock()
 	defer f.errMu.Unlock()
@@ -261,6 +344,22 @@ func (f *Fleet) recordErr(err error) {
 		f.firstErr = err
 	}
 	f.errMu.Unlock()
+}
+
+// failStream records a store failure against one stream: the wrapped
+// error (stream ID + operation + typed class) becomes the stream's
+// StreamErr and latches into Err. Permanent data errors on the load
+// path quarantine the stream — its snapshot is bad, so classifying it
+// from scratch would silently diverge.
+func (f *Fleet) failStream(e *streamEntry, stream, op string, err error, quarantineOnPermanent bool) error {
+	werr := fmt.Errorf("stream %q: %s: %w", stream, op, err)
+	e.err = werr
+	if quarantineOnPermanent && permanent(err) && !e.quarantined {
+		e.quarantined = true
+		f.metrics.quarantined.Add(1)
+	}
+	f.recordErr(werr)
+	return werr
 }
 
 // Shards returns the number of shards.
@@ -280,17 +379,31 @@ func (f *Fleet) shardFor(stream string) *shard {
 	return f.shards[h%uint64(len(f.shards))]
 }
 
-// Send enqueues a batch for classification, blocking while the owning
-// shard's queue is full. Batches for the same stream must be sent in
-// stream order (one producer per stream, or externally ordered);
-// batches for different streams may be sent concurrently.
-func (f *Fleet) Send(b Batch) {
-	f.shardFor(b.Stream).ch <- shardMsg{kind: msgBatch, batch: b}
+// Send enqueues a batch for classification. Under OverloadBlock (the
+// default) it blocks while the owning shard's queue is full and always
+// returns nil; under OverloadReject it returns ErrOverloaded instead
+// of blocking, so callers can shed load. Batches for the same stream
+// must be sent in stream order (one producer per stream, or externally
+// ordered); batches for different streams may be sent concurrently.
+func (f *Fleet) Send(b Batch) error {
+	sh := f.shardFor(b.Stream)
+	msg := shardMsg{kind: msgBatch, batch: b}
+	if f.cfg.Overload == OverloadReject {
+		select {
+		case sh.ch <- msg:
+			return nil
+		default:
+			f.metrics.rejectedBatches.Add(1)
+			return ErrOverloaded
+		}
+	}
+	sh.ch <- msg
+	return nil
 }
 
 // Track is shorthand for Send of a cycle-less event batch.
-func (f *Fleet) Track(stream string, events []trace.BranchEvent) {
-	f.Send(Batch{Stream: stream, Events: events})
+func (f *Fleet) Track(stream string, events []trace.BranchEvent) error {
+	return f.Send(Batch{Stream: stream, Events: events})
 }
 
 // Flush force-closes the trailing partial interval of every stream
@@ -317,6 +430,22 @@ func (f *Fleet) Report(stream string) (core.Report, bool) {
 		return core.Report{}, false
 	}
 	return r.reports[stream], true
+}
+
+// StreamErr returns the most recent store failure recorded for a
+// stream, or nil if the stream is healthy or has never been seen. It
+// reflects every batch enqueued for the stream before the call. An
+// error wrapping ErrSnapshotCorrupt (or ErrSnapshotTooLarge) means the
+// stream is quarantined permanently; one wrapping ErrStoreUnavailable
+// is transient and clears on the stream's next successful store
+// operation — unless a batch was dropped, in which case the error
+// stays latched because the stream's phase sequence is incomplete.
+// Equivalently: StreamErr == nil guarantees the stream's phase
+// sequence is byte-identical to a fault-free run.
+func (f *Fleet) StreamErr(stream string) error {
+	reply := make(chan shardReport, 1)
+	f.shardFor(stream).ch <- shardMsg{kind: msgStreamErr, stream: stream, report: reply}
+	return (<-reply).err
 }
 
 // Snapshot returns a consistent point-in-time report for every stream:
@@ -377,8 +506,15 @@ func (f *Fleet) run(sh *shard) {
 					}
 					// Rehydrate to close the partial interval; the
 					// stream stays resident (it is now the MRU) and
-					// later traffic can evict it again.
-					f.residentTracker(sh, name, e)
+					// later traffic can evict it again. If the store
+					// is down or the snapshot corrupt, the pending
+					// interval is dropped and counted — never
+					// fabricated from a fresh tracker.
+					if _, err := f.residentTracker(sh, name, e); err != nil {
+						e.dropped = true
+						f.metrics.droppedBatches.Add(1)
+						continue
+					}
 				}
 				if res, ok := e.tracker.Flush(); ok && f.cfg.OnInterval != nil {
 					f.cfg.OnInterval(name, res)
@@ -389,13 +525,19 @@ func (f *Fleet) run(sh *shard) {
 			e, ok := sh.streams[msg.stream]
 			r := shardReport{ok: ok}
 			if ok {
-				r.reports = map[string]core.Report{msg.stream: f.peekReport(msg.stream, e)}
+				r.reports = map[string]core.Report{msg.stream: f.peekReport(sh, msg.stream, e)}
+			}
+			msg.report <- r
+		case msgStreamErr:
+			r := shardReport{}
+			if e, ok := sh.streams[msg.stream]; ok {
+				r.ok, r.err = true, e.err
 			}
 			msg.report <- r
 		case msgSnapshot:
 			reports := make(map[string]core.Report, len(sh.streams))
 			for name, e := range sh.streams {
-				reports[name] = f.peekReport(name, e)
+				reports[name] = f.peekReport(sh, name, e)
 			}
 			msg.report <- shardReport{reports: reports, ok: true}
 			// Park at the barrier so every shard stands still through
@@ -410,59 +552,85 @@ func (f *Fleet) run(sh *shard) {
 
 // peekReport reports a stream without disturbing residency: a live
 // tracker reports directly; an evicted one is decoded into a throwaway
-// tracker (reads leave both the store and the quota untouched).
-func (f *Fleet) peekReport(stream string, e *streamEntry) core.Report {
+// tracker (reads leave both the store and the quota untouched). A
+// stream that cannot be rehydrated (quarantined, or store down) reports
+// as empty; the failure is recorded, never fabricated away.
+func (f *Fleet) peekReport(sh *shard, stream string, e *streamEntry) core.Report {
 	if e.tracker != nil {
 		return e.tracker.Report()
 	}
-	return f.rehydrate(stream).Report()
+	if !e.quarantined {
+		t, err := f.rehydrate(sh, stream)
+		if err == nil {
+			return t.Report()
+		}
+		f.failStream(e, stream, "load", err, true)
+	}
+	return core.NewTracker(stream, f.cfg.Tracker).Report()
 }
 
 // rehydrate builds a tracker for a stream from its stored snapshot, or
-// a fresh one if the store has never seen it (a genuinely new stream, or
-// no store configured). Store and restore failures are recorded via Err
-// and fall back to a fresh tracker, keeping the pipeline flowing.
-func (f *Fleet) rehydrate(stream string) *core.Tracker {
+// a fresh one if the store has never seen it (a genuinely new stream,
+// or no store configured). It fails — rather than falling back to a
+// fresh tracker, which would silently diverge from the stream's true
+// phase sequence — when the store is unavailable after retries or the
+// snapshot fails to decode.
+func (f *Fleet) rehydrate(sh *shard, stream string) (*core.Tracker, error) {
 	t := core.NewTracker(stream, f.cfg.Tracker)
-	if f.cfg.Store == nil {
-		return t
+	if f.retr == nil {
+		return t, nil
 	}
-	snap, ok, err := f.cfg.Store.Load(stream)
+	snap, ok, err := f.retr.load(sh.rng, stream)
 	if err != nil {
-		f.recordErr(fmt.Errorf("fleet: loading stream %q: %w", stream, err))
-		return t
+		return nil, err
 	}
 	if !ok {
-		return t
+		return t, nil
 	}
 	if err := t.Restore(snap); err != nil {
-		f.recordErr(fmt.Errorf("fleet: restoring stream %q: %w", stream, err))
-		return core.NewTracker(stream, f.cfg.Tracker)
+		return nil, fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
-	return t
+	return t, nil
 }
 
 // residentTracker makes a stream's tracker live, evicting LRU residents
 // first so the shard's quota is never exceeded (even transiently), and
-// marks it most recently used.
-func (f *Fleet) residentTracker(sh *shard, stream string, e *streamEntry) *core.Tracker {
+// marks it most recently used. It fails without a tracker when the
+// stream is quarantined or cannot be rehydrated.
+func (f *Fleet) residentTracker(sh *shard, stream string, e *streamEntry) (*core.Tracker, error) {
+	if e.quarantined {
+		return nil, e.err
+	}
 	if e.tracker == nil {
 		if sh.quota > 0 {
 			f.evictDownTo(sh, sh.quota-1)
 		}
-		e.tracker = f.rehydrate(stream)
+		t, err := f.rehydrate(sh, stream)
+		if err != nil {
+			return nil, f.failStream(e, stream, "load", err, true)
+		}
+		e.tracker = t
 		e.pending = false
+		if !e.dropped {
+			e.err = nil
+		}
 		f.resident.Add(1)
 	}
 	sh.clock++
 	e.lastUse = sh.clock
-	return e.tracker
+	return e.tracker, nil
 }
 
 // evictDownTo serializes LRU resident trackers into the store until at
 // most target remain live on this shard. A failed save keeps the
-// tracker resident so no state is lost.
+// tracker resident so no state is lost; an open circuit breaker
+// suspends eviction entirely (graceful degradation: residency
+// overshoots instead of burning retries against a down store).
 func (f *Fleet) evictDownTo(sh *shard, target int) {
+	if f.breaker.suspended() {
+		f.metrics.suspendedEvictions.Add(1)
+		return
+	}
 	resident := 0
 	for _, e := range sh.streams {
 		if e.tracker != nil {
@@ -478,9 +646,14 @@ func (f *Fleet) evictDownTo(sh *shard, target int) {
 			}
 		}
 		sh.snapBuf = victim.tracker.AppendSnapshot(sh.snapBuf[:0])
-		if err := f.cfg.Store.Save(victimName, sh.snapBuf); err != nil {
-			f.recordErr(err)
-			return // keep the tracker live rather than lose its state
+		if err := f.retr.save(sh.rng, victimName, sh.snapBuf); err != nil {
+			// Keep the tracker live rather than lose its state; the
+			// stream itself stays healthy.
+			f.failStream(victim, victimName, "save", err, false)
+			return
+		}
+		if !victim.dropped {
+			victim.err = nil
 		}
 		victim.pending = victim.tracker.Pending() > 0
 		victim.tracker = nil
@@ -490,14 +663,22 @@ func (f *Fleet) evictDownTo(sh *shard, target int) {
 }
 
 // apply feeds one batch into its stream's tracker (Figure 1 steps 1-2,
-// batched), rehydrating the stream first if it was evicted.
+// batched), rehydrating the stream first if it was evicted. A batch
+// whose stream cannot be made resident (quarantined, or store down) is
+// dropped and counted — the error is already recorded against the
+// stream.
 func (f *Fleet) apply(sh *shard, b Batch) {
 	e := sh.streams[b.Stream]
 	if e == nil {
 		e = &streamEntry{}
 		sh.streams[b.Stream] = e
 	}
-	t := f.residentTracker(sh, b.Stream, e)
+	t, err := f.residentTracker(sh, b.Stream, e)
+	if err != nil {
+		e.dropped = true
+		f.metrics.droppedBatches.Add(1)
+		return
+	}
 	t.Cycles(b.Cycles)
 	for _, ev := range b.Events {
 		if res, ok := t.Branch(ev.PC, ev.Instrs); ok && f.cfg.OnInterval != nil {

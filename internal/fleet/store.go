@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"hash/crc32"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -17,6 +18,11 @@ import (
 // calls the store independently. Save must durably replace any previous
 // snapshot for the stream; Load returns ok=false when the stream has
 // never been saved.
+//
+// Error contract: a Load error wrapping ErrSnapshotCorrupt (or
+// ErrSnapshotTooLarge) means the stored bytes are bad — the Fleet
+// quarantines the stream and never retries. Any other error is treated
+// as transient and retried under the Fleet's RetryPolicy.
 type StateStore interface {
 	// Save persists a stream's snapshot, replacing any previous one.
 	// The snapshot slice is owned by the caller; implementations must
@@ -66,20 +72,116 @@ func (s *MemStore) Len() int {
 	return len(s.snaps)
 }
 
-// FileStore is a file-backed StateStore: one snapshot file per stream
-// under a directory, written atomically (temp file + rename), so a
-// fleet can checkpoint across process restarts.
-type FileStore struct {
-	dir string
+// Corrupt overwrites a stored snapshot with mutated bytes (bit-flip of
+// byte i, or truncation to i bytes when flip is false). It exists for
+// fault-injection tests; production code never mutates stored state.
+func (s *MemStore) Corrupt(stream string, i int, flip bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snaps[stream]
+	if !ok || i >= len(snap) {
+		return false
+	}
+	if flip {
+		cp := make([]byte, len(snap))
+		copy(cp, snap)
+		cp[i] ^= 0x80
+		s.snaps[stream] = cp
+	} else {
+		s.snaps[stream] = snap[:i]
+	}
+	return true
 }
 
-// NewFileStore returns a store rooted at dir, creating it if needed.
+// DefaultMaxSnapshotBytes bounds the snapshot payload size a FileStore
+// will read or write. Real tracker snapshots are a few KB; anything
+// approaching this limit is a corrupted file (e.g. a bad length field),
+// and rejecting it before the read defends against multi-GB
+// allocations.
+const DefaultMaxSnapshotBytes = 64 << 20
+
+// crcSize is the CRC32C (Castagnoli) trailer appended to every
+// snapshot file: Load recomputes it over the payload and rejects
+// mismatches as ErrSnapshotCorrupt, so torn or bit-rotted files are
+// detected instead of decoded.
+const crcSize = 4
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// quarantineDir is where the recovery scan and Load move damaged files
+// (orphaned temp files, truncated or checksum-failing snapshots), so a
+// crash never leaves the store in a state that fails to open and the
+// damaged bytes stay available for inspection.
+const quarantineDir = "quarantine"
+
+// FileHooks intercept the durability steps of FileStore.Save for fault
+// injection: each hook runs immediately before the named step and
+// aborts the save if it returns an error, simulating a crash at that
+// point (the on-disk state is whatever the completed steps left
+// behind). Nil hooks are skipped. See internal/faults.FS.
+type FileHooks struct {
+	// BeforeSync runs after the payload is written, before the temp
+	// file is fsynced.
+	BeforeSync func(tmpPath string) error
+	// BeforeRename runs after the temp file is synced and closed,
+	// before it is renamed over the destination.
+	BeforeRename func(tmpPath, dstPath string) error
+	// BeforeDirSync runs after the rename, before the directory fsync
+	// that makes it durable.
+	BeforeDirSync func(dir string) error
+}
+
+// RecoveryStats reports what the startup recovery scan found.
+type RecoveryStats struct {
+	// Scanned is the number of snapshot files examined.
+	Scanned int
+	// Orphans is the number of leftover temp files (a crash between
+	// write and rename) moved to the quarantine directory.
+	Orphans int
+	// Corrupt is the number of snapshot files that failed size or
+	// checksum verification and were quarantined.
+	Corrupt int
+}
+
+// FileStore is a crash-safe file-backed StateStore: one snapshot file
+// per stream, written via temp file + fsync + rename + directory fsync
+// with a CRC32C trailer, so a crash at any point leaves either the old
+// snapshot or the new one — never a torn file that decodes. Opening a
+// store runs a recovery scan that quarantines (rather than fails on)
+// orphaned temp files and corrupt snapshots.
+type FileStore struct {
+	dir   string
+	limit int64 // max payload bytes accepted by Save/Load
+	stats RecoveryStats
+
+	mu    sync.Mutex // serializes quarantine moves
+	hooks FileHooks
+}
+
+// NewFileStore returns a store rooted at dir, creating it if needed,
+// after running the crash-recovery scan (see Recovered).
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fleet: creating state dir: %w", err)
 	}
-	return &FileStore{dir: dir}, nil
+	s := &FileStore{dir: dir, limit: DefaultMaxSnapshotBytes}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
+
+// SetHooks installs fault-injection hooks on the save path. Not safe
+// to call concurrently with Save; intended for tests.
+func (s *FileStore) SetHooks(h FileHooks) { s.hooks = h }
+
+// SetSizeLimit overrides the maximum snapshot payload size (bytes).
+// Intended for tests; the default is DefaultMaxSnapshotBytes.
+func (s *FileStore) SetSizeLimit(n int64) { s.limit = n }
+
+// Recovered reports what the startup recovery scan found and
+// quarantined.
+func (s *FileStore) Recovered() RecoveryStats { return s.stats }
 
 // path maps a stream name to its snapshot file. Names are URL-escaped
 // so arbitrary stream identifiers (slashes, dots, spaces) cannot walk
@@ -88,36 +190,170 @@ func (s *FileStore) path(stream string) string {
 	return filepath.Join(s.dir, url.QueryEscape(stream)+".pkst")
 }
 
-// Save writes the snapshot atomically via a temp file and rename.
+// quarantine moves a damaged file into the quarantine subdirectory,
+// best-effort: recovery must never turn one bad file into a fatal
+// error, so a failed move falls back to deletion.
+func (s *FileStore) quarantine(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+			return
+		}
+	}
+	os.Remove(path)
+}
+
+// recover scans the store directory once at open: leftover temp files
+// (crash between write and rename) and snapshot files failing size or
+// CRC verification are quarantined so later Loads see a clean store.
+func (s *FileStore) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("fleet: scanning state dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		if matched, _ := filepath.Match(".tmp-*", name); matched {
+			s.stats.Orphans++
+			s.quarantine(path)
+			continue
+		}
+		if filepath.Ext(name) != ".pkst" {
+			continue
+		}
+		s.stats.Scanned++
+		if _, err := s.readVerified(path); err != nil {
+			s.stats.Corrupt++
+			s.quarantine(path)
+		}
+	}
+	return nil
+}
+
+// readVerified reads a snapshot file, enforcing the size limit before
+// allocating and the CRC32C trailer after, and returns the payload
+// with the trailer stripped. Integrity failures wrap
+// ErrSnapshotCorrupt / ErrSnapshotTooLarge.
+func (s *FileStore) readVerified(path string) ([]byte, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.Size() > s.limit+crcSize {
+		return nil, fmt.Errorf("%w: %s is %d bytes (limit %d)",
+			ErrSnapshotTooLarge, filepath.Base(path), info.Size(), s.limit)
+	}
+	if info.Size() < crcSize {
+		return nil, fmt.Errorf("%w: %s is %d bytes, shorter than its checksum trailer",
+			ErrSnapshotCorrupt, filepath.Base(path), info.Size())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, trailer := data[:len(data)-crcSize], data[len(data)-crcSize:]
+	want := uint32(trailer[0]) | uint32(trailer[1])<<8 | uint32(trailer[2])<<16 | uint32(trailer[3])<<24
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: %s checksum %08x, trailer says %08x",
+			ErrSnapshotCorrupt, filepath.Base(path), got, want)
+	}
+	return payload, nil
+}
+
+// Save writes the snapshot crash-safely: temp file, CRC32C trailer,
+// fsync, rename, directory fsync. A failure (or injected crash) at any
+// step leaves the previous snapshot intact.
 func (s *FileStore) Save(stream string, snapshot []byte) error {
+	if int64(len(snapshot)) > s.limit {
+		return fmt.Errorf("fleet: saving %q: %w: %d bytes (limit %d)",
+			stream, ErrSnapshotTooLarge, len(snapshot), s.limit)
+	}
 	dst := s.path(stream)
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("fleet: saving %q: %w", stream, err)
 	}
-	_, werr := tmp.Write(snapshot)
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), dst)
-	}
-	if werr != nil {
+	crc := crc32.Checksum(snapshot, castagnoli)
+	trailer := [crcSize]byte{byte(crc), byte(crc >> 8), byte(crc >> 16), byte(crc >> 24)}
+	err = s.writeSynced(tmp, dst, snapshot, trailer[:])
+	if err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("fleet: saving %q: %w", stream, werr)
+		return fmt.Errorf("fleet: saving %q: %w", stream, err)
 	}
 	return nil
 }
 
-// Load reads the snapshot file for stream.
+// writeSynced performs the ordered durability steps of Save on an open
+// temp file, running the fault-injection hooks between them.
+func (s *FileStore) writeSynced(tmp *os.File, dst string, payload, trailer []byte) error {
+	_, err := tmp.Write(payload)
+	if err == nil {
+		_, err = tmp.Write(trailer)
+	}
+	if err == nil && s.hooks.BeforeSync != nil {
+		err = s.hooks.BeforeSync(tmp.Name())
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil && s.hooks.BeforeRename != nil {
+		err = s.hooks.BeforeRename(tmp.Name(), dst)
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), dst)
+	}
+	if err != nil {
+		return err
+	}
+	// The rename is visible; make it durable. A crash (or injected
+	// fault) past this point may lose the rename but never corrupts:
+	// recovery sees either the old file or the new one, both
+	// checksum-valid.
+	if s.hooks.BeforeDirSync != nil {
+		if err := s.hooks.BeforeDirSync(s.dir); err != nil {
+			return err
+		}
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Load reads and verifies the snapshot file for stream. A file that
+// fails verification is quarantined and reported as ErrSnapshotCorrupt
+// (or ErrSnapshotTooLarge), so one bad snapshot can never poison
+// subsequent loads.
 func (s *FileStore) Load(stream string) ([]byte, bool, error) {
-	data, err := os.ReadFile(s.path(stream))
+	path := s.path(stream)
+	payload, err := s.readVerified(path)
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
 	if err != nil {
+		if permanent(err) {
+			s.quarantine(path)
+		}
 		return nil, false, fmt.Errorf("fleet: loading %q: %w", stream, err)
 	}
-	return data, true, nil
+	return payload, true, nil
 }

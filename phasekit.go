@@ -105,9 +105,55 @@ type StateStore = fleet.StateStore
 // compact serialized buffer per stream instead of live table structures.
 type MemStore = fleet.MemStore
 
-// FileStore is a file-backed StateStore: one atomically written
-// snapshot file per stream, durable across process restarts.
+// FileStore is a crash-safe file-backed StateStore: one snapshot file
+// per stream written via temp file + fsync + rename + directory fsync
+// with a CRC32C trailer, recovered (damaged files quarantined) on open.
 type FileStore = fleet.FileStore
+
+// RecoveryStats reports what a FileStore's startup recovery scan found
+// and quarantined.
+type RecoveryStats = fleet.RecoveryStats
+
+// RetryPolicy configures retries (capped exponential backoff with
+// jitter) of failed Fleet store operations.
+type RetryPolicy = fleet.RetryPolicy
+
+// BreakerPolicy configures the Fleet's store circuit breaker
+// (closed → open → half-open). While open, eviction is suspended and
+// store operations fast-fail with ErrStoreUnavailable.
+type BreakerPolicy = fleet.BreakerPolicy
+
+// OverloadPolicy selects what Fleet.Send does when the owning shard's
+// queue is full: block (backpressure) or reject with ErrOverloaded.
+type OverloadPolicy = fleet.OverloadPolicy
+
+// Overload policies for FleetConfig.Overload.
+const (
+	// OverloadBlock makes Send block until queue space frees (default).
+	OverloadBlock = fleet.OverloadBlock
+	// OverloadReject makes Send return ErrOverloaded instead of blocking.
+	OverloadReject = fleet.OverloadReject
+)
+
+// MetricsSnapshot is a point-in-time copy of a Fleet's fault and
+// degradation counters; see Fleet.Metrics.
+type MetricsSnapshot = fleet.MetricsSnapshot
+
+// Typed failure classes for Fleet store errors; match with errors.Is.
+var (
+	// ErrSnapshotCorrupt marks a snapshot failing integrity
+	// verification; the stream is quarantined.
+	ErrSnapshotCorrupt = fleet.ErrSnapshotCorrupt
+	// ErrSnapshotTooLarge marks a snapshot exceeding the store's size
+	// limit, rejected before allocation.
+	ErrSnapshotTooLarge = fleet.ErrSnapshotTooLarge
+	// ErrStoreUnavailable marks a store operation that failed after
+	// exhausting retries or was fast-failed by an open breaker.
+	ErrStoreUnavailable = fleet.ErrStoreUnavailable
+	// ErrOverloaded is returned by Fleet.Send under OverloadReject when
+	// the shard queue is full.
+	ErrOverloaded = fleet.ErrOverloaded
+)
 
 // BranchEvent is a committed-branch record: the branch PC and the
 // instructions committed since the previous branch.
