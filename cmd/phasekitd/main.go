@@ -1,0 +1,195 @@
+// Command phasekitd is the always-on phase tracking service: a TCP
+// server that ingests branch-event batches over the internal/wire
+// binary protocol, classifies them through a phasekit Fleet, and
+// survives hostile operating conditions — slow or malicious clients,
+// poisoned streams, store outages, and orderly restarts.
+//
+// Usage:
+//
+//	phasekitd -addr :9127 -store /var/lib/phasekit      # serve
+//	phasekitd -addr :9127 -store dir -restore           # resume a drained state dir
+//	phasekitd -addr :9127 -health :9128                 # + /healthz /readyz /metricz
+//	phasekitd -addr :9127 -store dir -phases phases.log # per-interval phase log
+//
+// Pipe a trace into it with phasesim:
+//
+//	phasesim -workload mcf -streams 8 -connect 127.0.0.1:9127
+//
+// On SIGTERM/SIGINT the server drains gracefully: it stops accepting,
+// finishes in-flight frames, processes everything enqueued, checkpoints
+// every resident stream (including mid-interval state) into -store,
+// appends the phase log, and exits 0. Restarting with -restore resumes
+// every stream bit-identically, so a trace split across a restart
+// yields exactly the phase sequence of an uninterrupted run.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"phasekit/internal/core"
+	"phasekit/internal/fleet"
+	"phasekit/internal/server"
+	"phasekit/internal/wire"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":9127", "TCP listen address for the binary ingest protocol")
+		health     = flag.String("health", "", "HTTP listen address for /healthz, /readyz, /metricz (empty = off)")
+		storeDir   = flag.String("store", "", "state directory: drain checkpoints land here; streams rehydrate from it (empty = in-memory, no restart durability)")
+		restore    = flag.Bool("restore", false, "resume from an existing non-empty -store dir (refused otherwise, to catch accidental state mixing)")
+		resident   = flag.Int("resident", 0, "max resident trackers; idle streams are evicted to -store (0 = unlimited)")
+		shards     = flag.Int("shards", 0, "fleet shard count (0 = GOMAXPROCS)")
+		interval   = flag.Uint64("interval", 10_000_000, "instructions per interval")
+		overload   = flag.String("overload", "block", "full-queue policy: block (deadline-bounded wait) or reject (immediate NACK)")
+		readTO     = flag.Duration("read-timeout", server.DefaultReadTimeout, "per-frame read deadline (slow-loris guard)")
+		writeTO    = flag.Duration("write-timeout", server.DefaultWriteTimeout, "per-response write deadline")
+		ingestTO   = flag.Duration("ingest-timeout", server.DefaultIngestTimeout, "max wait for fleet queue space per batch")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "max graceful drain time before connections are cut")
+		maxFrame   = flag.Int("max-frame", wire.DefaultMaxFrame, "max accepted frame payload bytes")
+		strikes    = flag.Int("quarantine-strikes", 3, "malformed-frame offenses before a stream is quarantined (0 = off)")
+		probation  = flag.Duration("quarantine-probation", fleet.DefaultProbation, "initial quarantine window (doubles per relapse, jittered)")
+		phasesPath = flag.String("phases", "", "append per-interval phase IDs (\"stream index phase\" lines) to this file at drain")
+		verbose    = flag.Bool("v", false, "log connection-level diagnostics")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "phasekitd: ", log.LstdFlags|log.Lmsgprefix)
+
+	cfg := core.DefaultConfig()
+	cfg.IntervalInstrs = *interval
+	// Network batches carry explicit cycle charges only; without a
+	// reliable CPI stream, adaptive threshold splitting is off (exactly
+	// as phasesim treats replayed traces).
+	cfg.Classifier.Adaptive = false
+
+	rec := server.NewPhaseRecorder()
+	fcfg := fleet.Config{
+		Shards:      *shards,
+		Tracker:     cfg,
+		MaxResident: *resident,
+		Retry:       fleet.RetryPolicy{MaxRetries: 3},
+		Quarantine:  fleet.QuarantinePolicy{Strikes: *strikes, Probation: *probation},
+		OnInterval:  rec.Record,
+	}
+	switch *overload {
+	case "block":
+		fcfg.Overload = fleet.OverloadBlock
+	case "reject":
+		fcfg.Overload = fleet.OverloadReject
+	default:
+		logger.Fatalf("-overload must be block or reject, got %q", *overload)
+	}
+	if *storeDir != "" {
+		if !*restore {
+			if snaps, _ := filepath.Glob(filepath.Join(*storeDir, "*.pkst")); len(snaps) > 0 {
+				logger.Fatalf("state dir %s already holds %d snapshots; pass -restore to resume them or point -store at a fresh directory", *storeDir, len(snaps))
+			}
+		}
+		fs, err := fleet.NewFileStore(*storeDir)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if rec := fs.Recovered(); rec.Orphans > 0 || rec.Corrupt > 0 {
+			logger.Printf("store recovery: scanned %d snapshots, quarantined %d orphans and %d corrupt", rec.Scanned, rec.Orphans, rec.Corrupt)
+		}
+		fcfg.Store = fs
+		fcfg.Breaker = fleet.BreakerPolicy{Threshold: 8, Cooldown: 2 * time.Second}
+	} else {
+		if *restore {
+			logger.Fatal("-restore needs -store")
+		}
+		if *resident > 0 {
+			fcfg.Store = fleet.NewMemStore()
+		}
+	}
+	if err := fcfg.Validate(); err != nil {
+		logger.Fatal(err)
+	}
+	f := fleet.New(fcfg)
+
+	scfg := server.Config{
+		Fleet:         f,
+		ReadTimeout:   *readTO,
+		WriteTimeout:  *writeTO,
+		IngestTimeout: *ingestTO,
+		MaxFrame:      *maxFrame,
+	}
+	if *verbose {
+		scfg.Logf = logger.Printf
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	if *health != "" {
+		hsrv := &http.Server{Addr: *health, Handler: srv.HealthHandler()}
+		go func() {
+			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("health server: %v", err)
+			}
+		}()
+		defer hsrv.Close()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+
+	// Wait for the listener so the startup log carries the bound
+	// address (":0" resolves to a real port).
+	for srv.Addr() == nil {
+		select {
+		case err := <-serveErr:
+			logger.Fatal(err)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	logger.Printf("serving on %s (store=%q resident=%d overload=%s)", srv.Addr(), *storeDir, *resident, *overload)
+
+	select {
+	case err := <-serveErr:
+		logger.Fatal(err)
+	case sig := <-sigs:
+		logger.Printf("%v: draining", sig)
+	}
+
+	// Drain sequence: stop the network edge, then the queues, then
+	// persist. Each step observes everything the previous one admitted.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	exit := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if fcfg.Store != nil {
+		if err := f.CheckpointCtx(ctx); err != nil {
+			logger.Printf("checkpoint: %v", err)
+			exit = 1
+		}
+	}
+	if *phasesPath != "" {
+		if err := rec.AppendTo(*phasesPath); err != nil {
+			logger.Printf("phases: %v", err)
+			exit = 1
+		}
+	}
+	m := f.Metrics()
+	sm := srv.Metrics()
+	f.Close()
+	logger.Printf("drained: %d conns, %d frames (%d acks, %d nacks, %d malformed), %d quarantines, %d dropped batches",
+		sm.Conns, sm.Frames, sm.Acks, sm.Nacks, sm.Malformed, m.IngestQuarantines, m.DroppedBatches)
+	if m.DroppedBatches > 0 {
+		exit = 1
+	}
+	os.Exit(exit)
+}

@@ -17,6 +17,14 @@
 //	phasesim -workload mcf -streams 64 -parallel
 //	phasesim -trace mcf.trc -streams 8 -parallel -shards 4
 //
+// The same multiplexed batches can instead be shipped to a phasekitd
+// server over the binary wire protocol, optionally as a windowed
+// segment of the full run (for drain/restore round trips):
+//
+//	phasesim -workload mcf -streams 8 -connect 127.0.0.1:9127
+//	phasesim -workload mcf -streams 8 -connect :9127 -max-batches 40
+//	phasesim -workload mcf -streams 8 -connect :9127 -from-batch 40
+//
 // Tracker state can be checkpointed and resumed (-workload and -trace
 // modes), and Fleet mode can bound live trackers with LRU eviction to a
 // state store:
@@ -35,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,36 +56,42 @@ import (
 	"phasekit/internal/core"
 	"phasekit/internal/faults"
 	"phasekit/internal/fleet"
+	"phasekit/internal/server"
 	"phasekit/internal/trace"
 	"phasekit/internal/uarch"
+	"phasekit/internal/wire"
 	"phasekit/internal/workload"
 )
 
 func main() {
 	var (
-		wl        = flag.String("workload", "", "workload name to generate and analyse")
-		traceFile = flag.String("trace", "", "branch trace file to replay instead of a workload")
-		profFile  = flag.String("profile", "", "interval profile file to replay instead of a workload")
-		scale     = flag.Float64("scale", 0.5, "workload length scale")
-		interval  = flag.Uint64("interval", 10_000_000, "instructions per interval")
-		sim       = flag.Float64("sim", 0.25, "similarity threshold")
-		minCount  = flag.Int("min", 8, "transition phase min counter threshold")
-		entries   = flag.Int("entries", 32, "signature table entries (0 = unbounded)")
-		dims      = flag.Int("dims", 16, "accumulator counters")
-		adaptive  = flag.Bool("adaptive", true, "adaptive similarity thresholds (needs CPI; workload mode only)")
-		dev       = flag.Float64("dev", 0.25, "CPI deviation threshold for adaptive splitting")
-		verbose   = flag.Bool("v", false, "print the per-interval phase stream")
-		streams   = flag.Int("streams", 1, "multiplex the input into N interleaved streams")
-		parallel  = flag.Bool("parallel", false, "classify streams concurrently through a Fleet")
-		shards    = flag.Int("shards", 0, "Fleet shard count (0 = GOMAXPROCS)")
-		ckpt      = flag.String("checkpoint", "", "write tracker state to this file after the run")
-		restore   = flag.String("restore", "", "restore tracker state from this file before the run")
-		resident  = flag.Int("resident", 0, "Fleet mode: max resident trackers; idle streams are evicted to -store (0 = unlimited)")
-		storeDir  = flag.String("store", "", "Fleet mode: directory for evicted stream state (default: in-memory)")
-		retries   = flag.Int("store-retries", 3, "Fleet mode: retries per failed store operation")
-		backoff   = flag.Duration("store-backoff", fleet.DefaultBackoff, "Fleet mode: initial retry backoff (doubles per attempt, jittered)")
-		overload  = flag.String("overload", "block", "Fleet mode: full-queue policy: block (backpressure) or reject (shed load)")
-		chaos     = flag.Uint64("chaos", 0, "Fleet mode: inject deterministic store faults with this seed (0 = off)")
+		wl         = flag.String("workload", "", "workload name to generate and analyse")
+		traceFile  = flag.String("trace", "", "branch trace file to replay instead of a workload")
+		profFile   = flag.String("profile", "", "interval profile file to replay instead of a workload")
+		scale      = flag.Float64("scale", 0.5, "workload length scale")
+		interval   = flag.Uint64("interval", 10_000_000, "instructions per interval")
+		sim        = flag.Float64("sim", 0.25, "similarity threshold")
+		minCount   = flag.Int("min", 8, "transition phase min counter threshold")
+		entries    = flag.Int("entries", 32, "signature table entries (0 = unbounded)")
+		dims       = flag.Int("dims", 16, "accumulator counters")
+		adaptive   = flag.Bool("adaptive", true, "adaptive similarity thresholds (needs CPI; workload mode only)")
+		dev        = flag.Float64("dev", 0.25, "CPI deviation threshold for adaptive splitting")
+		verbose    = flag.Bool("v", false, "print the per-interval phase stream")
+		streams    = flag.Int("streams", 1, "multiplex the input into N interleaved streams")
+		parallel   = flag.Bool("parallel", false, "classify streams concurrently through a Fleet")
+		shards     = flag.Int("shards", 0, "Fleet shard count (0 = GOMAXPROCS)")
+		ckpt       = flag.String("checkpoint", "", "write tracker state to this file after the run")
+		restore    = flag.String("restore", "", "restore tracker state from this file before the run")
+		resident   = flag.Int("resident", 0, "Fleet mode: max resident trackers; idle streams are evicted to -store (0 = unlimited)")
+		storeDir   = flag.String("store", "", "Fleet mode: directory for evicted stream state (default: in-memory)")
+		retries    = flag.Int("store-retries", 3, "Fleet mode: retries per failed store operation")
+		backoff    = flag.Duration("store-backoff", fleet.DefaultBackoff, "Fleet mode: initial retry backoff (doubles per attempt, jittered)")
+		overload   = flag.String("overload", "block", "Fleet mode: full-queue policy: block (backpressure) or reject (shed load)")
+		chaos      = flag.Uint64("chaos", 0, "Fleet mode: inject deterministic store faults with this seed (0 = off)")
+		connect    = flag.String("connect", "", "ship batches to a phasekitd server at this address instead of classifying in-process")
+		phasesPath = flag.String("phases", "", "Fleet mode: append per-interval phase IDs (\"stream index phase\" lines) to this file")
+		fromBatch  = flag.Uint64("from-batch", 0, "skip the first N interval batches (resume the later segment of a split run)")
+		maxBatches = flag.Uint64("max-batches", 0, "send at most N interval batches, then stop without flushing (0 = all)")
 	)
 	flag.Parse()
 
@@ -95,6 +110,31 @@ func main() {
 		fatal(err)
 	}
 
+	if *connect != "" {
+		if *profFile != "" {
+			fatal(fmt.Errorf("-connect needs -workload or -trace (profiles carry no event stream)"))
+		}
+		if *ckpt != "" || *restore != "" {
+			fatal(fmt.Errorf("-checkpoint/-restore are single-stream flags; the server persists state via its -store"))
+		}
+		if *resident > 0 || *storeDir != "" || *chaos != 0 {
+			fatal(fmt.Errorf("-resident/-store/-chaos configure an in-process Fleet; with -connect they belong to phasekitd"))
+		}
+		if *phasesPath != "" {
+			fatal(fmt.Errorf("-phases with -connect: the server records phases; pass -phases to phasekitd instead"))
+		}
+		opts := fleetOpts{
+			streams: *streams,
+			connect: *connect,
+			from:    *fromBatch,
+			max:     *maxBatches,
+		}
+		if err := runConnect(*wl, *traceFile, *scale, opts, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *streams > 1 || *parallel {
 		if *profFile != "" {
 			fatal(fmt.Errorf("-streams/-parallel needs -workload or -trace (profiles carry no event stream)"))
@@ -111,6 +151,9 @@ func main() {
 			backoff:  *backoff,
 			overload: *overload,
 			chaos:    *chaos,
+			phases:   *phasesPath,
+			from:     *fromBatch,
+			max:      *maxBatches,
 		}
 		if err := runFleet(*wl, *traceFile, *scale, opts, cfg); err != nil {
 			fatal(err)
@@ -324,50 +367,108 @@ func printReport(r core.Report, results []core.IntervalResult, verbose, haveCPI 
 		100*r.Length.MispredictRate(), r.Length.Predictions)
 }
 
-// fleetSink forwards generated workload intervals to a Fleet,
+// batchSender delivers one interval batch to a classification backend:
+// an in-process Fleet or a remote phasekitd over the wire protocol.
+type batchSender interface {
+	sendBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error
+}
+
+// fleetSender feeds an in-process Fleet. Batch slices transfer
+// ownership to the shard, so the sink must not reuse them.
+type fleetSender struct{ f *fleet.Fleet }
+
+func (s fleetSender) sendBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error {
+	return s.f.Send(fleet.Batch{Stream: stream, Cycles: cycles, Events: events, EndInterval: endInterval})
+}
+
+// wireSender ships batches to a phasekitd server, one synchronous
+// acknowledged frame per batch.
+type wireSender struct{ c *wire.Client }
+
+func (s wireSender) sendBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error {
+	return s.c.SendBatch(stream, cycles, events, endInterval)
+}
+
+// batchSink forwards generated workload intervals to a batchSender,
 // round-robining whole intervals across the streams. Each interval is
 // sent as one batch with EndInterval set, so every stream's interval
 // boundaries align with the generator's regardless of multiplexing.
-type fleetSink struct {
-	f        *fleet.Fleet
+//
+// The from/max window selects a contiguous segment of the global batch
+// sequence; stream assignment advances for skipped batches too, so a
+// run split into segments routes every batch to the same stream the
+// unsplit run would.
+type batchSink struct {
+	send     batchSender
 	names    []string
 	next     int
 	events   []trace.BranchEvent
 	cycles   uint64
-	nevents  uint64
-	rejected uint64 // batches shed under -overload reject
+	batches  uint64 // interval batches produced, before windowing
+	sent     uint64 // batches actually handed to the sender
+	nevents  uint64 // branch events in sent batches
+	from     uint64 // skip batches with global index < from
+	max      uint64 // send at most this many batches (0 = unlimited)
+	rejected uint64 // batches shed under a reject overload policy
+	err      error  // first hard send failure; latches and stops sending
 }
 
-func (s *fleetSink) Event(ev uarch.BlockEvent, cycles uint64) {
+func newBatchSink(send batchSender, nstreams int) *batchSink {
+	s := &batchSink{send: send, names: make([]string, nstreams)}
+	for i := range s.names {
+		s.names[i] = fmt.Sprintf("stream-%03d", i)
+	}
+	return s
+}
+
+// capped reports whether the -max-batches window cut the run short, in
+// which case the trailing segment of the input is still outstanding.
+func (s *batchSink) capped() bool { return s.max > 0 && s.sent >= s.max }
+
+func (s *batchSink) Event(ev uarch.BlockEvent, cycles uint64) {
 	s.events = append(s.events, trace.BranchEvent{PC: ev.BranchPC, Instrs: ev.Instrs})
 	s.cycles += cycles
-	s.nevents++
 }
 
-func (s *fleetSink) EndInterval(int) {
+func (s *batchSink) EndInterval(int) {
 	s.flushInterval()
 }
 
-func (s *fleetSink) flushInterval() {
+func (s *batchSink) flushInterval() {
 	if len(s.events) == 0 {
 		return
 	}
-	// Ownership of the slice transfers to the Fleet; start a fresh one.
-	err := s.f.Send(fleet.Batch{
-		Stream:      s.names[s.next],
-		Cycles:      s.cycles,
-		Events:      s.events,
-		EndInterval: true,
-	})
-	if errors.Is(err, fleet.ErrOverloaded) {
-		s.rejected++
-	}
+	idx := s.batches
+	s.batches++
+	stream := s.names[s.next]
 	s.next = (s.next + 1) % len(s.names)
+	if idx < s.from || s.capped() || s.err != nil {
+		s.events = s.events[:0]
+		s.cycles = 0
+		return
+	}
+	s.nevents += uint64(len(s.events))
+	err := s.send.sendBatch(stream, s.cycles, s.events, true)
+	s.sent++
+	switch {
+	case err == nil:
+	case errors.Is(err, fleet.ErrOverloaded) || isNack(err, wire.NackOverload):
+		s.rejected++
+	default:
+		s.err = fmt.Errorf("stream %s (batch %d): %w", stream, idx, err)
+	}
+	// Ownership of the slice may have transferred; start a fresh one.
 	s.events = make([]trace.BranchEvent, 0, cap(s.events))
 	s.cycles = 0
 }
 
-// fleetOpts bundles the Fleet-mode command line knobs.
+// isNack reports whether err is a server Nack with the given code.
+func isNack(err error, code uint8) bool {
+	var ne *wire.NackError
+	return errors.As(err, &ne) && ne.Code == code
+}
+
+// fleetOpts bundles the Fleet-mode and connect-mode command line knobs.
 type fleetOpts struct {
 	streams  int
 	shards   int
@@ -377,6 +478,100 @@ type fleetOpts struct {
 	backoff  time.Duration
 	overload string
 	chaos    uint64
+	connect  string
+	phases   string
+	from     uint64
+	max      uint64
+}
+
+// driveInput streams the selected workload or branch trace into sink.
+func driveInput(wl, traceFile string, scale float64, cfg core.Config, sink *batchSink) error {
+	switch {
+	case wl != "":
+		spec, err := workload.Get(wl)
+		if err != nil {
+			return err
+		}
+		if _, err := workload.Stream(spec, workload.Options{
+			Scale:          scale,
+			IntervalInstrs: cfg.IntervalInstrs,
+		}, sink); err != nil {
+			return err
+		}
+	case traceFile != "":
+		file, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		r, err := trace.NewReader(file)
+		if err != nil {
+			return err
+		}
+		for {
+			ev, boundary, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if boundary {
+				sink.flushInterval()
+				continue
+			}
+			sink.Event(uarch.BlockEvent{BranchPC: ev.PC, Instrs: ev.Instrs}, 0)
+		}
+	default:
+		return fmt.Errorf("-streams/-parallel/-connect needs -workload or -trace")
+	}
+	sink.flushInterval()
+	return nil
+}
+
+// runConnect multiplexes the input into n streams and ships the batches
+// to a phasekitd server, one acknowledged frame per interval. The
+// from/max window sends a segment of the run: a capped segment is left
+// unflushed so the server's drain checkpoint preserves the split
+// streams' partial state for the next segment.
+func runConnect(wl, traceFile string, scale float64, o fleetOpts, cfg core.Config) error {
+	n := o.streams
+	if n < 1 {
+		n = 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := wire.DialRetry(ctx, o.connect, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	sink := newBatchSink(wireSender{c}, n)
+	sink.from, sink.max = o.from, o.max
+	start := time.Now()
+	if err := driveInput(wl, traceFile, scale, cfg, sink); err != nil {
+		return err
+	}
+	if sink.err != nil {
+		return sink.err
+	}
+	if !sink.capped() {
+		// Only a completed run flushes: it force-closes trailing
+		// partial intervals, which a mid-run segment must leave open
+		// for the server to checkpoint.
+		if err := c.Flush(); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("connect:   %s, %d streams\n", o.connect, n)
+	fmt.Printf("sent:      %d/%d batches (%d branch events) in %v\n",
+		sink.sent, sink.batches, sink.nevents, elapsed.Round(time.Millisecond))
+	if sink.rejected > 0 {
+		fmt.Printf("rejected:  %d batches shed by the server's overload policy\n", sink.rejected)
+	}
+	return nil
 }
 
 // runFleet multiplexes a workload or branch trace into n interleaved
@@ -398,6 +593,11 @@ func runFleet(wl, traceFile string, scale float64, o fleetOpts, cfg core.Config)
 		Tracker:     cfg,
 		MaxResident: o.resident,
 		Retry:       fleet.RetryPolicy{MaxRetries: o.retries, Backoff: o.backoff},
+	}
+	var rec *server.PhaseRecorder
+	if o.phases != "" {
+		rec = server.NewPhaseRecorder()
+		fcfg.OnInterval = rec.Record
 	}
 	switch o.overload {
 	case "block":
@@ -450,63 +650,38 @@ func runFleet(wl, traceFile string, scale float64, o fleetOpts, cfg core.Config)
 		return err
 	}
 	f := fleet.New(fcfg)
-	sink := &fleetSink{f: f, names: make([]string, n)}
-	for i := range sink.names {
-		sink.names[i] = fmt.Sprintf("stream-%03d", i)
-	}
+	sink := newBatchSink(fleetSender{f}, n)
+	sink.from, sink.max = o.from, o.max
 
 	start := time.Now()
-	switch {
-	case wl != "":
-		spec, err := workload.Get(wl)
-		if err != nil {
-			return err
-		}
-		if _, err := workload.Stream(spec, workload.Options{
-			Scale:          scale,
-			IntervalInstrs: cfg.IntervalInstrs,
-		}, sink); err != nil {
-			return err
-		}
-	case traceFile != "":
-		file, err := os.Open(traceFile)
-		if err != nil {
-			return err
-		}
-		defer file.Close()
-		r, err := trace.NewReader(file)
-		if err != nil {
-			return err
-		}
-		for {
-			ev, boundary, err := r.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			if boundary {
-				sink.flushInterval()
-				continue
-			}
-			sink.Event(uarch.BlockEvent{BranchPC: ev.PC, Instrs: ev.Instrs}, 0)
-		}
-	default:
-		return fmt.Errorf("-streams/-parallel needs -workload or -trace")
+	if err := driveInput(wl, traceFile, scale, cfg, sink); err != nil {
+		return err
 	}
-	sink.flushInterval()
+	if sink.err != nil {
+		return sink.err
+	}
 	f.Flush()
 	snap := f.Snapshot()
 	elapsed := time.Since(start)
 	m := f.Metrics()
-	f.Close()
 
 	names := make([]string, 0, len(snap))
 	for name := range snap {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+
+	// A latched per-stream error means that stream's classification can
+	// no longer be trusted: name every offender and fail the run.
+	var faulted int
+	for _, name := range names {
+		if serr := f.StreamErr(name); serr != nil {
+			fmt.Fprintf(os.Stderr, "phasesim: stream %s: %v\n", name, serr)
+			faulted++
+		}
+	}
+	f.Close()
+
 	fmt.Printf("streams:   %d across %d shards\n", len(names), f.Shards())
 	if o.resident > 0 {
 		fmt.Printf("resident:  %d/%d trackers live (rest evicted to store)\n", f.Resident(), o.resident)
@@ -545,6 +720,14 @@ func runFleet(wl, traceFile string, scale float64, o fleetOpts, cfg core.Config)
 	fmt.Printf("aggregate: %d intervals (%d transition), %d branch events in %v (%.2f Mevents/s)\n",
 		total, transitions, sink.nevents, elapsed.Round(time.Millisecond),
 		float64(sink.nevents)/elapsed.Seconds()/1e6)
+	if rec != nil {
+		if err := rec.AppendTo(o.phases); err != nil {
+			return fmt.Errorf("phases: %w", err)
+		}
+	}
+	if faulted > 0 {
+		return fmt.Errorf("%d stream(s) ended with latched errors", faulted)
+	}
 	return nil
 }
 

@@ -1,0 +1,57 @@
+package core
+
+// Config.Validate must reject every invalid field with an error
+// matching ErrConfig, so callers can distinguish configuration
+// mistakes from runtime failures with a single errors.Is.
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidateWrapsErrConfigForEachField(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"IntervalInstrs zero", func(c *Config) { c.IntervalInstrs = 0 }},
+		{"Dims zero", func(c *Config) { c.Dims = 0 }},
+		{"Dims not power of two", func(c *Config) { c.Dims = 12 }},
+		{"Compress.Bits zero", func(c *Config) { c.Compress.Bits = 0 }},
+		{"Compress.Bits too large", func(c *Config) { c.Compress.Bits = 17 }},
+		{"Compress.StaticShift out of range", func(c *Config) { c.Compress.StaticShift = 64 }},
+		{"Classifier.TableEntries negative", func(c *Config) { c.Classifier.TableEntries = -1 }},
+		{"Classifier.SimilarityThreshold zero", func(c *Config) { c.Classifier.SimilarityThreshold = 0 }},
+		{"Classifier.SimilarityThreshold above one", func(c *Config) { c.Classifier.SimilarityThreshold = 1.5 }},
+		{"Classifier.MinCountThreshold negative", func(c *Config) { c.Classifier.MinCountThreshold = -1 }},
+		{"Classifier.DeviationThreshold invalid", func(c *Config) {
+			c.Classifier.Adaptive = true
+			c.Classifier.DeviationThreshold = 0
+		}},
+		{"Predictor change table geometry", func(c *Config) { c.Predictor.Change.Entries = 0 }},
+		{"Predictor change table depth", func(c *Config) { c.Predictor.Change.Depth = 0 }},
+		{"ChangeOutcome geometry", func(c *Config) { c.ChangeOutcome.Assoc = 0 }},
+		{"Length table geometry", func(c *Config) { c.Length.Entries = 7 }},
+		{"Length depth", func(c *Config) { c.Length.Depth = 0 }},
+		{"Length bounds empty", func(c *Config) { c.Length.Bounds = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid configuration")
+			}
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("Validate error %v does not match ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsDefault(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"phasekit/internal/classifier"
@@ -20,6 +21,11 @@ import (
 	"phasekit/internal/stats"
 	"phasekit/internal/trace"
 )
+
+// ErrConfig is wrapped by every configuration validation failure in
+// this package and the layers built on it (fleet, server), so callers
+// can dispatch on errors.Is(err, ErrConfig) instead of string matching.
+var ErrConfig = errors.New("phasekit: invalid configuration")
 
 // Config selects every architectural parameter of the tracker.
 type Config struct {
@@ -69,28 +75,26 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. Every failure
+// wraps ErrConfig (including failures from the component validators),
+// so one errors.Is check classifies them all.
 func (c Config) Validate() error {
 	if c.IntervalInstrs == 0 {
-		return fmt.Errorf("core: IntervalInstrs must be positive")
+		return fmt.Errorf("%w: core: IntervalInstrs must be positive", ErrConfig)
 	}
 	if c.Dims <= 0 || c.Dims&(c.Dims-1) != 0 {
-		return fmt.Errorf("core: Dims must be a positive power of two, got %d", c.Dims)
+		return fmt.Errorf("%w: core: Dims must be a positive power of two, got %d", ErrConfig, c.Dims)
 	}
-	if err := c.Compress.Validate(); err != nil {
-		return err
-	}
-	if err := c.Classifier.Validate(); err != nil {
-		return err
-	}
-	if err := c.Predictor.Validate(); err != nil {
-		return err
-	}
-	if err := c.ChangeOutcome.Validate(); err != nil {
-		return err
-	}
-	if err := c.Length.Validate(); err != nil {
-		return err
+	for _, err := range []error{
+		c.Compress.Validate(),
+		c.Classifier.Validate(),
+		c.Predictor.Validate(),
+		c.ChangeOutcome.Validate(),
+		c.Length.Validate(),
+	} {
+		if err != nil {
+			return fmt.Errorf("%w: %w", ErrConfig, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// NetSchedule is a deterministic network fault plan for a single
+// connection, applied to the *writing* side so the peer observes the
+// fault on its reads. Zero values disable each injector.
+type NetSchedule struct {
+	// SlowChunk > 0 splits every Write into SlowChunk-byte pieces with
+	// SlowDelay between them — the slow-loris pattern: bytes keep
+	// trickling, so only a per-frame read deadline (not a mere idle
+	// check) catches it.
+	SlowChunk int
+	SlowDelay time.Duration
+	// CutAfterBytes > 0 closes the connection after that many bytes
+	// have been written, mid-frame if the boundary lands there — the
+	// abrupt-disconnect fault.
+	CutAfterBytes int
+	// TearWriteNth > 0 makes the Nth Write call (1-based) send only the
+	// first half of its buffer and then close the connection — a torn
+	// frame: the length prefix promises more bytes than ever arrive.
+	TearWriteNth int
+}
+
+// NetConn wraps a net.Conn with a NetSchedule. Reads pass through; the
+// schedule shapes writes.
+type NetConn struct {
+	net.Conn
+	sched NetSchedule
+	// Sleeper performs the slow-loris delays. Nil means time.Sleep.
+	Sleeper func(time.Duration)
+
+	mu      sync.Mutex
+	written int
+	writes  int
+	cut     bool
+}
+
+// WrapNetConn applies sched to conn's writes.
+func WrapNetConn(conn net.Conn, sched NetSchedule) *NetConn {
+	return &NetConn{Conn: conn, sched: sched}
+}
+
+// Cut reports whether an injected fault has closed the connection.
+func (c *NetConn) Cut() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cut
+}
+
+func (c *NetConn) sleep(d time.Duration) {
+	if c.Sleeper != nil {
+		c.Sleeper(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Write applies the fault schedule. After an injected cut every Write
+// fails with net.ErrClosed.
+func (c *NetConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	c.writes++
+	tear := c.sched.TearWriteNth > 0 && c.writes == c.sched.TearWriteNth
+	c.mu.Unlock()
+
+	if tear {
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.close()
+		return n, net.ErrClosed
+	}
+
+	sent := 0
+	for sent < len(p) {
+		chunk := len(p) - sent
+		if c.sched.SlowChunk > 0 && chunk > c.sched.SlowChunk {
+			chunk = c.sched.SlowChunk
+		}
+		if c.sched.CutAfterBytes > 0 {
+			c.mu.Lock()
+			left := c.sched.CutAfterBytes - c.written
+			c.mu.Unlock()
+			if left <= 0 {
+				c.close()
+				return sent, net.ErrClosed
+			}
+			if chunk > left {
+				chunk = left
+			}
+		}
+		n, err := c.Conn.Write(p[sent : sent+chunk])
+		c.mu.Lock()
+		c.written += n
+		c.mu.Unlock()
+		sent += n
+		if err != nil {
+			return sent, err
+		}
+		if c.sched.SlowChunk > 0 && sent < len(p) && c.sched.SlowDelay > 0 {
+			c.sleep(c.sched.SlowDelay)
+		}
+	}
+	return sent, nil
+}
+
+func (c *NetConn) close() {
+	c.mu.Lock()
+	c.cut = true
+	c.mu.Unlock()
+	c.Conn.Close()
+}

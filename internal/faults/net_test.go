@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns a faulted writer wrapping one end of an in-memory
+// pipe and a reader goroutine collecting everything the peer receives.
+func pipePair(sched NetSchedule) (*NetConn, func() []byte) {
+	a, b := net.Pipe()
+	conn := WrapNetConn(a, sched)
+	var mu sync.Mutex
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 256)
+		for {
+			n, err := b.Read(buf)
+			mu.Lock()
+			got.Write(buf[:n])
+			mu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return conn, func() []byte {
+		b.SetReadDeadline(time.Now().Add(2 * time.Second))
+		<-done
+		mu.Lock()
+		defer mu.Unlock()
+		return got.Bytes()
+	}
+}
+
+func TestSlowChunkingSleepsBetweenChunks(t *testing.T) {
+	var sleeps int
+	conn, recv := pipePair(NetSchedule{SlowChunk: 3, SlowDelay: time.Millisecond})
+	conn.Sleeper = func(time.Duration) { sleeps++ }
+	payload := []byte("0123456789") // 10 bytes -> chunks of 3,3,3,1
+	n, err := conn.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if sleeps != 3 {
+		t.Fatalf("%d sleeps, want 3 (between 4 chunks)", sleeps)
+	}
+	conn.Close()
+	if got := recv(); !bytes.Equal(got, payload) {
+		t.Fatalf("peer received %q, want %q", got, payload)
+	}
+}
+
+func TestCutAfterBytesClosesMidWrite(t *testing.T) {
+	conn, recv := pipePair(NetSchedule{CutAfterBytes: 4})
+	n, err := conn.Write([]byte("0123456789"))
+	if !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write past the cut: %v, want net.ErrClosed", err)
+	}
+	if n != 4 {
+		t.Fatalf("wrote %d bytes before the cut, want 4", n)
+	}
+	if !conn.Cut() {
+		t.Fatal("Cut() false after an injected cut")
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write after the cut: %v, want net.ErrClosed", err)
+	}
+	if got := recv(); !bytes.Equal(got, []byte("0123")) {
+		t.Fatalf("peer received %q, want the first 4 bytes only", got)
+	}
+}
+
+func TestTearWriteNthSendsHalfThenCloses(t *testing.T) {
+	conn, recv := pipePair(NetSchedule{TearWriteNth: 2})
+	if _, err := conn.Write([]byte("head")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := conn.Write([]byte("abcdef")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("torn write: %v, want net.ErrClosed", err)
+	}
+	if !conn.Cut() {
+		t.Fatal("Cut() false after a torn write")
+	}
+	if got := recv(); !bytes.Equal(got, []byte("headabc")) {
+		t.Fatalf("peer received %q, want %q", got, "headabc")
+	}
+}
+
+func TestZeroScheduleIsTransparent(t *testing.T) {
+	conn, recv := pipePair(NetSchedule{})
+	payload := bytes.Repeat([]byte("x"), 1000)
+	if n, err := conn.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	conn.Close()
+	if got := recv(); !bytes.Equal(got, payload) {
+		t.Fatalf("peer received %d bytes, want %d", len(recv()), len(payload))
+	}
+}
+
+// NetConn must still satisfy io.Writer/net.Conn for callers that wrap it.
+var _ net.Conn = (*NetConn)(nil)
+var _ io.Writer = (*NetConn)(nil)

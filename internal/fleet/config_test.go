@@ -1,0 +1,57 @@
+package fleet
+
+// Fleet Config.Validate must reject every invalid field with an error
+// matching core.ErrConfig — the same sentinel the tracker layer uses —
+// so one errors.Is check classifies configuration mistakes across all
+// layers.
+
+import (
+	"errors"
+	"testing"
+
+	"phasekit/internal/core"
+)
+
+func TestFleetValidateWrapsErrConfigForEachField(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"Shards negative", func(c *Config) { c.Shards = -1 }},
+		{"QueueDepth negative", func(c *Config) { c.QueueDepth = -1 }},
+		{"Overload unknown", func(c *Config) { c.Overload = OverloadReject + 1 }},
+		{"MaxResident negative", func(c *Config) { c.MaxResident = -1 }},
+		{"Retry.MaxRetries negative", func(c *Config) { c.Retry.MaxRetries = -1 }},
+		{"Breaker.Threshold negative", func(c *Config) { c.Breaker.Threshold = -1 }},
+		{"Quarantine.Strikes negative", func(c *Config) { c.Quarantine.Strikes = -1 }},
+		{"Quarantine.Probation negative", func(c *Config) { c.Quarantine.Probation = -1 }},
+		{"Quarantine.MaxProbation negative", func(c *Config) { c.Quarantine.MaxProbation = -1 }},
+		{"MaxResident without Store", func(c *Config) { c.MaxResident = 8; c.Store = nil }},
+		{"MaxResident below Shards", func(c *Config) {
+			c.MaxResident = 2
+			c.Shards = 4
+			c.Store = NewMemStore()
+		}},
+		{"invalid tracker config", func(c *Config) { c.Tracker.Dims = 12 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid configuration")
+			}
+			if !errors.Is(err, core.ErrConfig) {
+				t.Fatalf("Validate error %v does not match core.ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestFleetValidateAcceptsZeroValue(t *testing.T) {
+	// The zero Config is valid: withDefaults fills every field.
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero Config invalid: %v", err)
+	}
+}

@@ -1,0 +1,348 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"phasekit/internal/core"
+	"phasekit/internal/trace"
+)
+
+// intervalBatch returns a batch guaranteed to complete at least one
+// interval under testConfig (10k instructions).
+func intervalBatch(stream string) Batch {
+	events := make([]trace.BranchEvent, 110)
+	for i := range events {
+		events[i] = trace.BranchEvent{PC: 0x400000 + uint64(i%8)*64, Instrs: 100}
+	}
+	return Batch{Stream: stream, Events: events}
+}
+
+// wedgedFleet returns a single-shard fleet whose worker is parked in
+// OnInterval until gate is closed, with its one-slot queue already
+// full — the worst case for an abandoning caller.
+func wedgedFleet(t *testing.T) (*Fleet, chan struct{}) {
+	t.Helper()
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	f := New(Config{
+		Shards:     1,
+		QueueDepth: 1,
+		Tracker:    testConfig(),
+		OnInterval: func(string, core.IntervalResult) {
+			entered <- struct{}{}
+			<-gate
+		},
+	})
+	if err := f.Send(intervalBatch("wedge")); err != nil { // worker picks this up and parks
+		t.Fatalf("Send: %v", err)
+	}
+	<-entered // worker is inside OnInterval
+	if err := f.Send(intervalBatch("wedge")); err != nil { // fills the queue slot
+		t.Fatalf("Send: %v", err)
+	}
+	return f, gate
+}
+
+func TestSendCtxDeadlineOnFullQueue(t *testing.T) {
+	f, gate := wedgedFleet(t)
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := f.SendCtx(ctx, intervalBatch("wedge"))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("SendCtx on full queue = %v, want ErrDeadline", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("deadline expiry must not also match ErrCanceled: %v", err)
+	}
+
+	// The abandoned send must not have wedged the shard: release the
+	// worker and the fleet drains normally.
+	close(gate)
+	f.Flush()
+	if m := f.Metrics(); m.CanceledOps == 0 {
+		t.Fatalf("canceled operation not counted: %+v", m)
+	}
+}
+
+func TestSendCtxCancelOnFullQueue(t *testing.T) {
+	f, gate := wedgedFleet(t)
+	defer f.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := f.SendCtx(ctx, intervalBatch("wedge"))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SendCtx after cancel = %v, want ErrCanceled", err)
+	}
+	close(gate)
+	f.Flush()
+}
+
+func TestSendCtxFastFailsWhenAlreadyDone(t *testing.T) {
+	f := New(Config{Shards: 1, Tracker: testConfig()})
+	defer f.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.SendCtx(ctx, intervalBatch("s")); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SendCtx on canceled ctx = %v, want ErrCanceled", err)
+	}
+}
+
+func TestSendCtxRejectPolicyNeverBlocks(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	f := New(Config{
+		Shards:     1,
+		QueueDepth: 1,
+		Overload:   OverloadReject,
+		Tracker:    testConfig(),
+		OnInterval: func(string, core.IntervalResult) {
+			entered <- struct{}{}
+			<-gate
+		},
+	})
+	defer f.Close()
+	f.Send(intervalBatch("s"))
+	<-entered
+	f.Send(intervalBatch("s")) // fills the slot
+	err := f.SendCtx(context.Background(), intervalBatch("s"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("SendCtx under reject = %v, want ErrOverloaded", err)
+	}
+	close(gate)
+	f.Flush()
+}
+
+func TestFlushCtxDeadline(t *testing.T) {
+	f, gate := wedgedFleet(t)
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := f.FlushCtx(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("FlushCtx = %v, want ErrDeadline", err)
+	}
+	close(gate)
+	f.Flush() // the abandoned flush left nothing wedged
+}
+
+func TestSnapshotCtxCancelReleasesBarrier(t *testing.T) {
+	f, gate := wedgedFleet(t)
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := f.SnapshotCtx(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("SnapshotCtx = %v, want ErrDeadline", err)
+	}
+
+	// The abandoned snapshot must have released the barrier and the
+	// release channel: a full Snapshot afterwards succeeds.
+	close(gate)
+	f.Flush()
+	snap, err := f.SnapshotCtx(context.Background())
+	if err != nil {
+		t.Fatalf("SnapshotCtx after abandoned snapshot: %v", err)
+	}
+	if _, ok := snap["wedge"]; !ok {
+		t.Fatalf("snapshot missing stream: %v", snap)
+	}
+}
+
+func TestReportAndStreamErrCtx(t *testing.T) {
+	f := New(Config{Shards: 1, Tracker: testConfig()})
+	defer f.Close()
+	f.Send(intervalBatch("s"))
+
+	r, ok, err := f.ReportCtx(context.Background(), "s")
+	if err != nil || !ok || r.Intervals == 0 {
+		t.Fatalf("ReportCtx = %+v, %v, %v", r, ok, err)
+	}
+	if serr, qerr := f.StreamErrCtx(context.Background(), "s"); serr != nil || qerr != nil {
+		t.Fatalf("StreamErrCtx = %v, %v", serr, qerr)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := f.ReportCtx(ctx, "s"); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("ReportCtx on canceled ctx = %v, want ErrCanceled", err)
+	}
+	if _, qerr := f.StreamErrCtx(ctx, "s"); !errors.Is(qerr, ErrCanceled) {
+		t.Fatalf("StreamErrCtx on canceled ctx = %v, want ErrCanceled", qerr)
+	}
+}
+
+func TestCheckpointRequiresStore(t *testing.T) {
+	f := New(Config{Shards: 1, Tracker: testConfig()})
+	defer f.Close()
+	if err := f.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint without a store must fail")
+	}
+}
+
+// TestCheckpointRestoreSplitRun is the drain/restore equivalence
+// property at the fleet layer: a run split into two fleets with a
+// Checkpoint between them — cutting mid-interval, with no Flush —
+// produces exactly the phase sequence of an uninterrupted run.
+func TestCheckpointRestoreSplitRun(t *testing.T) {
+	// Interleave the three streams' batches round-robin, as a real
+	// multiplexer would, so every stream has traffic on both sides of
+	// the checkpoint cut.
+	events, cycles := synthStream(7, 6000)
+	perStream := make([][]Batch, 3)
+	for i, s := range []string{"a", "b", "c"} {
+		perStream[i] = batches(s, events, cycles)
+	}
+	var bs []Batch
+	for i := 0; i < len(perStream[0]); i++ {
+		for _, sb := range perStream {
+			bs = append(bs, sb[i])
+		}
+	}
+
+	type rec struct {
+		stream string
+		index  int
+		phase  int
+	}
+	collect := func() (*[]rec, func(string, core.IntervalResult)) {
+		var mu sync.Mutex
+		out := &[]rec{}
+		return out, func(stream string, res core.IntervalResult) {
+			mu.Lock()
+			*out = append(*out, rec{stream, res.Index, res.PhaseID})
+			mu.Unlock()
+		}
+	}
+
+	// Uninterrupted reference.
+	goldenRecs, onInterval := collect()
+	golden := New(Config{Shards: 2, Tracker: testConfig(), OnInterval: onInterval})
+	for _, b := range bs {
+		golden.Send(b)
+	}
+	golden.Flush()
+	golden.Close()
+
+	// Split run: first half into fleet A, checkpoint (no flush), close;
+	// second half into fleet B over the same store.
+	store := NewMemStore()
+	cut := len(bs) / 2
+	aRecs, onA := collect()
+	a := New(Config{Shards: 2, Tracker: testConfig(), Store: store, OnInterval: onA})
+	for _, b := range bs[:cut] {
+		a.Send(b)
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	a.Close()
+
+	bRecs, onB := collect()
+	bfl := New(Config{Shards: 2, Tracker: testConfig(), Store: store, OnInterval: onB})
+	for _, b := range bs[cut:] {
+		bfl.Send(b)
+	}
+	bfl.Flush()
+	bfl.Close()
+
+	got := append(*aRecs, *bRecs...)
+	want := *goldenRecs
+	key := func(rs []rec) map[string][]rec {
+		m := make(map[string][]rec)
+		for _, r := range rs {
+			m[r.stream] = append(m[r.stream], r)
+		}
+		return m
+	}
+	gm, wm := key(got), key(want)
+	if len(gm) != len(wm) {
+		t.Fatalf("streams: got %d, want %d", len(gm), len(wm))
+	}
+	for stream, w := range wm {
+		g := gm[stream]
+		if len(g) != len(w) {
+			t.Fatalf("stream %s: %d intervals, want %d", stream, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("stream %s interval %d: got %+v, want %+v", stream, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestCancelStressNoLeaksNoWedge is the -race stress for the no-wedge
+// invariant: 64 producer goroutines ingest with aggressively short
+// deadlines (so sends are abandoned mid-blocking all over the place)
+// while snapshots and flushes are abandoned concurrently. Afterwards
+// the fleet must still drain, and no goroutine may have leaked.
+func TestCancelStressNoLeaksNoWedge(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	f := New(Config{Shards: 4, QueueDepth: 2, Tracker: testConfig()})
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stream := fmt.Sprintf("s-%02d", i)
+			for j := 0; j < 40; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(j%3)*time.Millisecond)
+				err := f.SendCtx(ctx, intervalBatch(stream))
+				cancel()
+				if err != nil && !errors.Is(err, ErrDeadline) && !errors.Is(err, ErrCanceled) {
+					t.Errorf("SendCtx: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(j%2)*time.Millisecond)
+				if i%2 == 0 {
+					f.SnapshotCtx(ctx)
+				} else {
+					f.FlushCtx(ctx)
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Nothing wedged: the unbounded variants still complete.
+	f.Flush()
+	if _, err := f.SnapshotCtx(context.Background()); err != nil {
+		t.Fatalf("SnapshotCtx after stress: %v", err)
+	}
+	f.Close()
+
+	// Goroutine fence: everything the fleet started must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, started with %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -48,6 +48,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -98,6 +99,12 @@ type Config struct {
 	// Breaker configures the store circuit breaker. The zero value
 	// disables it.
 	Breaker BreakerPolicy
+	// Quarantine configures ingestion-side stream quarantine: after
+	// Quarantine.Strikes offenses (reported via Offense, or a latched
+	// permanent store failure) a stream's batches are rejected at Send
+	// with ErrQuarantined until a capped, jittered probation window
+	// elapses. The zero value disables quarantine.
+	Quarantine QuarantinePolicy
 	// Now and Sleep are the clock and sleeper behind the breaker
 	// cooldown and retry backoff. Nil means time.Now and time.Sleep;
 	// tests inject fakes so no real time passes.
@@ -139,33 +146,41 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. Every failure
+// wraps core.ErrConfig, so callers classify configuration errors across
+// all layers with one errors.Is check.
 func (c Config) Validate() error {
 	c = c.withDefaults()
 	if c.Shards < 1 {
-		return fmt.Errorf("fleet: Shards must be >= 1, got %d", c.Shards)
+		return fmt.Errorf("%w: fleet: Shards must be >= 1, got %d", core.ErrConfig, c.Shards)
 	}
 	if c.QueueDepth < 1 {
-		return fmt.Errorf("fleet: QueueDepth must be >= 1, got %d", c.QueueDepth)
+		return fmt.Errorf("%w: fleet: QueueDepth must be >= 1, got %d", core.ErrConfig, c.QueueDepth)
 	}
 	if c.Overload > OverloadReject {
-		return fmt.Errorf("fleet: unknown overload policy %d", c.Overload)
+		return fmt.Errorf("%w: fleet: unknown overload policy %d", core.ErrConfig, c.Overload)
 	}
 	if c.MaxResident < 0 {
-		return fmt.Errorf("fleet: MaxResident must be >= 0, got %d", c.MaxResident)
+		return fmt.Errorf("%w: fleet: MaxResident must be >= 0, got %d", core.ErrConfig, c.MaxResident)
 	}
 	if c.Retry.MaxRetries < 0 {
-		return fmt.Errorf("fleet: Retry.MaxRetries must be >= 0, got %d", c.Retry.MaxRetries)
+		return fmt.Errorf("%w: fleet: Retry.MaxRetries must be >= 0, got %d", core.ErrConfig, c.Retry.MaxRetries)
 	}
 	if c.Breaker.Threshold < 0 {
-		return fmt.Errorf("fleet: Breaker.Threshold must be >= 0, got %d", c.Breaker.Threshold)
+		return fmt.Errorf("%w: fleet: Breaker.Threshold must be >= 0, got %d", core.ErrConfig, c.Breaker.Threshold)
+	}
+	if c.Quarantine.Strikes < 0 {
+		return fmt.Errorf("%w: fleet: Quarantine.Strikes must be >= 0, got %d", core.ErrConfig, c.Quarantine.Strikes)
+	}
+	if c.Quarantine.Probation < 0 || c.Quarantine.MaxProbation < 0 {
+		return fmt.Errorf("%w: fleet: Quarantine probation windows must be >= 0", core.ErrConfig)
 	}
 	if c.MaxResident > 0 {
 		if c.Store == nil {
-			return fmt.Errorf("fleet: MaxResident requires a Store to evict to")
+			return fmt.Errorf("%w: fleet: MaxResident requires a Store to evict to", core.ErrConfig)
 		}
 		if c.MaxResident < c.Shards {
-			return fmt.Errorf("fleet: MaxResident %d must be >= Shards %d (every shard needs one resident slot)", c.MaxResident, c.Shards)
+			return fmt.Errorf("%w: fleet: MaxResident %d must be >= Shards %d (every shard needs one resident slot)", core.ErrConfig, c.MaxResident, c.Shards)
 		}
 	}
 	return c.Tracker.Validate()
@@ -200,6 +215,7 @@ const (
 	msgReport
 	msgSnapshot
 	msgStreamErr
+	msgCheckpoint
 	msgClose
 )
 
@@ -259,14 +275,17 @@ type Fleet struct {
 	cfg     Config
 	shards  []*shard
 	wg      sync.WaitGroup
-	retr    *retrier // nil when no Store is configured
-	breaker *breaker // nil when the breaker is disabled
+	retr    *retrier       // nil when no Store is configured
+	breaker *breaker       // nil when the breaker is disabled
+	quar    *quarantineSet // nil when quarantine is disabled
 	metrics metrics
 
-	// mu serializes Snapshot barriers (two interleaved barriers would
-	// deadlock shards parked on different releases) and Close.
-	mu     sync.Mutex
-	closed bool
+	// barrier is a one-slot semaphore serializing Snapshot barriers
+	// (two interleaved barriers would deadlock shards parked on
+	// different releases) and Close. A channel rather than a mutex so
+	// SnapshotCtx can abandon the acquisition on ctx cancel.
+	barrier chan struct{}
+	closed  atomic.Bool
 
 	// resident counts live trackers across all shards (observability;
 	// the enforcement is per-shard quotas).
@@ -285,8 +304,9 @@ func New(cfg Config) *Fleet {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	f := &Fleet{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	f := &Fleet{cfg: cfg, shards: make([]*shard, cfg.Shards), barrier: make(chan struct{}, 1)}
 	f.breaker = newBreaker(cfg.Breaker, cfg.Now, &f.metrics.breakerTrips)
+	f.quar = newQuarantineSet(cfg.Quarantine, cfg.Now, &f.metrics)
 	if cfg.Store != nil {
 		f.retr = &retrier{
 			store:   cfg.Store,
@@ -357,6 +377,12 @@ func (f *Fleet) failStream(e *streamEntry, stream, op string, err error, quarant
 	if quarantineOnPermanent && permanent(err) && !e.quarantined {
 		e.quarantined = true
 		f.metrics.quarantined.Add(1)
+		if f.quar != nil {
+			// Propagate the latched failure to the ingest quarantine
+			// set: the stream's batches would only be dropped, so stop
+			// them at Send (permanently — no probation fixes bad bytes).
+			f.quar.offense(stream, werr, true)
+		}
 	}
 	f.recordErr(werr)
 	return werr
@@ -382,10 +408,18 @@ func (f *Fleet) shardFor(stream string) *shard {
 // Send enqueues a batch for classification. Under OverloadBlock (the
 // default) it blocks while the owning shard's queue is full and always
 // returns nil; under OverloadReject it returns ErrOverloaded instead
-// of blocking, so callers can shed load. Batches for the same stream
-// must be sent in stream order (one producer per stream, or externally
-// ordered); batches for different streams may be sent concurrently.
+// of blocking, so callers can shed load. With quarantine configured, a
+// quarantined stream's batches are rejected with ErrQuarantined before
+// they reach the shard queue. Batches for the same stream must be sent
+// in stream order (one producer per stream, or externally ordered);
+// batches for different streams may be sent concurrently. SendCtx
+// additionally bounds the blocking with a context.
 func (f *Fleet) Send(b Batch) error {
+	if f.quar != nil {
+		if err := f.quar.admit(b.Stream); err != nil {
+			return err
+		}
+	}
 	sh := f.shardFor(b.Stream)
 	msg := shardMsg{kind: msgBatch, batch: b}
 	if f.cfg.Overload == OverloadReject {
@@ -452,21 +486,7 @@ func (f *Fleet) StreamErr(stream string) error {
 // all shards are paused at a common barrier while reports are
 // collected, so no stream advances during the snapshot window.
 func (f *Fleet) Snapshot() map[string]core.Report {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	reply := make(chan shardReport, len(f.shards))
-	release := make(chan struct{})
-	for _, sh := range f.shards {
-		sh.ch <- shardMsg{kind: msgSnapshot, report: reply, release: release}
-	}
-	out := make(map[string]core.Report)
-	for range f.shards {
-		r := <-reply
-		for name, rep := range r.reports {
-			out[name] = rep
-		}
-	}
-	close(release)
+	out, _ := f.SnapshotCtx(context.Background())
 	return out
 }
 
@@ -474,12 +494,11 @@ func (f *Fleet) Snapshot() map[string]core.Report {
 // them to exit. No method may be called after Close; Send must not be
 // in flight when Close begins.
 func (f *Fleet) Close() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
+	f.barrier <- struct{}{}
+	defer func() { <-f.barrier }()
+	if f.closed.Swap(true) {
 		return
 	}
-	f.closed = true
 	done := make(chan struct{}, len(f.shards))
 	for _, sh := range f.shards {
 		sh.ch <- shardMsg{kind: msgClose, done: done}
@@ -543,6 +562,8 @@ func (f *Fleet) run(sh *shard) {
 			// Park at the barrier so every shard stands still through
 			// one common window.
 			<-msg.release
+		case msgCheckpoint:
+			msg.report <- shardReport{err: f.checkpoint(sh)}
 		case msgClose:
 			msg.done <- struct{}{}
 			return
@@ -619,6 +640,34 @@ func (f *Fleet) residentTracker(sh *shard, stream string, e *streamEntry) (*core
 	sh.clock++
 	e.lastUse = sh.clock
 	return e.tracker, nil
+}
+
+// checkpoint saves every resident tracker on this shard to the store
+// without evicting it — the graceful-drain path. Evicted streams are
+// already serialized (their snapshot in the store is current: eviction
+// saved it and nothing ran since), and quarantined streams have no
+// tracker to save. Saves run under the usual retry/breaker policy; a
+// failure latches into the stream's StreamErr and the first one is
+// returned, so a drain that could not persist everything is loud.
+func (f *Fleet) checkpoint(sh *shard) error {
+	var first error
+	for name, e := range sh.streams {
+		if e.tracker == nil {
+			continue
+		}
+		sh.snapBuf = e.tracker.AppendSnapshot(sh.snapBuf[:0])
+		if err := f.retr.save(sh.rng, name, sh.snapBuf); err != nil {
+			werr := f.failStream(e, name, "checkpoint", err, false)
+			if first == nil {
+				first = werr
+			}
+			continue
+		}
+		if !e.dropped {
+			e.err = nil
+		}
+	}
+	return first
 }
 
 // evictDownTo serializes LRU resident trackers into the store until at

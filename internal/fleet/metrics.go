@@ -17,6 +17,10 @@ type metrics struct {
 	droppedBatches     atomic.Uint64
 	rejectedBatches    atomic.Uint64
 	quarantined        atomic.Uint64
+	ingestQuarantines  atomic.Uint64
+	quarantineRejects  atomic.Uint64
+	readmissions       atomic.Uint64
+	canceledOps        atomic.Uint64
 }
 
 // MetricsSnapshot is a point-in-time copy of the Fleet's fault and
@@ -51,6 +55,19 @@ type MetricsSnapshot struct {
 	// QuarantinedStreams counts streams permanently quarantined after a
 	// corrupt snapshot.
 	QuarantinedStreams uint64
+	// IngestQuarantines counts ingestion-side quarantine entries
+	// (offense threshold reached, a probation relapse, or a permanent
+	// store failure propagated to the ingest set).
+	IngestQuarantines uint64
+	// QuarantineRejects counts Send/SendCtx calls rejected with
+	// ErrQuarantined.
+	QuarantineRejects uint64
+	// Readmissions counts quarantined streams readmitted on probation
+	// after their window elapsed.
+	Readmissions uint64
+	// CanceledOps counts ctx-bounded operations (SendCtx, FlushCtx,
+	// SnapshotCtx, ...) abandoned with ErrCanceled or ErrDeadline.
+	CanceledOps uint64
 	// Overshoot is the number of resident trackers currently above
 	// MaxResident (0 when no limit is set or the fleet is within it).
 	Overshoot int
@@ -70,6 +87,10 @@ func (f *Fleet) Metrics() MetricsSnapshot {
 		DroppedBatches:     f.metrics.droppedBatches.Load(),
 		RejectedBatches:    f.metrics.rejectedBatches.Load(),
 		QuarantinedStreams: f.metrics.quarantined.Load(),
+		IngestQuarantines:  f.metrics.ingestQuarantines.Load(),
+		QuarantineRejects:  f.metrics.quarantineRejects.Load(),
+		Readmissions:       f.metrics.readmissions.Load(),
+		CanceledOps:        f.metrics.canceledOps.Load(),
 	}
 	if f.cfg.MaxResident > 0 {
 		if over := f.Resident() - f.cfg.MaxResident; over > 0 {

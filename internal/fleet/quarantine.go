@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"phasekit/internal/rng"
+)
+
+// ErrQuarantined is returned by Send/SendCtx for a stream that is
+// currently quarantined. The returned error wraps both ErrQuarantined
+// and the offense (or store failure) that caused the quarantine.
+var ErrQuarantined = errors.New("fleet: stream quarantined")
+
+// Quarantine policy defaults, used when the corresponding
+// QuarantinePolicy field is zero (and Strikes > 0).
+const (
+	DefaultProbation    = 5 * time.Second
+	DefaultMaxProbation = 5 * time.Minute
+	DefaultCleanStreak  = 64
+)
+
+// QuarantinePolicy configures ingestion-side stream quarantine: the
+// blast-radius containment that keeps one poisoned stream (malformed
+// frames, repeated decode failures, a latched store error) from
+// degrading the healthy streams sharing its shard. The zero value
+// disables quarantine.
+//
+// The state machine per stream:
+//
+//	healthy --Strikes offenses--> quarantined(probation)
+//	quarantined --probation elapses--> probing
+//	probing --1 offense--> quarantined(2*probation, capped, jittered)
+//	probing --CleanStreak clean batches--> healthy (strikes forgotten)
+//
+// While quarantined, Send and SendCtx reject the stream's batches with
+// ErrQuarantined before they reach the shard queue, so a poisoned
+// stream consumes no queue slots, no shard time, and no store traffic.
+// A permanent store failure (corrupt snapshot) quarantines forever:
+// there is no probation that can make the bytes good again.
+type QuarantinePolicy struct {
+	// Strikes is the number of offenses (Offense calls, or a latched
+	// permanent store failure) before a stream is quarantined.
+	// 0 disables quarantine entirely.
+	Strikes int
+	// Probation is the first quarantine duration. Each readmission that
+	// relapses doubles it, up to MaxProbation; the actual window is
+	// jittered by ±25% so readmissions of many streams quarantined
+	// together do not stampede back in one batch. 0 means
+	// DefaultProbation.
+	Probation time.Duration
+	// MaxProbation caps the doubling. 0 means DefaultMaxProbation.
+	MaxProbation time.Duration
+	// CleanStreak is how many consecutively admitted batches a probing
+	// stream must deliver before it is fully readmitted (its strike
+	// count forgotten). 0 means DefaultCleanStreak.
+	CleanStreak int
+}
+
+func (p QuarantinePolicy) withDefaults() QuarantinePolicy {
+	if p.Probation <= 0 {
+		p.Probation = DefaultProbation
+	}
+	if p.MaxProbation <= 0 {
+		p.MaxProbation = DefaultMaxProbation
+	}
+	if p.MaxProbation < p.Probation {
+		p.MaxProbation = p.Probation
+	}
+	if p.CleanStreak <= 0 {
+		p.CleanStreak = DefaultCleanStreak
+	}
+	return p
+}
+
+// quarState is one stream's quarantine record. until is non-zero while
+// the stream is quarantined; probing marks the readmission window.
+type quarState struct {
+	strikes   int
+	until     time.Time
+	permanent bool
+	probation time.Duration // next quarantine length on relapse
+	probing   bool
+	clean     int
+	reason    error
+}
+
+// quarantineSet is the Fleet-level quarantine registry. It sits on the
+// producer side of the shard queues (Send consults it before
+// enqueueing), so it is guarded by its own mutex rather than shard
+// ownership; the map only holds offending streams, so healthy-path
+// lookups miss and return immediately.
+type quarantineSet struct {
+	policy  QuarantinePolicy
+	now     func() time.Time
+	metrics *metrics
+
+	mu      sync.Mutex
+	rng     *rng.Xoshiro256
+	streams map[string]*quarState
+}
+
+func newQuarantineSet(p QuarantinePolicy, now func() time.Time, m *metrics) *quarantineSet {
+	if p.Strikes <= 0 {
+		return nil
+	}
+	return &quarantineSet{
+		policy:  p.withDefaults(),
+		now:     now,
+		metrics: m,
+		rng:     rng.NewXoshiro256(0x9a7a11),
+		streams: make(map[string]*quarState),
+	}
+}
+
+// jittered returns d ±25%, deterministically from the set's rng.
+func (q *quarantineSet) jittered(d time.Duration) time.Duration {
+	quarter := d / 4
+	if quarter <= 0 {
+		return d
+	}
+	return d - quarter + time.Duration(q.rng.Uint64()%uint64(2*quarter+1))
+}
+
+// confine moves a stream into quarantine for its current probation
+// length (doubling it for next time), or forever when permanent.
+func (q *quarantineSet) confine(e *quarState, reason error, permanent bool) {
+	if e.probation <= 0 {
+		e.probation = q.policy.Probation
+	}
+	e.until = q.now().Add(q.jittered(e.probation))
+	e.probation *= 2
+	if e.probation > q.policy.MaxProbation {
+		e.probation = q.policy.MaxProbation
+	}
+	e.permanent = e.permanent || permanent
+	e.probing = false
+	e.clean = 0
+	e.reason = reason
+	q.metrics.ingestQuarantines.Add(1)
+}
+
+// offense records one strike against a stream. An offending probing
+// stream relapses immediately; an offending healthy stream is
+// quarantined once its strikes reach the policy threshold. permanent
+// marks offenses no probation can cure (corrupt snapshot).
+func (q *quarantineSet) offense(stream string, reason error, permanent bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e := q.streams[stream]
+	if e == nil {
+		e = &quarState{}
+		q.streams[stream] = e
+	}
+	if !e.until.IsZero() && (e.permanent || q.now().Before(e.until)) {
+		e.permanent = e.permanent || permanent
+		return // already quarantined; nothing more to escalate
+	}
+	e.strikes++
+	if e.probing || permanent || e.strikes >= q.policy.Strikes {
+		q.confine(e, reason, permanent)
+	}
+}
+
+// admit decides whether a batch for the stream may be enqueued. It
+// advances the state machine: an expired quarantine readmits the stream
+// on probation, and a probing stream that delivers CleanStreak clean
+// batches is forgotten entirely.
+func (q *quarantineSet) admit(stream string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e := q.streams[stream]
+	if e == nil {
+		return nil
+	}
+	if !e.until.IsZero() {
+		if e.permanent || q.now().Before(e.until) {
+			q.metrics.quarantineRejects.Add(1)
+			return fmt.Errorf("%w: stream %q: %w", ErrQuarantined, stream, e.reason)
+		}
+		// Probation elapsed: readmit, but remember the stream is on
+		// thin ice — one more offense re-quarantines immediately.
+		e.until = time.Time{}
+		e.probing = true
+		e.strikes = 0
+		e.clean = 0
+		q.metrics.readmissions.Add(1)
+	}
+	if e.probing {
+		e.clean++
+		if e.clean >= q.policy.CleanStreak {
+			delete(q.streams, stream)
+		}
+	}
+	return nil
+}
+
+// status returns the stream's quarantine error without advancing the
+// state machine (a read-only peek for observability).
+func (q *quarantineSet) status(stream string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e := q.streams[stream]
+	if e == nil || e.until.IsZero() {
+		return nil
+	}
+	if !e.permanent && !q.now().Before(e.until) {
+		return nil // probation elapsed; next admit readmits
+	}
+	return fmt.Errorf("%w: stream %q: %w", ErrQuarantined, stream, e.reason)
+}
+
+// Offense reports a protocol-level offense against a stream — a
+// malformed batch frame, a decode failure, or any caller-observed
+// misbehaviour — feeding the quarantine state machine. After
+// QuarantinePolicy.Strikes offenses (or one offense while the stream is
+// probing) the stream is quarantined and Send rejects its batches with
+// ErrQuarantined until a jittered probation window elapses. Offense is
+// a no-op when quarantine is disabled. Safe for concurrent use.
+func (f *Fleet) Offense(stream string, reason error) {
+	if f.quar == nil {
+		return
+	}
+	f.quar.offense(stream, reason, false)
+}
+
+// QuarantineErr returns the ErrQuarantined-wrapping error currently
+// rejecting the stream's batches, or nil if the stream is admissible.
+// Unlike Send it does not advance the probation state machine. Safe for
+// concurrent use.
+func (f *Fleet) QuarantineErr(stream string) error {
+	if f.quar == nil {
+		return nil
+	}
+	return f.quar.status(stream)
+}

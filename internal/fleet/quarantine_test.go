@@ -1,0 +1,215 @@
+package fleet
+
+// Quarantine tests: the probation state machine under a fake clock
+// (no real sleeping), and the blast-radius acceptance contract that a
+// poisoned stream's quarantine leaves sibling streams' phase sequences
+// byte-identical to a run where the poisoned stream never existed.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"phasekit/internal/core"
+)
+
+func TestQuarantineStateMachine(t *testing.T) {
+	clock := newFakeClock()
+	f := New(Config{
+		Shards:  1,
+		Tracker: testConfig(),
+		Now:     clock.Now,
+		Quarantine: QuarantinePolicy{
+			Strikes:      2,
+			Probation:    time.Minute,
+			MaxProbation: 4 * time.Minute,
+			CleanStreak:  3,
+		},
+	})
+	defer f.Close()
+
+	send := func() error { return f.Send(intervalBatch("s")) }
+
+	// Below the strike threshold the stream stays admissible.
+	f.Offense("s", errors.New("bad frame"))
+	if err := send(); err != nil {
+		t.Fatalf("one strike must not quarantine: %v", err)
+	}
+
+	// The second strike confines it.
+	f.Offense("s", errors.New("bad frame again"))
+	err := send()
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("Send after %d strikes = %v, want ErrQuarantined", 2, err)
+	}
+	if qerr := f.QuarantineErr("s"); !errors.Is(qerr, ErrQuarantined) {
+		t.Fatalf("QuarantineErr = %v", qerr)
+	}
+
+	// Well inside the window (jitter reaches down to 75% of the
+	// probation) it stays rejected.
+	clock.Advance(30 * time.Second)
+	if err := send(); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("Send mid-probation = %v, want ErrQuarantined", err)
+	}
+
+	// Past the window (jitter reaches up to 125%) the stream is
+	// readmitted on probation...
+	clock.Advance(60 * time.Second)
+	if err := send(); err != nil {
+		t.Fatalf("Send after probation = %v, want readmission", err)
+	}
+
+	// ...where a single offense re-confines it, now for a doubled
+	// (2 minute) window.
+	f.Offense("s", errors.New("relapse"))
+	if err := send(); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("Send after probing relapse = %v, want ErrQuarantined", err)
+	}
+	clock.Advance(90 * time.Second) // 1.5min < 0.75 * 2min... not necessarily past
+	clock.Advance(70 * time.Second) // total 2.67min > 1.25 * 2min: must be open
+	if err := send(); err != nil {
+		t.Fatalf("Send after doubled probation = %v, want readmission", err)
+	}
+
+	// A clean streak forgets the stream entirely: afterwards it takes
+	// the full strike count to quarantine again.
+	if err := send(); err != nil {
+		t.Fatalf("clean send: %v", err)
+	}
+	if err := send(); err != nil {
+		t.Fatalf("clean send: %v", err)
+	}
+	f.Offense("s", errors.New("first strike, fresh record"))
+	if err := send(); err != nil {
+		t.Fatalf("one strike after clean streak must not quarantine: %v", err)
+	}
+
+	m := f.Metrics()
+	if m.IngestQuarantines != 2 || m.Readmissions != 2 || m.QuarantineRejects == 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestQuarantinePermanentNeverReadmits(t *testing.T) {
+	clock := newFakeClock()
+	var m metrics
+	q := newQuarantineSet(QuarantinePolicy{Strikes: 1, Probation: time.Second}, clock.Now, &m)
+	q.offense("s", ErrSnapshotCorrupt, true)
+	clock.Advance(24 * time.Hour)
+	if err := q.admit("s"); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("permanent quarantine readmitted: %v", err)
+	}
+	if err := q.admit("s"); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("quarantine error must wrap its cause: %v", err)
+	}
+}
+
+func TestQuarantineProbationDoublingIsCapped(t *testing.T) {
+	clock := newFakeClock()
+	var m metrics
+	q := newQuarantineSet(QuarantinePolicy{
+		Strikes: 1, Probation: time.Minute, MaxProbation: 2 * time.Minute, CleanStreak: 4,
+	}, clock.Now, &m)
+	for i := 0; i < 6; i++ {
+		q.offense("s", errors.New("x"), false)
+		if err := q.admit("s"); !errors.Is(err, ErrQuarantined) {
+			t.Fatalf("round %d: not quarantined", i)
+		}
+		// 2.5 minutes always clears a window capped at 2 minutes even
+		// at maximum jitter; if doubling were uncapped, round 3+ would
+		// still be confined here.
+		clock.Advance(150 * time.Second)
+		if err := q.admit("s"); err != nil {
+			t.Fatalf("round %d: capped probation did not expire: %v", i, err)
+		}
+	}
+}
+
+func TestQuarantineDisabledIsNoOp(t *testing.T) {
+	f := New(Config{Shards: 1, Tracker: testConfig()})
+	defer f.Close()
+	for i := 0; i < 100; i++ {
+		f.Offense("s", errors.New("x"))
+	}
+	if err := f.Send(intervalBatch("s")); err != nil {
+		t.Fatalf("Send with quarantine disabled: %v", err)
+	}
+	if qerr := f.QuarantineErr("s"); qerr != nil {
+		t.Fatalf("QuarantineErr with quarantine disabled: %v", qerr)
+	}
+}
+
+// TestQuarantineBlastRadius is the acceptance contract: a poisoned
+// sibling stream — repeatedly committing offenses and being rejected —
+// must not perturb healthy streams sharing its shard. The healthy
+// streams' phase sequences are compared record-for-record against a
+// run in which the poisoned stream never existed.
+func TestQuarantineBlastRadius(t *testing.T) {
+	type rec struct {
+		index int
+		phase int
+	}
+	run := func(poison bool) map[string][]rec {
+		var mu sync.Mutex
+		got := make(map[string][]rec)
+		clock := newFakeClock()
+		f := New(Config{
+			Shards:     1, // everything shares one shard: worst case
+			Tracker:    testConfig(),
+			Now:        clock.Now,
+			Quarantine: QuarantinePolicy{Strikes: 2, Probation: time.Minute},
+			OnInterval: func(stream string, res core.IntervalResult) {
+				mu.Lock()
+				got[stream] = append(got[stream], rec{res.Index, res.PhaseID})
+				mu.Unlock()
+			},
+		})
+		healthy := map[string][]Batch{}
+		for _, s := range []string{"good-a", "good-b"} {
+			events, cycles := synthStream(11, 5000)
+			healthy[s] = batches(s, events, cycles)
+		}
+		evil := intervalBatch("evil")
+		for i := 0; i < len(healthy["good-a"]); i++ {
+			for _, s := range []string{"good-a", "good-b"} {
+				if err := f.Send(healthy[s][i]); err != nil {
+					t.Fatalf("healthy stream %s rejected: %v", s, err)
+				}
+			}
+			if poison {
+				// The poisoned sibling interleaves real batches,
+				// offenses, and rejected sends with the healthy
+				// traffic.
+				f.Send(evil)
+				f.Offense("evil", fmt.Errorf("malformed frame %d", i))
+				f.Send(evil)
+			}
+		}
+		f.Flush()
+		f.Close()
+		if poison {
+			delete(got, "evil")
+		}
+		return got
+	}
+
+	want := run(false)
+	got := run(true)
+	if len(got) != len(want) {
+		t.Fatalf("streams: got %d, want %d", len(got), len(want))
+	}
+	for stream, w := range want {
+		g := got[stream]
+		if len(g) != len(w) {
+			t.Fatalf("stream %s: %d intervals, want %d", stream, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("stream %s interval %d: got %+v, want %+v (poisoned sibling leaked)", stream, i, g[i], w[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package server
+
+// End-to-end golden equivalence: a trace ingested over the wire
+// protocol — including a full drain/checkpoint/restart/resume cycle
+// that cuts the run mid-interval — must produce exactly the phase
+// sequence of an in-process run. This is the acceptance contract for
+// the whole ingestion service: deadlines, framing, checkpointing, and
+// restore may not perturb classification by a single interval.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"phasekit/internal/core"
+	"phasekit/internal/fleet"
+	"phasekit/internal/rng"
+	"phasekit/internal/trace"
+	"phasekit/internal/wire"
+)
+
+// e2eBatches builds a deterministic multi-stream batch sequence whose
+// batches do NOT align with interval boundaries, so the drain cut lands
+// mid-interval for most streams.
+func e2eBatches(streams, n int) [][]wire.Batch {
+	x := rng.NewXoshiro256(0xe2e)
+	out := make([][]wire.Batch, 0, n)
+	region := uint64(0x400000)
+	for i := 0; i < n; i++ {
+		if i%12 == 0 {
+			region = 0x400000 + (x.Uint64()%4)*0x100000
+		}
+		events := make([]trace.BranchEvent, 37+int(x.Uint64()%80))
+		for j := range events {
+			events[j] = trace.BranchEvent{
+				PC:     region + (x.Uint64()%64)*64,
+				Instrs: 50 + uint32(x.Uint64()%100),
+			}
+		}
+		out = append(out, []wire.Batch{{
+			Stream: fmt.Sprintf("stream-%02d", i%streams),
+			Cycles: uint64(len(events)) * 100,
+			Events: events,
+		}})
+	}
+	return out
+}
+
+func recorderLines(t *testing.T, rec *PhaseRecorder) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "phases.log")
+	if err := rec.AppendTo(path); err != nil {
+		t.Fatalf("AppendTo: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read phases: %v", err)
+	}
+	return strings.Split(strings.TrimSpace(string(data)), "\n")
+}
+
+// sortPhaseLines orders "stream index phase" lines by stream then
+// numeric index — the same normalization the CI script applies with
+// sort -k1,1 -k2,2n.
+func sortPhaseLines(lines []string) {
+	sort.SliceStable(lines, func(i, j int) bool {
+		var si, sj string
+		var ii, ij, pi, pj int
+		fmt.Sscanf(lines[i], "%s %d %d", &si, &ii, &pi)
+		fmt.Sscanf(lines[j], "%s %d %d", &sj, &ij, &pj)
+		if si != sj {
+			return si < sj
+		}
+		return ii < ij
+	})
+}
+
+func TestE2EGoldenEquivalenceAcrossRestart(t *testing.T) {
+	const streams = 6
+	batches := e2eBatches(streams, 120)
+	tcfg := testTrackerConfig()
+
+	// In-process golden run.
+	goldenRec := NewPhaseRecorder()
+	golden := fleet.New(fleet.Config{Shards: 3, Tracker: tcfg, OnInterval: goldenRec.Record})
+	for _, group := range batches {
+		for _, b := range group {
+			golden.Send(fleet.Batch{Stream: b.Stream, Cycles: b.Cycles, Events: b.Events, EndInterval: b.EndInterval})
+		}
+	}
+	golden.Flush()
+	golden.Close()
+	want := recorderLines(t, goldenRec)
+	sortPhaseLines(want)
+
+	// Server run, split across a drain/restart at an arbitrary batch
+	// index that leaves most streams mid-interval.
+	storeDir := t.TempDir()
+	cut := 67
+	var got []string
+
+	runSegment := func(from, to int, flush bool) {
+		rec := NewPhaseRecorder()
+		store, err := fleet.NewFileStore(storeDir)
+		if err != nil {
+			t.Fatalf("NewFileStore: %v", err)
+		}
+		f := fleet.New(fleet.Config{Shards: 3, Tracker: tcfg, Store: store, OnInterval: rec.Record})
+		srv, err := New(Config{Fleet: f, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		c, err := wire.Dial(srv.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		for _, group := range batches[from:to] {
+			for _, b := range group {
+				if err := c.SendBatch(b.Stream, b.Cycles, b.Events, b.EndInterval); err != nil {
+					t.Fatalf("SendBatch: %v", err)
+				}
+			}
+		}
+		if flush {
+			if err := c.Flush(); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+		}
+		c.Close()
+
+		// The drain sequence phasekitd runs on SIGTERM: shut the
+		// network edge, checkpoint every stream (mid-interval state
+		// included), append the phase log, close.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+		if err := f.CheckpointCtx(ctx); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		f.Close()
+		got = append(got, recorderLines(t, rec)...)
+	}
+
+	runSegment(0, cut, false)
+	runSegment(cut, len(batches), true)
+	sortPhaseLines(got)
+
+	if len(got) != len(want) {
+		t.Fatalf("phase log: %d lines over the wire, %d in-process", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("phase log line %d: %q over the wire, %q in-process", i, got[i], want[i])
+		}
+	}
+
+	// The restart really did rehydrate from the store (not classify
+	// from scratch): every stream must have snapshots on disk.
+	snaps, err := filepath.Glob(filepath.Join(storeDir, "*.pkst"))
+	if err != nil || len(snaps) != streams {
+		t.Fatalf("store holds %d snapshots (%v), want %d", len(snaps), err, streams)
+	}
+}
+
+// TestE2EIntervalResultsSurviveRestart pins the subtler half of the
+// contract: interval *indices* continue across the restart (stream
+// state is restored, not recreated), so the concatenated logs line up
+// with the uninterrupted run without renumbering.
+func TestE2EIntervalIndicesContinueAcrossRestart(t *testing.T) {
+	tcfg := testTrackerConfig()
+	storeDir := t.TempDir()
+
+	run := func(send func(*wire.Client), onInterval func(string, core.IntervalResult)) {
+		store, err := fleet.NewFileStore(storeDir)
+		if err != nil {
+			t.Fatalf("NewFileStore: %v", err)
+		}
+		f := fleet.New(fleet.Config{Shards: 1, Tracker: tcfg, Store: store, OnInterval: onInterval})
+		srv, err := New(Config{Fleet: f})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		c, err := wire.Dial(srv.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		send(c)
+		c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		<-serveErr
+		if err := f.CheckpointCtx(ctx); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		f.Close()
+	}
+
+	var indices []int
+	record := func(_ string, res core.IntervalResult) { indices = append(indices, res.Index) }
+	events := intervalEvents()
+	run(func(c *wire.Client) {
+		for i := 0; i < 3; i++ {
+			c.SendBatch("s", 0, events, true)
+		}
+	}, record)
+	run(func(c *wire.Client) {
+		for i := 0; i < 3; i++ {
+			c.SendBatch("s", 0, events, true)
+		}
+		c.Flush()
+	}, record)
+
+	if len(indices) != 6 {
+		t.Fatalf("%d intervals, want 6 (indices %v)", len(indices), indices)
+	}
+	for i, idx := range indices {
+		if idx != i {
+			t.Fatalf("interval indices %v: restart renumbered the stream", indices)
+		}
+	}
+}

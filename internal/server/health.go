@@ -1,0 +1,38 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HealthHandler returns an http.Handler exposing Kubernetes-style
+// probes next to the binary ingest port:
+//
+//	GET /healthz — liveness: 200 while the process is up.
+//	GET /readyz  — readiness: 200 while accepting and not draining,
+//	               503 otherwise (load balancers stop routing new
+//	               connections during drain).
+//	GET /metricz — a JSON snapshot of server and fleet counters.
+func (s *Server) HealthHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Server Metrics
+			Fleet  any
+		}{s.Metrics(), s.cfg.Fleet.Metrics()})
+	})
+	return mux
+}

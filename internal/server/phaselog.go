@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"phasekit/internal/core"
+)
+
+// PhaseRecorder accumulates per-interval phase IDs from a Fleet's
+// OnInterval callback (concurrent across streams, ordered per stream)
+// and appends them to a file as "stream index phase" lines, sorted by
+// stream name then interval index. Both phasekitd (at drain) and
+// phasesim (at end of run) write this format, which is what makes a
+// server-ingested run byte-comparable with an in-process one: interval
+// indices survive checkpoint/restore, so logs concatenated across a
+// restart line up exactly with an uninterrupted run's.
+type PhaseRecorder struct {
+	mu  sync.Mutex
+	seq map[string][][2]int // stream -> (interval index, phase ID)
+}
+
+// NewPhaseRecorder returns an empty recorder.
+func NewPhaseRecorder() *PhaseRecorder {
+	return &PhaseRecorder{seq: make(map[string][][2]int)}
+}
+
+// Record appends one interval result; safe for concurrent use (wire it
+// as fleet.Config.OnInterval).
+func (r *PhaseRecorder) Record(stream string, res core.IntervalResult) {
+	r.mu.Lock()
+	r.seq[stream] = append(r.seq[stream], [2]int{res.Index, res.PhaseID})
+	r.mu.Unlock()
+}
+
+// AppendTo appends the recorded sequences to path (creating it if
+// needed) and clears the recorder.
+func (r *PhaseRecorder) AppendTo(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.seq))
+	for name := range r.seq {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fl, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		for _, e := range r.seq[name] {
+			if _, err := fmt.Fprintf(fl, "%s %d %d\n", name, e[0], e[1]); err != nil {
+				fl.Close()
+				return err
+			}
+		}
+	}
+	r.seq = make(map[string][][2]int)
+	return fl.Close()
+}

@@ -1,0 +1,392 @@
+// Package server is the network ingestion layer between untrusted
+// callers and a phasekit Fleet: a TCP server speaking the
+// internal/wire length-prefixed binary protocol, with per-connection
+// read/write deadlines (slow-loris defense), a max-frame guard,
+// backpressure wired to the Fleet's overload policy, stream quarantine
+// for malformed traffic, liveness/readiness probes, and graceful drain.
+//
+// # Failure containment
+//
+// Faults are contained at the narrowest scope that can absorb them:
+//
+//   - A malformed payload inside an intact frame is NACKed
+//     (NackMalformed) and counted as an offense against the stream
+//     that sent it — repeated offenses quarantine the stream
+//     (fleet.ErrQuarantined → NackQuarantined) without costing its
+//     shard neighbors anything. The connection survives.
+//   - A broken frame (oversized length prefix, short read, handshake
+//     garbage, idle timeout) is connection-fatal: the byte stream
+//     cannot be resynced, so the connection is closed. The fleet and
+//     other connections are untouched.
+//   - A full fleet queue under OverloadReject becomes NackOverload; under
+//     OverloadBlock the send waits, bounded by IngestTimeout, and a
+//     timeout becomes NackDeadline. Either way the caller learns to
+//     back off; the read loop never blocks unboundedly.
+//
+// # Drain
+//
+// Shutdown stops accepting, marks readiness false, wakes every
+// connection parked in a read, lets in-flight frames finish (bounded
+// by the shutdown context), and returns. The caller then checkpoints
+// the fleet (Fleet.Checkpoint) so a restart resumes every stream —
+// including mid-interval state — bit-identically.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phasekit/internal/core"
+	"phasekit/internal/fleet"
+	"phasekit/internal/wire"
+)
+
+// Default connection and ingest bounds.
+const (
+	DefaultReadTimeout   = 30 * time.Second
+	DefaultWriteTimeout  = 10 * time.Second
+	DefaultIngestTimeout = 5 * time.Second
+)
+
+// Config configures a Server.
+type Config struct {
+	// Fleet receives every decoded batch. Required.
+	Fleet *fleet.Fleet
+	// ReadTimeout bounds the wait for each frame (header and body): a
+	// connection that goes quiet — or dribbles bytes slower than one
+	// frame per window, the slow-loris pattern — is closed. 0 means
+	// DefaultReadTimeout.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write. 0 means
+	// DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// IngestTimeout bounds the ctx-bounded Fleet send for each batch
+	// under the Block overload policy. 0 means DefaultIngestTimeout.
+	IngestTimeout time.Duration
+	// MaxFrame bounds the accepted frame payload size. 0 means
+	// wire.DefaultMaxFrame.
+	MaxFrame int
+	// Logf, if non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = DefaultReadTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.IngestTimeout <= 0 {
+		c.IngestTimeout = DefaultIngestTimeout
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable. Failures wrap
+// core.ErrConfig.
+func (c Config) Validate() error {
+	if c.Fleet == nil {
+		return fmt.Errorf("%w: server: Fleet is required", core.ErrConfig)
+	}
+	if c.ReadTimeout < 0 || c.WriteTimeout < 0 || c.IngestTimeout < 0 {
+		return fmt.Errorf("%w: server: timeouts must be >= 0", core.ErrConfig)
+	}
+	if c.MaxFrame < 0 {
+		return fmt.Errorf("%w: server: MaxFrame must be >= 0", core.ErrConfig)
+	}
+	return nil
+}
+
+// Metrics is a point-in-time copy of the server's counters.
+type Metrics struct {
+	// Conns counts accepted connections; OpenConns is the current
+	// number still open.
+	Conns     uint64
+	OpenConns int
+	// Frames counts decoded frames; Acks and Nacks count responses.
+	Frames uint64
+	Acks   uint64
+	Nacks  uint64
+	// Malformed counts payloads that failed to decode (NackMalformed);
+	// DeadConns counts connections dropped for protocol or IO errors
+	// (bad magic, oversized frame, timeout, mid-frame disconnect).
+	Malformed uint64
+	DeadConns uint64
+}
+
+// Server serves the wire ingest protocol over TCP. Create with New,
+// start with Serve or ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg Config
+
+	lnMu sync.Mutex
+	ln   net.Listener
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	conns64, frames, acks, nacks, malformed, dead atomic.Uint64
+}
+
+// New returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg.withDefaults(),
+		conns:   make(map[net.Conn]struct{}),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Healthy reports liveness: true for the server's whole lifetime (the
+// process answering at all is the liveness signal).
+func (s *Server) Healthy() bool { return true }
+
+// Ready reports readiness: true while the listener is accepting and
+// the server is not draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// Metrics returns a snapshot of the server's counters.
+func (s *Server) Metrics() Metrics {
+	s.connMu.Lock()
+	open := len(s.conns)
+	s.connMu.Unlock()
+	return Metrics{
+		Conns:     s.conns64.Load(),
+		OpenConns: open,
+		Frames:    s.frames.Load(),
+		Acks:      s.acks.Load(),
+		Nacks:     s.nacks.Load(),
+		Malformed: s.malformed.Load(),
+		DeadConns: s.dead.Load(),
+	}
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	s.ready.Store(true)
+	defer s.ready.Store(false)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		s.conns64.Add(1)
+		s.track(conn, true)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.track(conn, false)
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn, add bool) {
+	s.connMu.Lock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+	s.connMu.Unlock()
+}
+
+// Shutdown gracefully drains the server: stop accepting, mark not
+// ready, wake parked reads, and wait for in-flight frames to finish.
+// If ctx expires first, remaining connections are force-closed. The
+// fleet itself is left running — callers flush/checkpoint it next.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.cancel() // unblock ctx-bounded fleet sends
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+	// Wake every connection parked in a blocking read so its loop
+	// observes draining and exits after the frame it is processing.
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+		return fmt.Errorf("server: drain cut short: %w", ctx.Err())
+	}
+}
+
+// serveConn runs one connection's read-decode-ingest-respond loop.
+func (s *Server) serveConn(conn net.Conn) {
+	peer := conn.RemoteAddr()
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	var magic [len(wire.Magic)]byte
+	if _, err := io.ReadFull(conn, magic[:]); err != nil || string(magic[:]) != wire.Magic {
+		s.dead.Add(1)
+		s.logf("conn %v: bad magic: %v", peer, err)
+		return
+	}
+	var rbuf, wbuf []byte
+	for !s.draining.Load() {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		payload, err := wire.ReadFrame(conn, rbuf, s.cfg.MaxFrame)
+		if err != nil {
+			if err == io.EOF {
+				return // orderly close at a frame boundary
+			}
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// Best-effort courtesy NACK; the connection cannot be
+				// resynced past an oversized frame, so it closes.
+				s.respond(conn, wire.AppendNackFrame(wbuf[:0], 0, wire.NackMalformed, err.Error()))
+			}
+			s.dead.Add(1)
+			s.logf("conn %v: read: %v", peer, err)
+			return
+		}
+		rbuf = payload[:0]
+		s.frames.Add(1)
+		wbuf = s.handleFrame(payload, wbuf[:0])
+		if len(wbuf) > 0 && !s.respond(conn, wbuf) {
+			s.dead.Add(1)
+			s.logf("conn %v: write failed", peer)
+			return
+		}
+	}
+}
+
+// handleFrame decodes and dispatches one frame, returning the staged
+// response frame (empty for none).
+func (s *Server) handleFrame(payload, wbuf []byte) []byte {
+	fr, err := wire.DecodeFrame(payload)
+	if err != nil {
+		s.malformed.Add(1)
+		if fr.Tag == wire.TagBatch && fr.Batch.Stream != "" {
+			// The framing was intact and the offender identified:
+			// charge the stream, keep the connection.
+			s.cfg.Fleet.Offense(fr.Batch.Stream, err)
+		}
+		return s.nack(wbuf, fr.Seq, wire.NackMalformed, err.Error())
+	}
+	switch fr.Tag {
+	case wire.TagBatch:
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.IngestTimeout)
+		err := s.cfg.Fleet.SendCtx(ctx, fleet.Batch{
+			Stream:      fr.Batch.Stream,
+			Cycles:      fr.Batch.Cycles,
+			Events:      fr.Batch.Events,
+			EndInterval: fr.Batch.EndInterval,
+		})
+		cancel()
+		return s.ingestResult(wbuf, fr.Seq, err)
+	case wire.TagFlush:
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.IngestTimeout)
+		err := s.cfg.Fleet.FlushCtx(ctx)
+		cancel()
+		return s.ingestResult(wbuf, fr.Seq, err)
+	}
+	// Ack/Nack from a client are protocol misuse but harmless; ignore.
+	return wbuf
+}
+
+// ingestResult maps a fleet error onto the protocol response.
+func (s *Server) ingestResult(wbuf []byte, seq uint64, err error) []byte {
+	switch {
+	case err == nil:
+		s.acks.Add(1)
+		return wire.AppendAckFrame(wbuf, seq)
+	case errors.Is(err, fleet.ErrOverloaded):
+		return s.nack(wbuf, seq, wire.NackOverload, "ingest queue full")
+	case errors.Is(err, fleet.ErrQuarantined):
+		return s.nack(wbuf, seq, wire.NackQuarantined, err.Error())
+	case errors.Is(err, fleet.ErrDeadline), errors.Is(err, fleet.ErrCanceled):
+		if s.draining.Load() {
+			return s.nack(wbuf, seq, wire.NackShutdown, "server draining")
+		}
+		return s.nack(wbuf, seq, wire.NackDeadline, "ingest wait timed out")
+	}
+	return s.nack(wbuf, seq, wire.NackInternal, err.Error())
+}
+
+func (s *Server) nack(wbuf []byte, seq uint64, code uint8, detail string) []byte {
+	s.nacks.Add(1)
+	return wire.AppendNackFrame(wbuf, seq, code, detail)
+}
+
+// respond writes a staged response under the write deadline.
+func (s *Server) respond(conn net.Conn, frame []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_, err := conn.Write(frame)
+	return err == nil
+}

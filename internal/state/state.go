@@ -237,6 +237,13 @@ func (d *Decoder) Int() int { return int(int64(d.U64())) }
 // F64 reads a float64 from its IEEE-754 bits.
 func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
 
+// Count reads a uint32 element count and bounds it against the bytes
+// remaining at elemSize bytes per element. Callers decoding repeated
+// fields with compound element layouts (e.g. the wire protocol's event
+// records) use it so a corrupt count can never drive an allocation
+// larger than the payload that carried it.
+func (d *Decoder) Count(elemSize int) int { return d.count(elemSize) }
+
 // count reads a uint32 element count and bounds it against the bytes
 // remaining at elemSize bytes per element, so corrupt lengths can never
 // drive an oversized allocation.

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"phasekit/internal/trace"
+)
+
+// NackError is returned by Client calls when the server refuses a
+// frame. Code is one of the Nack* constants.
+type NackError struct {
+	Seq    uint64
+	Code   uint8
+	Detail string
+}
+
+func (e *NackError) Error() string {
+	return fmt.Sprintf("wire: server nack (%s) for frame %d: %s",
+		NackCodeString(e.Code), e.Seq, e.Detail)
+}
+
+// Client speaks the ingest protocol over one connection. Calls are
+// synchronous (one frame in flight); a Client is not safe for
+// concurrent use. Per-stream batch ordering therefore follows call
+// order, matching the Fleet's Send contract.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	wbuf []byte
+	rbuf []byte
+	seq  uint64
+	// Timeout bounds each request/response round trip via connection
+	// deadlines. 0 means no deadline.
+	Timeout  time.Duration
+	maxFrame int
+}
+
+// Dial connects to a phasekitd server and performs the magic
+// handshake. timeout bounds the dial and each subsequent round trip
+// (0 = none).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, timeout)
+}
+
+// NewClient wraps an established connection, sending the magic. The
+// Client owns the connection from here on.
+func NewClient(conn net.Conn, timeout time.Duration) (*Client, error) {
+	c := &Client{
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 1<<16),
+		bw:       bufio.NewWriterSize(conn, 1<<16),
+		Timeout:  timeout,
+		maxFrame: DefaultMaxFrame,
+	}
+	if err := c.deadline(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := c.bw.WriteString(Magic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) deadline() error {
+	if c.Timeout <= 0 {
+		return c.conn.SetDeadline(time.Time{})
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.Timeout))
+}
+
+// roundTrip writes the frame staged in wbuf and waits for the matching
+// Ack or Nack.
+func (c *Client) roundTrip(seq uint64) error {
+	if err := c.deadline(); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	payload, err := ReadFrame(c.br, c.rbuf, c.maxFrame)
+	if err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	c.rbuf = payload[:0]
+	fr, err := DecodeFrame(payload)
+	if err != nil {
+		return err
+	}
+	switch fr.Tag {
+	case TagAck:
+		if fr.Seq != seq {
+			return fmt.Errorf("wire: ack for frame %d, want %d", fr.Seq, seq)
+		}
+		return nil
+	case TagNack:
+		return &NackError{Seq: fr.Seq, Code: fr.Code, Detail: fr.Detail}
+	}
+	return fmt.Errorf("wire: unexpected response tag %#02x", fr.Tag)
+}
+
+// SendBatch sends one batch and waits for the server's Ack. A Nack is
+// returned as *NackError.
+func (c *Client) SendBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error {
+	c.seq++
+	c.wbuf = AppendBatchFrame(c.wbuf[:0], Batch{
+		Seq:         c.seq,
+		Stream:      stream,
+		Cycles:      cycles,
+		EndInterval: endInterval,
+		Events:      events,
+	})
+	return c.roundTrip(c.seq)
+}
+
+// Flush asks the server to flush the fleet (force-close every stream's
+// trailing partial interval) and waits for the Ack.
+func (c *Client) Flush() error {
+	c.seq++
+	c.wbuf = AppendFlushFrame(c.wbuf[:0], c.seq)
+	return c.roundTrip(c.seq)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// DialRetry dials with retries until the server accepts the handshake
+// or ctx expires, for startup races where the server is still binding
+// its listener.
+func DialRetry(ctx context.Context, addr string, timeout time.Duration) (*Client, error) {
+	var last error
+	for {
+		c, err := Dial(addr, timeout)
+		if err == nil {
+			return c, nil
+		}
+		last = err
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("wire: dialing %s: %w (last: %v)", addr, ctx.Err(), last)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package wire is the length-prefixed binary ingest protocol spoken
+// between phasekit clients and the phasekitd server (internal/server).
+//
+// The protocol is deliberately minimal: a connection opens with a
+// 6-byte magic, then carries a sequence of frames in each direction.
+// Every frame is
+//
+//	length  uint32 little-endian  (payload bytes, excluding itself)
+//	payload length bytes
+//
+// and every payload reuses the internal/state codec conventions: a
+// two-byte section header (tag, version) followed by fixed-width
+// little-endian fields with count-prefixed repeats. Frame payloads:
+//
+//	Batch v1: seq u64, stream string, cycles u64, endInterval bool,
+//	          events u32 count + (pc u64, instrs u32) each
+//	Flush v1: seq u64
+//	Ack   v1: seq u64
+//	Nack  v1: seq u64, code u8, detail string
+//
+// The length prefix is bounded by a max-frame guard before any
+// allocation, and the payload decoder (state.Decoder) bounds every
+// count against the bytes actually present, so arbitrary input can
+// neither panic the decoder nor allocate beyond the frame it arrived
+// in. Decode failures are resynchronizable: framing is intact (the
+// length prefix was valid), so a server can NACK the frame and keep
+// reading.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"phasekit/internal/state"
+	"phasekit/internal/trace"
+)
+
+// Magic opens every client connection. The server rejects connections
+// that do not start with it, so port scanners and stray HTTP requests
+// fail fast instead of being interpreted as garbage frames.
+const Magic = "PHKW1\n"
+
+// DefaultMaxFrame bounds the payload length the reader will accept
+// (and allocate) for one frame. A batch of ~40k events fits; anything
+// larger is a framing error or an attack.
+const DefaultMaxFrame = 1 << 20
+
+// lenSize is the frame length prefix size.
+const lenSize = 4
+
+// Frame payload tags (section headers, state codec convention).
+const (
+	TagBatch = 0x31
+	TagFlush = 0x32
+	TagAck   = 0x33
+	TagNack  = 0x34
+)
+
+// Versions of each payload layout this package encodes and decodes.
+const (
+	batchVersion = 1
+	ctrlVersion  = 1
+)
+
+// Nack codes: why the server refused a frame.
+const (
+	// NackMalformed: the payload failed to decode (framing was intact).
+	NackMalformed = 1
+	// NackOverload: the fleet's ingest queue was full under the Reject
+	// overload policy.
+	NackOverload = 2
+	// NackQuarantined: the stream is quarantined; retry after probation.
+	NackQuarantined = 3
+	// NackDeadline: the ctx-bounded ingest wait timed out (Block
+	// overload policy under sustained backpressure).
+	NackDeadline = 4
+	// NackShutdown: the server is draining; reconnect elsewhere/later.
+	NackShutdown = 5
+	// NackInternal: an unexpected server-side failure.
+	NackInternal = 6
+)
+
+// NackCodeString names a Nack code for logs and errors.
+func NackCodeString(code uint8) string {
+	switch code {
+	case NackMalformed:
+		return "malformed"
+	case NackOverload:
+		return "overload"
+	case NackQuarantined:
+		return "quarantined"
+	case NackDeadline:
+		return "deadline"
+	case NackShutdown:
+		return "shutdown"
+	case NackInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code-%d", code)
+}
+
+// Typed protocol failure classes.
+var (
+	// ErrFrameTooLarge marks a frame whose length prefix exceeds the
+	// max-frame guard. Connection-fatal: the stream cannot be resynced.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrMalformed marks a payload that failed to decode. The framing
+	// itself was intact, so the connection can continue.
+	ErrMalformed = errors.New("wire: malformed frame payload")
+	// ErrBadMagic marks a connection that did not open with Magic.
+	ErrBadMagic = errors.New("wire: bad connection magic")
+)
+
+// Batch is the decoded form of a batch frame.
+type Batch struct {
+	Seq         uint64
+	Stream      string
+	Cycles      uint64
+	EndInterval bool
+	Events      []trace.BranchEvent
+}
+
+// Frame is one decoded payload. Tag selects which fields are
+// meaningful: Batch for TagBatch; Seq for TagFlush/TagAck/TagNack;
+// Code and Detail for TagNack.
+type Frame struct {
+	Tag    byte
+	Batch  Batch
+	Seq    uint64
+	Code   uint8
+	Detail string
+}
+
+// eventSize is the encoded size of one branch event (pc u64 + instrs
+// u32); used to bound the event count against the payload.
+const eventSize = 12
+
+// appendFrame wraps an encoded payload (built by enc starting at
+// dst[len(dst)+lenSize:]) with its length prefix. It reserves the
+// prefix, runs enc, then patches the length in.
+func appendFrame(dst []byte, enc func(e *state.Encoder)) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	e := state.AppendTo(dst)
+	enc(e)
+	out := e.Bytes()
+	binary.LittleEndian.PutUint32(out[start:], uint32(len(out)-start-lenSize))
+	return out
+}
+
+// AppendBatchFrame appends a framed batch to dst.
+func AppendBatchFrame(dst []byte, b Batch) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagBatch, batchVersion)
+		e.U64(b.Seq)
+		e.String(b.Stream)
+		e.U64(b.Cycles)
+		e.Bool(b.EndInterval)
+		e.U32(uint32(len(b.Events)))
+		for _, ev := range b.Events {
+			e.U64(ev.PC)
+			e.U32(ev.Instrs)
+		}
+	})
+}
+
+// AppendFlushFrame appends a framed flush request to dst.
+func AppendFlushFrame(dst []byte, seq uint64) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagFlush, ctrlVersion)
+		e.U64(seq)
+	})
+}
+
+// AppendAckFrame appends a framed acknowledgement to dst.
+func AppendAckFrame(dst []byte, seq uint64) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagAck, ctrlVersion)
+		e.U64(seq)
+	})
+}
+
+// AppendNackFrame appends a framed negative acknowledgement to dst.
+func AppendNackFrame(dst []byte, seq uint64, code uint8, detail string) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagNack, ctrlVersion)
+		e.U64(seq)
+		e.U8(code)
+		e.String(detail)
+	})
+}
+
+// ReadFrame reads one frame from r, reusing buf when it is large
+// enough, and returns the raw payload. maxFrame bounds the length
+// prefix before any allocation (0 means DefaultMaxFrame). io.EOF is
+// returned untouched at a clean frame boundary so callers can
+// distinguish an orderly close from truncation (io.ErrUnexpectedEOF).
+func ReadFrame(r io.Reader, buf []byte, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [lenSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int64(n) > int64(maxFrame) {
+		return nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n, maxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// DecodeFrame decodes one frame payload. On a malformed batch payload
+// the returned Frame still carries the stream name when it decoded
+// before the failure, so servers can attribute the offense to the
+// stream that sent it. Every decode failure wraps ErrMalformed.
+func DecodeFrame(payload []byte) (Frame, error) {
+	if len(payload) < 2 {
+		return Frame{}, fmt.Errorf("%w: %d-byte payload", ErrMalformed, len(payload))
+	}
+	f := Frame{Tag: payload[0]}
+	d := state.NewDecoder(payload)
+	switch f.Tag {
+	case TagBatch:
+		d.Section(TagBatch, batchVersion)
+		f.Batch.Seq = d.U64()
+		f.Batch.Stream = d.String()
+		f.Batch.Cycles = d.U64()
+		f.Batch.EndInterval = d.Bool()
+		n := d.Count(eventSize)
+		if n > 0 && d.Err() == nil {
+			f.Batch.Events = make([]trace.BranchEvent, n)
+			for i := range f.Batch.Events {
+				f.Batch.Events[i] = trace.BranchEvent{PC: d.U64(), Instrs: d.U32()}
+			}
+		}
+		f.Seq = f.Batch.Seq
+	case TagFlush, TagAck:
+		d.Section(f.Tag, ctrlVersion)
+		f.Seq = d.U64()
+	case TagNack:
+		d.Section(TagNack, ctrlVersion)
+		f.Seq = d.U64()
+		f.Code = d.U8()
+		f.Detail = d.String()
+	default:
+		return f, fmt.Errorf("%w: unknown tag %#02x", ErrMalformed, f.Tag)
+	}
+	if err := d.Finish(); err != nil {
+		return f, fmt.Errorf("%w: %w", ErrMalformed, err)
+	}
+	return f, nil
+}

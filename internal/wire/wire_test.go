@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"phasekit/internal/trace"
+)
+
+func testBatch() Batch {
+	return Batch{
+		Seq:         42,
+		Stream:      "tenant-7",
+		Cycles:      123456,
+		EndInterval: true,
+		Events: []trace.BranchEvent{
+			{PC: 0x400010, Instrs: 100},
+			{PC: 0x400020, Instrs: 7},
+			{PC: 0xffffffffffffffff, Instrs: 0xffffffff},
+		},
+	}
+}
+
+func roundTrip(t *testing.T, raw []byte) Frame {
+	t.Helper()
+	payload, err := ReadFrame(bytes.NewReader(raw), nil, 0)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	f, err := DecodeFrame(payload)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	return f
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	want := testBatch()
+	f := roundTrip(t, AppendBatchFrame(nil, want))
+	if f.Tag != TagBatch || f.Seq != want.Seq {
+		t.Fatalf("tag/seq: %#02x/%d", f.Tag, f.Seq)
+	}
+	got := f.Batch
+	if got.Stream != want.Stream || got.Cycles != want.Cycles || got.EndInterval != want.EndInterval {
+		t.Fatalf("batch header: %+v, want %+v", got, want)
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("%d events, want %d", len(got.Events), len(want.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+func TestEmptyBatchRoundTrip(t *testing.T) {
+	f := roundTrip(t, AppendBatchFrame(nil, Batch{Seq: 1, Stream: "s"}))
+	if len(f.Batch.Events) != 0 || f.Batch.EndInterval {
+		t.Fatalf("empty batch decoded as %+v", f.Batch)
+	}
+}
+
+func TestControlFrameRoundTrips(t *testing.T) {
+	if f := roundTrip(t, AppendFlushFrame(nil, 9)); f.Tag != TagFlush || f.Seq != 9 {
+		t.Fatalf("flush: %+v", f)
+	}
+	if f := roundTrip(t, AppendAckFrame(nil, 10)); f.Tag != TagAck || f.Seq != 10 {
+		t.Fatalf("ack: %+v", f)
+	}
+	f := roundTrip(t, AppendNackFrame(nil, 11, NackOverload, "queue full"))
+	if f.Tag != TagNack || f.Seq != 11 || f.Code != NackOverload || f.Detail != "queue full" {
+		t.Fatalf("nack: %+v", f)
+	}
+}
+
+func TestMultipleFramesOneStream(t *testing.T) {
+	raw := AppendBatchFrame(nil, testBatch())
+	raw = AppendFlushFrame(raw, 43)
+	raw = AppendAckFrame(raw, 44)
+	r := bytes.NewReader(raw)
+	var buf []byte
+	var tags []byte
+	for {
+		payload, err := ReadFrame(r, buf, 0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		f, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		tags = append(tags, f.Tag)
+		buf = payload[:0]
+	}
+	if string(tags) != string([]byte{TagBatch, TagFlush, TagAck}) {
+		t.Fatalf("tags: %#v", tags)
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), nil, 0)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// A small limit rejects frames the default would accept.
+	raw := AppendBatchFrame(nil, testBatch())
+	if _, err := ReadFrame(bytes.NewReader(raw), nil, 8); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("limit 8: %v", err)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	raw := AppendBatchFrame(nil, testBatch())
+	// Clean EOF only at a frame boundary.
+	if _, err := ReadFrame(bytes.NewReader(nil), nil, 0); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+	for _, cut := range []int{1, 3, 4, 5, len(raw) - 1} {
+		_, err := ReadFrame(bytes.NewReader(raw[:cut]), nil, 0)
+		if err == nil || err == io.EOF {
+			t.Fatalf("cut at %d: %v, want truncation error", cut, err)
+		}
+		if cut >= 4 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestDecodeMalformedPreservesStream(t *testing.T) {
+	// Corrupt the event count of a valid batch so it promises more
+	// events than the payload holds: decode must fail as ErrMalformed
+	// but still report the stream for offense attribution.
+	b := testBatch()
+	raw := AppendBatchFrame(nil, b)
+	payload := raw[4:]
+	// Find the count field: section(2) + seq(8) + string(4+len) + cycles(8) + bool(1).
+	off := 2 + 8 + 4 + len(b.Stream) + 8 + 1
+	binary.LittleEndian.PutUint32(payload[off:], 1<<30)
+	f, err := DecodeFrame(payload)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("corrupted count: %v, want ErrMalformed", err)
+	}
+	if f.Batch.Stream != b.Stream {
+		t.Fatalf("stream lost on malformed payload: %q", f.Batch.Stream)
+	}
+}
+
+func TestDecodeRejectsUnknownTagAndTrailer(t *testing.T) {
+	if _, err := DecodeFrame([]byte{0x7f, 1, 0, 0}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown tag: %v", err)
+	}
+	raw := AppendAckFrame(nil, 5)
+	payload := append(raw[4:], 0xee) // trailing junk after a valid ack
+	if _, err := DecodeFrame(payload); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	if _, err := DecodeFrame(nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("nil payload: %v", err)
+	}
+}
+
+func TestNackErrorFormatting(t *testing.T) {
+	err := &NackError{Seq: 3, Code: NackQuarantined, Detail: "stream evil"}
+	if !strings.Contains(err.Error(), "quarantined") || !strings.Contains(err.Error(), "stream evil") {
+		t.Fatalf("NackError: %s", err)
+	}
+	if NackCodeString(200) != "code-200" {
+		t.Fatalf("unknown code: %s", NackCodeString(200))
+	}
+}

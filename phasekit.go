@@ -85,7 +85,10 @@ type Tracker = core.Tracker
 // stream IDs are hashed onto shards, each shard's worker goroutine
 // exclusively owns its streams' Trackers, and ingestion is batched
 // through bounded queues with backpressure. All Fleet methods are safe
-// for concurrent use. See internal/fleet for the concurrency model.
+// for concurrent use, and every blocking operation has a ctx-aware
+// variant (SendCtx, FlushCtx, SnapshotCtx, CheckpointCtx, ...) that
+// honours cancellation and deadlines with ErrCanceled/ErrDeadline.
+// See internal/fleet for the concurrency model.
 type Fleet = fleet.Fleet
 
 // FleetConfig configures a Fleet (shard count, queue depth, per-stream
@@ -153,7 +156,26 @@ var (
 	// ErrOverloaded is returned by Fleet.Send under OverloadReject when
 	// the shard queue is full.
 	ErrOverloaded = fleet.ErrOverloaded
+	// ErrQuarantined is returned by Fleet ingestion for streams confined
+	// after repeated offenses (malformed input, corrupt snapshots); see
+	// QuarantinePolicy for the probation/readmission rules.
+	ErrQuarantined = fleet.ErrQuarantined
+	// ErrCanceled is returned by the Fleet's ctx-aware methods
+	// (SendCtx, FlushCtx, SnapshotCtx, ...) when the context is
+	// canceled before the operation completes.
+	ErrCanceled = fleet.ErrCanceled
+	// ErrDeadline is the ErrCanceled analogue for exceeded deadlines.
+	ErrDeadline = fleet.ErrDeadline
+	// ErrConfig marks any configuration validation failure, from
+	// Config.Validate or FleetConfig.Validate; match with errors.Is.
+	ErrConfig = core.ErrConfig
 )
+
+// QuarantinePolicy configures Fleet stream quarantine: after Strikes
+// offenses a stream's batches are rejected with ErrQuarantined until a
+// capped, jittered probation window elapses; a clean streak readmits
+// it. See FleetConfig.Quarantine.
+type QuarantinePolicy = fleet.QuarantinePolicy
 
 // BranchEvent is a committed-branch record: the branch PC and the
 // instructions committed since the previous branch.

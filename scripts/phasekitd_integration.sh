@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# phasekitd integration check: golden equivalence across a SIGTERM
+# drain/restore cycle.
+#
+# An in-process phasesim run produces the golden phase log. The same
+# workload is then ingested over TCP into phasekitd in two segments:
+# the server is SIGTERMed mid-run (checkpointing every stream to the
+# state dir), restarted with -restore, and fed the remainder. The
+# concatenated server-side phase log must be line-identical to the
+# golden log — the network edge, the drain, and the restore may not
+# perturb classification by a single interval.
+set -euo pipefail
+
+WORKLOAD=${WORKLOAD:-gzip/g}
+STREAMS=${STREAMS:-4}
+INTERVAL=${INTERVAL:-1000000}
+SCALE=${SCALE:-0.2}
+CUT=${CUT:-150} # batch index where the first segment stops
+ADDR=${ADDR:-127.0.0.1:9127}
+
+workdir=$(mktemp -d)
+trap 'kill $server_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid=
+
+go build -o "$workdir/phasekitd" ./cmd/phasekitd
+go build -o "$workdir/phasesim" ./cmd/phasesim
+
+sim_args=(-workload "$WORKLOAD" -streams "$STREAMS" -interval "$INTERVAL" -scale "$SCALE")
+
+echo "==> golden in-process run"
+"$workdir/phasesim" "${sim_args[@]}" -parallel -adaptive=false \
+  -phases "$workdir/golden.log" >/dev/null
+
+start_server() {
+  "$workdir/phasekitd" -addr "$ADDR" -interval "$INTERVAL" \
+    -store "$workdir/state" -phases "$workdir/server.log" "$@" &
+  server_pid=$!
+  local host=${ADDR%:*} port=${ADDR##*:}
+  for _ in $(seq 100); do
+    (exec 3<>"/dev/tcp/$host/$port") 2>/dev/null && return
+    sleep 0.1
+  done
+  echo "phasekitd did not come up on $ADDR" >&2
+  exit 1
+}
+
+drain_server() {
+  kill -TERM "$server_pid"
+  wait "$server_pid" || { echo "phasekitd drain exited non-zero" >&2; exit 1; }
+  server_pid=
+}
+
+echo "==> segment 1: ingest batches [0, $CUT), then SIGTERM mid-run"
+mkdir "$workdir/state"
+start_server
+"$workdir/phasesim" -connect "$ADDR" "${sim_args[@]}" -max-batches "$CUT"
+drain_server
+snapshots=$(ls "$workdir/state"/*.pkst | wc -l)
+echo "    drained: $snapshots stream snapshot(s) in the state dir"
+
+echo "==> segment 2: restart with -restore, ingest batches [$CUT, end]"
+start_server -restore
+"$workdir/phasesim" -connect "$ADDR" "${sim_args[@]}" -from-batch "$CUT"
+drain_server
+
+echo "==> diff server phase log against the golden run"
+sort -k1,1 -k2,2n "$workdir/golden.log" >"$workdir/golden.sorted"
+sort -k1,1 -k2,2n "$workdir/server.log" >"$workdir/server.sorted"
+if ! diff -u "$workdir/golden.sorted" "$workdir/server.sorted"; then
+  echo "FAIL: phase sequence diverged across the drain/restore cycle" >&2
+  exit 1
+fi
+echo "PASS: $(wc -l <"$workdir/golden.sorted") phase records identical across SIGTERM/restore"
