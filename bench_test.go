@@ -45,6 +45,7 @@ func runner(b *testing.B) *harness.Runner {
 // formatting), excluding workload generation.
 func benchExperiment(b *testing.B, id string) {
 	r := runner(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tables, err := r.Experiment(id)
@@ -103,6 +104,7 @@ func BenchmarkTrackerBranch(b *testing.B) {
 	cfg := phasekit.DefaultConfig()
 	cfg.IntervalInstrs = 1_000_000
 	tracker := phasekit.NewTracker("bench", cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tracker.Branch(0x400000+uint64(i%64)*64, 100)
@@ -120,6 +122,7 @@ func BenchmarkTrackerSerialStreams(b *testing.B) {
 	for i := range trackers {
 		trackers[i] = phasekit.NewTracker("bench-"+strconv.Itoa(i), cfg)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		trackers[i%streams].Branch(0x400000+uint64(i%64)*64, 100)
@@ -141,10 +144,38 @@ func BenchmarkFleet(b *testing.B) {
 	}
 }
 
+// benchBuf is one recyclable event buffer for the fleet benchmarks:
+// the recycle closure is bound once at pool creation, so the timed
+// loop allocates nothing per batch and allocs/op reflects the fleet,
+// not the harness.
+type benchBuf struct {
+	ev      []phasekit.BranchEvent
+	recycle func()
+}
+
+// newBenchPool returns a filled freelist of count buffers of batchLen
+// events. Popping blocks when every buffer is in flight, which bounds
+// the producer a few batches ahead of the shards — steady state for a
+// well-behaved ingest front-end.
+func newBenchPool(count, batchLen int) chan *benchBuf {
+	free := make(chan *benchBuf, count)
+	for i := 0; i < count; i++ {
+		buf := &benchBuf{ev: make([]phasekit.BranchEvent, batchLen)}
+		buf.recycle = func() { free <- buf }
+		free <- buf
+	}
+	return free
+}
+
 func benchFleet(b *testing.B, streams, batchLen int) {
 	cfg := phasekit.DefaultFleetConfig()
 	cfg.Tracker.IntervalInstrs = 1_000_000
 	f := phasekit.NewFleet(cfg)
+	pools := make([]chan *benchBuf, streams)
+	for s := range pools {
+		pools[s] = newBenchPool(8, batchLen)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	// Distribute b.N exactly: the first rem streams send one extra
@@ -160,20 +191,23 @@ func benchFleet(b *testing.B, streams, batchLen int) {
 				per++
 			}
 			name := "bench-" + strconv.Itoa(s)
+			free := pools[s]
 			for sent := 0; sent < per; {
 				n := batchLen
 				if per-sent < n {
 					n = per - sent
 				}
-				// Fresh slice per batch: ownership transfers on Send.
-				events := make([]phasekit.BranchEvent, n)
+				// Pooled buffer: ownership transfers on Send and comes
+				// back through Recycle once the shard applied it.
+				buf := <-free
+				events := buf.ev[:n]
 				for i := range events {
 					events[i] = phasekit.BranchEvent{
 						PC:     0x400000 + uint64((sent+i)%64)*64,
 						Instrs: 100,
 					}
 				}
-				f.Send(phasekit.Batch{Stream: name, Events: events})
+				f.Send(phasekit.Batch{Stream: name, Events: events, Recycle: buf.recycle})
 				sent += n
 			}
 		}(s)
@@ -245,17 +279,24 @@ func BenchmarkFleetEvicting(b *testing.B) {
 	cfg.MaxResident = 8
 	cfg.Store = phasekit.NewMemStore()
 	f := phasekit.NewFleet(cfg)
+	free := newBenchPool(16, batchLen)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for sent := 0; sent < b.N; {
 		n := batchLen
 		if b.N-sent < n {
 			n = b.N - sent
 		}
-		events := make([]phasekit.BranchEvent, n)
+		buf := <-free
+		events := buf.ev[:n]
 		for i := range events {
 			events[i] = phasekit.BranchEvent{PC: 0x400000 + uint64((sent+i)%64)*64, Instrs: 100}
 		}
-		f.Send(phasekit.Batch{Stream: "bench-" + strconv.Itoa((sent/batchLen)%streams), Events: events})
+		f.Send(phasekit.Batch{
+			Stream:  "bench-" + strconv.Itoa((sent/batchLen)%streams),
+			Events:  events,
+			Recycle: buf.recycle,
+		})
 		sent += n
 	}
 	f.Flush()
@@ -273,6 +314,7 @@ func BenchmarkEvaluateWorkload(b *testing.B) {
 	}
 	cfg := phasekit.DefaultConfig()
 	cfg.IntervalInstrs = 2_000_000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		phasekit.Evaluate(run, cfg)
@@ -283,6 +325,7 @@ func BenchmarkEvaluateWorkload(b *testing.B) {
 // the Table 1 timing model (the substrate cost).
 func BenchmarkGenerateWorkload(b *testing.B) {
 	opts := phasekit.WorkloadOptions{Scale: 0.02, IntervalInstrs: 1_000_000}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := phasekit.GenerateWorkload("bzip2/g", opts); err != nil {

@@ -42,7 +42,7 @@ type Baseline struct {
 }
 
 var resultRe = regexp.MustCompile(
-	`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	var base Baseline

@@ -271,12 +271,12 @@ func replayTrace(path string, cfg core.Config, restorePath, ckptPath string) (co
 			// instruction budget; a residue below the budget is
 			// flushed to keep alignment exact.
 			if res, ok := tracker.Flush(); ok {
-				results = append(results, res)
+				results = append(results, *res)
 			}
 			continue
 		}
 		if res, ok := tracker.Branch(ev.PC, ev.Instrs); ok {
-			results = append(results, res)
+			results = append(results, *res)
 		}
 	}
 	if ckptPath != "" {
@@ -296,13 +296,13 @@ type trackerSink struct {
 func (s *trackerSink) Event(ev uarch.BlockEvent, cycles uint64) {
 	s.t.Cycles(cycles)
 	if res, ok := s.t.Branch(ev.BranchPC, ev.Instrs); ok {
-		s.results = append(s.results, res)
+		s.results = append(s.results, *res)
 	}
 }
 
 func (s *trackerSink) EndInterval(int) {
 	if res, ok := s.t.Flush(); ok {
-		s.results = append(s.results, res)
+		s.results = append(s.results, *res)
 	}
 }
 
@@ -321,7 +321,7 @@ func replayWorkloadOnline(spec workload.Spec, opts workload.Options, cfg core.Co
 		return core.Report{}, nil, err
 	}
 	if res, ok := tracker.Flush(); ok {
-		sink.results = append(sink.results, res)
+		sink.results = append(sink.results, *res)
 	}
 	if ckptPath != "" {
 		if err := checkpointTracker(tracker, ckptPath); err != nil {

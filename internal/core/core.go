@@ -300,17 +300,26 @@ type Tracker struct {
 	eng    *engine
 	acc    *signature.Accumulator
 	instrs uint64
+	// limit caches eng.cfg.IntervalInstrs so the per-branch fast path
+	// loads one Tracker field instead of chasing eng -> cfg.
+	limit  uint64
 	cycles uint64
 	name   string
+	// res is the buffer Branch and Flush return a pointer into. Keeping
+	// the ~140-byte IntervalResult out of the return value makes the
+	// per-branch fast path two register stores instead of a duffzero of
+	// caller result memory on every call.
+	res IntervalResult
 }
 
 // NewTracker returns a tracker for cfg. It panics on invalid
 // configurations.
 func NewTracker(name string, cfg Config) *Tracker {
 	return &Tracker{
-		eng:  newEngine(cfg),
-		acc:  signature.NewAccumulator(cfg.Dims),
-		name: name,
+		eng:   newEngine(cfg),
+		acc:   signature.NewAccumulator(cfg.Dims),
+		limit: cfg.IntervalInstrs,
+		name:  name,
 	}
 }
 
@@ -322,18 +331,23 @@ func (t *Tracker) Cycles(c uint64) { t.cycles += c }
 
 // Branch records one committed branch (Figure 1 step 1-2). When the
 // branch completes an interval, the interval is classified and the
-// result returned with ok=true.
-func (t *Tracker) Branch(pc uint64, instrs uint32) (res IntervalResult, ok bool) {
+// result returned with ok=true. The returned pointer aliases
+// tracker-owned storage that is overwritten at the next interval
+// boundary: callers that retain a result across further Branch or
+// Flush calls must copy it. On the non-boundary fast path the result
+// is nil.
+func (t *Tracker) Branch(pc uint64, instrs uint32) (*IntervalResult, bool) {
 	t.acc.Add(pc, instrs)
 	t.instrs += uint64(instrs)
-	if t.instrs < t.eng.cfg.IntervalInstrs {
-		return IntervalResult{}, false
+	if t.instrs < t.limit {
+		return nil, false
 	}
 	return t.endInterval(), true
 }
 
-// endInterval closes the current interval.
-func (t *Tracker) endInterval() IntervalResult {
+// endInterval closes the current interval, writing the result into the
+// tracker's reusable buffer.
+func (t *Tracker) endInterval() *IntervalResult {
 	sig := t.eng.cfg.Compress.CompressInto(t.eng.sigBuf, t.acc)
 	cpi := 0.0
 	if t.instrs > 0 {
@@ -342,14 +356,16 @@ func (t *Tracker) endInterval() IntervalResult {
 	t.acc.Reset()
 	t.instrs = 0
 	t.cycles = 0
-	return t.eng.step(sig, cpi)
+	t.res = t.eng.step(sig, cpi)
+	return &t.res
 }
 
 // Flush force-closes a trailing partial interval (end of program). It
-// returns ok=false if the interval was empty.
-func (t *Tracker) Flush() (IntervalResult, bool) {
+// returns ok=false (and a nil result) if the interval was empty. The
+// returned pointer has the same reuse contract as Branch's.
+func (t *Tracker) Flush() (*IntervalResult, bool) {
 	if t.instrs == 0 {
-		return IntervalResult{}, false
+		return nil, false
 	}
 	return t.endInterval(), true
 }

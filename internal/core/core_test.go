@@ -48,7 +48,7 @@ func phaseStream(t *Tracker, phase int, intervals int, x *rng.Xoshiro256) []Inte
 		pc := base + uint64(x.Intn(30))*64
 		t.Cycles(uint64(100 + x.Intn(20)))
 		if res, ok := t.Branch(pc, 100); ok {
-			out = append(out, res)
+			out = append(out, *res)
 		}
 	}
 	return out

@@ -49,7 +49,7 @@ func feed(tr *Tracker, events []stateEvent, from, to int) []IntervalResult {
 	for _, ev := range events[from:to] {
 		tr.Cycles(ev.cycles)
 		if res, ok := tr.Branch(ev.pc, ev.instrs); ok {
-			out = append(out, res)
+			out = append(out, *res)
 		}
 	}
 	return out
@@ -100,7 +100,7 @@ func TestResumeBitIdentical(t *testing.T) {
 	for i, ev := range events {
 		golden.Cycles(ev.cycles)
 		if res, ok := golden.Branch(ev.pc, ev.instrs); ok {
-			results = append(results, res)
+			results = append(results, *res)
 			boundary = append(boundary, i+1)
 		}
 	}

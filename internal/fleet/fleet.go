@@ -203,6 +203,15 @@ type Batch struct {
 	// applied (mirroring Tracker.Flush). Trace replayers use it to
 	// keep interval alignment exact at recorded boundaries.
 	EndInterval bool
+	// Recycle, if non-nil, is invoked from the owning shard's goroutine
+	// once the Fleet is finished with Events — after the batch is
+	// applied, or when it is dropped (quarantined stream, store down).
+	// It is the hand-back half of the Events ownership transfer: pooled
+	// producers (the ingest server) reuse the slice afterwards instead
+	// of allocating one per batch. It is NOT called when Send itself
+	// fails (ErrOverloaded, ErrQuarantined, ctx cancellation) — the
+	// batch never left the caller, who still owns Events.
+	Recycle func()
 }
 
 // message kinds carried on a shard's channel. Data and control share
@@ -257,6 +266,12 @@ type streamEntry struct {
 	dropped bool
 }
 
+// shardPoolCap bounds each shard's pool of tracker shells. Eviction
+// and rehydration alternate over at most a few streams at a time per
+// shard, so a small pool captures the churn without pinning memory for
+// tables that may never be reused.
+const shardPoolCap = 4
+
 // shard is one worker's exclusive state. Only the worker goroutine
 // touches streams after New returns.
 type shard struct {
@@ -266,6 +281,34 @@ type shard struct {
 	quota   int             // max resident trackers; 0 = unlimited
 	snapBuf []byte          // reusable eviction snapshot buffer
 	rng     *rng.Xoshiro256 // deterministic retry-backoff jitter
+	// free holds tracker shells recycled from eviction and throwaway
+	// reads, reused by the Restore path of rehydration.
+	// Tracker.Restore rebuilds every table and adopts the snapshot's
+	// name and configuration, so a pooled shell rehydrates any stream
+	// bit-identically to a freshly allocated tracker — but only the
+	// Restore path may use shells: a genuinely new stream needs the
+	// pristine state of core.NewTracker.
+	free []*core.Tracker
+}
+
+// getShell pops a pooled tracker shell for Restore, or allocates. The
+// placeholder name is irrelevant: Restore adopts the snapshot's name.
+func (f *Fleet) getShell(sh *shard, stream string) *core.Tracker {
+	if n := len(sh.free); n > 0 {
+		t := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		return t
+	}
+	return core.NewTracker(stream, f.cfg.Tracker)
+}
+
+// putShell returns a tracker whose state is no longer needed to the
+// shard's pool (dropped when the pool is full).
+func (sh *shard) putShell(t *core.Tracker) {
+	if len(sh.free) < shardPoolCap {
+		sh.free = append(sh.free, t)
+	}
 }
 
 // Fleet tracks phases for many concurrent instruction streams. All
@@ -435,6 +478,32 @@ func (f *Fleet) Send(b Batch) error {
 	return nil
 }
 
+// TrySend is the non-blocking Send: it enqueues the batch if the
+// owning shard has queue space and otherwise returns ErrOverloaded
+// immediately, regardless of the configured overload policy. It is the
+// ingest hot path for servers that want bounded-latency admission with
+// their own fallback (retry, ctx-bounded SendCtx, or load shedding) —
+// unlike SendCtx it allocates nothing on the fast path.
+func (f *Fleet) TrySend(b Batch) error {
+	if f.quar != nil {
+		if err := f.quar.admit(b.Stream); err != nil {
+			return err
+		}
+	}
+	select {
+	case f.shardFor(b.Stream).ch <- shardMsg{kind: msgBatch, batch: b}:
+		return nil
+	default:
+		f.metrics.rejectedBatches.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// Overload returns the configured overload policy, so front-ends (the
+// ingest server) can pick the matching admission strategy without
+// carrying the Fleet configuration separately.
+func (f *Fleet) Overload() OverloadPolicy { return f.cfg.Overload }
+
 // Track is shorthand for Send of a cycle-less event batch.
 func (f *Fleet) Track(stream string, events []trace.BranchEvent) error {
 	return f.Send(Batch{Stream: stream, Events: events})
@@ -536,7 +605,7 @@ func (f *Fleet) run(sh *shard) {
 					}
 				}
 				if res, ok := e.tracker.Flush(); ok && f.cfg.OnInterval != nil {
-					f.cfg.OnInterval(name, res)
+					f.cfg.OnInterval(name, *res)
 				}
 			}
 			msg.done <- struct{}{}
@@ -583,7 +652,11 @@ func (f *Fleet) peekReport(sh *shard, stream string, e *streamEntry) core.Report
 	if !e.quarantined {
 		t, err := f.rehydrate(sh, stream)
 		if err == nil {
-			return t.Report()
+			r := t.Report()
+			// The throwaway's state is disposable: pool the shell for
+			// the next rehydration.
+			sh.putShell(t)
+			return r
 		}
 		f.failStream(e, stream, "load", err, true)
 	}
@@ -597,18 +670,24 @@ func (f *Fleet) peekReport(sh *shard, stream string, e *streamEntry) core.Report
 // phase sequence — when the store is unavailable after retries or the
 // snapshot fails to decode.
 func (f *Fleet) rehydrate(sh *shard, stream string) (*core.Tracker, error) {
-	t := core.NewTracker(stream, f.cfg.Tracker)
 	if f.retr == nil {
-		return t, nil
+		return core.NewTracker(stream, f.cfg.Tracker), nil
 	}
 	snap, ok, err := f.retr.load(sh.rng, stream)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
-		return t, nil
+		// A stream the store has never seen: it needs pristine state,
+		// never a pooled shell.
+		return core.NewTracker(stream, f.cfg.Tracker), nil
 	}
+	// Restore fully rebuilds a tracker from the snapshot, so a pooled
+	// shell from a previous eviction serves any stream. On failure the
+	// shell is untouched (Restore's contract) and returns to the pool.
+	t := f.getShell(sh, stream)
 	if err := t.Restore(snap); err != nil {
+		sh.putShell(t)
 		return nil, fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
 	return t, nil
@@ -705,6 +784,9 @@ func (f *Fleet) evictDownTo(sh *shard, target int) {
 			victim.err = nil
 		}
 		victim.pending = victim.tracker.Pending() > 0
+		// The victim's state is safely serialized: its tracker becomes
+		// a shell for the next rehydration.
+		sh.putShell(victim.tracker)
 		victim.tracker = nil
 		f.resident.Add(-1)
 		resident--
@@ -717,6 +799,11 @@ func (f *Fleet) evictDownTo(sh *shard, target int) {
 // dropped and counted — the error is already recorded against the
 // stream.
 func (f *Fleet) apply(sh *shard, b Batch) {
+	// The batch is consumed on every path out of here — applied or
+	// dropped — so the producer's buffer hand-back fires exactly once.
+	if b.Recycle != nil {
+		defer b.Recycle()
+	}
 	e := sh.streams[b.Stream]
 	if e == nil {
 		e = &streamEntry{}
@@ -731,12 +818,12 @@ func (f *Fleet) apply(sh *shard, b Batch) {
 	t.Cycles(b.Cycles)
 	for _, ev := range b.Events {
 		if res, ok := t.Branch(ev.PC, ev.Instrs); ok && f.cfg.OnInterval != nil {
-			f.cfg.OnInterval(b.Stream, res)
+			f.cfg.OnInterval(b.Stream, *res)
 		}
 	}
 	if b.EndInterval {
 		if res, ok := t.Flush(); ok && f.cfg.OnInterval != nil {
-			f.cfg.OnInterval(b.Stream, res)
+			f.cfg.OnInterval(b.Stream, *res)
 		}
 	}
 }

@@ -258,15 +258,7 @@ func (t *ChangeTable) RecordChange(hash uint64, outcome int) {
 			break
 		}
 	}
-	if correct {
-		if e.conf < t.confMax {
-			e.conf++
-		}
-	} else {
-		if e.conf > 0 {
-			e.conf--
-		}
-	}
+	e.conf = satUpdate(e.conf, correct, t.confMax)
 	t.train(e, outcome)
 	t.touch(i)
 }

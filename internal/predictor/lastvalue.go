@@ -83,12 +83,11 @@ func (l *LastValue) Observe(actual int) bool {
 	correct := actual == l.cur
 	if l.cfg.UseConfidence {
 		c := l.conf[l.cur]
-		if correct {
-			if c < l.max {
-				l.conf[l.cur] = c + 1
-			}
-		} else if c > 0 {
-			l.conf[l.cur] = c - 1
+		// Write only when the counter moves: a saturated or floored
+		// counter must not materialize a map entry, because the
+		// snapshot encoding walks the map's keys.
+		if n := satUpdate(c, correct, l.max); n != c {
+			l.conf[l.cur] = n
 		}
 	}
 	l.cur = actual

@@ -1,0 +1,41 @@
+package predictor
+
+// Saturating confidence counters are on the per-interval hot path of
+// every predictor (LastValue trains one per observation, ChangeTable
+// one per phase change). satUpdate is the shared branchless update:
+// the delta select and both clamps compile to conditional moves, so
+// the mispredict-prone data-dependent branches of the naive form
+// (increment-if-correct-and-below-max, decrement-if-above-zero) never
+// reach the branch predictor. satUpdateRef retains the naive form as
+// the reference the differential fuzz test pins satUpdate against.
+
+// satUpdate returns c+1 on correct and c-1 otherwise, saturating at
+// [0, max], without a data-dependent branch.
+func satUpdate(c int, correct bool, max int) int {
+	var delta int
+	if correct {
+		delta = 2
+	}
+	n := c + delta - 1
+	if n < 0 {
+		n = 0
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// satUpdateRef is the reference branchy saturating update.
+func satUpdateRef(c int, correct bool, max int) int {
+	if correct {
+		if c < max {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}

@@ -1,0 +1,41 @@
+package predictor
+
+import "testing"
+
+// TestSatUpdateMatchesRef exhaustively pins the branchless saturating
+// update against the branchy reference across every counter value,
+// direction, and width used by the predictors (1..8-bit counters).
+func TestSatUpdateMatchesRef(t *testing.T) {
+	for bits := 1; bits <= 8; bits++ {
+		max := (1 << bits) - 1
+		for c := 0; c <= max; c++ {
+			for _, correct := range []bool{true, false} {
+				got := satUpdate(c, correct, max)
+				want := satUpdateRef(c, correct, max)
+				if got != want {
+					t.Fatalf("satUpdate(%d, %v, %d) = %d, want %d", c, correct, max, got, want)
+				}
+			}
+		}
+	}
+}
+
+// FuzzSatUpdate extends the pin to arbitrary (including out-of-range)
+// counter values: the branchless form must agree with the reference
+// everywhere the reference is defined.
+func FuzzSatUpdate(f *testing.F) {
+	f.Add(0, true, 7)
+	f.Add(7, true, 7)
+	f.Add(0, false, 7)
+	f.Add(3, false, 1)
+	f.Fuzz(func(t *testing.T, c int, correct bool, max int) {
+		if max < 0 || max > 1<<20 || c < 0 || c > max {
+			t.Skip()
+		}
+		got := satUpdate(c, correct, max)
+		want := satUpdateRef(c, correct, max)
+		if got != want {
+			t.Fatalf("satUpdate(%d, %v, %d) = %d, want %d", c, correct, max, got, want)
+		}
+	})
+}

@@ -44,6 +44,7 @@ import (
 
 	"phasekit/internal/core"
 	"phasekit/internal/fleet"
+	"phasekit/internal/trace"
 	"phasekit/internal/wire"
 )
 
@@ -288,6 +289,70 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// eventBufs bounds each connection's event-buffer freelist. It must
+// cover the maximum number of batches in flight between this
+// connection and its fleet shards (bounded by the shard queue depth),
+// so recycled buffers are never dropped in steady state and the ingest
+// loop reaches zero allocations per frame.
+const eventBufs = 128
+
+// eventBuf is one pooled decode target: a reusable event slice plus a
+// recycle closure allocated once, at buffer creation, so handing the
+// buffer to the fleet (fleet.Batch.Recycle) costs no per-frame
+// closure allocation.
+type eventBuf struct {
+	events  []trace.BranchEvent
+	recycle func()
+}
+
+// connState is one connection's reusable ingest state: the stream-name
+// intern table (so each stream's name is allocated once per connection,
+// not once per frame) and the event-buffer freelist the fleet recycles
+// into. The freelist is a channel because recycling happens on shard
+// goroutines while the connection goroutine pops.
+type connState struct {
+	intern map[string]string
+	free   chan *eventBuf
+}
+
+func newConnState() *connState {
+	return &connState{
+		intern: make(map[string]string),
+		free:   make(chan *eventBuf, eventBufs),
+	}
+}
+
+// getBuf pops a free event buffer, growing the circulating pool only
+// when every buffer is in flight.
+func (cs *connState) getBuf() *eventBuf {
+	select {
+	case b := <-cs.free:
+		return b
+	default:
+	}
+	b := &eventBuf{}
+	b.recycle = func() {
+		select {
+		case cs.free <- b:
+		default: // freelist full: let the buffer go
+		}
+	}
+	return b
+}
+
+// internStream returns the connection-interned copy of a stream-name
+// view. The map lookup with a string(bytes) key compiles without a
+// conversion allocation; only a stream's first frame on the connection
+// pays for the string.
+func (cs *connState) internStream(name []byte) string {
+	if s, ok := cs.intern[string(name)]; ok {
+		return s
+	}
+	s := string(name)
+	cs.intern[s] = s
+	return s
+}
+
 // serveConn runs one connection's read-decode-ingest-respond loop.
 func (s *Server) serveConn(conn net.Conn) {
 	peer := conn.RemoteAddr()
@@ -298,6 +363,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.logf("conn %v: bad magic: %v", peer, err)
 		return
 	}
+	cs := newConnState()
 	var rbuf, wbuf []byte
 	for !s.draining.Load() {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
@@ -317,7 +383,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		rbuf = payload[:0]
 		s.frames.Add(1)
-		wbuf = s.handleFrame(payload, wbuf[:0])
+		wbuf = s.handleFrame(cs, payload, wbuf[:0])
 		if len(wbuf) > 0 && !s.respond(conn, wbuf) {
 			s.dead.Add(1)
 			s.logf("conn %v: write failed", peer)
@@ -327,36 +393,62 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // handleFrame decodes and dispatches one frame, returning the staged
-// response frame (empty for none).
-func (s *Server) handleFrame(payload, wbuf []byte) []byte {
-	fr, err := wire.DecodeFrame(payload)
+// response frame (empty for none). The batch fast path is
+// allocation-free in steady state: the frame decodes as views into the
+// read buffer plus a pooled event slice, the stream name comes from
+// the connection's intern table, and admission goes through the
+// fleet's non-blocking TrySend. Only the contended fallback (queue
+// full under the Block policy) pays for a context.
+func (s *Server) handleFrame(cs *connState, payload, wbuf []byte) []byte {
+	buf := cs.getBuf()
+	fr, err := wire.DecodeFrameView(payload, buf.events)
+	if cap(fr.Events) > cap(buf.events) {
+		// Keep any growth DecodeFrameView did, so the buffer reaches
+		// steady-state capacity after one large batch.
+		buf.events = fr.Events[:cap(fr.Events)]
+	}
 	if err != nil {
+		buf.recycle()
 		s.malformed.Add(1)
-		if fr.Tag == wire.TagBatch && fr.Batch.Stream != "" {
+		if fr.Tag == wire.TagBatch && len(fr.Stream) > 0 {
 			// The framing was intact and the offender identified:
 			// charge the stream, keep the connection.
-			s.cfg.Fleet.Offense(fr.Batch.Stream, err)
+			s.cfg.Fleet.Offense(cs.internStream(fr.Stream), err)
 		}
 		return s.nack(wbuf, fr.Seq, wire.NackMalformed, err.Error())
 	}
 	switch fr.Tag {
 	case wire.TagBatch:
-		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.IngestTimeout)
-		err := s.cfg.Fleet.SendCtx(ctx, fleet.Batch{
-			Stream:      fr.Batch.Stream,
-			Cycles:      fr.Batch.Cycles,
-			Events:      fr.Batch.Events,
-			EndInterval: fr.Batch.EndInterval,
-		})
-		cancel()
+		b := fleet.Batch{
+			Stream:      cs.internStream(fr.Stream),
+			Cycles:      fr.Cycles,
+			Events:      fr.Events,
+			EndInterval: fr.EndInterval,
+			Recycle:     buf.recycle,
+		}
+		err := s.cfg.Fleet.TrySend(b)
+		if errors.Is(err, fleet.ErrOverloaded) && s.cfg.Fleet.Overload() == fleet.OverloadBlock {
+			// Queue full under backpressure: wait, bounded by the
+			// ingest timeout. The slow path may allocate; it only runs
+			// when the fleet is already behind.
+			ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.IngestTimeout)
+			err = s.cfg.Fleet.SendCtx(ctx, b)
+			cancel()
+		}
+		if err != nil {
+			// The batch never reached a shard; the buffer is still ours.
+			buf.recycle()
+		}
 		return s.ingestResult(wbuf, fr.Seq, err)
 	case wire.TagFlush:
+		buf.recycle()
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.IngestTimeout)
 		err := s.cfg.Fleet.FlushCtx(ctx)
 		cancel()
 		return s.ingestResult(wbuf, fr.Seq, err)
 	}
 	// Ack/Nack from a client are protocol misuse but harmless; ignore.
+	buf.recycle()
 	return wbuf
 }
 

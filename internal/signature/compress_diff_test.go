@@ -1,0 +1,93 @@
+package signature
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// compressCountersRef is the pre-SWAR branchy reference for the
+// CompressCounters saturation select, duplicated here so the branchless
+// production loop is pinned against the original semantics.
+func compressCountersRef(c CompressConfig, counters []uint64, total uint64) Vector {
+	out := make(Vector, len(counters))
+	maxVal := uint64(1)<<c.Bits - 1
+	var shift, ceiling uint
+	if c.Dynamic {
+		avg := total / uint64(len(counters))
+		ceiling = uint(bits.Len64(avg)) + 2
+		if ceiling < uint(c.Bits) {
+			ceiling = uint(c.Bits)
+		}
+		shift = ceiling - uint(c.Bits)
+	} else {
+		shift = uint(c.StaticShift)
+		ceiling = shift + uint(c.Bits)
+	}
+	for i, v := range counters {
+		if ceiling < 64 && v>>ceiling != 0 {
+			out[i] = uint16(maxVal)
+			continue
+		}
+		out[i] = uint16((v >> shift) & maxVal)
+	}
+	return out
+}
+
+func TestCompressCountersMatchesRef(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cfgs := []CompressConfig{
+		{Bits: 6, Dynamic: true},
+		{Bits: 1, Dynamic: true},
+		{Bits: 16, Dynamic: true},
+		{Bits: 6, StaticShift: 14},
+		{Bits: 8, StaticShift: 0},
+		{Bits: 6, StaticShift: 58}, // ceiling reaches 64: no saturation possible
+		{Bits: 16, StaticShift: 63},
+	}
+	for _, cfg := range cfgs {
+		for trial := 0; trial < 500; trial++ {
+			n := 1 << (1 + r.Intn(6))
+			counters := make([]uint64, n)
+			var total uint64
+			for i := range counters {
+				// Mix magnitudes so values land below, inside, and
+				// above the selected bit window.
+				v := r.Uint64() >> uint(r.Intn(64))
+				counters[i] = v
+				total += v
+			}
+			want := compressCountersRef(cfg, counters, total)
+			got := cfg.CompressCounters(nil, counters, total)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cfg=%+v counters[%d]=%#x: got %d, want %d",
+						cfg, i, counters[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzCompressCounters differentially fuzzes the branchless saturation
+// against the branchy reference for arbitrary counter words.
+func FuzzCompressCounters(f *testing.F) {
+	f.Add(uint64(0), uint64(1<<30), 6, true, 0)
+	f.Add(uint64(1)<<63, uint64(3), 6, false, 14)
+	f.Add(^uint64(0), ^uint64(0), 16, false, 63)
+	f.Fuzz(func(t *testing.T, v, total uint64, bitsN int, dynamic bool, shift int) {
+		cfg := CompressConfig{Bits: bitsN, Dynamic: dynamic, StaticShift: shift}
+		if cfg.Validate() != nil {
+			t.Skip()
+		}
+		counters := []uint64{v, v >> 1, ^v, 0}
+		want := compressCountersRef(cfg, counters, total)
+		got := cfg.CompressCounters(nil, counters, total)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cfg=%+v counters[%d]=%#x total=%d: got %d, want %d",
+					cfg, i, counters[i], total, got[i], want[i])
+			}
+		}
+	})
+}

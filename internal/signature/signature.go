@@ -121,20 +121,24 @@ func (v Vector) Clone() Vector {
 
 // Manhattan returns the L1 distance between a and b. It panics if the
 // dimensionalities differ; signatures from different accumulator
-// configurations are not comparable.
+// configurations are not comparable. Word-viewable vectors (see
+// words) take the SWAR path — four dimensions per uint64 load — which
+// is bit-identical to the scalar reference (integer sums are
+// order-independent).
 func Manhattan(a, b Vector) uint64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("signature: dimension mismatch %d != %d", len(a), len(b)))
 	}
-	var d uint64
-	for i := range a {
-		if a[i] > b[i] {
-			d += uint64(a[i] - b[i])
-		} else {
-			d += uint64(b[i] - a[i])
+	if wa, ok := words(a); ok {
+		if wb, ok := words(b); ok {
+			var d uint64
+			for i, w := range wa {
+				d += wordAbsDiffSum(w, wb[i])
+			}
+			return d
 		}
 	}
-	return d
+	return manhattanScalar(a, b)
 }
 
 // ManhattanBounded returns the L1 distance between a and b, aborting as
@@ -143,29 +147,27 @@ func Manhattan(a, b Vector) uint64 {
 // only grows, an abort proves the full distance exceeds bound without
 // touching the remaining dimensions — the classifier's early-exit scan
 // rejects most non-matching table entries after a few dimensions.
+//
+// The SWAR path checks the bound after each four-dimension word,
+// exactly where the scalar reference checks it, so the early-exit
+// decision and the returned distance are bit-identical.
 func ManhattanBounded(a, b Vector, bound uint64) (uint64, bool) {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("signature: dimension mismatch %d != %d", len(a), len(b)))
 	}
-	var d uint64
-	i := 0
-	// Four dimensions per bound check: the branchless absolute
-	// differences are a few cycles each, so checking after every one
-	// costs more in branches than it saves in adds.
-	for ; i+4 <= len(a); i += 4 {
-		d += absDiff16(a[i], b[i]) + absDiff16(a[i+1], b[i+1]) +
-			absDiff16(a[i+2], b[i+2]) + absDiff16(a[i+3], b[i+3])
-		if d > bound {
-			return 0, false
+	if wa, ok := words(a); ok {
+		if wb, ok := words(b); ok {
+			var d uint64
+			for i, w := range wa {
+				d += wordAbsDiffSum(w, wb[i])
+				if d > bound {
+					return 0, false
+				}
+			}
+			return d, true
 		}
 	}
-	for ; i < len(a); i++ {
-		d += absDiff16(a[i], b[i])
-	}
-	if d > bound {
-		return 0, false
-	}
-	return d, true
+	return manhattanBoundedScalar(a, b, bound)
 }
 
 // absDiff16 returns |x-y| widened to uint64; compiles to a
@@ -275,12 +277,18 @@ func (c CompressConfig) CompressCounters(dst Vector, counters []uint64, total ui
 
 	for i, v := range counters {
 		// A set bit above the selected window means the value is too
-		// large to represent: store the maximum possible value.
-		if ceiling < 64 && v>>ceiling != 0 {
-			out[i] = uint16(maxVal)
-			continue
-		}
-		out[i] = uint16((v >> shift) & maxVal)
+		// large to represent: store the maximum possible value. The
+		// saturation select is branchless — counter magnitudes are
+		// data-dependent, so a conditional branch here would mispredict
+		// on exactly the skewed counter distributions signatures are
+		// built from. Shift counts >= 64 yield 0 in Go, so sat is 0
+		// whenever the window reaches the top bit and no guard is
+		// needed; nz spreads sat's any-bit-set into an all-ones mask,
+		// and because the windowed bits are a subset of maxVal's bits,
+		// OR-ing the masked maxVal saturates without a select on v.
+		sat := v >> ceiling
+		nz := (sat | -sat) >> 63
+		out[i] = uint16((v>>shift)&maxVal | (maxVal & -nz))
 	}
 	return out
 }

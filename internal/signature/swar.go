@@ -1,0 +1,99 @@
+// SWAR (SIMD-within-a-register) Manhattan distance: one uint64 word
+// holds four 16-bit signature dimensions, so the classifier's match
+// scan computes four absolute differences per word-sized load instead
+// of four element loads and compares. The word layout keeps the bound
+// check of ManhattanBounded at exactly the same four-dimension
+// granularity as the scalar path, so the early-exit decisions — and
+// therefore every classification — are bit-identical. The scalar
+// implementations are retained below as the reference the differential
+// fuzz tests pin the SWAR path against.
+package signature
+
+import "unsafe"
+
+// SWAR lane constants. The even and odd 16-bit lanes of a word are
+// spread into 32-bit slots so a biased subtract computes an absolute
+// difference per slot with no borrow crossing into a neighbor.
+const (
+	laneMaskEven = 0x0000ffff0000ffff // 16-bit lanes in 32-bit slots
+	laneBias     = 0x0001000000010000 // +0x10000 per 32-bit slot
+	laneOnes     = 0x0000000100000001 // 1 per 32-bit slot
+)
+
+// words reinterprets v as uint64 words of four dimensions each. ok is
+// false when the length is not a multiple of four or the data is not
+// 8-byte aligned (a sub-slice at an odd element offset); callers fall
+// back to the scalar path. Signature buffers allocated at a
+// power-of-two dimensionality >= 4 always qualify, including every row
+// of the classifier's signature slab (rows are dims elements apart, so
+// an aligned slab keeps every row aligned).
+func words(v Vector) ([]uint64, bool) {
+	if len(v) == 0 || len(v)%4 != 0 {
+		return nil, false
+	}
+	p := unsafe.Pointer(&v[0])
+	if uintptr(p)%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint64)(p), len(v)/4), true
+}
+
+// halfAbsDiff computes |x-y| for the two 16-bit values spread into the
+// 32-bit slots of x and y (each slot in [0, 0xffff]). Per slot:
+// t = x + 0x10000 - y stays in [1, 0x1ffff], so bit 16 is set exactly
+// when x >= y; for the negative slots t is complemented over 17 bits
+// and incremented, which in both cases yields |x-y| + 0x10000, and the
+// lane mask strips the bias.
+func halfAbsDiff(x, y uint64) uint64 {
+	t := x + laneBias - y
+	sgn := (t >> 16) & laneOnes // 1 where x >= y
+	inv := sgn ^ laneOnes       // 1 where x < y
+	xm := inv<<17 - inv         // 0x1ffff where x < y, else 0
+	u := (t ^ xm) + inv         // |x-y| + 0x10000 per slot
+	return u & laneMaskEven
+}
+
+// wordAbsDiffSum returns the sum of the four lane-wise absolute
+// differences between two signature words. Each 32-bit slot of the
+// half sums holds at most 2*0xffff, so the fold cannot carry between
+// slots.
+func wordAbsDiffSum(a, b uint64) uint64 {
+	s := halfAbsDiff(a&laneMaskEven, b&laneMaskEven) +
+		halfAbsDiff((a>>16)&laneMaskEven, (b>>16)&laneMaskEven)
+	return (s & 0xffffffff) + (s >> 32)
+}
+
+// manhattanScalar is the reference L1 distance over individual
+// dimensions. It assumes len(a) == len(b) (checked by the exported
+// entry points).
+func manhattanScalar(a, b Vector) uint64 {
+	var d uint64
+	for i := range a {
+		d += absDiff16(a[i], b[i])
+	}
+	return d
+}
+
+// manhattanBoundedScalar is the reference bounded L1 distance: four
+// dimensions per bound check (the branchless absolute differences are
+// a few cycles each, so checking after every one costs more in
+// branches than it saves in adds), early exit as soon as the running
+// sum exceeds bound. It assumes len(a) == len(b).
+func manhattanBoundedScalar(a, b Vector, bound uint64) (uint64, bool) {
+	var d uint64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d += absDiff16(a[i], b[i]) + absDiff16(a[i+1], b[i+1]) +
+			absDiff16(a[i+2], b[i+2]) + absDiff16(a[i+3], b[i+3])
+		if d > bound {
+			return 0, false
+		}
+	}
+	for ; i < len(a); i++ {
+		d += absDiff16(a[i], b[i])
+	}
+	if d > bound {
+		return 0, false
+	}
+	return d, true
+}

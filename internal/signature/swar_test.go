@@ -1,0 +1,150 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randVector returns a vector of length n whose values mix lane edge
+// cases (0, 0xffff) with uniform values, biased so that borrows and
+// saturation in the SWAR lane math get exercised.
+func randVector(r *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		switch r.Intn(4) {
+		case 0:
+			v[i] = 0
+		case 1:
+			v[i] = 0xffff
+		default:
+			v[i] = uint16(r.Uint32())
+		}
+	}
+	return v
+}
+
+func TestManhattanMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Lengths cover the SWAR path (multiples of 4), the scalar fallback
+	// (non-multiples), and the degenerate empty vector.
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 12, 16, 32, 64, 100, 128} {
+		for trial := 0; trial < 200; trial++ {
+			a, b := randVector(r, n), randVector(r, n)
+			want := manhattanScalar(a, b)
+			if got := Manhattan(a, b); got != want {
+				t.Fatalf("Manhattan(len=%d) = %d, scalar reference %d\na=%v\nb=%v",
+					n, got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestManhattanBoundedMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 3, 4, 8, 16, 32, 64} {
+		for trial := 0; trial < 200; trial++ {
+			a, b := randVector(r, n), randVector(r, n)
+			full := manhattanScalar(a, b)
+			// Bounds straddling the true distance, including the exact
+			// value (<= bound must pass) and one below (must abort).
+			bounds := []uint64{0, full, full + 1}
+			if full > 0 {
+				bounds = append(bounds, full-1, uint64(r.Int63n(int64(full))))
+			}
+			for _, bound := range bounds {
+				wantD, wantOK := manhattanBoundedScalar(a, b, bound)
+				gotD, gotOK := ManhattanBounded(a, b, bound)
+				if gotD != wantD || gotOK != wantOK {
+					t.Fatalf("ManhattanBounded(len=%d, bound=%d) = (%d,%v), scalar reference (%d,%v)\na=%v\nb=%v",
+						n, bound, gotD, gotOK, wantD, wantOK, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestManhattanMisaligned pins the scalar fallback for sub-slices whose
+// backing data is not 8-byte aligned: a Vector starting at an odd
+// element offset of a larger buffer must still produce the reference
+// distance.
+func TestManhattanMisaligned(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	base := randVector(r, 64)
+	other := randVector(r, 64)
+	for off := 0; off < 4; off++ {
+		for _, n := range []int{4, 8, 16} {
+			a, b := base[off:off+n], other[off:off+n]
+			want := manhattanScalar(a, b)
+			if got := Manhattan(a, b); got != want {
+				t.Fatalf("Manhattan(off=%d, len=%d) = %d, want %d", off, n, got, want)
+			}
+			d, ok := ManhattanBounded(a, b, want/2)
+			wd, wok := manhattanBoundedScalar(a, b, want/2)
+			if d != wd || ok != wok {
+				t.Fatalf("ManhattanBounded(off=%d, len=%d) = (%d,%v), want (%d,%v)", off, n, d, ok, wd, wok)
+			}
+		}
+	}
+}
+
+// TestWordAbsDiffSumEdges checks the lane math directly at the extreme
+// lane values where biased-subtract borrows are most likely to go wrong.
+func TestWordAbsDiffSumEdges(t *testing.T) {
+	vals := []uint16{0, 1, 0x7fff, 0x8000, 0xfffe, 0xffff}
+	a := make(Vector, 4)
+	b := make(Vector, 4)
+	for _, v0 := range vals {
+		for _, v1 := range vals {
+			for _, v2 := range vals {
+				for _, v3 := range vals {
+					a[0], a[1], a[2], a[3] = v0, v1, v2, v3
+					b[0], b[1], b[2], b[3] = v3, v0, v2, v1
+					wa, ok := words(a)
+					if !ok {
+						t.Skip("test vector unexpectedly misaligned")
+					}
+					wb, ok := words(b)
+					if !ok {
+						t.Skip("test vector unexpectedly misaligned")
+					}
+					got := wordAbsDiffSum(wa[0], wb[0])
+					want := manhattanScalar(a, b)
+					if got != want {
+						t.Fatalf("wordAbsDiffSum(%v, %v) = %d, want %d", a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzManhattanSWAR differentially fuzzes the SWAR Manhattan paths
+// against the retained scalar references: identical distances, and
+// identical early-exit decisions for the bounded variant.
+func FuzzManhattanSWAR(f *testing.F) {
+	f.Add([]byte{0, 0, 0xff, 0xff, 1, 2, 3, 4}, []byte{0xff, 0xff, 0, 0, 4, 3, 2, 1}, uint64(100))
+	f.Add([]byte{}, []byte{}, uint64(0))
+	f.Add([]byte{1, 2}, []byte{3, 4}, uint64(1))
+	f.Fuzz(func(t *testing.T, ab, bb []byte, bound uint64) {
+		// Build equal-length vectors from the two byte streams.
+		n := len(ab) / 2
+		if len(bb)/2 < n {
+			n = len(bb) / 2
+		}
+		a := make(Vector, n)
+		b := make(Vector, n)
+		for i := 0; i < n; i++ {
+			a[i] = uint16(ab[2*i]) | uint16(ab[2*i+1])<<8
+			b[i] = uint16(bb[2*i]) | uint16(bb[2*i+1])<<8
+		}
+		if got, want := Manhattan(a, b), manhattanScalar(a, b); got != want {
+			t.Fatalf("Manhattan = %d, scalar %d (a=%v b=%v)", got, want, a, b)
+		}
+		gotD, gotOK := ManhattanBounded(a, b, bound)
+		wantD, wantOK := manhattanBoundedScalar(a, b, bound)
+		if gotD != wantD || gotOK != wantOK {
+			t.Fatalf("ManhattanBounded(bound=%d) = (%d,%v), scalar (%d,%v) (a=%v b=%v)",
+				bound, gotD, gotOK, wantD, wantOK, a, b)
+		}
+	})
+}

@@ -269,6 +269,16 @@ func (d *Decoder) String() string {
 	return string(b)
 }
 
+// Bytes reads a length-prefixed string field as a view into the
+// decoder's buffer — no copy, no allocation. The view aliases the
+// payload the decoder was built over and is only valid while that
+// buffer is; callers that outlive the payload must copy. It is the
+// zero-allocation counterpart of String for hot decode paths (the
+// ingest server's per-frame stream names).
+func (d *Decoder) Bytes() []byte {
+	return d.take(d.count(1))
+}
+
 // U16s reads a length-prefixed []uint16 (nil when empty).
 func (d *Decoder) U16s() []uint16 {
 	n := d.count(2)

@@ -133,6 +133,22 @@ type Frame struct {
 	Detail string
 }
 
+// FrameView is the zero-copy decoded form of a frame payload: Stream
+// and Detail are views into the payload buffer (valid only while it
+// is), and Events is decoded into a caller-owned slice. DecodeFrame
+// remains the copying reference path; the golden tests in
+// internal/server pin the two byte-identical.
+type FrameView struct {
+	Tag         byte
+	Seq         uint64
+	Stream      []byte
+	Cycles      uint64
+	EndInterval bool
+	Events      []trace.BranchEvent
+	Code        uint8
+	Detail      []byte
+}
+
 // eventSize is the encoded size of one branch event (pc u64 + instrs
 // u32); used to bound the event count against the payload.
 const eventSize = 12
@@ -258,6 +274,54 @@ func DecodeFrame(payload []byte) (Frame, error) {
 		f.Seq = d.U64()
 		f.Code = d.U8()
 		f.Detail = d.String()
+	default:
+		return f, fmt.Errorf("%w: unknown tag %#02x", ErrMalformed, f.Tag)
+	}
+	if err := d.Finish(); err != nil {
+		return f, fmt.Errorf("%w: %w", ErrMalformed, err)
+	}
+	return f, nil
+}
+
+// DecodeFrameView decodes one frame payload with zero allocations:
+// string fields come back as views into payload, and batch events are
+// decoded into events (grown only when capacity is short, so a reused
+// buffer reaches steady state after one batch). The returned view
+// aliases both payload and events and is valid only until either is
+// reused. Decode semantics — including which fields survive a
+// malformed batch so the server can attribute the offense — are
+// identical to DecodeFrame.
+func DecodeFrameView(payload []byte, events []trace.BranchEvent) (FrameView, error) {
+	if len(payload) < 2 {
+		return FrameView{}, fmt.Errorf("%w: %d-byte payload", ErrMalformed, len(payload))
+	}
+	f := FrameView{Tag: payload[0]}
+	d := state.NewDecoder(payload)
+	switch f.Tag {
+	case TagBatch:
+		d.Section(TagBatch, batchVersion)
+		f.Seq = d.U64()
+		f.Stream = d.Bytes()
+		f.Cycles = d.U64()
+		f.EndInterval = d.Bool()
+		n := d.Count(eventSize)
+		if n > 0 && d.Err() == nil {
+			if cap(events) < n {
+				events = make([]trace.BranchEvent, n)
+			}
+			f.Events = events[:n]
+			for i := range f.Events {
+				f.Events[i] = trace.BranchEvent{PC: d.U64(), Instrs: d.U32()}
+			}
+		}
+	case TagFlush, TagAck:
+		d.Section(f.Tag, ctrlVersion)
+		f.Seq = d.U64()
+	case TagNack:
+		d.Section(TagNack, ctrlVersion)
+		f.Seq = d.U64()
+		f.Code = d.U8()
+		f.Detail = d.Bytes()
 	default:
 		return f, fmt.Errorf("%w: unknown tag %#02x", ErrMalformed, f.Tag)
 	}

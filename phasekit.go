@@ -74,7 +74,9 @@ type LengthConfig = predictor.LengthConfig
 
 // Tracker is the on-line phase tracking architecture. Feed it
 // committed branches (and optionally cycle counts); it emits an
-// IntervalResult at every interval boundary.
+// IntervalResult at every interval boundary. Branch and Flush return a
+// pointer into tracker-owned storage that is overwritten at the next
+// interval boundary — copy the result to retain it across calls.
 //
 // A Tracker is NOT safe for concurrent use: it tracks one instruction
 // stream from one goroutine, mirroring the per-core hardware of the

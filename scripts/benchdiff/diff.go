@@ -1,0 +1,151 @@
+// Command benchdiff compares a benchmark run (cmd/benchjson output)
+// against a committed baseline and fails on regressions over the gated
+// benchmark set, so hot-path optimizations are locked in by CI rather
+// than re-lost by the next refactor.
+//
+// Gate policy (see DESIGN.md §12):
+//
+//   - ns/op may regress by at most the tolerance (default 10%).
+//   - allocs/op may not regress at all: the gated paths were driven to
+//     their current allocation counts deliberately, and a single new
+//     allocation per op is how those wins quietly erode.
+//   - A gated benchmark missing from the current run fails: a deleted
+//     or renamed benchmark silently ungates its path.
+//
+// Improvements are reported but never fail; ratcheting the baseline
+// down is a deliberate act (commit a new baseline), not a side effect.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+)
+
+// Benchmark mirrors cmd/benchjson's per-benchmark document.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Raw         string  `json:"raw"`
+}
+
+// Baseline mirrors cmd/benchjson's top-level document.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// DefaultGate selects the regression-gated benchmark set: the ingest
+// hot paths recovered in the perf pass. Names are matched after
+// stripping the -GOMAXPROCS suffix.
+const DefaultGate = `^BenchmarkTrackerBranch$|^BenchmarkFleet/streams=8/batch=64$|^BenchmarkSnapshot$|^BenchmarkRestore$|^BenchmarkFleetEvicting$`
+
+// DefaultTolerance is the allowed fractional ns/op regression.
+const DefaultTolerance = 0.10
+
+// Finding kinds.
+const (
+	KindMissing   = "missing"   // gated benchmark absent from the current run
+	KindNsRegress = "ns/op"     // ns/op above baseline * (1 + tolerance)
+	KindAllocs    = "allocs/op" // any allocs/op increase
+	KindOK        = "ok"        // within the gate
+)
+
+// Finding is one comparison outcome for a gated benchmark.
+type Finding struct {
+	Name string
+	Kind string
+	// Base and Cur are ns/op for KindNsRegress/KindOK and allocs/op
+	// for KindAllocs; unset for KindMissing.
+	Base, Cur float64
+	Detail    string
+}
+
+// Fail reports whether the finding fails the gate.
+func (f Finding) Fail() bool { return f.Kind != KindOK }
+
+func (f Finding) String() string {
+	switch f.Kind {
+	case KindMissing:
+		return fmt.Sprintf("FAIL %s: gated benchmark missing from current run", f.Name)
+	case KindNsRegress:
+		return fmt.Sprintf("FAIL %s: %s", f.Name, f.Detail)
+	case KindAllocs:
+		return fmt.Sprintf("FAIL %s: %s", f.Name, f.Detail)
+	}
+	return fmt.Sprintf("ok   %s: %s", f.Name, f.Detail)
+}
+
+// suffixRe strips the -GOMAXPROCS suffix go test appends to benchmark
+// names, so baselines generated at different CPU counts compare.
+var suffixRe = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string { return suffixRe.ReplaceAllString(name, "") }
+
+// Compare checks every baseline benchmark whose normalized name
+// matches gate against the current run. tolerance is the allowed
+// fractional ns/op regression (0.10 = +10%); allocs/op must not grow
+// at all. The returned findings cover every gated baseline benchmark,
+// passes included, in baseline order.
+func Compare(baseline, current Baseline, gate *regexp.Regexp, tolerance float64) []Finding {
+	cur := make(map[string]Benchmark, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[normalize(b.Name)] = b
+	}
+	var out []Finding
+	for _, base := range baseline.Benchmarks {
+		name := normalize(base.Name)
+		if !gate.MatchString(name) {
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			out = append(out, Finding{Name: name, Kind: KindMissing})
+			continue
+		}
+		if c.AllocsPerOp > base.AllocsPerOp {
+			out = append(out, Finding{
+				Name: name, Kind: KindAllocs,
+				Base: float64(base.AllocsPerOp), Cur: float64(c.AllocsPerOp),
+				Detail: fmt.Sprintf("allocs/op %d -> %d (any increase fails)", base.AllocsPerOp, c.AllocsPerOp),
+			})
+			continue
+		}
+		limit := base.NsPerOp * (1 + tolerance)
+		if c.NsPerOp > limit {
+			out = append(out, Finding{
+				Name: name, Kind: KindNsRegress,
+				Base: base.NsPerOp, Cur: c.NsPerOp,
+				Detail: fmt.Sprintf("ns/op %.4g -> %.4g (+%.1f%%, limit +%.0f%%)",
+					base.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/base.NsPerOp-1), 100*tolerance),
+			})
+			continue
+		}
+		out = append(out, Finding{
+			Name: name, Kind: KindOK,
+			Base: base.NsPerOp, Cur: c.NsPerOp,
+			Detail: fmt.Sprintf("ns/op %.4g -> %.4g (%+.1f%%), allocs/op %d -> %d",
+				base.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/base.NsPerOp-1),
+				base.AllocsPerOp, c.AllocsPerOp),
+		})
+	}
+	return out
+}
+
+// parseBaseline decodes a benchjson document.
+func parseBaseline(data []byte) (Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("benchdiff: parse: %w", err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return Baseline{}, fmt.Errorf("benchdiff: no benchmarks in document")
+	}
+	return b, nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func bench(name string, ns float64, allocs int64) Benchmark {
+	return Benchmark{Name: name, Iterations: 100, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func doc(bs ...Benchmark) Baseline { return Baseline{Benchmarks: bs} }
+
+func TestCompare(t *testing.T) {
+	gate := regexp.MustCompile(DefaultGate)
+	tests := []struct {
+		name      string
+		baseline  Baseline
+		current   Baseline
+		wantKinds map[string]string
+		wantFail  bool
+	}{
+		{
+			name: "pass within tolerance",
+			baseline: doc(
+				bench("BenchmarkTrackerBranch", 3.5, 0),
+				bench("BenchmarkFleet/streams=8/batch=64", 10.0, 0),
+			),
+			current: doc(
+				bench("BenchmarkTrackerBranch-8", 3.7, 0), // +5.7%, suffix normalized
+				bench("BenchmarkFleet/streams=8/batch=64", 9.1, 0),
+			),
+			wantKinds: map[string]string{
+				"BenchmarkTrackerBranch":            KindOK,
+				"BenchmarkFleet/streams=8/batch=64": KindOK,
+			},
+		},
+		{
+			name:     "ns/op regression over 10 percent fails",
+			baseline: doc(bench("BenchmarkTrackerBranch", 3.5, 0)),
+			current:  doc(bench("BenchmarkTrackerBranch", 3.9, 0)), // +11.4%
+			wantKinds: map[string]string{
+				"BenchmarkTrackerBranch": KindNsRegress,
+			},
+			wantFail: true,
+		},
+		{
+			name:     "ns/op exactly at limit passes",
+			baseline: doc(bench("BenchmarkSnapshot", 100, 5)),
+			current:  doc(bench("BenchmarkSnapshot", 110, 5)),
+			wantKinds: map[string]string{
+				"BenchmarkSnapshot": KindOK,
+			},
+		},
+		{
+			name:     "any allocs/op increase fails even when faster",
+			baseline: doc(bench("BenchmarkFleetEvicting", 2000, 3)),
+			current:  doc(bench("BenchmarkFleetEvicting", 1500, 4)),
+			wantKinds: map[string]string{
+				"BenchmarkFleetEvicting": KindAllocs,
+			},
+			wantFail: true,
+		},
+		{
+			name:     "missing gated benchmark fails",
+			baseline: doc(bench("BenchmarkRestore", 500, 10), bench("BenchmarkSnapshot", 300, 2)),
+			current:  doc(bench("BenchmarkSnapshot", 300, 2)),
+			wantKinds: map[string]string{
+				"BenchmarkRestore":  KindMissing,
+				"BenchmarkSnapshot": KindOK,
+			},
+			wantFail: true,
+		},
+		{
+			name:     "ungated benchmarks are ignored",
+			baseline: doc(bench("BenchmarkFig2TableSize", 100, 1), bench("BenchmarkTrackerBranch", 3.5, 0)),
+			current:  doc(bench("BenchmarkFig2TableSize", 900, 99), bench("BenchmarkTrackerBranch", 3.5, 0)),
+			wantKinds: map[string]string{
+				"BenchmarkTrackerBranch": KindOK,
+			},
+		},
+		{
+			name:     "allocs improvement and ns improvement pass",
+			baseline: doc(bench("BenchmarkFleetEvicting", 2000, 5)),
+			current:  doc(bench("BenchmarkFleetEvicting", 900, 1)),
+			wantKinds: map[string]string{
+				"BenchmarkFleetEvicting": KindOK,
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			findings := Compare(tt.baseline, tt.current, gate, DefaultTolerance)
+			if len(findings) != len(tt.wantKinds) {
+				t.Fatalf("got %d findings %v, want %d", len(findings), findings, len(tt.wantKinds))
+			}
+			failed := false
+			for _, f := range findings {
+				want, ok := tt.wantKinds[f.Name]
+				if !ok {
+					t.Errorf("unexpected finding for %q: %v", f.Name, f)
+					continue
+				}
+				if f.Kind != want {
+					t.Errorf("%q: kind %q, want %q (%v)", f.Name, f.Kind, want, f)
+				}
+				failed = failed || f.Fail()
+			}
+			if failed != tt.wantFail {
+				t.Errorf("failed=%v, want %v (%v)", failed, tt.wantFail, findings)
+			}
+		})
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkTrackerBranch-8":             "BenchmarkTrackerBranch",
+		"BenchmarkTrackerBranch":               "BenchmarkTrackerBranch",
+		"BenchmarkFleet/streams=8/batch=64-16": "BenchmarkFleet/streams=8/batch=64",
+		"BenchmarkFleet/streams=8/batch=64":    "BenchmarkFleet/streams=8/batch=64",
+	} {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBaseline(t *testing.T) {
+	if _, err := parseBaseline([]byte(`{"benchmarks":[]}`)); err == nil {
+		t.Error("empty benchmark list accepted")
+	}
+	if _, err := parseBaseline([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	b, err := parseBaseline([]byte(`{"benchmarks":[{"name":"BenchmarkX","ns_per_op":1.5,"allocs_per_op":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Benchmarks[0].Name != "BenchmarkX" || b.Benchmarks[0].NsPerOp != 1.5 || b.Benchmarks[0].AllocsPerOp != 2 {
+		t.Errorf("parsed %+v", b.Benchmarks[0])
+	}
+}

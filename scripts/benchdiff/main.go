@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_6.json", "committed baseline (cmd/benchjson output)")
+	currentPath := flag.String("current", "", "current run to check (cmd/benchjson output)")
+	gateExpr := flag.String("gate", DefaultGate, "regexp selecting the gated benchmarks")
+	tolerance := flag.Float64("tolerance", DefaultTolerance, "allowed fractional ns/op regression")
+	flag.Parse()
+
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	gate, err := regexp.Compile(*gateExpr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+	read := func(path string) Baseline {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		b, err := parseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return b
+	}
+	baseline, current := read(*baselinePath), read(*currentPath)
+
+	findings := Compare(baseline, current, gate, *tolerance)
+	if len(findings) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no gated benchmarks in baseline; gate is vacuous")
+		os.Exit(2)
+	}
+	failed := false
+	for _, f := range findings {
+		fmt.Println(f)
+		failed = failed || f.Fail()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
