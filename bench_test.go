@@ -10,13 +10,23 @@
 package phasekit_test
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"phasekit"
+	"phasekit/internal/classifier"
+	"phasekit/internal/fleet"
 	"phasekit/internal/harness"
+	"phasekit/internal/rng"
+	"phasekit/internal/server"
+	"phasekit/internal/signature"
+	"phasekit/internal/trace"
+	"phasekit/internal/wire"
 	"phasekit/internal/workload"
 )
 
@@ -332,6 +342,142 @@ func BenchmarkGenerateWorkload(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkClassifyLongTable measures interval classification against
+// a fully promoted 64-row signature table on a phase-revisit stream —
+// the long-table shape the classifier's sum-bucketed index and MRU
+// fast path accelerate over the linear scan. One op = one Classify.
+func BenchmarkClassifyLongTable(b *testing.B) {
+	const entries, dims = 64, 32
+	ccfg := classifier.DefaultConfig()
+	ccfg.TableEntries = entries
+	ccfg.Adaptive = false
+	c := classifier.New(ccfg)
+	x := rng.NewXoshiro256(0xbeef)
+	bases := make([]signature.Vector, entries)
+	for e := range bases {
+		v := make(signature.Vector, dims)
+		// Distinct magnitude per base spreads the rows across sum
+		// buckets, like distinct phases with distinct activity levels.
+		scale := uint64(e+1) * 97
+		for i := range v {
+			v[i] = uint16((x.Uint64() % 32) + scale)
+		}
+		bases[e] = v
+	}
+	for round := 0; round < 12; round++ {
+		for e := range bases {
+			c.Classify(bases[e], 1.0)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(bases[i%entries], 1.0)
+	}
+}
+
+// BenchmarkServerIngest measures macro ingest throughput through the
+// real network stack: pipelined wire clients over TCP loopback into an
+// internal/server instance, burst-coalesced into per-shard fleet runs.
+// One op = one branch event, so ns/op is comparable with the Fleet
+// benchmarks and events/s is reported directly.
+func BenchmarkServerIngest(b *testing.B) {
+	const (
+		conns          = 4
+		streamsPerConn = 4
+		batchLen       = 512
+		window         = 32
+	)
+	tcfg := phasekit.DefaultConfig()
+	tcfg.IntervalInstrs = 1_000_000
+	f := fleet.New(fleet.Config{
+		Shards:     4,
+		QueueDepth: 512,
+		Overload:   fleet.OverloadBlock,
+		Tracker:    tcfg,
+	})
+	srv, err := server.New(server.Config{Fleet: f})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	clients := make([]*wire.Client, conns)
+	streams := make([][]string, conns)
+	for ci := range clients {
+		c, err := wire.Dial(ln.Addr().String(), 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Window = window
+		clients[ci] = c
+		streams[ci] = make([]string, streamsPerConn)
+		for si := range streams[ci] {
+			streams[ci][si] = "conn" + strconv.Itoa(ci) + "-s" + strconv.Itoa(si)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	base, rem := b.N/conns, b.N%conns
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := clients[ci]
+			per := base
+			if ci < rem {
+				per++
+			}
+			events := make([]trace.BranchEvent, batchLen)
+			for sent, batch := 0, 0; sent < per; batch++ {
+				n := batchLen
+				if per-sent < n {
+					n = per - sent
+				}
+				evs := events[:n]
+				for i := range evs {
+					evs[i] = trace.BranchEvent{
+						PC:     0x400000 + uint64((sent+i)%64)*64,
+						Instrs: 100,
+					}
+				}
+				stream := streams[ci][batch%streamsPerConn]
+				if err := c.QueueBatch(stream, uint64(n)*120, evs, false); err != nil {
+					b.Error(err)
+					return
+				}
+				sent += n
+			}
+			if err := c.Drain(); err != nil {
+				b.Error(err)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+
+	for _, c := range clients {
+		c.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
 }
 
 // Comparison and extended-ablation benchmarks.

@@ -41,8 +41,11 @@ type Baseline struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// resultRe tolerates any number of rate columns (MB/s from SetBytes,
+// custom ReportMetric units like events/s) between ns/op and the
+// -benchmem pair.
 var resultRe = regexp.MustCompile(
-	`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.e+-]+ \S+/s)*(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	var base Baseline

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,6 +45,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":9127", "TCP listen address for the binary ingest protocol")
 		health     = flag.String("health", "", "HTTP listen address for /healthz, /readyz, /metricz (empty = off)")
+		pprofOn    = flag.Bool("pprof", false, "also mount /debug/pprof/ on the -health listener")
 		storeDir   = flag.String("store", "", "state directory: drain checkpoints land here; streams rehydrate from it (empty = in-memory, no restart durability)")
 		restore    = flag.Bool("restore", false, "resume from an existing non-empty -store dir (refused otherwise, to catch accidental state mixing)")
 		resident   = flag.Int("resident", 0, "max resident trackers; idle streams are evicted to -store (0 = unlimited)")
@@ -131,7 +133,21 @@ func main() {
 	}
 
 	if *health != "" {
-		hsrv := &http.Server{Addr: *health, Handler: srv.HealthHandler()}
+		handler := srv.HealthHandler()
+		if *pprofOn {
+			// Profiling shares the health listener so operators get one
+			// HTTP surface, but stays off by default: pprof endpoints
+			// leak heap contents and must be opted into explicitly.
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			handler = mux
+		}
+		hsrv := &http.Server{Addr: *health, Handler: handler}
 		go func() {
 			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Printf("health server: %v", err)

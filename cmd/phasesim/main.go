@@ -90,6 +90,7 @@ func main() {
 		chaos      = flag.Uint64("chaos", 0, "Fleet mode: inject deterministic store faults with this seed (0 = off)")
 		connect    = flag.String("connect", "", "ship batches to a phasekitd server at this address instead of classifying in-process")
 		phasesPath = flag.String("phases", "", "Fleet mode: append per-interval phase IDs (\"stream index phase\" lines) to this file")
+		tableStats = flag.Bool("table-stats", false, "print phase-table and classification-index statistics after the run (needs a live tracker: -workload, -trace, or Fleet mode)")
 		fromBatch  = flag.Uint64("from-batch", 0, "skip the first N interval batches (resume the later segment of a split run)")
 		maxBatches = flag.Uint64("max-batches", 0, "send at most N interval batches, then stop without flushing (0 = all)")
 	)
@@ -123,6 +124,9 @@ func main() {
 		if *phasesPath != "" {
 			fatal(fmt.Errorf("-phases with -connect: the server records phases; pass -phases to phasekitd instead"))
 		}
+		if *tableStats {
+			fatal(fmt.Errorf("-table-stats with -connect: index stats live in the server; scrape phasekitd's /metricz instead"))
+		}
 		opts := fleetOpts{
 			streams: *streams,
 			connect: *connect,
@@ -145,6 +149,7 @@ func main() {
 		opts := fleetOpts{
 			streams:  *streams,
 			shards:   *shards,
+			stats:    *tableStats,
 			resident: *resident,
 			storeDir: *storeDir,
 			retries:  *retries,
@@ -160,12 +165,14 @@ func main() {
 		}
 		return
 	}
-	online := *ckpt != "" || *restore != ""
+	// Checkpoint/restore and table stats all need a live Tracker, so any
+	// of them routes workload mode through the online streaming path.
+	online := *ckpt != "" || *restore != "" || *tableStats
 
 	switch {
 	case *profFile != "":
 		if online {
-			fatal(fmt.Errorf("-checkpoint/-restore need -workload or -trace (profiles are replayed offline, with no tracker to checkpoint)"))
+			fatal(fmt.Errorf("-checkpoint/-restore/-table-stats need -workload or -trace (profiles are replayed offline, with no tracker)"))
 		}
 		f, err := os.Open(*profFile)
 		if err != nil {
@@ -183,11 +190,14 @@ func main() {
 		// Replaying a trace: no cycle counts, so CPI-driven
 		// adaptation is unavailable.
 		cfg.Classifier.Adaptive = false
-		report, results, err := replayTrace(*traceFile, cfg, *restore, *ckpt)
+		report, results, tracker, err := replayTrace(*traceFile, cfg, *restore, *ckpt)
 		if err != nil {
 			fatal(err)
 		}
 		printReport(report, results, *verbose, false)
+		if *tableStats {
+			printTrackerTableStats(tracker)
+		}
 	case *wl != "":
 		spec, err := workload.Get(*wl)
 		if err != nil {
@@ -198,11 +208,14 @@ func main() {
 			// Checkpoint/restore needs a live Tracker, so stream the
 			// workload's branch events through the online path instead
 			// of the interval-profile replay.
-			report, results, err := replayWorkloadOnline(spec, opts, cfg, *restore, *ckpt)
+			report, results, tracker, err := replayWorkloadOnline(spec, opts, cfg, *restore, *ckpt)
 			if err != nil {
 				fatal(err)
 			}
 			printReport(report, results, *verbose, true)
+			if *tableStats {
+				printTrackerTableStats(tracker)
+			}
 			return
 		}
 		run, err := workload.Generate(spec, opts)
@@ -240,21 +253,21 @@ func checkpointTracker(t *core.Tracker, path string) error {
 // tracker, exactly as hardware would see it. A non-empty restorePath
 // resumes from a checkpoint before replaying; a non-empty ckptPath
 // saves the tracker's state after the replay.
-func replayTrace(path string, cfg core.Config, restorePath, ckptPath string) (core.Report, []core.IntervalResult, error) {
+func replayTrace(path string, cfg core.Config, restorePath, ckptPath string) (core.Report, []core.IntervalResult, *core.Tracker, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return core.Report{}, nil, err
+		return core.Report{}, nil, nil, err
 	}
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {
-		return core.Report{}, nil, err
+		return core.Report{}, nil, nil, err
 	}
 	cfg.IntervalInstrs = r.IntervalSize()
 	tracker := core.NewTracker(r.Name(), cfg)
 	if restorePath != "" {
 		if err := restoreTracker(tracker, restorePath); err != nil {
-			return core.Report{}, nil, err
+			return core.Report{}, nil, nil, err
 		}
 	}
 	var results []core.IntervalResult
@@ -264,7 +277,7 @@ func replayTrace(path string, cfg core.Config, restorePath, ckptPath string) (co
 			break
 		}
 		if err != nil {
-			return core.Report{}, nil, err
+			return core.Report{}, nil, nil, err
 		}
 		if boundary {
 			// Interval boundaries in the trace align with the
@@ -281,10 +294,10 @@ func replayTrace(path string, cfg core.Config, restorePath, ckptPath string) (co
 	}
 	if ckptPath != "" {
 		if err := checkpointTracker(tracker, ckptPath); err != nil {
-			return core.Report{}, nil, err
+			return core.Report{}, nil, nil, err
 		}
 	}
-	return tracker.Report(), results, nil
+	return tracker.Report(), results, tracker, nil
 }
 
 // trackerSink feeds streamed workload events into one online Tracker.
@@ -309,26 +322,26 @@ func (s *trackerSink) EndInterval(int) {
 // replayWorkloadOnline streams a workload's branch events through one
 // online Tracker (rather than the offline interval-profile replay) so
 // its state can be restored before and checkpointed after the run.
-func replayWorkloadOnline(spec workload.Spec, opts workload.Options, cfg core.Config, restorePath, ckptPath string) (core.Report, []core.IntervalResult, error) {
+func replayWorkloadOnline(spec workload.Spec, opts workload.Options, cfg core.Config, restorePath, ckptPath string) (core.Report, []core.IntervalResult, *core.Tracker, error) {
 	tracker := core.NewTracker(spec.Name, cfg)
 	if restorePath != "" {
 		if err := restoreTracker(tracker, restorePath); err != nil {
-			return core.Report{}, nil, err
+			return core.Report{}, nil, nil, err
 		}
 	}
 	sink := &trackerSink{t: tracker}
 	if _, err := workload.Stream(spec, opts, sink); err != nil {
-		return core.Report{}, nil, err
+		return core.Report{}, nil, nil, err
 	}
 	if res, ok := tracker.Flush(); ok {
 		sink.results = append(sink.results, *res)
 	}
 	if ckptPath != "" {
 		if err := checkpointTracker(tracker, ckptPath); err != nil {
-			return core.Report{}, nil, err
+			return core.Report{}, nil, nil, err
 		}
 	}
-	return tracker.Report(), sink.results, nil
+	return tracker.Report(), sink.results, tracker, nil
 }
 
 func printReport(r core.Report, results []core.IntervalResult, verbose, haveCPI bool) {
@@ -365,6 +378,29 @@ func printReport(r core.Report, results []core.IntervalResult, verbose, haveCPI 
 		100*cs.Coverage(), 100*cs.CorrectRate(), 100*cs.MispredictRate())
 	fmt.Printf("length prediction:    %.1f%% mispredict over %d resolved runs\n",
 		100*r.Length.MispredictRate(), r.Length.Predictions)
+}
+
+// printTrackerTableStats reports one tracker's phase-table shape and
+// classification-index effectiveness.
+func printTrackerTableStats(t *core.Tracker) {
+	ist := t.ClassifierIndexStats()
+	printTableStats(t.ClassifierTableLen(), ist.Buckets,
+		uint64(t.Classifications()), ist.MRUHits, ist.EntriesScanned, ist.BucketsScanned)
+}
+
+// printTableStats prints the classification-index summary: how big the
+// phase table grew, how often the MRU fast path resolved an interval in
+// one comparison, and how much of the table the indexed scan touched
+// per classified interval on average.
+func printTableStats(rows, buckets int, classifications, mruHits, entries, bucketsScanned uint64) {
+	fmt.Printf("phase table:          %d rows across %d sum buckets\n", rows, buckets)
+	if classifications == 0 {
+		return
+	}
+	fmt.Printf("MRU hit rate:         %.1f%% (%d/%d classifications)\n",
+		100*float64(mruHits)/float64(classifications), mruHits, classifications)
+	fmt.Printf("entries scanned:      mean %.2f rows, %.2f buckets per interval\n",
+		float64(entries)/float64(classifications), float64(bucketsScanned)/float64(classifications))
 }
 
 // batchSender delivers one interval batch to a classification backend:
@@ -480,6 +516,7 @@ type fleetOpts struct {
 	chaos    uint64
 	connect  string
 	phases   string
+	stats    bool
 	from     uint64
 	max      uint64
 }
@@ -680,6 +717,10 @@ func runFleet(wl, traceFile string, scale float64, o fleetOpts, cfg core.Config)
 			faulted++
 		}
 	}
+	var cstats fleet.ClassifierStats
+	if o.stats {
+		cstats = f.ClassifierStats()
+	}
 	f.Close()
 
 	fmt.Printf("streams:   %d across %d shards\n", len(names), f.Shards())
@@ -720,6 +761,13 @@ func runFleet(wl, traceFile string, scale float64, o fleetOpts, cfg core.Config)
 	fmt.Printf("aggregate: %d intervals (%d transition), %d branch events in %v (%.2f Mevents/s)\n",
 		total, transitions, sink.nevents, elapsed.Round(time.Millisecond),
 		float64(sink.nevents)/elapsed.Seconds()/1e6)
+	if o.stats {
+		// Aggregated over resident trackers only: evicted streams reset
+		// their index counters on rehydration.
+		fmt.Printf("index stats over %d resident streams:\n", cstats.Residents)
+		printTableStats(cstats.TableRows, cstats.Buckets,
+			cstats.Classifications, cstats.MRUHits, cstats.EntriesScanned, cstats.BucketsScanned)
+	}
 	if rec != nil {
 		if err := rec.AppendTo(o.phases); err != nil {
 			return fmt.Errorf("phases: %w", err)

@@ -144,6 +144,26 @@ type Stats struct {
 	MatchedSameThreshold int // classifications that matched an entry
 }
 
+// IndexStats reports the behaviour of the two-level indexed scan. It
+// lives beside Stats rather than inside it: Stats is serialized and
+// compared bit-for-bit across snapshot/restore, while these counters
+// are diagnostics of the derived index, deliberately excluded from
+// snapshots (restore rebuilds the index and resets them).
+type IndexStats struct {
+	// MRUHits counts classifications resolved to the same row as the
+	// previous one — the amortized O(1) path the paper's temporal
+	// phase stability predicts.
+	MRUHits uint64
+	// EntriesScanned counts rows the indexed scan touched beyond the
+	// bucket index (MRU evaluations included); divided by
+	// Stats.Classifications it gives mean rows scanned per interval.
+	EntriesScanned uint64
+	// BucketsScanned counts sum buckets whose rows were visited.
+	BucketsScanned uint64
+	// Buckets is the current number of non-empty sum buckets.
+	Buckets int
+}
+
 // Classifier is the dynamic phase classification architecture.
 type Classifier struct {
 	cfg     Config
@@ -158,13 +178,36 @@ type Classifier struct {
 	// integers without touching their vectors.
 	segs []uint64
 	// lbBuf is the per-Classify scratch holding each row's segment
-	// lower bound, filled by the seed pre-pass and read by the scan.
+	// lower bound, filled by the linear scan's seed pre-pass.
 	lbBuf  []uint64
 	dims   int // set by the first Classify; fixed thereafter
 	clock  uint64
 	nextID int
 	stats  Stats
+	istats IndexStats
 	minSim float64
+
+	// idx buckets rows by signature sum (a derived cache like segs,
+	// rebuilt lazily after Restore and never serialized — see
+	// index.go). idxDirty marks the index stale; the next Classify
+	// rebuilds it, so restore-heavy paths (fleet rehydration, state
+	// stores) never pay bucket allocations for streams that are
+	// evicted again before classifying.
+	idx      sumIndex
+	idxDirty bool
+	// mru is the row matched or inserted most recently, -1 when
+	// unknown. It is purely a scan seed: a stale value costs time,
+	// never correctness, so Restore just invalidates it.
+	mru int32
+	// maxThr upper-bounds every row threshold: inserts start at
+	// cfg.SimilarityThreshold and adaptive feedback only halves, so
+	// the bucket walk can prune whole buckets with one bound before
+	// knowing which rows they hold.
+	maxThr float64
+	// linearScan forces the retained linear reference scan. In-package
+	// differential tests flip it to use the pre-index code path as the
+	// oracle for the indexed walk.
+	linearScan bool
 }
 
 // rowSig returns row i's signature within the slab.
@@ -182,7 +225,13 @@ func New(cfg Config) *Classifier {
 	if minSim == 0 {
 		minSim = 1.0 / 64
 	}
-	return &Classifier{cfg: cfg, nextID: TransitionPhase + 1, minSim: minSim}
+	return &Classifier{
+		cfg:    cfg,
+		nextID: TransitionPhase + 1,
+		minSim: minSim,
+		mru:    -1,
+		maxThr: cfg.SimilarityThreshold,
+	}
 }
 
 // Config returns the classifier's configuration.
@@ -204,28 +253,73 @@ func (c *Classifier) SigDims() int { return c.dims }
 // Stats returns cumulative statistics.
 func (c *Classifier) Stats() Stats { return c.stats }
 
+// IndexStats returns the indexed-scan diagnostics accumulated since
+// construction (or the last Restore, which resets them). Buckets
+// reflects the live index, which is rebuilt lazily: between a Restore
+// and the next Classify it still describes the pre-restore table.
+func (c *Classifier) IndexStats() IndexStats {
+	s := c.istats
+	s.Buckets = len(c.idx.keys)
+	return s
+}
+
 // Classify assigns a phase ID to the interval whose compressed
 // signature is sig and whose measured performance is cpi (used only for
 // adaptive threshold feedback, never for matching — §4.6 keeps
 // classification purely code-based).
+//
+// The scan runs in the integer domain: the incoming signature's sum is
+// computed once, each row's sum is cached, and a row is rejected
+// mid-vector as soon as its running Manhattan distance provably exceeds
+// threshold*(sa+sb). Only rows that survive the integer bound pay the
+// float divide, and that exact division reproduces the naive float
+// comparison bit for bit (the bound is conservative: every distance the
+// float path would accept is below it — see the derivation at
+// matchBound). On top of that, the default path is a two-level indexed
+// scan (scanIndexed): the MRU row first, then a nearest-sum-first
+// bucket walk that visits only rows whose cached sums could beat the
+// match in hand. Both levels are pure pruning, so the outcome is
+// bit-identical to the retained linear scan (scanLinear).
 func (c *Classifier) Classify(sig signature.Vector, cpi float64) Result {
 	c.clock++
 	c.stats.Classifications++
 
-	// The scan runs in the integer domain: the incoming signature's sum
-	// is computed once, each entry's sum is cached, and an entry is
-	// rejected mid-vector as soon as its running Manhattan distance
-	// provably exceeds threshold*(sa+sb). Only entries that survive the
-	// integer bound pay the float divide, and that exact division
-	// reproduces the naive float comparison bit for bit (the bound is
-	// conservative: every distance the float path would accept is below
-	// it — see the derivation at matchBound).
 	if c.dims == 0 {
 		c.dims = len(sig)
 	} else if len(sig) != c.dims {
 		panic("classifier: signature dimensionality changed mid-run")
 	}
 	segs, sigSum := sig.SegmentSums()
+	// The index is maintained by match/insert on both scan paths, so a
+	// stale (post-Restore) index must be rebuilt before any scan.
+	if c.idxDirty {
+		c.idx.rebuild(c.entries)
+		c.idxDirty = false
+	}
+	var best int
+	var bestDist float64
+	if c.linearScan {
+		best, bestDist = c.scanLinear(sig, &segs, sigSum)
+	} else {
+		wasMRU := int(c.mru)
+		best, bestDist = c.scanIndexed(sig, &segs, sigSum)
+		if best >= 0 && best == wasMRU {
+			c.istats.MRUHits++
+		}
+	}
+
+	if best < 0 {
+		return c.insert(sig, sigSum, segs)
+	}
+	return c.match(best, bestDist, sig, sigSum, segs, cpi)
+}
+
+// scanLinear is the pre-index reference scan: a segment-lower-bound
+// pre-pass over every row, a seed pick, then a full linear walk. It is
+// retained verbatim as the in-package oracle the indexed walk is
+// differentially tested against, and as the fallback for callers that
+// flip linearScan.
+func (c *Classifier) scanLinear(sig signature.Vector, segs *[4]uint64, sigSum uint64) (int, float64) {
 	// Pre-pass: each row's segment lower bound on its Manhattan
 	// distance to sig, from cached sums alone.
 	if cap(c.lbBuf) < len(c.entries) {
@@ -300,11 +394,158 @@ func (c *Classifier) Classify(sig signature.Vector, cpi float64) Result {
 			best, bestDist = i, d
 		}
 	}
+	return best, bestDist
+}
 
-	if best < 0 {
-		return c.insert(sig, sigSum, segs)
+// rowLB returns row i's segment lower bound on its Manhattan distance
+// to the incoming signature: the sum of absolute quarter-segment-sum
+// differences never exceeds the true distance.
+func (c *Classifier) rowLB(i int, segs *[4]uint64) uint64 {
+	row := c.segs[i*4 : i*4+4]
+	return absDiffU64(segs[0], row[0]) + absDiffU64(segs[1], row[1]) +
+		absDiffU64(segs[2], row[2]) + absDiffU64(segs[3], row[3])
+}
+
+// scanIndexed finds the same (best row, distance) scanLinear would,
+// through the two-level fast path:
+//
+// Level 1 evaluates the MRU row — phases are temporally stable (§3), so
+// the row that matched last interval almost always matches this one —
+// which hands the bucket walk a tight acceptance bound from the start.
+//
+// Level 2 walks the non-empty sum buckets outward from the incoming
+// signature's own sum, nearest first. A row can change the outcome only
+// if its Manhattan distance m to sig satisfies m <= matchBound(t, s)
+// (s = sigSum + rowSum, t = the row's threshold, tightened under
+// BestMatch by the best distance in hand), and m is bounded below by
+// |sigSum - rowSum|; a whole bucket [lo, hi] is skipped when even its
+// closest possible sum fails that test. Walking low, the sum gap only
+// grows and the bound only shrinks, so the first prunable bucket ends
+// the side; walking high, any row with rowSum(1-t) > sigSum(1+t)+2 is
+// unreachable, which caps the keys worth visiting. In the common case —
+// a stable phase with a tight MRU bound — every bucket prunes on cached
+// sums alone and classification touches no other row's vector.
+func (c *Classifier) scanIndexed(sig signature.Vector, segs *[4]uint64, sigSum uint64) (int, float64) {
+	best := -1
+	bestDist := math.Inf(1)
+	mru := int(c.mru)
+	if mru >= 0 && mru < len(c.entries) {
+		c.istats.EntriesScanned++
+		if d, ok := c.evalEntry(mru, sig, sigSum, c.rowLB(mru, segs)); ok {
+			best, bestDist = mru, d
+		}
+	} else {
+		mru = -1
 	}
-	return c.match(best, bestDist, sig, sigSum, segs, cpi)
+
+	keys := c.idx.keys
+	start := bucketKey(sigSum)
+	hiPos, _ := c.idx.find(start)
+	loPos := hiPos - 1
+	for loPos >= 0 || hiPos < len(keys) {
+		// Current acceptance threshold: a row matters only if it beats
+		// its own threshold (<= maxThr), and under BestMatch only if it
+		// can reach bestDist (ties included — an equal distance at a
+		// smaller row index displaces the incumbent).
+		t := c.maxThr
+		if c.cfg.BestMatch && best >= 0 && bestDist < t {
+			t = bestDist
+		}
+		gapLo, gapHi := ^uint64(0), ^uint64(0)
+		var loHi, hiLo, hiHi uint64
+		if loPos >= 0 {
+			_, loHi = bucketRange(keys[loPos])
+			gapLo = sigSum - loHi
+		}
+		if hiPos < len(keys) {
+			hiLo, hiHi = bucketRange(keys[hiPos])
+			if keys[hiPos] == start {
+				gapHi = 0
+			} else {
+				gapHi = hiLo - sigSum
+			}
+		}
+		if gapLo < gapHi {
+			if gapLo > matchBound(t, sigSum+loHi) {
+				// Every lower bucket has a larger gap and a smaller
+				// bound: the low side is done.
+				loPos = -1
+				continue
+			}
+			c.scanBucket(c.idx.buckets[loPos], mru, sig, segs, sigSum, &best, &bestDist)
+			loPos--
+		} else {
+			if keys[hiPos] != start {
+				if t < 1 {
+					// Rows with sum beyond sMax fail
+					// sum-sigSum <= t*(sigSum+sum)+1 outright, and so
+					// does every later (higher-sum) bucket. The +2
+					// absorbs matchBound's +1 margin and float
+					// rounding.
+					if sMax := (float64(sigSum)*(1+t) + 2) / (1 - t); float64(hiLo) > sMax {
+						hiPos = len(keys)
+						continue
+					}
+				}
+				if gapHi > matchBound(t, sigSum+hiHi) {
+					hiPos++
+					continue
+				}
+			}
+			c.scanBucket(c.idx.buckets[hiPos], mru, sig, segs, sigSum, &best, &bestDist)
+			hiPos++
+		}
+	}
+	return best, bestDist
+}
+
+// scanBucket evaluates one bucket's rows with the exact per-row logic
+// of the linear scan: threshold bound, segment lower bound, bounded
+// Manhattan distance, float divide, lexicographic (distance, index)
+// tie-break under BestMatch and minimum matching index otherwise.
+func (c *Classifier) scanBucket(rows []int32, mru int, sig signature.Vector, segs *[4]uint64, sigSum uint64, best *int, bestDist *float64) {
+	c.istats.BucketsScanned++
+	for _, r := range rows {
+		i := int(r)
+		if i == mru {
+			continue // level 1 already evaluated it
+		}
+		if !c.cfg.BestMatch && *best >= 0 && i > *best {
+			// First-match semantics: only a smaller-index match can
+			// displace the one in hand.
+			continue
+		}
+		c.istats.EntriesScanned++
+		e := &c.entries[i]
+		var d float64
+		if s := sigSum + e.sigSum; s > 0 {
+			t := e.threshold
+			if c.cfg.BestMatch && *best >= 0 && *bestDist < t {
+				t = *bestDist
+			}
+			bound := matchBound(t, s)
+			if c.rowLB(i, segs) > bound {
+				continue
+			}
+			m, within := signature.ManhattanBounded(sig, c.rowSig(i), bound)
+			if !within {
+				continue
+			}
+			d = float64(m) / float64(s)
+		}
+		if d >= e.threshold {
+			continue
+		}
+		if !c.cfg.BestMatch {
+			if *best < 0 || i < *best {
+				*best, *bestDist = i, d
+			}
+			continue
+		}
+		if d < *bestDist || (d == *bestDist && i < *best) {
+			*best, *bestDist = i, d
+		}
+	}
 }
 
 // matchBound returns an integer Manhattan-distance bound B such that
@@ -358,7 +599,12 @@ func (c *Classifier) match(i int, dist float64, sig signature.Vector, sigSum uin
 	// current signature" (§4.1 step 3).
 	copy(c.rowSig(i), sig)
 	copy(c.segs[i*4:i*4+4], segs[:])
+	if oldKey, newKey := bucketKey(e.sigSum), bucketKey(sigSum); oldKey != newKey {
+		c.idx.remove(int32(i), e.sigSum)
+		c.idx.add(int32(i), sigSum)
+	}
 	e.sigSum = sigSum
+	c.mru = int32(i)
 
 	res := Result{Matched: true, Distance: dist}
 	if e.minCount < 1<<20 { // saturate far above any useful threshold
@@ -467,15 +713,22 @@ func (c *Classifier) insert(sig signature.Vector, sigSum uint64, segs [4]uint64)
 		}
 		// Overwrite the victim's row and signature slab in place: a
 		// full table inserts without allocating.
+		if oldKey, newKey := bucketKey(c.entries[victim].sigSum), bucketKey(sigSum); oldKey != newKey {
+			c.idx.remove(int32(victim), c.entries[victim].sigSum)
+			c.idx.add(int32(victim), sigSum)
+		}
 		c.entries[victim] = e
 		copy(c.rowSig(victim), sig)
 		copy(c.segs[victim*4:victim*4+4], segs[:])
+		c.mru = int32(victim)
 		res.Evicted = true
 		c.stats.Evictions++
 	} else {
 		c.entries = append(c.entries, e)
 		c.sigs = append(c.sigs, sig...)
 		c.segs = append(c.segs, segs[0], segs[1], segs[2], segs[3])
+		c.idx.add(int32(len(c.entries)-1), sigSum)
+		c.mru = int32(len(c.entries) - 1)
 	}
 	return res
 }

@@ -9,11 +9,13 @@ package classifier
 // for any input — the optimizations are pure pruning, never heuristics.
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"phasekit/internal/rng"
 	"phasekit/internal/signature"
+	"phasekit/internal/state"
 )
 
 // refEntry is one row of the reference signature table.
@@ -285,9 +287,159 @@ func TestClassifierDifferentialHighWeight(t *testing.T) {
 	}
 }
 
+// snapshotBytes returns the classifier's canonical snapshot encoding.
+func snapshotBytes(c *Classifier) []byte {
+	enc := state.AppendTo(nil)
+	c.Snapshot(enc)
+	return enc.Bytes()
+}
+
+// runDifferentialIndexed drives the production indexed classifier
+// against a second instance forced onto the retained linear scan. The
+// index and MRU seed are pure pruning, so the two must agree on every
+// Result and — because neither the index nor its statistics are
+// serialized — on every snapshot byte.
+func runDifferentialIndexed(t *testing.T, cfg Config, sigs []signature.Vector, cpis []float64) {
+	t.Helper()
+	idx := New(cfg)
+	lin := New(cfg)
+	lin.linearScan = true
+	for k := range sigs {
+		got := idx.Classify(sigs[k], cpis[k])
+		want := lin.Classify(sigs[k], cpis[k])
+		if got != want {
+			t.Fatalf("step %d (cfg %+v): indexed %+v != linear %+v", k, cfg, got, want)
+		}
+	}
+	ib, lb := snapshotBytes(idx), snapshotBytes(lin)
+	if !bytes.Equal(ib, lb) {
+		t.Fatalf("cfg %+v: indexed snapshot (%d bytes) differs from linear snapshot (%d bytes)", cfg, len(ib), len(lb))
+	}
+}
+
+// runDifferentialRestore snapshots the indexed classifier mid-stream,
+// restores it into a fresh instance (whose index is rebuilt and MRU
+// seed invalidated), and requires the resumed run to stay bit-identical
+// to both the uninterrupted indexed run and the linear oracle.
+func runDifferentialRestore(t *testing.T, cfg Config, sigs []signature.Vector, cpis []float64) {
+	t.Helper()
+	half := len(sigs) / 2
+	idx := New(cfg)
+	lin := New(cfg)
+	lin.linearScan = true
+	for k := 0; k < half; k++ {
+		idx.Classify(sigs[k], cpis[k])
+		lin.Classify(sigs[k], cpis[k])
+	}
+	resumed := New(cfg)
+	if err := resumed.Restore(state.NewDecoder(snapshotBytes(idx))); err != nil {
+		t.Fatalf("cfg %+v: restore: %v", cfg, err)
+	}
+	for k := half; k < len(sigs); k++ {
+		cont := idx.Classify(sigs[k], cpis[k])
+		res := resumed.Classify(sigs[k], cpis[k])
+		want := lin.Classify(sigs[k], cpis[k])
+		if cont != want {
+			t.Fatalf("step %d (cfg %+v): indexed %+v != linear %+v", k, cfg, cont, want)
+		}
+		if res != want {
+			t.Fatalf("step %d (cfg %+v): restored indexed %+v != linear %+v", k, cfg, res, want)
+		}
+	}
+	if !bytes.Equal(snapshotBytes(idx), snapshotBytes(resumed)) {
+		t.Fatalf("cfg %+v: resumed snapshot diverged from uninterrupted snapshot", cfg)
+	}
+	if !bytes.Equal(snapshotBytes(idx), snapshotBytes(lin)) {
+		t.Fatalf("cfg %+v: indexed snapshot diverged from linear snapshot", cfg)
+	}
+}
+
+// insertHeavyStream synthesizes a stream dominated by fresh random
+// signatures: the table churns through inserts and evictions (or grows
+// without bound), keeping the sum index's add/remove/rebuild paths hot
+// instead of the MRU fast path.
+func insertHeavyStream(seed uint64, dims, n int) ([]signature.Vector, []float64) {
+	x := rng.NewXoshiro256(seed)
+	sigs := make([]signature.Vector, n)
+	cpis := make([]float64, n)
+	for k := 0; k < n; k++ {
+		v := make(signature.Vector, dims)
+		for i := range v {
+			v[i] = uint16(x.Uint64() % 4096)
+		}
+		if x.Uint64()%16 == 0 {
+			// A cluster of near-identical sums lands many rows in one
+			// bucket.
+			for i := range v {
+				v[i] = uint16(64 + x.Uint64()%4)
+			}
+		}
+		sigs[k] = v
+		cpis[k] = 1.0 + float64(x.Uint64()%100)/200
+	}
+	return sigs, cpis
+}
+
+// TestClassifierDifferentialIndexed pits the two-level indexed scan
+// against the retained linear scan across the config space, both on the
+// self-similar streams (MRU-friendly) and on insert-heavy churn.
+func TestClassifierDifferentialIndexed(t *testing.T) {
+	for _, cfg := range diffConfigs {
+		for _, dims := range []int{4, 8, 16, 32} {
+			for seed := uint64(1); seed <= 4; seed++ {
+				sigs, cpis := randomStream(seed*0x51ed2701, dims, 400)
+				runDifferentialIndexed(t, cfg, sigs, cpis)
+			}
+		}
+		sigs, cpis := insertHeavyStream(0xabcdef, 16, 600)
+		runDifferentialIndexed(t, cfg, sigs, cpis)
+	}
+}
+
+// TestClassifierDifferentialRestore proves restore round-trips are
+// invisible: the rebuilt index and invalidated MRU seed never change a
+// classification or a snapshot byte.
+func TestClassifierDifferentialRestore(t *testing.T) {
+	for _, cfg := range diffConfigs {
+		sigs, cpis := randomStream(0x2badd00d, 16, 400)
+		runDifferentialRestore(t, cfg, sigs, cpis)
+		sigs, cpis = insertHeavyStream(0x5eed5eed, 8, 400)
+		runDifferentialRestore(t, cfg, sigs, cpis)
+	}
+}
+
+// TestClassifierDifferentialIndexedHighWeight drives uint16-maximum
+// signature values through the indexed path so bucket keys reach the
+// high octaves the matchBound derivation relies on.
+func TestClassifierDifferentialIndexedHighWeight(t *testing.T) {
+	x := rng.NewXoshiro256(0x0ddba11)
+	const dims = 32
+	n := 300
+	sigs := make([]signature.Vector, n)
+	cpis := make([]float64, n)
+	base := make(signature.Vector, dims)
+	for i := range base {
+		base[i] = uint16(x.Uint64())
+	}
+	for k := 0; k < n; k++ {
+		v := base.Clone()
+		for p := 0; p < 8; p++ {
+			i := int(x.Uint64() % uint64(dims))
+			v[i] = uint16(x.Uint64())
+		}
+		sigs[k] = v
+		cpis[k] = 1 + float64(x.Uint64()%300)/100
+	}
+	for _, cfg := range diffConfigs {
+		runDifferentialIndexed(t, cfg, sigs, cpis)
+	}
+}
+
 // FuzzClassifierDifferential lets the fuzzer drive the stream shape
 // directly; the seed corpus alone exercises every config against two
-// seeds on every `go test`.
+// seeds on every `go test`. Each input is checked three ways: indexed
+// vs the naive float reference, indexed vs the retained linear scan
+// (including snapshot bytes), and a mid-stream restore round-trip.
 func FuzzClassifierDifferential(f *testing.F) {
 	f.Add(uint64(1), uint8(16), uint16(200))
 	f.Add(uint64(42), uint8(8), uint16(300))
@@ -300,6 +452,8 @@ func FuzzClassifierDifferential(f *testing.F) {
 		sigs, cpis := randomStream(seed, d, steps)
 		for _, cfg := range diffConfigs {
 			runDifferential(t, cfg, sigs, cpis)
+			runDifferentialIndexed(t, cfg, sigs, cpis)
+			runDifferentialRestore(t, cfg, sigs, cpis)
 		}
 	})
 }

@@ -1,0 +1,195 @@
+package classifier
+
+import (
+	"testing"
+
+	"phasekit/internal/rng"
+	"phasekit/internal/signature"
+)
+
+// TestBucketKeyRange pins the quarter-octave bucket geometry: every sum
+// falls inside the range its key reports, ranges are contiguous and
+// non-overlapping in key order, and keys are monotone in sum.
+func TestBucketKeyRange(t *testing.T) {
+	sums := []uint64{0, 1, 2, 7, 8, 9, 10, 15, 16, 31, 32, 63, 100, 1023, 1024,
+		1<<20 - 1, 1 << 20, 1<<24 - 1, 1 << 24, 1<<40 + 12345, 1<<63 + 9999}
+	x := rng.NewXoshiro256(7)
+	for i := 0; i < 4096; i++ {
+		sums = append(sums, x.Uint64()>>uint(x.Uint64()%64))
+	}
+	prevKey := uint16(0)
+	for _, s := range sums {
+		key := bucketKey(s)
+		lo, hi := bucketRange(key)
+		if s < lo || s > hi {
+			t.Fatalf("sum %d: key %d covers [%d,%d], excludes the sum", s, key, lo, hi)
+		}
+		_ = prevKey
+	}
+	// Monotonicity + contiguity across the first few octaves.
+	prev := bucketKey(0)
+	prevLo, prevHi := bucketRange(prev)
+	if prevLo != 0 {
+		t.Fatalf("bucket of 0 starts at %d", prevLo)
+	}
+	for s := uint64(1); s < 1<<16; s++ {
+		key := bucketKey(s)
+		if key < prev {
+			t.Fatalf("sum %d: key %d below previous key %d", s, key, prev)
+		}
+		if key != prev {
+			lo, hi := bucketRange(key)
+			if lo != prevHi+1 {
+				t.Fatalf("key %d starts at %d, previous key %d ended at %d", key, lo, prev, prevHi)
+			}
+			prev, prevHi = key, hi
+		}
+	}
+}
+
+// TestSumIndexAddRemove drives random add/remove traffic and checks the
+// index against a brute-force model after every operation.
+func TestSumIndexAddRemove(t *testing.T) {
+	x := rng.NewXoshiro256(99)
+	var idx sumIndex
+	sums := map[int32]uint64{}
+	check := func() {
+		t.Helper()
+		total := 0
+		for i, key := range idx.keys {
+			if i > 0 && idx.keys[i-1] >= key {
+				t.Fatalf("keys out of order: %v", idx.keys)
+			}
+			b := idx.buckets[i]
+			if len(b) == 0 {
+				t.Fatalf("empty bucket retained for key %d", key)
+			}
+			for j, row := range b {
+				if j > 0 && b[j-1] >= row {
+					t.Fatalf("bucket %d rows out of order: %v", key, b)
+				}
+				s, ok := sums[row]
+				if !ok || bucketKey(s) != key {
+					t.Fatalf("row %d (sum %d, key %d) filed under key %d", row, s, bucketKey(s), key)
+				}
+			}
+			total += len(b)
+		}
+		if total != len(sums) {
+			t.Fatalf("index holds %d rows, model holds %d", total, len(sums))
+		}
+	}
+	for step := 0; step < 4000; step++ {
+		row := int32(x.Uint64() % 64)
+		if s, ok := sums[row]; ok {
+			idx.remove(row, s)
+			delete(sums, row)
+		} else {
+			s := x.Uint64() >> uint(x.Uint64()%48)
+			idx.add(row, s)
+			sums[row] = s
+		}
+		check()
+	}
+	// rebuild matches incremental maintenance.
+	entries := make([]entry, 0, len(sums))
+	var rows []int32
+	for row := range sums {
+		rows = append(rows, row)
+	}
+	// rebuild indexes rows 0..n-1, so renumber the surviving rows.
+	var rebuilt sumIndex
+	es := entries
+	for i, row := range rows {
+		es = append(es, entry{sigSum: sums[row]})
+		_ = i
+	}
+	rebuilt.rebuild(es)
+	total := 0
+	for _, b := range rebuilt.buckets {
+		total += len(b)
+	}
+	if total != len(es) {
+		t.Fatalf("rebuild indexed %d rows, want %d", total, len(es))
+	}
+}
+
+// longTableClassifier builds a classifier whose table holds n promoted
+// rows with well-separated signatures, plus the matching stream that
+// revisits them — the shape BenchmarkClassifyLongTable measures.
+func longTableClassifier(n, dims int) (*Classifier, []signature.Vector) {
+	cfg := DefaultConfig()
+	cfg.TableEntries = n
+	cfg.Adaptive = false
+	c := New(cfg)
+	x := rng.NewXoshiro256(0xbeef)
+	bases := make([]signature.Vector, n)
+	for b := range bases {
+		v := make(signature.Vector, dims)
+		// Distinct magnitude per base keeps rows spread across buckets,
+		// like distinct program phases with distinct activity levels.
+		scale := uint64(b+1) * 97
+		for i := range v {
+			v[i] = uint16((x.Uint64() % 32) + scale)
+		}
+		bases[b] = v
+	}
+	for round := 0; round < 12; round++ {
+		for b := range bases {
+			c.Classify(bases[b], 1.0)
+		}
+	}
+	return c, bases
+}
+
+// TestIndexStats sanity-checks the diagnostics: a stable revisit stream
+// over a long table must resolve mostly via the MRU row and touch far
+// fewer rows than the table holds.
+func TestIndexStats(t *testing.T) {
+	c, bases := longTableClassifier(64, 32)
+	pre := c.IndexStats()
+	preCls := c.Stats().Classifications
+	const reps = 50
+	for r := 0; r < reps; r++ {
+		for range [4]struct{}{} {
+			c.Classify(bases[len(bases)-1], 1.0) // dwell in one phase
+		}
+	}
+	st := c.IndexStats()
+	cls := c.Stats().Classifications - preCls
+	hits := st.MRUHits - pre.MRUHits
+	scanned := st.EntriesScanned - pre.EntriesScanned
+	if cls != reps*4 {
+		t.Fatalf("classifications %d, want %d", cls, reps*4)
+	}
+	// All but the first revisit resolve to the row just matched.
+	if hits < uint64(cls)-1 {
+		t.Errorf("MRU hits %d of %d dwelling classifications", hits, cls)
+	}
+	if mean := float64(scanned) / float64(cls); mean > 8 {
+		t.Errorf("mean rows scanned %.1f over a 64-row table; the index is not pruning", mean)
+	}
+	if st.Buckets == 0 || st.Buckets > c.TableLen() {
+		t.Errorf("bucket count %d outside (0,%d]", st.Buckets, c.TableLen())
+	}
+}
+
+// BenchmarkClassifyIndexedVsLinear compares the two in-package scan
+// implementations on the same long-table revisit workload; the root
+// BenchmarkClassifyLongTable gates the indexed number in CI.
+func BenchmarkClassifyIndexedVsLinear(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		linear bool
+	}{{"indexed", false}, {"linear", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c, bases := longTableClassifier(64, 32)
+			c.linearScan = mode.linear
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Classify(bases[i%len(bases)], 1.0)
+			}
+		})
+	}
+}

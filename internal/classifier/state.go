@@ -131,5 +131,21 @@ func (c *Classifier) Restore(dec *state.Decoder) error {
 	c.sigs = sigs
 	c.segs = segs
 	c.lbBuf = nil
+	// The sum index is a derived cache: never trust anything from the
+	// wire. Marking it dirty defers the rebuild to the first Classify,
+	// which reuses the old index's bucket capacity — Restore itself
+	// stays allocation-neutral no matter how large the table is. The
+	// MRU seed is invalidated outright (a wrong seed could only cost
+	// time, but a restored classifier should not depend on
+	// pre-snapshot scan state at all).
+	c.idxDirty = true
+	c.istats = IndexStats{}
+	c.mru = -1
+	c.maxThr = c.cfg.SimilarityThreshold
+	for i := range entries {
+		if entries[i].threshold > c.maxThr {
+			c.maxThr = entries[i].threshold
+		}
+	}
 	return nil
 }

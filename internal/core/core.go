@@ -378,6 +378,18 @@ func (t *Tracker) Report() Report { return t.eng.report(t.name) }
 // whether an evicted stream still owes a Flush.
 func (t *Tracker) Pending() uint64 { return t.instrs }
 
+// ClassifierIndexStats returns the classifier's scan-index diagnostics
+// (MRU fast-path hits, rows and buckets touched). Cheap: a field copy,
+// no barrier with classification.
+func (t *Tracker) ClassifierIndexStats() classifier.IndexStats { return t.eng.cls.IndexStats() }
+
+// ClassifierTableLen returns the live signature-table length.
+func (t *Tracker) ClassifierTableLen() int { return t.eng.cls.TableLen() }
+
+// Classifications returns the classifier's lifetime classification
+// count (the denominator for the index-stats rates).
+func (t *Tracker) Classifications() int { return t.eng.cls.Stats().Classifications }
+
 // PredictNext returns the current prediction for the next interval.
 func (t *Tracker) PredictNext() predictor.Prediction { return t.eng.np.Predict() }
 

@@ -220,17 +220,22 @@ type msgKind uint8
 
 const (
 	msgBatch msgKind = iota
+	msgRun
 	msgFlush
 	msgReport
 	msgSnapshot
 	msgStreamErr
 	msgCheckpoint
+	msgClassStats
 	msgClose
 )
 
 type shardMsg struct {
 	kind  msgKind
 	batch Batch // msgBatch
+
+	run        []Batch // msgRun: batches in send order, all owned by this shard
+	runRelease func()  // msgRun: invoked after the whole run is consumed
 
 	stream string           // msgReport, msgStreamErr
 	report chan shardReport // msgReport, msgSnapshot, msgStreamErr
@@ -243,6 +248,43 @@ type shardReport struct {
 	reports map[string]core.Report
 	err     error // msgStreamErr
 	ok      bool
+
+	cstats ClassifierStats // msgClassStats
+}
+
+// ClassifierStats aggregates classifier scan diagnostics over the
+// fleet's resident trackers: how often interval classification
+// resolved through the MRU fast path and how much of each signature
+// table the indexed scan actually touched. Evicted streams are not
+// counted — their index state is rebuilt (with fresh counters) on
+// rehydration — so rates describe the currently live population.
+type ClassifierStats struct {
+	// Residents is the number of live trackers aggregated.
+	Residents int
+	// TableRows is the total promoted signature-table rows across
+	// residents; Buckets the total non-empty sum-index buckets.
+	TableRows int
+	Buckets   int
+	// Classifications is the total intervals classified;
+	// MRUHits/Classifications is the fleet MRU hit rate, and
+	// EntriesScanned/Classifications the mean rows scanned per
+	// interval.
+	Classifications uint64
+	MRUHits         uint64
+	EntriesScanned  uint64
+	BucketsScanned  uint64
+}
+
+// add folds one resident tracker into the aggregate.
+func (s *ClassifierStats) add(t *core.Tracker) {
+	ist := t.ClassifierIndexStats()
+	s.Residents++
+	s.TableRows += t.ClassifierTableLen()
+	s.Buckets += ist.Buckets
+	s.Classifications += uint64(t.Classifications())
+	s.MRUHits += ist.MRUHits
+	s.EntriesScanned += ist.EntriesScanned
+	s.BucketsScanned += ist.BucketsScanned
 }
 
 // streamEntry is one stream's slot in its owning shard. The tracker is
@@ -504,6 +546,83 @@ func (f *Fleet) TrySend(b Batch) error {
 // carrying the Fleet configuration separately.
 func (f *Fleet) Overload() OverloadPolicy { return f.cfg.Overload }
 
+// StreamShard returns the index (in [0, Shards())) of the shard that
+// owns stream. Front-ends that batch traffic from many streams use it
+// to group batches into per-shard runs for TrySendRun.
+func (f *Fleet) StreamShard(stream string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(f.shards)))
+}
+
+// RunReject reports one batch of a TrySendRun call that was refused
+// admission (quarantined stream). The batch never reached the shard
+// queue: the caller still owns it — Events, Recycle, and all.
+type RunReject struct {
+	// Index is the batch's position in the run as passed to TrySendRun,
+	// so callers can map rejections back to their own bookkeeping even
+	// though admitted batches are compacted over rejected slots.
+	Index int
+	Batch Batch
+	Err   error
+}
+
+// TrySendRun enqueues a run of batches — all owned by the same shard
+// (group with StreamShard; mixing shards panics, since it would break
+// per-stream ordering) — as a single shard message, without blocking.
+// Relative batch order is preserved, so same-stream batches within a
+// run apply in send order, exactly as individual TrySends would.
+// Coalescing amortizes the channel hop and, for consecutive same-stream
+// batches, the tracker lookup across a whole run.
+//
+// Admission is per batch, exactly as TrySend: a quarantined stream's
+// batches are compacted out of the run and reported in rejected (the
+// caller keeps ownership of those). On a nil error the fleet owns the
+// admitted batches, the run slice, and calls release (if non-nil) from
+// the shard goroutine once the whole run is consumed. On ErrOverloaded
+// nothing was enqueued: the caller keeps the run slice, whose first
+// admitted batches now occupy run[:len(run)-len(rejected)], and falls
+// back to per-batch sends (which re-run admission, as a retried
+// TrySend would).
+func (f *Fleet) TrySendRun(run []Batch, release func()) (rejected []RunReject, err error) {
+	if len(run) == 0 {
+		return nil, nil
+	}
+	shardIdx := f.StreamShard(run[0].Stream)
+	sh := f.shards[shardIdx]
+	n := 0
+	for i := range run {
+		if i > 0 && f.StreamShard(run[i].Stream) != shardIdx {
+			panic("fleet: TrySendRun batches span shards")
+		}
+		if f.quar != nil {
+			if aerr := f.quar.admit(run[i].Stream); aerr != nil {
+				rejected = append(rejected, RunReject{Index: i, Batch: run[i], Err: aerr})
+				continue
+			}
+		}
+		run[n] = run[i]
+		n++
+	}
+	if n == 0 {
+		return rejected, nil // nothing admitted; nothing enqueued
+	}
+	select {
+	case sh.ch <- shardMsg{kind: msgRun, run: run[:n], runRelease: release}:
+		return rejected, nil
+	default:
+		f.metrics.rejectedBatches.Add(uint64(n))
+		return rejected, ErrOverloaded
+	}
+}
+
 // Track is shorthand for Send of a cycle-less event batch.
 func (f *Fleet) Track(stream string, events []trace.BranchEvent) error {
 	return f.Send(Batch{Stream: stream, Events: events})
@@ -551,6 +670,29 @@ func (f *Fleet) StreamErr(stream string) error {
 	return (<-reply).err
 }
 
+// ClassifierStats aggregates scan-index diagnostics across every
+// shard's resident trackers. Each shard reports at its own point in
+// its queue (no cross-shard barrier): the counters are monotonic
+// diagnostics, not a consistent snapshot.
+func (f *Fleet) ClassifierStats() ClassifierStats {
+	reply := make(chan shardReport, len(f.shards))
+	for _, sh := range f.shards {
+		sh.ch <- shardMsg{kind: msgClassStats, report: reply}
+	}
+	var out ClassifierStats
+	for range f.shards {
+		r := <-reply
+		out.Residents += r.cstats.Residents
+		out.TableRows += r.cstats.TableRows
+		out.Buckets += r.cstats.Buckets
+		out.Classifications += r.cstats.Classifications
+		out.MRUHits += r.cstats.MRUHits
+		out.EntriesScanned += r.cstats.EntriesScanned
+		out.BucketsScanned += r.cstats.BucketsScanned
+	}
+	return out
+}
+
 // Snapshot returns a consistent point-in-time report for every stream:
 // all shards are paused at a common barrier while reports are
 // collected, so no stream advances during the snapshot window.
@@ -586,6 +728,8 @@ func (f *Fleet) run(sh *shard) {
 		switch msg.kind {
 		case msgBatch:
 			f.apply(sh, msg.batch)
+		case msgRun:
+			f.applyRun(sh, msg.run, msg.runRelease)
 		case msgFlush:
 			for name, e := range sh.streams {
 				if e.tracker == nil {
@@ -633,6 +777,14 @@ func (f *Fleet) run(sh *shard) {
 			<-msg.release
 		case msgCheckpoint:
 			msg.report <- shardReport{err: f.checkpoint(sh)}
+		case msgClassStats:
+			var cs ClassifierStats
+			for _, e := range sh.streams {
+				if e.tracker != nil {
+					cs.add(e.tracker)
+				}
+			}
+			msg.report <- shardReport{ok: true, cstats: cs}
 		case msgClose:
 			msg.done <- struct{}{}
 			return
@@ -799,15 +951,48 @@ func (f *Fleet) evictDownTo(sh *shard, target int) {
 // dropped and counted — the error is already recorded against the
 // stream.
 func (f *Fleet) apply(sh *shard, b Batch) {
-	// The batch is consumed on every path out of here — applied or
-	// dropped — so the producer's buffer hand-back fires exactly once.
-	if b.Recycle != nil {
-		defer b.Recycle()
-	}
 	e := sh.streams[b.Stream]
 	if e == nil {
 		e = &streamEntry{}
 		sh.streams[b.Stream] = e
+	}
+	f.applyEntry(sh, b, e)
+}
+
+// applyRun applies a coalesced run of batches in order. The per-batch
+// semantics — LRU clock bump, rehydration, drop accounting, Recycle —
+// are identical to len(run) individual msgBatch messages; only the
+// stream-map lookup is memoized across consecutive same-stream batches
+// (the common shape after a front-end coalesces one connection's
+// frames).
+func (f *Fleet) applyRun(sh *shard, run []Batch, release func()) {
+	var lastStream string
+	var lastEntry *streamEntry
+	for i := range run {
+		b := run[i]
+		e := lastEntry
+		if e == nil || b.Stream != lastStream {
+			e = sh.streams[b.Stream]
+			if e == nil {
+				e = &streamEntry{}
+				sh.streams[b.Stream] = e
+			}
+			lastStream, lastEntry = b.Stream, e
+		}
+		f.applyEntry(sh, b, e)
+	}
+	if release != nil {
+		release()
+	}
+}
+
+// applyEntry is the shared tail of apply and applyRun: feed one batch
+// into the stream whose map entry is already in hand.
+func (f *Fleet) applyEntry(sh *shard, b Batch, e *streamEntry) {
+	// The batch is consumed on every path out of here — applied or
+	// dropped — so the producer's buffer hand-back fires exactly once.
+	if b.Recycle != nil {
+		defer b.Recycle()
 	}
 	t, err := f.residentTracker(sh, b.Stream, e)
 	if err != nil {

@@ -3,6 +3,8 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+
+	"phasekit/internal/fleet"
 )
 
 // HealthHandler returns an http.Handler exposing Kubernetes-style
@@ -30,9 +32,10 @@ func (s *Server) HealthHandler() http.Handler {
 	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
-			Server Metrics
-			Fleet  any
-		}{s.Metrics(), s.cfg.Fleet.Metrics()})
+			Server     Metrics
+			Fleet      any
+			Classifier fleet.ClassifierStats
+		}{s.Metrics(), s.cfg.Fleet.Metrics(), s.cfg.Fleet.ClassifierStats()})
 	})
 	return mux
 }

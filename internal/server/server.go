@@ -4,6 +4,10 @@
 // read/write deadlines (slow-loris defense), a max-frame guard,
 // backpressure wired to the Fleet's overload policy, stream quarantine
 // for malformed traffic, liveness/readiness probes, and graceful drain.
+// Pipelined clients get burst coalescing: frames already buffered when
+// a read returns are decoded together, staged into per-shard batch
+// runs (one fleet channel hop per run instead of per frame), and
+// answered with a single ordered write.
 //
 // # Failure containment
 //
@@ -33,7 +37,9 @@
 package server
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -123,6 +129,12 @@ type Metrics struct {
 	// (bad magic, oversized frame, timeout, mid-frame disconnect).
 	Malformed uint64
 	DeadConns uint64
+	// Bursts counts read-loop passes that coalesced two or more
+	// pipelined frames into per-shard runs; BurstFrames counts the
+	// frames those passes carried. frames - BurstFrames took the
+	// single-frame path.
+	Bursts      uint64
+	BurstFrames uint64
 }
 
 // Server serves the wire ingest protocol over TCP. Create with New,
@@ -143,6 +155,7 @@ type Server struct {
 	draining atomic.Bool
 
 	conns64, frames, acks, nacks, malformed, dead atomic.Uint64
+	bursts, burstFrames                           atomic.Uint64
 }
 
 // New returns an unstarted server.
@@ -179,13 +192,15 @@ func (s *Server) Metrics() Metrics {
 	open := len(s.conns)
 	s.connMu.Unlock()
 	return Metrics{
-		Conns:     s.conns64.Load(),
-		OpenConns: open,
-		Frames:    s.frames.Load(),
-		Acks:      s.acks.Load(),
-		Nacks:     s.nacks.Load(),
-		Malformed: s.malformed.Load(),
-		DeadConns: s.dead.Load(),
+		Conns:       s.conns64.Load(),
+		OpenConns:   open,
+		Frames:      s.frames.Load(),
+		Acks:        s.acks.Load(),
+		Nacks:       s.nacks.Load(),
+		Malformed:   s.malformed.Load(),
+		DeadConns:   s.dead.Load(),
+		Bursts:      s.bursts.Load(),
+		BurstFrames: s.burstFrames.Load(),
 	}
 }
 
@@ -305,21 +320,86 @@ type eventBuf struct {
 	recycle func()
 }
 
-// connState is one connection's reusable ingest state: the stream-name
-// intern table (so each stream's name is allocated once per connection,
-// not once per frame) and the event-buffer freelist the fleet recycles
-// into. The freelist is a channel because recycling happens on shard
-// goroutines while the connection goroutine pops.
-type connState struct {
-	intern map[string]string
-	free   chan *eventBuf
+// maxBurst bounds how many pipelined frames one read-loop pass will
+// coalesce before responding. It keeps a fire-hose client from
+// starving its own responses (and from pinning more than maxBurst
+// event buffers in staged-but-unsent batches).
+const maxBurst = 64
+
+// runBuf is one pooled per-shard batch run: a reusable batch slice
+// plus a release closure allocated once, at creation, so handing the
+// run to the fleet (fleet.TrySendRun) costs no per-burst closure
+// allocation. The fleet fires release from the shard goroutine after
+// the whole run is applied.
+type runBuf struct {
+	batches []fleet.Batch
+	release func()
 }
 
-func newConnState() *connState {
+// Slot resolution states for one burst frame. A frame enters the burst
+// as slotBatch (outcome pending its run's enqueue), slotDone (outcome
+// already known), or slotMalformed (decode failure, NackMalformed);
+// enqueueRun moves every slotBatch to slotDone before responses are
+// built.
+const (
+	slotBatch uint8 = iota
+	slotDone
+	slotMalformed
+)
+
+// frameSlot is one burst frame's pending response, kept in arrival
+// order so the single coalesced write answers frames in the order they
+// came in — exactly what the per-frame loop would have produced.
+type frameSlot struct {
+	seq    uint64
+	err    error  // slotDone: ingest outcome (nil = ack)
+	detail string // slotMalformed: decode error text
+	shard  int32  // slotBatch: owning shard
+	runIdx int32  // slotBatch: index within the shard's staged run
+	kind   uint8
+}
+
+// connState is one connection's reusable ingest state: the stream-name
+// intern table (so each stream's name is allocated once per connection,
+// not once per frame), the event-buffer freelist the fleet recycles
+// into, and the burst-coalescing state (per-shard staged runs plus the
+// in-order response slots). The freelists are channels because
+// recycling happens on shard goroutines while the connection
+// goroutine pops.
+type connState struct {
+	intern  map[string]string
+	free    chan *eventBuf
+	runs    []*runBuf // staged run per fleet shard; nil when empty
+	runFree chan *runBuf
+	slots   []frameSlot
+}
+
+func newConnState(shards int) *connState {
 	return &connState{
-		intern: make(map[string]string),
-		free:   make(chan *eventBuf, eventBufs),
+		intern:  make(map[string]string),
+		free:    make(chan *eventBuf, eventBufs),
+		runs:    make([]*runBuf, shards),
+		runFree: make(chan *runBuf, maxBurst),
 	}
+}
+
+// getRun pops a free run buffer, growing the circulating pool only
+// when every run is in flight.
+func (cs *connState) getRun() *runBuf {
+	select {
+	case rb := <-cs.runFree:
+		return rb
+	default:
+	}
+	rb := &runBuf{}
+	rb.release = func() {
+		rb.batches = rb.batches[:0]
+		select {
+		case cs.runFree <- rb:
+		default: // freelist full: let the run buffer go
+		}
+	}
+	return rb
 }
 
 // getBuf pops a free event buffer, growing the circulating pool only
@@ -354,20 +434,30 @@ func (cs *connState) internStream(name []byte) string {
 }
 
 // serveConn runs one connection's read-decode-ingest-respond loop.
+//
+// Reads go through a buffered reader so a pipelined client's frames
+// are visible before they are asked for: when the buffer already holds
+// more complete frames after a read, the loop switches from the
+// per-frame path (decode, ingest, respond) to a coalescing pass —
+// decode every buffered frame (up to maxBurst), stage the batches into
+// per-shard runs, enqueue each run as one fleet message, and answer
+// all of the burst's frames with a single ordered write. A synchronous
+// client (one frame in flight) never leaves the per-frame path.
 func (s *Server) serveConn(conn net.Conn) {
 	peer := conn.RemoteAddr()
 	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	br := bufio.NewReaderSize(conn, 1<<16)
 	var magic [len(wire.Magic)]byte
-	if _, err := io.ReadFull(conn, magic[:]); err != nil || string(magic[:]) != wire.Magic {
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != wire.Magic {
 		s.dead.Add(1)
 		s.logf("conn %v: bad magic: %v", peer, err)
 		return
 	}
-	cs := newConnState()
+	cs := newConnState(s.cfg.Fleet.Shards())
 	var rbuf, wbuf []byte
 	for !s.draining.Load() {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		payload, err := wire.ReadFrame(conn, rbuf, s.cfg.MaxFrame)
+		payload, err := wire.ReadFrame(br, rbuf, s.cfg.MaxFrame)
 		if err != nil {
 			if err == io.EOF {
 				return // orderly close at a frame boundary
@@ -383,13 +473,50 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		rbuf = payload[:0]
 		s.frames.Add(1)
-		wbuf = s.handleFrame(cs, payload, wbuf[:0])
+		if !s.frameBuffered(br) {
+			// Lone frame: decode, ingest, respond — what a synchronous
+			// client exercises on every frame.
+			wbuf = s.handleFrame(cs, payload, wbuf[:0])
+		} else {
+			// Pipelined frames are already waiting: coalesce the burst.
+			s.stageFrame(cs, payload)
+			nframes := uint64(1)
+			for len(cs.slots) < maxBurst && s.frameBuffered(br) {
+				payload, err = wire.ReadFrame(br, rbuf, s.cfg.MaxFrame)
+				if err != nil {
+					break // unreachable: frameBuffered saw a complete frame
+				}
+				rbuf = payload[:0]
+				s.frames.Add(1)
+				nframes++
+				s.stageFrame(cs, payload)
+			}
+			s.bursts.Add(1)
+			s.burstFrames.Add(nframes)
+			wbuf = s.flushBurst(cs, wbuf[:0])
+		}
 		if len(wbuf) > 0 && !s.respond(conn, wbuf) {
 			s.dead.Add(1)
 			s.logf("conn %v: write failed", peer)
 			return
 		}
 	}
+}
+
+// frameBuffered reports whether the reader's buffer already holds one
+// complete frame — length prefix and body — so it can be decoded
+// without touching the network. Oversized prefixes report false and
+// are left for ReadFrame to reject on the connection-fatal path.
+func (s *Server) frameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < wire.FramePrefix {
+		return false // Peek would block on the socket for the missing bytes
+	}
+	hdr, err := br.Peek(wire.FramePrefix)
+	if err != nil {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	return int64(n) <= int64(s.cfg.MaxFrame) && br.Buffered() >= wire.FramePrefix+int(n)
 }
 
 // handleFrame decodes and dispatches one frame, returning the staged
@@ -449,6 +576,172 @@ func (s *Server) handleFrame(cs *connState, payload, wbuf []byte) []byte {
 	}
 	// Ack/Nack from a client are protocol misuse but harmless; ignore.
 	buf.recycle()
+	return wbuf
+}
+
+// stageFrame decodes one frame of a burst and stages its effect:
+// batches join their shard's run buffer with a pending response slot,
+// decode failures record an immediate NackMalformed slot (and charge
+// the stream, exactly as the per-frame path does), and a flush acts as
+// a barrier — everything staged before it is enqueued first, then the
+// fleet-wide flush runs. Responses are not written here; flushBurst
+// answers the whole burst in arrival order.
+func (s *Server) stageFrame(cs *connState, payload []byte) {
+	buf := cs.getBuf()
+	fr, err := wire.DecodeFrameView(payload, buf.events)
+	if cap(fr.Events) > cap(buf.events) {
+		buf.events = fr.Events[:cap(fr.Events)]
+	}
+	if err != nil {
+		buf.recycle()
+		s.malformed.Add(1)
+		if fr.Tag == wire.TagBatch && len(fr.Stream) > 0 {
+			s.cfg.Fleet.Offense(cs.internStream(fr.Stream), err)
+		}
+		cs.slots = append(cs.slots, frameSlot{seq: fr.Seq, kind: slotMalformed, detail: err.Error()})
+		return
+	}
+	switch fr.Tag {
+	case wire.TagBatch:
+		b := fleet.Batch{
+			Stream:      cs.internStream(fr.Stream),
+			Cycles:      fr.Cycles,
+			Events:      fr.Events,
+			EndInterval: fr.EndInterval,
+			Recycle:     buf.recycle,
+		}
+		si := s.cfg.Fleet.StreamShard(b.Stream)
+		rb := cs.runs[si]
+		if rb == nil {
+			rb = cs.getRun()
+			cs.runs[si] = rb
+		}
+		rb.batches = append(rb.batches, b)
+		cs.slots = append(cs.slots, frameSlot{
+			seq:    fr.Seq,
+			kind:   slotBatch,
+			shard:  int32(si),
+			runIdx: int32(len(rb.batches) - 1),
+		})
+	case wire.TagFlush:
+		buf.recycle()
+		// Barrier: staged batches must reach their shard queues before
+		// the fleet-wide flush, or it would not cover them.
+		s.enqueueRuns(cs)
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.IngestTimeout)
+		ferr := s.cfg.Fleet.FlushCtx(ctx)
+		cancel()
+		cs.slots = append(cs.slots, frameSlot{seq: fr.Seq, kind: slotDone, err: ferr})
+	default:
+		// Ack/Nack from a client are protocol misuse but harmless;
+		// ignore (no response slot).
+		buf.recycle()
+	}
+}
+
+// enqueueRuns hands every staged per-shard run to the fleet, resolving
+// the runs' response slots.
+func (s *Server) enqueueRuns(cs *connState) {
+	for si, rb := range cs.runs {
+		if rb == nil {
+			continue
+		}
+		cs.runs[si] = nil
+		s.enqueueRun(cs, int32(si), rb)
+	}
+}
+
+// enqueueRun sends one staged run to its shard and resolves the
+// outcome of every batch in it. On admission the fleet owns the
+// admitted batches and the run buffer (released from the shard
+// goroutine); quarantined batches come back and are nacked and
+// recycled here. A full queue falls back to per-batch sends — the
+// same TrySend-then-bounded-SendCtx ladder as the per-frame path — so
+// coalescing never changes which outcomes a client can observe.
+func (s *Server) enqueueRun(cs *connState, shard int32, rb *runBuf) {
+	n := len(rb.batches)
+	rej, err := s.cfg.Fleet.TrySendRun(rb.batches, rb.release)
+	// Rejected batches are ours again on every outcome: nack and
+	// reclaim their buffers first.
+	for _, r := range rej {
+		s.markSlot(cs, shard, int32(r.Index), r.Err)
+		if r.Batch.Recycle != nil {
+			r.Batch.Recycle()
+		}
+	}
+	switch {
+	case err == nil && len(rej) < n:
+		// The admitted batches reached the shard queue in one hop.
+		s.markRemaining(cs, shard, nil)
+	case err == nil:
+		// Every batch was rejected: nothing was enqueued, the fleet
+		// never took the run buffer.
+		rb.release()
+	default:
+		// Queue full: nothing was enqueued; the admitted survivors sit
+		// compacted at the front of the slice. Retry each under the
+		// overload policy, in arrival order (slot order matches
+		// compacted order — compaction is stable).
+		admitted := rb.batches[:n-len(rej)]
+		k := 0
+		for i := range cs.slots {
+			sl := &cs.slots[i]
+			if sl.kind != slotBatch || sl.shard != shard {
+				continue
+			}
+			b := admitted[k]
+			k++
+			berr := s.cfg.Fleet.TrySend(b)
+			if errors.Is(berr, fleet.ErrOverloaded) && s.cfg.Fleet.Overload() == fleet.OverloadBlock {
+				ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.IngestTimeout)
+				berr = s.cfg.Fleet.SendCtx(ctx, b)
+				cancel()
+			}
+			if berr != nil && b.Recycle != nil {
+				b.Recycle() // never reached a shard; the buffer is ours
+			}
+			sl.kind, sl.err = slotDone, berr
+		}
+		rb.release()
+	}
+}
+
+// markSlot resolves the pending slot for one staged batch.
+func (s *Server) markSlot(cs *connState, shard, runIdx int32, err error) {
+	for i := range cs.slots {
+		sl := &cs.slots[i]
+		if sl.kind == slotBatch && sl.shard == shard && sl.runIdx == runIdx {
+			sl.kind, sl.err = slotDone, err
+			return
+		}
+	}
+}
+
+// markRemaining resolves every still-pending slot of one shard's run.
+func (s *Server) markRemaining(cs *connState, shard int32, err error) {
+	for i := range cs.slots {
+		sl := &cs.slots[i]
+		if sl.kind == slotBatch && sl.shard == shard {
+			sl.kind, sl.err = slotDone, err
+		}
+	}
+}
+
+// flushBurst enqueues any still-staged runs and builds the burst's
+// responses in frame-arrival order, ready for one coalesced write.
+func (s *Server) flushBurst(cs *connState, wbuf []byte) []byte {
+	s.enqueueRuns(cs)
+	for i := range cs.slots {
+		sl := &cs.slots[i]
+		switch sl.kind {
+		case slotDone:
+			wbuf = s.ingestResult(wbuf, sl.seq, sl.err)
+		case slotMalformed:
+			wbuf = s.nack(wbuf, sl.seq, wire.NackMalformed, sl.detail)
+		}
+		sl.err, sl.detail = nil, "" // drop references for reuse
+	}
+	cs.slots = cs.slots[:0]
 	return wbuf
 }
 

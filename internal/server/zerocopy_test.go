@@ -33,7 +33,7 @@ func TestHandleFrameZeroAlloc(t *testing.T) {
 		Seq: 7, Stream: "alloc-pin", Cycles: 12_000, EndInterval: true, Events: events,
 	})[4:] // strip the length prefix: handleFrame takes the payload
 
-	cs := newConnState()
+	cs := newConnState(f.Shards())
 	wbuf := make([]byte, 0, 256)
 	warm := func(n int) {
 		for i := 0; i < n; i++ {
@@ -90,7 +90,7 @@ func TestZeroCopyDecodeGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs := newConnState()
+	cs := newConnState(viewFleet.Shards())
 	wbuf := make([]byte, 0, 256)
 
 	// Several streams with phase-varied event mixes, interleaved so

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -24,20 +25,28 @@ func (e *NackError) Error() string {
 		NackCodeString(e.Code), e.Seq, e.Detail)
 }
 
-// Client speaks the ingest protocol over one connection. Calls are
-// synchronous (one frame in flight); a Client is not safe for
-// concurrent use. Per-stream batch ordering therefore follows call
-// order, matching the Fleet's Send contract.
+// Client speaks the ingest protocol over one connection. SendBatch and
+// Flush are synchronous (one frame in flight); QueueBatch pipelines up
+// to Window frames before blocking on the oldest response. A Client is
+// not safe for concurrent use. Frames go down the wire in call order
+// either way, so per-stream batch ordering follows call order,
+// matching the Fleet's Send contract.
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	wbuf []byte
-	rbuf []byte
-	seq  uint64
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	wbuf    []byte
+	rbuf    []byte
+	seq     uint64
+	pending []uint64
 	// Timeout bounds each request/response round trip via connection
 	// deadlines. 0 means no deadline.
-	Timeout  time.Duration
+	Timeout time.Duration
+	// Window is the pipelining depth QueueBatch maintains: how many
+	// frames may be awaiting responses before QueueBatch blocks to
+	// drain the oldest. Values below 2 (including the zero value) make
+	// QueueBatch synchronous, like SendBatch.
+	Window   int
 	maxFrame int
 }
 
@@ -120,9 +129,14 @@ func (c *Client) roundTrip(seq uint64) error {
 	return fmt.Errorf("wire: unexpected response tag %#02x", fr.Tag)
 }
 
-// SendBatch sends one batch and waits for the server's Ack. A Nack is
-// returned as *NackError.
+// SendBatch sends one batch and waits for the server's Ack (draining
+// any pipelined frames first). A Nack is returned as *NackError.
 func (c *Client) SendBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error {
+	if len(c.pending) > 0 {
+		if err := c.Drain(); err != nil {
+			return err
+		}
+	}
 	c.seq++
 	c.wbuf = AppendBatchFrame(c.wbuf[:0], Batch{
 		Seq:         c.seq,
@@ -134,9 +148,117 @@ func (c *Client) SendBatch(stream string, cycles uint64, events []trace.BranchEv
 	return c.roundTrip(c.seq)
 }
 
+// QueueBatch stages one batch into the pipeline without waiting for
+// its response. Once Window frames are outstanding it blocks draining
+// the oldest, so the send rate is still response-clocked — just with
+// the round trips overlapped. A *NackError returned here identifies
+// the refused frame by its Seq; it is an earlier frame's verdict, not
+// this one's (this one was queued regardless), and the pipeline keeps
+// working. Any other error is transport-fatal. Call Drain before
+// trusting that every queued batch was acked.
+func (c *Client) QueueBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error {
+	if err := c.deadline(); err != nil {
+		return err
+	}
+	c.seq++
+	c.wbuf = AppendBatchFrame(c.wbuf[:0], Batch{
+		Seq:         c.seq,
+		Stream:      stream,
+		Cycles:      cycles,
+		EndInterval: endInterval,
+		Events:      events,
+	})
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return err
+	}
+	c.pending = append(c.pending, c.seq)
+	win := c.Window
+	if win < 1 {
+		win = 1
+	}
+	var firstNack error
+	for len(c.pending) > win {
+		// Push buffered frames to the server before parking in a read,
+		// or both sides could be waiting on each other.
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		if err := c.readResponse(); err != nil {
+			var ne *NackError
+			if !errors.As(err, &ne) {
+				return err
+			}
+			if firstNack == nil {
+				firstNack = err
+			}
+		}
+	}
+	return firstNack
+}
+
+// Drain flushes queued frames and waits for every outstanding
+// response. The first Nack (if any) is returned once the pipeline is
+// fully drained; a transport error aborts immediately.
+func (c *Client) Drain() error {
+	if err := c.deadline(); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	var firstNack error
+	for len(c.pending) > 0 {
+		if err := c.readResponse(); err != nil {
+			var ne *NackError
+			if !errors.As(err, &ne) {
+				return err
+			}
+			if firstNack == nil {
+				firstNack = err
+			}
+		}
+	}
+	return firstNack
+}
+
+// readResponse reads one response frame and matches it against the
+// oldest in-flight frame.
+func (c *Client) readResponse() error {
+	payload, err := ReadFrame(c.br, c.rbuf, c.maxFrame)
+	if err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	c.rbuf = payload[:0]
+	fr, err := DecodeFrame(payload)
+	if err != nil {
+		return err
+	}
+	want := c.pending[0]
+	c.pending = c.pending[1:]
+	switch fr.Tag {
+	case TagAck:
+		if fr.Seq != want {
+			return fmt.Errorf("wire: ack for frame %d, want %d", fr.Seq, want)
+		}
+		return nil
+	case TagNack:
+		return &NackError{Seq: fr.Seq, Code: fr.Code, Detail: fr.Detail}
+	}
+	return fmt.Errorf("wire: unexpected response tag %#02x", fr.Tag)
+}
+
 // Flush asks the server to flush the fleet (force-close every stream's
-// trailing partial interval) and waits for the Ack.
+// trailing partial interval) and waits for the Ack (draining any
+// pipelined frames first).
 func (c *Client) Flush() error {
+	if len(c.pending) > 0 {
+		if err := c.Drain(); err != nil {
+			return err
+		}
+	}
 	c.seq++
 	c.wbuf = AppendFlushFrame(c.wbuf[:0], c.seq)
 	return c.roundTrip(c.seq)

@@ -50,6 +50,11 @@ const DefaultMaxFrame = 1 << 20
 // lenSize is the frame length prefix size.
 const lenSize = 4
 
+// FramePrefix is the on-wire size of the frame length prefix, exported
+// so transports can peek a buffered stream for a complete frame
+// without decoding it.
+const FramePrefix = lenSize
+
 // Frame payload tags (section headers, state codec convention).
 const (
 	TagBatch = 0x31

@@ -144,6 +144,11 @@ const (
 // degradation counters; see Fleet.Metrics.
 type MetricsSnapshot = fleet.MetricsSnapshot
 
+// ClassifierStats aggregates classification-index diagnostics (MRU
+// hit rate, rows/buckets scanned) over a Fleet's resident trackers;
+// see Fleet.ClassifierStats.
+type ClassifierStats = fleet.ClassifierStats
+
 // Typed failure classes for Fleet store errors; match with errors.Is.
 var (
 	// ErrSnapshotCorrupt marks a snapshot failing integrity

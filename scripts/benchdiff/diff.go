@@ -19,6 +19,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"regexp"
 )
 
@@ -42,9 +43,11 @@ type Baseline struct {
 }
 
 // DefaultGate selects the regression-gated benchmark set: the ingest
-// hot paths recovered in the perf pass. Names are matched after
-// stripping the -GOMAXPROCS suffix.
-const DefaultGate = `^BenchmarkTrackerBranch$|^BenchmarkFleet/streams=8/batch=64$|^BenchmarkSnapshot$|^BenchmarkRestore$|^BenchmarkFleetEvicting$`
+// hot paths recovered in the perf pass, plus the indexed long-table
+// classification and end-to-end server ingest throughput locked in by
+// the classifier-index pass. Names are matched after stripping the
+// -GOMAXPROCS suffix.
+const DefaultGate = `^BenchmarkTrackerBranch$|^BenchmarkFleet/streams=8/batch=64$|^BenchmarkSnapshot$|^BenchmarkRestore$|^BenchmarkFleetEvicting$|^BenchmarkClassifyLongTable$|^BenchmarkServerIngest$`
 
 // DefaultTolerance is the allowed fractional ns/op regression.
 const DefaultTolerance = 0.10
@@ -136,6 +139,56 @@ func Compare(baseline, current Baseline, gate *regexp.Regexp, tolerance float64)
 		})
 	}
 	return out
+}
+
+// Geomean returns the geometric mean of cur/base ns/op ratios across
+// the findings that carry both numbers (OK and ns/op-regression
+// findings), plus how many contributed. Missing benchmarks and
+// allocs/op findings carry no ns pair and are excluded. n == 0 returns
+// ratio 1.
+func Geomean(findings []Finding) (ratio float64, n int) {
+	logSum := 0.0
+	for _, f := range findings {
+		if f.Kind != KindOK && f.Kind != KindNsRegress {
+			continue
+		}
+		if f.Base <= 0 || f.Cur <= 0 {
+			continue
+		}
+		logSum += math.Log(f.Cur / f.Base)
+		n++
+	}
+	if n == 0 {
+		return 1, 0
+	}
+	return math.Exp(logSum / float64(n)), n
+}
+
+// GeomeanLine renders the summary line printed after the per-benchmark
+// findings: the aggregate ns/op movement of the gated set.
+func GeomeanLine(findings []Finding) string {
+	ratio, n := Geomean(findings)
+	if n == 0 {
+		return "geomean ns/op: no comparable gated benchmarks"
+	}
+	return fmt.Sprintf("geomean ns/op delta: %+.1f%% across %d gated benchmarks", 100*(ratio-1), n)
+}
+
+// resolveInputs merges the two input-selection styles: two positional
+// arguments are baseline then current (`benchdiff old.json new.json`),
+// no positional arguments fall back to the -baseline/-current flags.
+// Anything else is an error.
+func resolveInputs(args []string, baselineFlag, currentFlag string) (baseline, current string, err error) {
+	switch len(args) {
+	case 0:
+		if currentFlag == "" {
+			return "", "", fmt.Errorf("benchdiff: -current is required (or pass two files: benchdiff old.json new.json)")
+		}
+		return baselineFlag, currentFlag, nil
+	case 2:
+		return args[0], args[1], nil
+	}
+	return "", "", fmt.Errorf("benchdiff: expected two positional files (old.json new.json), got %d", len(args))
 }
 
 // parseBaseline decodes a benchjson document.

@@ -126,6 +126,78 @@ func TestNormalize(t *testing.T) {
 	}
 }
 
+func TestGeomean(t *testing.T) {
+	f := func(kind string, base, cur float64) Finding {
+		return Finding{Name: "b", Kind: kind, Base: base, Cur: cur}
+	}
+	tests := []struct {
+		name      string
+		findings  []Finding
+		wantRatio float64
+		wantN     int
+	}{
+		{"empty", nil, 1, 0},
+		{"single improvement", []Finding{f(KindOK, 4, 2)}, 0.5, 1},
+		{"single regression", []Finding{f(KindNsRegress, 2, 4)}, 2, 1},
+		{
+			// 0.5 and 2.0 cancel exactly under the geometric mean.
+			"regression cancels improvement",
+			[]Finding{f(KindOK, 4, 2), f(KindNsRegress, 2, 4)}, 1, 2,
+		},
+		{
+			// Missing and allocs findings carry no ns pair.
+			"non-ns findings excluded",
+			[]Finding{f(KindMissing, 0, 0), f(KindAllocs, 3, 4), f(KindOK, 10, 11)}, 1.1, 1,
+		},
+		{"zero base excluded", []Finding{f(KindOK, 0, 5)}, 1, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ratio, n := Geomean(tt.findings)
+			if n != tt.wantN {
+				t.Fatalf("n = %d, want %d", n, tt.wantN)
+			}
+			if diff := ratio - tt.wantRatio; diff < -1e-9 || diff > 1e-9 {
+				t.Fatalf("ratio = %v, want %v", ratio, tt.wantRatio)
+			}
+		})
+	}
+	if line := GeomeanLine(nil); line != "geomean ns/op: no comparable gated benchmarks" {
+		t.Errorf("empty summary line %q", line)
+	}
+	if line := GeomeanLine([]Finding{f(KindOK, 10, 11)}); line != "geomean ns/op delta: +10.0% across 1 gated benchmarks" {
+		t.Errorf("summary line %q", line)
+	}
+}
+
+func TestResolveInputs(t *testing.T) {
+	tests := []struct {
+		name              string
+		args              []string
+		baseFlag, curFlag string
+		wantBase, wantCur string
+		wantErr           bool
+	}{
+		{"flags only", nil, "BENCH.json", "cur.json", "BENCH.json", "cur.json", false},
+		{"positional pair", []string{"old.json", "new.json"}, "BENCH.json", "", "old.json", "new.json", false},
+		{"positional overrides flags", []string{"a.json", "b.json"}, "x.json", "y.json", "a.json", "b.json", false},
+		{"no current", nil, "BENCH.json", "", "", "", true},
+		{"one positional", []string{"only.json"}, "BENCH.json", "", "", "", true},
+		{"three positionals", []string{"a", "b", "c"}, "BENCH.json", "", "", "", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			base, cur, err := resolveInputs(tt.args, tt.baseFlag, tt.curFlag)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if base != tt.wantBase || cur != tt.wantCur {
+				t.Fatalf("resolved (%q, %q), want (%q, %q)", base, cur, tt.wantBase, tt.wantCur)
+			}
+		})
+	}
+}
+
 func TestParseBaseline(t *testing.T) {
 	if _, err := parseBaseline([]byte(`{"benchmarks":[]}`)); err == nil {
 		t.Error("empty benchmark list accepted")

@@ -14,8 +14,9 @@ func main() {
 	tolerance := flag.Float64("tolerance", DefaultTolerance, "allowed fractional ns/op regression")
 	flag.Parse()
 
-	if *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+	basePath, curPath, err := resolveInputs(flag.Args(), *baselinePath, *currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	gate, err := regexp.Compile(*gateExpr)
@@ -36,7 +37,7 @@ func main() {
 		}
 		return b
 	}
-	baseline, current := read(*baselinePath), read(*currentPath)
+	baseline, current := read(basePath), read(curPath)
 
 	findings := Compare(baseline, current, gate, *tolerance)
 	if len(findings) == 0 {
@@ -48,6 +49,7 @@ func main() {
 		fmt.Println(f)
 		failed = failed || f.Fail()
 	}
+	fmt.Println(GeomeanLine(findings))
 	if failed {
 		os.Exit(1)
 	}
