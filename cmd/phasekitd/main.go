@@ -11,6 +11,19 @@
 //	phasekitd -addr :9127 -health :9128                 # + /healthz /readyz /metricz
 //	phasekitd -addr :9127 -store dir -phases phases.log # per-interval phase log
 //
+// Cluster mode — each node owns a consistent-hash slice of the stream
+// space, redirects batches for streams it does not own, and hands
+// streams off (snapshot over the wire) when membership changes:
+//
+//	phasekitd -addr :9127 -health :9128 -node-id n1 -node-addr 10.0.0.1:9127 -store /var/lib/phasekit
+//	phasekitd -addr :9127 -health :9128 -node-id n2 -node-addr 10.0.0.2:9127 -store /var/lib/phasekit \
+//	          -peers 10.0.0.1:9127
+//
+// Administer it with phasekitctl against the -health endpoint. With a
+// shared -store, a node that dies is recovered by `phasekitctl leave`:
+// the survivors adopt its streams from its last checkpoints, and epoch
+// fencing stops the dead node from overwriting them if it comes back.
+//
 // Pipe a trace into it with phasesim:
 //
 //	phasesim -workload mcf -streams 8 -connect 127.0.0.1:9127
@@ -32,9 +45,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"phasekit/internal/cluster"
 	"phasekit/internal/core"
 	"phasekit/internal/fleet"
 	"phasekit/internal/server"
@@ -61,6 +76,9 @@ func main() {
 		probation  = flag.Duration("quarantine-probation", fleet.DefaultProbation, "initial quarantine window (doubles per relapse, jittered)")
 		phasesPath = flag.String("phases", "", "append per-interval phase IDs (\"stream index phase\" lines) to this file at drain")
 		verbose    = flag.Bool("v", false, "log connection-level diagnostics")
+		nodeID     = flag.String("node-id", "", "cluster member ID; enables cluster mode (ownership checks, redirects, handoffs)")
+		nodeAddr   = flag.String("node-addr", "", "ingest address advertised to peers and redirected clients (default: -addr; must be reachable, not :port)")
+		peers      = flag.String("peers", "", "comma-separated ingest addresses of existing members to join through (empty = start a new cluster)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "phasekitd: ", log.LstdFlags|log.Lmsgprefix)
@@ -89,8 +107,14 @@ func main() {
 	default:
 		logger.Fatalf("-overload must be block or reject, got %q", *overload)
 	}
+	if *nodeID == "" && (*nodeAddr != "" || *peers != "") {
+		logger.Fatal("-node-addr/-peers need -node-id (cluster mode)")
+	}
 	if *storeDir != "" {
-		if !*restore {
+		// In cluster mode a shared state dir legitimately holds other
+		// members' snapshots, so the accidental-state-mixing guard only
+		// applies to standalone servers.
+		if !*restore && *nodeID == "" {
 			if snaps, _ := filepath.Glob(filepath.Join(*storeDir, "*.pkst")); len(snaps) > 0 {
 				logger.Fatalf("state dir %s already holds %d snapshots; pass -restore to resume them or point -store at a fresh directory", *storeDir, len(snaps))
 			}
@@ -112,13 +136,42 @@ func main() {
 			fcfg.Store = fleet.NewMemStore()
 		}
 	}
+	var fence *cluster.FencedStore
+	if *nodeID != "" && fcfg.Store != nil {
+		// Checkpoints carry the writer's ring epoch; the store refuses
+		// writes from epochs older than what it already holds, so a
+		// fenced-off former owner cannot clobber its successor's state.
+		fence = cluster.NewFencedStore(fcfg.Store, 1)
+		fcfg.Store = fence
+	}
 	if err := fcfg.Validate(); err != nil {
 		logger.Fatal(err)
 	}
 	f := fleet.New(fcfg)
 
+	var coord *cluster.Coordinator
+	if *nodeID != "" {
+		adv := *nodeAddr
+		if adv == "" {
+			adv = *addr
+		}
+		self := cluster.Node{ID: *nodeID, Addr: adv}
+		initial, err := cluster.NewRing(1, []cluster.Node{self})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		coord, err = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Self: self, Fleet: f, Initial: initial, Fence: fence,
+			Logf: logger.Printf,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
+
 	scfg := server.Config{
 		Fleet:         f,
+		Cluster:       coord,
 		ReadTimeout:   *readTO,
 		WriteTimeout:  *writeTO,
 		IngestTimeout: *ingestTO,
@@ -171,6 +224,21 @@ func main() {
 		}
 	}
 	logger.Printf("serving on %s (store=%q resident=%d overload=%s)", srv.Addr(), *storeDir, *resident, *overload)
+
+	// Announce ourselves only after the listener is up: the seed pushes
+	// the new assignment (and possibly stream handoffs) back at us
+	// during the join round trip.
+	if coord != nil && *peers != "" {
+		jctx, jcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := coord.Join(jctx, strings.Split(*peers, ",")); err != nil {
+			jcancel()
+			logger.Fatalf("join via %s: %v", *peers, err)
+		}
+		jcancel()
+		logger.Printf("node %s joined: epoch %d, %d members", *nodeID, coord.Epoch(), len(coord.Ring().Nodes()))
+	} else if coord != nil {
+		logger.Printf("node %s started a new cluster (advertising %s)", *nodeID, coord.Ring().Nodes()[0].Addr)
+	}
 
 	select {
 	case err := <-serveErr:

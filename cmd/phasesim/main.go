@@ -583,6 +583,10 @@ func runConnect(wl, traceFile string, scale float64, o fleetOpts, cfg core.Confi
 		return err
 	}
 	defer c.Close()
+	// Cluster-aware: when the target is one node of a phasekitd cluster,
+	// REDIRECT nacks route each stream to its owner. A standalone server
+	// never redirects, so this is inert outside cluster mode.
+	c.FollowRedirects(nil)
 
 	sink := newBatchSink(wireSender{c}, n)
 	sink.from, sink.max = o.from, o.max
@@ -607,6 +611,9 @@ func runConnect(wl, traceFile string, scale float64, o fleetOpts, cfg core.Confi
 		sink.sent, sink.batches, sink.nevents, elapsed.Round(time.Millisecond))
 	if sink.rejected > 0 {
 		fmt.Printf("rejected:  %d batches shed by the server's overload policy\n", sink.rejected)
+	}
+	if hops := c.Redirects(); hops > 0 {
+		fmt.Printf("redirects: %d hops followed to stream owners\n", hops)
 	}
 	return nil
 }

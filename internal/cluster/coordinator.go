@@ -1,0 +1,548 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phasekit/internal/fleet"
+	"phasekit/internal/wire"
+)
+
+// Default bounds for coordinator network and fleet operations.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultOpTimeout   = 10 * time.Second
+)
+
+// CoordinatorConfig configures one node's Coordinator.
+type CoordinatorConfig struct {
+	// Self is this node's identity; its ID must be a member of Initial.
+	Self Node
+	// Fleet is the stream engine whose streams the coordinator detaches
+	// and adopts during rebalancing. Required.
+	Fleet *fleet.Fleet
+	// Initial is the ring to start from — usually a self-only ring at
+	// epoch 1, replaced by the cluster's real assignment on Join.
+	Initial *Ring
+	// Fence, if non-nil, is the epoch-stamped checkpoint store shared
+	// across nodes. The coordinator advances its epoch on every adopted
+	// ring and uses it as the handoff fallback when a peer is
+	// unreachable (the peer rehydrates lazily from the shared store).
+	Fence *FencedStore
+	// DialTimeout bounds each peer dial and control round trip. 0 means
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+	// OpTimeout bounds each fleet detach/adopt. 0 means DefaultOpTimeout.
+	OpTimeout time.Duration
+	// Logf, if non-nil, receives coordination diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator runs one node's side of the cluster control plane: it
+// holds the node's ring view (State), answers the ingest hot path's
+// ownership question, and performs snapshot handoffs when the ring
+// changes.
+//
+// # Migrate, then flip
+//
+// Applying a new ring happens in a fixed order: first every resident
+// stream this node loses is detached (fencing its batches) and its
+// snapshot shipped to the new owner; only then does the ring view flip
+// and the server start answering REDIRECT. A redirected client can
+// therefore never reach the new owner before the stream's state does —
+// the window where that owner would have started the stream from
+// scratch and silently diverged. Batches that arrive mid-migration hit
+// the fleet fence (fleet.ErrNotOwned) and the server holds them until
+// the flip, bounded by its ingest timeout.
+//
+// On the receiving side, a snapshot can land before the ASSIGN that
+// explains it. The coordinator records such streams as adopted-ahead
+// and treats them as owned even while the (still-old) ring says
+// otherwise, so traffic redirected by a faster peer is accepted rather
+// than bounced back. The set is cleared on every flip: by then each
+// entry is either owned by the new ring or has been migrated away.
+//
+// Membership changes (HandleJoin, HandleLeave, Rebalance) additionally
+// propagate the new ring to every other member — and wait for their
+// acknowledgements — before flipping locally, so by the time this
+// node's clients are redirected, every target both holds its handed-off
+// snapshots and answers ownership from the new ring. One membership
+// change at a time: concurrent coordinated ops on different nodes race
+// to a single winner by epoch, and the loser's operator retries.
+type Coordinator struct {
+	self        Node
+	fleet       *fleet.Fleet
+	state       *State
+	fence       *FencedStore
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+	logf        func(format string, args ...any)
+
+	// mu serializes ring changes (every Advance goes through apply),
+	// making validate-migrate-flip atomic with respect to other changes.
+	mu sync.Mutex
+
+	// ahead holds streams adopted before the ring that assigns them
+	// here was; OwnerIfRemote treats them as owned.
+	aheadMu sync.RWMutex
+	ahead   map[string]struct{}
+
+	handoffsOut, handoffsIn      atomic.Uint64
+	assignsApplied, staleAssigns atomic.Uint64
+	storeFallbacks               atomic.Uint64
+}
+
+// NewCoordinator validates cfg and returns a Coordinator holding the
+// initial ring.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Self.ID == "" {
+		return nil, fmt.Errorf("cluster: coordinator needs a node ID")
+	}
+	if cfg.Fleet == nil {
+		return nil, fmt.Errorf("cluster: coordinator needs a fleet")
+	}
+	if cfg.Initial == nil {
+		return nil, fmt.Errorf("cluster: coordinator needs an initial ring")
+	}
+	if _, ok := cfg.Initial.Node(cfg.Self.ID); !ok {
+		return nil, fmt.Errorf("%w: self %q not in initial ring", ErrUnknownNode, cfg.Self.ID)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = DefaultOpTimeout
+	}
+	return &Coordinator{
+		self:        cfg.Self,
+		fleet:       cfg.Fleet,
+		state:       NewState(cfg.Initial),
+		fence:       cfg.Fence,
+		dialTimeout: cfg.DialTimeout,
+		opTimeout:   cfg.OpTimeout,
+		logf:        cfg.Logf,
+		ahead:       make(map[string]struct{}),
+	}, nil
+}
+
+func (c *Coordinator) log(format string, args ...any) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
+}
+
+// Self returns this node's identity.
+func (c *Coordinator) Self() Node { return c.self }
+
+// Ring returns the current ring view.
+func (c *Coordinator) Ring() *Ring { return c.state.Ring() }
+
+// Epoch returns the current ring's epoch.
+func (c *Coordinator) Epoch() uint64 { return c.state.Epoch() }
+
+// OwnerIfRemote answers the server's per-frame ownership question: if
+// another node owns stream, it returns that node's ingest address and
+// true. It allocates nothing — the map lookup with a string(stream) key
+// compiles without a conversion allocation, and it only runs when the
+// ring already said "remote".
+func (c *Coordinator) OwnerIfRemote(stream []byte) (addr string, remote bool) {
+	r := c.state.Ring()
+	n := r.OwnerBytes(stream)
+	if n.ID == c.self.ID {
+		return "", false
+	}
+	c.aheadMu.RLock()
+	_, ok := c.ahead[string(stream)]
+	c.aheadMu.RUnlock()
+	if ok {
+		return "", false // adopted ahead of the ring flip: ours
+	}
+	return n.Addr, true
+}
+
+// OwnerIfRemoteString is OwnerIfRemote for callers holding the stream
+// ID as a string.
+func (c *Coordinator) OwnerIfRemoteString(stream string) (addr string, remote bool) {
+	r := c.state.Ring()
+	n := r.Owner(stream)
+	if n.ID == c.self.ID {
+		return "", false
+	}
+	c.aheadMu.RLock()
+	_, ok := c.ahead[stream]
+	c.aheadMu.RUnlock()
+	if ok {
+		return "", false
+	}
+	return n.Addr, true
+}
+
+// ApplyAssign applies an assignment pushed by a peer (an ASSIGN frame):
+// validate, migrate lost streams, flip. It returns (true, nil) when the
+// view changed, (false, nil) for an idempotent replay, and ErrStaleEpoch
+// for an older or conflicting assignment.
+func (c *Coordinator) ApplyAssign(next *Ring) (bool, error) {
+	if !c.mu.TryLock() {
+		// A coordinated change is in flight on this node (usually the
+		// tail of a join it initiated). Retry briefly rather than
+		// deadlocking two nodes coordinating at each other.
+		locked := false
+		for i := 0; i < 40 && !locked; i++ {
+			time.Sleep(25 * time.Millisecond)
+			locked = c.mu.TryLock()
+		}
+		if !locked {
+			return false, fmt.Errorf("cluster: coordination in progress on %s; retry", c.self.ID)
+		}
+	}
+	defer c.mu.Unlock()
+	return c.apply(next, false)
+}
+
+// apply is the validate-migrate-(propagate)-flip sequence. Callers hold
+// c.mu.
+func (c *Coordinator) apply(next *Ring, propagate bool) (bool, error) {
+	cur := c.state.Ring()
+	if next.Epoch() == cur.Epoch() && next.SameMembers(cur) {
+		return false, nil // idempotent replay of the current assignment
+	}
+	if next.Epoch() <= cur.Epoch() {
+		c.staleAssigns.Add(1)
+		return false, fmt.Errorf("%w: assignment epoch %d, current %d",
+			ErrStaleEpoch, next.Epoch(), cur.Epoch())
+	}
+	c.migrate(next)
+	if propagate {
+		c.propagate(next)
+	}
+	if _, err := c.state.Advance(next); err != nil {
+		return false, err // unreachable: c.mu serializes advances
+	}
+	if c.fence != nil {
+		c.fence.SetEpoch(next.Epoch())
+	}
+	// Every adopted-ahead stream is now either assigned here by next
+	// (the set was just insurance) or was migrated away above.
+	c.aheadMu.Lock()
+	clear(c.ahead)
+	c.aheadMu.Unlock()
+	c.assignsApplied.Add(1)
+	return true, nil
+}
+
+// migrate detaches every resident stream that next assigns elsewhere
+// and ships its snapshot to the new owner. An unreachable owner falls
+// back to the shared fenced store (the owner rehydrates lazily); with
+// no store either, the stream is re-adopted locally — stranded but
+// intact beats lost.
+func (c *Coordinator) migrate(next *Ring) {
+	streams := c.fleet.Streams()
+	if len(streams) == 0 {
+		return
+	}
+	conns := make(map[string]*wire.Client)
+	defer func() {
+		for _, cl := range conns {
+			cl.Close()
+		}
+	}()
+	for _, s := range streams {
+		owner := next.Owner(s)
+		if owner.ID == c.self.ID {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
+		snap, err := c.fleet.DetachStream(ctx, s)
+		cancel()
+		if err != nil {
+			c.log("migrate %q: detach: %v", s, err)
+			continue
+		}
+		c.aheadMu.Lock()
+		delete(c.ahead, s)
+		c.aheadMu.Unlock()
+		if err := c.sendHandoff(conns, owner, next.Epoch(), s, snap); err == nil {
+			c.handoffsOut.Add(1)
+			continue
+		} else {
+			c.log("migrate %q: handoff to %s (%s): %v", s, owner.ID, owner.Addr, err)
+		}
+		if c.fence != nil {
+			if serr := c.fence.Save(s, snap); serr == nil {
+				c.storeFallbacks.Add(1)
+				continue
+			} else {
+				c.log("migrate %q: store fallback: %v", s, serr)
+			}
+		}
+		ctx, cancel = context.WithTimeout(context.Background(), c.opTimeout)
+		if aerr := c.fleet.AdoptStream(ctx, s, snap); aerr != nil {
+			c.log("migrate %q: STREAM STATE LOST: re-adopt failed: %v", s, aerr)
+		} else {
+			c.log("migrate %q: stranded on %s (owner %s unreachable, no shared store)",
+				s, c.self.ID, owner.ID)
+		}
+		cancel()
+	}
+}
+
+// sendHandoff ships one stream snapshot to its new owner, reusing one
+// connection per owner across a migration pass.
+func (c *Coordinator) sendHandoff(conns map[string]*wire.Client, owner Node, epoch uint64, stream string, snap []byte) error {
+	cl, ok := conns[owner.Addr]
+	if !ok {
+		var err error
+		cl, err = wire.Dial(owner.Addr, c.dialTimeout)
+		if err != nil {
+			return err
+		}
+		conns[owner.Addr] = cl
+	}
+	return cl.SendHandoff(epoch, stream, snap)
+}
+
+// propagate pushes next to every other member and waits for each
+// acknowledgement, so every peer has migrated and flipped before the
+// caller flips. Failures are logged, not fatal: a dead peer catches up
+// from the shared store, a lagging one from the next push.
+func (c *Coordinator) propagate(next *Ring) {
+	for _, n := range next.Nodes() {
+		if n.ID == c.self.ID {
+			continue
+		}
+		if err := c.pushAssign(n.Addr, next); err != nil {
+			c.log("assign push to %s (%s): %v", n.ID, n.Addr, err)
+		}
+	}
+}
+
+// pushAssign sends next to one peer's ingest port and waits for its
+// ack.
+func (c *Coordinator) pushAssign(addr string, next *Ring) error {
+	cl, err := wire.Dial(addr, c.dialTimeout)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	return cl.SendAssign(InfoFromRing(next))
+}
+
+// AcceptHandoff adopts one stream snapshot shipped by its previous
+// owner (a HANDOFF_SNAPSHOT frame). The sender's epoch must be at
+// least this node's — a handoff can run ahead of the ASSIGN that
+// explains it (the stream is recorded as adopted-ahead), but a sender
+// behind this node's view is a zombie and is refused.
+func (c *Coordinator) AcceptHandoff(epoch uint64, stream string, snap []byte) error {
+	if cur := c.state.Epoch(); epoch < cur {
+		return fmt.Errorf("%w: handoff at epoch %d, current %d", ErrStaleEpoch, epoch, cur)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
+	defer cancel()
+	if err := c.fleet.AdoptStream(ctx, stream, snap); err != nil {
+		return err
+	}
+	c.aheadMu.Lock()
+	c.ahead[stream] = struct{}{}
+	c.aheadMu.Unlock()
+	c.handoffsIn.Add(1)
+	return nil
+}
+
+// Join announces this node to an existing cluster through any of the
+// given peer ingest addresses and adopts the assignment the seed
+// replies with. ctx bounds the whole attempt, including dial retries
+// against a peer that is still starting.
+func (c *Coordinator) Join(ctx context.Context, peers []string) error {
+	var firstErr error
+	for _, addr := range peers {
+		cl, err := wire.DialRetry(ctx, addr, c.dialTimeout)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		info, err := cl.SendJoin(wire.NodeInfo{ID: c.self.ID, Addr: c.self.Addr})
+		cl.Close()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		next, err := RingFromInfo(info)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// The seed usually pushed this ring to us before replying, so
+		// an idempotent replay here is the common case.
+		if _, err := c.ApplyAssign(next); err != nil && !errors.Is(err, ErrStaleEpoch) {
+			return fmt.Errorf("cluster: join via %s: %w", addr, err)
+		}
+		return nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("no peers given")
+	}
+	return fmt.Errorf("cluster: join failed: %w", firstErr)
+}
+
+// HandleJoin runs the seed's side of a JOIN: build the successor ring
+// with the joiner (replacing a stale address on rejoin), migrate,
+// propagate, flip, and return the ring for the reply. A replay with the
+// joiner already a member at the same address returns the current ring
+// unchanged.
+func (c *Coordinator) HandleJoin(n Node) (*Ring, error) {
+	if n.ID == "" || n.Addr == "" {
+		return nil, fmt.Errorf("%w: join needs an id and address", ErrUnknownNode)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.state.Ring()
+	if existing, ok := cur.Node(n.ID); ok && existing.Addr == n.Addr {
+		return cur, nil
+	}
+	nodes := make([]Node, 0, cur.Len()+1)
+	for _, m := range cur.Nodes() {
+		if m.ID != n.ID {
+			nodes = append(nodes, m)
+		}
+	}
+	nodes = append(nodes, n)
+	next, err := NewRing(cur.Epoch()+1, nodes)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.apply(next, true); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// HandleLeave removes a member and rebalances. The departed node — if
+// still alive — is told first, so it ships every stream it owns to the
+// survivors before any of them starts claiming; a dead node's streams
+// are instead rehydrated lazily from the shared store. A node cannot
+// remove itself (drain it with SIGTERM instead, which checkpoints to
+// the shared store).
+func (c *Coordinator) HandleLeave(id string) (*Ring, error) {
+	if id == c.self.ID {
+		return nil, fmt.Errorf("cluster: node %s cannot remove itself; drain it instead", id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.state.Ring()
+	departed, ok := cur.Node(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	next, err := cur.WithLeave(id)
+	if err != nil {
+		return nil, err
+	}
+	// Departed first: it holds the data and must ship it before
+	// survivors flip and start accepting. If it is already dead this
+	// just times out and the survivors take over from the store.
+	if err := c.pushAssign(departed.Addr, next); err != nil {
+		c.log("leave %s: departed unreachable (%v); survivors rehydrate from store", id, err)
+	}
+	if _, err := c.apply(next, true); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// Rebalance renumbers the current membership to a fresh epoch and
+// propagates it — the fencing primitive: no streams move, but every
+// writer still on the old epoch is invalidated at the shared store.
+func (c *Coordinator) Rebalance() (*Ring, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.state.Ring().WithEpoch(c.state.Epoch() + 1)
+	if _, err := c.apply(next, true); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// Status is a point-in-time picture of the node's cluster view, served
+// by the admin endpoint and the /metricz Cluster section.
+type Status struct {
+	// Node is this node's identity; Epoch and Nodes describe the
+	// adopted ring.
+	Node  Node
+	Epoch uint64
+	Nodes []Node
+	// ResidentStreams counts streams live in this node's fleet;
+	// OwnedStreams counts how many of those the ring assigns here (the
+	// difference is adopted-ahead or mid-migration).
+	ResidentStreams int
+	OwnedStreams    int
+	// AdoptedAhead counts streams accepted by handoff before the ring
+	// that assigns them here arrived.
+	AdoptedAhead int
+	// HandoffsOut/HandoffsIn count stream snapshots shipped and
+	// accepted; StoreFallbacks counts handoffs that fell back to the
+	// shared store because the new owner was unreachable.
+	HandoffsOut    uint64
+	HandoffsIn     uint64
+	StoreFallbacks uint64
+	// AssignsApplied counts adopted ring flips; StaleAssigns counts
+	// rejected stale assignments.
+	AssignsApplied uint64
+	StaleAssigns   uint64
+}
+
+// Status returns the node's current cluster view and counters.
+func (c *Coordinator) Status() Status {
+	r := c.state.Ring()
+	streams := c.fleet.Streams()
+	owned := 0
+	for _, s := range streams {
+		if r.Owner(s).ID == c.self.ID {
+			owned++
+		}
+	}
+	c.aheadMu.RLock()
+	ahead := len(c.ahead)
+	c.aheadMu.RUnlock()
+	return Status{
+		Node:            c.self,
+		Epoch:           r.Epoch(),
+		Nodes:           r.Nodes(),
+		ResidentStreams: len(streams),
+		OwnedStreams:    owned,
+		AdoptedAhead:    ahead,
+		HandoffsOut:     c.handoffsOut.Load(),
+		HandoffsIn:      c.handoffsIn.Load(),
+		StoreFallbacks:  c.storeFallbacks.Load(),
+		AssignsApplied:  c.assignsApplied.Load(),
+		StaleAssigns:    c.staleAssigns.Load(),
+	}
+}
+
+// RingFromInfo builds a Ring from its wire form.
+func RingFromInfo(info wire.RingInfo) (*Ring, error) {
+	nodes := make([]Node, len(info.Nodes))
+	for i, n := range info.Nodes {
+		nodes[i] = Node{ID: n.ID, Addr: n.Addr}
+	}
+	return NewRing(info.Epoch, nodes)
+}
+
+// InfoFromRing converts a Ring to its wire form.
+func InfoFromRing(r *Ring) wire.RingInfo {
+	nodes := r.Nodes()
+	info := wire.RingInfo{Epoch: r.Epoch(), Nodes: make([]wire.NodeInfo, len(nodes))}
+	for i, n := range nodes {
+		info.Nodes[i] = wire.NodeInfo{ID: n.ID, Addr: n.Addr}
+	}
+	return info
+}

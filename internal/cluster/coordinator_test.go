@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"phasekit/internal/core"
+	"phasekit/internal/fleet"
+	"phasekit/internal/trace"
+)
+
+func coordTrackerConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.IntervalInstrs = 10_000
+	cfg.Classifier.Adaptive = false
+	return cfg
+}
+
+// streamOwnedBy searches deterministic stream names until one is owned
+// by the given node under r.
+func streamOwnedBy(t *testing.T, r *Ring, id string) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		name := fmt.Sprintf("stream-%d", i)
+		if r.Owner(name).ID == id {
+			return name
+		}
+	}
+	t.Fatalf("no stream owned by %q in 10k candidates", id)
+	return ""
+}
+
+func feedStream(t *testing.T, f *fleet.Fleet, stream string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		err := f.Send(fleet.Batch{
+			Stream: stream,
+			Events: []trace.BranchEvent{{PC: 0x400000 + uint64(i%16)*64, Instrs: 100}},
+		})
+		if err != nil {
+			t.Fatalf("feed %q: %v", stream, err)
+		}
+	}
+}
+
+// TestCoordinatorStoreFallback pins the degraded handoff path: when the
+// new owner is unreachable, the migrating stream's snapshot lands in
+// the shared fenced store instead of being lost, and the stream leaves
+// this fleet.
+func TestCoordinatorStoreFallback(t *testing.T) {
+	mem := fleet.NewMemStore()
+	fence := NewFencedStore(mem, 1)
+	f := fleet.New(fleet.Config{Shards: 2, Tracker: coordTrackerConfig(), Store: fence})
+	defer f.Close()
+
+	self := Node{ID: "n1", Addr: "127.0.0.1:1"}
+	ring1 := mustRing(t, 1, []Node{self})
+	co, err := NewCoordinator(CoordinatorConfig{
+		Self: self, Fleet: f, Initial: ring1, Fence: fence,
+		DialTimeout: 200 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// port 1 refuses connections immediately: the peer is "down".
+	ghost := Node{ID: "ghost", Addr: "127.0.0.1:1"}
+	ring2, err := ring1.WithJoin(ghost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := streamOwnedBy(t, ring2, "ghost")
+	feedStream(t, f, s, 300)
+
+	changed, err := co.ApplyAssign(ring2)
+	if err != nil || !changed {
+		t.Fatalf("ApplyAssign: changed=%v err=%v", changed, err)
+	}
+	if co.Epoch() != 2 || fence.Epoch() != 2 {
+		t.Fatalf("epochs after flip: ring %d, fence %d", co.Epoch(), fence.Epoch())
+	}
+	// The stream migrated out of the fleet and into the store.
+	if !f.Detached(s) {
+		t.Fatalf("stream %q still accepted after migration", s)
+	}
+	snap, ok, err := fence.Load(s)
+	if err != nil || !ok || len(snap) == 0 {
+		t.Fatalf("store fallback snapshot: ok=%v len=%d err=%v", ok, len(snap), err)
+	}
+	st := co.Status()
+	if st.StoreFallbacks != 1 || st.HandoffsOut != 0 {
+		t.Fatalf("status after fallback: %+v", st)
+	}
+	// The entry-check answer for the migrated stream is now "redirect".
+	if addr, remote := co.OwnerIfRemote([]byte(s)); !remote || addr != ghost.Addr {
+		t.Fatalf("OwnerIfRemote(%q) = %q,%v after migration", s, addr, remote)
+	}
+}
+
+// TestCoordinatorAdoptAhead pins the snapshot-before-ASSIGN window: a
+// handoff that arrives before the ring explaining it must be accepted,
+// owned (no redirect bounce), and reconciled at the next flip.
+func TestCoordinatorAdoptAhead(t *testing.T) {
+	// Build the snapshot on a donor fleet.
+	donor := fleet.New(fleet.Config{Shards: 1, Tracker: coordTrackerConfig()})
+	self := Node{ID: "n2", Addr: "127.0.0.1:2"}
+	peer := Node{ID: "n1", Addr: "127.0.0.1:1"}
+	ring1 := mustRing(t, 1, []Node{self, peer})
+	s := streamOwnedBy(t, ring1, "n1") // currently the peer's stream
+	feedStream(t, donor, s, 300)
+	snap, err := donor.DetachStream(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor.Close()
+
+	f := fleet.New(fleet.Config{Shards: 2, Tracker: coordTrackerConfig()})
+	defer f.Close()
+	co, err := NewCoordinator(CoordinatorConfig{Self: self, Fleet: f, Initial: ring1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ring still says the peer owns s.
+	if _, remote := co.OwnerIfRemote([]byte(s)); !remote {
+		t.Fatalf("precondition: %q should be remote under ring1", s)
+	}
+	// A zombie handoff (older epoch) is refused.
+	if err := co.AcceptHandoff(0, s, snap); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale handoff: %v, want ErrStaleEpoch", err)
+	}
+	// The real handoff runs at the epoch being applied cluster-wide,
+	// which this node has not seen yet.
+	if err := co.AcceptHandoff(2, s, snap); err != nil {
+		t.Fatalf("adopt ahead: %v", err)
+	}
+	// Adopted-ahead streams are owned even though the ring disagrees.
+	if addr, remote := co.OwnerIfRemote([]byte(s)); remote {
+		t.Fatalf("adopted-ahead stream redirected to %q", addr)
+	}
+	if err := f.Send(fleet.Batch{Stream: s, Events: []trace.BranchEvent{{PC: 0x400000, Instrs: 10}}}); err != nil {
+		t.Fatalf("send to adopted stream: %v", err)
+	}
+	if st := co.Status(); st.AdoptedAhead != 1 || st.HandoffsIn != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+
+	// The ASSIGN arrives: under it this node owns everything (peer
+	// left), so the ahead set empties and ownership is plain again.
+	ring2 := mustRing(t, 2, []Node{self})
+	if _, err := co.ApplyAssign(ring2); err != nil {
+		t.Fatalf("ApplyAssign: %v", err)
+	}
+	if st := co.Status(); st.AdoptedAhead != 0 || st.ResidentStreams != 1 || st.OwnedStreams != 1 {
+		t.Fatalf("status after flip: %+v", st)
+	}
+	if _, remote := co.OwnerIfRemote([]byte(s)); remote {
+		t.Fatalf("owned stream still redirected after flip")
+	}
+}
+
+// TestCoordinatorApplyAssignValidation pins the epoch discipline shared
+// with State.Advance: idempotent replays are no-ops, stale or
+// conflicting assignments are refused and counted.
+func TestCoordinatorApplyAssignValidation(t *testing.T) {
+	f := fleet.New(fleet.Config{Shards: 1, Tracker: coordTrackerConfig()})
+	defer f.Close()
+	self := Node{ID: "n1", Addr: "127.0.0.1:1"}
+	ring2 := mustRing(t, 2, []Node{self, {ID: "n2", Addr: "127.0.0.1:2"}})
+	co, err := NewCoordinator(CoordinatorConfig{Self: self, Fleet: f, Initial: ring2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if changed, err := co.ApplyAssign(ring2); changed || err != nil {
+		t.Fatalf("replay: changed=%v err=%v", changed, err)
+	}
+	older := mustRing(t, 1, []Node{self})
+	if _, err := co.ApplyAssign(older); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("older epoch: %v", err)
+	}
+	conflict := mustRing(t, 2, []Node{self, {ID: "n3", Addr: "127.0.0.1:3"}})
+	if _, err := co.ApplyAssign(conflict); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("same-epoch conflict: %v", err)
+	}
+	if st := co.Status(); st.StaleAssigns != 2 || st.AssignsApplied != 0 {
+		t.Fatalf("status: %+v", st)
+	}
+
+	// Config validation.
+	if _, err := NewCoordinator(CoordinatorConfig{Fleet: f, Initial: ring2}); err == nil {
+		t.Fatal("missing self accepted")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{Self: self, Initial: ring2}); err == nil {
+		t.Fatal("missing fleet accepted")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{Self: Node{ID: "nx"}, Fleet: f, Initial: ring2}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("self outside ring: %v", err)
+	}
+}
+
+// TestRingInfoRoundTrip pins the wire conversion both ways.
+func TestRingInfoRoundTrip(t *testing.T) {
+	r := mustRing(t, 7, threeNodes())
+	back, err := RingFromInfo(InfoFromRing(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch() != r.Epoch() || !back.SameMembers(r) {
+		t.Fatalf("round trip changed the ring: %d %v vs %d %v",
+			back.Epoch(), back.Nodes(), r.Epoch(), r.Nodes())
+	}
+	for i := 0; i < 100; i++ {
+		s := fmt.Sprintf("s%d", i)
+		if back.Owner(s) != r.Owner(s) {
+			t.Fatalf("owner diverged for %q", s)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"phasekit/internal/fleet"
+	"phasekit/internal/state"
+)
+
+// TagFence is the section tag of the epoch-fence prefix FencedStore
+// wraps around snapshots. Distinct from every core snapshot tag (0xF1–
+// 0xF3), so a fenced payload can never be misread as a bare tracker
+// snapshot or vice versa.
+const TagFence = byte(0xF4)
+
+const fenceVersion = 1
+
+// FencedStore wraps a fleet.StateStore shared across cluster nodes with
+// epoch fencing: every Save is stamped with the writing node's ring
+// epoch, and a Save from an epoch older than the one already recorded
+// for that stream is rejected with ErrStaleEpoch.
+//
+// This is the guard that makes shared-storage takeover safe. When node
+// A is declared dead and node B adopts A's streams at epoch e+1, B's
+// first checkpoint advances the stored epoch. If A was not actually
+// dead — just partitioned — and later tries to checkpoint at epoch e,
+// the store refuses, so a zombie owner can never clobber the successor's
+// state. The check is read-compare-write per stream; the window between
+// the two operations only matters for two writers at the *same* epoch,
+// which the ring's single-owner-per-epoch invariant already excludes.
+type FencedStore struct {
+	inner fleet.StateStore
+	epoch atomic.Uint64
+}
+
+// NewFencedStore wraps inner, stamping writes with the given epoch.
+func NewFencedStore(inner fleet.StateStore, epoch uint64) *FencedStore {
+	s := &FencedStore{inner: inner}
+	s.epoch.Store(epoch)
+	return s
+}
+
+// SetEpoch moves the writer's fence forward (called when the node
+// adopts a new ring). Lowering it is allowed only in tests; real
+// callers advance monotonically alongside State.
+func (s *FencedStore) SetEpoch(e uint64) { s.epoch.Store(e) }
+
+// Epoch returns the writer's current fence epoch.
+func (s *FencedStore) Epoch() uint64 { return s.epoch.Load() }
+
+// Save persists snapshot under the current epoch, refusing if the store
+// already holds a strictly newer epoch for the stream.
+func (s *FencedStore) Save(stream string, snapshot []byte) error {
+	mine := s.epoch.Load()
+	if _, stored, ok, err := s.load(stream); err == nil && ok && stored > mine {
+		return fmt.Errorf("%w: store holds epoch %d for %q, writer at %d",
+			ErrStaleEpoch, stored, stream, mine)
+	} else if err != nil {
+		// A corrupt fence prefix blocks the write too — overwriting it
+		// blind could mask a newer owner's snapshot.
+		return err
+	}
+	enc := state.AppendTo(make([]byte, 0, 2+8+4+len(snapshot)))
+	enc.Section(TagFence, fenceVersion)
+	enc.U64(mine)
+	enc.Blob(snapshot)
+	return s.inner.Save(stream, enc.Bytes())
+}
+
+// Load returns the stream's snapshot with the fence prefix stripped.
+// Payloads without a fence section (checkpoints from a pre-cluster
+// single-node run) pass through unchanged, so pointing a cluster at an
+// existing state dir adopts it.
+func (s *FencedStore) Load(stream string) ([]byte, bool, error) {
+	snap, _, ok, err := s.load(stream)
+	return snap, ok, err
+}
+
+// LoadEpoch reports the epoch recorded for a stream (0 for unfenced
+// legacy payloads).
+func (s *FencedStore) LoadEpoch(stream string) (uint64, bool, error) {
+	_, epoch, ok, err := s.load(stream)
+	return epoch, ok, err
+}
+
+func (s *FencedStore) load(stream string) (snap []byte, epoch uint64, ok bool, err error) {
+	raw, ok, err := s.inner.Load(stream)
+	if err != nil || !ok {
+		return nil, 0, ok, err
+	}
+	if len(raw) == 0 || raw[0] != TagFence {
+		return raw, 0, true, nil // legacy unfenced snapshot
+	}
+	dec := state.NewDecoder(raw)
+	dec.Section(TagFence, fenceVersion)
+	epoch = dec.U64()
+	snap = dec.Bytes()
+	if err := dec.Finish(); err != nil {
+		return nil, 0, true, fmt.Errorf("%w: fence prefix for %q: %w",
+			fleet.ErrSnapshotCorrupt, stream, err)
+	}
+	return snap, epoch, true, nil
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// State is a node's live view of the ring: an atomic holder the ingest
+// hot path reads lock-free on every frame, advanced only by control-
+// plane traffic (ASSIGN frames, admin endpoints).
+//
+// Advancement is monotone: a ring is adopted only if its epoch is
+// strictly higher than the current one. An equal-epoch ring with
+// identical membership is an idempotent no-op (the same assignment
+// arriving twice); anything else at an equal or lower epoch is rejected
+// with ErrStaleEpoch. A node can therefore never flap between two views
+// of ownership, which is what makes the REDIRECT answer trustworthy.
+type State struct {
+	ring atomic.Pointer[Ring]
+}
+
+// NewState returns a State holding the initial ring.
+func NewState(r *Ring) *State {
+	s := &State{}
+	s.ring.Store(r)
+	return s
+}
+
+// Ring returns the current ring. Never nil.
+func (s *State) Ring() *Ring { return s.ring.Load() }
+
+// Epoch returns the current ring's epoch.
+func (s *State) Epoch() uint64 { return s.Ring().Epoch() }
+
+// Advance adopts next if it is newer than the current ring. It returns
+// (true, nil) when the view changed, (false, nil) for an idempotent
+// replay of the current assignment, and (false, ErrStaleEpoch) when
+// next is older or conflicts at the same epoch.
+func (s *State) Advance(next *Ring) (bool, error) {
+	for {
+		cur := s.ring.Load()
+		switch {
+		case next.Epoch() > cur.Epoch():
+			if s.ring.CompareAndSwap(cur, next) {
+				return true, nil
+			}
+			// Lost a race with another advancement; re-evaluate.
+		case next.Epoch() == cur.Epoch() && next.SameMembers(cur):
+			return false, nil
+		default:
+			return false, fmt.Errorf("%w: assignment epoch %d, current %d",
+				ErrStaleEpoch, next.Epoch(), cur.Epoch())
+		}
+	}
+}

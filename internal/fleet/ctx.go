@@ -55,6 +55,9 @@ func (f *Fleet) SendCtx(ctx context.Context, b Batch) error {
 			return err
 		}
 	}
+	if err := f.admitOwned(b.Stream); err != nil {
+		return err
+	}
 	sh := f.shardFor(b.Stream)
 	msg := shardMsg{kind: msgBatch, batch: b}
 	if f.cfg.Overload == OverloadReject {

@@ -227,6 +227,9 @@ const (
 	msgStreamErr
 	msgCheckpoint
 	msgClassStats
+	msgDetach
+	msgAdopt
+	msgStreams
 	msgClose
 )
 
@@ -237,8 +240,9 @@ type shardMsg struct {
 	run        []Batch // msgRun: batches in send order, all owned by this shard
 	runRelease func()  // msgRun: invoked after the whole run is consumed
 
-	stream string           // msgReport, msgStreamErr
-	report chan shardReport // msgReport, msgSnapshot, msgStreamErr
+	stream string           // msgReport, msgStreamErr, msgDetach, msgAdopt
+	snap   []byte           // msgAdopt: snapshot to restore (nil = from store)
+	report chan shardReport // msgReport, msgSnapshot, msgStreamErr, msgDetach, msgAdopt, msgStreams
 
 	done    chan struct{} // msgFlush, msgClose: ack
 	release chan struct{} // msgSnapshot: barrier release
@@ -246,8 +250,11 @@ type shardMsg struct {
 
 type shardReport struct {
 	reports map[string]core.Report
-	err     error // msgStreamErr
+	err     error // msgStreamErr, msgDetach, msgAdopt
 	ok      bool
+
+	snap    []byte   // msgDetach: the drained stream's serialized state
+	streams []string // msgStreams
 
 	cstats ClassifierStats // msgClassStats
 }
@@ -306,6 +313,11 @@ type streamEntry struct {
 	// error is never cleared by later successes (StreamErr must keep
 	// reporting that the sequence is incomplete).
 	dropped bool
+	// detached latches when the stream is handed off to another node
+	// (DetachStream): any batch that was already in the shard queue when
+	// the handoff fenced the stream is dropped and counted rather than
+	// applied to state the new owner already took over.
+	detached bool
 }
 
 // shardPoolCap bounds each shard's pool of tracker shells. Eviction
@@ -375,6 +387,13 @@ type Fleet struct {
 	// resident counts live trackers across all shards (observability;
 	// the enforcement is per-shard quotas).
 	resident atomic.Int64
+
+	// detachedSet fences streams handed off to other nodes: Send rejects
+	// them with ErrNotOwned. hasDetached makes the common case — no
+	// handoff ever happened — one atomic load on the ingest hot path.
+	hasDetached atomic.Bool
+	detachedMu  sync.Mutex
+	detachedSet map[string]struct{}
 
 	// errMu guards firstErr, the first store failure observed by any
 	// shard.
@@ -505,6 +524,9 @@ func (f *Fleet) Send(b Batch) error {
 			return err
 		}
 	}
+	if err := f.admitOwned(b.Stream); err != nil {
+		return err
+	}
 	sh := f.shardFor(b.Stream)
 	msg := shardMsg{kind: msgBatch, batch: b}
 	if f.cfg.Overload == OverloadReject {
@@ -531,6 +553,9 @@ func (f *Fleet) TrySend(b Batch) error {
 		if err := f.quar.admit(b.Stream); err != nil {
 			return err
 		}
+	}
+	if err := f.admitOwned(b.Stream); err != nil {
+		return err
 	}
 	select {
 	case f.shardFor(b.Stream).ch <- shardMsg{kind: msgBatch, batch: b}:
@@ -607,6 +632,10 @@ func (f *Fleet) TrySendRun(run []Batch, release func()) (rejected []RunReject, e
 				rejected = append(rejected, RunReject{Index: i, Batch: run[i], Err: aerr})
 				continue
 			}
+		}
+		if aerr := f.admitOwned(run[i].Stream); aerr != nil {
+			rejected = append(rejected, RunReject{Index: i, Batch: run[i], Err: aerr})
+			continue
 		}
 		run[n] = run[i]
 		n++
@@ -777,6 +806,18 @@ func (f *Fleet) run(sh *shard) {
 			<-msg.release
 		case msgCheckpoint:
 			msg.report <- shardReport{err: f.checkpoint(sh)}
+		case msgDetach:
+			msg.report <- f.detachStream(sh, msg.stream)
+		case msgAdopt:
+			msg.report <- f.adoptStream(sh, msg.stream, msg.snap)
+		case msgStreams:
+			names := make([]string, 0, len(sh.streams))
+			for name, e := range sh.streams {
+				if !e.detached {
+					names = append(names, name)
+				}
+			}
+			msg.report <- shardReport{ok: true, streams: names}
 		case msgClassStats:
 			var cs ClassifierStats
 			for _, e := range sh.streams {
@@ -993,6 +1034,18 @@ func (f *Fleet) applyEntry(sh *shard, b Batch, e *streamEntry) {
 	// dropped — so the producer's buffer hand-back fires exactly once.
 	if b.Recycle != nil {
 		defer b.Recycle()
+	}
+	if e.detached {
+		// Admitted under the old owner, enqueued after the handoff
+		// fence: the new owner already took the state, so applying here
+		// would silently fork the stream. Drop loudly instead.
+		e.dropped = true
+		if e.err == nil {
+			e.err = fmt.Errorf("stream %q: batch dropped after handoff: %w", b.Stream, ErrNotOwned)
+		}
+		f.metrics.droppedBatches.Add(1)
+		f.metrics.notOwnedDrops.Add(1)
+		return
 	}
 	t, err := f.residentTracker(sh, b.Stream, e)
 	if err != nil {

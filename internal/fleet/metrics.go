@@ -21,6 +21,10 @@ type metrics struct {
 	quarantineRejects  atomic.Uint64
 	readmissions       atomic.Uint64
 	canceledOps        atomic.Uint64
+	detaches           atomic.Uint64
+	adopts             atomic.Uint64
+	notOwnedRejects    atomic.Uint64
+	notOwnedDrops      atomic.Uint64
 }
 
 // MetricsSnapshot is a point-in-time copy of the Fleet's fault and
@@ -68,6 +72,16 @@ type MetricsSnapshot struct {
 	// CanceledOps counts ctx-bounded operations (SendCtx, FlushCtx,
 	// SnapshotCtx, ...) abandoned with ErrCanceled or ErrDeadline.
 	CanceledOps uint64
+	// Detaches / Adopts count completed stream handoffs out of and into
+	// this Fleet (DetachStream / AdoptStream).
+	Detaches uint64
+	Adopts   uint64
+	// NotOwnedRejects counts batches refused at Send with ErrNotOwned
+	// (stream detached); NotOwnedDrops counts batches that slipped into
+	// a shard queue before the handoff fence landed and were dropped
+	// (also counted in DroppedBatches).
+	NotOwnedRejects uint64
+	NotOwnedDrops   uint64
 	// Overshoot is the number of resident trackers currently above
 	// MaxResident (0 when no limit is set or the fleet is within it).
 	Overshoot int
@@ -91,6 +105,10 @@ func (f *Fleet) Metrics() MetricsSnapshot {
 		QuarantineRejects:  f.metrics.quarantineRejects.Load(),
 		Readmissions:       f.metrics.readmissions.Load(),
 		CanceledOps:        f.metrics.canceledOps.Load(),
+		Detaches:           f.metrics.detaches.Load(),
+		Adopts:             f.metrics.adopts.Load(),
+		NotOwnedRejects:    f.metrics.notOwnedRejects.Load(),
+		NotOwnedDrops:      f.metrics.notOwnedDrops.Load(),
 	}
 	if f.cfg.MaxResident > 0 {
 		if over := f.Resident() - f.cfg.MaxResident; over > 0 {

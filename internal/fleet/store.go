@@ -3,9 +3,9 @@ package fleet
 import (
 	"fmt"
 	"hash/crc32"
-	"net/url"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -183,11 +183,102 @@ func (s *FileStore) SetSizeLimit(n int64) { s.limit = n }
 // quarantined.
 func (s *FileStore) Recovered() RecoveryStats { return s.stats }
 
-// path maps a stream name to its snapshot file. Names are URL-escaped
-// so arbitrary stream identifiers (slashes, dots, spaces) cannot walk
-// out of the directory or collide.
+// streamSafe reports whether a stream-ID byte maps to itself in a
+// snapshot filename.
+func streamSafe(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-' || c == '_'
+}
+
+const hexUpper = "0123456789ABCDEF"
+
+// escapeStream maps an arbitrary stream ID injectively onto a safe
+// filename stem: every byte outside [A-Za-z0-9_-] becomes %XX. A
+// cluster's shared store sees stream names chosen by remote clients, so
+// the escaping must be airtight, not merely URL-safe: '.' is escaped
+// too, which keeps hostile IDs ("..", "/etc/passwd", ".tmp-evil") from
+// walking out of the directory, colliding with the recovery scan's
+// ".tmp-*" orphan pattern, or confusing extension matching. '%' is
+// escaped as well, making the mapping reversible (unescapeStream).
+func escapeStream(stream string) string {
+	n := 0
+	for i := 0; i < len(stream); i++ {
+		if !streamSafe(stream[i]) {
+			n++
+		}
+	}
+	if n == 0 {
+		return stream
+	}
+	out := make([]byte, 0, len(stream)+2*n)
+	for i := 0; i < len(stream); i++ {
+		c := stream[i]
+		if streamSafe(c) {
+			out = append(out, c)
+		} else {
+			out = append(out, '%', hexUpper[c>>4], hexUpper[c&0xf])
+		}
+	}
+	return string(out)
+}
+
+// unescapeStream inverts escapeStream, recovering a stream ID from a
+// snapshot filename stem.
+func unescapeStream(stem string) (string, error) {
+	if !strings.ContainsRune(stem, '%') {
+		return stem, nil
+	}
+	out := make([]byte, 0, len(stem))
+	for i := 0; i < len(stem); i++ {
+		c := stem[i]
+		if c != '%' {
+			out = append(out, c)
+			continue
+		}
+		if i+2 >= len(stem) {
+			return "", fmt.Errorf("fleet: truncated escape in snapshot name %q", stem)
+		}
+		hi := strings.IndexByte(hexUpper, stem[i+1])
+		lo := strings.IndexByte(hexUpper, stem[i+2])
+		if hi < 0 || lo < 0 {
+			return "", fmt.Errorf("fleet: bad escape %q in snapshot name %q", stem[i:i+3], stem)
+		}
+		out = append(out, byte(hi<<4|lo))
+		i += 2
+	}
+	return string(out), nil
+}
+
+// path maps a stream name to its snapshot file. Names are round-trip
+// escaped (escapeStream) so arbitrary stream identifiers cannot walk
+// out of the directory or collide with each other, the orphan pattern,
+// or the quarantine subdirectory.
 func (s *FileStore) path(stream string) string {
-	return filepath.Join(s.dir, url.QueryEscape(stream)+".pkst")
+	return filepath.Join(s.dir, escapeStream(stream)+".pkst")
+}
+
+// List returns the stream IDs with a snapshot in the store — the
+// takeover inventory: when a node dies, the survivor lists the shared
+// store to find the streams it must adopt. Filenames that do not
+// round-trip (foreign files in the directory) are skipped.
+func (s *FileStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: scanning state dir: %w", err)
+	}
+	var out []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || filepath.Ext(name) != ".pkst" {
+			continue
+		}
+		stream, err := unescapeStream(strings.TrimSuffix(name, ".pkst"))
+		if err != nil {
+			continue
+		}
+		out = append(out, stream)
+	}
+	return out, nil
 }
 
 // quarantine moves a damaged file into the quarantine subdirectory,

@@ -2,8 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 
+	"phasekit/internal/cluster"
 	"phasekit/internal/fleet"
 )
 
@@ -14,7 +16,22 @@ import (
 //	GET /readyz  — readiness: 200 while accepting and not draining,
 //	               503 otherwise (load balancers stop routing new
 //	               connections during drain).
-//	GET /metricz — a JSON snapshot of server and fleet counters.
+//	GET /metricz — a JSON snapshot of server and fleet counters (plus
+//	               the cluster view when clustered).
+//
+// In cluster mode (Config.Cluster set) it is also the admin endpoint
+// phasekitctl drives:
+//
+//	GET  /clusterz           — node ID, ring epoch, membership, stream
+//	                           and handoff counters.
+//	POST /cluster/join       — ?id=&addr=: add (or re-address) a member
+//	                           and rebalance toward it.
+//	POST /cluster/leave      — ?id=: remove a member; if it is still
+//	                           alive it ships its streams first.
+//	POST /cluster/rebalance  — renumber the membership to a fresh epoch
+//	                           (fences stale writers; no streams move).
+//
+// The admin verbs respond with the new assignment as JSON.
 func (s *Server) HealthHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -31,11 +48,96 @@ func (s *Server) HealthHandler() http.Handler {
 	})
 	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		var cl *cluster.Status
+		if s.cfg.Cluster != nil {
+			st := s.cfg.Cluster.Status()
+			cl = &st
+		}
 		json.NewEncoder(w).Encode(struct {
 			Server     Metrics
 			Fleet      any
 			Classifier fleet.ClassifierStats
-		}{s.Metrics(), s.cfg.Fleet.Metrics(), s.cfg.Fleet.ClassifierStats()})
+			Cluster    *cluster.Status `json:",omitempty"`
+		}{s.Metrics(), s.cfg.Fleet.Metrics(), s.cfg.Fleet.ClassifierStats(), cl})
 	})
+	if s.cfg.Cluster != nil {
+		s.clusterRoutes(mux)
+	}
 	return mux
+}
+
+// clusterRoutes mounts the cluster admin verbs.
+func (s *Server) clusterRoutes(mux *http.ServeMux) {
+	co := s.cfg.Cluster
+	writeRing := func(w http.ResponseWriter, ring *cluster.Ring) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Epoch uint64
+			Nodes []cluster.Node
+		}{ring.Epoch(), ring.Nodes()})
+	}
+	fail := func(w http.ResponseWriter, err error) {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, cluster.ErrUnknownNode), errors.Is(err, cluster.ErrDuplicateNode):
+			code = http.StatusBadRequest
+		case errors.Is(err, cluster.ErrStaleEpoch):
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+	}
+	post := func(w http.ResponseWriter, r *http.Request) bool {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return false
+		}
+		return true
+	}
+	mux.HandleFunc("/clusterz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(co.Status())
+	})
+	mux.HandleFunc("/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		if !post(w, r) {
+			return
+		}
+		id, addr := r.FormValue("id"), r.FormValue("addr")
+		if id == "" || addr == "" {
+			http.Error(w, "need id and addr", http.StatusBadRequest)
+			return
+		}
+		ring, err := co.HandleJoin(cluster.Node{ID: id, Addr: addr})
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeRing(w, ring)
+	})
+	mux.HandleFunc("/cluster/leave", func(w http.ResponseWriter, r *http.Request) {
+		if !post(w, r) {
+			return
+		}
+		id := r.FormValue("id")
+		if id == "" {
+			http.Error(w, "need id", http.StatusBadRequest)
+			return
+		}
+		ring, err := co.HandleLeave(id)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeRing(w, ring)
+	})
+	mux.HandleFunc("/cluster/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		if !post(w, r) {
+			return
+		}
+		ring, err := co.Rebalance()
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeRing(w, ring)
+	})
 }

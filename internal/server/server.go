@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"phasekit/internal/cluster"
 	"phasekit/internal/core"
 	"phasekit/internal/fleet"
 	"phasekit/internal/trace"
@@ -79,6 +80,13 @@ type Config struct {
 	// MaxFrame bounds the accepted frame payload size. 0 means
 	// wire.DefaultMaxFrame.
 	MaxFrame int
+	// Cluster, if non-nil, makes the server a cluster member: batches
+	// for streams the ring assigns elsewhere are answered with
+	// NACK(REDIRECT, owner-addr) instead of ingested, and the control
+	// frames (JOIN, ASSIGN, HANDOFF_SNAPSHOT) are dispatched to the
+	// coordinator. Nil means standalone — the ownership check costs one
+	// branch.
+	Cluster *cluster.Coordinator
 	// Logf, if non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -135,6 +143,11 @@ type Metrics struct {
 	// single-frame path.
 	Bursts      uint64
 	BurstFrames uint64
+	// Redirects counts batches NACKed to their owning node; Handoffs
+	// counts stream snapshots accepted from a previous owner. Both stay
+	// zero outside cluster mode.
+	Redirects uint64
+	Handoffs  uint64
 }
 
 // Server serves the wire ingest protocol over TCP. Create with New,
@@ -155,7 +168,7 @@ type Server struct {
 	draining atomic.Bool
 
 	conns64, frames, acks, nacks, malformed, dead atomic.Uint64
-	bursts, burstFrames                           atomic.Uint64
+	bursts, burstFrames, redirects, handoffs      atomic.Uint64
 }
 
 // New returns an unstarted server.
@@ -201,6 +214,8 @@ func (s *Server) Metrics() Metrics {
 		DeadConns:   s.dead.Load(),
 		Bursts:      s.bursts.Load(),
 		BurstFrames: s.burstFrames.Load(),
+		Redirects:   s.redirects.Load(),
+		Handoffs:    s.handoffs.Load(),
 	}
 }
 
@@ -338,13 +353,16 @@ type runBuf struct {
 
 // Slot resolution states for one burst frame. A frame enters the burst
 // as slotBatch (outcome pending its run's enqueue), slotDone (outcome
-// already known), or slotMalformed (decode failure, NackMalformed);
-// enqueueRun moves every slotBatch to slotDone before responses are
-// built.
+// already known), slotMalformed (decode failure, NackMalformed),
+// slotRedirect (stream owned elsewhere, NackRedirect), or slotControl
+// (cluster control frame, response already encoded); enqueueRun moves
+// every slotBatch to slotDone before responses are built.
 const (
 	slotBatch uint8 = iota
 	slotDone
 	slotMalformed
+	slotRedirect
+	slotControl
 )
 
 // frameSlot is one burst frame's pending response, kept in arrival
@@ -353,9 +371,10 @@ const (
 type frameSlot struct {
 	seq    uint64
 	err    error  // slotDone: ingest outcome (nil = ack)
-	detail string // slotMalformed: decode error text
+	detail string // slotMalformed: decode error text; slotRedirect: owner addr
+	stream string // slotBatch/slotDone: interned stream (redirect answer on ErrNotOwned)
 	shard  int32  // slotBatch: owning shard
-	runIdx int32  // slotBatch: index within the shard's staged run
+	runIdx int32  // slotBatch: index within the staged run; slotControl: cs.ctrl index
 	kind   uint8
 }
 
@@ -372,6 +391,7 @@ type connState struct {
 	runs    []*runBuf // staged run per fleet shard; nil when empty
 	runFree chan *runBuf
 	slots   []frameSlot
+	ctrl    [][]byte // encoded control-frame responses, indexed by slotControl slots
 }
 
 func newConnState(shards int) *connState {
@@ -546,6 +566,13 @@ func (s *Server) handleFrame(cs *connState, payload, wbuf []byte) []byte {
 	}
 	switch fr.Tag {
 	case wire.TagBatch:
+		if s.cfg.Cluster != nil {
+			if addr, remote := s.cfg.Cluster.OwnerIfRemote(fr.Stream); remote {
+				buf.recycle()
+				s.redirects.Add(1)
+				return s.nack(wbuf, fr.Seq, wire.NackRedirect, addr)
+			}
+		}
 		b := fleet.Batch{
 			Stream:      cs.internStream(fr.Stream),
 			Cycles:      fr.Cycles,
@@ -566,17 +593,85 @@ func (s *Server) handleFrame(cs *connState, payload, wbuf []byte) []byte {
 			// The batch never reached a shard; the buffer is still ours.
 			buf.recycle()
 		}
-		return s.ingestResult(wbuf, fr.Seq, err)
+		return s.ingestResult(wbuf, fr.Seq, err, b.Stream)
 	case wire.TagFlush:
 		buf.recycle()
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.IngestTimeout)
 		err := s.cfg.Fleet.FlushCtx(ctx)
 		cancel()
-		return s.ingestResult(wbuf, fr.Seq, err)
+		return s.ingestResult(wbuf, fr.Seq, err, "")
+	case wire.TagJoin, wire.TagAssign, wire.TagHandoffSnapshot:
+		// fr.Stream and fr.Snap are views into payload, valid for the
+		// synchronous dispatch; buf carried no events for these tags.
+		buf.recycle()
+		return s.controlFrame(fr, wbuf)
 	}
 	// Ack/Nack from a client are protocol misuse but harmless; ignore.
 	buf.recycle()
 	return wbuf
+}
+
+// controlFrame dispatches one cluster control frame to the coordinator
+// and encodes its response. Control traffic is rare (per membership
+// change, not per batch), so this path may allocate.
+func (s *Server) controlFrame(fr wire.FrameView, wbuf []byte) []byte {
+	co := s.cfg.Cluster
+	if co == nil {
+		return s.nack(wbuf, fr.Seq, wire.NackInternal, "not a cluster member")
+	}
+	switch fr.Tag {
+	case wire.TagJoin:
+		ring, err := co.HandleJoin(cluster.Node{ID: fr.Node.ID, Addr: fr.Node.Addr})
+		if err != nil {
+			return s.nack(wbuf, fr.Seq, clusterNackCode(err), err.Error())
+		}
+		s.acks.Add(1)
+		return wire.AppendAssignFrame(wbuf, fr.Seq, cluster.InfoFromRing(ring))
+	case wire.TagAssign:
+		next, err := cluster.RingFromInfo(fr.Ring)
+		if err != nil {
+			return s.nack(wbuf, fr.Seq, wire.NackMalformed, err.Error())
+		}
+		if _, err := co.ApplyAssign(next); err != nil {
+			return s.nack(wbuf, fr.Seq, clusterNackCode(err), err.Error())
+		}
+		s.acks.Add(1)
+		return wire.AppendAckFrame(wbuf, fr.Seq)
+	default: // wire.TagHandoffSnapshot
+		if err := co.AcceptHandoff(fr.Epoch, string(fr.Stream), fr.Snap); err != nil {
+			return s.nack(wbuf, fr.Seq, clusterNackCode(err), err.Error())
+		}
+		s.handoffs.Add(1)
+		s.acks.Add(1)
+		return wire.AppendHandoffAckFrame(wbuf, fr.Seq, fr.Epoch)
+	}
+}
+
+// clusterNackCode maps a coordinator error onto the protocol.
+func clusterNackCode(err error) uint8 {
+	if errors.Is(err, cluster.ErrStaleEpoch) {
+		return wire.NackStaleEpoch
+	}
+	return wire.NackInternal
+}
+
+// awaitRedirect answers a batch that hit the fleet's handoff fence
+// (fleet.ErrNotOwned). The fence goes up before the ring flips — so the
+// stream's snapshot reaches its new owner before any client is sent
+// there — which means the right answer here is usually "wait a moment,
+// then redirect". Bounded by the ingest timeout, like any other
+// backpressure wait.
+func (s *Server) awaitRedirect(stream string) (addr string, ok bool) {
+	deadline := time.Now().Add(s.cfg.IngestTimeout)
+	for {
+		if addr, remote := s.cfg.Cluster.OwnerIfRemoteString(stream); remote {
+			return addr, true
+		}
+		if s.draining.Load() || time.Now().After(deadline) {
+			return "", false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // stageFrame decodes one frame of a burst and stages its effect:
@@ -603,6 +698,14 @@ func (s *Server) stageFrame(cs *connState, payload []byte) {
 	}
 	switch fr.Tag {
 	case wire.TagBatch:
+		if s.cfg.Cluster != nil {
+			if addr, remote := s.cfg.Cluster.OwnerIfRemote(fr.Stream); remote {
+				buf.recycle()
+				s.redirects.Add(1)
+				cs.slots = append(cs.slots, frameSlot{seq: fr.Seq, kind: slotRedirect, detail: addr})
+				return
+			}
+		}
 		b := fleet.Batch{
 			Stream:      cs.internStream(fr.Stream),
 			Cycles:      fr.Cycles,
@@ -620,9 +723,19 @@ func (s *Server) stageFrame(cs *connState, payload []byte) {
 		cs.slots = append(cs.slots, frameSlot{
 			seq:    fr.Seq,
 			kind:   slotBatch,
+			stream: b.Stream,
 			shard:  int32(si),
 			runIdx: int32(len(rb.batches) - 1),
 		})
+	case wire.TagJoin, wire.TagAssign, wire.TagHandoffSnapshot:
+		buf.recycle()
+		// Barrier, like a flush: staged batches must reach their shards
+		// before ownership changes, so they land in the snapshot of any
+		// stream about to migrate rather than behind its fence.
+		s.enqueueRuns(cs)
+		resp := s.controlFrame(fr, nil)
+		cs.slots = append(cs.slots, frameSlot{seq: fr.Seq, kind: slotControl, runIdx: int32(len(cs.ctrl))})
+		cs.ctrl = append(cs.ctrl, resp)
 	case wire.TagFlush:
 		buf.recycle()
 		// Barrier: staged batches must reach their shard queues before
@@ -735,18 +848,28 @@ func (s *Server) flushBurst(cs *connState, wbuf []byte) []byte {
 		sl := &cs.slots[i]
 		switch sl.kind {
 		case slotDone:
-			wbuf = s.ingestResult(wbuf, sl.seq, sl.err)
+			wbuf = s.ingestResult(wbuf, sl.seq, sl.err, sl.stream)
 		case slotMalformed:
 			wbuf = s.nack(wbuf, sl.seq, wire.NackMalformed, sl.detail)
+		case slotRedirect:
+			wbuf = s.nack(wbuf, sl.seq, wire.NackRedirect, sl.detail)
+		case slotControl:
+			wbuf = append(wbuf, cs.ctrl[sl.runIdx]...)
 		}
-		sl.err, sl.detail = nil, "" // drop references for reuse
+		sl.err, sl.detail, sl.stream = nil, "", "" // drop references for reuse
 	}
 	cs.slots = cs.slots[:0]
+	for i := range cs.ctrl {
+		cs.ctrl[i] = nil
+	}
+	cs.ctrl = cs.ctrl[:0]
 	return wbuf
 }
 
-// ingestResult maps a fleet error onto the protocol response.
-func (s *Server) ingestResult(wbuf []byte, seq uint64, err error) []byte {
+// ingestResult maps a fleet error onto the protocol response. stream
+// is the batch's stream for errors whose answer depends on it (empty
+// for flushes).
+func (s *Server) ingestResult(wbuf []byte, seq uint64, err error, stream string) []byte {
 	switch {
 	case err == nil:
 		s.acks.Add(1)
@@ -755,6 +878,17 @@ func (s *Server) ingestResult(wbuf []byte, seq uint64, err error) []byte {
 		return s.nack(wbuf, seq, wire.NackOverload, "ingest queue full")
 	case errors.Is(err, fleet.ErrQuarantined):
 		return s.nack(wbuf, seq, wire.NackQuarantined, err.Error())
+	case errors.Is(err, fleet.ErrNotOwned):
+		// The stream's handoff fence went up after this batch passed the
+		// entry ownership check: ownership is moving right now. Hold on
+		// until the ring flips, then send the client to the new owner.
+		if s.cfg.Cluster != nil && stream != "" {
+			if addr, ok := s.awaitRedirect(stream); ok {
+				s.redirects.Add(1)
+				return s.nack(wbuf, seq, wire.NackRedirect, addr)
+			}
+		}
+		return s.nack(wbuf, seq, wire.NackInternal, err.Error())
 	case errors.Is(err, fleet.ErrDeadline), errors.Is(err, fleet.ErrCanceled):
 		if s.draining.Load() {
 			return s.nack(wbuf, seq, wire.NackShutdown, "server draining")

@@ -82,6 +82,14 @@ func (e *Encoder) String(s string) {
 	e.buf = append(e.buf, s...)
 }
 
+// Blob writes a length-prefixed byte field — the encode counterpart of
+// Decoder.Bytes, for payloads that embed opaque byte strings (snapshot
+// blobs in handoff frames) without a string conversion.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
 // U16s writes a length-prefixed []uint16.
 func (e *Encoder) U16s(v []uint16) {
 	e.U32(uint32(len(v)))

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -25,12 +26,64 @@ func (e *NackError) Error() string {
 		NackCodeString(e.Code), e.Seq, e.Detail)
 }
 
+// maxRedirectHops bounds how many times one batch may be redirected
+// before the client gives up — a guard against two nodes that each
+// believe the other owns a stream (which a consistent ring never
+// produces, but a partitioned cluster might transiently).
+const maxRedirectHops = 4
+
+// inflight is one frame awaiting its response. frame is non-nil only
+// in redirect-following mode: the raw encoded bytes are retained so a
+// REDIRECT nack can re-send them to the owner verbatim (with the seq
+// patched in place) instead of asking the caller to replay.
+type inflight struct {
+	seq    uint64
+	stream string
+	frame  []byte
+	hops   uint8
+}
+
+// seqOffset is where the seq field sits in a raw frame: 4 length bytes,
+// then tag and version, then the little-endian uint64.
+const seqOffset = 6
+
+// router is the state shared between a primary Client and the
+// per-owner sub-clients it opens while following redirects: learned
+// stream routes, open peer connections, and a free list of retained
+// frame buffers.
+type router struct {
+	dial      func(addr string, timeout time.Duration) (*Client, error)
+	peers     map[string]*Client // owner addr -> sub-client
+	routes    map[string]string  // stream -> owner addr
+	all       []*Client          // primary first, then sub-clients
+	free      [][]byte           // recycled retained-frame buffers
+	redirects uint64             // redirect hops followed
+}
+
+const routerFreeCap = 64
+
+func (rt *router) retain(frame []byte) []byte {
+	var buf []byte
+	if n := len(rt.free); n > 0 {
+		buf, rt.free = rt.free[n-1], rt.free[:n-1]
+	}
+	return append(buf, frame...)
+}
+
 // Client speaks the ingest protocol over one connection. SendBatch and
 // Flush are synchronous (one frame in flight); QueueBatch pipelines up
 // to Window frames before blocking on the oldest response. A Client is
 // not safe for concurrent use. Frames go down the wire in call order
 // either way, so per-stream batch ordering follows call order,
 // matching the Fleet's Send contract.
+//
+// Against a cluster, call FollowRedirects once after dialing any node:
+// REDIRECT nacks are then handled inside the client — the refused
+// frames are re-sent to the owning node in their original order, the
+// stream's route is learned so later batches go straight there, and
+// the caller never sees the topology. Without FollowRedirects the
+// client stays zero-retention: a REDIRECT surfaces as a plain
+// *NackError.
 type Client struct {
 	conn    net.Conn
 	br      *bufio.Reader
@@ -38,7 +91,9 @@ type Client struct {
 	wbuf    []byte
 	rbuf    []byte
 	seq     uint64
-	pending []uint64
+	addr    string
+	pending []inflight
+	rt      *router // nil unless FollowRedirects was called
 	// Timeout bounds each request/response round trip via connection
 	// deadlines. 0 means no deadline.
 	Timeout time.Duration
@@ -58,7 +113,12 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, timeout)
+	c, err := NewClient(conn, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.addr = addr
+	return c, nil
 }
 
 // NewClient wraps an established connection, sending the magic. The
@@ -70,6 +130,9 @@ func NewClient(conn net.Conn, timeout time.Duration) (*Client, error) {
 		bw:       bufio.NewWriterSize(conn, 1<<16),
 		Timeout:  timeout,
 		maxFrame: DefaultMaxFrame,
+	}
+	if ra := conn.RemoteAddr(); ra != nil {
+		c.addr = ra.String()
 	}
 	if err := c.deadline(); err != nil {
 		conn.Close()
@@ -86,6 +149,67 @@ func NewClient(conn net.Conn, timeout time.Duration) (*Client, error) {
 	return c, nil
 }
 
+// FollowRedirects makes the client cluster-aware: REDIRECT nacks cause
+// the refused frames to be re-queued, in order, on a connection to the
+// owning node (dialed on demand with dial; nil means Dial with this
+// client's Timeout), and the stream's route is remembered for
+// subsequent batches. Call it once, before the first batch; it is not
+// meaningful on a sub-client.
+func (c *Client) FollowRedirects(dial func(addr string, timeout time.Duration) (*Client, error)) {
+	if c.rt != nil {
+		return
+	}
+	if dial == nil {
+		dial = Dial
+	}
+	c.rt = &router{
+		dial:   dial,
+		peers:  map[string]*Client{},
+		routes: map[string]string{},
+	}
+	c.rt.all = append(c.rt.all, c)
+}
+
+// Redirects reports how many redirect hops the client has followed.
+func (c *Client) Redirects() uint64 {
+	if c.rt == nil {
+		return 0
+	}
+	return c.rt.redirects
+}
+
+// peer returns (dialing if needed) the sub-client for an owner address.
+func (rt *router) peer(addr string, like *Client) (*Client, error) {
+	if p, ok := rt.peers[addr]; ok {
+		return p, nil
+	}
+	p, err := rt.dial(addr, like.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: following redirect to %s: %w", addr, err)
+	}
+	p.addr = addr
+	p.rt = rt
+	p.Window = like.Window
+	p.Timeout = like.Timeout
+	p.maxFrame = like.maxFrame
+	rt.peers[addr] = p
+	rt.all = append(rt.all, p)
+	return p, nil
+}
+
+// target picks the connection a stream's next batch should ride:
+// the learned owner if a redirect taught us one, else this client.
+func (c *Client) target(stream string) (*Client, error) {
+	if c.rt == nil {
+		return c, nil
+	}
+	addr, ok := c.rt.routes[stream]
+	if !ok || addr == c.addr {
+		return c, nil
+	}
+	return c.rt.peer(addr, c)
+}
+
 func (c *Client) deadline() error {
 	if c.Timeout <= 0 {
 		return c.conn.SetDeadline(time.Time{})
@@ -93,45 +217,61 @@ func (c *Client) deadline() error {
 	return c.conn.SetDeadline(time.Now().Add(c.Timeout))
 }
 
-// roundTrip writes the frame staged in wbuf and waits for the matching
-// Ack or Nack.
-func (c *Client) roundTrip(seq uint64) error {
+// roundTripFrame writes the frame staged in wbuf and returns the
+// response frame. A Nack response is returned as *NackError.
+func (c *Client) roundTripFrame() (Frame, error) {
 	if err := c.deadline(); err != nil {
-		return err
+		return Frame{}, err
 	}
 	if _, err := c.bw.Write(c.wbuf); err != nil {
-		return err
+		return Frame{}, err
 	}
 	if err := c.bw.Flush(); err != nil {
-		return err
+		return Frame{}, err
 	}
 	payload, err := ReadFrame(c.br, c.rbuf, c.maxFrame)
 	if err != nil {
 		if err == io.EOF {
-			return io.ErrUnexpectedEOF
+			return Frame{}, io.ErrUnexpectedEOF
 		}
-		return err
+		return Frame{}, err
 	}
 	c.rbuf = payload[:0]
 	fr, err := DecodeFrame(payload)
 	if err != nil {
+		return Frame{}, err
+	}
+	if fr.Tag == TagNack {
+		return fr, &NackError{Seq: fr.Seq, Code: fr.Code, Detail: fr.Detail}
+	}
+	return fr, nil
+}
+
+// roundTrip writes the frame staged in wbuf and waits for the matching
+// Ack or Nack.
+func (c *Client) roundTrip(seq uint64) error {
+	fr, err := c.roundTripFrame()
+	if err != nil {
 		return err
 	}
-	switch fr.Tag {
-	case TagAck:
-		if fr.Seq != seq {
-			return fmt.Errorf("wire: ack for frame %d, want %d", fr.Seq, seq)
-		}
-		return nil
-	case TagNack:
-		return &NackError{Seq: fr.Seq, Code: fr.Code, Detail: fr.Detail}
+	if fr.Tag != TagAck {
+		return fmt.Errorf("wire: unexpected response tag %#02x", fr.Tag)
 	}
-	return fmt.Errorf("wire: unexpected response tag %#02x", fr.Tag)
+	if fr.Seq != seq {
+		return fmt.Errorf("wire: ack for frame %d, want %d", fr.Seq, seq)
+	}
+	return nil
 }
 
 // SendBatch sends one batch and waits for the server's Ack (draining
 // any pipelined frames first). A Nack is returned as *NackError.
 func (c *Client) SendBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error {
+	if c.rt != nil {
+		if err := c.QueueBatch(stream, cycles, events, endInterval); err != nil {
+			return err
+		}
+		return c.Drain()
+	}
 	if len(c.pending) > 0 {
 		if err := c.Drain(); err != nil {
 			return err
@@ -156,7 +296,20 @@ func (c *Client) SendBatch(stream string, cycles uint64, events []trace.BranchEv
 // this one's (this one was queued regardless), and the pipeline keeps
 // working. Any other error is transport-fatal. Call Drain before
 // trusting that every queued batch was acked.
+//
+// In redirect-following mode the batch rides the stream's learned
+// owner connection, and a REDIRECT verdict for an earlier frame is
+// handled internally (re-queued on the owner) instead of surfacing.
 func (c *Client) QueueBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error {
+	t, err := c.target(stream)
+	if err != nil {
+		return err
+	}
+	return t.queueBatch(stream, cycles, events, endInterval)
+}
+
+// queueBatch stages a batch on this connection specifically.
+func (c *Client) queueBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error {
 	if err := c.deadline(); err != nil {
 		return err
 	}
@@ -171,7 +324,11 @@ func (c *Client) QueueBatch(stream string, cycles uint64, events []trace.BranchE
 	if _, err := c.bw.Write(c.wbuf); err != nil {
 		return err
 	}
-	c.pending = append(c.pending, c.seq)
+	inf := inflight{seq: c.seq, stream: stream}
+	if c.rt != nil {
+		inf.frame = c.rt.retain(c.wbuf)
+	}
+	c.pending = append(c.pending, inf)
 	win := c.Window
 	if win < 1 {
 		win = 1
@@ -197,9 +354,50 @@ func (c *Client) QueueBatch(stream string, cycles uint64, events []trace.BranchE
 }
 
 // Drain flushes queued frames and waits for every outstanding
-// response. The first Nack (if any) is returned once the pipeline is
+// response — across every connection the client has opened, when
+// redirects are being followed (a response on one connection can
+// re-queue a frame on another, so the drain loops until the whole set
+// is quiet). The first Nack (if any) is returned once the pipeline is
 // fully drained; a transport error aborts immediately.
 func (c *Client) Drain() error {
+	if c.rt == nil {
+		return c.drainLocal()
+	}
+	var firstNack error
+	for {
+		busy := false
+		// Flush every connection first: re-queued frames buffered on a
+		// peer must reach its server before we park reading responses.
+		for _, cl := range c.rt.all {
+			if err := cl.deadline(); err != nil {
+				return err
+			}
+			if err := cl.bw.Flush(); err != nil {
+				return err
+			}
+		}
+		for _, cl := range c.rt.all {
+			if len(cl.pending) == 0 {
+				continue
+			}
+			busy = true
+			if err := cl.readResponse(); err != nil {
+				var ne *NackError
+				if !errors.As(err, &ne) {
+					return err
+				}
+				if firstNack == nil {
+					firstNack = err
+				}
+			}
+		}
+		if !busy {
+			return firstNack
+		}
+	}
+}
+
+func (c *Client) drainLocal() error {
 	if err := c.deadline(); err != nil {
 		return err
 	}
@@ -221,6 +419,13 @@ func (c *Client) Drain() error {
 	return firstNack
 }
 
+// recycle returns a retained frame buffer to the router's free list.
+func (c *Client) recycle(inf inflight) {
+	if inf.frame != nil && c.rt != nil && len(c.rt.free) < routerFreeCap {
+		c.rt.free = append(c.rt.free, inf.frame[:0])
+	}
+}
+
 // readResponse reads one response frame and matches it against the
 // oldest in-flight frame.
 func (c *Client) readResponse() error {
@@ -236,26 +441,128 @@ func (c *Client) readResponse() error {
 	if err != nil {
 		return err
 	}
-	want := c.pending[0]
+	inf := c.pending[0]
 	c.pending = c.pending[1:]
 	switch fr.Tag {
-	case TagAck:
-		if fr.Seq != want {
-			return fmt.Errorf("wire: ack for frame %d, want %d", fr.Seq, want)
+	case TagAck, TagHandoffAck:
+		if fr.Seq != inf.seq {
+			return fmt.Errorf("wire: ack for frame %d, want %d", fr.Seq, inf.seq)
 		}
+		c.recycle(inf)
 		return nil
 	case TagNack:
+		if c.rt != nil && fr.Code == NackRedirect && fr.Seq == inf.seq && inf.frame != nil {
+			return c.redirect(inf, fr.Detail)
+		}
+		c.recycle(inf)
 		return &NackError{Seq: fr.Seq, Code: fr.Code, Detail: fr.Detail}
 	}
 	return fmt.Errorf("wire: unexpected response tag %#02x", fr.Tag)
 }
 
+// redirect re-homes one refused frame onto the owning node named by the
+// REDIRECT nack: learn the route, patch the retained frame's seq for
+// the new connection, and append it to that connection's pipeline.
+//
+// Ordering: responses arrive in send order per connection, so a window
+// of frames redirected together re-queues in its original order. But
+// the moment the route is learned, *new* batches for the stream start
+// riding the new connection — so before returning, every same-stream
+// frame still in flight on this connection is drained (each will be
+// redirected too, queuing behind this one). Without that, a batch sent
+// after the route flip could overtake one sent before it. Per-stream
+// FIFO therefore survives the migration.
+func (c *Client) redirect(inf inflight, owner string) error {
+	if owner == "" || inf.hops >= maxRedirectHops {
+		c.recycle(inf)
+		return &NackError{Seq: inf.seq, Code: NackRedirect,
+			Detail: fmt.Sprintf("redirect loop (hop %d, owner %q)", inf.hops, owner)}
+	}
+	c.rt.routes[inf.stream] = owner
+	t, err := c.rt.peer(owner, c)
+	if err != nil {
+		c.recycle(inf)
+		return err
+	}
+	t.seq++
+	binary.LittleEndian.PutUint64(inf.frame[seqOffset:], t.seq)
+	if err := t.deadline(); err != nil {
+		c.recycle(inf)
+		return err
+	}
+	if _, err := t.bw.Write(inf.frame); err != nil {
+		c.recycle(inf)
+		return err
+	}
+	// Push the re-queued frame to the new owner now: the next read may
+	// be on t (Drain round-robins connections), and a frame parked in
+	// the write buffer would deadlock that read.
+	if err := t.bw.Flush(); err != nil {
+		c.recycle(inf)
+		return err
+	}
+	inf.seq = t.seq
+	inf.hops++
+	t.pending = append(t.pending, inf)
+	c.rt.redirects++
+
+	// Fence: drain this connection's remaining in-flight frames for the
+	// same stream before any caller can queue on the new route.
+	if c.hasPending(inf.stream) {
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		var firstNack error
+		for c.hasPending(inf.stream) {
+			if err := c.readResponse(); err != nil {
+				var ne *NackError
+				if !errors.As(err, &ne) {
+					return err
+				}
+				if firstNack == nil {
+					firstNack = err
+				}
+			}
+		}
+		return firstNack
+	}
+	return nil
+}
+
+// hasPending reports whether any in-flight frame on this connection
+// belongs to stream.
+func (c *Client) hasPending(stream string) bool {
+	for i := range c.pending {
+		if c.pending[i].stream == stream {
+			return true
+		}
+	}
+	return false
+}
+
 // Flush asks the server to flush the fleet (force-close every stream's
 // trailing partial interval) and waits for the Ack (draining any
-// pipelined frames first).
+// pipelined frames first). In redirect-following mode every connection
+// the client has opened is flushed, so streams that migrated to other
+// nodes get their trailing interval closed too.
 func (c *Client) Flush() error {
-	if len(c.pending) > 0 {
+	if c.rt != nil {
 		if err := c.Drain(); err != nil {
+			return err
+		}
+		for _, cl := range c.rt.all {
+			if err := cl.flushLocal(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return c.flushLocal()
+}
+
+func (c *Client) flushLocal() error {
+	if len(c.pending) > 0 {
+		if err := c.drainLocal(); err != nil {
 			return err
 		}
 	}
@@ -264,8 +571,78 @@ func (c *Client) Flush() error {
 	return c.roundTrip(c.seq)
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// SendJoin announces a node to a cluster member and returns the ring
+// assignment the member replies with (the post-join membership at its
+// new epoch).
+func (c *Client) SendJoin(node NodeInfo) (RingInfo, error) {
+	if len(c.pending) > 0 {
+		if err := c.Drain(); err != nil {
+			return RingInfo{}, err
+		}
+	}
+	c.seq++
+	c.wbuf = AppendJoinFrame(c.wbuf[:0], c.seq, node)
+	fr, err := c.roundTripFrame()
+	if err != nil {
+		return RingInfo{}, err
+	}
+	if fr.Tag != TagAssign {
+		return RingInfo{}, fmt.Errorf("wire: join answered with tag %#02x", fr.Tag)
+	}
+	return fr.Ring, nil
+}
+
+// SendAssign pushes a ring assignment to a node. The node acks when the
+// assignment is adopted (or was already current) and nacks with
+// NackStaleEpoch when it already follows a newer ring.
+func (c *Client) SendAssign(ring RingInfo) error {
+	if len(c.pending) > 0 {
+		if err := c.Drain(); err != nil {
+			return err
+		}
+	}
+	c.seq++
+	c.wbuf = AppendAssignFrame(c.wbuf[:0], c.seq, ring)
+	return c.roundTrip(c.seq)
+}
+
+// SendHandoff ships a drained stream's snapshot to its new owner and
+// waits for the HandoffAck. A node that follows a newer ring than
+// epoch refuses with NackStaleEpoch.
+func (c *Client) SendHandoff(epoch uint64, stream string, snap []byte) error {
+	if len(c.pending) > 0 {
+		if err := c.Drain(); err != nil {
+			return err
+		}
+	}
+	c.seq++
+	c.wbuf = AppendHandoffFrame(c.wbuf[:0], c.seq, epoch, stream, snap)
+	fr, err := c.roundTripFrame()
+	if err != nil {
+		return err
+	}
+	if fr.Tag != TagHandoffAck {
+		return fmt.Errorf("wire: handoff answered with tag %#02x", fr.Tag)
+	}
+	if fr.Seq != c.seq {
+		return fmt.Errorf("wire: handoff ack for frame %d, want %d", fr.Seq, c.seq)
+	}
+	return nil
+}
+
+// Close closes the connection — and, in redirect-following mode, every
+// peer connection opened on redirects.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	if c.rt != nil {
+		for _, cl := range c.rt.all {
+			if cl != c {
+				cl.conn.Close()
+			}
+		}
+	}
+	return err
+}
 
 // DialRetry dials with retries until the server accepts the handshake
 // or ctx expires, for startup races where the server is still binding

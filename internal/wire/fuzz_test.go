@@ -19,9 +19,16 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(AppendFlushFrame(nil, 2))
 	f.Add(AppendAckFrame(nil, 3))
 	f.Add(AppendNackFrame(nil, 4, NackOverload, "full"))
+	f.Add(AppendJoinFrame(nil, 5, NodeInfo{ID: "n2", Addr: "10.0.0.2:9127"}))
+	f.Add(AppendAssignFrame(nil, 6, RingInfo{Epoch: 3, Nodes: []NodeInfo{
+		{ID: "n1", Addr: "10.0.0.1:9127"}, {ID: "n2", Addr: "10.0.0.2:9127"}}}))
+	f.Add(AppendHandoffFrame(nil, 7, 3, "stream-a", []byte{0x10, 1, 2, 3}))
+	f.Add(AppendHandoffAckFrame(nil, 8, 3))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{4, 0, 0, 0, TagBatch, 1, 0, 0})
+	f.Add([]byte{4, 0, 0, 0, TagAssign, 1, 0, 0})
+	f.Add([]byte{4, 0, 0, 0, TagHandoffSnapshot, 1, 0, 0})
 
 	const maxFrame = 1 << 12
 	f.Fuzz(func(t *testing.T, raw []byte) {
@@ -62,6 +69,14 @@ func FuzzWireFrame(f *testing.F) {
 				re = AppendAckFrame(nil, fr.Seq)
 			case TagNack:
 				re = AppendNackFrame(nil, fr.Seq, fr.Code, fr.Detail)
+			case TagJoin:
+				re = AppendJoinFrame(nil, fr.Seq, fr.Node)
+			case TagAssign:
+				re = AppendAssignFrame(nil, fr.Seq, fr.Ring)
+			case TagHandoffSnapshot:
+				re = AppendHandoffFrame(nil, fr.Seq, fr.Epoch, fr.Stream, fr.Snap)
+			case TagHandoffAck:
+				re = AppendHandoffAckFrame(nil, fr.Seq, fr.Epoch)
 			}
 			payload2, err := ReadFrame(bytes.NewReader(re), nil, 0)
 			if err != nil {

@@ -18,6 +18,15 @@
 //	Ack   v1: seq u64
 //	Nack  v1: seq u64, code u8, detail string
 //
+// Cluster control frames share the same framing (see internal/cluster
+// for the protocol they implement):
+//
+//	Join            v1: seq u64, id string, addr string
+//	Assign          v1: seq u64, epoch u64,
+//	                    nodes u32 count + (id string, addr string) each
+//	HandoffSnapshot v1: seq u64, epoch u64, stream string, snap bytes
+//	HandoffAck      v1: seq u64, epoch u64
+//
 // The length prefix is bounded by a max-frame guard before any
 // allocation, and the payload decoder (state.Decoder) bounds every
 // count against the bytes actually present, so arbitrary input can
@@ -61,6 +70,14 @@ const (
 	TagFlush = 0x32
 	TagAck   = 0x33
 	TagNack  = 0x34
+	// Cluster control frames: a node announcing itself (Join, answered
+	// by an Assign carrying the new ring), an epoch-numbered membership
+	// push (Assign, answered by Ack or NackStaleEpoch), and stream
+	// migration (HandoffSnapshot, answered by HandoffAck or a Nack).
+	TagJoin            = 0x35
+	TagAssign          = 0x36
+	TagHandoffSnapshot = 0x37
+	TagHandoffAck      = 0x38
 )
 
 // Versions of each payload layout this package encodes and decodes.
@@ -85,6 +102,15 @@ const (
 	NackShutdown = 5
 	// NackInternal: an unexpected server-side failure.
 	NackInternal = 6
+	// NackRedirect: this node does not own the frame's stream; Detail
+	// carries the owner's ingest address. Clients re-home the stream
+	// there and re-send the refused frame (wire.Client does this
+	// transparently once redirect following is enabled).
+	NackRedirect = 7
+	// NackStaleEpoch: a control frame (Assign, HandoffSnapshot) carried
+	// a ring epoch older than the receiver's — the sender is a fenced
+	// stale writer and must refresh its ring before retrying.
+	NackStaleEpoch = 8
 )
 
 // NackCodeString names a Nack code for logs and errors.
@@ -102,6 +128,10 @@ func NackCodeString(code uint8) string {
 		return "shutdown"
 	case NackInternal:
 		return "internal"
+	case NackRedirect:
+		return "redirect"
+	case NackStaleEpoch:
+		return "stale-epoch"
 	}
 	return fmt.Sprintf("code-%d", code)
 }
@@ -127,15 +157,38 @@ type Batch struct {
 	Events      []trace.BranchEvent
 }
 
+// NodeInfo identifies one cluster member: a stable ID and the ingest
+// address peers and redirected clients dial.
+type NodeInfo struct {
+	ID   string
+	Addr string
+}
+
+// RingInfo is the wire form of an epoch-numbered assignment table: the
+// full membership at one epoch. internal/cluster converts it to and
+// from its Ring.
+type RingInfo struct {
+	Epoch uint64
+	Nodes []NodeInfo
+}
+
 // Frame is one decoded payload. Tag selects which fields are
 // meaningful: Batch for TagBatch; Seq for TagFlush/TagAck/TagNack;
-// Code and Detail for TagNack.
+// Code and Detail for TagNack; Node for TagJoin; Ring for TagAssign;
+// Epoch, Stream and Snap for TagHandoffSnapshot; Epoch for
+// TagHandoffAck.
 type Frame struct {
 	Tag    byte
 	Batch  Batch
 	Seq    uint64
 	Code   uint8
 	Detail string
+
+	Epoch  uint64
+	Node   NodeInfo
+	Ring   RingInfo
+	Stream string
+	Snap   []byte
 }
 
 // FrameView is the zero-copy decoded form of a frame payload: Stream
@@ -152,6 +205,15 @@ type FrameView struct {
 	Events      []trace.BranchEvent
 	Code        uint8
 	Detail      []byte
+
+	// Control-frame fields. Stream doubles as the handoff stream name
+	// and Snap as the handoff snapshot (both views into the payload);
+	// Node and Ring are decoded as owned values — control frames are
+	// rare, so the allocation does not matter.
+	Epoch uint64
+	Node  NodeInfo
+	Ring  RingInfo
+	Snap  []byte
 }
 
 // eventSize is the encoded size of one branch event (pc u64 + instrs
@@ -210,6 +272,51 @@ func AppendNackFrame(dst []byte, seq uint64, code uint8, detail string) []byte {
 		e.U64(seq)
 		e.U8(code)
 		e.String(detail)
+	})
+}
+
+// AppendJoinFrame appends a framed join announcement to dst.
+func AppendJoinFrame(dst []byte, seq uint64, node NodeInfo) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagJoin, ctrlVersion)
+		e.U64(seq)
+		e.String(node.ID)
+		e.String(node.Addr)
+	})
+}
+
+// AppendAssignFrame appends a framed assignment-table push to dst.
+func AppendAssignFrame(dst []byte, seq uint64, ring RingInfo) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagAssign, ctrlVersion)
+		e.U64(seq)
+		e.U64(ring.Epoch)
+		e.U32(uint32(len(ring.Nodes)))
+		for _, n := range ring.Nodes {
+			e.String(n.ID)
+			e.String(n.Addr)
+		}
+	})
+}
+
+// AppendHandoffFrame appends a framed stream-handoff snapshot to dst.
+func AppendHandoffFrame(dst []byte, seq, epoch uint64, stream string, snap []byte) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagHandoffSnapshot, ctrlVersion)
+		e.U64(seq)
+		e.U64(epoch)
+		e.String(stream)
+		e.Blob(snap)
+	})
+}
+
+// AppendHandoffAckFrame appends a framed handoff acknowledgement to
+// dst.
+func AppendHandoffAckFrame(dst []byte, seq, epoch uint64) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagHandoffAck, ctrlVersion)
+		e.U64(seq)
+		e.U64(epoch)
 	})
 }
 
@@ -279,6 +386,35 @@ func DecodeFrame(payload []byte) (Frame, error) {
 		f.Seq = d.U64()
 		f.Code = d.U8()
 		f.Detail = d.String()
+	case TagJoin:
+		d.Section(TagJoin, ctrlVersion)
+		f.Seq = d.U64()
+		f.Node.ID = d.String()
+		f.Node.Addr = d.String()
+	case TagAssign:
+		d.Section(TagAssign, ctrlVersion)
+		f.Seq = d.U64()
+		f.Ring.Epoch = d.U64()
+		// Two length-prefixed strings per node: at least 8 bytes each.
+		n := d.Count(8)
+		if n > 0 && d.Err() == nil {
+			f.Ring.Nodes = make([]NodeInfo, n)
+			for i := range f.Ring.Nodes {
+				f.Ring.Nodes[i] = NodeInfo{ID: d.String(), Addr: d.String()}
+			}
+		}
+	case TagHandoffSnapshot:
+		d.Section(TagHandoffSnapshot, ctrlVersion)
+		f.Seq = d.U64()
+		f.Epoch = d.U64()
+		f.Stream = d.String()
+		if b := d.Bytes(); len(b) > 0 {
+			f.Snap = append([]byte(nil), b...)
+		}
+	case TagHandoffAck:
+		d.Section(TagHandoffAck, ctrlVersion)
+		f.Seq = d.U64()
+		f.Epoch = d.U64()
 	default:
 		return f, fmt.Errorf("%w: unknown tag %#02x", ErrMalformed, f.Tag)
 	}
@@ -327,6 +463,32 @@ func DecodeFrameView(payload []byte, events []trace.BranchEvent) (FrameView, err
 		f.Seq = d.U64()
 		f.Code = d.U8()
 		f.Detail = d.Bytes()
+	case TagJoin:
+		d.Section(TagJoin, ctrlVersion)
+		f.Seq = d.U64()
+		f.Node.ID = d.String()
+		f.Node.Addr = d.String()
+	case TagAssign:
+		d.Section(TagAssign, ctrlVersion)
+		f.Seq = d.U64()
+		f.Ring.Epoch = d.U64()
+		n := d.Count(8)
+		if n > 0 && d.Err() == nil {
+			f.Ring.Nodes = make([]NodeInfo, n)
+			for i := range f.Ring.Nodes {
+				f.Ring.Nodes[i] = NodeInfo{ID: d.String(), Addr: d.String()}
+			}
+		}
+	case TagHandoffSnapshot:
+		d.Section(TagHandoffSnapshot, ctrlVersion)
+		f.Seq = d.U64()
+		f.Epoch = d.U64()
+		f.Stream = d.Bytes()
+		f.Snap = d.Bytes()
+	case TagHandoffAck:
+		d.Section(TagHandoffAck, ctrlVersion)
+		f.Seq = d.U64()
+		f.Epoch = d.U64()
 	default:
 		return f, fmt.Errorf("%w: unknown tag %#02x", ErrMalformed, f.Tag)
 	}

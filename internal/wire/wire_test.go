@@ -169,6 +169,63 @@ func TestDecodeRejectsUnknownTagAndTrailer(t *testing.T) {
 	}
 }
 
+func TestNackCodeStrings(t *testing.T) {
+	cases := []struct {
+		code uint8
+		want string
+	}{
+		{NackMalformed, "malformed"},
+		{NackOverload, "overload"},
+		{NackQuarantined, "quarantined"},
+		{NackDeadline, "deadline"},
+		{NackShutdown, "shutdown"},
+		{NackInternal, "internal"},
+		{NackRedirect, "redirect"},
+		{NackStaleEpoch, "stale-epoch"},
+		{0, "code-0"},
+		{99, "code-99"},
+	}
+	for _, c := range cases {
+		if got := NackCodeString(c.code); got != c.want {
+			t.Errorf("NackCodeString(%d) = %q, want %q", c.code, got, c.want)
+		}
+	}
+}
+
+func TestControlFrameFieldRoundTrips(t *testing.T) {
+	node := NodeInfo{ID: "n2", Addr: "10.0.0.2:9127"}
+	if f := roundTrip(t, AppendJoinFrame(nil, 5, node)); f.Tag != TagJoin || f.Seq != 5 || f.Node != node {
+		t.Fatalf("join: %+v", f)
+	}
+	ring := RingInfo{Epoch: 7, Nodes: []NodeInfo{
+		{ID: "n1", Addr: "10.0.0.1:9127"},
+		{ID: "n2", Addr: "10.0.0.2:9127"},
+		{ID: "n3", Addr: "10.0.0.3:9127"},
+	}}
+	f := roundTrip(t, AppendAssignFrame(nil, 6, ring))
+	if f.Tag != TagAssign || f.Seq != 6 || f.Ring.Epoch != ring.Epoch || len(f.Ring.Nodes) != 3 {
+		t.Fatalf("assign: %+v", f)
+	}
+	for i, n := range f.Ring.Nodes {
+		if n != ring.Nodes[i] {
+			t.Fatalf("assign node %d: %+v, want %+v", i, n, ring.Nodes[i])
+		}
+	}
+	snap := []byte{0x10, 1, 0xfe, 3, 0}
+	f = roundTrip(t, AppendHandoffFrame(nil, 8, 7, "tenant/42", snap))
+	if f.Tag != TagHandoffSnapshot || f.Seq != 8 || f.Epoch != 7 || f.Stream != "tenant/42" || !bytes.Equal(f.Snap, snap) {
+		t.Fatalf("handoff: %+v", f)
+	}
+	// Empty snapshots survive too (a handoff of a never-fed stream).
+	f = roundTrip(t, AppendHandoffFrame(nil, 9, 7, "s", nil))
+	if f.Stream != "s" || len(f.Snap) != 0 {
+		t.Fatalf("empty handoff: %+v", f)
+	}
+	if f := roundTrip(t, AppendHandoffAckFrame(nil, 10, 7)); f.Tag != TagHandoffAck || f.Seq != 10 || f.Epoch != 7 {
+		t.Fatalf("handoff ack: %+v", f)
+	}
+}
+
 func TestNackErrorFormatting(t *testing.T) {
 	err := &NackError{Seq: 3, Code: NackQuarantined, Detail: "stream evil"}
 	if !strings.Contains(err.Error(), "quarantined") || !strings.Contains(err.Error(), "stream evil") {

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# phasekitd cluster check: golden equivalence across membership churn.
+#
+# Three nodes share one checkpoint store. A workload is ingested
+# through node 1 with a redirect-following client, so every stream
+# lands on its ring owner. Mid-run, node 2 is SIGTERMed (checkpointing
+# its streams), declared left via phasekitctl (survivors adopt its
+# streams from the shared store at a new epoch), and the ring is
+# force-rebalanced once more. The union of the three per-node phase
+# logs must be line-identical to a single-process golden run — growth,
+# redirects, handoffs, node death, and epoch bumps may not perturb
+# classification by a single interval.
+set -euo pipefail
+
+WORKLOAD=${WORKLOAD:-gzip/g}
+STREAMS=${STREAMS:-6}
+INTERVAL=${INTERVAL:-1000000}
+SCALE=${SCALE:-0.2}
+CUT=${CUT:-150} # batch index where the first segment stops
+HOST=127.0.0.1
+PORTS=(9127 9131 9135)  # ingest ports, node 1..3
+ADMINS=(9227 9231 9235) # health/admin ports, node 1..3
+
+workdir=$(mktemp -d)
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/phasekitd" ./cmd/phasekitd
+go build -o "$workdir/phasekitctl" ./cmd/phasekitctl
+go build -o "$workdir/phasesim" ./cmd/phasesim
+
+sim_args=(-workload "$WORKLOAD" -streams "$STREAMS" -interval "$INTERVAL" -scale "$SCALE")
+ctl() { "$workdir/phasekitctl" -admin "$HOST:${ADMINS[0]}" "$@"; }
+
+echo "==> golden in-process run"
+"$workdir/phasesim" "${sim_args[@]}" -parallel -adaptive=false \
+  -phases "$workdir/golden.log" >/dev/null
+
+start_node() { # start_node <idx> [-peers ...]
+  local i=$1; shift
+  "$workdir/phasekitd" -addr "$HOST:${PORTS[$i]}" -health "$HOST:${ADMINS[$i]}" \
+    -node-id "n$((i + 1))" -node-addr "$HOST:${PORTS[$i]}" \
+    -interval "$INTERVAL" -store "$workdir/state" \
+    -phases "$workdir/node$((i + 1)).log" "$@" &
+  pids[$i]=$!
+  for _ in $(seq 100); do
+    (exec 3<>"/dev/tcp/$HOST/${PORTS[$i]}") 2>/dev/null && return
+    sleep 0.1
+  done
+  echo "node $((i + 1)) did not come up on $HOST:${PORTS[$i]}" >&2
+  exit 1
+}
+
+drain_node() { # drain_node <idx>
+  kill -TERM "${pids[$1]}"
+  wait "${pids[$1]}" || { echo "node $(($1 + 1)) drain exited non-zero" >&2; exit 1; }
+  pids[$1]=
+}
+
+echo "==> boot a 3-node cluster (n2, n3 join through n1)"
+mkdir "$workdir/state"
+start_node 0
+start_node 1 -peers "$HOST:${PORTS[0]}"
+start_node 2 -peers "$HOST:${PORTS[0]}"
+ctl status
+members=$(ctl status | grep -o '"ID":"n[0-9]"' | sort -u | wc -l)
+[ "$members" = 3 ] || { echo "FAIL: expected 3 members, saw $members" >&2; exit 1; }
+
+echo "==> segment 1: ingest batches [0, $CUT) through n1 (redirects fan streams out)"
+"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -max-batches "$CUT"
+
+echo "==> kill n2 mid-run: SIGTERM drain checkpoints its streams to the shared store"
+drain_node 1
+ctl leave n2
+echo "==> force a rebalance (epoch bump, fences any stale writer)"
+ctl rebalance
+
+echo "==> segment 2: ingest batches [$CUT, end]; n2's streams resume on the survivors"
+"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -from-batch "$CUT"
+
+echo "==> drain the survivors"
+epoch=$(ctl status | grep -o '"Epoch":[0-9]*' | head -1 | cut -d: -f2)
+drain_node 0
+drain_node 2
+
+# start(1) + join n2 + join n3 + leave n2 + rebalance = epoch 5
+[ "$epoch" = 5 ] || { echo "FAIL: final epoch $epoch, want 5" >&2; exit 1; }
+
+echo "==> diff the union of per-node phase logs against the golden run"
+sort -k1,1 -k2,2n "$workdir/golden.log" >"$workdir/golden.sorted"
+cat "$workdir"/node*.log | sort -k1,1 -k2,2n >"$workdir/cluster.sorted"
+if ! diff -u "$workdir/golden.sorted" "$workdir/cluster.sorted"; then
+  echo "FAIL: phase sequence diverged across cluster churn" >&2
+  exit 1
+fi
+echo "PASS: $(wc -l <"$workdir/golden.sorted") phase records identical across join/leave/rebalance"
