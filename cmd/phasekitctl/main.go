@@ -7,6 +7,7 @@
 //	phasekitctl -admin 127.0.0.1:9128 join <node-id> <ingest-addr>
 //	phasekitctl -admin 127.0.0.1:9128 leave <node-id>
 //	phasekitctl -admin 127.0.0.1:9128 rebalance
+//	phasekitctl -admin 127.0.0.1:9128 checkpoint
 //
 // status prints the node's cluster view: ring epoch, membership, and
 // stream/handoff counters. join adds (or re-addresses) a member and
@@ -15,7 +16,10 @@
 // live one ships its streams out first; a dead one's streams are
 // adopted by the survivors from the shared checkpoint store. rebalance
 // renumbers the current membership to a fresh epoch, fencing any
-// writer still on an older one, without moving streams.
+// writer still on an older one, without moving streams. checkpoint
+// persists every resident stream to the node's store and waits for its
+// replication queue to drain — a durability barrier that does not stop
+// the node.
 //
 // All verbs print the node's JSON response. Exit status is non-zero on
 // transport errors or any non-200 reply.
@@ -39,6 +43,7 @@ verbs:
   join <node-id> <addr>     add a member whose ingest listener is at addr
   leave <node-id>           remove a member (streams move to survivors)
   rebalance                 advance the ring epoch without moving streams
+  checkpoint                persist every resident stream and drain replication
 `)
 	os.Exit(2)
 }
@@ -81,6 +86,11 @@ func main() {
 			usage()
 		}
 		resp, err = client.Post(base+"/cluster/rebalance", "", nil)
+	case "checkpoint":
+		if len(args) != 1 {
+			usage()
+		}
+		resp, err = client.Post(base+"/cluster/checkpoint", "", nil)
 	default:
 		fmt.Fprintf(os.Stderr, "phasekitctl: unknown verb %q\n", verb)
 		usage()

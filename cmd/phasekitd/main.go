@@ -79,6 +79,10 @@ func main() {
 		nodeID     = flag.String("node-id", "", "cluster member ID; enables cluster mode (ownership checks, redirects, handoffs)")
 		nodeAddr   = flag.String("node-addr", "", "ingest address advertised to peers and redirected clients (default: -addr; must be reachable, not :port)")
 		peers      = flag.String("peers", "", "comma-separated ingest addresses of existing members to join through (empty = start a new cluster)")
+		hbInterval = flag.Duration("heartbeat-interval", time.Second, "failure-detector heartbeat period (0 = no failure detection)")
+		suspectTO  = flag.Duration("suspect-after", 0, "silence before a peer is suspect (0 = 3x heartbeat interval)")
+		deadTO     = flag.Duration("dead-after", 0, "silence before a peer is a takeover candidate (0 = 2x suspect-after)")
+		replicate  = flag.Bool("replicate", true, "ship checkpoints asynchronously to each stream's ring successor")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "phasekitd: ", log.LstdFlags|log.Lmsgprefix)
@@ -91,6 +95,14 @@ func main() {
 	cfg.Classifier.Adaptive = false
 
 	rec := server.NewPhaseRecorder()
+	if *phasesPath != "" {
+		// Stream phase lines as intervals close instead of buffering
+		// until drain: a node that dies without draining (kill -9)
+		// still leaves a log covering every completed interval.
+		if err := rec.StreamTo(*phasesPath); err != nil {
+			logger.Fatalf("phases: %v", err)
+		}
+	}
 	fcfg := fleet.Config{
 		Shards:      *shards,
 		Tracker:     cfg,
@@ -137,12 +149,21 @@ func main() {
 		}
 	}
 	var fence *cluster.FencedStore
+	var rstore *cluster.ReplicatedStore
 	if *nodeID != "" && fcfg.Store != nil {
 		// Checkpoints carry the writer's ring epoch; the store refuses
 		// writes from epochs older than what it already holds, so a
 		// fenced-off former owner cannot clobber its successor's state.
 		fence = cluster.NewFencedStore(fcfg.Store, 1)
 		fcfg.Store = fence
+		if *replicate {
+			// Every checkpoint is also shipped (asynchronously) to the
+			// stream's ring successor, so a takeover can warm-start even
+			// when the store is per-node. The replicator itself is wired
+			// in below, once the coordinator exists.
+			rstore = cluster.NewReplicatedStore(fence)
+			fcfg.Store = rstore
+		}
 	}
 	if err := fcfg.Validate(); err != nil {
 		logger.Fatal(err)
@@ -150,6 +171,8 @@ func main() {
 	f := fleet.New(fcfg)
 
 	var coord *cluster.Coordinator
+	var repl *cluster.Replicator
+	var det *cluster.Detector
 	if *nodeID != "" {
 		adv := *nodeAddr
 		if adv == "" {
@@ -166,6 +189,39 @@ func main() {
 		})
 		if err != nil {
 			logger.Fatal(err)
+		}
+		if rstore != nil {
+			repl, err = cluster.NewReplicator(cluster.ReplicatorConfig{
+				Coordinator: coord, Logf: logger.Printf,
+			})
+			if err != nil {
+				logger.Fatal(err)
+			}
+			rstore.SetReplicator(repl)
+			coord.AttachReplicator(repl)
+		}
+		if *hbInterval > 0 {
+			det, err = cluster.NewDetector(cluster.DetectorConfig{
+				Coordinator: coord,
+				Policy: cluster.HealthPolicy{
+					Interval:     *hbInterval,
+					SuspectAfter: *suspectTO,
+					DeadAfter:    *deadTO,
+				},
+				OnEvicted: func(epoch uint64) {
+					// The cluster declared this node dead and moved on;
+					// its streams have new owners and every checkpoint it
+					// attempts will be fenced. Exiting is the only safe
+					// move — rejoin with a fresh start, not stale state.
+					logger.Printf("fenced off: evicted from the ring at epoch %d; exiting", epoch)
+					os.Exit(3)
+				},
+				Logf: logger.Printf,
+			})
+			if err != nil {
+				logger.Fatal(err)
+			}
+			coord.AttachDetector(det)
 		}
 	}
 
@@ -239,6 +295,11 @@ func main() {
 	} else if coord != nil {
 		logger.Printf("node %s started a new cluster (advertising %s)", *nodeID, coord.Ring().Nodes()[0].Addr)
 	}
+	// Heartbeats start after Join so the first tick pings the real
+	// membership, not the provisional self-only ring.
+	if det != nil {
+		det.Start()
+	}
 
 	select {
 	case err := <-serveErr:
@@ -252,6 +313,11 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	exit := 0
+	if det != nil {
+		// Stop heartbeating first: a draining node must not initiate a
+		// takeover (or answer probes) while it checkpoints.
+		det.Stop()
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Printf("shutdown: %v", err)
 	}
@@ -261,8 +327,16 @@ func main() {
 			exit = 1
 		}
 	}
+	if repl != nil {
+		if err := repl.Drain(ctx); err != nil {
+			logger.Printf("replication drain: %v", err)
+		}
+		repl.Close()
+	}
 	if *phasesPath != "" {
-		if err := rec.AppendTo(*phasesPath); err != nil {
+		// Streaming mode wrote every line as its interval closed; just
+		// close the file.
+		if err := rec.Close(); err != nil {
 			logger.Printf("phases: %v", err)
 			exit = 1
 		}

@@ -587,6 +587,11 @@ func runConnect(wl, traceFile string, scale float64, o fleetOpts, cfg core.Confi
 	// REDIRECT nacks route each stream to its owner. A standalone server
 	// never redirects, so this is inert outside cluster mode.
 	c.FollowRedirects(nil)
+	// Survive node death mid-run: a cut connection is redialed with
+	// backoff and its unacknowledged frames replayed (or re-homed to the
+	// stream's new owner after a takeover). The budget covers a cluster's
+	// full suspicion-plus-takeover window at the script's settings.
+	c.Reconnect = wire.ReconnectPolicy{MaxAttempts: 30, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second}
 
 	sink := newBatchSink(wireSender{c}, n)
 	sink.from, sink.max = o.from, o.max

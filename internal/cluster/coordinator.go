@@ -91,10 +91,32 @@ type Coordinator struct {
 	aheadMu sync.RWMutex
 	ahead   map[string]struct{}
 
+	// replicas caches checkpoint snapshots shipped by ring predecessors
+	// (bounded; see AcceptReplica). On takeover they are the warm-start
+	// source when the shared store has nothing newer.
+	replMu       sync.Mutex
+	replicas     map[string][]byte
+	replicaOrder []string
+
+	// detector and repl are attached after construction (they each need
+	// the coordinator first); both may stay nil in tests or degraded
+	// configurations.
+	detector *Detector
+	repl     *Replicator
+
 	handoffsOut, handoffsIn      atomic.Uint64
 	assignsApplied, staleAssigns atomic.Uint64
 	storeFallbacks               atomic.Uint64
+	takeoversDone                atomic.Uint64
+	takeoverInFlight             atomic.Int64
+	replicasIn                   atomic.Uint64
+	orphansAdopted               atomic.Uint64
 }
+
+// replicaCacheCap bounds the in-memory replica cache; overflow evicts
+// the oldest entry. 4096 streams of a few KB each keeps the cache under
+// tens of MB while covering any realistic per-node stream count.
+const replicaCacheCap = 4096
 
 // NewCoordinator validates cfg and returns a Coordinator holding the
 // initial ring.
@@ -126,8 +148,17 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		opTimeout:   cfg.OpTimeout,
 		logf:        cfg.Logf,
 		ahead:       make(map[string]struct{}),
+		replicas:    make(map[string][]byte),
 	}, nil
 }
+
+// AttachDetector wires the failure detector in after construction, so
+// Status can report peer health and Degraded can consult it.
+func (c *Coordinator) AttachDetector(d *Detector) { c.detector = d }
+
+// AttachReplicator wires the checkpoint replicator in after
+// construction, so Status can report replication lag.
+func (c *Coordinator) AttachReplicator(r *Replicator) { c.repl = r }
 
 func (c *Coordinator) log(format string, args ...any) {
 	if c.logf != nil {
@@ -231,7 +262,133 @@ func (c *Coordinator) apply(next *Ring, propagate bool) (bool, error) {
 	clear(c.ahead)
 	c.aheadMu.Unlock()
 	c.assignsApplied.Add(1)
+	// If the change removed members, claim our share of their streams
+	// (after the fence moved to the new epoch, so the re-stamp lands at
+	// it). Runs on every node applying the assignment: each survivor
+	// adopts exactly the orphans the new ring gives it.
+	c.adoptOrphans(cur, next)
 	return true, nil
+}
+
+// adoptOrphans adopts every stream that cur assigned to a member next
+// no longer has and next assigns to this node. The inventory is the
+// union of the shared store's listing and the local replica cache —
+// between them, every stream the dead node ever checkpointed.
+func (c *Coordinator) adoptOrphans(cur, next *Ring) {
+	removed := make(map[string]bool)
+	for _, n := range cur.Nodes() {
+		if _, ok := next.Node(n.ID); !ok {
+			removed[n.ID] = true
+		}
+	}
+	if len(removed) == 0 {
+		return
+	}
+	inventory := make(map[string]struct{})
+	if c.fence != nil {
+		if names, err := c.fence.List(); err == nil {
+			for _, s := range names {
+				inventory[s] = struct{}{}
+			}
+		} else {
+			c.log("takeover: store inventory: %v", err)
+		}
+	}
+	c.replMu.Lock()
+	for s := range c.replicas {
+		inventory[s] = struct{}{}
+	}
+	c.replMu.Unlock()
+	resident := make(map[string]bool)
+	for _, s := range c.fleet.Streams() {
+		resident[s] = true
+	}
+	for s := range inventory {
+		if !removed[cur.Owner(s).ID] || next.Owner(s).ID != c.self.ID {
+			continue
+		}
+		c.adoptOrphan(s, resident[s])
+	}
+}
+
+// adoptOrphan claims one stream from a removed member. The shared
+// store's checkpoint is preferred (it is at least as fresh as any
+// replica: the owner wrote it synchronously and shipped the replica
+// after); the first thing that happens to it is a re-save at the new
+// epoch — the zombie fence: from that point a not-actually-dead owner
+// writing at its old epoch is refused, before the adopted stream has
+// served a single batch. Only when the store has nothing does the
+// cached replica seed the stream.
+func (c *Coordinator) adoptOrphan(stream string, alreadyTracked bool) {
+	c.replMu.Lock()
+	replica := c.replicas[stream]
+	if replica != nil {
+		delete(c.replicas, stream)
+		for i, s := range c.replicaOrder {
+			if s == stream {
+				c.replicaOrder = append(c.replicaOrder[:i], c.replicaOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	c.replMu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout)
+	defer cancel()
+	if c.fence != nil {
+		snap, ok, err := c.fence.Load(stream)
+		if err != nil {
+			c.log("takeover %q: store read: %v", stream, err)
+		} else if ok {
+			if serr := c.fence.Save(stream, snap); serr != nil {
+				c.log("takeover %q: fence re-stamp: %v", stream, serr)
+			}
+			if aerr := c.fleet.AdoptStream(ctx, stream, nil); aerr != nil {
+				c.log("takeover %q: adopt: %v", stream, aerr)
+				return
+			}
+			c.orphansAdopted.Add(1)
+			return
+		}
+	}
+	if alreadyTracked {
+		replica = nil // live local state beats any cached replica
+	}
+	if aerr := c.fleet.AdoptStream(ctx, stream, replica); aerr != nil {
+		c.log("takeover %q: adopt from replica: %v", stream, aerr)
+		return
+	}
+	c.orphansAdopted.Add(1)
+}
+
+// Failover removes a confirmed-dead member and adopts its streams —
+// HandleLeave without the courtesy push to the departed (it is dead;
+// dialing it would burn a timeout per takeover). Called by the failure
+// detector after quorum confirmation; survivors receiving the
+// propagated assignment each adopt their own share of the orphans.
+// If the member is already gone (a concurrent initiator won the race),
+// the current ring is returned unchanged.
+func (c *Coordinator) Failover(id string) (*Ring, error) {
+	if id == c.self.ID {
+		return nil, fmt.Errorf("cluster: node %s cannot fail itself over", id)
+	}
+	c.takeoverInFlight.Add(1)
+	defer c.takeoverInFlight.Add(-1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.state.Ring()
+	if _, ok := cur.Node(id); !ok {
+		return cur, nil
+	}
+	next, err := cur.WithLeave(id)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.apply(next, true); err != nil {
+		return nil, err
+	}
+	c.takeoversDone.Add(1)
+	c.log("takeover: removed dead node %s; epoch %d", id, next.Epoch())
+	return next, nil
 }
 
 // migrate detaches every resident stream that next assigns elsewhere
@@ -459,6 +616,77 @@ func (c *Coordinator) HandleLeave(id string) (*Ring, error) {
 	return next, nil
 }
 
+// HandlePing answers a peer heartbeat: this node's epoch and whether
+// the sender is a member of its ring. Hearing a ping also counts as
+// liveness evidence for the sender — under a one-way partition where
+// this node can hear a peer but not reach it, the peer stays alive in
+// this node's view, and this node denies its death to any initiator.
+func (c *Coordinator) HandlePing(from Node, epoch uint64) (uint64, bool) {
+	if c.detector != nil {
+		c.detector.ObservePing(from)
+	}
+	r := c.state.Ring()
+	_, member := r.Node(from.ID)
+	return r.Epoch(), member
+}
+
+// HandleProbe answers a quorum probe with this node's opinion of
+// subject. Without a detector every subject is unknown (an abstention,
+// not a denial).
+func (c *Coordinator) HandleProbe(subject string) ProbeReply {
+	if c.detector == nil {
+		return ProbeReply{}
+	}
+	return c.detector.ViewOf(subject)
+}
+
+// AcceptReplica caches a checkpoint snapshot shipped by a stream's
+// owner (this node is its ring successor). The cache is memory-only
+// and bounded (oldest evicted): durability is the owner's fenced
+// store's job, and the cache exists so a takeover can warm-start when
+// that store is per-node or unreachable. A replica stamped with an
+// epoch older than this node's view is a zombie shipment and refused.
+// The caller must not reuse snap after the call.
+func (c *Coordinator) AcceptReplica(epoch uint64, stream string, snap []byte) error {
+	if cur := c.state.Epoch(); epoch < cur {
+		return fmt.Errorf("%w: replica at epoch %d, current %d", ErrStaleEpoch, epoch, cur)
+	}
+	c.replMu.Lock()
+	if _, ok := c.replicas[stream]; !ok {
+		if len(c.replicaOrder) >= replicaCacheCap {
+			old := c.replicaOrder[0]
+			c.replicaOrder = c.replicaOrder[1:]
+			delete(c.replicas, old)
+		}
+		c.replicaOrder = append(c.replicaOrder, stream)
+	}
+	c.replicas[stream] = snap
+	c.replMu.Unlock()
+	c.replicasIn.Add(1)
+	return nil
+}
+
+// DrainReplication blocks until the attached replicator's queue is
+// empty (or ctx expires); with no replicator it returns immediately.
+// Callers pair it with Fleet.CheckpointCtx to quiesce durable state.
+func (c *Coordinator) DrainReplication(ctx context.Context) error {
+	if c.repl == nil {
+		return nil
+	}
+	return c.repl.Drain(ctx)
+}
+
+// Degraded reports whether the node is running in a reduced state: a
+// takeover is in flight, or the failure detector sees any peer as
+// suspect or dead. /readyz surfaces it without failing the check — a
+// node suspecting a peer is still fully able to serve.
+func (c *Coordinator) Degraded() bool {
+	if c.takeoverInFlight.Load() > 0 {
+		return true
+	}
+	return c.detector != nil && c.detector.AnyUnhealthy()
+}
+
 // Rebalance renumbers the current membership to a fresh epoch and
 // propagates it — the fencing primitive: no streams move, but every
 // writer still on the old epoch is invalidated at the shared store.
@@ -498,6 +726,25 @@ type Status struct {
 	// rejected stale assignments.
 	AssignsApplied uint64
 	StaleAssigns   uint64
+	// Peers is the failure detector's per-peer view and Health its
+	// lifetime counters (nil when no detector is attached).
+	Peers  []PeerStatus      `json:",omitempty"`
+	Health *DetectorCounters `json:",omitempty"`
+	// Replication is the checkpoint replicator's queue depth, oldest-
+	// entry age, and counters (nil when no replicator is attached).
+	Replication *ReplicationStatus `json:",omitempty"`
+	// ReplicasHeld counts warm replica snapshots cached for takeover;
+	// ReplicasIn counts replicas accepted over the node's lifetime.
+	ReplicasHeld int
+	ReplicasIn   uint64
+	// TakeoversDone counts automatic failovers this node initiated;
+	// TakeoverInFlight is nonzero while one runs. OrphansAdopted counts
+	// streams claimed from removed members (store or replica seeded).
+	TakeoversDone    uint64
+	TakeoverInFlight int64
+	OrphansAdopted   uint64
+	// Degraded mirrors Coordinator.Degraded.
+	Degraded bool
 }
 
 // Status returns the node's current cluster view and counters.
@@ -513,18 +760,42 @@ func (c *Coordinator) Status() Status {
 	c.aheadMu.RLock()
 	ahead := len(c.ahead)
 	c.aheadMu.RUnlock()
+	c.replMu.Lock()
+	held := len(c.replicas)
+	c.replMu.Unlock()
+	var peers []PeerStatus
+	var health *DetectorCounters
+	if c.detector != nil {
+		peers = c.detector.PeerStatuses()
+		hc := c.detector.Counters()
+		health = &hc
+	}
+	var repl *ReplicationStatus
+	if c.repl != nil {
+		rs := c.repl.StatusSnapshot()
+		repl = &rs
+	}
 	return Status{
-		Node:            c.self,
-		Epoch:           r.Epoch(),
-		Nodes:           r.Nodes(),
-		ResidentStreams: len(streams),
-		OwnedStreams:    owned,
-		AdoptedAhead:    ahead,
-		HandoffsOut:     c.handoffsOut.Load(),
-		HandoffsIn:      c.handoffsIn.Load(),
-		StoreFallbacks:  c.storeFallbacks.Load(),
-		AssignsApplied:  c.assignsApplied.Load(),
-		StaleAssigns:    c.staleAssigns.Load(),
+		Node:             c.self,
+		Epoch:            r.Epoch(),
+		Nodes:            r.Nodes(),
+		ResidentStreams:  len(streams),
+		OwnedStreams:     owned,
+		AdoptedAhead:     ahead,
+		HandoffsOut:      c.handoffsOut.Load(),
+		HandoffsIn:       c.handoffsIn.Load(),
+		StoreFallbacks:   c.storeFallbacks.Load(),
+		AssignsApplied:   c.assignsApplied.Load(),
+		StaleAssigns:     c.staleAssigns.Load(),
+		Peers:            peers,
+		Health:           health,
+		Replication:      repl,
+		ReplicasHeld:     held,
+		ReplicasIn:       c.replicasIn.Load(),
+		TakeoversDone:    c.takeoversDone.Load(),
+		TakeoverInFlight: c.takeoverInFlight.Load(),
+		OrphansAdopted:   c.orphansAdopted.Load(),
+		Degraded:         c.Degraded(),
 	}
 }
 

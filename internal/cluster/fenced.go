@@ -26,13 +26,27 @@ const fenceVersion = 1
 // first checkpoint advances the stored epoch. If A was not actually
 // dead — just partitioned — and later tries to checkpoint at epoch e,
 // the store refuses, so a zombie owner can never clobber the successor's
-// state. The check is read-compare-write per stream; the window between
-// the two operations only matters for two writers at the *same* epoch,
-// which the ring's single-owner-per-epoch invariant already excludes.
+// state. The check is read-compare-write per stream; because two nodes
+// adopting the same stream at adjacent epochs can interleave the two
+// halves (old writer reads "epoch e, fine", new writer lands e+1, old
+// writer's physical write lands last), Save re-reads after writing and
+// re-asserts its payload until the stored epoch is >= its own. The
+// higher-epoch writer therefore always converges as the winner; the
+// stale writer either fails the pre-check or is silently overwritten
+// before anyone can observe its bytes at takeover.
 type FencedStore struct {
 	inner fleet.StateStore
 	epoch atomic.Uint64
 }
+
+// fencedWriteError marks a fence refusal as permanent for the fleet's
+// retry machinery: re-trying a write the epoch fence rejected cannot
+// succeed and must not count against the store's circuit breaker.
+type fencedWriteError struct{ err error }
+
+func (e *fencedWriteError) Error() string        { return e.err.Error() }
+func (e *fencedWriteError) Unwrap() error        { return e.err }
+func (e *fencedWriteError) StorePermanent() bool { return true }
 
 // NewFencedStore wraps inner, stamping writes with the given epoch.
 func NewFencedStore(inner fleet.StateStore, epoch uint64) *FencedStore {
@@ -50,12 +64,15 @@ func (s *FencedStore) SetEpoch(e uint64) { s.epoch.Store(e) }
 func (s *FencedStore) Epoch() uint64 { return s.epoch.Load() }
 
 // Save persists snapshot under the current epoch, refusing if the store
-// already holds a strictly newer epoch for the stream.
+// already holds a strictly newer epoch for the stream. After writing it
+// reads the fence back: if an older writer's physical write landed after
+// ours (the adjacent-epoch takeover race), the payload is re-asserted so
+// the highest epoch always wins; if a newer one did, ErrStaleEpoch.
 func (s *FencedStore) Save(stream string, snapshot []byte) error {
 	mine := s.epoch.Load()
 	if _, stored, ok, err := s.load(stream); err == nil && ok && stored > mine {
-		return fmt.Errorf("%w: store holds epoch %d for %q, writer at %d",
-			ErrStaleEpoch, stored, stream, mine)
+		return &fencedWriteError{fmt.Errorf("%w: store holds epoch %d for %q, writer at %d",
+			ErrStaleEpoch, stored, stream, mine)}
 	} else if err != nil {
 		// A corrupt fence prefix blocks the write too — overwriting it
 		// blind could mask a newer owner's snapshot.
@@ -65,7 +82,35 @@ func (s *FencedStore) Save(stream string, snapshot []byte) error {
 	enc.Section(TagFence, fenceVersion)
 	enc.U64(mine)
 	enc.Blob(snapshot)
-	return s.inner.Save(stream, enc.Bytes())
+	for attempt := 0; ; attempt++ {
+		if err := s.inner.Save(stream, enc.Bytes()); err != nil {
+			return err
+		}
+		stored, ok, err := s.LoadEpoch(stream)
+		switch {
+		case err != nil:
+			return err
+		case ok && stored > mine:
+			return &fencedWriteError{fmt.Errorf("%w: epoch %d overwrote %q during save at %d",
+				ErrStaleEpoch, stored, stream, mine)}
+		case ok && stored == mine:
+			return nil
+		case attempt >= 8:
+			return fmt.Errorf("fence thrash on %q: stored epoch %d below writer %d after %d attempts",
+				stream, stored, mine, attempt+1)
+		}
+	}
+}
+
+// List forwards to the wrapped store's inventory when it has one (the
+// FileStore does): at takeover the surviving coordinator lists the
+// shared store to find the dead node's streams. Stores without listing
+// report no inventory rather than an error.
+func (s *FencedStore) List() ([]string, error) {
+	if l, ok := s.inner.(interface{ List() ([]string, error) }); ok {
+		return l.List()
+	}
+	return nil, nil
 }
 
 // Load returns the stream's snapshot with the fence prefix stripped.

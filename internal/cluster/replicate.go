@@ -1,0 +1,512 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phasekit/internal/wire"
+)
+
+// Replication queue and retry defaults.
+const (
+	// DefaultReplicaQueueCap bounds the coalescing queue: one slot per
+	// distinct stream with an unshipped snapshot. Overflow drops the
+	// oldest entry (and counts it) — replication is an availability
+	// optimization layered over the durable fenced store, so losing a
+	// replica costs recovery latency, never data.
+	DefaultReplicaQueueCap = 1024
+	// DefaultReplicaBackoff / DefaultReplicaMaxBackoff pace retries of a
+	// failed shipment.
+	DefaultReplicaBackoff    = 50 * time.Millisecond
+	DefaultReplicaMaxBackoff = 2 * time.Second
+	// DefaultReplicaBreakerThreshold consecutive transport failures open
+	// the breaker; shipments pause for DefaultReplicaBreakerCooldown.
+	DefaultReplicaBreakerThreshold = 5
+	DefaultReplicaBreakerCooldown  = 2 * time.Second
+)
+
+// ReplicatorConfig configures checkpoint replication for one node.
+type ReplicatorConfig struct {
+	// Coordinator supplies ring lookups (who is the successor, do we
+	// still own the stream) and the current epoch. Required.
+	Coordinator *Coordinator
+	// QueueCap bounds the coalescing queue. 0 means
+	// DefaultReplicaQueueCap.
+	QueueCap int
+	// Backoff / MaxBackoff pace shipment retries. Zeros get defaults.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// BreakerThreshold / BreakerCooldown configure the circuit breaker
+	// on consecutive transport failures. Zeros get defaults.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// DialTimeout bounds each successor dial and round trip. 0 means
+	// the coordinator's dial timeout.
+	DialTimeout time.Duration
+	// Ship overrides the transport for tests: deliver one snapshot to
+	// the successor at the given epoch. Nil means the wire protocol.
+	Ship func(succ Node, epoch uint64, stream string, snap []byte) error
+	// Logf, if non-nil, receives replication diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// replicaJob is one queued snapshot shipment.
+type replicaJob struct {
+	stream string
+	snap   []byte
+}
+
+// Replicator ships every checkpoint write to the stream's ring
+// successor, asynchronously, so a takeover can start from a warm local
+// replica instead of a cold store read.
+//
+// The queue coalesces by stream: a newer snapshot for a stream already
+// queued replaces the old one in place (keeping the stream's original
+// queue position), because only the latest checkpoint matters. The
+// queue is bounded; overflow drops the oldest stream's entry and
+// counts it. The worker re-resolves the successor and the epoch at
+// shipment time, not enqueue time — by the time a snapshot reaches the
+// head of the queue the ring may have changed, and a replica stamped
+// with a dead epoch would be refused anyway.
+type Replicator struct {
+	coord   *Coordinator
+	cap     int
+	backoff time.Duration
+	maxBO   time.Duration
+	brThr   int
+	brCool  time.Duration
+	dialTO  time.Duration
+	ship    func(succ Node, epoch uint64, stream string, snap []byte) error
+	logf    func(format string, args ...any)
+
+	mu       sync.Mutex
+	queued   map[string]int // stream → index in order
+	order    []replicaJob
+	wake     chan struct{}
+	closed   bool
+	inflight bool          // a popped job is being shipped right now
+	idle     chan struct{} // closed when no work is pending or in flight
+	idleOpen bool
+
+	connMu sync.Mutex
+	conns  map[string]*wire.Client
+
+	shipped, dropped  atomic.Uint64
+	stale, failures   atomic.Uint64
+	breakerOpenUntil  atomic.Int64 // unix nanos
+	consecFails       int
+	oldestEnqueuedNat atomic.Int64 // unix nanos of current queue head's enqueue, 0 if empty
+
+	done chan struct{}
+}
+
+// NewReplicator validates cfg and starts the shipment worker.
+func NewReplicator(cfg ReplicatorConfig) (*Replicator, error) {
+	if cfg.Coordinator == nil {
+		return nil, fmt.Errorf("cluster: replicator needs a coordinator")
+	}
+	r := &Replicator{
+		coord:   cfg.Coordinator,
+		cap:     cfg.QueueCap,
+		backoff: cfg.Backoff,
+		maxBO:   cfg.MaxBackoff,
+		brThr:   cfg.BreakerThreshold,
+		brCool:  cfg.BreakerCooldown,
+		dialTO:  cfg.DialTimeout,
+		ship:    cfg.Ship,
+		logf:    cfg.Logf,
+		queued:  make(map[string]int),
+		wake:    make(chan struct{}, 1),
+		idle:    make(chan struct{}),
+		conns:   make(map[string]*wire.Client),
+		done:    make(chan struct{}),
+	}
+	if r.cap <= 0 {
+		r.cap = DefaultReplicaQueueCap
+	}
+	if r.backoff <= 0 {
+		r.backoff = DefaultReplicaBackoff
+	}
+	if r.maxBO <= 0 {
+		r.maxBO = DefaultReplicaMaxBackoff
+	}
+	if r.brThr <= 0 {
+		r.brThr = DefaultReplicaBreakerThreshold
+	}
+	if r.brCool <= 0 {
+		r.brCool = DefaultReplicaBreakerCooldown
+	}
+	if r.dialTO <= 0 {
+		r.dialTO = cfg.Coordinator.dialTimeout
+	}
+	if r.ship == nil {
+		r.ship = r.wireShip
+	}
+	close(r.idle) // empty queue starts idle
+	go r.run()
+	return r, nil
+}
+
+func (r *Replicator) log(format string, args ...any) {
+	if r.logf != nil {
+		r.logf(format, args...)
+	}
+}
+
+// Offer queues one snapshot for replication. The caller must not
+// mutate snap after the call. Offers on a closed replicator or for a
+// single-node ring are dropped silently (there is nowhere to ship).
+func (r *Replicator) Offer(stream string, snap []byte) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if i, ok := r.queued[stream]; ok {
+		r.order[i].snap = snap // coalesce: newer snapshot supersedes
+		r.mu.Unlock()
+		return
+	}
+	if len(r.order) >= r.cap {
+		// Drop the oldest queued stream to stay bounded.
+		old := r.order[0]
+		r.order = r.order[1:]
+		delete(r.queued, old.stream)
+		for s, i := range r.queued {
+			r.queued[s] = i - 1
+		}
+		r.dropped.Add(1)
+		r.log("replicate: queue full; dropped oldest (%q)", old.stream)
+	}
+	if len(r.order) == 0 {
+		r.openIdleLocked()
+		r.oldestEnqueuedNat.Store(time.Now().UnixNano())
+	}
+	r.queued[stream] = len(r.order)
+	r.order = append(r.order, replicaJob{stream: stream, snap: snap})
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// openIdleLocked (re)arms the idle channel when work appears. Callers
+// hold r.mu.
+func (r *Replicator) openIdleLocked() {
+	if !r.idleOpen {
+		r.idle = make(chan struct{})
+		r.idleOpen = true
+	}
+}
+
+// closeIdleLocked releases Drain waiters once no work remains. Callers
+// hold r.mu.
+func (r *Replicator) closeIdleLocked() {
+	if r.idleOpen {
+		close(r.idle)
+		r.idleOpen = false
+	}
+}
+
+// pop removes and returns the queue head, marking it in flight; the
+// worker must call finishJob once the shipment attempt concludes.
+func (r *Replicator) pop() (replicaJob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) == 0 {
+		return replicaJob{}, false
+	}
+	job := r.order[0]
+	r.order = r.order[1:]
+	delete(r.queued, job.stream)
+	for s, i := range r.queued {
+		r.queued[s] = i - 1
+	}
+	r.inflight = true
+	if len(r.order) == 0 {
+		r.oldestEnqueuedNat.Store(0)
+	} else {
+		r.oldestEnqueuedNat.Store(time.Now().UnixNano())
+	}
+	return job, true
+}
+
+// finishJob clears the in-flight mark and, with the queue also empty,
+// releases Drain waiters. (Drain must cover the in-flight job: a
+// shipment mid-retry is exactly the replication lag a pre-shutdown
+// drain exists to flush.)
+func (r *Replicator) finishJob() {
+	r.mu.Lock()
+	r.inflight = false
+	if len(r.order) == 0 {
+		r.closeIdleLocked()
+	}
+	r.mu.Unlock()
+}
+
+// run is the shipment worker.
+func (r *Replicator) run() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.wake:
+		}
+		for {
+			if until := r.breakerOpenUntil.Load(); until > 0 {
+				wait := time.Until(time.Unix(0, until))
+				if wait > 0 {
+					select {
+					case <-r.done:
+						return
+					case <-time.After(wait):
+					}
+				}
+				r.breakerOpenUntil.Store(0)
+			}
+			job, ok := r.pop()
+			if !ok {
+				break
+			}
+			r.shipOne(job)
+			r.finishJob()
+			select {
+			case <-r.done:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// shipOne delivers one snapshot to the stream's current successor,
+// retrying transport failures with backoff within this call. A stale-
+// epoch refusal or ownership loss drops the job: the ring moved on and
+// the new owner checkpoints for itself.
+func (r *Replicator) shipOne(job replicaJob) {
+	ring := r.coord.Ring()
+	if ring.Owner(job.stream).ID != r.coord.Self().ID {
+		return // no longer ours; the new owner replicates it
+	}
+	succ, ok := ring.Successor(job.stream)
+	if !ok {
+		return // single-node ring: nowhere to ship
+	}
+	epoch := ring.Epoch()
+	bo := r.backoff
+	for attempt := 0; ; attempt++ {
+		err := r.ship(succ, epoch, job.stream, job.snap)
+		if err == nil {
+			r.shipped.Add(1)
+			r.consecFails = 0
+			return
+		}
+		if errors.Is(err, ErrStaleEpoch) || isStaleNack(err) {
+			r.stale.Add(1)
+			r.log("replicate %q: successor %s refused epoch %d as stale; dropping", job.stream, succ.ID, epoch)
+			return
+		}
+		r.failures.Add(1)
+		r.consecFails++
+		if r.consecFails >= r.brThr {
+			r.log("replicate: breaker open after %d consecutive failures (last: %v)", r.consecFails, err)
+			r.breakerOpenUntil.Store(time.Now().Add(r.brCool).UnixNano())
+			r.consecFails = 0
+			// Requeue so the snapshot ships after cooldown (unless a
+			// newer one supersedes it meanwhile).
+			r.reoffer(job)
+			return
+		}
+		if attempt >= 2 {
+			r.log("replicate %q to %s: %v (giving up this round)", job.stream, succ.ID, err)
+			r.reoffer(job)
+			return
+		}
+		select {
+		case <-r.done:
+			return
+		case <-time.After(bo):
+		}
+		if bo *= 2; bo > r.maxBO {
+			bo = r.maxBO
+		}
+	}
+}
+
+// reoffer puts a job back on the queue tail unless a newer snapshot
+// for the stream was queued while it was in flight.
+func (r *Replicator) reoffer(job replicaJob) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if _, ok := r.queued[job.stream]; ok {
+		return
+	}
+	if len(r.order) >= r.cap {
+		r.dropped.Add(1)
+		return
+	}
+	if len(r.order) == 0 {
+		r.openIdleLocked()
+		r.oldestEnqueuedNat.Store(time.Now().UnixNano())
+	}
+	r.queued[job.stream] = len(r.order)
+	r.order = append(r.order, job)
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// isStaleNack recognizes a stale-epoch refusal that crossed the wire.
+func isStaleNack(err error) bool {
+	var ne *wire.NackError
+	return errors.As(err, &ne) && ne.Code == wire.NackStaleEpoch
+}
+
+// wireShip is the production transport: one cached connection per
+// successor address, dropped on error.
+func (r *Replicator) wireShip(succ Node, epoch uint64, stream string, snap []byte) error {
+	r.connMu.Lock()
+	cl, ok := r.conns[succ.Addr]
+	if !ok {
+		var err error
+		cl, err = wire.Dial(succ.Addr, r.dialTO)
+		if err != nil {
+			r.connMu.Unlock()
+			return err
+		}
+		r.conns[succ.Addr] = cl
+	}
+	r.connMu.Unlock()
+	if err := cl.SendReplica(epoch, stream, snap); err != nil {
+		if !isStaleNack(err) {
+			r.connMu.Lock()
+			if r.conns[succ.Addr] == cl {
+				delete(r.conns, succ.Addr)
+			}
+			r.connMu.Unlock()
+			cl.Close()
+		}
+		return err
+	}
+	return nil
+}
+
+// Lag returns the queue depth and the age of the oldest queued
+// snapshot — the replication window: how much checkpoint state a
+// takeover could be missing right now.
+func (r *Replicator) Lag() (queued int, oldest time.Duration) {
+	r.mu.Lock()
+	queued = len(r.order)
+	r.mu.Unlock()
+	if at := r.oldestEnqueuedNat.Load(); at > 0 {
+		oldest = time.Since(time.Unix(0, at))
+	}
+	return queued, oldest
+}
+
+// Drain blocks until the queue is empty (every offered snapshot
+// shipped, refused, or dropped) or ctx expires.
+func (r *Replicator) Drain(ctx context.Context) error {
+	for {
+		r.mu.Lock()
+		idle := r.idle
+		done := (len(r.order) == 0 && !r.inflight) || r.closed
+		r.mu.Unlock()
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-idle:
+		}
+	}
+}
+
+// Close stops the worker and drops connections. Queued snapshots are
+// discarded — the fenced store already holds them durably.
+func (r *Replicator) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.closeIdleLocked() // release any Drain waiter; the queue is forfeit
+	r.mu.Unlock()
+	close(r.done)
+	r.connMu.Lock()
+	for addr, cl := range r.conns {
+		cl.Close()
+		delete(r.conns, addr)
+	}
+	r.connMu.Unlock()
+}
+
+// ReplicationStatus is the replicator's health as reported by
+// Coordinator.Status.
+type ReplicationStatus struct {
+	Queued      int
+	OldestAgeMs int64
+	Shipped     uint64
+	Dropped     uint64
+	Stale       uint64
+	Failures    uint64
+}
+
+// StatusSnapshot returns the replicator's counters.
+func (r *Replicator) StatusSnapshot() ReplicationStatus {
+	q, oldest := r.Lag()
+	return ReplicationStatus{
+		Queued:      q,
+		OldestAgeMs: oldest.Milliseconds(),
+		Shipped:     r.shipped.Load(),
+		Dropped:     r.dropped.Load(),
+		Stale:       r.stale.Load(),
+		Failures:    r.failures.Load(),
+	}
+}
+
+// ReplicatedStore layers successor replication over a FencedStore:
+// every successful Save is also offered to the replicator, which ships
+// it asynchronously to the stream's ring successor. Load and the rest
+// of the store interface pass through.
+//
+// The replicator is attached after construction (it needs the
+// coordinator, which needs the fleet, which needs this store); until
+// then Save writes through without replicating.
+type ReplicatedStore struct {
+	*FencedStore
+	repl atomic.Pointer[Replicator]
+}
+
+// NewReplicatedStore wraps fence with asynchronous successor
+// replication; call SetReplicator once the replicator exists.
+func NewReplicatedStore(fence *FencedStore) *ReplicatedStore {
+	return &ReplicatedStore{FencedStore: fence}
+}
+
+// SetReplicator wires in (or replaces) the replicator.
+func (s *ReplicatedStore) SetReplicator(r *Replicator) { s.repl.Store(r) }
+
+// Save writes through the fence, then offers the snapshot for
+// replication. The replica is a copy: the fleet reuses snapshot
+// buffers across checkpoints.
+func (s *ReplicatedStore) Save(stream string, snap []byte) error {
+	if err := s.FencedStore.Save(stream, snap); err != nil {
+		return err
+	}
+	if r := s.repl.Load(); r != nil {
+		r.Offer(stream, append([]byte(nil), snap...))
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+package cluster
+
+// Replicator unit tests drive the shipment worker through a scripted
+// Ship function — no sockets. Each harness is a two-node ring where
+// self owns a known stream, so the successor is the other node.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"phasekit/internal/fleet"
+	"phasekit/internal/wire"
+)
+
+// shipRecord is one delivered replica as seen by the scripted transport.
+type shipRecord struct {
+	succ   string
+	epoch  uint64
+	stream string
+	snap   []byte
+}
+
+// shipLog collects deliveries and can block them on demand.
+type shipLog struct {
+	mu      sync.Mutex
+	records []shipRecord
+	gate    chan struct{} // non-nil: Ship blocks until closed
+}
+
+func (l *shipLog) ship(succ Node, epoch uint64, stream string, snap []byte) error {
+	l.mu.Lock()
+	gate := l.gate
+	l.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	l.mu.Lock()
+	l.records = append(l.records, shipRecord{succ.ID, epoch, stream, append([]byte(nil), snap...)})
+	l.mu.Unlock()
+	return nil
+}
+
+func (l *shipLog) all() []shipRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]shipRecord(nil), l.records...)
+}
+
+// newReplCoordinator builds a coordinator over the two-node ring
+// {n1, n2} with self = n1.
+func newReplCoordinator(t *testing.T) *Coordinator {
+	t.Helper()
+	f := fleet.New(fleet.Config{Shards: 1, Tracker: coordTrackerConfig()})
+	t.Cleanup(f.Close)
+	nodes := []Node{{ID: "n1", Addr: "127.0.0.1:1"}, {ID: "n2", Addr: "127.0.0.1:1"}}
+	co, err := NewCoordinator(CoordinatorConfig{
+		Self: nodes[0], Fleet: f, Initial: mustRing(t, 1, nodes),
+		DialTimeout: 50 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+func mustDrain(t *testing.T, r *Replicator) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestReplicatorShipsToSuccessor: an offered snapshot reaches the
+// stream's ring successor at the current epoch.
+func TestReplicatorShipsToSuccessor(t *testing.T) {
+	co := newReplCoordinator(t)
+	log := &shipLog{}
+	r, err := NewReplicator(ReplicatorConfig{Coordinator: co, Ship: log.ship, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	s := streamOwnedBy(t, co.Ring(), "n1")
+	r.Offer(s, []byte("snapshot-v1"))
+	mustDrain(t, r)
+
+	recs := log.all()
+	if len(recs) != 1 {
+		t.Fatalf("shipments: %d, want 1 (%+v)", len(recs), recs)
+	}
+	got := recs[0]
+	if got.succ != "n2" || got.epoch != 1 || got.stream != s || string(got.snap) != "snapshot-v1" {
+		t.Fatalf("shipment: %+v", got)
+	}
+	if st := r.StatusSnapshot(); st.Shipped != 1 || st.Queued != 0 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+// TestReplicatorCoalesces: re-offering a queued stream replaces its
+// snapshot in place — only the newest version ships.
+func TestReplicatorCoalesces(t *testing.T) {
+	co := newReplCoordinator(t)
+	gate := make(chan struct{})
+	log := &shipLog{gate: gate}
+	r, err := NewReplicator(ReplicatorConfig{Coordinator: co, Ship: log.ship, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Two distinct streams owned by n1: a blocker to occupy the worker
+	// and the stream whose offers should coalesce. The blocker must be
+	// owned here too, or shipOne skips it without ever blocking.
+	var owned []string
+	for i := 0; len(owned) < 2; i++ {
+		name := fmt.Sprintf("stream-%d", i)
+		if co.Ring().Owner(name).ID == "n1" {
+			owned = append(owned, name)
+		}
+	}
+	blocker, s := owned[0], owned[1]
+	// The first offer goes in flight and blocks on the gate, so the
+	// later offers hit the queue, not the in-flight job.
+	r.Offer(blocker, []byte("hold"))
+	deadline := time.Now().Add(2 * time.Second)
+	for q, _ := r.Lag(); q != 0; q, _ = r.Lag() {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the blocker job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	r.Offer(s, []byte("v1"))
+	r.Offer(s, []byte("v2"))
+	r.Offer(s, []byte("v3"))
+	if q, _ := r.Lag(); q != 1 {
+		t.Fatalf("queue depth with coalescing: %d, want 1", q)
+	}
+	close(gate)
+	log.mu.Lock()
+	log.gate = nil
+	log.mu.Unlock()
+	mustDrain(t, r)
+
+	var forS []shipRecord
+	for _, rec := range log.all() {
+		if rec.stream == s {
+			forS = append(forS, rec)
+		}
+	}
+	if len(forS) != 1 || string(forS[0].snap) != "v3" {
+		t.Fatalf("coalesced shipments for %q: %+v, want one v3", s, forS)
+	}
+}
+
+// TestReplicatorOverflowDropsOldest: a full queue evicts its oldest
+// entry (counted), never blocks the checkpoint path.
+func TestReplicatorOverflowDropsOldest(t *testing.T) {
+	co := newReplCoordinator(t)
+	gate := make(chan struct{})
+	log := &shipLog{gate: gate}
+	r, err := NewReplicator(ReplicatorConfig{Coordinator: co, QueueCap: 2, Ship: log.ship, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Three distinct streams owned by n1.
+	var owned []string
+	for i := 0; len(owned) < 4; i++ {
+		name := fmt.Sprintf("stream-%d", i)
+		if co.Ring().Owner(name).ID == "n1" {
+			owned = append(owned, name)
+		}
+	}
+	r.Offer(owned[0], []byte("blocker"))
+	deadline := time.Now().Add(2 * time.Second)
+	for q, _ := r.Lag(); q != 0; q, _ = r.Lag() {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the blocker job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Offer(owned[1], []byte("a"))
+	r.Offer(owned[2], []byte("b"))
+	r.Offer(owned[3], []byte("c")) // overflow: owned[1] dropped
+	if q, _ := r.Lag(); q != 2 {
+		t.Fatalf("queue depth after overflow: %d, want 2", q)
+	}
+	close(gate)
+	log.mu.Lock()
+	log.gate = nil
+	log.mu.Unlock()
+	mustDrain(t, r)
+
+	shippedStreams := map[string]bool{}
+	for _, rec := range log.all() {
+		shippedStreams[rec.stream] = true
+	}
+	if shippedStreams[owned[1]] {
+		t.Fatalf("dropped stream %q was shipped anyway", owned[1])
+	}
+	if !shippedStreams[owned[2]] || !shippedStreams[owned[3]] {
+		t.Fatalf("surviving streams not shipped: %v", shippedStreams)
+	}
+	if st := r.StatusSnapshot(); st.Dropped != 1 {
+		t.Fatalf("dropped counter: %d, want 1", st.Dropped)
+	}
+}
+
+// TestReplicatorStaleNackDrops: a successor refusing the replica as
+// stale-epoch means the ring moved on — the job is dropped without
+// retries and counted.
+func TestReplicatorStaleNackDrops(t *testing.T) {
+	co := newReplCoordinator(t)
+	var calls atomic64
+	r, err := NewReplicator(ReplicatorConfig{
+		Coordinator: co,
+		Ship: func(succ Node, epoch uint64, stream string, snap []byte) error {
+			calls.add(1)
+			return &wire.NackError{Code: wire.NackStaleEpoch, Detail: "replica at epoch 1, current 2"}
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	r.Offer(streamOwnedBy(t, co.Ring(), "n1"), []byte("snap"))
+	mustDrain(t, r)
+
+	if n := calls.load(); n != 1 {
+		t.Fatalf("ship attempts on stale nack: %d, want 1 (no retry)", n)
+	}
+	if st := r.StatusSnapshot(); st.Stale != 1 || st.Shipped != 0 || st.Failures != 0 {
+		t.Fatalf("status after stale nack: %+v", st)
+	}
+}
+
+// TestReplicatorSkipsUnownedAndSuccessorless: ownership and the
+// successor are resolved at ship time — a stream the ring assigns
+// elsewhere is silently skipped, as is everything on a one-node ring.
+func TestReplicatorSkipsUnownedAndSuccessorless(t *testing.T) {
+	co := newReplCoordinator(t)
+	log := &shipLog{}
+	r, err := NewReplicator(ReplicatorConfig{Coordinator: co, Ship: log.ship, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	r.Offer(streamOwnedBy(t, co.Ring(), "n2"), []byte("not-ours"))
+	mustDrain(t, r)
+	if recs := log.all(); len(recs) != 0 {
+		t.Fatalf("shipped a stream the ring assigns to a peer: %+v", recs)
+	}
+
+	// Single-node coordinator: no successor exists for anything.
+	f := fleet.New(fleet.Config{Shards: 1, Tracker: coordTrackerConfig()})
+	t.Cleanup(f.Close)
+	solo := Node{ID: "solo", Addr: "127.0.0.1:1"}
+	soloCo, err := NewCoordinator(CoordinatorConfig{Self: solo, Fleet: f, Initial: mustRing(t, 1, []Node{solo})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReplicator(ReplicatorConfig{Coordinator: soloCo, Ship: log.ship, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	r2.Offer("any-stream", []byte("nowhere-to-go"))
+	mustDrain(t, r2)
+	if recs := log.all(); len(recs) != 0 {
+		t.Fatalf("shipped on a single-node ring: %+v", recs)
+	}
+}
+
+// TestReplicatorRetriesTransportFailure: transient transport errors
+// retry with backoff inside one round and eventually succeed.
+func TestReplicatorRetriesTransportFailure(t *testing.T) {
+	co := newReplCoordinator(t)
+	log := &shipLog{}
+	var calls atomic64
+	r, err := NewReplicator(ReplicatorConfig{
+		Coordinator: co,
+		Backoff:     time.Millisecond,
+		Ship: func(succ Node, epoch uint64, stream string, snap []byte) error {
+			if calls.add(1) <= 2 {
+				return fmt.Errorf("connection reset")
+			}
+			return log.ship(succ, epoch, stream, snap)
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	r.Offer(streamOwnedBy(t, co.Ring(), "n1"), []byte("snap"))
+	mustDrain(t, r)
+
+	if len(log.all()) != 1 {
+		t.Fatalf("shipments after transient failures: %d, want 1", len(log.all()))
+	}
+	if st := r.StatusSnapshot(); st.Failures != 2 || st.Shipped != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+// TestReplicatedStoreCopiesSnapshot: Save must replicate a copy — the
+// fleet reuses its snapshot buffer across checkpoints, so an aliased
+// replica would be silently corrupted by the next checkpoint.
+func TestReplicatedStoreCopiesSnapshot(t *testing.T) {
+	co := newReplCoordinator(t)
+	gate := make(chan struct{})
+	log := &shipLog{gate: gate}
+	r, err := NewReplicator(ReplicatorConfig{Coordinator: co, Ship: log.ship, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	rs := NewReplicatedStore(NewFencedStore(fleet.NewMemStore(), 1))
+	rs.SetReplicator(r)
+
+	s := streamOwnedBy(t, co.Ring(), "n1")
+	buf := []byte("original-bytes")
+	if err := rs.Save(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte("CLOBBERED!!!!!"))
+	close(gate)
+	log.mu.Lock()
+	log.gate = nil
+	log.mu.Unlock()
+	mustDrain(t, r)
+
+	recs := log.all()
+	if len(recs) != 1 || !bytes.Equal(recs[0].snap, []byte("original-bytes")) {
+		t.Fatalf("replica after caller mutation: %+v", recs)
+	}
+	// And the write went through the fence before the mutation.
+	snap, ok, err := rs.Load(s)
+	if err != nil || !ok || !bytes.Equal(snap, []byte("original-bytes")) {
+		t.Fatalf("fenced load: %q ok=%v err=%v", snap, ok, err)
+	}
+}
+
+// atomic64 is a tiny counter helper (sync/atomic with less ceremony).
+type atomic64 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic64) add(d int) int { a.mu.Lock(); defer a.mu.Unlock(); a.n += d; return a.n }
+func (a *atomic64) load() int     { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

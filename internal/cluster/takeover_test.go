@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"phasekit/internal/fleet"
+)
+
+// TestSuccessorMatchesLeaveOwner pins the replica-placement property
+// the takeover path depends on: a stream's ring successor is exactly
+// the node that inherits it when its owner leaves. A replica shipped to
+// Successor(s) is therefore always in the right hands when the owner
+// dies.
+func TestSuccessorMatchesLeaveOwner(t *testing.T) {
+	for _, size := range []int{2, 3, 5, 9} {
+		nodes := make([]Node, size)
+		for i := range nodes {
+			nodes[i] = Node{ID: fmt.Sprintf("node-%02d", i), Addr: "127.0.0.1:1"}
+		}
+		r := mustRing(t, 1, nodes)
+		for i := 0; i < 2000; i++ {
+			s := fmt.Sprintf("stream-%d", i)
+			owner := r.Owner(s)
+			succ, ok := r.Successor(s)
+			if !ok {
+				t.Fatalf("size %d: no successor for %q", size, s)
+			}
+			if succ.ID == owner.ID {
+				t.Fatalf("size %d: successor of %q equals its owner %q", size, s, owner.ID)
+			}
+			after, err := r.WithLeave(owner.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := after.Owner(s).ID; got != succ.ID {
+				t.Fatalf("size %d stream %q: Successor says %q, WithLeave(owner) assigns %q",
+					size, s, succ.ID, got)
+			}
+		}
+	}
+}
+
+// TestSuccessorSingleNode: a one-node ring has nowhere to replicate.
+func TestSuccessorSingleNode(t *testing.T) {
+	r := mustRing(t, 1, []Node{{ID: "only", Addr: "127.0.0.1:1"}})
+	if succ, ok := r.Successor("any"); ok {
+		t.Fatalf("single-node ring returned successor %+v", succ)
+	}
+}
+
+// TestFencedStoreConcurrentTakeoverOneWinner races two writers at
+// adjacent epochs — the exact shape of a takeover where the old owner
+// is still alive — over one shared store. Whatever the interleaving,
+// the store must converge to the higher epoch's payload, and the lower
+// epoch's writer must never be the final state.
+func TestFencedStoreConcurrentTakeoverOneWinner(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		mem := fleet.NewMemStore()
+		oldOwner := NewFencedStore(mem, 4)
+		newOwner := NewFencedStore(mem, 5)
+		oldSnap := []byte("payload-from-epoch-4")
+		newSnap := []byte("payload-from-epoch-5")
+
+		var wg sync.WaitGroup
+		var oldErr, newErr error
+		wg.Add(2)
+		go func() { defer wg.Done(); oldErr = oldOwner.Save("s", oldSnap) }()
+		go func() { defer wg.Done(); newErr = newOwner.Save("s", newSnap) }()
+		wg.Wait()
+
+		if newErr != nil {
+			t.Fatalf("round %d: higher-epoch writer failed: %v", round, newErr)
+		}
+		if oldErr != nil {
+			// The only acceptable failure is a permanent fence refusal.
+			if !errors.Is(oldErr, ErrStaleEpoch) {
+				t.Fatalf("round %d: stale writer error: %v", round, oldErr)
+			}
+			var pe interface{ StorePermanent() bool }
+			if !errors.As(oldErr, &pe) || !pe.StorePermanent() {
+				t.Fatalf("round %d: fence refusal not marked permanent: %v", round, oldErr)
+			}
+		}
+
+		epoch, ok, err := newOwner.LoadEpoch("s")
+		if err != nil || !ok || epoch != 5 {
+			t.Fatalf("round %d: final epoch %d ok=%v err=%v, want 5", round, epoch, ok, err)
+		}
+		snap, ok, err := newOwner.Load("s")
+		if err != nil || !ok || !bytes.Equal(snap, newSnap) {
+			t.Fatalf("round %d: final payload %q ok=%v err=%v, want epoch-5 payload", round, snap, ok, err)
+		}
+	}
+}
+
+// TestFencedStoreZombieRefused is the steady-state (non-racing) half of
+// the fencing guarantee: once the new owner has checkpointed at e+1, a
+// returning zombie's write at e is refused outright.
+func TestFencedStoreZombieRefused(t *testing.T) {
+	mem := fleet.NewMemStore()
+	zombie := NewFencedStore(mem, 4)
+	survivor := NewFencedStore(mem, 5)
+
+	if err := survivor.Save("s", []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	err := zombie.Save("s", []byte("zombie"))
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("zombie write: %v, want ErrStaleEpoch", err)
+	}
+	snap, _, err := survivor.Load("s")
+	if err != nil || !bytes.Equal(snap, []byte("survivor")) {
+		t.Fatalf("payload after zombie attempt: %q err=%v", snap, err)
+	}
+}

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeshOneWayBlock: Block severs one direction only — the defining
+// property the detector's one-way-partition tests lean on.
+func TestMeshOneWayBlock(t *testing.T) {
+	m := NewMesh(1)
+	m.Block("a", "b")
+	if v := m.Judge("a", "b"); !v.Drop {
+		t.Fatal("a→b not dropped after Block(a, b)")
+	}
+	if v := m.Judge("b", "a"); v.Drop {
+		t.Fatal("b→a dropped: Block must be directed")
+	}
+	m.Heal("a", "b")
+	if v := m.Judge("a", "b"); v.Drop {
+		t.Fatal("a→b still dropped after Heal")
+	}
+	delivered, dropped, _ := m.Stats()
+	if delivered != 2 || dropped != 1 {
+		t.Fatalf("stats: delivered=%d dropped=%d, want 2/1", delivered, dropped)
+	}
+}
+
+// TestMeshIsolateRejoin severs and restores both directions to every
+// named peer.
+func TestMeshIsolateRejoin(t *testing.T) {
+	m := NewMesh(1)
+	m.Isolate("x", "a", "b")
+	for _, pair := range [][2]string{{"x", "a"}, {"a", "x"}, {"x", "b"}, {"b", "x"}} {
+		if v := m.Judge(pair[0], pair[1]); !v.Drop {
+			t.Fatalf("%s→%s delivered while x isolated", pair[0], pair[1])
+		}
+	}
+	m.Rejoin("x", "a", "b")
+	for _, pair := range [][2]string{{"x", "a"}, {"a", "x"}, {"x", "b"}, {"b", "x"}} {
+		if v := m.Judge(pair[0], pair[1]); v.Drop {
+			t.Fatalf("%s→%s dropped after Rejoin", pair[0], pair[1])
+		}
+	}
+}
+
+// TestMeshSchedules: counter-based drop/dup fire on exact multiples;
+// Delay rides along on every delivered message.
+func TestMeshSchedules(t *testing.T) {
+	m := NewMesh(1)
+	m.SetSchedule("a", "b", LinkSchedule{DropEvery: 3, DupEvery: 4, Delay: 5 * time.Millisecond})
+	var drops, dups int
+	for i := 1; i <= 12; i++ {
+		v := m.Judge("a", "b")
+		if v.Drop {
+			drops++
+			if i%3 != 0 {
+				t.Fatalf("message %d dropped; DropEvery=3", i)
+			}
+			continue
+		}
+		if v.Delay != 5*time.Millisecond {
+			t.Fatalf("message %d delay %v", i, v.Delay)
+		}
+		if v.Duplicate {
+			dups++
+			if i%4 != 0 {
+				t.Fatalf("message %d duplicated; DupEvery=4", i)
+			}
+		}
+	}
+	// Of 12 messages: 3, 6, 9, 12 hit DropEvery; 4, 8 hit DupEvery
+	// (12 dropped first — drop wins over dup).
+	if drops != 4 || dups != 2 {
+		t.Fatalf("drops=%d dups=%d, want 4/2", drops, dups)
+	}
+}
+
+// TestMeshProbabilisticDeterminism: the same seed must replay the same
+// drop pattern — chaos tests depend on byte-identical reruns — and
+// distinct links must fault at independent points.
+func TestMeshProbabilisticDeterminism(t *testing.T) {
+	pattern := func(seed uint64, from, to string) []bool {
+		m := NewMesh(seed)
+		m.SetSchedule(from, to, LinkSchedule{DropProb: 300})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = m.Judge(from, to).Drop
+		}
+		return out
+	}
+	a1 := pattern(42, "a", "b")
+	a2 := pattern(42, "a", "b")
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at message %d", i)
+		}
+	}
+	b := pattern(42, "b", "a")
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("links a→b and b→a share a fault pattern; generators must be link-keyed")
+	}
+	var drops int
+	for _, d := range a1 {
+		if d {
+			drops++
+		}
+	}
+	// 300/1000 over 200 messages: allow a generous band around 60.
+	if drops < 30 || drops > 100 {
+		t.Fatalf("drop count %d wildly off p=0.3 over 200 messages", drops)
+	}
+}
+
+// TestClock: Now is frozen between Advances.
+func TestClock(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("start: %v", c.Now())
+	}
+	if got := c.Advance(3 * time.Second); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("advance returned %v", got)
+	}
+	if !c.Now().Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("after advance: %v", c.Now())
+	}
+	before := c.Now()
+	if !c.Now().Equal(before) {
+		t.Fatal("clock moved without Advance")
+	}
+}

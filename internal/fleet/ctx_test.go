@@ -42,7 +42,7 @@ func wedgedFleet(t *testing.T) (*Fleet, chan struct{}) {
 	if err := f.Send(intervalBatch("wedge")); err != nil { // worker picks this up and parks
 		t.Fatalf("Send: %v", err)
 	}
-	<-entered // worker is inside OnInterval
+	<-entered                                              // worker is inside OnInterval
 	if err := f.Send(intervalBatch("wedge")); err != nil { // fills the queue slot
 		t.Fatalf("Send: %v", err)
 	}

@@ -75,11 +75,21 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// PermanentError marks a store error that no retry can fix. Wrappers
+// outside this package (the cluster's epoch fence, notably) implement
+// it so a refused write fails fast instead of burning retries and
+// tripping the circuit breaker on a perfectly reachable store.
+type PermanentError interface{ StorePermanent() bool }
+
 // permanent reports whether err is a data error that no retry can fix
 // (and that must not trip the breaker: the store is reachable, the
 // bytes are bad).
 func permanent(err error) bool {
-	return errors.Is(err, ErrSnapshotCorrupt) || errors.Is(err, ErrSnapshotTooLarge)
+	if errors.Is(err, ErrSnapshotCorrupt) || errors.Is(err, ErrSnapshotTooLarge) {
+		return true
+	}
+	var pe PermanentError
+	return errors.As(err, &pe) && pe.StorePermanent()
 }
 
 // retrier wraps a StateStore with capped exponential backoff plus

@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -70,6 +71,19 @@ func (s *MemStore) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.snaps)
+}
+
+// List returns the stored stream IDs in sorted order — the same
+// takeover inventory the FileStore offers, for in-memory cluster tests.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.snaps))
+	for name := range s.snaps {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names, nil
 }
 
 // Corrupt overwrites a stored snapshot with mutated bytes (bit-flip of

@@ -43,6 +43,15 @@ func (s *Server) HealthHandler() http.Handler {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
+		// Degraded is 200, not 503: a node that suspects a peer (or is
+		// mid-takeover) is still fully able to serve, and pulling it
+		// from the load balancer during a partition would turn one
+		// node's outage into the cluster's.
+		if s.cfg.Cluster != nil && s.cfg.Cluster.Degraded() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("degraded: peer suspect/dead or takeover in flight\n"))
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ready\n"))
 	})
@@ -139,5 +148,30 @@ func (s *Server) clusterRoutes(mux *http.ServeMux) {
 			return
 		}
 		writeRing(w, ring)
+	})
+	mux.HandleFunc("/cluster/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		// Quiesce durable state without stopping the node: checkpoint
+		// every resident stream through the (fenced, replicated) store,
+		// then wait for the replication queue to drain. After a 200 the
+		// store and the successors hold everything the node has seen —
+		// the fsync barrier the crash-failover script runs before
+		// kill -9.
+		if !post(w, r) {
+			return
+		}
+		ctx := r.Context()
+		if err := s.cfg.Fleet.CheckpointCtx(ctx); err != nil {
+			fail(w, err)
+			return
+		}
+		if err := co.DrainReplication(ctx); err != nil {
+			fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Checkpointed bool
+			Epoch        uint64
+		}{true, co.Epoch()})
 	})
 }

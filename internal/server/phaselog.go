@@ -17,9 +17,17 @@ import (
 // server-ingested run byte-comparable with an in-process one: interval
 // indices survive checkpoint/restore, so logs concatenated across a
 // restart line up exactly with an uninterrupted run's.
+// In streaming mode (StreamTo) the recorder instead writes each line
+// the moment the interval closes. That trades the sorted output for
+// crash consistency: after a kill -9 the log holds every interval the
+// fleet completed (the write happened before Record returned, and the
+// kernel's page cache survives the process), so a node that dies
+// without draining still leaves a log that unions cleanly — after a
+// sort — with the survivors'.
 type PhaseRecorder struct {
 	mu  sync.Mutex
 	seq map[string][][2]int // stream -> (interval index, phase ID)
+	out *os.File            // non-nil in streaming mode
 }
 
 // NewPhaseRecorder returns an empty recorder.
@@ -27,12 +35,47 @@ func NewPhaseRecorder() *PhaseRecorder {
 	return &PhaseRecorder{seq: make(map[string][][2]int)}
 }
 
+// StreamTo switches the recorder to streaming mode: every Record from
+// now on appends its line to path immediately instead of accumulating
+// in memory. Intervals already accumulated stay in memory until
+// AppendTo.
+func (r *PhaseRecorder) StreamTo(path string) error {
+	fl, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.out != nil {
+		r.out.Close()
+	}
+	r.out = fl
+	r.mu.Unlock()
+	return nil
+}
+
 // Record appends one interval result; safe for concurrent use (wire it
 // as fleet.Config.OnInterval).
 func (r *PhaseRecorder) Record(stream string, res core.IntervalResult) {
 	r.mu.Lock()
+	if r.out != nil {
+		fmt.Fprintf(r.out, "%s %d %d\n", stream, res.Index, res.PhaseID)
+		r.mu.Unlock()
+		return
+	}
 	r.seq[stream] = append(r.seq[stream], [2]int{res.Index, res.PhaseID})
 	r.mu.Unlock()
+}
+
+// Close closes the streaming file, if any.
+func (r *PhaseRecorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.out == nil {
+		return nil
+	}
+	err := r.out.Close()
+	r.out = nil
+	return err
 }
 
 // AppendTo appends the recorded sequences to path (creating it if

@@ -148,6 +148,12 @@ type Metrics struct {
 	// zero outside cluster mode.
 	Redirects uint64
 	Handoffs  uint64
+	// Pings and Probes count failure-detector heartbeats and quorum
+	// probes answered; Replicas counts checkpoint replicas accepted
+	// from ring predecessors. All stay zero outside cluster mode.
+	Pings    uint64
+	Probes   uint64
+	Replicas uint64
 }
 
 // Server serves the wire ingest protocol over TCP. Create with New,
@@ -169,6 +175,7 @@ type Server struct {
 
 	conns64, frames, acks, nacks, malformed, dead atomic.Uint64
 	bursts, burstFrames, redirects, handoffs      atomic.Uint64
+	pings, probes, replicas                       atomic.Uint64
 }
 
 // New returns an unstarted server.
@@ -216,6 +223,9 @@ func (s *Server) Metrics() Metrics {
 		BurstFrames: s.burstFrames.Load(),
 		Redirects:   s.redirects.Load(),
 		Handoffs:    s.handoffs.Load(),
+		Pings:       s.pings.Load(),
+		Probes:      s.probes.Load(),
+		Replicas:    s.replicas.Load(),
 	}
 }
 
@@ -600,7 +610,8 @@ func (s *Server) handleFrame(cs *connState, payload, wbuf []byte) []byte {
 		err := s.cfg.Fleet.FlushCtx(ctx)
 		cancel()
 		return s.ingestResult(wbuf, fr.Seq, err, "")
-	case wire.TagJoin, wire.TagAssign, wire.TagHandoffSnapshot:
+	case wire.TagJoin, wire.TagAssign, wire.TagHandoffSnapshot,
+		wire.TagPing, wire.TagProbe, wire.TagReplicate:
 		// fr.Stream and fr.Snap are views into payload, valid for the
 		// synchronous dispatch; buf carried no events for these tags.
 		buf.recycle()
@@ -635,6 +646,28 @@ func (s *Server) controlFrame(fr wire.FrameView, wbuf []byte) []byte {
 		if _, err := co.ApplyAssign(next); err != nil {
 			return s.nack(wbuf, fr.Seq, clusterNackCode(err), err.Error())
 		}
+		s.acks.Add(1)
+		return wire.AppendAckFrame(wbuf, fr.Seq)
+	case wire.TagPing:
+		epoch, member := co.HandlePing(cluster.Node{ID: fr.Node.ID, Addr: fr.Node.Addr}, fr.Epoch)
+		self := co.Self()
+		s.pings.Add(1)
+		s.acks.Add(1)
+		return wire.AppendPingAckFrame(wbuf, fr.Seq,
+			wire.NodeInfo{ID: self.ID, Addr: self.Addr}, epoch, member)
+	case wire.TagProbe:
+		// The probe's subject rides the Node.ID field.
+		rep := co.HandleProbe(fr.Node.ID)
+		s.probes.Add(1)
+		s.acks.Add(1)
+		return wire.AppendProbeAckFrame(wbuf, fr.Seq, uint8(rep.State), uint64(rep.Age.Milliseconds()), rep.Known)
+	case wire.TagReplicate:
+		// The coordinator caches the snapshot beyond this dispatch, so it
+		// gets its own buffer (fr.Snap is a view into the read buffer).
+		if err := co.AcceptReplica(fr.Epoch, string(fr.Stream), append([]byte(nil), fr.Snap...)); err != nil {
+			return s.nack(wbuf, fr.Seq, clusterNackCode(err), err.Error())
+		}
+		s.replicas.Add(1)
 		s.acks.Add(1)
 		return wire.AppendAckFrame(wbuf, fr.Seq)
 	default: // wire.TagHandoffSnapshot
@@ -727,7 +760,8 @@ func (s *Server) stageFrame(cs *connState, payload []byte) {
 			shard:  int32(si),
 			runIdx: int32(len(rb.batches) - 1),
 		})
-	case wire.TagJoin, wire.TagAssign, wire.TagHandoffSnapshot:
+	case wire.TagJoin, wire.TagAssign, wire.TagHandoffSnapshot,
+		wire.TagPing, wire.TagProbe, wire.TagReplicate:
 		buf.recycle()
 		// Barrier, like a flush: staged batches must reach their shards
 		// before ownership changes, so they land in the snapshot of any

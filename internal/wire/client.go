@@ -14,17 +14,22 @@ import (
 )
 
 // NackError is returned by Client calls when the server refuses a
-// frame. Code is one of the Nack* constants.
+// frame. Code is one of the Nack* constants. Err, when non-nil, is a
+// client-side classification (ErrTooManyRedirects) reachable through
+// errors.Is.
 type NackError struct {
 	Seq    uint64
 	Code   uint8
 	Detail string
+	Err    error
 }
 
 func (e *NackError) Error() string {
 	return fmt.Sprintf("wire: server nack (%s) for frame %d: %s",
 		NackCodeString(e.Code), e.Seq, e.Detail)
 }
+
+func (e *NackError) Unwrap() error { return e.Err }
 
 // maxRedirectHops bounds how many times one batch may be redirected
 // before the client gives up — a guard against two nodes that each
@@ -58,6 +63,7 @@ type router struct {
 	all       []*Client          // primary first, then sub-clients
 	free      [][]byte           // recycled retained-frame buffers
 	redirects uint64             // redirect hops followed
+	stalled   []inflight         // frames awaiting re-homing after a peer loss
 }
 
 const routerFreeCap = 64
@@ -101,8 +107,14 @@ type Client struct {
 	// frames may be awaiting responses before QueueBatch blocks to
 	// drain the oldest. Values below 2 (including the zero value) make
 	// QueueBatch synchronous, like SendBatch.
-	Window   int
-	maxFrame int
+	Window int
+	// Reconnect, when enabled (MaxAttempts > 0), makes the client
+	// survive connection loss: redial with jittered backoff and replay
+	// unacknowledged frames in order. See ReconnectPolicy.
+	Reconnect ReconnectPolicy
+	maxFrame  int
+	jit       uint64              // jitter rng state (seeded from addr)
+	sleepFn   func(time.Duration) // test hook; nil = time.Sleep
 }
 
 // Dial connects to a phasekitd server and performs the magic
@@ -191,6 +203,8 @@ func (rt *router) peer(addr string, like *Client) (*Client, error) {
 	p.rt = rt
 	p.Window = like.Window
 	p.Timeout = like.Timeout
+	p.Reconnect = like.Reconnect
+	p.sleepFn = like.sleepFn
 	p.maxFrame = like.maxFrame
 	rt.peers[addr] = p
 	rt.all = append(rt.all, p)
@@ -218,8 +232,21 @@ func (c *Client) deadline() error {
 }
 
 // roundTripFrame writes the frame staged in wbuf and returns the
-// response frame. A Nack response is returned as *NackError.
+// response frame. A Nack response is returned as *NackError. With a
+// reconnect policy, one transport failure is recovered by redialing
+// (which replays any pipelined frames) and re-sending wbuf.
 func (c *Client) roundTripFrame() (Frame, error) {
+	fr, err := c.tryRoundTripFrame()
+	if err != nil && recoverable(err) && c.Reconnect.MaxAttempts > 0 {
+		if rerr := c.recoverConn(err); rerr != nil {
+			return Frame{}, rerr
+		}
+		return c.tryRoundTripFrame()
+	}
+	return fr, err
+}
+
+func (c *Client) tryRoundTripFrame() (Frame, error) {
 	if err := c.deadline(); err != nil {
 		return Frame{}, err
 	}
@@ -301,11 +328,27 @@ func (c *Client) SendBatch(stream string, cycles uint64, events []trace.BranchEv
 // owner connection, and a REDIRECT verdict for an earlier frame is
 // handled internally (re-queued on the owner) instead of surfacing.
 func (c *Client) QueueBatch(stream string, cycles uint64, events []trace.BranchEvent, endInterval bool) error {
+	var stallNack error
+	if c.rt != nil && len(c.rt.stalled) > 0 {
+		// Frames from a lost peer are waiting to be re-homed. Deliver
+		// them before queueing anything new, or a new batch could
+		// overtake an older one for the same stream.
+		if err := c.rt.settle(c.rt.all[0]); err != nil {
+			var ne *NackError
+			if !errors.As(err, &ne) {
+				return err
+			}
+			stallNack = err
+		}
+	}
 	t, err := c.target(stream)
 	if err != nil {
 		return err
 	}
-	return t.queueBatch(stream, cycles, events, endInterval)
+	if err := t.queueBatch(stream, cycles, events, endInterval); err != nil {
+		return err
+	}
+	return stallNack
 }
 
 // queueBatch stages a batch on this connection specifically.
@@ -321,12 +364,30 @@ func (c *Client) queueBatch(stream string, cycles uint64, events []trace.BranchE
 		EndInterval: endInterval,
 		Events:      events,
 	})
-	if _, err := c.bw.Write(c.wbuf); err != nil {
-		return err
-	}
 	inf := inflight{seq: c.seq, stream: stream}
-	if c.rt != nil {
-		inf.frame = c.rt.retain(c.wbuf)
+	if c.rt != nil || c.Reconnect.MaxAttempts > 0 {
+		// Retained before the write: a reconnect replays the pipeline
+		// from these buffers, so the copy must exist even if the write
+		// below is the call that discovers the connection is gone.
+		inf.frame = c.retainFrame()
+	}
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		if !recoverable(err) || c.Reconnect.MaxAttempts <= 0 {
+			return err
+		}
+		// The connection died under us. Reconnect (replaying the frames
+		// already in flight), then re-send this one.
+		if rerr := c.recoverConn(err); rerr != nil {
+			if errors.Is(rerr, errPeerLost) {
+				c.abandon()
+				c.rt.stalled = append(c.rt.stalled, inf)
+				return c.rt.settle(c.rt.all[0])
+			}
+			return rerr
+		}
+		if _, err := c.bw.Write(inf.frame); err != nil {
+			return err
+		}
 	}
 	c.pending = append(c.pending, inf)
 	win := c.Window
@@ -338,9 +399,29 @@ func (c *Client) queueBatch(stream string, cycles uint64, events []trace.BranchE
 		// Push buffered frames to the server before parking in a read,
 		// or both sides could be waiting on each other.
 		if err := c.bw.Flush(); err != nil {
-			return err
+			if !recoverable(err) || c.Reconnect.MaxAttempts <= 0 {
+				return err
+			}
+			if rerr := c.recoverConn(err); rerr != nil {
+				if errors.Is(rerr, errPeerLost) {
+					c.abandon()
+					break
+				}
+				return rerr
+			}
 		}
 		if err := c.readResponse(); err != nil {
+			var ne *NackError
+			if !errors.As(err, &ne) {
+				return err
+			}
+			if firstNack == nil {
+				firstNack = err
+			}
+		}
+	}
+	if c.rt != nil && len(c.rt.stalled) > 0 {
+		if err := c.rt.settle(c.rt.all[0]); err != nil {
 			var ne *NackError
 			if !errors.As(err, &ne) {
 				return err
@@ -392,6 +473,20 @@ func (c *Client) Drain() error {
 			}
 		}
 		if !busy {
+			if len(c.rt.stalled) > 0 {
+				// Re-home frames stranded by a lost peer before
+				// declaring the pipeline drained.
+				if err := c.rt.settle(c.rt.all[0]); err != nil {
+					var ne *NackError
+					if !errors.As(err, &ne) {
+						return err
+					}
+					if firstNack == nil {
+						firstNack = err
+					}
+				}
+				continue
+			}
 			return firstNack
 		}
 	}
@@ -427,14 +522,26 @@ func (c *Client) recycle(inf inflight) {
 }
 
 // readResponse reads one response frame and matches it against the
-// oldest in-flight frame.
+// oldest in-flight frame. A transport failure under a reconnect policy
+// redials and replays the pipeline (or, for a sub-client whose peer is
+// gone for good, re-homes its frames via the router's stalled queue).
 func (c *Client) readResponse() error {
 	payload, err := ReadFrame(c.br, c.rbuf, c.maxFrame)
 	if err != nil {
 		if err == io.EOF {
-			return io.ErrUnexpectedEOF
+			err = io.ErrUnexpectedEOF
 		}
-		return err
+		if !recoverable(err) || c.Reconnect.MaxAttempts <= 0 {
+			return err
+		}
+		if rerr := c.recoverConn(err); rerr != nil {
+			if errors.Is(rerr, errPeerLost) {
+				c.abandon()
+				return nil
+			}
+			return rerr
+		}
+		return c.readResponse()
 	}
 	c.rbuf = payload[:0]
 	fr, err := DecodeFrame(payload)
@@ -475,12 +582,20 @@ func (c *Client) readResponse() error {
 func (c *Client) redirect(inf inflight, owner string) error {
 	if owner == "" || inf.hops >= maxRedirectHops {
 		c.recycle(inf)
-		return &NackError{Seq: inf.seq, Code: NackRedirect,
+		return &NackError{Seq: inf.seq, Code: NackRedirect, Err: ErrTooManyRedirects,
 			Detail: fmt.Sprintf("redirect loop (hop %d, owner %q)", inf.hops, owner)}
 	}
 	c.rt.routes[inf.stream] = owner
 	t, err := c.rt.peer(owner, c)
 	if err != nil {
+		if c.Reconnect.MaxAttempts > 0 {
+			// The named owner is unreachable — the usual state while the
+			// cluster is still taking over a dead node's streams. Stall
+			// the frame for synchronous re-delivery instead of failing.
+			delete(c.rt.routes, inf.stream)
+			c.rt.stalled = append(c.rt.stalled, inf)
+			return nil
+		}
 		c.recycle(inf)
 		return err
 	}
@@ -550,8 +665,22 @@ func (c *Client) Flush() error {
 		if err := c.Drain(); err != nil {
 			return err
 		}
-		for _, cl := range c.rt.all {
+		alls := append([]*Client(nil), c.rt.all...)
+		for _, cl := range alls {
+			if !c.rt.live(cl) {
+				continue
+			}
 			if err := cl.flushLocal(); err != nil {
+				if errors.Is(err, errPeerLost) {
+					// The peer died at flush time; a dead node has no
+					// trailing intervals to close. Its in-flight batches
+					// (if any) re-home through the stalled queue.
+					cl.abandon()
+					if err := c.Drain(); err != nil {
+						return err
+					}
+					continue
+				}
 				return err
 			}
 		}
@@ -628,6 +757,83 @@ func (c *Client) SendHandoff(epoch uint64, stream string, snap []byte) error {
 		return fmt.Errorf("wire: handoff ack for frame %d, want %d", fr.Seq, c.seq)
 	}
 	return nil
+}
+
+// PingResult is a peer's answer to a heartbeat: its identity, the ring
+// epoch it follows, and whether it still counts the pinger a member.
+type PingResult struct {
+	Node   NodeInfo
+	Epoch  uint64
+	Member bool
+}
+
+// SendPing sends one heartbeat identifying the pinger (self, at its
+// current ring epoch) and waits for the peer's PingAck.
+func (c *Client) SendPing(self NodeInfo, epoch uint64) (PingResult, error) {
+	if len(c.pending) > 0 {
+		if err := c.Drain(); err != nil {
+			return PingResult{}, err
+		}
+	}
+	c.seq++
+	c.wbuf = AppendPingFrame(c.wbuf[:0], c.seq, self, epoch)
+	fr, err := c.roundTripFrame()
+	if err != nil {
+		return PingResult{}, err
+	}
+	if fr.Tag != TagPingAck {
+		return PingResult{}, fmt.Errorf("wire: ping answered with tag %#02x", fr.Tag)
+	}
+	if fr.Seq != c.seq {
+		return PingResult{}, fmt.Errorf("wire: ping ack for frame %d, want %d", fr.Seq, c.seq)
+	}
+	return PingResult{Node: fr.Node, Epoch: fr.Epoch, Member: fr.Member}, nil
+}
+
+// ProbeResult is a peer's view of a third node: the detector state it
+// holds for the subject and how long ago it last heard from it. Known
+// is false when the peer does not track the subject at all.
+type ProbeResult struct {
+	State uint8
+	Age   time.Duration
+	Known bool
+}
+
+// SendProbe asks the peer for its view of subject (a node ID) — the
+// quorum check before acting on a suspected death.
+func (c *Client) SendProbe(subject string) (ProbeResult, error) {
+	if len(c.pending) > 0 {
+		if err := c.Drain(); err != nil {
+			return ProbeResult{}, err
+		}
+	}
+	c.seq++
+	c.wbuf = AppendProbeFrame(c.wbuf[:0], c.seq, subject)
+	fr, err := c.roundTripFrame()
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	if fr.Tag != TagProbeAck {
+		return ProbeResult{}, fmt.Errorf("wire: probe answered with tag %#02x", fr.Tag)
+	}
+	if fr.Seq != c.seq {
+		return ProbeResult{}, fmt.Errorf("wire: probe ack for frame %d, want %d", fr.Seq, c.seq)
+	}
+	return ProbeResult{State: fr.State, Age: time.Duration(fr.AgeMs) * time.Millisecond, Known: fr.Known}, nil
+}
+
+// SendReplica ships a checkpoint snapshot to the stream's successor
+// for safekeeping and waits for the Ack. A receiver on a newer ring
+// refuses with NackStaleEpoch.
+func (c *Client) SendReplica(epoch uint64, stream string, snap []byte) error {
+	if len(c.pending) > 0 {
+		if err := c.Drain(); err != nil {
+			return err
+		}
+	}
+	c.seq++
+	c.wbuf = AppendReplicateFrame(c.wbuf[:0], c.seq, epoch, stream, snap)
+	return c.roundTrip(c.seq)
 }
 
 // Close closes the connection — and, in redirect-following mode, every

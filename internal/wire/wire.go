@@ -78,6 +78,19 @@ const (
 	TagAssign          = 0x36
 	TagHandoffSnapshot = 0x37
 	TagHandoffAck      = 0x38
+
+	// Self-healing control frames. Ping/PingAck carry the failure
+	// detector's heartbeats (and each side's ring epoch, so a lagging
+	// or evicted node finds out from any peer it can still reach).
+	// Probe/ProbeAck ask a peer for its own view of a third node —
+	// the quorum check before a death is acted on. Replicate ships a
+	// checkpoint to the stream's successor and is answered with a
+	// plain Ack (or NackStaleEpoch).
+	TagPing      = 0x39
+	TagPingAck   = 0x3A
+	TagProbe     = 0x3B
+	TagProbeAck  = 0x3C
+	TagReplicate = 0x3D
 )
 
 // Versions of each payload layout this package encodes and decodes.
@@ -176,7 +189,9 @@ type RingInfo struct {
 // meaningful: Batch for TagBatch; Seq for TagFlush/TagAck/TagNack;
 // Code and Detail for TagNack; Node for TagJoin; Ring for TagAssign;
 // Epoch, Stream and Snap for TagHandoffSnapshot; Epoch for
-// TagHandoffAck.
+// TagHandoffAck; Node and Epoch for TagPing, plus Member for
+// TagPingAck; Node.ID for TagProbe, plus State/AgeMs/Known for
+// TagProbeAck; Epoch, Stream and Snap for TagReplicate.
 type Frame struct {
 	Tag    byte
 	Batch  Batch
@@ -189,6 +204,11 @@ type Frame struct {
 	Ring   RingInfo
 	Stream string
 	Snap   []byte
+
+	Member bool   // PingAck: is the pinger still in the responder's ring?
+	State  uint8  // ProbeAck: responder's view of the subject (detector PeerState)
+	AgeMs  uint64 // ProbeAck: ms since the responder last heard the subject
+	Known  bool   // ProbeAck: false when the responder does not track the subject
 }
 
 // FrameView is the zero-copy decoded form of a frame payload: Stream
@@ -214,6 +234,11 @@ type FrameView struct {
 	Node  NodeInfo
 	Ring  RingInfo
 	Snap  []byte
+
+	Member bool
+	State  uint8
+	AgeMs  uint64
+	Known  bool
 }
 
 // eventSize is the encoded size of one branch event (pc u64 + instrs
@@ -320,6 +345,69 @@ func AppendHandoffAckFrame(dst []byte, seq, epoch uint64) []byte {
 	})
 }
 
+// AppendPingFrame appends a framed heartbeat to dst: the sender's
+// identity and the ring epoch it is operating at.
+func AppendPingFrame(dst []byte, seq uint64, node NodeInfo, epoch uint64) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagPing, ctrlVersion)
+		e.U64(seq)
+		e.String(node.ID)
+		e.String(node.Addr)
+		e.U64(epoch)
+	})
+}
+
+// AppendPingAckFrame appends a framed heartbeat reply to dst: the
+// responder's identity, its ring epoch, and whether the pinger is
+// still a member of that ring (false tells a zombie it was evicted).
+func AppendPingAckFrame(dst []byte, seq uint64, node NodeInfo, epoch uint64, member bool) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagPingAck, ctrlVersion)
+		e.U64(seq)
+		e.String(node.ID)
+		e.String(node.Addr)
+		e.U64(epoch)
+		e.Bool(member)
+	})
+}
+
+// AppendProbeFrame appends a framed liveness probe about subject (a
+// node ID) to dst.
+func AppendProbeFrame(dst []byte, seq uint64, subject string) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagProbe, ctrlVersion)
+		e.U64(seq)
+		e.String(subject)
+	})
+}
+
+// AppendProbeAckFrame appends a framed probe reply to dst: the
+// responder's view of the subject (detector state + age of the last
+// heartbeat in ms), or known=false when it does not track the subject.
+func AppendProbeAckFrame(dst []byte, seq uint64, state8 uint8, ageMs uint64, known bool) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagProbeAck, ctrlVersion)
+		e.U64(seq)
+		e.U8(state8)
+		e.U64(ageMs)
+		e.Bool(known)
+	})
+}
+
+// AppendReplicateFrame appends a framed checkpoint replica to dst. The
+// layout matches a handoff snapshot (epoch, stream, snapshot bytes) but
+// the semantics differ: the receiver stores the snapshot for possible
+// future takeover without adopting the stream.
+func AppendReplicateFrame(dst []byte, seq, epoch uint64, stream string, snap []byte) []byte {
+	return appendFrame(dst, func(e *state.Encoder) {
+		e.Section(TagReplicate, ctrlVersion)
+		e.U64(seq)
+		e.U64(epoch)
+		e.String(stream)
+		e.Blob(snap)
+	})
+}
+
 // ReadFrame reads one frame from r, reusing buf when it is large
 // enough, and returns the raw payload. maxFrame bounds the length
 // prefix before any allocation (0 means DefaultMaxFrame). io.EOF is
@@ -415,6 +503,37 @@ func DecodeFrame(payload []byte) (Frame, error) {
 		d.Section(TagHandoffAck, ctrlVersion)
 		f.Seq = d.U64()
 		f.Epoch = d.U64()
+	case TagPing:
+		d.Section(TagPing, ctrlVersion)
+		f.Seq = d.U64()
+		f.Node.ID = d.String()
+		f.Node.Addr = d.String()
+		f.Epoch = d.U64()
+	case TagPingAck:
+		d.Section(TagPingAck, ctrlVersion)
+		f.Seq = d.U64()
+		f.Node.ID = d.String()
+		f.Node.Addr = d.String()
+		f.Epoch = d.U64()
+		f.Member = d.Bool()
+	case TagProbe:
+		d.Section(TagProbe, ctrlVersion)
+		f.Seq = d.U64()
+		f.Node.ID = d.String()
+	case TagProbeAck:
+		d.Section(TagProbeAck, ctrlVersion)
+		f.Seq = d.U64()
+		f.State = d.U8()
+		f.AgeMs = d.U64()
+		f.Known = d.Bool()
+	case TagReplicate:
+		d.Section(TagReplicate, ctrlVersion)
+		f.Seq = d.U64()
+		f.Epoch = d.U64()
+		f.Stream = d.String()
+		if b := d.Bytes(); len(b) > 0 {
+			f.Snap = append([]byte(nil), b...)
+		}
 	default:
 		return f, fmt.Errorf("%w: unknown tag %#02x", ErrMalformed, f.Tag)
 	}
@@ -489,6 +608,35 @@ func DecodeFrameView(payload []byte, events []trace.BranchEvent) (FrameView, err
 		d.Section(TagHandoffAck, ctrlVersion)
 		f.Seq = d.U64()
 		f.Epoch = d.U64()
+	case TagPing:
+		d.Section(TagPing, ctrlVersion)
+		f.Seq = d.U64()
+		f.Node.ID = d.String()
+		f.Node.Addr = d.String()
+		f.Epoch = d.U64()
+	case TagPingAck:
+		d.Section(TagPingAck, ctrlVersion)
+		f.Seq = d.U64()
+		f.Node.ID = d.String()
+		f.Node.Addr = d.String()
+		f.Epoch = d.U64()
+		f.Member = d.Bool()
+	case TagProbe:
+		d.Section(TagProbe, ctrlVersion)
+		f.Seq = d.U64()
+		f.Node.ID = d.String()
+	case TagProbeAck:
+		d.Section(TagProbeAck, ctrlVersion)
+		f.Seq = d.U64()
+		f.State = d.U8()
+		f.AgeMs = d.U64()
+		f.Known = d.Bool()
+	case TagReplicate:
+		d.Section(TagReplicate, ctrlVersion)
+		f.Seq = d.U64()
+		f.Epoch = d.U64()
+		f.Stream = d.Bytes()
+		f.Snap = d.Bytes()
 	default:
 		return f, fmt.Errorf("%w: unknown tag %#02x", ErrMalformed, f.Tag)
 	}

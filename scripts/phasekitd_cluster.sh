@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# phasekitd cluster check: golden equivalence across membership churn.
+# phasekitd cluster check: golden equivalence across membership churn,
+# including an unannounced crash.
 #
-# Three nodes share one checkpoint store. A workload is ingested
-# through node 1 with a redirect-following client, so every stream
-# lands on its ring owner. Mid-run, node 2 is SIGTERMed (checkpointing
-# its streams), declared left via phasekitctl (survivors adopt its
-# streams from the shared store at a new epoch), and the ring is
-# force-rebalanced once more. The union of the three per-node phase
-# logs must be line-identical to a single-process golden run — growth,
-# redirects, handoffs, node death, and epoch bumps may not perturb
+# Three nodes share one checkpoint store and heartbeat each other on a
+# compressed failure-detection ladder. A workload is ingested through
+# node 1 with a redirect-following client, so every stream lands on its
+# ring owner. Mid-run, node 2 is kill -9'd with NO operator command —
+# the survivors must detect the silence, confirm the death with each
+# other, bump the epoch, and adopt node 2's streams from its last
+# checkpoint. Later node 3 drains gracefully and the lone survivor
+# auto-evicts it the same way. The union of the per-node phase logs
+# must be line-identical to a single-process golden run — growth,
+# redirects, handoffs, crash-failover, and epoch bumps may not perturb
 # classification by a single interval.
 set -euo pipefail
 
@@ -16,7 +19,8 @@ WORKLOAD=${WORKLOAD:-gzip/g}
 STREAMS=${STREAMS:-6}
 INTERVAL=${INTERVAL:-1000000}
 SCALE=${SCALE:-0.2}
-CUT=${CUT:-150} # batch index where the first segment stops
+CUT1=${CUT1:-75}  # batch index where segment 1 stops (n2 dies here)
+CUT2=${CUT2:-150} # batch index where segment 2 stops (n3 drains here)
 HOST=127.0.0.1
 PORTS=(9127 9131 9135)  # ingest ports, node 1..3
 ADMINS=(9227 9231 9235) # health/admin ports, node 1..3
@@ -31,6 +35,12 @@ go build -o "$workdir/phasesim" ./cmd/phasesim
 
 sim_args=(-workload "$WORKLOAD" -streams "$STREAMS" -interval "$INTERVAL" -scale "$SCALE")
 ctl() { "$workdir/phasekitctl" -admin "$HOST:${ADMINS[0]}" "$@"; }
+ctl_node() { local i=$1; shift; "$workdir/phasekitctl" -admin "$HOST:${ADMINS[$i]}" "$@"; }
+members() { # ring membership count (the Nodes array only — Peers may
+  # still list a dead node until the detector prunes it)
+  ctl status | sed -n 's/.*"Nodes":\[\([^]]*\)\].*/\1/p' |
+    grep -o '"ID":"n[0-9]"' | sort -u | wc -l
+}
 
 echo "==> golden in-process run"
 "$workdir/phasesim" "${sim_args[@]}" -parallel -adaptive=false \
@@ -41,6 +51,7 @@ start_node() { # start_node <idx> [-peers ...]
   "$workdir/phasekitd" -addr "$HOST:${PORTS[$i]}" -health "$HOST:${ADMINS[$i]}" \
     -node-id "n$((i + 1))" -node-addr "$HOST:${PORTS[$i]}" \
     -interval "$INTERVAL" -store "$workdir/state" \
+    -heartbeat-interval 200ms -suspect-after 600ms -dead-after 1200ms \
     -phases "$workdir/node$((i + 1)).log" "$@" &
   pids[$i]=$!
   for _ in $(seq 100); do
@@ -51,10 +62,27 @@ start_node() { # start_node <idx> [-peers ...]
   exit 1
 }
 
-drain_node() { # drain_node <idx>
+drain_node() { # drain_node <idx>: graceful SIGTERM drain
   kill -TERM "${pids[$1]}"
   wait "${pids[$1]}" || { echo "node $(($1 + 1)) drain exited non-zero" >&2; exit 1; }
   pids[$1]=
+}
+
+crash_node() { # crash_node <idx>: kill -9, no warning, no checkpoint
+  kill -9 "${pids[$1]}"
+  wait "${pids[$1]}" 2>/dev/null || true
+  pids[$1]=
+}
+
+wait_epoch() { # wait_epoch <want>: poll n1's status until the epoch lands
+  local want=$1 epoch=0
+  for _ in $(seq 150); do
+    epoch=$(ctl status | grep -o '"Epoch":[0-9]*' | head -1 | cut -d: -f2)
+    [ "$epoch" = "$want" ] && return
+    sleep 0.2
+  done
+  echo "FAIL: epoch $epoch after waiting, want $want" >&2
+  exit 1
 }
 
 echo "==> boot a 3-node cluster (n2, n3 join through n1)"
@@ -63,28 +91,39 @@ start_node 0
 start_node 1 -peers "$HOST:${PORTS[0]}"
 start_node 2 -peers "$HOST:${PORTS[0]}"
 ctl status
-members=$(ctl status | grep -o '"ID":"n[0-9]"' | sort -u | wc -l)
-[ "$members" = 3 ] || { echo "FAIL: expected 3 members, saw $members" >&2; exit 1; }
+[ "$(members)" = 3 ] || { echo "FAIL: expected 3 members, saw $(members)" >&2; exit 1; }
 
-echo "==> segment 1: ingest batches [0, $CUT) through n1 (redirects fan streams out)"
-"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -max-batches "$CUT"
+echo "==> segment 1: ingest batches [0, $CUT1) through n1 (redirects fan streams out)"
+"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -max-batches "$CUT1"
 
-echo "==> kill n2 mid-run: SIGTERM drain checkpoints its streams to the shared store"
-drain_node 1
-ctl leave n2
+echo "==> checkpoint n2 (the fsync barrier), then kill -9 it — no leave, no operator"
+ctl_node 1 checkpoint
+crash_node 1
+
+echo "==> survivors must detect, confirm, and take over on their own (epoch 3 -> 4)"
+wait_epoch 4
+[ "$(members)" = 2 ] || { echo "FAIL: expected 2 members after crash-failover, saw $(members)" >&2; exit 1; }
+
+echo "==> segment 2: ingest batches [$CUT1, $CUT2); n2's streams resume on the survivors"
+"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -from-batch "$CUT1" -max-batches "$((CUT2 - CUT1))"
+
+echo "==> drain n3 gracefully; the lone survivor auto-evicts it (epoch 4 -> 5)"
+drain_node 2
+wait_epoch 5
+
 echo "==> force a rebalance (epoch bump, fences any stale writer)"
 ctl rebalance
+wait_epoch 6
 
-echo "==> segment 2: ingest batches [$CUT, end]; n2's streams resume on the survivors"
-"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -from-batch "$CUT"
+echo "==> segment 3: ingest batches [$CUT2, end] through the last node standing"
+"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -from-batch "$CUT2"
 
-echo "==> drain the survivors"
+echo "==> drain the survivor"
 epoch=$(ctl status | grep -o '"Epoch":[0-9]*' | head -1 | cut -d: -f2)
 drain_node 0
-drain_node 2
 
-# start(1) + join n2 + join n3 + leave n2 + rebalance = epoch 5
-[ "$epoch" = 5 ] || { echo "FAIL: final epoch $epoch, want 5" >&2; exit 1; }
+# start(1) + join n2 + join n3 + crash-failover n2 + auto-evict n3 + rebalance = epoch 6
+[ "$epoch" = 6 ] || { echo "FAIL: final epoch $epoch, want 6" >&2; exit 1; }
 
 echo "==> diff the union of per-node phase logs against the golden run"
 sort -k1,1 -k2,2n "$workdir/golden.log" >"$workdir/golden.sorted"
@@ -93,4 +132,4 @@ if ! diff -u "$workdir/golden.sorted" "$workdir/cluster.sorted"; then
   echo "FAIL: phase sequence diverged across cluster churn" >&2
   exit 1
 fi
-echo "PASS: $(wc -l <"$workdir/golden.sorted") phase records identical across join/leave/rebalance"
+echo "PASS: $(wc -l <"$workdir/golden.sorted") phase records identical across join/crash-failover/evict/rebalance"
