@@ -139,6 +139,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = DefaultOpTimeout
 	}
+	if cfg.Fence != nil {
+		cfg.Fence.SetWriter(cfg.Self.ID)
+	}
 	return &Coordinator{
 		self:        cfg.Self,
 		fleet:       cfg.Fleet,
@@ -150,6 +153,29 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		ahead:       make(map[string]struct{}),
 		replicas:    make(map[string][]byte),
 	}, nil
+}
+
+// ErrNoArbiter is returned when an operation requires shared-store
+// epoch arbitration that the node's configuration cannot provide.
+var ErrNoArbiter = errors.New("cluster: no shared-store arbiter")
+
+// mintEpoch allocates the epoch for the next ring. With a fenced shared
+// store the number is claimed exclusively through it (see
+// FencedStore.AllocateEpoch), so concurrent minters on partitioned
+// nodes end up with distinct, totally ordered epochs; without one it is
+// the local successor, safe only because such configurations refuse the
+// races that need arbitration (see Failover).
+func (c *Coordinator) mintEpoch(cur *Ring) (uint64, error) {
+	if c.fence == nil {
+		return cur.Epoch() + 1, nil
+	}
+	return c.fence.AllocateEpoch(cur.Epoch(), c.self.ID)
+}
+
+// canArbitrate reports whether epoch minting goes through shared-store
+// arbitration (a fence over a store with exclusive-create markers).
+func (c *Coordinator) canArbitrate() bool {
+	return c.fence != nil && c.fence.CanArbitrate()
 }
 
 // AttachDetector wires the failure detector in after construction, so
@@ -317,8 +343,12 @@ func (c *Coordinator) adoptOrphans(cur, next *Ring) {
 // after); the first thing that happens to it is a re-save at the new
 // epoch — the zombie fence: from that point a not-actually-dead owner
 // writing at its old epoch is refused, before the adopted stream has
-// served a single batch. Only when the store has nothing does the
-// cached replica seed the stream.
+// served a single batch. The re-stamp gates the adoption: if it cannot
+// be made to stick (retries exhausted, or a higher epoch already owns
+// the stream), the stream is not adopted at all — serving it unfenced
+// would let a returning zombie interleave at the old epoch. A skipped
+// stream rehydrates lazily once its first batch arrives. Only when the
+// store has nothing does the cached replica seed the stream.
 func (c *Coordinator) adoptOrphan(stream string, alreadyTracked bool) {
 	c.replMu.Lock()
 	replica := c.replicas[stream]
@@ -339,8 +369,19 @@ func (c *Coordinator) adoptOrphan(stream string, alreadyTracked bool) {
 		if err != nil {
 			c.log("takeover %q: store read: %v", stream, err)
 		} else if ok {
-			if serr := c.fence.Save(stream, snap); serr != nil {
-				c.log("takeover %q: fence re-stamp: %v", stream, serr)
+			var serr error
+			for attempt := 0; attempt < 3; attempt++ {
+				if serr = c.fence.Save(stream, snap); serr == nil {
+					break
+				}
+				if errors.Is(serr, ErrStaleEpoch) {
+					break // a higher epoch owns it; not ours to adopt
+				}
+				time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+			}
+			if serr != nil {
+				c.log("takeover %q: fence re-stamp failed, adoption skipped: %v", stream, serr)
+				return
 			}
 			if aerr := c.fleet.AdoptStream(ctx, stream, nil); aerr != nil {
 				c.log("takeover %q: adopt: %v", stream, aerr)
@@ -379,15 +420,60 @@ func (c *Coordinator) Failover(id string) (*Ring, error) {
 	if _, ok := cur.Node(id); !ok {
 		return cur, nil
 	}
+	// On a two-node ring a partition makes both sides sole initiators of
+	// each other's death, and only the shared store can break the tie.
+	// Without one, automatic failover is refused outright: the operator
+	// decides which side survives (HandleLeave), trading availability for
+	// never splitting the brain.
+	if cur.Len() == 2 && !c.canArbitrate() {
+		return nil, fmt.Errorf("%w: refusing automatic failover of %s on a two-node ring; remove it with an operator leave", ErrNoArbiter, id)
+	}
 	next, err := cur.WithLeave(id)
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := c.mintEpoch(cur)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: takeover of %s: %w", id, err)
+	}
+	next = next.WithEpoch(epoch)
+	if _, err := c.apply(next, true); err != nil {
+		return nil, err
+	}
+	c.takeoversDone.Add(1)
+	c.log("takeover: removed dead node %s; epoch %d", id, next.Epoch())
+	return next, nil
+}
+
+// ReconcileConflict repairs an equal-epoch ring disagreement observed
+// by the failure detector: a peer answered a ping with this node's
+// epoch but a different membership hash. The repair is deterministic —
+// re-admit the peer (it is provably alive; it just answered) and mint a
+// strictly higher epoch through the arbiter, then propagate. Whichever
+// side reconciles first wins outright: the other side's apply accepts
+// the higher epoch instead of rejecting a twin as stale, and a
+// simultaneous reconcile on both sides allocates distinct epochs, the
+// larger of which absorbs the smaller on the next ping.
+func (c *Coordinator) ReconcileConflict(peer Node) (*Ring, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.state.Ring()
+	nodes := cur.Nodes()
+	if _, ok := cur.Node(peer.ID); !ok {
+		nodes = append(nodes, peer)
+	}
+	epoch, err := c.mintEpoch(cur)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reconcile with %s: %w", peer.ID, err)
+	}
+	next, err := NewRing(epoch, nodes)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := c.apply(next, true); err != nil {
 		return nil, err
 	}
-	c.takeoversDone.Add(1)
-	c.log("takeover: removed dead node %s; epoch %d", id, next.Epoch())
+	c.log("reconcile: divergent ring at equal epoch; merged %s, now epoch %d", peer.ID, epoch)
 	return next, nil
 }
 
@@ -573,7 +659,11 @@ func (c *Coordinator) HandleJoin(n Node) (*Ring, error) {
 		}
 	}
 	nodes = append(nodes, n)
-	next, err := NewRing(cur.Epoch()+1, nodes)
+	epoch, err := c.mintEpoch(cur)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: join of %s: %w", n.ID, err)
+	}
+	next, err := NewRing(epoch, nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -604,6 +694,11 @@ func (c *Coordinator) HandleLeave(id string) (*Ring, error) {
 	if err != nil {
 		return nil, err
 	}
+	epoch, err := c.mintEpoch(cur)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: leave of %s: %w", id, err)
+	}
+	next = next.WithEpoch(epoch)
 	// Departed first: it holds the data and must ship it before
 	// survivors flip and start accepting. If it is already dead this
 	// just times out and the survivors take over from the store.
@@ -616,18 +711,20 @@ func (c *Coordinator) HandleLeave(id string) (*Ring, error) {
 	return next, nil
 }
 
-// HandlePing answers a peer heartbeat: this node's epoch and whether
-// the sender is a member of its ring. Hearing a ping also counts as
-// liveness evidence for the sender — under a one-way partition where
-// this node can hear a peer but not reach it, the peer stays alive in
-// this node's view, and this node denies its death to any initiator.
-func (c *Coordinator) HandlePing(from Node, epoch uint64) (uint64, bool) {
+// HandlePing answers a peer heartbeat: this node's epoch, whether the
+// sender is a member of its ring, and the ring's membership hash (so
+// the sender can detect equal-epoch divergence). Hearing a ping also
+// counts as liveness evidence for the sender — under a one-way
+// partition where this node can hear a peer but not reach it, the peer
+// stays alive in this node's view, and this node denies its death to
+// any initiator.
+func (c *Coordinator) HandlePing(from Node, epoch uint64) (uint64, bool, uint64) {
 	if c.detector != nil {
 		c.detector.ObservePing(from)
 	}
 	r := c.state.Ring()
 	_, member := r.Node(from.ID)
-	return r.Epoch(), member
+	return r.Epoch(), member, r.Hash()
 }
 
 // HandleProbe answers a quorum probe with this node's opinion of
@@ -693,7 +790,12 @@ func (c *Coordinator) Degraded() bool {
 func (c *Coordinator) Rebalance() (*Ring, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	next := c.state.Ring().WithEpoch(c.state.Epoch() + 1)
+	cur := c.state.Ring()
+	epoch, err := c.mintEpoch(cur)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rebalance: %w", err)
+	}
+	next := cur.WithEpoch(epoch)
 	if _, err := c.apply(next, true); err != nil {
 		return nil, err
 	}

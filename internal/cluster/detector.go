@@ -77,11 +77,16 @@ func (p HealthPolicy) withDefaults() HealthPolicy {
 	return p
 }
 
-// PingReply is a peer's answer to a heartbeat: its ring epoch and
-// whether it still considers the pinger a member at that epoch.
+// PingReply is a peer's answer to a heartbeat: its ring epoch, whether
+// it still considers the pinger a member at that epoch, and its ring's
+// membership hash. The hash is how equal-epoch divergence — two rings
+// with the same number but different members, which the epoch
+// comparison cannot see — gets detected. Zero means the transport did
+// not carry it (Ring.Hash is never zero).
 type PingReply struct {
-	Epoch  uint64
-	Member bool
+	Epoch    uint64
+	Member   bool
+	RingHash uint64
 }
 
 // ProbeReply is a peer's second-hand opinion of a third node, used for
@@ -148,7 +153,7 @@ func (w *wirePinger) Ping(self Node, epoch uint64, peer Node) (PingReply, error)
 		w.drop(peer.Addr)
 		return PingReply{}, err
 	}
-	return PingReply{Epoch: res.Epoch, Member: res.Member}, nil
+	return PingReply{Epoch: res.Epoch, Member: res.Member, RingHash: res.RingHash}, nil
 }
 
 func (w *wirePinger) Probe(peer Node, subject string) (ProbeReply, error) {
@@ -224,9 +229,14 @@ type peerHealth struct {
 // and any single "alive" report denies it outright. A one-way
 // partition that blinds only this node therefore cannot evict a
 // healthy peer. In a two-node cluster there are no other observers and
-// the initiator's own verdict stands: with the only peer gone, quorum
-// is unreachable by construction, and a wrongly-evicted survivor is
-// fenced at the store rather than corrupted.
+// the initiator's own verdict stands — but only when a shared store can
+// arbitrate the takeover epoch: both partitioned survivors race to
+// claim the next epoch number exclusively, the loser ends up strictly
+// above or refused, and the fence totally orders their writes. Without
+// an arbitrating store the coordinator refuses two-node automatic
+// failover outright (ErrNoArbiter) and leaves the call to the operator,
+// because two symmetric survivors would otherwise each self-confirm and
+// write at the same epoch.
 type Detector struct {
 	coord     *Coordinator
 	pol       HealthPolicy
@@ -247,6 +257,7 @@ type Detector struct {
 	pings, ackFailures atomic.Uint64
 	suspicions, deaths atomic.Uint64
 	failovers, denials atomic.Uint64
+	ringConflicts      atomic.Uint64
 }
 
 // NewDetector validates cfg and returns a stopped Detector; call Start
@@ -397,6 +408,24 @@ func (d *Detector) Tick() {
 			// Membership may have changed under us; restart next tick.
 			return
 		}
+		// Same epoch, different membership: the divergence the epoch
+		// comparison is blind to (two partitions that each minted the same
+		// number against separate stores). Exactly one side repairs it —
+		// the one the peer evicted (the peer will never ping us, so no one
+		// else can), otherwise the smaller ID — by merging the peer in at
+		// a strictly higher arbitrated epoch.
+		if rep.Epoch == epoch && rep.RingHash != 0 && rep.RingHash != ring.Hash() {
+			if !rep.Member || self.ID < peer.ID {
+				d.ringConflicts.Add(1)
+				d.log("detector: ring conflict with %s at epoch %d (hash %x != %x); reconciling",
+					peer.ID, epoch, rep.RingHash, ring.Hash())
+				if _, err := d.coord.ReconcileConflict(peer); err != nil {
+					d.log("detector: reconcile with %s: %v", peer.ID, err)
+				}
+				// Membership changed under us; restart next tick.
+				return
+			}
+		}
 	}
 
 	// Transitions by silence age.
@@ -429,7 +458,10 @@ func (d *Detector) Tick() {
 
 	// One initiator per death: the smallest locally-alive ID. Everyone
 	// computes this from their own view; disagreement at worst means two
-	// initiators race Failover, which epoch CAS resolves to one winner.
+	// initiators race Failover, each minting a distinct epoch through the
+	// store's exclusive-create arbiter — the higher one wins when the
+	// rings meet, and an equal-epoch twin (possible only without the
+	// arbiter) is caught by the ping ring hash and reconciled.
 	if !d.isInitiator(self.ID) {
 		return
 	}
@@ -537,16 +569,28 @@ func (d *Detector) catchUp(peer Node, epoch uint64) {
 // heartbeat — receiving a ping is as good as an ack, so a one-way
 // partition where we can hear a peer but not reach it keeps the peer
 // alive in our view (and lets us deny its death to an initiator).
+//
+// The claimed identity is checked against the ring before it counts:
+// only a sender whose ID is a member and whose address matches the
+// ring's record for that ID is liveness evidence. Anything else — an
+// unknown ID, or a known ID claimed from the wrong address — is
+// dropped, so a stray or spoofed ping cannot resurrect a dead peer and
+// veto its takeover. The tracked record uses the ring's address, never
+// the claimed one.
 func (d *Detector) ObservePing(from Node) {
+	rec, member := d.coord.Ring().Node(from.ID)
+	if !member || rec.Addr != from.Addr {
+		return
+	}
 	now := d.now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	ph, ok := d.peers[from.ID]
 	if !ok {
-		// Not in our ring view (yet): remember it alive so probes about
-		// it answer truthfully; the next Tick prunes it if it never
-		// becomes a member.
-		d.peers[from.ID] = &peerHealth{node: from, lastAck: now, lastChange: now, state: PeerAlive}
+		// A member we have not synced into the peer table yet (its ping
+		// beat our first Tick on the new ring): remember it alive so
+		// probes about it answer truthfully.
+		d.peers[from.ID] = &peerHealth{node: rec, lastAck: now, lastChange: now, state: PeerAlive}
 		return
 	}
 	ph.lastAck = now
@@ -599,17 +643,21 @@ type DetectorCounters struct {
 	Deaths      uint64
 	Failovers   uint64
 	Denials     uint64
+	// RingConflicts counts equal-epoch membership divergences detected
+	// (and repaired) through the ping ring hash.
+	RingConflicts uint64
 }
 
 // Counters returns the detector's lifetime event counts.
 func (d *Detector) Counters() DetectorCounters {
 	return DetectorCounters{
-		Pings:       d.pings.Load(),
-		AckFailures: d.ackFailures.Load(),
-		Suspicions:  d.suspicions.Load(),
-		Deaths:      d.deaths.Load(),
-		Failovers:   d.failovers.Load(),
-		Denials:     d.denials.Load(),
+		Pings:         d.pings.Load(),
+		AckFailures:   d.ackFailures.Load(),
+		Suspicions:    d.suspicions.Load(),
+		Deaths:        d.deaths.Load(),
+		Failovers:     d.failovers.Load(),
+		Denials:       d.denials.Load(),
+		RingConflicts: d.ringConflicts.Load(),
 	}
 }
 

@@ -83,8 +83,13 @@ func newDetectorHarness(t *testing.T, selfID string, memberIDs []string, cfg Det
 			self = n
 		}
 	}
+	// A MemStore-backed fence gives the coordinator the shared-store
+	// epoch arbiter, so two-node self-confirmed takeovers are allowed
+	// (without it they are refused with ErrNoArbiter — pinned by its own
+	// test below).
 	co, err := NewCoordinator(CoordinatorConfig{
 		Self: self, Fleet: f, Initial: mustRing(t, 1, nodes),
+		Fence:       NewFencedStore(fleet.NewMemStore(), 1),
 		DialTimeout: 50 * time.Millisecond, OpTimeout: time.Second,
 		Logf: t.Logf,
 	})
@@ -305,5 +310,101 @@ func TestDetectorObservePingDenies(t *testing.T) {
 	// Silence since the inbound ping is under SuspectAfter: still alive.
 	if v := h.det.ViewOf("n2"); v.State != PeerAlive {
 		t.Fatalf("n2 with inbound heartbeats: %+v, want alive", v)
+	}
+}
+
+// TestDetectorObservePingSpoofRejected: an inbound ping only counts as
+// liveness when the claimed ID is a ring member pinging from the ring's
+// address for that ID. A spoofed ping — unknown ID, or a member's ID
+// from the wrong address — must neither create a peer record nor
+// refresh a silent peer, so it cannot veto a legitimate takeover.
+func TestDetectorObservePingSpoofRejected(t *testing.T) {
+	h := newDetectorHarness(t, "n1", []string{"n1", "n2"}, DetectorConfig{})
+	h.ping.set("n2", deadPing)
+	h.det.Tick()
+
+	// Unknown ID: no record is created.
+	h.det.ObservePing(Node{ID: "intruder", Addr: "127.0.0.1:1"})
+	if v := h.det.ViewOf("intruder"); v.Known {
+		t.Fatalf("spoofed unknown ID tracked: %+v", v)
+	}
+
+	// Known ID from the wrong address: n2's silence clock keeps running
+	// and it still goes suspect on schedule.
+	h.clock.Advance(h.pol.SuspectAfter / 2)
+	h.det.ObservePing(Node{ID: "n2", Addr: "10.6.6.6:666"})
+	h.clock.Advance(h.pol.SuspectAfter/2 + time.Millisecond)
+	h.det.Tick()
+	if v := h.det.ViewOf("n2"); v.State != PeerSuspect {
+		t.Fatalf("n2 after spoofed refresh: %+v, want suspect", v)
+	}
+}
+
+// TestDetectorRingConflictReconciled: a peer answering with the same
+// epoch but a different membership hash exposes equal-epoch divergence
+// (two partitions that minted the same number against separate stores).
+// The smaller-ID side must repair it: merge the peer and mint a
+// strictly higher epoch, so the other side's apply accepts the fix
+// instead of rejecting a twin as stale.
+func TestDetectorRingConflictReconciled(t *testing.T) {
+	h := newDetectorHarness(t, "n1", []string{"n1", "n2"}, DetectorConfig{})
+	ourEpoch := h.co.Epoch()
+	h.ping.set("n2", func() (PingReply, error) {
+		// Same epoch, a hash that cannot match ours (ours is never 0, and
+		// a real divergent ring's hash differs; any nonzero foreign value
+		// exercises the same path).
+		return PingReply{Epoch: ourEpoch, Member: true, RingHash: h.co.Ring().Hash() + 1}, nil
+	})
+
+	h.det.Tick()
+
+	if e := h.co.Epoch(); e <= ourEpoch {
+		t.Fatalf("epoch after reconcile: %d, want > %d", e, ourEpoch)
+	}
+	if _, ok := h.co.Ring().Node("n2"); !ok {
+		t.Fatal("n2 not a member after reconcile")
+	}
+	if c := h.det.Counters(); c.RingConflicts != 1 {
+		t.Fatalf("RingConflicts = %d, want 1", c.RingConflicts)
+	}
+}
+
+// TestDetectorRingConflictLargerIDHolds: the larger-ID side of an
+// equal-epoch divergence leaves the repair to the smaller side (both
+// consider each other members, so exactly one initiator suffices).
+func TestDetectorRingConflictLargerIDHolds(t *testing.T) {
+	h := newDetectorHarness(t, "n2", []string{"n1", "n2"}, DetectorConfig{})
+	ourEpoch := h.co.Epoch()
+	h.ping.set("n1", func() (PingReply, error) {
+		return PingReply{Epoch: ourEpoch, Member: true, RingHash: h.co.Ring().Hash() + 1}, nil
+	})
+
+	h.det.Tick()
+
+	if e := h.co.Epoch(); e != ourEpoch {
+		t.Fatalf("epoch on the larger-ID side: %d, want %d (no reconcile)", e, ourEpoch)
+	}
+	if c := h.det.Counters(); c.RingConflicts != 0 {
+		t.Fatalf("RingConflicts = %d, want 0", c.RingConflicts)
+	}
+}
+
+// TestDetectorRingConflictEvictedSideRepairs: when the divergent peer
+// no longer counts us a member, it will never ping us — so we repair
+// even from the larger ID, re-admitting ourselves via the merge.
+func TestDetectorRingConflictEvictedSideRepairs(t *testing.T) {
+	h := newDetectorHarness(t, "n2", []string{"n1", "n2"}, DetectorConfig{})
+	ourEpoch := h.co.Epoch()
+	h.ping.set("n1", func() (PingReply, error) {
+		return PingReply{Epoch: ourEpoch, Member: false, RingHash: h.co.Ring().Hash() + 1}, nil
+	})
+
+	h.det.Tick()
+
+	if e := h.co.Epoch(); e <= ourEpoch {
+		t.Fatalf("epoch after evicted-side reconcile: %d, want > %d", e, ourEpoch)
+	}
+	if c := h.det.Counters(); c.RingConflicts != 1 {
+		t.Fatalf("RingConflicts = %d, want 1", c.RingConflicts)
 	}
 }

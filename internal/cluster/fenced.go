@@ -14,7 +14,14 @@ import (
 // snapshot or vice versa.
 const TagFence = byte(0xF4)
 
-const fenceVersion = 1
+// fenceVersion 2 added the writer's node ID to the prefix so that
+// equal-epoch writers — impossible under arbitrated epoch allocation,
+// but reachable when the shared store predates arbitration or two
+// partitions each run against a stale copy — resolve by a deterministic
+// node-ID tiebreak instead of silently clobbering each other. Version-1
+// prefixes (no writer) still load; their writes carry an empty writer
+// and never contest a tiebreak.
+const fenceVersion = 2
 
 // FencedStore wraps a fleet.StateStore shared across cluster nodes with
 // epoch fencing: every Save is stamped with the writing node's ring
@@ -35,8 +42,17 @@ const fenceVersion = 1
 // stale writer either fails the pre-check or is silently overwritten
 // before anyone can observe its bytes at takeover.
 type FencedStore struct {
-	inner fleet.StateStore
-	epoch atomic.Uint64
+	inner  fleet.StateStore
+	epoch  atomic.Uint64
+	writer atomic.Value // string: the writing node's ID, "" until SetWriter
+}
+
+// exclusiveCreator is the store-level arbitration primitive: an atomic
+// create-if-absent marker record. FileStore implements it with
+// O_CREATE|O_EXCL, MemStore with its mutex. Stores without it fall back
+// to unarbitrated local epoch minting.
+type exclusiveCreator interface {
+	CreateExclusive(name string, data []byte) (existing []byte, created bool, err error)
 }
 
 // fencedWriteError marks a fence refusal as permanent for the fleet's
@@ -63,14 +79,72 @@ func (s *FencedStore) SetEpoch(e uint64) { s.epoch.Store(e) }
 // Epoch returns the writer's current fence epoch.
 func (s *FencedStore) Epoch() uint64 { return s.epoch.Load() }
 
+// SetWriter records the writing node's ID, stamped into every fence
+// prefix from then on. The coordinator sets it at construction; an
+// unset writer saves version-2 prefixes with an empty ID and concedes
+// any equal-epoch tiebreak.
+func (s *FencedStore) SetWriter(id string) { s.writer.Store(id) }
+
+func (s *FencedStore) writerID() string {
+	if v := s.writer.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// CanArbitrate reports whether the wrapped store provides the
+// exclusive-create markers AllocateEpoch arbitrates with.
+func (s *FencedStore) CanArbitrate() bool {
+	_, ok := s.inner.(exclusiveCreator)
+	return ok
+}
+
+// AllocateEpoch mints the next ring epoch through the shared store.
+// Epoch numbers are exclusive-create markers: winning the marker for
+// number e is the only way to adopt a ring at epoch e, so two
+// partitioned survivors can never both take over at the same epoch —
+// the loser of the race observes someone else's claim and probes
+// upward, ending up strictly above and totally ordered by the fence.
+// Claimed-but-dead epochs (a claimant that crashed mid-takeover) are
+// skipped the same way, so a stuck claim costs one number, never
+// liveness. A node re-allocating an epoch it already claimed gets it
+// back (idempotent retry). Stores without CreateExclusive fall back to
+// from+1 with no arbitration.
+func (s *FencedStore) AllocateEpoch(from uint64, claimant string) (uint64, error) {
+	ec, ok := s.inner.(exclusiveCreator)
+	if !ok {
+		return from + 1, nil
+	}
+	const maxProbe = 64
+	for e := from + 1; e <= from+maxProbe; e++ {
+		existing, created, err := ec.CreateExclusive(fmt.Sprintf("epoch-%d", e), []byte(claimant))
+		if err != nil && !created {
+			return 0, fmt.Errorf("cluster: allocating epoch %d: %w", e, err)
+		}
+		if created || string(existing) == claimant {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: no free epoch within %d of %d", maxProbe, from)
+}
+
 // Save persists snapshot under the current epoch, refusing if the store
 // already holds a strictly newer epoch for the stream. After writing it
 // reads the fence back: if an older writer's physical write landed after
 // ours (the adjacent-epoch takeover race), the payload is re-asserted so
 // the highest epoch always wins; if a newer one did, ErrStaleEpoch.
+//
+// Equal-epoch races — two *concurrent* writers at the same epoch, which
+// arbitrated allocation rules out but a pre-arbitration store can still
+// present — resolve in the same read-back loop by node ID: the smaller
+// ID re-asserts, the larger concedes with ErrStaleEpoch. Sequential
+// same-epoch writers (the migrate fallback hands a stream from one node
+// to another within one epoch) are untouched: the tiebreak only fires
+// when another writer's bytes land *after* ours, i.e. a true interleave.
 func (s *FencedStore) Save(stream string, snapshot []byte) error {
 	mine := s.epoch.Load()
-	if _, stored, ok, err := s.load(stream); err == nil && ok && stored > mine {
+	me := s.writerID()
+	if _, stored, _, ok, err := s.load(stream); err == nil && ok && stored > mine {
 		return &fencedWriteError{fmt.Errorf("%w: store holds epoch %d for %q, writer at %d",
 			ErrStaleEpoch, stored, stream, mine)}
 	} else if err != nil {
@@ -78,21 +152,32 @@ func (s *FencedStore) Save(stream string, snapshot []byte) error {
 		// blind could mask a newer owner's snapshot.
 		return err
 	}
-	enc := state.AppendTo(make([]byte, 0, 2+8+4+len(snapshot)))
+	enc := state.AppendTo(make([]byte, 0, 2+8+4+len(me)+4+len(snapshot)))
 	enc.Section(TagFence, fenceVersion)
 	enc.U64(mine)
+	enc.String(me)
 	enc.Blob(snapshot)
 	for attempt := 0; ; attempt++ {
 		if err := s.inner.Save(stream, enc.Bytes()); err != nil {
 			return err
 		}
-		stored, ok, err := s.LoadEpoch(stream)
+		_, stored, storedBy, ok, err := s.load(stream)
 		switch {
 		case err != nil:
 			return err
 		case ok && stored > mine:
 			return &fencedWriteError{fmt.Errorf("%w: epoch %d overwrote %q during save at %d",
 				ErrStaleEpoch, stored, stream, mine)}
+		case ok && stored == mine && storedBy != "" && me != "" && storedBy != me:
+			// Concurrent equal-epoch interleave: smaller node ID wins.
+			if storedBy < me {
+				return &fencedWriteError{fmt.Errorf("%w: node %q interleaved %q at equal epoch %d, writer %q concedes",
+					ErrStaleEpoch, storedBy, stream, mine, me)}
+			}
+			if attempt >= 8 {
+				return fmt.Errorf("fence thrash on %q: writer %q still stored at epoch %d after %d attempts",
+					stream, storedBy, mine, attempt+1)
+			}
 		case ok && stored == mine:
 			return nil
 		case attempt >= 8:
@@ -118,32 +203,35 @@ func (s *FencedStore) List() ([]string, error) {
 // single-node run) pass through unchanged, so pointing a cluster at an
 // existing state dir adopts it.
 func (s *FencedStore) Load(stream string) ([]byte, bool, error) {
-	snap, _, ok, err := s.load(stream)
+	snap, _, _, ok, err := s.load(stream)
 	return snap, ok, err
 }
 
 // LoadEpoch reports the epoch recorded for a stream (0 for unfenced
 // legacy payloads).
 func (s *FencedStore) LoadEpoch(stream string) (uint64, bool, error) {
-	_, epoch, ok, err := s.load(stream)
+	_, epoch, _, ok, err := s.load(stream)
 	return epoch, ok, err
 }
 
-func (s *FencedStore) load(stream string) (snap []byte, epoch uint64, ok bool, err error) {
+func (s *FencedStore) load(stream string) (snap []byte, epoch uint64, writer string, ok bool, err error) {
 	raw, ok, err := s.inner.Load(stream)
 	if err != nil || !ok {
-		return nil, 0, ok, err
+		return nil, 0, "", ok, err
 	}
 	if len(raw) == 0 || raw[0] != TagFence {
-		return raw, 0, true, nil // legacy unfenced snapshot
+		return raw, 0, "", true, nil // legacy unfenced snapshot
 	}
 	dec := state.NewDecoder(raw)
-	dec.Section(TagFence, fenceVersion)
+	v := dec.Section(TagFence, fenceVersion)
 	epoch = dec.U64()
+	if v >= 2 {
+		writer = dec.String()
+	}
 	snap = dec.Bytes()
 	if err := dec.Finish(); err != nil {
-		return nil, 0, true, fmt.Errorf("%w: fence prefix for %q: %w",
+		return nil, 0, "", true, fmt.Errorf("%w: fence prefix for %q: %w",
 			fleet.ErrSnapshotCorrupt, stream, err)
 	}
-	return snap, epoch, true, nil
+	return snap, epoch, writer, true, nil
 }

@@ -54,10 +54,15 @@ type ReplicatorConfig struct {
 	Logf func(format string, args ...any)
 }
 
-// replicaJob is one queued snapshot shipment.
+// replicaJob is one queued snapshot shipment. at is when the stream
+// first entered the queue: coalescing a newer snapshot in and
+// re-offering after a failed shipment both keep it, so the job's age
+// always measures how long the stream has had unshipped state — the
+// number Lag reports.
 type replicaJob struct {
 	stream string
 	snap   []byte
+	at     time.Time
 }
 
 // Replicator ships every checkpoint write to the stream's ring
@@ -83,23 +88,23 @@ type Replicator struct {
 	ship    func(succ Node, epoch uint64, stream string, snap []byte) error
 	logf    func(format string, args ...any)
 
-	mu       sync.Mutex
-	queued   map[string]int // stream → index in order
-	order    []replicaJob
-	wake     chan struct{}
-	closed   bool
-	inflight bool          // a popped job is being shipped right now
-	idle     chan struct{} // closed when no work is pending or in flight
-	idleOpen bool
+	mu         sync.Mutex
+	queued     map[string]int // stream → index in order
+	order      []replicaJob
+	wake       chan struct{}
+	closed     bool
+	inflight   bool          // a popped job is being shipped right now
+	inflightAt time.Time     // the in-flight job's enqueue time
+	idle       chan struct{} // closed when no work is pending or in flight
+	idleOpen   bool
 
 	connMu sync.Mutex
 	conns  map[string]*wire.Client
 
-	shipped, dropped  atomic.Uint64
-	stale, failures   atomic.Uint64
-	breakerOpenUntil  atomic.Int64 // unix nanos
-	consecFails       int
-	oldestEnqueuedNat atomic.Int64 // unix nanos of current queue head's enqueue, 0 if empty
+	shipped, dropped atomic.Uint64
+	stale, failures  atomic.Uint64
+	breakerOpenUntil atomic.Int64 // unix nanos
+	consecFails      int
 
 	done chan struct{}
 }
@@ -184,10 +189,9 @@ func (r *Replicator) Offer(stream string, snap []byte) {
 	}
 	if len(r.order) == 0 {
 		r.openIdleLocked()
-		r.oldestEnqueuedNat.Store(time.Now().UnixNano())
 	}
 	r.queued[stream] = len(r.order)
-	r.order = append(r.order, replicaJob{stream: stream, snap: snap})
+	r.order = append(r.order, replicaJob{stream: stream, snap: snap, at: time.Now()})
 	r.mu.Unlock()
 	select {
 	case r.wake <- struct{}{}:
@@ -228,11 +232,7 @@ func (r *Replicator) pop() (replicaJob, bool) {
 		r.queued[s] = i - 1
 	}
 	r.inflight = true
-	if len(r.order) == 0 {
-		r.oldestEnqueuedNat.Store(0)
-	} else {
-		r.oldestEnqueuedNat.Store(time.Now().UnixNano())
-	}
+	r.inflightAt = job.at
 	return job, true
 }
 
@@ -243,6 +243,7 @@ func (r *Replicator) pop() (replicaJob, bool) {
 func (r *Replicator) finishJob() {
 	r.mu.Lock()
 	r.inflight = false
+	r.inflightAt = time.Time{}
 	if len(r.order) == 0 {
 		r.closeIdleLocked()
 	}
@@ -355,10 +356,9 @@ func (r *Replicator) reoffer(job replicaJob) {
 	}
 	if len(r.order) == 0 {
 		r.openIdleLocked()
-		r.oldestEnqueuedNat.Store(time.Now().UnixNano())
 	}
 	r.queued[job.stream] = len(r.order)
-	r.order = append(r.order, job)
+	r.order = append(r.order, job) // keeps job.at: still pending since then
 	select {
 	case r.wake <- struct{}{}:
 	default:
@@ -400,15 +400,29 @@ func (r *Replicator) wireShip(succ Node, epoch uint64, stream string, snap []byt
 	return nil
 }
 
-// Lag returns the queue depth and the age of the oldest queued
+// Lag returns the queue depth and the age of the oldest unshipped
 // snapshot — the replication window: how much checkpoint state a
-// takeover could be missing right now.
+// takeover could be missing right now. The age is computed from the
+// per-job enqueue times (including the job currently in flight), so a
+// backlog reports the true wait of its oldest entry rather than the
+// time since the head last changed. Re-offered jobs can sit behind
+// newer ones, hence the scan instead of reading the head.
 func (r *Replicator) Lag() (queued int, oldest time.Duration) {
+	now := time.Now()
 	r.mu.Lock()
 	queued = len(r.order)
+	var oldestAt time.Time
+	for i := range r.order {
+		if oldestAt.IsZero() || r.order[i].at.Before(oldestAt) {
+			oldestAt = r.order[i].at
+		}
+	}
+	if r.inflight && !r.inflightAt.IsZero() && (oldestAt.IsZero() || r.inflightAt.Before(oldestAt)) {
+		oldestAt = r.inflightAt
+	}
 	r.mu.Unlock()
-	if at := r.oldestEnqueuedNat.Load(); at > 0 {
-		oldest = time.Since(time.Unix(0, at))
+	if !oldestAt.IsZero() {
+		oldest = now.Sub(oldestAt)
 	}
 	return queued, oldest
 }

@@ -364,3 +364,54 @@ type atomic64 struct {
 
 func (a *atomic64) add(d int) int { a.mu.Lock(); defer a.mu.Unlock(); a.n += d; return a.n }
 func (a *atomic64) load() int     { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+// TestReplicatorLagTracksOldestUnderBacklog pins the lag metric's
+// meaning under a backlog: the reported age is how long the oldest
+// unshipped snapshot (queued or in flight) has been waiting, measured
+// from its enqueue — not the time since the queue head last changed,
+// which a pop used to reset and thereby understate the replication
+// window.
+func TestReplicatorLagTracksOldestUnderBacklog(t *testing.T) {
+	co := newReplCoordinator(t)
+	gate := make(chan struct{})
+	log := &shipLog{gate: gate}
+	r, err := NewReplicator(ReplicatorConfig{Coordinator: co, Ship: log.ship, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Two distinct streams owned by n1: the worker pops the first and
+	// blocks in Ship; the second stays queued behind it.
+	sA := streamOwnedBy(t, co.Ring(), "n1")
+	var sB string
+	for i := 0; i < 10_000 && sB == ""; i++ {
+		if name := fmt.Sprintf("lag-stream-%d", i); co.Ring().Owner(name).ID == "n1" {
+			sB = name
+		}
+	}
+	if sB == "" {
+		t.Fatal("no second stream owned by n1")
+	}
+	r.Offer(sA, []byte("a"))
+	r.Offer(sB, []byte("b"))
+
+	const backlog = 120 * time.Millisecond
+	time.Sleep(backlog)
+	q, oldest := r.Lag()
+	if q < 1 || q > 2 {
+		t.Fatalf("queued under backlog: %d, want 1 or 2", q)
+	}
+	if oldest < backlog-20*time.Millisecond {
+		t.Fatalf("oldest age under backlog: %v, want ≈%v — lag understated", oldest, backlog)
+	}
+	if st := r.StatusSnapshot(); st.OldestAgeMs < (backlog - 20*time.Millisecond).Milliseconds() {
+		t.Fatalf("OldestAgeMs under backlog: %d", st.OldestAgeMs)
+	}
+
+	close(gate)
+	mustDrain(t, r)
+	if q, oldest = r.Lag(); q != 0 || oldest != 0 {
+		t.Fatalf("lag after drain: queued=%d oldest=%v, want zeros", q, oldest)
+	}
+}

@@ -41,6 +41,7 @@ type StateStore interface {
 type MemStore struct {
 	mu    sync.RWMutex
 	snaps map[string][]byte
+	marks map[string][]byte // CreateExclusive markers, outside the snapshot namespace
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -84,6 +85,29 @@ func (s *MemStore) List() ([]string, error) {
 	s.mu.RUnlock()
 	sort.Strings(names)
 	return names, nil
+}
+
+// CreateExclusive atomically creates a named marker record, outside
+// the snapshot namespace: exactly one of any number of concurrent
+// callers (across every store handle sharing the backing storage)
+// observes created=true. When the marker already exists, the call
+// returns its stored contents instead. The cluster layer uses this as
+// its arbitration primitive: minting a ring epoch requires winning the
+// marker for that epoch number, so two partitioned survivors can never
+// adopt conflicting rings at the same epoch.
+func (s *MemStore) CreateExclusive(name string, data []byte) (existing []byte, created bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.marks == nil {
+		s.marks = make(map[string][]byte)
+	}
+	if prev, ok := s.marks[name]; ok {
+		return prev, false, nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.marks[name] = cp
+	return nil, true, nil
 }
 
 // Corrupt overwrites a stored snapshot with mutated bytes (bit-flip of
@@ -293,6 +317,46 @@ func (s *FileStore) List() ([]string, error) {
 		out = append(out, stream)
 	}
 	return out, nil
+}
+
+// CreateExclusive atomically creates a named marker file (see the
+// MemStore method for the contract). The marker lives beside the
+// snapshots with a ".mark" extension, so List and the recovery scan
+// never confuse it with stream state. Atomicity comes from
+// O_CREATE|O_EXCL: of any number of processes sharing the directory,
+// exactly one creates the file. The contents are informational (who
+// won); the creation itself is the arbitration, so a crash between
+// create and write leaves a won-but-anonymous marker, never a torn
+// decision.
+func (s *FileStore) CreateExclusive(name string, data []byte) (existing []byte, created bool, err error) {
+	path := filepath.Join(s.dir, escapeStream(name)+".mark")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			prev, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return nil, false, fmt.Errorf("fleet: reading marker %q: %w", name, rerr)
+			}
+			return prev, false, nil
+		}
+		return nil, false, fmt.Errorf("fleet: creating marker %q: %w", name, err)
+	}
+	_, werr := f.Write(data)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = syncDir(s.dir)
+	}
+	if werr != nil {
+		// The marker exists (the decision is made); only the contents are
+		// suspect. Report the win along with the write failure.
+		return nil, true, fmt.Errorf("fleet: writing marker %q: %w", name, werr)
+	}
+	return nil, true, nil
 }
 
 // quarantine moves a damaged file into the quarantine subdirectory,

@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -65,5 +67,108 @@ func TestFileStore(t *testing.T) {
 	}
 	if len(entries) != 1 || entries[0].Name() != "nested" {
 		t.Fatalf("files escaped the store dir: %v", entries)
+	}
+}
+
+// TestCreateExclusiveOneWinner pins the arbitration primitive the
+// cluster layer mints epochs with: across any number of concurrent
+// claimants sharing the backing storage, exactly one creates a given
+// marker, and every loser reads the winner's contents. Markers live
+// outside the snapshot namespace — List never reports them and a
+// recovery scan leaves them alone.
+func TestCreateExclusiveOneWinner(t *testing.T) {
+	dir := t.TempDir()
+	type creator interface {
+		CreateExclusive(name string, data []byte) ([]byte, bool, error)
+	}
+	for _, tc := range []struct {
+		name string
+		open func(t *testing.T) creator
+	}{
+		{"MemStore", func(t *testing.T) creator { return NewMemStore() }},
+		{"FileStore", func(t *testing.T) creator {
+			s, err := NewFileStore(filepath.Join(dir, "filestore"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			const racers = 8
+			created := make([]bool, racers)
+			existing := make([][]byte, racers)
+			var wg sync.WaitGroup
+			for i := 0; i < racers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					var err error
+					existing[i], created[i], err = s.CreateExclusive("epoch-2", []byte(fmt.Sprintf("n%d", i)))
+					if err != nil {
+						t.Errorf("racer %d: %v", i, err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			winners := 0
+			var winner int
+			for i, c := range created {
+				if c {
+					winners++
+					winner = i
+				}
+			}
+			if winners != 1 {
+				t.Fatalf("winners: %d, want exactly 1", winners)
+			}
+			want := []byte(fmt.Sprintf("n%d", winner))
+			for i := 0; i < racers; i++ {
+				if i == winner {
+					continue
+				}
+				if !bytes.Equal(existing[i], want) {
+					t.Fatalf("racer %d read %q, want winner's %q", i, existing[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestCreateExclusiveMarkersInvisibleToSnapshots: markers must not leak
+// into the snapshot inventory or survive as phantom streams across a
+// recovery scan.
+func TestCreateExclusiveMarkersInvisibleToSnapshots(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, created, err := s.CreateExclusive("epoch-7", []byte("n1")); err != nil || !created {
+		t.Fatalf("create: created=%v err=%v", created, err)
+	}
+	if err := s.Save("real-stream", []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "real-stream" {
+		t.Fatalf("List() = %v, want just real-stream", names)
+	}
+	// Reopen (runs recovery): the marker must still be there and still
+	// refuse a second creation.
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	existing, created, err := s2.CreateExclusive("epoch-7", []byte("n2"))
+	if err != nil || created || !bytes.Equal(existing, []byte("n1")) {
+		t.Fatalf("after reopen: existing=%q created=%v err=%v", existing, created, err)
+	}
+	if _, ok, _ := s2.Load("epoch-7"); ok {
+		t.Fatal("marker readable as a snapshot")
 	}
 }

@@ -108,7 +108,7 @@ func (p *meshPinger) Ping(self cluster.Node, epoch uint64, peer cluster.Node) (c
 		// the ack is lost on the way back.
 		return cluster.PingReply{}, fmt.Errorf("chaos: ping ack %s→%s dropped", peer.ID, p.self)
 	}
-	return cluster.PingReply{Epoch: res.Epoch, Member: res.Member}, nil
+	return cluster.PingReply{Epoch: res.Epoch, Member: res.Member, RingHash: res.RingHash}, nil
 }
 
 func (p *meshPinger) Probe(peer cluster.Node, subject string) (cluster.ProbeReply, error) {

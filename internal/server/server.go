@@ -649,12 +649,12 @@ func (s *Server) controlFrame(fr wire.FrameView, wbuf []byte) []byte {
 		s.acks.Add(1)
 		return wire.AppendAckFrame(wbuf, fr.Seq)
 	case wire.TagPing:
-		epoch, member := co.HandlePing(cluster.Node{ID: fr.Node.ID, Addr: fr.Node.Addr}, fr.Epoch)
+		epoch, member, ringHash := co.HandlePing(cluster.Node{ID: fr.Node.ID, Addr: fr.Node.Addr}, fr.Epoch)
 		self := co.Self()
 		s.pings.Add(1)
 		s.acks.Add(1)
 		return wire.AppendPingAckFrame(wbuf, fr.Seq,
-			wire.NodeInfo{ID: self.ID, Addr: self.Addr}, epoch, member)
+			wire.NodeInfo{ID: self.ID, Addr: self.Addr}, epoch, member, ringHash)
 	case wire.TagProbe:
 		// The probe's subject rides the Node.ID field.
 		rep := co.HandleProbe(fr.Node.ID)

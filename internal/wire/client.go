@@ -760,11 +760,13 @@ func (c *Client) SendHandoff(epoch uint64, stream string, snap []byte) error {
 }
 
 // PingResult is a peer's answer to a heartbeat: its identity, the ring
-// epoch it follows, and whether it still counts the pinger a member.
+// epoch it follows, whether it still counts the pinger a member, and
+// its ring's membership hash (0 from a peer that does not send one).
 type PingResult struct {
-	Node   NodeInfo
-	Epoch  uint64
-	Member bool
+	Node     NodeInfo
+	Epoch    uint64
+	Member   bool
+	RingHash uint64
 }
 
 // SendPing sends one heartbeat identifying the pinger (self, at its
@@ -787,7 +789,7 @@ func (c *Client) SendPing(self NodeInfo, epoch uint64) (PingResult, error) {
 	if fr.Seq != c.seq {
 		return PingResult{}, fmt.Errorf("wire: ping ack for frame %d, want %d", fr.Seq, c.seq)
 	}
-	return PingResult{Node: fr.Node, Epoch: fr.Epoch, Member: fr.Member}, nil
+	return PingResult{Node: fr.Node, Epoch: fr.Epoch, Member: fr.Member, RingHash: fr.RingHash}, nil
 }
 
 // ProbeResult is a peer's view of a third node: the detector state it

@@ -97,6 +97,10 @@ const (
 const (
 	batchVersion = 1
 	ctrlVersion  = 1
+	// pingAckVersion 2 added the responder's ring membership hash, so a
+	// pinger can detect that two rings at the same epoch disagree. A v1
+	// ack still decodes (hash 0 = unknown; Ring.Hash is never zero).
+	pingAckVersion = 2
 )
 
 // Nack codes: why the server refused a frame.
@@ -189,8 +193,8 @@ type RingInfo struct {
 // meaningful: Batch for TagBatch; Seq for TagFlush/TagAck/TagNack;
 // Code and Detail for TagNack; Node for TagJoin; Ring for TagAssign;
 // Epoch, Stream and Snap for TagHandoffSnapshot; Epoch for
-// TagHandoffAck; Node and Epoch for TagPing, plus Member for
-// TagPingAck; Node.ID for TagProbe, plus State/AgeMs/Known for
+// TagHandoffAck; Node and Epoch for TagPing, plus Member and RingHash
+// for TagPingAck; Node.ID for TagProbe, plus State/AgeMs/Known for
 // TagProbeAck; Epoch, Stream and Snap for TagReplicate.
 type Frame struct {
 	Tag    byte
@@ -205,10 +209,11 @@ type Frame struct {
 	Stream string
 	Snap   []byte
 
-	Member bool   // PingAck: is the pinger still in the responder's ring?
-	State  uint8  // ProbeAck: responder's view of the subject (detector PeerState)
-	AgeMs  uint64 // ProbeAck: ms since the responder last heard the subject
-	Known  bool   // ProbeAck: false when the responder does not track the subject
+	Member   bool   // PingAck: is the pinger still in the responder's ring?
+	RingHash uint64 // PingAck: responder's ring membership hash (0 = not carried)
+	State    uint8  // ProbeAck: responder's view of the subject (detector PeerState)
+	AgeMs    uint64 // ProbeAck: ms since the responder last heard the subject
+	Known    bool   // ProbeAck: false when the responder does not track the subject
 }
 
 // FrameView is the zero-copy decoded form of a frame payload: Stream
@@ -235,10 +240,11 @@ type FrameView struct {
 	Ring  RingInfo
 	Snap  []byte
 
-	Member bool
-	State  uint8
-	AgeMs  uint64
-	Known  bool
+	Member   bool
+	RingHash uint64
+	State    uint8
+	AgeMs    uint64
+	Known    bool
 }
 
 // eventSize is the encoded size of one branch event (pc u64 + instrs
@@ -358,16 +364,18 @@ func AppendPingFrame(dst []byte, seq uint64, node NodeInfo, epoch uint64) []byte
 }
 
 // AppendPingAckFrame appends a framed heartbeat reply to dst: the
-// responder's identity, its ring epoch, and whether the pinger is
-// still a member of that ring (false tells a zombie it was evicted).
-func AppendPingAckFrame(dst []byte, seq uint64, node NodeInfo, epoch uint64, member bool) []byte {
+// responder's identity, its ring epoch, whether the pinger is still a
+// member of that ring (false tells a zombie it was evicted), and the
+// ring's membership hash (how equal-epoch divergence is detected).
+func AppendPingAckFrame(dst []byte, seq uint64, node NodeInfo, epoch uint64, member bool, ringHash uint64) []byte {
 	return appendFrame(dst, func(e *state.Encoder) {
-		e.Section(TagPingAck, ctrlVersion)
+		e.Section(TagPingAck, pingAckVersion)
 		e.U64(seq)
 		e.String(node.ID)
 		e.String(node.Addr)
 		e.U64(epoch)
 		e.Bool(member)
+		e.U64(ringHash)
 	})
 }
 
@@ -510,12 +518,15 @@ func DecodeFrame(payload []byte) (Frame, error) {
 		f.Node.Addr = d.String()
 		f.Epoch = d.U64()
 	case TagPingAck:
-		d.Section(TagPingAck, ctrlVersion)
+		v := d.Section(TagPingAck, pingAckVersion)
 		f.Seq = d.U64()
 		f.Node.ID = d.String()
 		f.Node.Addr = d.String()
 		f.Epoch = d.U64()
 		f.Member = d.Bool()
+		if v >= 2 {
+			f.RingHash = d.U64()
+		}
 	case TagProbe:
 		d.Section(TagProbe, ctrlVersion)
 		f.Seq = d.U64()
@@ -615,12 +626,15 @@ func DecodeFrameView(payload []byte, events []trace.BranchEvent) (FrameView, err
 		f.Node.Addr = d.String()
 		f.Epoch = d.U64()
 	case TagPingAck:
-		d.Section(TagPingAck, ctrlVersion)
+		v := d.Section(TagPingAck, pingAckVersion)
 		f.Seq = d.U64()
 		f.Node.ID = d.String()
 		f.Node.Addr = d.String()
 		f.Epoch = d.U64()
 		f.Member = d.Bool()
+		if v >= 2 {
+			f.RingHash = d.U64()
+		}
 	case TagProbe:
 		d.Section(TagProbe, ctrlVersion)
 		f.Seq = d.U64()
