@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"phasekit/internal/server"
 	"phasekit/internal/signature"
 	"phasekit/internal/trace"
+	"phasekit/internal/wal"
 	"phasekit/internal/wire"
 	"phasekit/internal/workload"
 )
@@ -382,8 +384,40 @@ func BenchmarkClassifyLongTable(b *testing.B) {
 // real network stack: pipelined wire clients over TCP loopback into an
 // internal/server instance, burst-coalesced into per-shard fleet runs.
 // One op = one branch event, so ns/op is comparable with the Fleet
-// benchmarks and events/s is reported directly.
+// benchmarks and events/s is reported directly. This is the
+// `-wal-sync=off` configuration and the name the benchdiff gate pins.
 func BenchmarkServerIngest(b *testing.B) {
+	benchServerIngest(b, nil)
+}
+
+// BenchmarkServerIngestWALGroup is the same workload with ACKs held
+// for per-shard group-commit WAL durability (`-wal-sync=group`).
+// Reported, not gated: the target is ≤2× the BenchmarkServerIngest
+// ns/event (see EXPERIMENTS.md), since fsyncs amortize across every
+// batch coalesced into the commit window.
+func BenchmarkServerIngestWALGroup(b *testing.B) {
+	const shards = 4
+	dir := b.TempDir()
+	logs := make([]*wal.Log, shards)
+	for i := range logs {
+		l, err := wal.Open(wal.Options{
+			Dir:  filepath.Join(dir, fmt.Sprintf("shard-%d", i)),
+			Sync: wal.SyncGroup,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logs[i] = l
+	}
+	defer func() {
+		for _, l := range logs {
+			l.Close()
+		}
+	}()
+	benchServerIngest(b, logs)
+}
+
+func benchServerIngest(b *testing.B, walLogs []*wal.Log) {
 	const (
 		conns          = 4
 		streamsPerConn = 4
@@ -398,7 +432,7 @@ func BenchmarkServerIngest(b *testing.B) {
 		Overload:   fleet.OverloadBlock,
 		Tracker:    tcfg,
 	})
-	srv, err := server.New(server.Config{Fleet: f})
+	srv, err := server.New(server.Config{Fleet: f, WAL: walLogs})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -39,6 +39,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -53,6 +54,7 @@ import (
 	"phasekit/internal/core"
 	"phasekit/internal/fleet"
 	"phasekit/internal/server"
+	"phasekit/internal/wal"
 	"phasekit/internal/wire"
 )
 
@@ -83,6 +85,8 @@ func main() {
 		suspectTO  = flag.Duration("suspect-after", 0, "silence before a peer is suspect (0 = 3x heartbeat interval)")
 		deadTO     = flag.Duration("dead-after", 0, "silence before a peer is a takeover candidate (0 = 2x suspect-after)")
 		replicate  = flag.Bool("replicate", true, "ship checkpoints asynchronously to each stream's ring successor")
+		walDir     = flag.String("wal-dir", "", "write-ahead log root; batches are ACKed only after their WAL append is durable, and the log is replayed over the last checkpoints at startup (empty = no WAL)")
+		walSync    = flag.String("wal-sync", "group", "WAL durability: always (fsync per append), group (one fsync per commit window), off (disable the WAL entirely; ACK on enqueue as without -wal-dir)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "phasekitd: ", log.LstdFlags|log.Lmsgprefix)
@@ -121,6 +125,19 @@ func main() {
 	}
 	if *nodeID == "" && (*nodeAddr != "" || *peers != "") {
 		logger.Fatal("-node-addr/-peers need -node-id (cluster mode)")
+	}
+	var walMode wal.SyncMode
+	walOn := false
+	switch *walSync {
+	case "off":
+		// -wal-sync=off disables the WAL outright (not "write without
+		// fsync"): ACK-on-enqueue, no log files, today's ingest path.
+	case "group":
+		walMode, walOn = wal.SyncGroup, *walDir != ""
+	case "always":
+		walMode, walOn = wal.SyncAlways, *walDir != ""
+	default:
+		logger.Fatalf("-wal-sync must be always, group, or off, got %q", *walSync)
 	}
 	if *storeDir != "" {
 		// In cluster mode a shared state dir legitimately holds other
@@ -169,6 +186,52 @@ func main() {
 		logger.Fatal(err)
 	}
 	f := fleet.New(fcfg)
+
+	// The WAL lives per node, per shard: <wal-dir>/<node-id>/shard-N. In
+	// a shared -wal-dir, a node's directory outlives it, so a takeover
+	// successor can replay the dead node's tail read-only.
+	var walLogs []*wal.Log
+	if walOn {
+		nid := *nodeID
+		if nid == "" {
+			nid = "standalone"
+		}
+		walRoot := filepath.Join(*walDir, nid)
+		walLogs = make([]*wal.Log, f.Shards())
+		for i := range walLogs {
+			l, err := wal.Open(wal.Options{
+				Dir:  filepath.Join(walRoot, fmt.Sprintf("shard-%d", i)),
+				Sync: walMode,
+			})
+			if err != nil {
+				logger.Fatalf("wal shard %d: %v", i, err)
+			}
+			if rs := l.Recovered(); rs.TornBytes > 0 || rs.Quarantined > 0 {
+				logger.Printf("wal shard %d recovery: %d records in %d segments, truncated %d torn tail bytes, quarantined %d corrupt segments",
+					i, rs.Records, rs.Segments, rs.TornBytes, rs.Quarantined)
+			}
+			walLogs[i] = l
+		}
+		// Replay everything that survived recovery back through the
+		// fleet before serving. A replayed stream rehydrates from its
+		// last checkpoint on first touch, and the per-stream sequence
+		// numbers drop every record the checkpoint already covers —
+		// at-least-once replay, exactly-once apply. After a kill -9 this
+		// recovers exactly the ACKed-but-not-checkpointed tail.
+		replayed := 0
+		for i := range walLogs {
+			rs, err := wal.Replay(filepath.Join(walRoot, fmt.Sprintf("shard-%d", i)), func(rec wal.Record) error {
+				return f.Send(fleet.Batch{Stream: rec.Stream, Seq: rec.Seq, Cycles: rec.Cycles, Events: rec.Events, EndInterval: rec.EndInterval})
+			})
+			if err != nil {
+				logger.Fatalf("wal replay shard %d: %v", i, err)
+			}
+			replayed += rs.Records
+		}
+		if replayed > 0 {
+			logger.Printf("wal replay: %d records (%d deduplicated against checkpoints)", replayed, f.Metrics().DuplicateBatches)
+		}
+	}
 
 	var coord *cluster.Coordinator
 	var repl *cluster.Replicator
@@ -223,11 +286,39 @@ func main() {
 			}
 			coord.AttachDetector(det)
 		}
+		if walOn {
+			// After a takeover, replay the dead node's WAL tail on top of
+			// its adopted checkpoints: records newer than the checkpoint
+			// land through the same seq-dedup path as startup replay, so
+			// batches the dead node ACKed but never checkpointed survive.
+			// Every survivor runs this and keeps only its own share of
+			// the streams; replay is read-only, so the shared tail can be
+			// consumed by several survivors concurrently.
+			walTop := *walDir
+			coord.AttachTakeoverHook(func(removed []string) {
+				for _, id := range removed {
+					rs, err := wal.ReplayDirs(filepath.Join(walTop, id), func(rec wal.Record) error {
+						if _, remote := coord.OwnerIfRemoteString(rec.Stream); remote {
+							return nil // a peer's share; it replays its own
+						}
+						return f.Send(fleet.Batch{Stream: rec.Stream, Seq: rec.Seq, Cycles: rec.Cycles, Events: rec.Events, EndInterval: rec.EndInterval})
+					})
+					if err != nil {
+						logger.Printf("takeover: wal tail of %s: %v", id, err)
+						continue
+					}
+					if rs.Records > 0 {
+						logger.Printf("takeover: replayed %d wal records from %s (%d segments)", rs.Records, id, rs.Segments)
+					}
+				}
+			})
+		}
 	}
 
 	scfg := server.Config{
 		Fleet:         f,
 		Cluster:       coord,
+		WAL:           walLogs,
 		ReadTimeout:   *readTO,
 		WriteTimeout:  *writeTO,
 		IngestTimeout: *ingestTO,
@@ -325,6 +416,14 @@ func main() {
 		if err := f.CheckpointCtx(ctx); err != nil {
 			logger.Printf("checkpoint: %v", err)
 			exit = 1
+		} else {
+			// The checkpoints now cover everything the WAL holds;
+			// reclaim the segments so the next start replays nothing.
+			for i, l := range walLogs {
+				if err := l.Truncate(); err != nil {
+					logger.Printf("wal truncate shard %d: %v", i, err)
+				}
+			}
 		}
 	}
 	if repl != nil {
@@ -344,6 +443,11 @@ func main() {
 	m := f.Metrics()
 	sm := srv.Metrics()
 	f.Close()
+	for i, l := range walLogs {
+		if err := l.Close(); err != nil {
+			logger.Printf("wal close shard %d: %v", i, err)
+		}
+	}
 	logger.Printf("drained: %d conns, %d frames (%d acks, %d nacks, %d malformed), %d quarantines, %d dropped batches",
 		sm.Conns, sm.Frames, sm.Acks, sm.Nacks, sm.Malformed, m.IngestQuarantines, m.DroppedBatches)
 	if m.DroppedBatches > 0 {

@@ -44,15 +44,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"phasekit/internal/classifier"
+	"phasekit/internal/cluster"
 	"phasekit/internal/core"
 	"phasekit/internal/faults"
 	"phasekit/internal/fleet"
@@ -93,6 +97,7 @@ func main() {
 		tableStats = flag.Bool("table-stats", false, "print phase-table and classification-index statistics after the run (needs a live tracker: -workload, -trace, or Fleet mode)")
 		fromBatch  = flag.Uint64("from-batch", 0, "skip the first N interval batches (resume the later segment of a split run)")
 		maxBatches = flag.Uint64("max-batches", 0, "send at most N interval batches, then stop without flushing (0 = all)")
+		clusterz   = flag.String("clusterz", "", "with -connect: seed stream routes from this phasekitd /clusterz endpoint (host:port or URL) before sending, skipping first-contact redirect hops")
 	)
 	flag.Parse()
 
@@ -128,15 +133,20 @@ func main() {
 			fatal(fmt.Errorf("-table-stats with -connect: index stats live in the server; scrape phasekitd's /metricz instead"))
 		}
 		opts := fleetOpts{
-			streams: *streams,
-			connect: *connect,
-			from:    *fromBatch,
-			max:     *maxBatches,
+			streams:  *streams,
+			connect:  *connect,
+			from:     *fromBatch,
+			max:      *maxBatches,
+			clusterz: *clusterz,
 		}
 		if err := runConnect(*wl, *traceFile, *scale, opts, cfg); err != nil {
 			fatal(err)
 		}
 		return
+	}
+
+	if *clusterz != "" {
+		fatal(fmt.Errorf("-clusterz seeds wire-client routes and needs -connect"))
 	}
 
 	if *streams > 1 || *parallel {
@@ -515,6 +525,7 @@ type fleetOpts struct {
 	overload string
 	chaos    uint64
 	connect  string
+	clusterz string
 	phases   string
 	stats    bool
 	from     uint64
@@ -595,6 +606,32 @@ func runConnect(wl, traceFile string, scale float64, o fleetOpts, cfg core.Confi
 
 	sink := newBatchSink(wireSender{c}, n)
 	sink.from, sink.max = o.from, o.max
+	if o.from > 0 {
+		// The earlier segment already sent batches 0..from-1 with
+		// per-stream sequence numbers; resume each stream's numbering
+		// where that segment left off, or the server's duplicate
+		// detection drops this whole segment as a replay. Round-robin
+		// assignment makes the count exact: global batch i went to
+		// stream i mod n.
+		for i, name := range sink.names {
+			sent := o.from / uint64(n)
+			if uint64(i) < o.from%uint64(n) {
+				sent++
+			}
+			if sent > 0 {
+				c.SeedStreamSeq(name, sent)
+			}
+		}
+	}
+	if o.clusterz != "" {
+		// Routes are advisory: a stale seed costs one redirect hop, the
+		// same as no seed, so a failed prefetch only warns.
+		if seeded, err := prefetchRoutes(c, o.clusterz, sink.names); err != nil {
+			fmt.Fprintf(os.Stderr, "phasesim: clusterz prefetch: %v\n", err)
+		} else {
+			fmt.Printf("prefetch:  %d stream routes seeded from %s\n", seeded, o.clusterz)
+		}
+	}
 	start := time.Now()
 	if err := driveInput(wl, traceFile, scale, cfg, sink); err != nil {
 		return err
@@ -620,7 +657,52 @@ func runConnect(wl, traceFile string, scale float64, o fleetOpts, cfg core.Confi
 	if hops := c.Redirects(); hops > 0 {
 		fmt.Printf("redirects: %d hops followed to stream owners\n", hops)
 	}
+	if hits := c.PrefetchHits(); hits > 0 {
+		fmt.Printf("prefetch:  %d first-contact redirects avoided by seeded routes\n", hits)
+	}
 	return nil
+}
+
+// prefetchRoutes fetches cluster membership from a phasekitd /clusterz
+// endpoint and seeds the client's per-stream routes with each stream's
+// ring owner, so the first batch of every stream dials the right node
+// instead of discovering it through a REDIRECT nack.
+func prefetchRoutes(c *wire.Client, endpoint string, streams []string) (int, error) {
+	url := endpoint
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/clusterz") {
+		url = strings.TrimSuffix(url, "/") + "/clusterz"
+	}
+	hc := &http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var st struct {
+		Epoch uint64
+		Nodes []cluster.Node
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, fmt.Errorf("%s: %w", url, err)
+	}
+	ring, err := cluster.NewRing(max(st.Epoch, 1), st.Nodes)
+	if err != nil {
+		return 0, err
+	}
+	seeded := 0
+	for _, s := range streams {
+		if owner := ring.Owner(s); owner.Addr != "" {
+			c.SeedRoute(s, owner.Addr)
+			seeded++
+		}
+	}
+	return seeded, nil
 }
 
 // runFleet multiplexes a workload or branch trace into n interleaved

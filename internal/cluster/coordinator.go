@@ -104,6 +104,13 @@ type Coordinator struct {
 	detector *Detector
 	repl     *Replicator
 
+	// onTakeover runs after a membership change removed members and
+	// their orphans were adopted, with the removed node IDs. phasekitd
+	// uses it to replay the dead nodes' WAL tails (see cmd/phasekitd);
+	// it runs on every survivor applying the assignment, under the ring
+	// lock and against the already-flipped ring.
+	onTakeover func(removed []string)
+
 	handoffsOut, handoffsIn      atomic.Uint64
 	assignsApplied, staleAssigns atomic.Uint64
 	storeFallbacks               atomic.Uint64
@@ -181,6 +188,12 @@ func (c *Coordinator) canArbitrate() bool {
 // AttachDetector wires the failure detector in after construction, so
 // Status can report peer health and Degraded can consult it.
 func (c *Coordinator) AttachDetector(d *Detector) { c.detector = d }
+
+// AttachTakeoverHook registers fn to run after any applied membership
+// change that removed members, with their node IDs. It must not call
+// back into membership operations (it runs under the ring lock);
+// ownership queries and fleet sends are fine.
+func (c *Coordinator) AttachTakeoverHook(fn func(removed []string)) { c.onTakeover = fn }
 
 // AttachReplicator wires the checkpoint replicator in after
 // construction, so Status can report replication lag.
@@ -293,6 +306,17 @@ func (c *Coordinator) apply(next *Ring, propagate bool) (bool, error) {
 	// it). Runs on every node applying the assignment: each survivor
 	// adopts exactly the orphans the new ring gives it.
 	c.adoptOrphans(cur, next)
+	if c.onTakeover != nil {
+		var removed []string
+		for _, n := range cur.Nodes() {
+			if _, ok := next.Node(n.ID); !ok {
+				removed = append(removed, n.ID)
+			}
+		}
+		if len(removed) > 0 {
+			c.onTakeover(removed)
+		}
+	}
 	return true, nil
 }
 

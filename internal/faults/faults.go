@@ -241,3 +241,55 @@ func (f *FS) BeforeRename(string, string) error {
 func (f *FS) BeforeDirSync(string) error {
 	return f.crashAt(f.CrashBeforeDirSync, f.dirSyncs.Add(1), "dir fsync")
 }
+
+// WAL generates fault hooks for the write-ahead log append path
+// (wal.Hooks-compatible signatures): torn writes that persist a prefix
+// of a record frame (a crash mid-append), and short fsyncs that fail
+// before durability is confirmed (the batch is in the page cache but
+// the ACK must not go out).
+type WAL struct {
+	// TearNth lists 1-based append indices whose frame is written only
+	// partially and then fails.
+	TearNth []int
+	// KeepBytes is how much of a torn frame survives; 0 (or a value
+	// covering the whole frame) keeps half, which tears mid-payload.
+	KeepBytes int
+	// ShortSyncNth lists 1-based fsync indices that fail.
+	ShortSyncNth []int
+
+	appends, syncs atomic.Uint64
+	torn, shorted  atomic.Uint64
+}
+
+// Injected returns how many torn writes and short fsyncs have fired.
+func (w *WAL) Injected() (torn, shortSyncs uint64) {
+	return w.torn.Load(), w.shorted.Load()
+}
+
+// TornWrite is a wal.Hooks.TornWrite hook.
+func (w *WAL) TornWrite(frame []byte) (keep int, tear bool) {
+	n := w.appends.Add(1)
+	for _, want := range w.TearNth {
+		if want > 0 && uint64(want) == n {
+			w.torn.Add(1)
+			keep = w.KeepBytes
+			if keep <= 0 || keep >= len(frame) {
+				keep = len(frame) / 2
+			}
+			return keep, true
+		}
+	}
+	return 0, false
+}
+
+// BeforeSync is a wal.Hooks.BeforeSync hook.
+func (w *WAL) BeforeSync(path string) error {
+	n := w.syncs.Add(1)
+	for _, want := range w.ShortSyncNth {
+		if want > 0 && uint64(want) == n {
+			w.shorted.Add(1)
+			return fmt.Errorf("%w: short fsync %d on %s", ErrInjected, n, path)
+		}
+	}
+	return nil
+}

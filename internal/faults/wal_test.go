@@ -1,0 +1,113 @@
+package faults_test
+
+// The WAL injectors run against the real log: a torn write must leave
+// a prefix the reopen truncates (losing only the unacknowledged tail),
+// and a short fsync must surface as a commit failure so no ACK can be
+// issued for the affected records.
+
+import (
+	"strings"
+	"testing"
+
+	"phasekit/internal/faults"
+	"phasekit/internal/trace"
+	"phasekit/internal/wal"
+)
+
+func walRecord(seq uint64) *wal.Record {
+	return &wal.Record{
+		Stream: "s",
+		Seq:    seq,
+		Cycles: 100,
+		Events: []trace.BranchEvent{{PC: 0x400000, Instrs: 50}},
+	}
+}
+
+func TestWALTornWriteTruncatesOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	inj := &faults.WAL{TearNth: []int{3}}
+	l, err := wal.Open(wal.Options{
+		Dir:  dir,
+		Sync: wal.SyncGroup,
+		Hooks: wal.Hooks{
+			TornWrite:  inj.TornWrite,
+			BeforeSync: inj.BeforeSync,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var lsn wal.LSN
+	for seq := uint64(1); seq <= 2; seq++ {
+		if lsn, err = l.Append(walRecord(seq)); err != nil {
+			t.Fatalf("Append %d: %v", seq, err)
+		}
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if _, err := l.Append(walRecord(3)); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	if torn, _ := inj.Injected(); torn != 1 {
+		t.Fatalf("torn = %d, want 1", torn)
+	}
+	// The tear latches the log: nothing may append past a known-bad
+	// tail within the same process either.
+	if _, err := l.Append(walRecord(4)); err == nil {
+		t.Fatal("append after a torn write reported success")
+	}
+	l.Close()
+
+	// Reopen: recovery truncates the torn frame and keeps the two
+	// committed records.
+	l2, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncGroup})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	rs := l2.Recovered()
+	if rs.Records != 2 || rs.TornBytes == 0 {
+		t.Fatalf("recovered %d records, %d torn bytes; want 2 records and a truncated tail", rs.Records, rs.TornBytes)
+	}
+	var seqs []uint64
+	if _, err := wal.Replay(dir, func(rec wal.Record) error {
+		seqs = append(seqs, rec.Seq)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Fatalf("replayed seqs %v, want [1 2]", seqs)
+	}
+}
+
+func TestWALShortFsyncFailsCommit(t *testing.T) {
+	inj := &faults.WAL{ShortSyncNth: []int{1}}
+	l, err := wal.Open(wal.Options{
+		Dir:  t.TempDir(),
+		Sync: wal.SyncGroup,
+		Hooks: wal.Hooks{
+			TornWrite:  inj.TornWrite,
+			BeforeSync: inj.BeforeSync,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	lsn, err := l.Append(walRecord(1))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	err = l.Commit(lsn)
+	if err == nil {
+		t.Fatal("commit with a failed fsync reported durability")
+	}
+	if !strings.Contains(err.Error(), "short fsync") {
+		t.Fatalf("commit error %v does not carry the injected cause", err)
+	}
+	if _, shorted := inj.Injected(); shorted != 1 {
+		t.Fatalf("short fsyncs = %d, want 1", shorted)
+	}
+}

@@ -207,7 +207,10 @@ func (f *Fleet) detachStream(sh *shard, stream string) shardReport {
 		}
 	}
 	// The reply crosses goroutines, so the snapshot gets its own buffer.
-	snap := e.tracker.AppendSnapshot(make([]byte, 0, 1024))
+	// Wrapped in the seq envelope so the adopter inherits the dedup
+	// watermark along with the state.
+	sh.snapBuf = e.tracker.AppendSnapshot(sh.snapBuf[:0])
+	snap := appendSeqEnvelope(make([]byte, 0, len(sh.snapBuf)+32), e.seq, sh.snapBuf)
 	sh.putShell(e.tracker)
 	e.tracker = nil
 	e.pending = false
@@ -233,17 +236,24 @@ func (f *Fleet) adoptStream(sh *shard, stream string, snap []byte) shardReport {
 		return shardReport{err: fmt.Errorf("stream %q: adopt: already resident (double ownership)", stream)}
 	}
 	if snap != nil {
+		seq, inner, err := openSeqEnvelope(snap)
+		if err != nil {
+			return shardReport{err: fmt.Errorf("stream %q: adopt: %w", stream, err)}
+		}
 		if sh.quota > 0 {
 			f.evictDownTo(sh, sh.quota-1)
 		}
 		t := f.getShell(sh, stream)
-		if err := t.Restore(snap); err != nil {
+		if err := t.Restore(inner); err != nil {
 			sh.putShell(t)
 			// The remote handed us bad bytes; refuse the adoption but do
 			// not quarantine — local state (if any) is untouched.
 			return shardReport{err: fmt.Errorf("stream %q: adopt: %w: %w", stream, ErrSnapshotCorrupt, err)}
 		}
 		e.tracker = t
+		if seq > e.seq {
+			e.seq = seq
+		}
 		f.resident.Add(1)
 		sh.clock++
 		e.lastUse = sh.clock

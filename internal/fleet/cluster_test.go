@@ -216,9 +216,14 @@ func TestDetachEvictedStreamHandsOffStoredSnapshot(t *testing.T) {
 	if len(snap) == 0 {
 		t.Fatal("no snapshot for evicted stream")
 	}
-	// The handed-off snapshot restores.
+	// The handed-off snapshot restores (after the seq envelope is
+	// stripped, as AdoptStream would).
+	_, inner, err := openSeqEnvelope(snap)
+	if err != nil {
+		t.Fatalf("open seq envelope: %v", err)
+	}
 	tr := core.NewTracker("x", testConfig())
-	if err := tr.Restore(snap); err != nil {
+	if err := tr.Restore(inner); err != nil {
 		t.Fatalf("restore handed-off snapshot: %v", err)
 	}
 }

@@ -194,6 +194,13 @@ type Batch struct {
 	// Stream identifies the instruction stream. Streams are created on
 	// first use.
 	Stream string
+	// Seq is the batch's per-stream sequence number (monotonic from 1,
+	// stamped by the producer). A batch whose Seq is at or below the
+	// stream's last applied sequence is dropped as an already-applied
+	// duplicate — the dedup that turns at-least-once delivery (client
+	// reconnect replay, WAL crash replay) into exactly-once apply. 0
+	// means unstamped: the batch is always applied.
+	Seq uint64
 	// Cycles is charged to the stream's current interval before Events
 	// are applied (mirroring Tracker.Cycles before Tracker.Branch).
 	Cycles uint64
@@ -308,6 +315,11 @@ type streamEntry struct {
 	pending     bool
 	err         error
 	quarantined bool
+	// seq is the stream's last applied batch sequence (Batch.Seq),
+	// persisted in the snapshot seq envelope across eviction,
+	// checkpoint, handoff, and crash replay. Batches at or below it are
+	// duplicates.
+	seq uint64
 	// dropped latches once any batch for the stream has been discarded:
 	// from then on the stream's phase sequence is missing data, so its
 	// error is never cleared by later successes (StreamErr must keep
@@ -334,6 +346,7 @@ type shard struct {
 	clock   uint64          // LRU clock, bumped per batch
 	quota   int             // max resident trackers; 0 = unlimited
 	snapBuf []byte          // reusable eviction snapshot buffer
+	envBuf  []byte          // reusable seq-envelope buffer wrapping snapBuf
 	rng     *rng.Xoshiro256 // deterministic retry-backoff jitter
 	// free holds tracker shells recycled from eviction and throwaway
 	// reads, reused by the Restore path of rehydration.
@@ -843,7 +856,7 @@ func (f *Fleet) peekReport(sh *shard, stream string, e *streamEntry) core.Report
 		return e.tracker.Report()
 	}
 	if !e.quarantined {
-		t, err := f.rehydrate(sh, stream)
+		t, _, err := f.rehydrate(sh, stream)
 		if err == nil {
 			r := t.Report()
 			// The throwaway's state is disposable: pool the shell for
@@ -862,18 +875,22 @@ func (f *Fleet) peekReport(sh *shard, stream string, e *streamEntry) core.Report
 // fresh tracker, which would silently diverge from the stream's true
 // phase sequence — when the store is unavailable after retries or the
 // snapshot fails to decode.
-func (f *Fleet) rehydrate(sh *shard, stream string) (*core.Tracker, error) {
+func (f *Fleet) rehydrate(sh *shard, stream string) (*core.Tracker, uint64, error) {
 	if f.retr == nil {
-		return core.NewTracker(stream, f.cfg.Tracker), nil
+		return core.NewTracker(stream, f.cfg.Tracker), 0, nil
 	}
-	snap, ok, err := f.retr.load(sh.rng, stream)
+	raw, ok, err := f.retr.load(sh.rng, stream)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !ok {
 		// A stream the store has never seen: it needs pristine state,
 		// never a pooled shell.
-		return core.NewTracker(stream, f.cfg.Tracker), nil
+		return core.NewTracker(stream, f.cfg.Tracker), 0, nil
+	}
+	seq, snap, err := openSeqEnvelope(raw)
+	if err != nil {
+		return nil, 0, err
 	}
 	// Restore fully rebuilds a tracker from the snapshot, so a pooled
 	// shell from a previous eviction serves any stream. On failure the
@@ -881,9 +898,9 @@ func (f *Fleet) rehydrate(sh *shard, stream string) (*core.Tracker, error) {
 	t := f.getShell(sh, stream)
 	if err := t.Restore(snap); err != nil {
 		sh.putShell(t)
-		return nil, fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
-	return t, nil
+	return t, seq, nil
 }
 
 // residentTracker makes a stream's tracker live, evicting LRU residents
@@ -898,12 +915,15 @@ func (f *Fleet) residentTracker(sh *shard, stream string, e *streamEntry) (*core
 		if sh.quota > 0 {
 			f.evictDownTo(sh, sh.quota-1)
 		}
-		t, err := f.rehydrate(sh, stream)
+		t, seq, err := f.rehydrate(sh, stream)
 		if err != nil {
 			return nil, f.failStream(e, stream, "load", err, true)
 		}
 		e.tracker = t
 		e.pending = false
+		if seq > e.seq {
+			e.seq = seq
+		}
 		if !e.dropped {
 			e.err = nil
 		}
@@ -928,7 +948,8 @@ func (f *Fleet) checkpoint(sh *shard) error {
 			continue
 		}
 		sh.snapBuf = e.tracker.AppendSnapshot(sh.snapBuf[:0])
-		if err := f.retr.save(sh.rng, name, sh.snapBuf); err != nil {
+		sh.envBuf = appendSeqEnvelope(sh.envBuf[:0], e.seq, sh.snapBuf)
+		if err := f.retr.save(sh.rng, name, sh.envBuf); err != nil {
 			werr := f.failStream(e, name, "checkpoint", err, false)
 			if first == nil {
 				first = werr
@@ -967,7 +988,8 @@ func (f *Fleet) evictDownTo(sh *shard, target int) {
 			}
 		}
 		sh.snapBuf = victim.tracker.AppendSnapshot(sh.snapBuf[:0])
-		if err := f.retr.save(sh.rng, victimName, sh.snapBuf); err != nil {
+		sh.envBuf = appendSeqEnvelope(sh.envBuf[:0], victim.seq, sh.snapBuf)
+		if err := f.retr.save(sh.rng, victimName, sh.envBuf); err != nil {
 			// Keep the tracker live rather than lose its state; the
 			// stream itself stays healthy.
 			f.failStream(victim, victimName, "save", err, false)
@@ -1053,6 +1075,14 @@ func (f *Fleet) applyEntry(sh *shard, b Batch, e *streamEntry) {
 		f.metrics.droppedBatches.Add(1)
 		return
 	}
+	// Dedup after rehydration: e.seq is only authoritative once the
+	// stream's snapshot (whose seq envelope carries the watermark) has
+	// been restored. An already-applied batch is dropped silently — it
+	// is the expected shape of at-least-once replay, not data loss.
+	if b.Seq != 0 && b.Seq <= e.seq {
+		f.metrics.dupDrops.Add(1)
+		return
+	}
 	t.Cycles(b.Cycles)
 	for _, ev := range b.Events {
 		if res, ok := t.Branch(ev.PC, ev.Instrs); ok && f.cfg.OnInterval != nil {
@@ -1063,5 +1093,8 @@ func (f *Fleet) applyEntry(sh *shard, b Batch, e *streamEntry) {
 		if res, ok := t.Flush(); ok && f.cfg.OnInterval != nil {
 			f.cfg.OnInterval(b.Stream, *res)
 		}
+	}
+	if b.Seq != 0 {
+		e.seq = b.Seq
 	}
 }

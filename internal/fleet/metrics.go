@@ -25,6 +25,7 @@ type metrics struct {
 	adopts             atomic.Uint64
 	notOwnedRejects    atomic.Uint64
 	notOwnedDrops      atomic.Uint64
+	dupDrops           atomic.Uint64
 }
 
 // MetricsSnapshot is a point-in-time copy of the Fleet's fault and
@@ -82,6 +83,11 @@ type MetricsSnapshot struct {
 	// (also counted in DroppedBatches).
 	NotOwnedRejects uint64
 	NotOwnedDrops   uint64
+	// DuplicateBatches counts batches dropped because their per-stream
+	// sequence (Batch.Seq) was at or below the stream's last applied
+	// sequence — the expected shape of at-least-once replay (client
+	// reconnect, WAL crash replay), not data loss.
+	DuplicateBatches uint64
 	// Overshoot is the number of resident trackers currently above
 	// MaxResident (0 when no limit is set or the fleet is within it).
 	Overshoot int
@@ -109,6 +115,7 @@ func (f *Fleet) Metrics() MetricsSnapshot {
 		Adopts:             f.metrics.adopts.Load(),
 		NotOwnedRejects:    f.metrics.notOwnedRejects.Load(),
 		NotOwnedDrops:      f.metrics.notOwnedDrops.Load(),
+		DuplicateBatches:   f.metrics.dupDrops.Load(),
 	}
 	if f.cfg.MaxResident > 0 {
 		if over := f.Resident() - f.cfg.MaxResident; over > 0 {

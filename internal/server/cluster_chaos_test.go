@@ -383,6 +383,18 @@ func chaosBatches(streams []string, per int) []wire.Batch {
 
 func chaosSend(t *testing.T, c *wire.Client, batches []wire.Batch, from, to int) {
 	t.Helper()
+	// A fresh client resuming mid-run must seed its per-stream sequence
+	// counters (as phasesim -from-batch does), or the server's dedup
+	// drops the resumed batches as already-applied replays.
+	if from > 0 {
+		seed := map[string]uint64{}
+		for i := 0; i < from; i++ {
+			seed[batches[i].Stream]++
+		}
+		for s, n := range seed {
+			c.SeedStreamSeq(s, n)
+		}
+	}
 	for i := from; i < to; i++ {
 		b := batches[i]
 		if err := c.QueueBatch(b.Stream, b.Cycles, b.Events, b.EndInterval); err != nil {

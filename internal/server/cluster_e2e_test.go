@@ -304,6 +304,15 @@ func TestClusterNodeFailureTakeover(t *testing.T) {
 	n3.join(t, n1.addr)
 
 	send := func(c *wire.Client, from, to int) {
+		// A fresh client resuming mid-run seeds its per-stream sequence
+		// counters so the server's dedup doesn't drop its batches.
+		seed := map[string]uint64{}
+		for i := 0; i < from; i++ {
+			seed[batches[i].Stream]++
+		}
+		for s, n := range seed {
+			c.SeedStreamSeq(s, n)
+		}
 		for i := from; i < to; i++ {
 			b := batches[i]
 			if err := c.QueueBatch(b.Stream, b.Cycles, b.Events, b.EndInterval); err != nil {

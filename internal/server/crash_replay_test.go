@@ -1,0 +1,419 @@
+package server
+
+// Crash-replay chaos tests for the durable ingest path: a server
+// "killed" mid-interval — no drain, no checkpoint, in-flight interval
+// state lost — must, after WAL replay, continue to exactly the phase
+// sequence an uncrashed run produces, losing no batch it ever ACKed.
+// The crash point deliberately leaves ACKed frames beyond the last
+// checkpoint, so the WAL (not the store) is what carries them across.
+// Everything is deterministic: no real clocks, no sleeps for
+// correctness, and runs clean under -race.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"phasekit/internal/faults"
+	"phasekit/internal/fleet"
+	"phasekit/internal/wal"
+	"phasekit/internal/wire"
+)
+
+// openShardWALs opens one log per fleet shard under root, all sharing
+// the given hooks (zero Hooks = none).
+func openShardWALs(t *testing.T, root string, shards int, hooks wal.Hooks) []*wal.Log {
+	t.Helper()
+	logs := make([]*wal.Log, shards)
+	for i := range logs {
+		l, err := wal.Open(wal.Options{
+			Dir:   filepath.Join(root, fmt.Sprintf("shard-%d", i)),
+			Sync:  wal.SyncGroup,
+			Hooks: hooks,
+		})
+		if err != nil {
+			t.Fatalf("wal shard %d: %v", i, err)
+		}
+		logs[i] = l
+	}
+	return logs
+}
+
+// replayShardWALs is phasekitd's startup replay: every surviving record
+// back through the fleet, dedup making it exactly-once.
+func replayShardWALs(t *testing.T, root string, f *fleet.Fleet) (records int, stats wal.RecoveryStats) {
+	t.Helper()
+	rs, err := wal.ReplayDirs(root, func(rec wal.Record) error {
+		records++
+		return f.Send(fleet.Batch{Stream: rec.Stream, Seq: rec.Seq, Cycles: rec.Cycles, Events: rec.Events, EndInterval: rec.EndInterval})
+	})
+	if err != nil {
+		t.Fatalf("wal replay: %v", err)
+	}
+	return records, rs
+}
+
+func TestCrashReplayKillMidInterval(t *testing.T) {
+	const streams = 6
+	const shards = 3
+	batches := e2eBatches(streams, 120)
+	tcfg := testTrackerConfig()
+
+	// Uncrashed oracle.
+	oracleRec := NewPhaseRecorder()
+	oracle := fleet.New(fleet.Config{Shards: shards, Tracker: tcfg, OnInterval: oracleRec.Record})
+	for _, group := range batches {
+		for _, b := range group {
+			oracle.Send(fleet.Batch{Stream: b.Stream, Cycles: b.Cycles, Events: b.Events, EndInterval: b.EndInterval})
+		}
+	}
+	oracle.Flush()
+	oracle.Close()
+	want := recorderLines(t, oracleRec)
+	sortPhaseLines(want)
+
+	storeDir := t.TempDir()
+	walDir := t.TempDir()
+	const checkpointAt = 40 // last checkpoint the crash survives
+	const crashAt = 67      // ACKed batches in (40, 67] live only in the WAL
+
+	// Run 1: serve, checkpoint at checkpointAt, keep ACKing until
+	// crashAt, then die without drain or checkpoint.
+	rec1 := NewPhaseRecorder()
+	var lines1 []string
+	{
+		store, err := fleet.NewFileStore(storeDir)
+		if err != nil {
+			t.Fatalf("NewFileStore: %v", err)
+		}
+		f := fleet.New(fleet.Config{Shards: shards, Tracker: tcfg, Store: store, OnInterval: rec1.Record})
+		logs := openShardWALs(t, walDir, shards, wal.Hooks{})
+		srv, err := New(Config{Fleet: f, WAL: logs, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		c, err := wire.Dial(srv.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		send := func(from, to int) {
+			for _, group := range batches[from:to] {
+				for _, b := range group {
+					if err := c.SendBatch(b.Stream, b.Cycles, b.Events, b.EndInterval); err != nil {
+						t.Fatalf("SendBatch: %v", err)
+					}
+				}
+			}
+		}
+		send(0, checkpointAt)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := f.CheckpointCtx(ctx); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		send(checkpointAt, crashAt)
+		c.Close()
+
+		// The kill: tear down the process without draining — no
+		// checkpoint, no WAL truncation. Everything the fleet holds
+		// in memory beyond the checkpoint is gone.
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		<-serveErr
+		f.Close()
+		for _, l := range logs {
+			l.Close()
+		}
+		lines1 = recorderLines(t, rec1)
+	}
+	if len(lines1) == 0 {
+		t.Fatal("crash run closed no intervals; the scenario exercises nothing")
+	}
+
+	// Run 2: recover. Replay the WAL over the restored checkpoints,
+	// then resume the client mid-run and finish.
+	rec2 := NewPhaseRecorder()
+	var lines2 []string
+	var dupDrops uint64
+	{
+		store, err := fleet.NewFileStore(storeDir)
+		if err != nil {
+			t.Fatalf("NewFileStore: %v", err)
+		}
+		f := fleet.New(fleet.Config{Shards: shards, Tracker: tcfg, Store: store, OnInterval: rec2.Record})
+		logs := openShardWALs(t, walDir, shards, wal.Hooks{})
+		for i, l := range logs {
+			if rs := l.Recovered(); rs.Quarantined != 0 {
+				t.Fatalf("shard %d quarantined %d segments on a clean-crash log", i, rs.Quarantined)
+			}
+		}
+		records, _ := replayShardWALs(t, walDir, f)
+		if records != crashAt {
+			t.Fatalf("replayed %d wal records, ACKed %d before the crash", records, crashAt)
+		}
+		srv, err := New(Config{Fleet: f, WAL: logs, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		c, err := wire.Dial(srv.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		// The resumed producer continues each stream's numbering.
+		seed := map[string]uint64{}
+		for _, group := range batches[:crashAt] {
+			for _, b := range group {
+				seed[b.Stream]++
+			}
+		}
+		for s, n := range seed {
+			c.SeedStreamSeq(s, n)
+		}
+		for _, group := range batches[crashAt:] {
+			for _, b := range group {
+				if err := c.SendBatch(b.Stream, b.Cycles, b.Events, b.EndInterval); err != nil {
+					t.Fatalf("SendBatch: %v", err)
+				}
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		<-serveErr
+		if err := f.CheckpointCtx(ctx); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		dupDrops = f.Metrics().DuplicateBatches
+		f.Close()
+		for _, l := range logs {
+			l.Close()
+		}
+		lines2 = recorderLines(t, rec2)
+	}
+
+	// Replay re-closes every interval that completed after the last
+	// checkpoint, so those lines appear in both runs' logs. The streams'
+	// phase sequences must be byte-identical, so deduplicating the union
+	// must reconstruct the oracle exactly: a missing line is a lost
+	// ACKed batch, an extra one a divergent replay.
+	uniq := map[string]bool{}
+	var got []string
+	for _, l := range append(append([]string{}, lines1...), lines2...) {
+		if !uniq[l] {
+			uniq[l] = true
+			got = append(got, l)
+		}
+	}
+	sortPhaseLines(got)
+	if len(got) != len(want) {
+		t.Fatalf("phase log: %d distinct lines across the crash, oracle has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("phase log line %d: %q across the crash, %q in the oracle", i, got[i], want[i])
+		}
+	}
+	// The scenario must have exercised both halves of exactly-once:
+	// dedup of records the checkpoint already covered, and duplicate
+	// interval lines from records it did not.
+	if dupDrops == 0 {
+		t.Fatal("no replayed records were deduplicated against the checkpoint; crash point is miscalibrated")
+	}
+	if len(lines1)+len(lines2) == len(got) {
+		t.Fatal("no interval was re-closed by replay; nothing was at risk beyond the checkpoint")
+	}
+}
+
+// TestCrashReplayTornTail pins the torn-write half of the crash model:
+// the process dies mid-append, leaving a torn frame. That batch was
+// NACKed (the append failed before any ACK), so the client owns its
+// redelivery; recovery truncates the torn bytes and the resumed run —
+// which resends the refused batch — still matches the oracle exactly.
+func TestCrashReplayTornTail(t *testing.T) {
+	const streams = 4
+	const shards = 2
+	batches := e2eBatches(streams, 80)
+	tcfg := testTrackerConfig()
+
+	oracleRec := NewPhaseRecorder()
+	oracle := fleet.New(fleet.Config{Shards: shards, Tracker: tcfg, OnInterval: oracleRec.Record})
+	for _, group := range batches {
+		for _, b := range group {
+			oracle.Send(fleet.Batch{Stream: b.Stream, Cycles: b.Cycles, Events: b.Events, EndInterval: b.EndInterval})
+		}
+	}
+	oracle.Flush()
+	oracle.Close()
+	want := recorderLines(t, oracleRec)
+	sortPhaseLines(want)
+
+	storeDir := t.TempDir()
+	walDir := t.TempDir()
+	const crashAt = 45 // batch index whose append tears
+
+	rec1 := NewPhaseRecorder()
+	var lines1 []string
+	{
+		store, err := fleet.NewFileStore(storeDir)
+		if err != nil {
+			t.Fatalf("NewFileStore: %v", err)
+		}
+		f := fleet.New(fleet.Config{Shards: shards, Tracker: tcfg, Store: store, OnInterval: rec1.Record})
+		// One shared injector across the shards: appends are ordered by
+		// the synchronous client, so the (crashAt+1)-th append overall
+		// is exactly batch index crashAt.
+		inj := &faults.WAL{TearNth: []int{crashAt + 1}}
+		logs := openShardWALs(t, walDir, shards, wal.Hooks{TornWrite: inj.TornWrite, BeforeSync: inj.BeforeSync})
+		srv, err := New(Config{Fleet: f, WAL: logs, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		c, err := wire.Dial(srv.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		for i, group := range batches[:crashAt] {
+			for _, b := range group {
+				if err := c.SendBatch(b.Stream, b.Cycles, b.Events, b.EndInterval); err != nil {
+					t.Fatalf("SendBatch %d: %v", i, err)
+				}
+			}
+		}
+		// The torn append: refused, not ACKed, not durable.
+		b := batches[crashAt][0]
+		err = c.SendBatch(b.Stream, b.Cycles, b.Events, b.EndInterval)
+		if err == nil {
+			t.Fatal("batch with a torn WAL append was ACKed")
+		}
+		if !strings.Contains(err.Error(), wire.NackCodeString(wire.NackInternal)) {
+			t.Fatalf("torn append NACK = %v, want %s", err, wire.NackCodeString(wire.NackInternal))
+		}
+		if torn, _ := inj.Injected(); torn != 1 {
+			t.Fatalf("injected %d torn writes, want 1", torn)
+		}
+		c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		<-serveErr
+		f.Close()
+		for _, l := range logs {
+			l.Close()
+		}
+		lines1 = recorderLines(t, rec1)
+	}
+
+	rec2 := NewPhaseRecorder()
+	var lines2 []string
+	{
+		store, err := fleet.NewFileStore(storeDir)
+		if err != nil {
+			t.Fatalf("NewFileStore: %v", err)
+		}
+		f := fleet.New(fleet.Config{Shards: shards, Tracker: tcfg, Store: store, OnInterval: rec2.Record})
+		logs := openShardWALs(t, walDir, shards, wal.Hooks{})
+		tornBytes := int64(0)
+		for _, l := range logs {
+			tornBytes += l.Recovered().TornBytes
+		}
+		if tornBytes == 0 {
+			t.Fatal("recovery truncated nothing; the tear never reached the disk")
+		}
+		records, _ := replayShardWALs(t, walDir, f)
+		if records != crashAt {
+			t.Fatalf("replayed %d records; %d were ACKed (the torn one must not replay)", records, crashAt)
+		}
+		srv, err := New(Config{Fleet: f, WAL: logs, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		c, err := wire.Dial(srv.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		// Resume from the refused batch: its seq was consumed by the
+		// failed attempt, so the seed counts only ACKed batches and the
+		// resend re-stamps the same number.
+		seed := map[string]uint64{}
+		for _, group := range batches[:crashAt] {
+			for _, b := range group {
+				seed[b.Stream]++
+			}
+		}
+		for s, n := range seed {
+			c.SeedStreamSeq(s, n)
+		}
+		for _, group := range batches[crashAt:] {
+			for _, b := range group {
+				if err := c.SendBatch(b.Stream, b.Cycles, b.Events, b.EndInterval); err != nil {
+					t.Fatalf("SendBatch: %v", err)
+				}
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		<-serveErr
+		f.Close()
+		for _, l := range logs {
+			l.Close()
+		}
+		lines2 = recorderLines(t, rec2)
+	}
+
+	uniq := map[string]bool{}
+	var got []string
+	for _, l := range append(append([]string{}, lines1...), lines2...) {
+		if !uniq[l] {
+			uniq[l] = true
+			got = append(got, l)
+		}
+	}
+	sortPhaseLines(got)
+	if len(got) != len(want) {
+		t.Fatalf("phase log: %d distinct lines across the torn crash, oracle has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("phase log line %d: %q across the torn crash, %q in the oracle", i, got[i], want[i])
+		}
+	}
+}

@@ -124,6 +124,18 @@ func TestE2EGoldenEquivalenceAcrossRestart(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Dial: %v", err)
 		}
+		// The resumed segment's client must continue each stream's
+		// sequence numbering where the first segment left off, or the
+		// server's dedup drops its batches as replays.
+		seed := map[string]uint64{}
+		for _, group := range batches[:from] {
+			for _, b := range group {
+				seed[b.Stream]++
+			}
+		}
+		for s, n := range seed {
+			c.SeedStreamSeq(s, n)
+		}
 		for _, group := range batches[from:to] {
 			for _, b := range group {
 				if err := c.SendBatch(b.Stream, b.Cycles, b.Events, b.EndInterval); err != nil {
@@ -227,6 +239,7 @@ func TestE2EIntervalIndicesContinueAcrossRestart(t *testing.T) {
 		}
 	}, record)
 	run(func(c *wire.Client) {
+		c.SeedStreamSeq("s", 3) // resume the split run's numbering
 		for i := 0; i < 3; i++ {
 			c.SendBatch("s", 0, events, true)
 		}

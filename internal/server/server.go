@@ -52,6 +52,7 @@ import (
 	"phasekit/internal/core"
 	"phasekit/internal/fleet"
 	"phasekit/internal/trace"
+	"phasekit/internal/wal"
 	"phasekit/internal/wire"
 )
 
@@ -87,6 +88,13 @@ type Config struct {
 	// coordinator. Nil means standalone — the ownership check costs one
 	// branch.
 	Cluster *cluster.Coordinator
+	// WAL, when non-nil, is the per-shard write-ahead log set,
+	// index-aligned with the Fleet's shards (len must equal
+	// Fleet.Shards()). Every batch the fleet admits is appended to its
+	// owning shard's log, and the ACK is withheld until the log's
+	// commit completes — so an acked batch survives a crash and is
+	// replayed on restart. Nil means ACK-on-enqueue, today's behavior.
+	WAL []*wal.Log
 	// Logf, if non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -118,6 +126,10 @@ func (c Config) Validate() error {
 	}
 	if c.MaxFrame < 0 {
 		return fmt.Errorf("%w: server: MaxFrame must be >= 0", core.ErrConfig)
+	}
+	if len(c.WAL) > 0 && len(c.WAL) != c.Fleet.Shards() {
+		return fmt.Errorf("%w: server: WAL has %d logs, want one per fleet shard (%d)",
+			core.ErrConfig, len(c.WAL), c.Fleet.Shards())
 	}
 	return nil
 }
@@ -154,6 +166,11 @@ type Metrics struct {
 	Pings    uint64
 	Probes   uint64
 	Replicas uint64
+	// WALFailures counts batches that were applied in memory but NACKed
+	// because their write-ahead-log append or commit failed — the
+	// durability contract could not be met, so the client must not
+	// count them as acked. Zero when no WAL is configured.
+	WALFailures uint64
 }
 
 // Server serves the wire ingest protocol over TCP. Create with New,
@@ -175,7 +192,7 @@ type Server struct {
 
 	conns64, frames, acks, nacks, malformed, dead atomic.Uint64
 	bursts, burstFrames, redirects, handoffs      atomic.Uint64
-	pings, probes, replicas                       atomic.Uint64
+	pings, probes, replicas, walFails             atomic.Uint64
 }
 
 // New returns an unstarted server.
@@ -226,6 +243,7 @@ func (s *Server) Metrics() Metrics {
 		Pings:       s.pings.Load(),
 		Probes:      s.probes.Load(),
 		Replicas:    s.replicas.Load(),
+		WALFailures: s.walFails.Load(),
 	}
 }
 
@@ -402,14 +420,25 @@ type connState struct {
 	runFree chan *runBuf
 	slots   []frameSlot
 	ctrl    [][]byte // encoded control-frame responses, indexed by slotControl slots
+
+	// WAL bookkeeping (unused when no WAL is configured): the highest
+	// LSN this connection appended per shard log, whether the log has
+	// uncommitted appends from the current burst, and a scratch copy of
+	// a staged run's batch headers (taken before TrySendRun hands the
+	// run slice to the fleet, whose release may reset it concurrently).
+	walLSN     []wal.LSN
+	walDirty   []bool
+	walScratch []fleet.Batch
 }
 
 func newConnState(shards int) *connState {
 	return &connState{
-		intern:  make(map[string]string),
-		free:    make(chan *eventBuf, eventBufs),
-		runs:    make([]*runBuf, shards),
-		runFree: make(chan *runBuf, maxBurst),
+		intern:   make(map[string]string),
+		free:     make(chan *eventBuf, eventBufs),
+		runs:     make([]*runBuf, shards),
+		runFree:  make(chan *runBuf, maxBurst),
+		walLSN:   make([]wal.LSN, shards),
+		walDirty: make([]bool, shards),
 	}
 }
 
@@ -585,6 +614,7 @@ func (s *Server) handleFrame(cs *connState, payload, wbuf []byte) []byte {
 		}
 		b := fleet.Batch{
 			Stream:      cs.internStream(fr.Stream),
+			Seq:         fr.StreamSeq,
 			Cycles:      fr.Cycles,
 			Events:      fr.Events,
 			EndInterval: fr.EndInterval,
@@ -602,6 +632,15 @@ func (s *Server) handleFrame(cs *connState, payload, wbuf []byte) []byte {
 		if err != nil {
 			// The batch never reached a shard; the buffer is still ours.
 			buf.recycle()
+		} else if s.cfg.WAL != nil {
+			// The shard has the batch; the ACK now waits on durability.
+			// Reading b.Events here does not race the shard (both only
+			// read), and the buffer cannot be reused before this
+			// goroutine loops back to getBuf.
+			si := int32(s.cfg.Fleet.StreamShard(b.Stream))
+			if err = s.walAppend(cs, si, &b); err == nil {
+				err = s.walCommit(cs, si)
+			}
 		}
 		return s.ingestResult(wbuf, fr.Seq, err, b.Stream)
 	case wire.TagFlush:
@@ -741,6 +780,7 @@ func (s *Server) stageFrame(cs *connState, payload []byte) {
 		}
 		b := fleet.Batch{
 			Stream:      cs.internStream(fr.Stream),
+			Seq:         fr.StreamSeq,
 			Cycles:      fr.Cycles,
 			Events:      fr.Events,
 			EndInterval: fr.EndInterval,
@@ -807,6 +847,13 @@ func (s *Server) enqueueRuns(cs *connState) {
 // coalescing never changes which outcomes a client can observe.
 func (s *Server) enqueueRun(cs *connState, shard int32, rb *runBuf) {
 	n := len(rb.batches)
+	if s.cfg.WAL != nil {
+		// Copy the batch headers before the handoff: once TrySendRun
+		// admits the run, the fleet owns the run slice (its release may
+		// reset it from a shard goroutine), but the WAL appends below
+		// still need stream/seq/events.
+		cs.walScratch = append(cs.walScratch[:0], rb.batches...)
+	}
 	rej, err := s.cfg.Fleet.TrySendRun(rb.batches, rb.release)
 	// Rejected batches are ours again on every outcome: nack and
 	// reclaim their buffers first.
@@ -819,7 +866,11 @@ func (s *Server) enqueueRun(cs *connState, shard int32, rb *runBuf) {
 	switch {
 	case err == nil && len(rej) < n:
 		// The admitted batches reached the shard queue in one hop.
-		s.markRemaining(cs, shard, nil)
+		var werr error
+		if s.cfg.WAL != nil {
+			werr = s.walAppendRun(cs, shard, rej)
+		}
+		s.markRemaining(cs, shard, werr)
 	case err == nil:
 		// Every batch was rejected: nothing was enqueued, the fleet
 		// never took the run buffer.
@@ -844,8 +895,12 @@ func (s *Server) enqueueRun(cs *connState, shard int32, rb *runBuf) {
 				berr = s.cfg.Fleet.SendCtx(ctx, b)
 				cancel()
 			}
-			if berr != nil && b.Recycle != nil {
-				b.Recycle() // never reached a shard; the buffer is ours
+			if berr != nil {
+				if b.Recycle != nil {
+					b.Recycle() // never reached a shard; the buffer is ours
+				}
+			} else if s.cfg.WAL != nil {
+				berr = s.walAppend(cs, shard, &b)
 			}
 			sl.kind, sl.err = slotDone, berr
 		}
@@ -874,10 +929,112 @@ func (s *Server) markRemaining(cs *connState, shard int32, err error) {
 	}
 }
 
+// walAppend appends one admitted batch to its shard's log and records
+// the LSN for the burst's group commit. A failure (torn write latched,
+// disk error) bubbles up so the batch is NACKed instead of acked: it is
+// applied in memory but not durable, and the client's reconnect replay
+// will be deduped on its stream sequence.
+func (s *Server) walAppend(cs *connState, shard int32, b *fleet.Batch) error {
+	lsn, err := s.cfg.WAL[shard].Append(&wal.Record{
+		Stream:      b.Stream,
+		Seq:         b.Seq,
+		Cycles:      b.Cycles,
+		EndInterval: b.EndInterval,
+		Events:      b.Events,
+	})
+	if err != nil {
+		s.walFails.Add(1)
+		return fmt.Errorf("wal append: %w", err)
+	}
+	cs.walLSN[shard] = lsn
+	cs.walDirty[shard] = true
+	return nil
+}
+
+// walAppendRun appends every admitted batch of a staged run — the
+// scratch copy taken before the fleet took the run slice — to the
+// shard's log. Log errors are sticky, so one failure covers the rest
+// of the run.
+func (s *Server) walAppendRun(cs *connState, shard int32, rej []fleet.RunReject) error {
+	for i := range cs.walScratch {
+		rejected := false
+		for _, r := range rej {
+			if r.Index == i {
+				rejected = true
+				break
+			}
+		}
+		if rejected {
+			continue
+		}
+		if err := s.walAppend(cs, shard, &cs.walScratch[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walCommit group-commits one shard's log through the connection's
+// highest appended LSN.
+func (s *Server) walCommit(cs *connState, shard int32) error {
+	cs.walDirty[shard] = false
+	if err := s.cfg.WAL[shard].Commit(cs.walLSN[shard]); err != nil {
+		s.walFails.Add(1)
+		return fmt.Errorf("wal commit: %w", err)
+	}
+	return nil
+}
+
+// commitBurst group-commits every shard log the burst appended to,
+// before any of the burst's ACKs are written. Shards commit
+// concurrently — the burst pays one fsync latency, not one per dirty
+// shard — and each shard's log single-flights the fsync itself, so
+// bursts from other connections piggyback on the same window. A commit
+// failure flips the affected shard's still-acked batch slots to NACKs:
+// those batches are applied in memory but not durable, so the client
+// must not count them as acked.
+func (s *Server) commitBurst(cs *connState) {
+	if s.cfg.WAL == nil {
+		return
+	}
+	var dirty []int32
+	for si := range cs.walDirty {
+		if cs.walDirty[si] {
+			dirty = append(dirty, int32(si))
+		}
+	}
+	errs := make([]error, len(dirty))
+	if len(dirty) == 1 {
+		errs[0] = s.walCommit(cs, dirty[0])
+	} else if len(dirty) > 1 {
+		var wg sync.WaitGroup
+		for i, si := range dirty {
+			wg.Add(1)
+			go func(i int, si int32) {
+				defer wg.Done()
+				errs[i] = s.walCommit(cs, si)
+			}(i, si)
+		}
+		wg.Wait()
+	}
+	for i, si := range dirty {
+		if errs[i] == nil {
+			continue
+		}
+		for j := range cs.slots {
+			sl := &cs.slots[j]
+			if sl.kind == slotDone && sl.err == nil && sl.stream != "" && sl.shard == si {
+				sl.err = errs[i]
+			}
+		}
+	}
+}
+
 // flushBurst enqueues any still-staged runs and builds the burst's
 // responses in frame-arrival order, ready for one coalesced write.
 func (s *Server) flushBurst(cs *connState, wbuf []byte) []byte {
 	s.enqueueRuns(cs)
+	s.commitBurst(cs)
 	for i := range cs.slots {
 		sl := &cs.slots[i]
 		switch sl.kind {

@@ -237,8 +237,8 @@ func corruptBatchFrame(stream string) []byte {
 	frame := wire.AppendBatchFrame(nil, wire.Batch{Seq: 1, Stream: stream,
 		Events: []trace.BranchEvent{{PC: 1, Instrs: 1}}})
 	// Event count field: len prefix(4) + section(2) + seq(8) +
-	// string(4+len) + cycles(8) + bool(1).
-	off := 4 + 2 + 8 + 4 + len(stream) + 8 + 1
+	// streamSeq(8) + string(4+len) + cycles(8) + bool(1).
+	off := 4 + 2 + 8 + 8 + 4 + len(stream) + 8 + 1
 	frame[off] = 0xff
 	frame[off+1] = 0xff
 	frame[off+2] = 0xff

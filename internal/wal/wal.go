@@ -1,0 +1,741 @@
+// Package wal is a segmented, CRC32C-framed, group-commit write-ahead
+// log for acked ingest batches. The server appends every admitted batch
+// to the owning shard's log and withholds the ACK until the record is
+// durable, so a kill -9 can lose only frames the client never saw
+// acknowledged — and the client's reconnect replay re-delivers those.
+//
+// On-disk layout (one directory per log):
+//
+//	000000001.wal, 000000002.wal, ...   numbered segments
+//	quarantine/                         corrupt non-tail segments
+//
+// Each segment starts with an 8-byte magic header and then holds
+// length-prefixed records:
+//
+//	u32 LE payload length | u32 LE CRC32C(payload) | payload
+//
+// The payload itself is an internal/state section (TagRecord), so the
+// record format is versioned like every other codec in the repo.
+//
+// Durability discipline mirrors the FileStore (DESIGN.md §10): appends
+// go to the active segment through a write buffer; a group commit
+// batches fsyncs across whatever accumulated while the previous fsync
+// ran, and committers wait until the synced offset covers their record.
+// Opening a log truncates a torn tail (a crash mid-append) off the last
+// segment and quarantines corrupt earlier segments, so recovery always
+// yields the maximal clean prefix of acked records.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"phasekit/internal/state"
+	"phasekit/internal/trace"
+)
+
+// TagRecord is the section tag of every WAL record payload. Distinct
+// from the snapshot tags (0xA1–0xF5) so a WAL payload can never be
+// misdecoded as tracker state.
+const TagRecord = byte(0xE1)
+
+// recordVersion is the current record layout revision.
+const recordVersion = 1
+
+// segMagic opens every segment file. The trailing newline makes a
+// head(1) of a segment self-identifying, like the wire protocol magic.
+const segMagic = "PKWAL1\n\x00"
+
+// segExt is the segment filename extension.
+const segExt = ".wal"
+
+// frameHeaderSize is the per-record framing overhead: u32 length plus
+// u32 CRC32C.
+const frameHeaderSize = 8
+
+// DefaultSegmentBytes is the rotation threshold: an active segment that
+// grows past it is sealed and a new one started, bounding both the
+// replay unit and the space reclaimed per truncation.
+const DefaultSegmentBytes = 16 << 20
+
+// MaxRecordBytes bounds one record's payload. Ingest batches are capped
+// well below this by the wire frame limit; anything larger in a segment
+// is corruption, and rejecting it before allocating defends the replay
+// path the same way the FileStore size limit defends Load.
+const MaxRecordBytes = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt wraps every recovery/replay integrity failure: a bad
+// magic, a CRC mismatch, or an impossible length.
+var ErrCorrupt = errors.New("wal: corrupt segment")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// SyncMode selects the durability level of Append+Commit.
+type SyncMode int
+
+const (
+	// SyncOff never fsyncs: records reach the OS on Commit but an OS
+	// crash can lose them. Orderly shutdowns still leave a complete,
+	// replayable log.
+	SyncOff SyncMode = iota
+	// SyncGroup batches fsyncs across a commit window: committers wait
+	// until a flush has synced past their record, and every committer
+	// that arrives while an fsync runs is covered together by the next
+	// one. The default durable mode.
+	SyncGroup
+	// SyncAlways fsyncs inline on every Commit — maximal durability,
+	// one fsync per acked frame.
+	SyncAlways
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncOff:
+		return "off"
+	case SyncGroup:
+		return "group"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// Record is one acked ingest batch: exactly the fields the fleet needs
+// to re-apply it on replay, including the client's per-stream sequence
+// number that makes re-application idempotent.
+type Record struct {
+	Stream      string
+	Seq         uint64 // per-stream monotonic sequence (0 = unstamped)
+	Cycles      uint64
+	EndInterval bool
+	Events      []trace.BranchEvent
+}
+
+// appendPayload encodes a record as a state-codec section. Events are
+// the bulk of every record, so they are delta-varint packed: branch
+// PCs cluster (loops revisit nearby addresses), making the zigzag
+// delta from the previous PC 1–2 bytes where a fixed u64 spends 8, and
+// per-branch instruction counts are small enough for 1-byte varints.
+// The WAL is write-bound (see EXPERIMENTS.md), so bytes saved here are
+// ingest throughput under `-wal-sync=group`.
+func appendPayload(buf []byte, r *Record) []byte {
+	enc := state.AppendTo(buf)
+	enc.Section(TagRecord, recordVersion)
+	enc.String(r.Stream)
+	enc.U64(r.Seq)
+	enc.U64(r.Cycles)
+	enc.Bool(r.EndInterval)
+	enc.U32(uint32(len(r.Events)))
+	var prev uint64
+	for _, ev := range r.Events {
+		enc.Svarint(int64(ev.PC - prev))
+		enc.Uvarint(uint64(ev.Instrs))
+		prev = ev.PC
+	}
+	return enc.Bytes()
+}
+
+// decodePayload decodes one record payload.
+func decodePayload(payload []byte) (Record, error) {
+	d := state.NewDecoder(payload)
+	d.Section(TagRecord, recordVersion)
+	var r Record
+	r.Stream = d.String()
+	r.Seq = d.U64()
+	r.Cycles = d.U64()
+	r.EndInterval = d.Bool()
+	n := d.Count(2) // min 2 bytes per delta-varint event
+	if n > 0 {
+		r.Events = make([]trace.BranchEvent, n)
+		var prev uint64
+		for i := range r.Events {
+			prev += uint64(d.Svarint())
+			r.Events[i].PC = prev
+			r.Events[i].Instrs = uint32(d.Uvarint())
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return Record{}, fmt.Errorf("%w: record: %w", ErrCorrupt, err)
+	}
+	return r, nil
+}
+
+// Hooks intercept the durability steps for fault injection (see
+// internal/faults.WAL). Nil hooks are skipped. Install before the
+// first append; intended for tests.
+type Hooks struct {
+	// TornWrite is consulted with each record frame about to be
+	// written; returning tear=true makes the log write only the first
+	// keep bytes and fail the append — a crash mid-write.
+	TornWrite func(frame []byte) (keep int, tear bool)
+	// BeforeSync runs before each segment fsync; an error aborts the
+	// sync — data written but not durable (a short fsync).
+	BeforeSync func(path string) error
+}
+
+// Options configure Open.
+type Options struct {
+	// Dir is the log directory, created if needed.
+	Dir string
+	// Sync is the durability mode (default SyncOff).
+	Sync SyncMode
+	// SegmentBytes is the rotation threshold (default
+	// DefaultSegmentBytes).
+	SegmentBytes int64
+	// Hooks install fault injection (tests only).
+	Hooks Hooks
+}
+
+// RecoveryStats reports what opening (or replaying) a log found and
+// repaired.
+type RecoveryStats struct {
+	// Segments is how many clean segments were found.
+	Segments int
+	// Records is how many intact records they hold.
+	Records int
+	// TornBytes is how many torn-tail bytes were truncated off the
+	// last segment (a crash mid-append).
+	TornBytes int64
+	// Quarantined is how many corrupt non-tail segments were
+	// quarantined (Open) or skipped (Replay).
+	Quarantined int
+}
+
+// LSN identifies a record's position in the log: the byte offset just
+// past its frame, in a total order across segments. Commit(lsn) returns
+// once the log is durable at least through lsn.
+type LSN uint64
+
+// Log is an append-only write-ahead log over one directory. All methods
+// are safe for concurrent use.
+type Log struct {
+	dir    string
+	mode   SyncMode
+	segMax int64
+	hooks  Hooks
+	stats  RecoveryStats
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast when a group flush completes or the log closes
+	f         *os.File   // active segment
+	buf       []byte     // bytes appended but not yet written to f
+	segIdx    uint64     // active segment number
+	segSize   int64      // bytes appended to the active segment (incl. header)
+	wroteLSN  LSN        // total bytes appended across all segments
+	syncedLSN LSN        // durable prefix
+	appends   uint64
+	syncs     uint64
+	closed    bool
+	flushing  bool  // a group-commit fsync is in flight (lock released)
+	err       error // sticky append-path failure
+}
+
+// Open opens (creating if needed) the log at opts.Dir and runs
+// recovery: corrupt non-tail segments are quarantined, and a torn tail
+// on the last segment is truncated away, so the log always reopens to
+// the maximal clean prefix.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating log dir: %w", err)
+	}
+	l := &Log{dir: opts.Dir, mode: opts.Sync, segMax: opts.SegmentBytes, hooks: opts.Hooks}
+	l.cond = sync.NewCond(&l.mu)
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// segPath returns the path of segment n in dir.
+func segPath(dir string, n uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%09d%s", n, segExt))
+}
+
+// listSegments returns the existing segment numbers in ascending order.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: scanning log dir: %w", err)
+	}
+	var segs []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || filepath.Ext(name) != segExt {
+			continue
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(name, "%d"+segExt, &n); err != nil || n == 0 {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// scanSegment walks one segment file, calling fn for each intact
+// record, and returns the clean byte length (header included) plus
+// whether the segment ended torn (truncated frame, impossible length,
+// or CRC mismatch — all three look identical from a crash mid-write).
+func scanSegment(path string, fn func(payload []byte) error) (clean int64, torn bool, records int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return 0, false, 0, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, filepath.Base(path))
+	}
+	off := int64(len(segMagic))
+	for int64(len(data))-off >= frameHeaderSize {
+		n := binary.LittleEndian.Uint32(data[off:])
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || int64(n) > MaxRecordBytes {
+			return off, true, records, nil
+		}
+		end := off + frameHeaderSize + int64(n)
+		if end > int64(len(data)) {
+			return off, true, records, nil // truncated frame: torn tail
+		}
+		payload := data[off+frameHeaderSize : end]
+		if crc32.Checksum(payload, castagnoli) != want {
+			return off, true, records, nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return off, false, records, err
+			}
+		}
+		off = end
+		records++
+	}
+	return off, int64(len(data)) != off, records, nil
+}
+
+// quarantine moves a damaged segment aside, best-effort (falling back
+// to removal), mirroring the FileStore discipline: recovery must never
+// turn one bad file into a fatal error.
+func (l *Log) quarantine(path string) {
+	qdir := filepath.Join(l.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+			return
+		}
+	}
+	os.Remove(path)
+}
+
+// recover scans the existing segments: corruption in a non-tail
+// segment quarantines that segment whole (its records may already be
+// reflected in checkpoints, and replay's seq dedup absorbs the gap); a
+// torn tail on the *last* segment is the expected crash signature and
+// is truncated in place. The log then resumes appending to a fresh
+// segment numbered after the highest seen, so recovery never rewrites
+// clean history.
+func (l *Log) recover() error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	last := uint64(0)
+	for i, n := range segs {
+		if n > last {
+			last = n
+		}
+		path := segPath(l.dir, n)
+		clean, torn, records, err := scanSegment(path, nil)
+		if err != nil {
+			l.stats.Quarantined++
+			l.quarantine(path)
+			continue
+		}
+		if torn {
+			if i == len(segs)-1 {
+				// Torn tail on the final segment: a crash mid-append.
+				// Truncate to the clean prefix so replay and future
+				// opens never see the partial frame.
+				if info, serr := os.Stat(path); serr == nil {
+					l.stats.TornBytes += info.Size() - clean
+				}
+				if err := os.Truncate(path, clean); err != nil {
+					return fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), err)
+				}
+				if err := syncDir(l.dir); err != nil {
+					return err
+				}
+			} else {
+				// Torn mid-history: something other than a tail crash
+				// damaged this segment. Quarantine it whole.
+				l.stats.Quarantined++
+				l.quarantine(path)
+				continue
+			}
+		}
+		l.stats.Segments++
+		l.stats.Records += records
+	}
+	return l.openSegment(last + 1)
+}
+
+// openSegment starts appending to a new segment numbered n.
+func (l *Log) openSegment(n uint64) error {
+	f, err := os.OpenFile(segPath(l.dir, n), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	l.f = f
+	l.segIdx = n
+	l.segSize = int64(len(segMagic))
+	return nil
+}
+
+// Recovered reports what Open found and repaired.
+func (l *Log) Recovered() RecoveryStats { return l.stats }
+
+// Stats returns the append and fsync counters.
+func (l *Log) Stats() (appends, syncs uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.syncs
+}
+
+// Append encodes rec, frames it, and buffers it for the active segment.
+// It returns the record's LSN; the record is not durable until
+// Commit(lsn) returns (and never promised durable in SyncOff mode).
+// Safe for concurrent use.
+func (l *Log) Append(rec *Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	// Encode in place at the tail of the append buffer: the buffer's
+	// capacity survives flushes, so steady-state appends allocate
+	// nothing and copy each record exactly once.
+	start := len(l.buf)
+	l.buf = append(l.buf, make([]byte, frameHeaderSize)...)
+	l.buf = appendPayload(l.buf, rec)
+	frame := l.buf[start:]
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(frame)-frameHeaderSize))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(frame[frameHeaderSize:], castagnoli))
+	if l.hooks.TornWrite != nil {
+		if keep, tear := l.hooks.TornWrite(frame); tear {
+			// Push what a real crash would have left behind — the
+			// buffered prefix plus the torn fragment — straight to the
+			// file, then latch the failure.
+			l.buf = l.buf[:start+keep]
+			l.writeOutLocked()
+			l.err = fmt.Errorf("wal: injected torn write (%d/%d bytes)", keep, len(frame))
+			return 0, l.err
+		}
+	}
+	l.segSize += int64(len(frame))
+	l.wroteLSN += LSN(len(frame))
+	l.appends++
+	lsn := l.wroteLSN
+	// Rotation waits out an in-flight group fsync: the fsync holds the
+	// active file while the lock is released, so swapping it out from
+	// under the flusher would sync the wrong file.
+	if l.segSize >= l.segMax && !l.flushing {
+		if err := l.rotateLocked(); err != nil {
+			l.err = err
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// writeOutLocked moves the append buffer into the active segment file.
+// Caller holds l.mu.
+func (l *Log) writeOutLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: writing segment: %w", err)
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// rotateLocked seals the active segment (write out + fsync, regardless
+// of sync mode: a sealed segment must be self-contained) and opens the
+// next one. Caller holds l.mu with no flush in flight.
+func (l *Log) rotateLocked() error {
+	if err := l.writeOutLocked(); err != nil {
+		return err
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: sealing segment: %w", err)
+	}
+	if err := l.openSegment(l.segIdx + 1); err != nil {
+		return err
+	}
+	return syncDir(l.dir)
+}
+
+// syncLocked runs the hook-guarded fsync of the active segment and
+// advances the durable horizon past everything already written out.
+// Caller holds l.mu.
+func (l *Log) syncLocked() error {
+	synced := l.wroteLSN - LSN(len(l.buf))
+	if l.hooks.BeforeSync != nil {
+		if err := l.hooks.BeforeSync(l.f.Name()); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.syncs++
+	if synced > l.syncedLSN {
+		l.syncedLSN = synced
+	}
+	return nil
+}
+
+// Commit blocks until the log is durable through lsn under the
+// configured sync mode:
+//
+//   - SyncOff: writes the buffer to the OS and returns (no fsync).
+//   - SyncAlways: writes out and fsyncs inline.
+//   - SyncGroup: joins the in-flight group fsync, or runs one itself.
+//     Every committer whose record was written out before the fsync is
+//     covered by it; later arrivals form the next window.
+func (l *Log) Commit(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		switch {
+		case l.err != nil:
+			return l.err
+		case l.closed:
+			return ErrClosed
+		case l.mode == SyncOff:
+			if err := l.writeOutLocked(); err != nil {
+				l.err = err
+				return err
+			}
+			return nil
+		case l.syncedLSN >= lsn:
+			return nil
+		case l.mode == SyncAlways:
+			if err := l.writeOutLocked(); err == nil {
+				err = l.syncLocked()
+			} else {
+				l.err = err
+			}
+			if l.err == nil && l.syncedLSN < lsn {
+				// Unreachable: everything appended before Commit is
+				// written out above. Guard against looping anyway.
+				l.err = fmt.Errorf("wal: commit at %d stalled below %d", l.syncedLSN, lsn)
+			}
+			if l.err != nil {
+				return l.err
+			}
+		case !l.flushing:
+			// No fsync in flight: this committer flushes the window.
+			// The lock is released around the fsync so appenders keep
+			// filling the next window; rotation is deferred while
+			// flushing, so f stays valid.
+			if err := l.writeOutLocked(); err != nil {
+				l.err = err
+				return err
+			}
+			covered := l.wroteLSN
+			l.flushing = true
+			f, hook := l.f, l.hooks.BeforeSync
+			l.mu.Unlock()
+			var err error
+			if hook != nil {
+				err = hook(f.Name())
+			}
+			if err == nil {
+				err = f.Sync()
+			}
+			l.mu.Lock()
+			l.flushing = false
+			if err != nil {
+				l.err = fmt.Errorf("wal: fsync: %w", err)
+			} else {
+				l.syncs++
+				if covered > l.syncedLSN {
+					l.syncedLSN = covered
+				}
+			}
+			l.cond.Broadcast()
+		default:
+			// An fsync is in flight; wait for its verdict and re-check.
+			l.cond.Wait()
+		}
+	}
+}
+
+// Truncate discards every sealed segment and the active one, restarting
+// in a fresh segment: called after a successful full checkpoint, when
+// every record in the log is reflected in the state store and replaying
+// it would be a no-op.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.writeOutLocked(); err != nil {
+		l.err = err
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, n := range segs {
+		if err := os.Remove(segPath(l.dir, n)); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	if err := l.openSegment(l.segIdx + 1); err != nil {
+		return err
+	}
+	l.syncedLSN = l.wroteLSN
+	return syncDir(l.dir)
+}
+
+// Close writes out, fsyncs (unless SyncOff), and closes the active
+// segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	err := l.writeOutLocked()
+	if err == nil && l.mode != SyncOff && l.err == nil {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Replay walks a log directory read-only, in segment order, calling fn
+// for every intact record. A torn tail stops that segment's walk
+// cleanly (those records were never acked durable); a corrupt non-tail
+// segment is skipped and counted, never modified — the caller may not
+// own the directory (WAL-tail takeover reads the dead node's log in
+// place).
+func Replay(dir string, fn func(Record) error) (RecoveryStats, error) {
+	var stats RecoveryStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return stats, nil
+		}
+		return stats, err
+	}
+	for _, n := range segs {
+		path := segPath(dir, n)
+		_, torn, records, err := scanSegment(path, func(payload []byte) error {
+			rec, err := decodePayload(payload)
+			if err != nil {
+				return err
+			}
+			return fn(rec)
+		})
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				stats.Quarantined++
+				continue
+			}
+			return stats, err
+		}
+		stats.Segments++
+		stats.Records += records
+		if torn {
+			stats.TornBytes++
+		}
+	}
+	return stats, nil
+}
+
+// ReplayDirs replays every per-shard subdirectory of root, in sorted
+// order, through fn. A missing root is not an error — a node that never
+// enabled the WAL has nothing to replay.
+func ReplayDirs(root string, fn func(Record) error) (RecoveryStats, error) {
+	var stats RecoveryStats
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return stats, nil
+		}
+		return stats, fmt.Errorf("wal: scanning %s: %w", root, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		if ent.IsDir() && ent.Name() != "quarantine" {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s, err := Replay(filepath.Join(root, name), fn)
+		stats.Segments += s.Segments
+		stats.Records += s.Records
+		stats.TornBytes += s.TornBytes
+		stats.Quarantined += s.Quarantined
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// syncDir fsyncs a directory so segment creation/removal survives power
+// loss, mirroring the FileStore.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

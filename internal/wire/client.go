@@ -64,6 +64,8 @@ type router struct {
 	free      [][]byte           // recycled retained-frame buffers
 	redirects uint64             // redirect hops followed
 	stalled   []inflight         // frames awaiting re-homing after a peer loss
+	seeded    map[string]bool    // routes installed by SeedRoute, not yet used
+	prefetch  uint64             // streams first-routed via a seeded route
 }
 
 const routerFreeCap = 64
@@ -97,7 +99,12 @@ type Client struct {
 	wbuf    []byte
 	rbuf    []byte
 	seq     uint64
-	addr    string
+	// streamSeq holds per-stream batch sequence counters (stamped as
+	// Batch.StreamSeq). Counters live on the primary client in
+	// redirect-following mode so a stream keeps one monotonic sequence
+	// even as redirects move it between connections.
+	streamSeq map[string]uint64
+	addr      string
 	pending []inflight
 	rt      *router // nil unless FollowRedirects was called
 	// Timeout bounds each request/response round trip via connection
@@ -190,6 +197,62 @@ func (c *Client) Redirects() uint64 {
 	return c.rt.redirects
 }
 
+// SeedRoute pre-loads a stream → owner route learned out of band (the
+// /clusterz admin endpoint), so the stream's first batch rides the
+// owning node's connection directly instead of discovering the owner
+// through a REDIRECT nack. Only meaningful after FollowRedirects.
+// Seeded routes are advisory: a REDIRECT still corrects a stale entry.
+func (c *Client) SeedRoute(stream, addr string) {
+	if c.rt == nil || addr == "" {
+		return
+	}
+	c.rt.routes[stream] = addr
+	if c.rt.seeded == nil {
+		c.rt.seeded = map[string]bool{}
+	}
+	c.rt.seeded[stream] = true
+}
+
+// PrefetchHits reports how many streams had their first batch routed
+// straight to a peer via a seeded route — first-batch redirects the
+// prefetch avoided (assuming the seed was current; a stale seed shows
+// up in Redirects instead).
+func (c *Client) PrefetchHits() uint64 {
+	if c.rt == nil {
+		return 0
+	}
+	return c.rt.prefetch
+}
+
+// nextStreamSeq advances and returns the per-stream sequence number
+// stamped into batch frames (Batch.StreamSeq).
+func (c *Client) nextStreamSeq(stream string) uint64 {
+	o := c
+	if c.rt != nil {
+		o = c.rt.all[0]
+	}
+	if o.streamSeq == nil {
+		o.streamSeq = map[string]uint64{}
+	}
+	o.streamSeq[stream]++
+	return o.streamSeq[stream]
+}
+
+// SeedStreamSeq primes a stream's sequence counter so its next batch is
+// stamped seq+1. Split runs use this to resume a stream's numbering
+// where an earlier process left off; without it the server would drop
+// the resumed segment's batches as already-applied duplicates.
+func (c *Client) SeedStreamSeq(stream string, seq uint64) {
+	o := c
+	if c.rt != nil {
+		o = c.rt.all[0]
+	}
+	if o.streamSeq == nil {
+		o.streamSeq = map[string]uint64{}
+	}
+	o.streamSeq[stream] = seq
+}
+
 // peer returns (dialing if needed) the sub-client for an owner address.
 func (rt *router) peer(addr string, like *Client) (*Client, error) {
 	if p, ok := rt.peers[addr]; ok {
@@ -220,6 +283,10 @@ func (c *Client) target(stream string) (*Client, error) {
 	addr, ok := c.rt.routes[stream]
 	if !ok || addr == c.addr {
 		return c, nil
+	}
+	if c.rt.seeded[stream] {
+		delete(c.rt.seeded, stream)
+		c.rt.prefetch++
 	}
 	return c.rt.peer(addr, c)
 }
@@ -307,6 +374,7 @@ func (c *Client) SendBatch(stream string, cycles uint64, events []trace.BranchEv
 	c.seq++
 	c.wbuf = AppendBatchFrame(c.wbuf[:0], Batch{
 		Seq:         c.seq,
+		StreamSeq:   c.nextStreamSeq(stream),
 		Stream:      stream,
 		Cycles:      cycles,
 		EndInterval: endInterval,
@@ -359,6 +427,7 @@ func (c *Client) queueBatch(stream string, cycles uint64, events []trace.BranchE
 	c.seq++
 	c.wbuf = AppendBatchFrame(c.wbuf[:0], Batch{
 		Seq:         c.seq,
+		StreamSeq:   c.nextStreamSeq(stream),
 		Stream:      stream,
 		Cycles:      cycles,
 		EndInterval: endInterval,

@@ -12,8 +12,10 @@
 // two-byte section header (tag, version) followed by fixed-width
 // little-endian fields with count-prefixed repeats. Frame payloads:
 //
-//	Batch v1: seq u64, stream string, cycles u64, endInterval bool,
+//	Batch v2: seq u64, streamSeq u64, stream string, cycles u64,
+//	          endInterval bool,
 //	          events u32 count + (pc u64, instrs u32) each
+//	          (v1 omitted streamSeq; it decodes as streamSeq 0)
 //	Flush v1: seq u64
 //	Ack   v1: seq u64
 //	Nack  v1: seq u64, code u8, detail string
@@ -95,7 +97,11 @@ const (
 
 // Versions of each payload layout this package encodes and decodes.
 const (
-	batchVersion = 1
+	// batchVersion 2 added the client's per-stream sequence number
+	// right after the connection seq, so the connection-seq patching
+	// done on redirect/replay never touches it. A v1 batch still
+	// decodes (streamSeq 0 = unstamped, always applied).
+	batchVersion = 2
 	ctrlVersion  = 1
 	// pingAckVersion 2 added the responder's ring membership hash, so a
 	// pinger can detect that two rings at the same epoch disagree. A v1
@@ -167,7 +173,14 @@ var (
 
 // Batch is the decoded form of a batch frame.
 type Batch struct {
-	Seq         uint64
+	Seq uint64
+	// StreamSeq is the client's per-stream monotonic sequence number,
+	// starting at 1. Unlike Seq (per-connection, reassigned on replay
+	// and redirect), it identifies the batch itself: the server drops a
+	// batch whose StreamSeq it has already applied, turning the
+	// reconnect policy's at-least-once replay into exactly-once apply.
+	// 0 means unstamped — always applied, the pre-v2 behavior.
+	StreamSeq   uint64
 	Stream      string
 	Cycles      uint64
 	EndInterval bool
@@ -224,6 +237,7 @@ type Frame struct {
 type FrameView struct {
 	Tag         byte
 	Seq         uint64
+	StreamSeq   uint64
 	Stream      []byte
 	Cycles      uint64
 	EndInterval bool
@@ -269,6 +283,7 @@ func AppendBatchFrame(dst []byte, b Batch) []byte {
 	return appendFrame(dst, func(e *state.Encoder) {
 		e.Section(TagBatch, batchVersion)
 		e.U64(b.Seq)
+		e.U64(b.StreamSeq)
 		e.String(b.Stream)
 		e.U64(b.Cycles)
 		e.Bool(b.EndInterval)
@@ -461,8 +476,11 @@ func DecodeFrame(payload []byte) (Frame, error) {
 	d := state.NewDecoder(payload)
 	switch f.Tag {
 	case TagBatch:
-		d.Section(TagBatch, batchVersion)
+		v := d.Section(TagBatch, batchVersion)
 		f.Batch.Seq = d.U64()
+		if v >= 2 {
+			f.Batch.StreamSeq = d.U64()
+		}
 		f.Batch.Stream = d.String()
 		f.Batch.Cycles = d.U64()
 		f.Batch.EndInterval = d.Bool()
@@ -570,8 +588,11 @@ func DecodeFrameView(payload []byte, events []trace.BranchEvent) (FrameView, err
 	d := state.NewDecoder(payload)
 	switch f.Tag {
 	case TagBatch:
-		d.Section(TagBatch, batchVersion)
+		v := d.Section(TagBatch, batchVersion)
 		f.Seq = d.U64()
+		if v >= 2 {
+			f.StreamSeq = d.U64()
+		}
 		f.Stream = d.Bytes()
 		f.Cycles = d.U64()
 		f.EndInterval = d.Bool()

@@ -143,8 +143,9 @@ func TestDecodeMalformedPreservesStream(t *testing.T) {
 	b := testBatch()
 	raw := AppendBatchFrame(nil, b)
 	payload := raw[4:]
-	// Find the count field: section(2) + seq(8) + string(4+len) + cycles(8) + bool(1).
-	off := 2 + 8 + 4 + len(b.Stream) + 8 + 1
+	// Find the count field: section(2) + seq(8) + streamSeq(8) +
+	// string(4+len) + cycles(8) + bool(1).
+	off := 2 + 8 + 8 + 4 + len(b.Stream) + 8 + 1
 	binary.LittleEndian.PutUint32(payload[off:], 1<<30)
 	f, err := DecodeFrame(payload)
 	if !errors.Is(err, ErrMalformed) {

@@ -2,17 +2,21 @@
 # phasekitd cluster check: golden equivalence across membership churn,
 # including an unannounced crash.
 #
-# Three nodes share one checkpoint store and heartbeat each other on a
-# compressed failure-detection ladder. A workload is ingested through
-# node 1 with a redirect-following client, so every stream lands on its
-# ring owner. Mid-run, node 2 is kill -9'd with NO operator command —
-# the survivors must detect the silence, confirm the death with each
-# other, bump the epoch, and adopt node 2's streams from its last
-# checkpoint. Later node 3 drains gracefully and the lone survivor
-# auto-evicts it the same way. The union of the per-node phase logs
-# must be line-identical to a single-process golden run — growth,
-# redirects, handoffs, crash-failover, and epoch bumps may not perturb
-# classification by a single interval.
+# Three nodes share one checkpoint store and one WAL root, and
+# heartbeat each other on a compressed failure-detection ladder. A
+# workload is ingested through node 1 with a redirect-following client,
+# so every stream lands on its ring owner. Mid-run, node 2 is kill -9'd
+# with NO operator command and NO checkpoint barrier — batches it ACKed
+# after its last checkpoint exist only in its write-ahead log. The
+# survivors must detect the silence, confirm the death with each other,
+# bump the epoch, adopt node 2's streams from its checkpoints, and
+# replay its WAL tail on top. Later node 3 drains gracefully and the
+# lone survivor auto-evicts it the same way. The deduplicated union of
+# the per-node phase logs (WAL replay re-closes intervals the dead node
+# already logged, as exact duplicates) must be line-identical to a
+# single-process golden run — growth, redirects, handoffs,
+# crash-failover, and epoch bumps may not perturb classification by a
+# single interval, and no ACKed event may be lost.
 set -euo pipefail
 
 WORKLOAD=${WORKLOAD:-gzip/g}
@@ -27,7 +31,13 @@ ADMINS=(9227 9231 9235) # health/admin ports, node 1..3
 
 workdir=$(mktemp -d)
 pids=()
-trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+cleanup() {
+  for p in ${pids[@]+"${pids[@]}"}; do
+    [ -n "$p" ] && kill "$p" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
 
 go build -o "$workdir/phasekitd" ./cmd/phasekitd
 go build -o "$workdir/phasekitctl" ./cmd/phasekitctl
@@ -51,6 +61,7 @@ start_node() { # start_node <idx> [-peers ...]
   "$workdir/phasekitd" -addr "$HOST:${PORTS[$i]}" -health "$HOST:${ADMINS[$i]}" \
     -node-id "n$((i + 1))" -node-addr "$HOST:${PORTS[$i]}" \
     -interval "$INTERVAL" -store "$workdir/state" \
+    -wal-dir "$workdir/wal" -wal-sync group \
     -heartbeat-interval 200ms -suspect-after 600ms -dead-after 1200ms \
     -phases "$workdir/node$((i + 1)).log" "$@" &
   pids[$i]=$!
@@ -96,8 +107,7 @@ ctl status
 echo "==> segment 1: ingest batches [0, $CUT1) through n1 (redirects fan streams out)"
 "$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -max-batches "$CUT1"
 
-echo "==> checkpoint n2 (the fsync barrier), then kill -9 it — no leave, no operator"
-ctl_node 1 checkpoint
+echo "==> kill -9 n2 mid-interval — no leave, no checkpoint barrier; its ACKed tail lives only in the WAL"
 crash_node 1
 
 echo "==> survivors must detect, confirm, and take over on their own (epoch 3 -> 4)"
@@ -105,7 +115,11 @@ wait_epoch 4
 [ "$(members)" = 2 ] || { echo "FAIL: expected 2 members after crash-failover, saw $(members)" >&2; exit 1; }
 
 echo "==> segment 2: ingest batches [$CUT1, $CUT2); n2's streams resume on the survivors"
-"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -from-batch "$CUT1" -max-batches "$((CUT2 - CUT1))"
+# -clusterz prefetches each stream's owner from the admin endpoint, so
+# the resumed client dials owners directly instead of rediscovering
+# them through one REDIRECT hop per stream.
+"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" -clusterz "$HOST:${ADMINS[0]}" \
+  "${sim_args[@]}" -from-batch "$CUT1" -max-batches "$((CUT2 - CUT1))"
 
 echo "==> drain n3 gracefully; the lone survivor auto-evicts it (epoch 4 -> 5)"
 drain_node 2
@@ -116,7 +130,8 @@ ctl rebalance
 wait_epoch 6
 
 echo "==> segment 3: ingest batches [$CUT2, end] through the last node standing"
-"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" "${sim_args[@]}" -from-batch "$CUT2"
+"$workdir/phasesim" -connect "$HOST:${PORTS[0]}" -clusterz "$HOST:${ADMINS[0]}" \
+  "${sim_args[@]}" -from-batch "$CUT2"
 
 echo "==> drain the survivor"
 epoch=$(ctl status | grep -o '"Epoch":[0-9]*' | head -1 | cut -d: -f2)
@@ -125,9 +140,14 @@ drain_node 0
 # start(1) + join n2 + join n3 + crash-failover n2 + auto-evict n3 + rebalance = epoch 6
 [ "$epoch" = 6 ] || { echo "FAIL: final epoch $epoch, want 6" >&2; exit 1; }
 
-echo "==> diff the union of per-node phase logs against the golden run"
+echo "==> diff the deduplicated union of per-node phase logs against the golden run"
+# WAL replay re-closes every interval the dead node completed after its
+# last checkpoint, so those lines appear in both n2's log and its
+# adopter's — as byte-identical duplicates. uniq collapses only exact
+# duplicates: a replay that diverged by even one phase ID survives the
+# dedup and fails the diff.
 sort -k1,1 -k2,2n "$workdir/golden.log" >"$workdir/golden.sorted"
-cat "$workdir"/node*.log | sort -k1,1 -k2,2n >"$workdir/cluster.sorted"
+cat "$workdir"/node*.log | sort -k1,1 -k2,2n | uniq >"$workdir/cluster.sorted"
 if ! diff -u "$workdir/golden.sorted" "$workdir/cluster.sorted"; then
   echo "FAIL: phase sequence diverged across cluster churn" >&2
   exit 1
